@@ -1,0 +1,66 @@
+"""Experiment X7 — analysis-vs-simulation accuracy across configs.
+
+Model validation beyond Figure 2's default configuration: the
+decoupling model is checked against the simulator over a grid of
+(cw, dc) schedules and network sizes, reporting the absolute collision
+probability error and the relative throughput error.
+
+Shape expectations: throughput errors stay within ~5%; collision
+probability errors within ~0.05, largest at small N for aggressive
+schedules (the coupling effect [5] analyzes).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.validation import compare_model_to_simulation
+from repro.core.config import CsmaConfig
+from repro.report.tables import format_table
+
+GRID = {
+    "1901 default": CsmaConfig.default_1901(),
+    "CA2/CA3": CsmaConfig(cw=(8, 16, 16, 32), dc=(0, 1, 3, 15)),
+    "single-stage CW=32": CsmaConfig(cw=(32,), dc=(0,)),
+    "deferral-only CW=16": CsmaConfig(cw=(16,) * 4, dc=(0, 1, 3, 15)),
+    "802.11-like": CsmaConfig.ieee80211(cw_min=16, max_stage=4),
+}
+COUNTS = (2, 5, 10)
+
+
+def _generate():
+    return {
+        label: compare_model_to_simulation(
+            COUNTS, config=config, sim_time_us=1e7, repetitions=2
+        )
+        for label, config in GRID.items()
+    }
+
+
+@pytest.mark.benchmark(group="analysis-accuracy")
+def bench_analysis_accuracy(benchmark):
+    results = benchmark.pedantic(_generate, rounds=1, iterations=1)
+
+    rows = []
+    for label, comparison in results.items():
+        for row in comparison:
+            rows.append(
+                (label, row.num_stations,
+                 f"{row.sim_collision_probability:.4f}",
+                 f"{row.model_collision_probability:.4f}",
+                 f"{row.collision_probability_error:.4f}",
+                 f"{row.throughput_relative_error * 100:.1f}%")
+            )
+    emit("")
+    emit(
+        format_table(
+            ["config", "N", "sim p", "model p", "|Δp|", "S err"],
+            rows,
+            title="X7 — decoupling-model accuracy across configurations",
+        )
+    )
+
+    # --- shape assertions -------------------------------------------------
+    for label, comparison in results.items():
+        for row in comparison:
+            assert row.collision_probability_error < 0.055, label
+            assert row.throughput_relative_error < 0.06, label

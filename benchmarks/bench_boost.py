@@ -1,0 +1,67 @@
+"""Experiment X2 — boosted configurations vs. the 1901 default.
+
+The "Boosting" half of the paper's title: search the candidate
+families for a robust (max-min over N) configuration, compare it
+against the default by model *and* by simulation, and show how close
+it gets to the protocol-independent throughput upper bound.
+
+Shape expectations: the default degrades steadily with N; the boosted
+configuration holds nearly flat within a few percent of the upper
+bound, giving double-digit relative gains by N = 20.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.boost import boost_report, recommend_robust, validate_by_simulation
+from repro.report.tables import format_table
+
+COUNTS = (2, 5, 10, 20)
+
+
+def _generate():
+    best = recommend_robust(COUNTS)
+    boosted, rows = boost_report(COUNTS, boosted=best.config)
+    sim_rows = validate_by_simulation(
+        best, COUNTS, sim_time_us=1e7, repetitions=2
+    )
+    return boosted, rows, sim_rows
+
+
+@pytest.mark.benchmark(group="boost")
+def bench_boost(benchmark):
+    boosted, rows, sim_rows = benchmark.pedantic(
+        _generate, rounds=1, iterations=1
+    )
+
+    emit("")
+    emit(f"boosted configuration: {boosted.describe()}")
+    emit(
+        format_table(
+            ["N", "default S", "boosted S", "upper bound", "gain %",
+             "boosted S (sim)"],
+            [
+                (r.num_stations,
+                 f"{r.default_throughput:.4f}",
+                 f"{r.boosted_throughput:.4f}",
+                 f"{r.upper_bound:.4f}",
+                 f"{r.gain_percent:+.1f}",
+                 f"{sim_rows[i][1]:.4f}")
+                for i, r in enumerate(rows)
+            ],
+            title="X2 — default 1901 vs boosted configuration",
+        )
+    )
+
+    # --- shape assertions -------------------------------------------------
+    by_n = {r.num_stations: r for r in rows}
+    # Default throughput decreases with N; boosted stays nearly flat.
+    assert by_n[20].default_throughput < by_n[2].default_throughput - 0.05
+    boosted_curve = [r.boosted_throughput for r in rows]
+    assert max(boosted_curve) - min(boosted_curve) < 0.03
+    # Double-digit gain at N=20, near the upper bound.
+    assert by_n[20].gain_percent > 10.0
+    assert by_n[20].boosted_throughput > 0.97 * by_n[20].upper_bound
+    # The simulator confirms the model's boosted numbers.
+    for (n, sim_s, _sim_p), row in zip(sim_rows, rows):
+        assert sim_s == pytest.approx(row.boosted_throughput, rel=0.08)

@@ -1,0 +1,60 @@
+"""Experiment X8 (extension) — channel errors and ARQ (§4.1 unknown).
+
+The paper assumes an error-free channel; this extension adds i.i.d.
+per-PB Bernoulli errors with whole-MPDU MAC-level retransmission and
+measures the impact on the §3.2 observables.
+
+Shape expectations: goodput decreases monotonically with the PB error
+rate; retransmissions grow accordingly; the collision-probability
+estimator ΣC/ΣA is approximately unchanged (errored frames are
+acknowledged with error flags, not collision flags).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.experiments.channel_errors import error_rate_sweep
+from repro.report.tables import format_table
+
+RATES = (0.0, 0.02, 0.05, 0.1)
+
+
+def _generate():
+    return error_rate_sweep(
+        2, error_probabilities=RATES, duration_us=12e6, seed=1
+    )
+
+
+@pytest.mark.benchmark(group="channel-errors")
+def bench_channel_errors(benchmark):
+    points = benchmark.pedantic(_generate, rounds=1, iterations=1)
+
+    emit("")
+    emit(
+        format_table(
+            ["PB error rate", "goodput (Mbps)", "collision p",
+             "retransmissions", "delivered frames"],
+            [
+                (f"{p.pb_error_probability:.2f}",
+                 f"{p.goodput_mbps:.2f}",
+                 f"{p.collision_probability:.4f}",
+                 p.retransmissions,
+                 p.delivered_frames)
+                for p in points
+            ],
+            title="X8 — channel-error extension (N=2, whole-MPDU ARQ)",
+        )
+    )
+
+    # --- shape assertions -------------------------------------------------
+    goodputs = [p.goodput_mbps for p in points]
+    assert all(a >= b - 0.05 for a, b in zip(goodputs, goodputs[1:]))
+    assert goodputs[-1] < goodputs[0] * 0.9
+    retransmissions = [p.retransmissions for p in points]
+    assert retransmissions[0] == 0
+    assert all(a <= b for a, b in zip(retransmissions, retransmissions[1:]))
+    clean_p = points[0].collision_probability
+    for point in points:
+        assert point.collision_probability == pytest.approx(
+            clean_p, abs=0.035
+        )

@@ -1,0 +1,55 @@
+"""Performance micro-benchmarks: simulator and engine throughput.
+
+Not a paper artifact — these track that the two simulators stay fast
+enough to run the paper-scale experiments (240 s × 10 tests × 7 network
+sizes) in minutes.  Regressions here make the reproduction impractical.
+"""
+
+import pytest
+
+from repro.core import ScenarioConfig, SlotSimulator
+from repro.engine import Environment
+from repro.experiments.procedures import run_collision_test
+
+
+@pytest.mark.benchmark(group="performance")
+def bench_slot_simulator_5_stations(benchmark):
+    """Slot-simulator wall time for 10 virtual seconds, N=5."""
+    scenario = ScenarioConfig.homogeneous(
+        num_stations=5, sim_time_us=1e7, seed=1
+    )
+
+    def run():
+        return SlotSimulator(scenario).run()
+
+    result = benchmark(run)
+    assert result.successes > 1000
+
+
+@pytest.mark.benchmark(group="performance")
+def bench_event_engine_timeout_churn(benchmark):
+    """Raw engine throughput: 20k chained timeouts."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(20_000):
+                yield env.timeout(1.0)
+
+        env.process(ticker(env))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 20_000.0
+
+
+@pytest.mark.benchmark(group="performance")
+def bench_testbed_emulation_3_stations(benchmark):
+    """Full emulated testbed (MMEs, bursts, SACKs), 5 virtual seconds."""
+
+    def run():
+        return run_collision_test(3, duration_us=5e6, seed=1)
+
+    test = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert test.sum_acked > 1000

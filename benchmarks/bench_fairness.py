@@ -1,0 +1,86 @@
+"""Experiment X5 — fairness: 1901 vs. 802.11, long- and short-term.
+
+The [4] study reproduced with both measurement paths: simulator winner
+traces and the testbed sniffer's burst-level source trace.
+
+Shape expectations: both protocols are long-term fair (Jain ≈ 1); 1901
+is markedly *less short-term fair* — higher channel-capture
+probability and longer win runs — because the winner restarts at CW=8
+while deferred losers climb stages (Figure 1's caption).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.experiments.fairness import (
+    fairness_by_simulation,
+    fairness_by_testbed,
+    jain_vs_window,
+)
+from repro.report.tables import format_table
+
+COUNTS = (2, 5, 10)
+WINDOWS = (2, 5, 10, 20, 50, 100)
+
+
+def _generate():
+    sim = fairness_by_simulation(station_counts=COUNTS, sim_time_us=2e7)
+    testbed = fairness_by_testbed(2, duration_us=10e6, seed=1)
+    curves = jain_vs_window(
+        num_stations=2, windows=WINDOWS, sim_time_us=2e7
+    )
+    return sim, testbed, curves
+
+
+@pytest.mark.benchmark(group="fairness")
+def bench_fairness(benchmark):
+    sim_results, testbed_result, curves = benchmark.pedantic(
+        _generate, rounds=1, iterations=1
+    )
+
+    rows = [
+        (r.label, r.num_stations, f"{r.long_term_jain:.4f}",
+         f"{r.short_term_jain:.4f}", f"{r.capture_probability:.4f}",
+         f"{r.mean_run_length:.2f}", r.max_run_length)
+        for r in sim_results + [testbed_result]
+    ]
+    emit("")
+    emit(
+        format_table(
+            ["protocol", "N", "Jain long", "Jain short", "P(capture)",
+             "mean run", "max run"],
+            rows,
+            title="X5 — fairness, 1901 vs 802.11 "
+                  "(simulator traces + testbed sniffer trace)",
+        )
+    )
+
+    emit(
+        format_table(
+            ["window"] + [str(w) for w in WINDOWS],
+            [
+                (label, *(f"{value:.3f}" for _w, value in points))
+                for label, points in curves.items()
+            ],
+            title="X5b — sliding-window Jain index vs window size (N=2): "
+                  "1901's unfairness horizon is ~10× longer",
+        )
+    )
+
+    # --- shape assertions -------------------------------------------------
+    plc = {r.num_stations: r for r in sim_results if "1901" in r.label}
+    wifi = {r.num_stations: r for r in sim_results if "802.11" in r.label}
+    # Jain-vs-window: 1901 below 802.11 at every short window.
+    plc_curve = dict(curves["1901 CA1"])
+    wifi_curve = dict(curves["802.11 DCF"])
+    for window in WINDOWS[:4]:
+        assert plc_curve[window] < wifi_curve[window]
+    for n in COUNTS:
+        assert plc[n].long_term_jain > 0.98
+        assert wifi[n].long_term_jain > 0.95
+        # 1901's short-term capture dominates 802.11's.
+        assert plc[n].capture_probability > wifi[n].capture_probability
+        assert plc[n].mean_run_length > wifi[n].mean_run_length
+    # The testbed's burst-level trace shows the same capture effect.
+    assert testbed_result.capture_probability > 0.5
+    assert testbed_result.long_term_jain > 0.95

@@ -1,0 +1,57 @@
+"""Experiment X4 — §3.3: MME overhead and burst-size measurements.
+
+Runs the sniffer-equipped emulated testbed and lets faifa compute the
+management-vs-data burst ratio and the burst-size histogram.
+
+Shape expectations: data bursts carry 2 MPDUs (the §3.1 measurement);
+management bursts are single-MPDU; the overhead is a few percent and
+*decreases* with N (the beacon rate is constant while data bursts
+multiply — the per-station share of CSMA time lost to MMEs shrinks
+relative to data).
+"""
+
+import pytest
+
+from conftest import TEST_DURATION_US, emit
+from repro.experiments.mme_overhead import overhead_vs_n
+from repro.report.tables import format_table
+
+COUNTS = (1, 2, 4, 7)
+
+
+def _generate():
+    return overhead_vs_n(
+        station_counts=COUNTS, duration_us=TEST_DURATION_US, seed=1
+    )
+
+
+@pytest.mark.benchmark(group="mme-overhead")
+def bench_mme_overhead(benchmark):
+    results = benchmark.pedantic(_generate, rounds=1, iterations=1)
+
+    emit("")
+    emit(
+        format_table(
+            ["N", "data bursts", "mgmt bursts", "overhead",
+             "burst sizes"],
+            [
+                (r.num_stations, r.data_bursts, r.management_bursts,
+                 f"{r.overhead:.4f}",
+                 str(dict(sorted(r.burst_size_histogram.items()))))
+                for r in results
+            ],
+            title="X4 — §3.3 MME overhead (sniffer at D)",
+        )
+    )
+
+    # --- shape assertions -------------------------------------------------
+    for result in results:
+        assert result.data_bursts > 0
+        assert result.management_bursts > 0
+        assert 0.0 < result.overhead < 0.2
+        # §3.1: data bursts use 2 MPDUs.
+        histogram = result.burst_size_histogram
+        assert histogram.get(2, 0) >= result.data_bursts * 0.9
+    # Overhead ratio does not grow with N (fixed beacon rate).
+    overheads = [r.overhead for r in results]
+    assert overheads[-1] <= overheads[0]

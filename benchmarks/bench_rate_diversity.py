@@ -1,0 +1,67 @@
+"""Experiment X11 (extension) — rate diversity / the CSMA anomaly.
+
+§4.1's bit-loading unknown, exercised: SNR-driven tone maps give each
+link its own payload rate; one station on an attenuated outlet sends
+long MPDUs and, because CSMA/CA equalizes *opportunities*, drags the
+whole network's goodput down.
+
+Shape expectations: aggregate goodput decreases monotonically as
+station 0's SNR drops; per-station frame counts stay near-equal (the
+anomaly's signature); fast stations deliver fewer frames than in the
+homogeneous baseline.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.experiments.rate_diversity import anomaly_sweep
+from repro.report.tables import format_table
+
+SNRS = (None, 12.0, 5.0, 3.0)
+
+
+def _generate():
+    return anomaly_sweep(snrs=SNRS, num_stations=3, duration_us=12e6)
+
+
+@pytest.mark.benchmark(group="rate-diversity")
+def bench_rate_diversity(benchmark):
+    results = benchmark.pedantic(_generate, rounds=1, iterations=1)
+
+    emit("")
+    emit(
+        format_table(
+            ["station-0 SNR", "slow link rate", "goodput (Mbps)",
+             "frames per station", "airtime shares"],
+            [
+                ("healthy" if r.slow_snr_db is None
+                 else f"{r.slow_snr_db:.0f} dB",
+                 "-" if r.slow_link_rate_mbps is None
+                 else f"{r.slow_link_rate_mbps:.1f} Mbps",
+                 f"{r.goodput_mbps:.2f}",
+                 str(list(r.frames_per_station.values())),
+                 str([round(v, 2) for v in r.airtime_share.values()]))
+                for r in results
+            ],
+            title="X11 — rate diversity: one slow outlet vs the network "
+                  "(N=3 saturated)",
+        )
+    )
+
+    # --- shape assertions -------------------------------------------------
+    goodputs = [r.goodput_mbps for r in results]
+    assert all(a > b for a, b in zip(goodputs, goodputs[1:]))
+    worst = results[-1]
+    baseline = results[0]
+    assert worst.goodput_mbps < baseline.goodput_mbps * 0.75
+    # Equal opportunities despite unequal airtime.
+    counts = list(worst.frames_per_station.values())
+    assert min(counts) / max(counts) > 0.7
+    # Fast stations lose frames too.
+    fast = list(baseline.frames_per_station)[1:]
+    for mac in fast:
+        assert worst.frames_per_station[mac] < baseline.frames_per_station[mac]
+    # The smoking gun: the slow station's airtime share dominates
+    # while its frame share stays near 1/N.
+    slow_mac = list(worst.frames_per_station)[0]
+    assert worst.airtime_share[slow_mac] > 0.5

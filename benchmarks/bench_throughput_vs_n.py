@@ -1,0 +1,83 @@
+"""Experiment X1 — saturation throughput vs. N: 1901 vs. 802.11.
+
+The CoNEXT-scope comparison the companion studies ([4], [5]) make:
+normalized saturation throughput and collision probability as the
+network grows, for the 1901 default (CA1) and the 802.11 DCF baseline,
+each by simulation and by its analytical model.
+
+Shape expectations: 1901 wins at small N (CW0 = 8 wastes fewer backoff
+slots) and keeps a throughput edge thanks to the deferral counter
+despite its smaller windows; both protocols' collision probabilities
+grow with N, 1901's staying below plain DCF's would-be growth because
+stations escalate *before* colliding.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.experiments.sweeps import standard_protocol_sweep
+from repro.report.figures import ascii_plot
+from repro.report.tables import format_table
+
+COUNTS = (1, 2, 3, 5, 7, 10, 15, 20)
+
+
+def _generate():
+    return standard_protocol_sweep(
+        station_counts=COUNTS, sim_time_us=1e7, repetitions=2, seed=1
+    )
+
+
+@pytest.mark.benchmark(group="throughput-vs-n")
+def bench_throughput_vs_n(benchmark):
+    series = benchmark.pedantic(_generate, rounds=1, iterations=1)
+
+    rows = []
+    for label in ("1901 CA1", "802.11 DCF"):
+        for p in series[label]:
+            rows.append(
+                (label, p.num_stations,
+                 f"{p.sim_throughput:.4f}", f"{p.model_throughput:.4f}",
+                 f"{p.sim_collision_probability:.4f}")
+            )
+    emit("")
+    emit(
+        format_table(
+            ["protocol", "N", "sim S", "model S", "sim p"],
+            rows,
+            title="X1 — saturation throughput vs N (1901 vs 802.11)",
+        )
+    )
+    emit(
+        ascii_plot(
+            {
+                "1901 sim": (
+                    list(COUNTS),
+                    [p.sim_throughput for p in series["1901 CA1"]],
+                ),
+                "802.11 sim": (
+                    list(COUNTS),
+                    [p.sim_throughput for p in series["802.11 DCF"]],
+                ),
+            },
+            title="Normalized throughput vs N",
+            xlabel="number of stations",
+            ylabel="normalized throughput",
+        )
+    )
+
+    # --- shape assertions -------------------------------------------------
+    plc = series["1901 CA1"]
+    wifi = series["802.11 DCF"]
+    # 1901 wins at N=1..2 (backoff efficiency).
+    for i in (0, 1):
+        assert plc[i].sim_throughput > wifi[i].sim_throughput
+    # Throughput decreases with N for 1901.
+    plc_s = [p.sim_throughput for p in plc]
+    assert plc_s[0] > plc_s[-1]
+    # Models track their simulations.
+    for points in (plc, wifi):
+        for p in points:
+            assert p.model_throughput == pytest.approx(
+                p.sim_throughput, rel=0.08
+            )

@@ -1,0 +1,83 @@
+"""Experiment X3 — the CW/DC tradeoff ablation (§2's motivation).
+
+Three ablations quantifying why the deferral counter exists:
+
+1. single-stage fixed-CW protocols: the raw collision/backoff-waste
+   frontier in CW;
+2. the deferral ladder scaled from hair-trigger to disabled;
+3. 1901 default vs. the identical windows with DC disabled (pure BEB).
+
+Shape expectations: the CW frontier has an interior optimum that moves
+right with N; disabling the DC raises the collision probability at
+every N; hair-trigger deferral (all zeros) over-escalates and loses
+throughput at small N.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.boost.tradeoff import cw_sweep, dc_sweep, deferral_ablation
+from repro.report.tables import format_table
+
+COUNTS = (2, 5, 10, 20)
+
+
+def _generate():
+    return (
+        cw_sweep(station_counts=(5, 20)),
+        dc_sweep(station_counts=COUNTS),
+        deferral_ablation(station_counts=COUNTS),
+    )
+
+
+@pytest.mark.benchmark(group="tradeoff")
+def bench_tradeoff(benchmark):
+    cw_points, dc_points, ablation = benchmark.pedantic(
+        _generate, rounds=1, iterations=1
+    )
+
+    emit("")
+    emit(
+        format_table(
+            ["config", "N", "collision p", "throughput"],
+            [(p.label, p.num_stations, f"{p.collision_probability:.4f}",
+              f"{p.normalized_throughput:.4f}") for p in cw_points],
+            title="X3a — single-stage CW frontier",
+        )
+    )
+    emit(
+        format_table(
+            ["config", "N", "collision p", "throughput"],
+            [(p.label, p.num_stations, f"{p.collision_probability:.4f}",
+              f"{p.normalized_throughput:.4f}") for p in dc_points],
+            title="X3b — deferral ladder scaling (default windows)",
+        )
+    )
+    emit(
+        format_table(
+            ["config", "N", "collision p", "throughput"],
+            [(p.label, p.num_stations, f"{p.collision_probability:.4f}",
+              f"{p.normalized_throughput:.4f}") for p in ablation],
+            title="X3c — deferral-counter ablation",
+        )
+    )
+
+    # --- shape assertions -------------------------------------------------
+    # (1) interior optimum in CW that moves right with N.
+    def best_cw(n):
+        points = [p for p in cw_points if p.num_stations == n]
+        return max(points, key=lambda p: p.normalized_throughput).label
+
+    assert best_cw(5) != best_cw(20)
+    # (2) collision probability monotone decreasing in CW at fixed N.
+    at_20 = [p for p in cw_points if p.num_stations == 20]
+    collisions = [p.collision_probability for p in at_20]
+    assert all(a >= b for a, b in zip(collisions, collisions[1:]))
+    # (3) DC off -> more collisions at every N.
+    with_dc = {p.num_stations: p for p in ablation if "with DC" in p.label}
+    without = {p.num_stations: p for p in ablation if "no DC" in p.label}
+    for n in COUNTS:
+        assert (
+            with_dc[n].collision_probability
+            < without[n].collision_probability
+        )

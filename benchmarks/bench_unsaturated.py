@@ -1,0 +1,66 @@
+"""Experiment X9 (extension) — unsaturated operation.
+
+Poisson offered load swept as a fraction of the analytical saturation
+knee.
+
+Shape expectations: below the knee, delivered == offered with
+negligible collisions and queue loss; past the knee, delivery caps at
+the saturation rate, delay blows up and queues overflow.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.experiments.unsaturated import (
+    offered_load_sweep,
+    saturation_rate_pps,
+)
+from repro.report.tables import format_table
+
+FRACTIONS = (0.25, 0.5, 0.8, 1.0, 1.5)
+
+
+def _generate():
+    knee = saturation_rate_pps(3)
+    points = offered_load_sweep(
+        3, load_fractions=FRACTIONS, sim_time_us=2e7, seed=1
+    )
+    return knee, points
+
+
+@pytest.mark.benchmark(group="unsaturated")
+def bench_unsaturated(benchmark):
+    knee, points = benchmark.pedantic(_generate, rounds=1, iterations=1)
+
+    emit("")
+    emit(f"analytical saturation knee: {knee:.1f} frames/s per station")
+    emit(
+        format_table(
+            ["load", "offered fps", "delivered fps", "collision p",
+             "mean delay (ms)", "p95 delay (ms)", "queue loss"],
+            [
+                (f"{f:.2f}×sat",
+                 f"{p.offered_fps:.0f}",
+                 f"{p.delivered_fps:.0f}",
+                 f"{p.collision_probability:.4f}",
+                 f"{p.mean_delay_us / 1000:.1f}",
+                 f"{p.p95_delay_us / 1000:.1f}",
+                 f"{p.queue_loss_fraction:.3f}")
+                for f, p in zip(FRACTIONS, points)
+            ],
+            title="X9 — offered load sweep (N=3, Poisson arrivals)",
+        )
+    )
+
+    # --- shape assertions -------------------------------------------------
+    below = points[:2]
+    for point in below:
+        assert point.delivered_fps == pytest.approx(
+            point.offered_fps, rel=0.06
+        )
+        assert point.queue_loss_fraction < 0.02
+    overload = points[-1]
+    assert overload.queue_loss_fraction > 0.2
+    assert overload.mean_delay_us > below[0].mean_delay_us * 2
+    delays = [p.mean_delay_us for p in points]
+    assert all(a <= b * 1.05 for a, b in zip(delays, delays[1:]))

@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and
+*prints* it next to the paper's reference numbers.  pytest captures
+file descriptors during the run, so benches hand their text to
+:func:`emit`; a ``pytest_terminal_summary`` hook prints everything in
+a dedicated section after the benchmark table.
+
+Scaling: the paper's tests run 240 s × 10 repetitions; by default the
+benchmarks use shortened durations so the whole suite completes in a
+few minutes.  Set ``REPRO_BENCH_FULL=1`` for paper-scale runs.
+"""
+
+import os
+from typing import List
+
+import pytest
+
+#: Whether to run at the paper's full durations.
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Emulated-testbed test duration (µs) and repetitions.
+TEST_DURATION_US = 240e6 if FULL else 12e6
+TEST_REPETITIONS = 10 if FULL else 2
+
+#: Slot-simulator duration (µs).
+SIM_TIME_US = 5e8 if FULL else 2e7
+
+#: Scale factor from the bench duration to the paper's 240 s.
+TABLE2_SCALE = 240e6 / TEST_DURATION_US
+
+_EMITTED: List[str] = []
+
+
+def emit(text: str) -> None:
+    """Queue ``text`` for the end-of-run report section."""
+    _EMITTED.append(text)
+
+
+@pytest.fixture
+def report():
+    """Fixture handing benches the report printer."""
+    return emit
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every reproduced table/figure after the benchmark stats."""
+    if not _EMITTED:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("reproduced tables and figures")
+    for text in _EMITTED:
+        terminalreporter.write_line(text)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Channel errors and retransmissions (the §4.1 unknown, simulated).
+
+The paper's §4.1 lists channel errors among the mechanisms that cannot
+be modelled from public information, and assumes an error-free channel.
+This example turns on the closest well-defined substitute — i.i.d.
+per-PB Bernoulli errors with whole-MPDU MAC-level retransmission — and
+shows:
+
+- goodput at the destination falls as the PB error rate grows
+  (retransmissions burn airtime);
+- the §3.2 collision-probability estimator ΣC/ΣA stays approximately
+  unbiased: errored exchanges are acknowledged with *error* flags, so
+  they are neither counted as collisions nor dropped from the
+  acknowledged total.
+
+Run:  python examples/channel_errors.py
+"""
+
+from repro.experiments import error_rate_sweep
+from repro.report import format_table
+
+RATES = (0.0, 0.01, 0.02, 0.05, 0.1)
+
+
+def main() -> None:
+    points = error_rate_sweep(
+        num_stations=2, error_probabilities=RATES, duration_us=12e6, seed=1
+    )
+    print(format_table(
+        ["PB error rate", "goodput (Mbps)", "collision p",
+         "retransmissions", "delivered frames"],
+        [(f"{p.pb_error_probability:.2f}",
+          f"{p.goodput_mbps:.2f}",
+          f"{p.collision_probability:.4f}",
+          p.retransmissions,
+          p.delivered_frames) for p in points],
+        title="Per-PB Bernoulli errors with whole-MPDU ARQ "
+              "(2 saturated stations, 12 s)",
+    ))
+    clean, worst = points[0], points[-1]
+    loss = 100 * (1 - worst.goodput_mbps / clean.goodput_mbps)
+    print(f"\n-> a {worst.pb_error_probability:.0%} PB error rate costs "
+          f"{loss:.0f}% goodput, while the collision estimate moves only "
+          f"{abs(worst.collision_probability - clean.collision_probability):.3f}.")
+
+
+if __name__ == "__main__":
+    main()

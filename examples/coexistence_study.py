@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Mixed populations: boosted adapters sharing a wire with legacy ones.
+
+The boosting results (examples/boost_configuration.py) assume everyone
+upgrades at once.  This example asks the deployment question: what
+happens during *incremental* adoption?  Twice:
+
+1. by heterogeneous simulation (the slot simulator runs any mix of
+   per-station configurations);
+2. by the heterogeneous decoupling model — a vector fixed point, one
+   attempt probability per station group — which reproduces the
+   simulation within a few percent.
+
+Run:  python examples/coexistence_study.py
+"""
+
+from repro.analysis import GroupSpec, HeterogeneousModel
+from repro.core import CsmaConfig
+from repro.experiments import adoption_sweep
+from repro.report import format_table
+
+TOTAL = 10
+BOOSTED = CsmaConfig(cw=(32, 128, 512, 2048), dc=(7, 15, 31, 63))
+
+
+def main() -> None:
+    counts = (0, 2, 5, 8, 10)
+    sims = adoption_sweep(
+        total_stations=TOTAL,
+        boosted_counts=counts,
+        boosted=BOOSTED,
+        sim_time_us=1e7,
+        seed=1,
+    )
+    rows = []
+    for result in sims:
+        groups = []
+        if result.num_boosted:
+            groups.append(GroupSpec(BOOSTED, result.num_boosted, "boosted"))
+        if result.num_legacy:
+            groups.append(
+                GroupSpec(
+                    CsmaConfig.default_1901(), result.num_legacy, "legacy"
+                )
+            )
+        model = HeterogeneousModel(groups).solve()
+        rows.append((
+            f"{result.num_boosted}/{TOTAL}",
+            f"{result.total_throughput:.4f}",
+            f"{model.total_throughput:.4f}",
+            f"{result.per_boosted_station:.4f}" if result.num_boosted else "-",
+            f"{result.per_legacy_station:.4f}" if result.num_legacy else "-",
+        ))
+    print(format_table(
+        ["adoption", "total S (sim)", "total S (model)",
+         "per boosted", "per legacy"],
+        rows,
+        title=f"Incremental adoption of the boosted config, "
+              f"{TOTAL} saturated stations",
+    ))
+    print(
+        "\n-> the network improves with every upgrade, but the boosted\n"
+        "   (politer, larger-window) stations concede the channel to\n"
+        "   legacy neighbours until adoption completes: the gains accrue\n"
+        "   to the non-upgraders first. The vector decoupling model\n"
+        "   predicts the totals within a few percent."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Priority classes: CA0/CA1 vs CA2/CA3, and strict PRS precedence.
+
+Two studies:
+
+1. **Homogeneous class comparison** — all stations in one class; the
+   CA2/CA3 column of Table 1 keeps contention windows smaller at high
+   stages (16/32 instead of 32/64), trading collisions for access
+   latency, which suits delay-sensitive traffic.
+2. **Mixed-priority testbed** — on the emulated testbed, one station
+   also carries CA3 traffic; the priority-resolution phase gives it
+   strict precedence, and the sniffer shows data at CA1 sharing what
+   the CA3 flow leaves.
+
+Run:  python examples/priority_classes.py
+"""
+
+from repro import CsmaConfig, PriorityClass
+from repro.experiments import build_testbed, sweep_configuration
+from repro.report import format_table
+from repro.traffic import CbrSource
+
+
+def homogeneous_comparison() -> None:
+    counts = (2, 5, 10, 20)
+    rows = []
+    for label, priority in (
+        ("CA0/CA1", PriorityClass.CA1),
+        ("CA2/CA3", PriorityClass.CA3),
+    ):
+        config = CsmaConfig.for_priority(priority)
+        for p in sweep_configuration(label, config, counts, sim_time_us=1e7):
+            rows.append((
+                p.label, p.num_stations,
+                f"{p.sim_throughput:.4f}",
+                f"{p.sim_collision_probability:.4f}",
+            ))
+    print(format_table(
+        ["class", "N", "throughput", "collision p"],
+        rows,
+        title="Table 1's two parameter columns, homogeneous networks",
+    ))
+    print("-> CA2/CA3 collides more at large N (smaller CWs) but grabs "
+          "the channel faster — tuned for delay, not aggregate "
+          "throughput.\n")
+
+
+def mixed_priority_testbed() -> None:
+    tb = build_testbed(3, seed=5, enable_sniffer=True)
+    tb.run_until(2e6)
+    # Station 0 additionally sends a delay-sensitive CA3 flow to D.
+    CbrSource(
+        tb.env,
+        tb.stations[0],
+        dst_mac=tb.destination.mac_addr,
+        interval_us=20_000.0,  # 50 frames/s
+        priority=PriorityClass.CA3,
+    )
+    tb.faifa.clear()
+    start = tb.env.now
+    tb.run_until(start + 10e6)
+    by_lid = {}
+    for record in tb.faifa.bursts():
+        by_lid[record.link_id] = by_lid.get(record.link_id, 0) + 1
+    print(format_table(
+        ["Link ID (priority)", "bursts"],
+        sorted(by_lid.items()),
+        title="Sniffer view of a mixed-priority network (10 s)",
+    ))
+    print("-> the CA3 flow (Link ID 3) wins every priority resolution it "
+          "contends in; CA1 data fills the remaining airtime.")
+
+
+def main() -> None:
+    homogeneous_comparison()
+    mixed_priority_testbed()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: the reference simulator and the analytical model.
+
+Reproduces the paper's §4.2 example invocation
+
+    sim_1901(2, 5e8, 2920.64, 2542.64, 2050, [8 16 32 64], [0 1 3 15])
+
+(shortened to 5e7 µs here so it runs in a couple of seconds), then
+compares the simulator against the decoupling-approximation model of
+[5] for a few network sizes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CsmaConfig, ScenarioConfig, SlotSimulator, sim_1901
+from repro.analysis import Model1901
+from repro.report import format_table
+
+
+def main() -> None:
+    # --- Table 3's example call (MATLAB argument order: Tc before Ts).
+    collision_pr, throughput = sim_1901(
+        2, 5e7, 2542.64, 2920.64, 2050.0, [8, 16, 32, 64], [0, 1, 3, 15],
+        seed=1,
+    )
+    print("Reference simulator, 2 saturated stations, default 1901 config:")
+    print(f"  collision probability = {collision_pr:.4f}")
+    print(f"  normalized throughput = {throughput:.4f}")
+    print()
+
+    # --- The object API gives much more than the two scalars.
+    scenario = ScenarioConfig.homogeneous(
+        num_stations=3, sim_time_us=2e7, seed=7
+    )
+    result = SlotSimulator(scenario, record_trace=True).run()
+    print("Object API, 3 stations:")
+    print(f"  per-station successes = "
+          f"{[s.successes for s in result.stations]}")
+    print(f"  airtime breakdown     = "
+          f"{ {k: round(v, 3) for k, v in result.airtime_breakdown.items()} }")
+    print(f"  Jain fairness         = {result.jain_fairness():.4f}")
+    print()
+
+    # --- Simulator vs. the analytical model (Figure 2's two curves).
+    model = Model1901()
+    rows = []
+    for n in (1, 2, 3, 5, 7):
+        prediction = model.solve(n)
+        sim_p, sim_s = sim_1901(
+            n, 2e7, 2542.64, 2920.64, 2050.0,
+            [8, 16, 32, 64], [0, 1, 3, 15], seed=11,
+        )
+        rows.append((
+            n,
+            f"{sim_p:.4f}", f"{prediction.collision_probability:.4f}",
+            f"{sim_s:.4f}", f"{prediction.normalized_throughput:.4f}",
+        ))
+    print(format_table(
+        ["N", "sim p", "model p", "sim S", "model S"],
+        rows,
+        title="Simulation vs decoupling analysis (default 1901, CA1)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

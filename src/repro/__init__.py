@@ -1,0 +1,61 @@
+"""repro — reproduction of *Analyzing and Boosting the Performance of
+Power-Line Communication Networks* (CoNEXT 2014, Vlachou et al.).
+
+The library provides, as independent subpackages:
+
+- :mod:`repro.core` — the IEEE 1901 CSMA/CA station FSM and the
+  slot-synchronous simulator of the paper's §4.2, plus metrics;
+- :mod:`repro.analysis` — the decoupling-approximation performance
+  model ([5], ICNP 2014) and the Bianchi 802.11 baseline model;
+- :mod:`repro.boost` — configuration search ("boosting") machinery;
+- :mod:`repro.engine` — a discrete-event simulation kernel;
+- :mod:`repro.phy`, :mod:`repro.mac` — µs-resolution HomePlug AV
+  medium and full event-driven MAC (priority resolution, bursting,
+  selective acknowledgments);
+- :mod:`repro.hpav` — emulated HomePlug AV devices (MMEs, firmware
+  statistics, sniffer mode, beacons/association);
+- :mod:`repro.tools` — reimplementations of the ``ampstat`` and
+  ``faifa`` utilities operating on emulated devices, and a CLI;
+- :mod:`repro.experiments` — the §3 measurement methodology as code;
+- :mod:`repro.traffic`, :mod:`repro.report` — traffic generation and
+  text rendering of tables/figures.
+
+Quickstart::
+
+    from repro import sim_1901
+    collision_pr, throughput = sim_1901(
+        2, 5e8, 2542.64, 2920.64, 2050, [8, 16, 32, 64], [0, 1, 3, 15])
+"""
+
+from .core import (
+    AggregateResult,
+    CsmaConfig,
+    ScenarioConfig,
+    SimulationResult,
+    SlotSimulator,
+    Station,
+    StationConfig,
+    TimingConfig,
+    aggregate,
+    sim_1901,
+    simulate,
+)
+from .core.parameters import PriorityClass
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateResult",
+    "CsmaConfig",
+    "PriorityClass",
+    "ScenarioConfig",
+    "SimulationResult",
+    "SlotSimulator",
+    "Station",
+    "StationConfig",
+    "TimingConfig",
+    "aggregate",
+    "sim_1901",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Analytical performance models (decoupling approximation, [5]).
+
+- :class:`Model1901` — the 1901 model: per-station solver + fixed
+  point + renewal formulas (Figure 2's "Analysis" curve);
+- :class:`StationChain` — numerically exact per-station Markov chain;
+- :class:`RecursiveModel` — the stage-recursion formulas;
+- :class:`Bianchi80211Model` — the 802.11 DCF baseline model;
+- :mod:`repro.analysis.fixed_point` — fixed-point solvers, including
+  multi-root scanning (the coupling phenomenon of [5]);
+- :func:`network_prediction` — renewal throughput/delay formulas;
+- :func:`compare_model_to_simulation` — Figure 2 style validation.
+"""
+
+from .bianchi import Bianchi80211Model, tau_bianchi
+from .delay import DelayModel, DelayPrediction
+from .heterogeneous import (
+    GroupPrediction,
+    GroupSpec,
+    HeterogeneousModel,
+    HeterogeneousPrediction,
+)
+from .fixed_point import (
+    damped_iteration,
+    find_all_fixed_points,
+    gamma_from_tau,
+    solve_fixed_point,
+)
+from .markov import ChainSolution, StationChain
+from .model import Model1901
+from .recursive import RecursiveModel, StageQuantities, stage_quantities
+from .throughput import NetworkPrediction, network_prediction
+from .validation import ComparisonRow, compare_model_to_simulation
+
+__all__ = [
+    "Bianchi80211Model",
+    "ChainSolution",
+    "ComparisonRow",
+    "DelayModel",
+    "DelayPrediction",
+    "GroupPrediction",
+    "GroupSpec",
+    "HeterogeneousModel",
+    "HeterogeneousPrediction",
+    "Model1901",
+    "NetworkPrediction",
+    "RecursiveModel",
+    "StageQuantities",
+    "StationChain",
+    "compare_model_to_simulation",
+    "damped_iteration",
+    "find_all_fixed_points",
+    "gamma_from_tau",
+    "network_prediction",
+    "solve_fixed_point",
+    "stage_quantities",
+    "tau_bianchi",
+]

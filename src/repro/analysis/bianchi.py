@@ -1,0 +1,115 @@
+"""Bianchi's saturation model for the 802.11 DCF baseline.
+
+The classic decoupling result (Bianchi 2000): a saturated 802.11
+station with minimum window ``W`` (CW_0 = W, windows doubling over
+``m`` retry stages and capped at ``2^m · W``) attempts with
+
+    τ(γ) = 2(1 − 2γ) / ((1 − 2γ)(W + 1) + γ·W·(1 − (2γ)^m))
+
+per slot event, with γ = 1 − (1 − τ)^(N−1).  Combined with the renewal
+formulas of :mod:`repro.analysis.throughput`, this produces the 802.11
+curves the paper's companion studies ([4], [5]) compare 1901 against.
+
+Note on slot conventions: in this model (as in the reference 1901
+simulator) a busy period counts as one slot event for every station, so
+the backoff counter effectively decrements across busy events too —
+the convention under which Bianchi's formula is exact.
+"""
+
+from __future__ import annotations
+
+from ..core.config import CsmaConfig, TimingConfig
+from .fixed_point import solve_fixed_point
+from .throughput import NetworkPrediction, network_prediction
+
+__all__ = ["tau_bianchi", "Bianchi80211Model"]
+
+
+def tau_bianchi(gamma: float, cw_min: int, max_stage: int) -> float:
+    """Bianchi's τ(γ) for windows W·2^i, i = 0..max_stage.
+
+    >>> round(tau_bianchi(0.0, 16, 6), 6)  # 2/(W+1) when γ=0
+    0.117647
+    """
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+    if cw_min < 1 or max_stage < 0:
+        raise ValueError("cw_min must be >= 1 and max_stage >= 0")
+    # The textbook closed form has a removable singularity at γ = 1/2;
+    # the series evaluation below is equivalent and robust everywhere.
+    return _tau_series(gamma, cw_min, max_stage)
+
+
+def _tau_series(gamma: float, cw_min: int, max_stage: int) -> float:
+    """τ(γ) from the series form (robust at γ = 1/2).
+
+    A station at retry stage i draws from window W_i = W·2^min(i, m).
+    Renewal-reward over one frame's lifetime:
+
+        attempts  = Σ_i γ^i           (geometric, infinite retry)
+        slots     = Σ_i γ^i (W_i+1)/2
+
+        τ = attempts / slots.
+    """
+    w, m = cw_min, max_stage
+    attempts = 0.0
+    slots = 0.0
+    # Sum the infinite retry series; terms decay geometrically as γ^i
+    # (with W_i capped after stage m the tail sums in closed form).
+    term = 1.0
+    for i in range(m + 1):
+        wi = w * 2**i
+        attempts += term
+        slots += term * (wi + 1) / 2.0
+        term *= gamma
+    if gamma < 1.0:
+        # Tail i > m with W_i = W·2^m: Σ_{i>m} γ^i = term·γ/(1−γ)…
+        # ``term`` currently equals γ^(m+1).
+        tail = term / (1.0 - gamma)
+        attempts += tail
+        slots += tail * (w * 2**m + 1) / 2.0
+    return attempts / slots
+
+
+class Bianchi80211Model:
+    """Saturation throughput/collision model for 802.11 DCF."""
+
+    def __init__(
+        self,
+        cw_min: int = 16,
+        max_stage: int = 6,
+        timing: TimingConfig | None = None,
+    ) -> None:
+        self.cw_min = cw_min
+        self.max_stage = max_stage
+        self.timing = timing if timing is not None else TimingConfig()
+
+    @classmethod
+    def from_config(
+        cls, config: CsmaConfig, timing: TimingConfig | None = None
+    ) -> "Bianchi80211Model":
+        """Build from an :meth:`CsmaConfig.ieee80211`-style schedule."""
+        cw_min = config.cw[0]
+        max_stage = config.num_stages - 1
+        for i, w in enumerate(config.cw):
+            if w != cw_min * 2**i:
+                raise ValueError(
+                    "Bianchi model requires doubling windows; got "
+                    f"{config.cw}"
+                )
+        return cls(cw_min=cw_min, max_stage=max_stage, timing=timing)
+
+    def tau_of_gamma(self, gamma: float) -> float:
+        """The decoupled map γ → τ."""
+        return tau_bianchi(gamma, self.cw_min, self.max_stage)
+
+    def solve(self, num_stations: int) -> NetworkPrediction:
+        """Fixed point + renewal formulas for ``num_stations``."""
+        tau = solve_fixed_point(self.tau_of_gamma, num_stations)
+        return network_prediction(tau, num_stations, self.timing)
+
+    def collision_probability(self, num_stations: int) -> float:
+        return self.solve(num_stations).collision_probability
+
+    def normalized_throughput(self, num_stations: int) -> float:
+        return self.solve(num_stations).normalized_throughput

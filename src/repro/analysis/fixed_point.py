@@ -1,0 +1,141 @@
+"""Fixed-point machinery for decoupling-approximation models.
+
+Both the 1901 model ([5], ICNP 2014) and the Bianchi 802.11 model
+reduce to a scalar fixed point: the per-slot-event transmission
+probability τ of a station must be consistent with the medium-busy /
+collision probability γ = 1 − (1 − τ)^(N−1) that the station's backoff
+process experiences.
+
+[5] shows that for 1901 the fixed point need not be unique (the
+deferral counter couples stations more strongly than plain BEB), so in
+addition to :func:`solve_fixed_point` we provide
+:func:`find_all_fixed_points`, which scans for every sign change of the
+residual.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+from scipy.optimize import brentq
+
+__all__ = [
+    "gamma_from_tau",
+    "solve_fixed_point",
+    "find_all_fixed_points",
+    "damped_iteration",
+]
+
+_EPS = 1e-12
+
+
+def gamma_from_tau(tau: float, num_stations: int) -> float:
+    """Busy/collision probability seen by one station: 1 − (1 − τ)^(N−1)."""
+    if not 0.0 <= tau <= 1.0:
+        raise ValueError(f"tau must be in [0, 1], got {tau}")
+    if num_stations < 1:
+        raise ValueError("num_stations must be >= 1")
+    return 1.0 - (1.0 - tau) ** (num_stations - 1)
+
+
+def _residual(
+    tau: float, tau_of_gamma: Callable[[float], float], num_stations: int
+) -> float:
+    """τ − f(γ(τ)); zero at a consistent operating point."""
+    return tau - tau_of_gamma(gamma_from_tau(tau, num_stations))
+
+
+def solve_fixed_point(
+    tau_of_gamma: Callable[[float], float],
+    num_stations: int,
+    bracket: tuple = (_EPS, 1.0 - _EPS),
+    xtol: float = 1e-12,
+) -> float:
+    """Solve τ = f(1 − (1 − τ)^(N−1)) for τ via Brent's method.
+
+    Parameters
+    ----------
+    tau_of_gamma:
+        The model: attempt probability of one station given the
+        busy probability γ it experiences.
+    num_stations:
+        Number of contending stations ``N``.
+
+    For ``N == 1`` there is no coupling: returns ``f(0)`` directly.
+    """
+    if num_stations == 1:
+        return tau_of_gamma(0.0)
+    lo, hi = bracket
+    f_lo = _residual(lo, tau_of_gamma, num_stations)
+    f_hi = _residual(hi, tau_of_gamma, num_stations)
+    if f_lo == 0.0:
+        return lo
+    if f_hi == 0.0:
+        return hi
+    if f_lo * f_hi > 0:
+        # No sign change over the bracket; fall back to iteration.
+        return damped_iteration(tau_of_gamma, num_stations)
+    return float(
+        brentq(_residual, lo, hi, args=(tau_of_gamma, num_stations), xtol=xtol)
+    )
+
+
+def find_all_fixed_points(
+    tau_of_gamma: Callable[[float], float],
+    num_stations: int,
+    grid_points: int = 2000,
+) -> List[float]:
+    """Locate every fixed point by scanning for residual sign changes.
+
+    Useful to reproduce the multiple-fixed-point phenomenon [5]
+    discusses for some 1901 configurations.
+    """
+    taus = np.linspace(_EPS, 1.0 - _EPS, grid_points)
+    residuals = np.array(
+        [_residual(t, tau_of_gamma, num_stations) for t in taus]
+    )
+    roots: List[float] = []
+    for i in range(len(taus) - 1):
+        r0, r1 = residuals[i], residuals[i + 1]
+        if r0 == 0.0:
+            roots.append(float(taus[i]))
+        elif r0 * r1 < 0:
+            roots.append(
+                float(
+                    brentq(
+                        _residual,
+                        taus[i],
+                        taus[i + 1],
+                        args=(tau_of_gamma, num_stations),
+                    )
+                )
+            )
+    # Deduplicate near-identical roots.
+    unique: List[float] = []
+    for root in roots:
+        if not unique or abs(root - unique[-1]) > 1e-9:
+            unique.append(root)
+    return unique
+
+
+def damped_iteration(
+    tau_of_gamma: Callable[[float], float],
+    num_stations: int,
+    damping: float = 0.5,
+    tol: float = 1e-12,
+    max_iter: int = 10000,
+) -> float:
+    """Damped Picard iteration τ ← (1−α)τ + α·f(γ(τ)).
+
+    Robust fallback when the residual does not change sign on the
+    bracket boundary (e.g. degenerate single-slot windows).
+    """
+    tau = 0.1
+    for _ in range(max_iter):
+        nxt = tau_of_gamma(gamma_from_tau(tau, num_stations))
+        new = (1.0 - damping) * tau + damping * nxt
+        if abs(new - tau) < tol:
+            return new
+        tau = new
+    return tau

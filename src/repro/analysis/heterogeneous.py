@@ -1,0 +1,171 @@
+"""Decoupling model for heterogeneous station populations.
+
+The scalar model of :mod:`repro.analysis.model` assumes N identical
+stations.  Mixed populations — boosted next to legacy stations (X12),
+or different priority-class parameter columns contending after a tie —
+need the vector fixed point
+
+    τ_k = f_k(γ_k),    γ_k = 1 − Π_j (1 − τ_j)^{n_j − [j = k]},
+
+one equation per *group* of n_k identical stations with schedule
+config_k.  Solved by damped iteration (the maps are monotone, and the
+iteration converges quickly in practice; convergence is checked).
+
+Outputs per group: attempt probability, collision probability and
+normalized throughput share, plus the network totals — directly
+comparable to the heterogeneous slot simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.config import CsmaConfig, TimingConfig
+from .recursive import RecursiveModel
+
+__all__ = ["GroupSpec", "GroupPrediction", "HeterogeneousPrediction",
+           "HeterogeneousModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GroupSpec:
+    """One homogeneous group within a mixed population."""
+
+    config: CsmaConfig
+    count: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("group count must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class GroupPrediction:
+    """Model outputs for one group."""
+
+    label: str
+    count: int
+    tau: float
+    collision_probability: float
+    #: Normalized throughput of the whole group.
+    throughput: float
+
+    @property
+    def throughput_per_station(self) -> float:
+        return self.throughput / self.count
+
+
+@dataclasses.dataclass(frozen=True)
+class HeterogeneousPrediction:
+    """Network-level outputs of the vector fixed point."""
+
+    groups: Tuple[GroupPrediction, ...]
+    total_throughput: float
+    expected_event_duration_us: float
+    converged: bool
+
+
+class HeterogeneousModel:
+    """Vector decoupling fixed point over station groups."""
+
+    def __init__(
+        self,
+        groups: Sequence[GroupSpec],
+        timing: Optional[TimingConfig] = None,
+    ) -> None:
+        if not groups:
+            raise ValueError("need at least one group")
+        self.groups = list(groups)
+        self.timing = timing if timing is not None else TimingConfig()
+        self._solvers = [RecursiveModel(g.config) for g in self.groups]
+
+    # -- the fixed point -----------------------------------------------------
+    def _gammas(self, taus: Sequence[float]) -> List[float]:
+        """γ_k = 1 − Π_j (1 − τ_j)^(n_j − [j == k])."""
+        gammas = []
+        for k in range(len(self.groups)):
+            product = 1.0
+            for j, (group, tau) in enumerate(zip(self.groups, taus)):
+                exponent = group.count - (1 if j == k else 0)
+                product *= (1.0 - tau) ** exponent
+            gammas.append(1.0 - product)
+        return gammas
+
+    def solve_taus(
+        self,
+        damping: float = 0.5,
+        tol: float = 1e-12,
+        max_iter: int = 20_000,
+    ) -> Tuple[List[float], bool]:
+        """Damped iteration on the vector map; returns (τ, converged)."""
+        taus = [0.1] * len(self.groups)
+        for _ in range(max_iter):
+            gammas = self._gammas(taus)
+            updated = [
+                (1.0 - damping) * tau + damping * solver.tau(gamma)
+                for tau, solver, gamma in zip(taus, self._solvers, gammas)
+            ]
+            if max(abs(a - b) for a, b in zip(taus, updated)) < tol:
+                return updated, True
+            taus = updated
+        return taus, False
+
+    # -- network formulas --------------------------------------------------------
+    def solve(self) -> HeterogeneousPrediction:
+        """Solve and evaluate per-group and network metrics.
+
+        Renewal structure over slot events, as in the homogeneous case:
+        P(idle), P(success by a station of group k), P(collision), and
+        the event-duration mix give per-group throughput shares.
+        """
+        taus, converged = self.solve_taus()
+        timing = self.timing
+
+        # P(nobody transmits).
+        p_idle = 1.0
+        for group, tau in zip(self.groups, taus):
+            p_idle *= (1.0 - tau) ** group.count
+
+        # P(exactly one station of group k transmits) summed per group:
+        # n_k τ_k (1-τ_k)^(n_k-1) Π_{j≠k} (1-τ_j)^{n_j}.
+        p_success_by_group = []
+        for k, (group, tau) in enumerate(zip(self.groups, taus)):
+            term = group.count * tau * (1.0 - tau) ** (group.count - 1)
+            for j, (other, other_tau) in enumerate(
+                zip(self.groups, taus)
+            ):
+                if j != k:
+                    term *= (1.0 - other_tau) ** other.count
+            p_success_by_group.append(term)
+
+        p_success = sum(p_success_by_group)
+        p_busy = 1.0 - p_idle
+        p_collision = p_busy - p_success
+        expected_event = (
+            p_idle * timing.slot
+            + p_success * timing.ts
+            + p_collision * timing.tc
+        )
+
+        gammas = self._gammas(taus)
+        predictions = []
+        for group, tau, gamma, p_s in zip(
+            self.groups, taus, gammas, p_success_by_group
+        ):
+            predictions.append(
+                GroupPrediction(
+                    label=group.label or group.config.describe(),
+                    count=group.count,
+                    tau=tau,
+                    collision_probability=gamma,
+                    throughput=p_s * timing.frame / expected_event,
+                )
+            )
+        return HeterogeneousPrediction(
+            groups=tuple(predictions),
+            total_throughput=p_success * timing.frame / expected_event,
+            expected_event_duration_us=expected_event,
+            converged=converged,
+        )

@@ -1,0 +1,80 @@
+"""Network-level performance formulas shared by all models.
+
+Given the per-station attempt probability τ in a slot event and the
+channel-occupancy durations, the network behaves as a renewal process
+over slot events (the same structure as the reference simulator's main
+loop), yielding the standard Bianchi-style expressions for throughput,
+collision probability and delay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.config import TimingConfig
+
+__all__ = ["NetworkPrediction", "network_prediction"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkPrediction:
+    """Model outputs for a network of N homogeneous stations."""
+
+    num_stations: int
+    #: Per-station attempt probability per slot event.
+    tau: float
+    #: Collision probability of an attempt: γ = 1 − (1 − τ)^(N−1).
+    collision_probability: float
+    #: Fraction of airtime carrying frame payload.
+    normalized_throughput: float
+    #: P(slot event contains ≥ 1 attempt).
+    p_transmission: float
+    #: P(slot event is a success).
+    p_success: float
+    #: Expected duration of a slot event (µs).
+    expected_event_duration_us: float
+    #: Mean MAC access delay of a frame (µs), saturated stations.
+    mean_access_delay_us: float
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def network_prediction(
+    tau: float, num_stations: int, timing: TimingConfig
+) -> NetworkPrediction:
+    """Evaluate the renewal formulas at attempt probability ``tau``.
+
+    - P_tr  = 1 − (1 − τ)^N           (some station attempts)
+    - P_s   = N·τ·(1 − τ)^(N−1)       (exactly one attempts)
+    - E[T]  = (1 − P_tr)·σ + P_s·Ts + (P_tr − P_s)·Tc
+    - S     = P_s·L / E[T]
+    - γ     = 1 − (1 − τ)^(N−1)
+    - E[D]  = N·E[T] / P_s            (mean time between successes of a
+                                       given saturated station)
+    """
+    if not 0.0 <= tau <= 1.0:
+        raise ValueError(f"tau must be in [0, 1], got {tau}")
+    if num_stations < 1:
+        raise ValueError("num_stations must be >= 1")
+    n = num_stations
+    p_tr = 1.0 - (1.0 - tau) ** n
+    p_s = n * tau * (1.0 - tau) ** (n - 1)
+    expected = (
+        (1.0 - p_tr) * timing.slot
+        + p_s * timing.ts
+        + (p_tr - p_s) * timing.tc
+    )
+    throughput = p_s * timing.frame / expected if expected > 0 else 0.0
+    gamma = 1.0 - (1.0 - tau) ** (n - 1)
+    delay = n * expected / p_s if p_s > 0 else float("inf")
+    return NetworkPrediction(
+        num_stations=n,
+        tau=tau,
+        collision_probability=gamma,
+        normalized_throughput=throughput,
+        p_transmission=p_tr,
+        p_success=p_s,
+        expected_event_duration_us=expected,
+        mean_access_delay_us=delay,
+    )

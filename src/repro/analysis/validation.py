@@ -1,0 +1,83 @@
+"""Model-vs-simulation validation helpers (the Figure 2 methodology).
+
+The paper validates its analysis by overlaying three curves: the
+analytical model, the MAC simulator and testbed measurements.  This
+module automates the first two (the third comes from
+:mod:`repro.experiments`), producing per-N comparison rows with
+relative errors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from ..core.config import CsmaConfig, ScenarioConfig, TimingConfig
+from ..core.results import aggregate
+from ..core.simulator import simulate
+from .model import Model1901
+
+__all__ = ["ComparisonRow", "compare_model_to_simulation"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ComparisonRow:
+    """Analysis vs. simulation at one network size."""
+
+    num_stations: int
+    model_collision_probability: float
+    sim_collision_probability: float
+    model_throughput: float
+    sim_throughput: float
+
+    @property
+    def collision_probability_error(self) -> float:
+        """|model − sim| (absolute, since the values live in [0, 1])."""
+        return abs(
+            self.model_collision_probability - self.sim_collision_probability
+        )
+
+    @property
+    def throughput_relative_error(self) -> float:
+        if self.sim_throughput == 0:
+            return float("inf")
+        return (
+            abs(self.model_throughput - self.sim_throughput)
+            / self.sim_throughput
+        )
+
+
+def compare_model_to_simulation(
+    station_counts: Sequence[int],
+    config: Optional[CsmaConfig] = None,
+    timing: Optional[TimingConfig] = None,
+    sim_time_us: float = 5e7,
+    repetitions: int = 3,
+    seed: int = 1,
+    method: str = "markov",
+) -> List[ComparisonRow]:
+    """Run model and simulator over ``station_counts`` and tabulate."""
+    config = config if config is not None else CsmaConfig.default_1901()
+    timing = timing if timing is not None else TimingConfig()
+    model = Model1901(config, timing, method=method)
+    rows: List[ComparisonRow] = []
+    for n in station_counts:
+        prediction = model.solve(n)
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=n,
+            csma=config,
+            timing=timing,
+            sim_time_us=sim_time_us,
+            seed=seed,
+        )
+        agg = aggregate(simulate(scenario, repetitions=repetitions))
+        rows.append(
+            ComparisonRow(
+                num_stations=n,
+                model_collision_probability=prediction.collision_probability,
+                sim_collision_probability=agg.collision_probability,
+                model_throughput=prediction.normalized_throughput,
+                sim_throughput=agg.normalized_throughput,
+            )
+        )
+    return rows

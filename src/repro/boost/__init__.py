@@ -1,0 +1,73 @@
+"""Configuration boosting: search for better (CW, DC) schedules.
+
+- :mod:`repro.boost.objectives` — scoring objectives and the
+  protocol-independent throughput upper bound;
+- :mod:`repro.boost.search` — candidate families and model-driven
+  search, with simulation re-validation;
+- :mod:`repro.boost.tradeoff` — CW/DC ablation curves;
+- :mod:`repro.boost.adaptive` — per-N and robust recommendations plus
+  the default-vs-boosted report.
+"""
+
+from .adaptive import BoostRow, boost_report, recommend_for_n, recommend_robust
+from .asymptotics import (
+    collision_cost_slots,
+    optimal_single_stage_cw,
+    optimal_tau_asymptotic,
+)
+from .objectives import (
+    Objective,
+    mean_throughput,
+    optimal_tau,
+    throughput_at_n,
+    throughput_upper_bound,
+    worst_case_throughput,
+)
+from .search import (
+    CandidateScore,
+    default_candidates,
+    deferral_family,
+    evaluate_candidate,
+    search,
+    single_stage_family,
+    standard_family,
+    validate_by_simulation,
+)
+from .tradeoff import (
+    TradeoffPoint,
+    cw_sweep,
+    dc_sweep,
+    deferral_ablation,
+    disable_deferral,
+    scale_deferral,
+)
+
+__all__ = [
+    "BoostRow",
+    "CandidateScore",
+    "Objective",
+    "TradeoffPoint",
+    "boost_report",
+    "collision_cost_slots",
+    "cw_sweep",
+    "optimal_single_stage_cw",
+    "optimal_tau_asymptotic",
+    "dc_sweep",
+    "default_candidates",
+    "deferral_ablation",
+    "deferral_family",
+    "disable_deferral",
+    "evaluate_candidate",
+    "mean_throughput",
+    "optimal_tau",
+    "recommend_for_n",
+    "recommend_robust",
+    "scale_deferral",
+    "search",
+    "single_stage_family",
+    "standard_family",
+    "throughput_at_n",
+    "throughput_upper_bound",
+    "validate_by_simulation",
+    "worst_case_throughput",
+]

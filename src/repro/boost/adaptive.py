@@ -1,0 +1,104 @@
+"""N-aware configuration recommendation ("boosting" deliverable).
+
+Two regimes:
+
+- when the network size N is known (e.g. measured by the CCo and
+  broadcast in beacons), :func:`recommend_for_n` searches the candidate
+  families for the best schedule at that N;
+- when N is unknown, :func:`recommend_robust` maximizes the worst-case
+  throughput over an N range — the deployable recommendation.
+
+:func:`boost_report` assembles the before/after comparison (default
+1901 vs. boosted) that the benchmark suite prints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis.model import Model1901
+from ..core.config import CsmaConfig, TimingConfig
+from .objectives import (
+    throughput_at_n,
+    throughput_upper_bound,
+    worst_case_throughput,
+)
+from .search import CandidateScore, default_candidates, search
+
+__all__ = ["recommend_for_n", "recommend_robust", "BoostRow", "boost_report"]
+
+
+def recommend_for_n(
+    num_stations: int,
+    candidates: Optional[Sequence[CsmaConfig]] = None,
+    timing: Optional[TimingConfig] = None,
+) -> CandidateScore:
+    """Best candidate configuration for a known network size."""
+    pool = list(candidates) if candidates is not None else default_candidates()
+    best = search(pool, throughput_at_n(num_stations), timing, top=1)
+    return best[0]
+
+
+def recommend_robust(
+    station_counts: Sequence[int],
+    candidates: Optional[Sequence[CsmaConfig]] = None,
+    timing: Optional[TimingConfig] = None,
+) -> CandidateScore:
+    """Best worst-case candidate over a range of network sizes."""
+    pool = list(candidates) if candidates is not None else default_candidates()
+    best = search(pool, worst_case_throughput(station_counts), timing, top=1)
+    return best[0]
+
+
+@dataclasses.dataclass(frozen=True)
+class BoostRow:
+    """Default vs. boosted configuration at one network size."""
+
+    num_stations: int
+    default_throughput: float
+    boosted_throughput: float
+    upper_bound: float
+    default_collision_probability: float
+    boosted_collision_probability: float
+
+    @property
+    def gain_percent(self) -> float:
+        """Relative throughput improvement of the boosted config."""
+        if self.default_throughput == 0:
+            return float("inf")
+        return 100.0 * (
+            self.boosted_throughput / self.default_throughput - 1.0
+        )
+
+
+def boost_report(
+    station_counts: Sequence[int],
+    boosted: Optional[CsmaConfig] = None,
+    timing: Optional[TimingConfig] = None,
+) -> Tuple[CsmaConfig, List[BoostRow]]:
+    """Compare default 1901 against a boosted configuration per N.
+
+    If ``boosted`` is not given, the robust recommendation over
+    ``station_counts`` is used.
+    """
+    timing = timing if timing is not None else TimingConfig()
+    if boosted is None:
+        boosted = recommend_robust(station_counts, timing=timing).config
+    default_model = Model1901(CsmaConfig.default_1901(), timing, "recursive")
+    boosted_model = Model1901(boosted, timing, "recursive")
+    rows = []
+    for n in station_counts:
+        d = default_model.solve(n)
+        b = boosted_model.solve(n)
+        rows.append(
+            BoostRow(
+                num_stations=n,
+                default_throughput=d.normalized_throughput,
+                boosted_throughput=b.normalized_throughput,
+                upper_bound=throughput_upper_bound(n, timing),
+                default_collision_probability=d.collision_probability,
+                boosted_collision_probability=b.collision_probability,
+            )
+        )
+    return boosted, rows

@@ -1,0 +1,65 @@
+"""Closed-form guidance for window sizing (large-N asymptotics).
+
+For a slotted CSMA network the throughput-optimal attempt probability
+is approximately
+
+    τ* ≈ (1/N) · sqrt(2σ / T̄c)
+
+(σ the slot duration, T̄c the collision cost): balancing the expected
+idle time against the expected collision time per successful
+transmission.  A single-stage protocol with window W and a
+*non-expiring* deferral counter attempts with τ = 2/(W+1) regardless
+of load, so the optimal fixed window grows linearly in N:
+
+    W*(N) ≈ N · sqrt(2·T̄c/σ) − 1.
+
+Subtlety: a single-stage schedule with d₀ = 0 behaves differently —
+every busy slot makes it *redraw* BC (the 1901 jump re-enters the same
+stage), discarding countdown progress and *lowering* its attempt rate
+under load; the τ = 2/(W+1) identity needs dc = cw (no jumps).  Tests
+pin both behaviours.
+
+These formulas turn the numeric search of :mod:`repro.boost.search`
+into design rules-of-thumb; tests check them against the exact numeric
+optima.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.config import TimingConfig
+
+__all__ = [
+    "optimal_tau_asymptotic",
+    "optimal_single_stage_cw",
+    "collision_cost_slots",
+]
+
+
+def collision_cost_slots(timing: TimingConfig) -> float:
+    """Collision duration in slot units (T̄c/σ)."""
+    return timing.tc / timing.slot
+
+
+def optimal_tau_asymptotic(num_stations: int, timing: TimingConfig) -> float:
+    """τ* ≈ sqrt(2σ/Tc)/N — the classic large-N approximation."""
+    if num_stations < 1:
+        raise ValueError("num_stations must be >= 1")
+    return math.sqrt(2.0 / collision_cost_slots(timing)) / num_stations
+
+
+def optimal_single_stage_cw(
+    num_stations: int, timing: TimingConfig
+) -> int:
+    """W*(N): the throughput-optimal fixed contention window.
+
+    From τ = 2/(W+1) at the asymptotic optimum; rounded to the nearest
+    integer ≥ 2.
+
+    >>> optimal_single_stage_cw(10, TimingConfig()) >= 50
+    True
+    """
+    tau = optimal_tau_asymptotic(num_stations, timing)
+    window = 2.0 / tau - 1.0
+    return max(2, round(window))

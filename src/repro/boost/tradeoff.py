@@ -1,0 +1,137 @@
+"""CW/DC tradeoff exploration (the paper's §2 motivation, quantified).
+
+The paper's background section describes the core tradeoff: a large CW
+means few collisions but wasted backoff slots; a small CW means backoff
+efficiency but frequent collisions.  1901 resolves it by keeping CW
+small and letting the *deferral counter* raise CW preemptively when the
+medium is sensed busy often.
+
+This module produces the ablation curves that make the argument
+quantitative:
+
+- :func:`cw_sweep` — single-stage protocols across CW (no deferral, no
+  escalation): the raw tradeoff frontier;
+- :func:`dc_sweep` — the standard CW ladder with scaled deferral
+  counters, from hair-trigger (all zeros) to effectively disabled: how
+  aggressive preemptive escalation should be;
+- :func:`deferral_ablation` — 1901 default vs. the same windows with
+  deferral disabled (pure-BEB), the headline ablation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from ..analysis.model import Model1901
+from ..core.config import CsmaConfig, TimingConfig
+
+__all__ = [
+    "TradeoffPoint",
+    "cw_sweep",
+    "dc_sweep",
+    "deferral_ablation",
+    "scale_deferral",
+    "disable_deferral",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TradeoffPoint:
+    """Model outputs for one configuration at one network size."""
+
+    label: str
+    config: CsmaConfig
+    num_stations: int
+    collision_probability: float
+    normalized_throughput: float
+    tau: float
+
+
+def _point(
+    label: str, config: CsmaConfig, n: int, timing: TimingConfig
+) -> TradeoffPoint:
+    prediction = Model1901(config, timing, method="recursive").solve(n)
+    return TradeoffPoint(
+        label=label,
+        config=config,
+        num_stations=n,
+        collision_probability=prediction.collision_probability,
+        normalized_throughput=prediction.normalized_throughput,
+        tau=prediction.tau,
+    )
+
+
+def scale_deferral(config: CsmaConfig, factor: float) -> CsmaConfig:
+    """Scale all deferral counters by ``factor`` (rounded down)."""
+    if factor < 0:
+        raise ValueError("factor must be >= 0")
+    return CsmaConfig(
+        cw=config.cw,
+        dc=tuple(int(d * factor) for d in config.dc),
+        protocol=config.protocol,
+        retry_limit=config.retry_limit,
+    )
+
+
+def disable_deferral(config: CsmaConfig) -> CsmaConfig:
+    """Make every deferral counter non-expiring (pure BEB behaviour).
+
+    A deferral counter equal to the stage's window can never be
+    exhausted before the backoff counter (at most ``cw − 1`` busy slots
+    can precede expiry), so jumps never fire.
+    """
+    return CsmaConfig(
+        cw=config.cw,
+        dc=tuple(config.cw),
+        protocol=config.protocol,
+        retry_limit=config.retry_limit,
+    )
+
+
+def cw_sweep(
+    station_counts: Sequence[int],
+    cw_values: Sequence[int] = (4, 8, 16, 32, 64, 128, 256),
+    timing: Optional[TimingConfig] = None,
+) -> List[TradeoffPoint]:
+    """Single-stage fixed-CW protocols: the raw CW tradeoff."""
+    timing = timing if timing is not None else TimingConfig()
+    points = []
+    for w in cw_values:
+        config = CsmaConfig(cw=(w,), dc=(0,))
+        for n in station_counts:
+            points.append(_point(f"CW={w}", config, n, timing))
+    return points
+
+
+def dc_sweep(
+    station_counts: Sequence[int],
+    factors: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 4.0),
+    base: Optional[CsmaConfig] = None,
+    timing: Optional[TimingConfig] = None,
+) -> List[TradeoffPoint]:
+    """Scale the default deferral ladder up and down."""
+    timing = timing if timing is not None else TimingConfig()
+    base = base if base is not None else CsmaConfig.default_1901()
+    points = []
+    for factor in factors:
+        config = scale_deferral(base, factor)
+        label = f"dc×{factor:g}"
+        for n in station_counts:
+            points.append(_point(label, config, n, timing))
+    return points
+
+
+def deferral_ablation(
+    station_counts: Sequence[int],
+    timing: Optional[TimingConfig] = None,
+) -> List[TradeoffPoint]:
+    """1901 default vs. identical windows with deferral disabled."""
+    timing = timing if timing is not None else TimingConfig()
+    default = CsmaConfig.default_1901()
+    beb = disable_deferral(default)
+    points = []
+    for n in station_counts:
+        points.append(_point("1901 (with DC)", default, n, timing))
+        points.append(_point("same CWs, no DC", beb, n, timing))
+    return points

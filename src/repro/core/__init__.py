@@ -1,0 +1,52 @@
+"""Core 1901 CSMA/CA implementation: the paper's primary contribution.
+
+Public surface:
+
+- :mod:`repro.core.parameters` — the standard's constants (Table 1);
+- :class:`CsmaConfig`, :class:`TimingConfig`, :class:`StationConfig`,
+  :class:`ScenarioConfig` — configuration (Table 3);
+- :class:`Station` — the per-station backoff FSM (BC/DC/BPC);
+- :class:`SlotSimulator` / :func:`simulate` / :func:`sim_1901` — the
+  slot-synchronous simulator (§4.2);
+- :mod:`repro.core.metrics` — collision probability, throughput,
+  fairness and delay metrics;
+- :class:`SimulationResult` / :class:`AggregateResult` — results.
+"""
+
+from . import metrics, parameters
+from .parameters import PriorityClass
+from .config import (
+    CsmaConfig,
+    Protocol,
+    ScenarioConfig,
+    StationConfig,
+    TimingConfig,
+)
+from .results import AggregateResult, SimulationResult, StationStats, aggregate
+from .simulator import SlotSimulator, sim_1901, simulate
+from .station import SlotOutcome, Station, StationState
+from .trace import SlotRecord, Trace, TransmissionRecord
+
+__all__ = [
+    "AggregateResult",
+    "CsmaConfig",
+    "PriorityClass",
+    "Protocol",
+    "ScenarioConfig",
+    "SimulationResult",
+    "SlotOutcome",
+    "SlotRecord",
+    "SlotSimulator",
+    "Station",
+    "StationConfig",
+    "StationState",
+    "StationStats",
+    "TimingConfig",
+    "Trace",
+    "TransmissionRecord",
+    "aggregate",
+    "metrics",
+    "parameters",
+    "sim_1901",
+    "simulate",
+]

@@ -1,0 +1,270 @@
+"""Configuration objects for the CSMA/CA simulators (Table 3).
+
+The reference simulator is invoked as::
+
+    sim_1901(N, sim_time, Tc, Ts, frame_length, cw, dc)
+
+Here the same inputs are grouped into small dataclasses:
+
+- :class:`CsmaConfig` — the backoff parameter vectors (cw, dc) plus the
+  protocol family (1901 deferral-counter rules vs. plain 802.11 BEB);
+- :class:`TimingConfig` — slot/transmission durations (Tc, Ts, frame);
+- :class:`StationConfig` — per-station protocol + traffic behaviour;
+- :class:`ScenarioConfig` — the full simulation scenario.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Tuple
+
+from . import parameters as P
+
+__all__ = [
+    "Protocol",
+    "CsmaConfig",
+    "TimingConfig",
+    "StationConfig",
+    "ScenarioConfig",
+]
+
+
+class Protocol:
+    """Protocol family names accepted by :class:`CsmaConfig`."""
+
+    IEEE_1901 = "1901"
+    IEEE_80211 = "80211"
+
+
+@dataclasses.dataclass(frozen=True)
+class CsmaConfig:
+    """Backoff parameters of a station.
+
+    Parameters
+    ----------
+    cw:
+        Contention window per backoff stage (Table 1 column ``CW_i``).
+    dc:
+        Initial deferral-counter value per stage (column ``d_i``).  For
+        the 802.11 protocol family these are ignored (no deferral
+        counter exists); use :meth:`ieee80211` to build such a config.
+    protocol:
+        ``"1901"`` (deferral-counter rules) or ``"80211"`` (plain
+        binary exponential backoff).
+    retry_limit:
+        Maximum number of transmission attempts per frame;
+        ``None`` reproduces the paper's infinite retry limit.
+    """
+
+    cw: Tuple[int, ...] = P.CW_CA0_CA1
+    dc: Tuple[int, ...] = P.DC_CA0_CA1
+    protocol: str = Protocol.IEEE_1901
+    retry_limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cw", tuple(int(w) for w in self.cw))
+        object.__setattr__(self, "dc", tuple(int(d) for d in self.dc))
+        P.validate_schedules(self.cw, self.dc)
+        if self.protocol not in (Protocol.IEEE_1901, Protocol.IEEE_80211):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.retry_limit is not None and self.retry_limit < 1:
+            raise ValueError("retry_limit must be >= 1 or None")
+
+    @property
+    def num_stages(self) -> int:
+        """Number of backoff stages (``m`` in the reference code)."""
+        return len(self.cw)
+
+    def stage_cw(self, bpc: int) -> int:
+        """Contention window for backoff-procedure-counter value ``bpc``.
+
+        Stages beyond the last reuse the last stage's parameters, as in
+        Table 1 (``BPC >= 3`` maps to stage 3).
+        """
+        return self.cw[min(bpc, self.num_stages - 1)]
+
+    def stage_dc(self, bpc: int) -> int:
+        """Initial deferral counter for BPC value ``bpc``."""
+        return self.dc[min(bpc, self.num_stages - 1)]
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def for_priority(
+        cls, priority: P.PriorityClass, retry_limit: Optional[int] = None
+    ) -> "CsmaConfig":
+        """Standard 1901 configuration for a priority class (Table 1)."""
+        return cls(
+            cw=P.cw_schedule(priority),
+            dc=P.dc_schedule(priority),
+            protocol=Protocol.IEEE_1901,
+            retry_limit=retry_limit,
+        )
+
+    @classmethod
+    def default_1901(cls) -> "CsmaConfig":
+        """The paper's default: CA0/CA1 parameters, infinite retries."""
+        return cls.for_priority(P.PriorityClass.CA1)
+
+    @classmethod
+    def ieee80211(
+        cls,
+        cw_min: int = P.CW_80211_DEFAULT,
+        max_stage: int = P.MAX_STAGE_80211_DEFAULT,
+        retry_limit: Optional[int] = None,
+    ) -> "CsmaConfig":
+        """802.11 DCF baseline: ``CW_i = 2**i * cw_min``, no deferral.
+
+        The deferral counters are set to a value that can never expire
+        within a stage (``CW_i``), which makes the 1901 rules degenerate
+        to plain BEB; the simulator additionally short-circuits on the
+        protocol name.
+        """
+        if cw_min < 1 or max_stage < 0:
+            raise ValueError("cw_min must be >= 1 and max_stage >= 0")
+        cw = tuple(cw_min * 2**i for i in range(max_stage + 1))
+        dc = tuple(w for w in cw)  # unreachable deferral expiry
+        return cls(
+            cw=cw, dc=dc, protocol=Protocol.IEEE_80211, retry_limit=retry_limit
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        kind = "1901" if self.protocol == Protocol.IEEE_1901 else "802.11"
+        retries = "inf" if self.retry_limit is None else str(self.retry_limit)
+        return f"{kind} cw={list(self.cw)} dc={list(self.dc)} retries={retries}"
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingConfig:
+    """Channel-occupancy durations, in microseconds (Table 3 inputs).
+
+    ``ts`` / ``tc`` are the *total* durations of a successful
+    transmission / collision as seen by the contention process (they
+    include priority resolution, delimiters, inter-frame spaces and
+    acknowledgments); ``frame`` is the useful airtime counted by the
+    normalized-throughput metric.
+    """
+
+    slot: float = P.SLOT_DURATION_US
+    ts: float = P.DEFAULT_TS_US
+    tc: float = P.DEFAULT_TC_US
+    frame: float = P.DEFAULT_FRAME_US
+
+    def __post_init__(self) -> None:
+        for name in ("slot", "ts", "tc", "frame"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value <= 0:
+                raise ValueError(f"{name} must be positive and finite, got {value}")
+        if self.frame > self.ts:
+            raise ValueError(
+                f"frame duration ({self.frame}) cannot exceed the total "
+                f"successful-transmission duration ts ({self.ts})"
+            )
+
+    @classmethod
+    def paper_defaults(cls) -> "TimingConfig":
+        """The Table 3 example values."""
+        return cls()
+
+    def scaled_to_frame(self, frame_us: float) -> "TimingConfig":
+        """Return a config for a different frame duration.
+
+        Keeps the success/collision *overheads* (ts - frame, tc - frame)
+        constant, which is how the physical overheads behave when the
+        payload duration changes.
+        """
+        return dataclasses.replace(
+            self,
+            frame=frame_us,
+            ts=frame_us + (self.ts - self.frame),
+            tc=frame_us + (self.tc - self.frame),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class StationConfig:
+    """Per-station behaviour: backoff parameters + traffic model.
+
+    ``arrival_rate_pps`` of ``None`` means the station is saturated
+    (always has a frame pending), the paper's operating assumption.  A
+    finite rate enables the unsaturated extension with Poisson frame
+    arrivals and a finite queue.
+    """
+
+    csma: CsmaConfig = dataclasses.field(default_factory=CsmaConfig.default_1901)
+    priority: P.PriorityClass = P.PriorityClass.CA1
+    arrival_rate_pps: Optional[float] = None
+    queue_capacity: int = 64
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_pps is not None and self.arrival_rate_pps <= 0:
+            raise ValueError("arrival_rate_pps must be positive or None")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the station always has a frame to send."""
+        return self.arrival_rate_pps is None
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioConfig:
+    """A full simulation scenario.
+
+    The classic paper scenario (`sim_1901(N, ...)`) is ``N`` identical
+    saturated stations; :meth:`homogeneous` builds that.  Heterogeneous
+    scenarios list per-station configs explicitly.
+    """
+
+    stations: Tuple[StationConfig, ...]
+    timing: TimingConfig = dataclasses.field(default_factory=TimingConfig)
+    sim_time_us: float = P.DEFAULT_SIM_TIME_US
+    seed: Optional[int] = 1
+
+    def __post_init__(self) -> None:
+        if not self.stations:
+            raise ValueError("scenario needs at least one station")
+        if self.sim_time_us <= 0:
+            raise ValueError("sim_time_us must be positive")
+        object.__setattr__(self, "stations", tuple(self.stations))
+
+    @property
+    def num_stations(self) -> int:
+        """Number of contending stations ``N``."""
+        return len(self.stations)
+
+    @classmethod
+    def homogeneous(
+        cls,
+        num_stations: int,
+        csma: Optional[CsmaConfig] = None,
+        timing: Optional[TimingConfig] = None,
+        sim_time_us: float = P.DEFAULT_SIM_TIME_US,
+        seed: Optional[int] = 1,
+        priority: P.PriorityClass = P.PriorityClass.CA1,
+        arrival_rate_pps: Optional[float] = None,
+    ) -> "ScenarioConfig":
+        """``N`` identical stations (the paper's standard scenario)."""
+        if num_stations < 1:
+            raise ValueError("num_stations must be >= 1")
+        csma = csma if csma is not None else CsmaConfig.for_priority(priority)
+        station = StationConfig(
+            csma=csma, priority=priority, arrival_rate_pps=arrival_rate_pps
+        )
+        return cls(
+            stations=tuple(
+                dataclasses.replace(station, name=f"sta{i}")
+                for i in range(num_stations)
+            ),
+            timing=timing if timing is not None else TimingConfig(),
+            sim_time_us=sim_time_us,
+            seed=seed,
+        )
+
+    @classmethod
+    def paper_example(cls) -> "ScenarioConfig":
+        """Table 3's example call: 2 stations, defaults, 5e8 µs."""
+        return cls.homogeneous(num_stations=2)

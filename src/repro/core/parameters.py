@@ -1,0 +1,187 @@
+"""IEEE 1901 CSMA/CA protocol constants (Table 1 of the paper).
+
+This module is the single source of truth for the standard's MAC
+parameters used throughout the library:
+
+- the contention windows ``CW_i`` and initial deferral-counter values
+  ``d_i`` per backoff stage, for both priority groups (Table 1);
+- the timing constants of the HomePlug AV MAC (slot duration, priority
+  slots, inter-frame spaces) and the paper's default durations for
+  successful transmissions and collisions (Table 3's example call).
+
+All durations are in microseconds.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence, Tuple
+
+__all__ = [
+    "PriorityClass",
+    "SLOT_DURATION_US",
+    "PRS_SLOT_US",
+    "PRIORITY_RESOLUTION_US",
+    "CIFS_US",
+    "RIFS_US",
+    "DELIMITER_US",
+    "SACK_US",
+    "EIFS_US",
+    "DEFAULT_TS_US",
+    "DEFAULT_TC_US",
+    "DEFAULT_FRAME_US",
+    "DEFAULT_SIM_TIME_US",
+    "CW_CA0_CA1",
+    "DC_CA0_CA1",
+    "CW_CA2_CA3",
+    "DC_CA2_CA3",
+    "NUM_BACKOFF_STAGES",
+    "PB_SIZE_BYTES",
+    "MAX_MPDUS_PER_BURST",
+    "DEFAULT_MPDUS_PER_BURST",
+    "cw_schedule",
+    "dc_schedule",
+    "validate_schedules",
+    "CW_80211_DEFAULT",
+    "MAX_STAGE_80211_DEFAULT",
+]
+
+
+class PriorityClass(enum.IntEnum):
+    """1901 channel-access priority classes.
+
+    CA0/CA1 are used for best-effort traffic (CA1 is the default for
+    data), CA2/CA3 for delay-sensitive traffic and management messages.
+    Higher value = higher priority during the priority-resolution phase.
+    """
+
+    CA0 = 0
+    CA1 = 1
+    CA2 = 2
+    CA3 = 3
+
+    @property
+    def is_high_group(self) -> bool:
+        """Whether the class uses the CA2/CA3 parameter column."""
+        return self >= PriorityClass.CA2
+
+
+# --- Timing constants (microseconds) --------------------------------------
+
+#: Duration of one contention (backoff) time slot.  §4.2 of the paper.
+SLOT_DURATION_US = 35.84
+
+#: Duration of one priority-resolution slot (PRS0 or PRS1).
+PRS_SLOT_US = 35.84
+
+#: Total duration of the priority resolution phase (PRS0 + PRS1).
+PRIORITY_RESOLUTION_US = 2 * PRS_SLOT_US
+
+#: Contention inter-frame space (CIFS_AV).
+CIFS_US = 100.0
+
+#: Response inter-frame space (RIFS_AV, default tone-map value).
+RIFS_US = 140.0
+
+#: Duration of an AV delimiter (preamble + frame control), used for the
+#: start-of-frame delimiter and the selective acknowledgment.
+DELIMITER_US = 110.48
+
+#: Duration of a selective-acknowledgment delimiter.
+SACK_US = DELIMITER_US
+
+#: Extended inter-frame space (EIFS_AV) from the HomePlug AV spec.
+EIFS_US = 2920.64
+
+#: Paper default: total channel occupancy of a successful transmission
+#: (Table 3 example: ``sim_1901(2, 5e8, 2920.64, 2542.64, 2050, ...)``).
+DEFAULT_TS_US = 2920.64
+
+#: Paper default: total channel occupancy of a collision.
+DEFAULT_TC_US = 2542.64
+
+#: Paper default: frame duration counted as useful airtime (no overhead).
+DEFAULT_FRAME_US = 2050.0
+
+#: Paper default: simulation length (5e8 µs = 500 s).
+DEFAULT_SIM_TIME_US = 5e8
+
+
+# --- Table 1: contention windows and deferral counters --------------------
+
+#: Contention windows per backoff stage for priorities CA0/CA1.
+CW_CA0_CA1: Tuple[int, ...] = (8, 16, 32, 64)
+
+#: Initial deferral-counter values per backoff stage for CA0/CA1.
+DC_CA0_CA1: Tuple[int, ...] = (0, 1, 3, 15)
+
+#: Contention windows per backoff stage for priorities CA2/CA3.
+CW_CA2_CA3: Tuple[int, ...] = (8, 16, 16, 32)
+
+#: Initial deferral-counter values per backoff stage for CA2/CA3.
+DC_CA2_CA3: Tuple[int, ...] = (0, 1, 3, 15)
+
+#: Number of backoff stages in the standard configuration.
+NUM_BACKOFF_STAGES = 4
+
+
+# --- Framing constants (§3.1) ---------------------------------------------
+
+#: Size of a physical block (PB): the 512-byte unit frames are split into.
+PB_SIZE_BYTES = 512
+
+#: Upper limit of MPDUs per burst allowed by the standard.
+MAX_MPDUS_PER_BURST = 4
+
+#: Burst size actually used by the paper's INT6300 devices (§3.1).
+DEFAULT_MPDUS_PER_BURST = 2
+
+
+# --- 802.11 DCF baseline ----------------------------------------------------
+
+#: Default minimum contention window for the 802.11 DCF baseline
+#: (802.11a/g OFDM PHY value, as used by the comparison in [4]/[5]).
+CW_80211_DEFAULT = 16
+
+#: Default maximum backoff stage for 802.11 (CWmax = CWmin * 2**m).
+MAX_STAGE_80211_DEFAULT = 6
+
+
+def cw_schedule(priority: PriorityClass) -> Tuple[int, ...]:
+    """Return the per-stage contention windows for ``priority``.
+
+    >>> cw_schedule(PriorityClass.CA1)
+    (8, 16, 32, 64)
+    >>> cw_schedule(PriorityClass.CA3)
+    (8, 16, 16, 32)
+    """
+    return CW_CA2_CA3 if priority.is_high_group else CW_CA0_CA1
+
+
+def dc_schedule(priority: PriorityClass) -> Tuple[int, ...]:
+    """Return the per-stage initial deferral counters for ``priority``.
+
+    >>> dc_schedule(PriorityClass.CA0)
+    (0, 1, 3, 15)
+    """
+    return DC_CA2_CA3 if priority.is_high_group else DC_CA0_CA1
+
+
+def validate_schedules(cw: Sequence[int], dc: Sequence[int]) -> None:
+    """Validate a (cw, dc) schedule pair, raising ``ValueError`` if bad.
+
+    The reference simulator silently returns when the vectors have
+    different lengths; we raise instead so misconfigurations surface.
+    """
+    if len(cw) != len(dc):
+        raise ValueError(
+            f"cw and dc must have equal length, got {len(cw)} and {len(dc)}"
+        )
+    if len(cw) == 0:
+        raise ValueError("cw and dc must have at least one stage")
+    for i, w in enumerate(cw):
+        if int(w) != w or w < 1:
+            raise ValueError(f"cw[{i}] must be a positive integer, got {w!r}")
+    for i, d in enumerate(dc):
+        if int(d) != d or d < 0:
+            raise ValueError(f"dc[{i}] must be a non-negative integer, got {d!r}")

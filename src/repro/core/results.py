@@ -1,0 +1,171 @@
+"""Result containers for simulation runs.
+
+The reference simulator returns ``(collision_pr, norm_throughput)``.
+:class:`SimulationResult` exposes those two quantities with identical
+definitions, plus the per-station counters, time budget and traces the
+generalized simulator collects.  :class:`AggregateResult` averages
+repeated runs (the paper averages 10 tests for Figure 2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .config import ScenarioConfig
+from .trace import Trace
+
+__all__ = ["StationStats", "SimulationResult", "AggregateResult", "aggregate"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StationStats:
+    """Per-station counters at the end of a run."""
+
+    index: int
+    successes: int
+    collisions: int
+    drops: int
+    jumps: int
+    #: Frames that arrived (unsaturated mode; equals successes + drops +
+    #: queue remainder in saturated mode it is 0).
+    arrivals: int = 0
+    #: Frames lost to a full queue (unsaturated mode).
+    queue_losses: int = 0
+
+    @property
+    def attempts(self) -> int:
+        """Total transmission attempts (successes + collisions)."""
+        return self.successes + self.collisions
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    ``collisions`` counts one per *collided station* per collision
+    event (the reference simulator's ``collisions = collisions +
+    counter``), while ``collision_events`` counts channel events.
+    """
+
+    scenario: ScenarioConfig
+    duration_us: float
+    successes: int
+    collisions: int
+    collision_events: int
+    idle_slots: int
+    stations: List[StationStats]
+    trace: Optional[Trace] = None
+    #: Access delays (µs) of successfully delivered frames, if recorded.
+    delays_us: Optional[np.ndarray] = None
+
+    # -- the two reference outputs ----------------------------------------
+    @property
+    def collision_probability(self) -> float:
+        """``collisions / (collisions + successes)`` as in the listing.
+
+        This is the probability that a transmitted frame collides,
+        matching the testbed estimate ΣC_i / ΣA_i of §3.2.
+        """
+        total = self.collisions + self.successes
+        return self.collisions / total if total else 0.0
+
+    @property
+    def normalized_throughput(self) -> float:
+        """``successes * frame_length / t`` as in the listing."""
+        if self.duration_us <= 0:
+            return 0.0
+        return (
+            self.successes * self.scenario.timing.frame / self.duration_us
+        )
+
+    # -- additional views --------------------------------------------------
+    @property
+    def attempts(self) -> int:
+        """Total attempted transmissions across stations."""
+        return self.successes + self.collisions
+
+    @property
+    def per_station_throughput(self) -> np.ndarray:
+        """Normalized throughput each station obtained."""
+        frame = self.scenario.timing.frame
+        return np.array(
+            [s.successes * frame / self.duration_us for s in self.stations]
+        )
+
+    @property
+    def airtime_breakdown(self) -> dict:
+        """Fractions of time spent idle / in successes / in collisions."""
+        timing = self.scenario.timing
+        idle = self.idle_slots * timing.slot
+        succ = self.successes * timing.ts
+        coll = self.collision_events * timing.tc
+        total = idle + succ + coll
+        if total <= 0:
+            return {"idle": 0.0, "success": 0.0, "collision": 0.0}
+        return {
+            "idle": idle / total,
+            "success": succ / total,
+            "collision": coll / total,
+        }
+
+    def jain_fairness(self) -> float:
+        """Jain's fairness index over per-station success counts."""
+        counts = np.array([s.successes for s in self.stations], dtype=float)
+        total = counts.sum()
+        if total == 0:
+            return 1.0
+        return float(total**2 / (len(counts) * (counts**2).sum()))
+
+
+@dataclasses.dataclass(frozen=True)
+class AggregateResult:
+    """Mean and spread of a metric over repeated seeded runs."""
+
+    runs: List[SimulationResult]
+
+    def __post_init__(self) -> None:
+        if not self.runs:
+            raise ValueError("AggregateResult needs at least one run")
+
+    def _values(self, metric: str) -> np.ndarray:
+        return np.array([getattr(run, metric) for run in self.runs])
+
+    @property
+    def collision_probability(self) -> float:
+        return float(self._values("collision_probability").mean())
+
+    @property
+    def collision_probability_std(self) -> float:
+        return float(self._values("collision_probability").std(ddof=0))
+
+    @property
+    def normalized_throughput(self) -> float:
+        return float(self._values("normalized_throughput").mean())
+
+    @property
+    def normalized_throughput_std(self) -> float:
+        return float(self._values("normalized_throughput").std(ddof=0))
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.runs)
+
+    def confidence_interval(
+        self, metric: str = "collision_probability", z: float = 1.96
+    ) -> tuple:
+        """Normal-approximation CI half-width around the mean."""
+        values = self._values(metric)
+        mean = float(values.mean())
+        if len(values) < 2:
+            return (mean, 0.0)
+        half = z * float(values.std(ddof=1)) / math.sqrt(len(values))
+        return (mean, half)
+
+
+def aggregate(runs: Sequence[SimulationResult]) -> AggregateResult:
+    """Bundle repeated runs into an :class:`AggregateResult`."""
+    return AggregateResult(list(runs))

@@ -1,0 +1,97 @@
+"""Trace records produced by the simulators.
+
+Two granularities:
+
+- :class:`TransmissionRecord` — one row per channel event (success or
+  collision), enough for fairness and delay studies (the report's §3.3
+  "trace of the sources for all the transmitted data frames");
+- :class:`SlotRecord` — one row per slot event with the full per-station
+  counter state, used to reproduce Figure 1's worked example.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+__all__ = ["TransmissionRecord", "SlotRecord", "Trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TransmissionRecord:
+    """One transmission event on the medium.
+
+    ``stations`` lists the indices of all stations that attempted in
+    this slot event (a single element for a success).
+    """
+
+    time_us: float
+    outcome: str  # "success" | "collision"
+    stations: Tuple[int, ...]
+    winner: Optional[int]
+    #: Backoff stage each attempting station was in (parallel to
+    #: ``stations``).
+    stages: Tuple[int, ...]
+
+    @property
+    def is_collision(self) -> bool:
+        return self.outcome == "collision"
+
+
+@dataclasses.dataclass(frozen=True)
+class SlotRecord:
+    """Full per-station counter snapshot for one slot event.
+
+    ``per_station`` holds ``(stage, cw, dc, bc)`` tuples *after* the
+    contention phase of the slot (i.e. the values Figure 1 tabulates).
+    """
+
+    time_us: float
+    outcome: str  # "idle" | "success" | "collision"
+    per_station: Tuple[Tuple[int, int, int, int], ...]
+
+
+class Trace:
+    """Container accumulating both granularities of trace records."""
+
+    def __init__(self, record_slots: bool = False) -> None:
+        self.transmissions: List[TransmissionRecord] = []
+        self.slots: List[SlotRecord] = []
+        self.record_slots = record_slots
+
+    def __len__(self) -> int:
+        return len(self.transmissions)
+
+    def add_transmission(self, record: TransmissionRecord) -> None:
+        self.transmissions.append(record)
+
+    def add_slot(self, record: SlotRecord) -> None:
+        if self.record_slots:
+            self.slots.append(record)
+
+    # -- views -----------------------------------------------------------
+    def success_times(self, station: Optional[int] = None) -> List[float]:
+        """Timestamps of successes (optionally for one station)."""
+        return [
+            r.time_us
+            for r in self.transmissions
+            if r.winner is not None
+            and (station is None or r.winner == station)
+        ]
+
+    def winners(self) -> List[int]:
+        """Sequence of winning station indices, in time order."""
+        return [
+            r.winner for r in self.transmissions if r.winner is not None
+        ]
+
+    def collision_times(self) -> List[float]:
+        return [r.time_us for r in self.transmissions if r.is_collision]
+
+    def stage_at_attempt_counts(self, num_stages: int) -> List[int]:
+        """Histogram of backoff stages over all transmission attempts."""
+        counts = [0] * num_stages
+        for record in self.transmissions:
+            for stage in record.stages:
+                counts[min(stage, num_stages - 1)] += 1
+        return counts

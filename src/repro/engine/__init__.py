@@ -1,0 +1,45 @@
+"""A small discrete-event simulation kernel (offline stand-in for SimPy).
+
+The kernel provides:
+
+- :class:`Environment` — event queue, clock, ``run``/``step``;
+- :class:`Event`, :class:`Timeout`, :class:`AnyOf`, :class:`AllOf` —
+  event primitives and composition;
+- :class:`Process` — generator-based coroutine processes with
+  interrupt support;
+- :class:`Resource`, :class:`Store` — shared resources;
+- :class:`RandomStreams` — named, reproducible random substreams.
+
+The µs-resolution MAC emulation (:mod:`repro.mac`) and the HomePlug AV
+testbed emulation (:mod:`repro.hpav`) are built on this kernel.
+"""
+
+from .environment import Environment
+from .errors import EmptySchedule, EngineError, Interrupt, StopSimulation
+from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from .process import Process
+from .randomness import RandomStreams, uniform_backoff
+from .resources import Release, Request, Resource, Store, StoreGet, StorePut
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "EmptySchedule",
+    "EngineError",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "Release",
+    "Request",
+    "Resource",
+    "StopSimulation",
+    "Store",
+    "StoreGet",
+    "StorePut",
+    "Timeout",
+    "uniform_backoff",
+]

@@ -1,0 +1,150 @@
+"""The discrete-event simulation environment (scheduler and clock)."""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from math import inf
+from typing import Any, Generator, List, Optional, Tuple
+
+from .errors import EmptySchedule, StopSimulation
+from .events import AllOf, AnyOf, Event, NORMAL, Timeout
+from .process import Process
+
+__all__ = ["Environment"]
+
+
+class Environment:
+    """Execution environment for an event-driven simulation.
+
+    Time advances by stepping from one scheduled event to the next.
+    Events scheduled for the same time are processed in priority order
+    (urgent first), then FIFO order of scheduling.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock.  The MAC emulation uses
+        microseconds; the engine itself is unit-agnostic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = initial_time
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_proc: Optional[Process] = None
+
+    def __repr__(self) -> str:
+        return f"<Environment(now={self._now}, queued={len(self._queue)})>"
+
+    # -- clock ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    # -- event factories -------------------------------------------------
+    def event(self) -> Event:
+        """Create a new, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` from ``generator``."""
+        return Process(self, generator)
+
+    def any_of(self, events) -> AnyOf:
+        """Condition triggering when any of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        """Condition triggering when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(
+        self, event: Event, priority: int = NORMAL, delay: float = 0.0
+    ) -> None:
+        """Schedule ``event`` for processing after ``delay``."""
+        self._eid += 1
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else inf
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events left") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            # An event failed and nothing handled the failure.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until ``until`` (a time, an event, or exhaustion).
+
+        - ``until`` is ``None``: run until no events remain.
+        - ``until`` is a number: run until the clock reaches it.
+        - ``until`` is an :class:`Event`: run until it is processed and
+          return its value.
+        """
+        if until is not None:
+            if isinstance(until, Event):
+                if until.callbacks is None:
+                    # Already processed.
+                    return until.value
+                until.callbacks.append(_stop_callback)
+            else:
+                at = float(until)
+                if at <= self._now:
+                    raise ValueError(
+                        f"until ({at}) must be greater than the current "
+                        f"simulation time ({self._now})"
+                    )
+                event = Event(self)
+                event._ok = True
+                event._value = None
+                self.schedule(event, priority=0, delay=at - self._now)
+                event.callbacks.append(_stop_callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            if isinstance(until, Event) and not until.triggered:
+                raise RuntimeError(
+                    "no scheduled events left but `until` event was not "
+                    "triggered"
+                ) from None
+        return None
+
+
+def _stop_callback(event: Event) -> None:
+    """Callback stopping :meth:`Environment.run` when ``event`` fires."""
+    if event._ok:
+        raise StopSimulation(event._value)
+    raise event._value

@@ -1,0 +1,42 @@
+"""Exception types raised by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class StopSimulation(EngineError):
+    """Raised internally to halt :meth:`Environment.run` at ``until``.
+
+    Users never need to raise this directly; it is also the mechanism
+    behind ``Environment.run(until=event)``.
+    """
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class EmptySchedule(EngineError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Interrupt(EngineError):
+    """Raised inside a process that another process interrupted.
+
+    Parameters
+    ----------
+    cause:
+        Arbitrary object describing why the interrupt happened.  It is
+        available as :attr:`cause` in the interrupted process.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]

@@ -1,0 +1,265 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The design follows the classic callback-driven architecture popularized
+by SimPy (which is unavailable in this offline environment): an
+:class:`Event` moves through three states — *pending*, *triggered*
+(scheduled with a value or an exception) and *processed* (its callbacks
+have run).  Processes (see :mod:`repro.engine.process`) suspend by
+yielding events and are resumed from the event's callback list.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+__all__ = [
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "ConditionValue",
+]
+
+#: Sentinel for the value of an event that has not been triggered yet.
+PENDING = object()
+
+#: Scheduling priority for events that must run before same-time events.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    Callbacks appended to :attr:`callbacks` are invoked with the event
+    itself as sole argument when the event is processed.
+    """
+
+    def __init__(self, env: "Environment") -> None:  # noqa: F821
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        #: Set to ``True`` by a process when it handles a failed event,
+        #: to acknowledge the exception (otherwise it propagates out of
+        #: :meth:`Environment.step`).
+        self.defused: bool = False
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__} object at {id(self):#x}>"
+
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has been scheduled with a value."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded (valid once triggered)."""
+        if not self.triggered:
+            raise AttributeError("value of event is not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with."""
+        if self._value is PENDING:
+            raise AttributeError("value of event is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event.
+
+        Used as a callback to chain events together.
+        """
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    # -- composition ---------------------------------------------------
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_events, [self, other])
+
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+
+class Timeout(Event):
+    """An event that fires after ``delay`` units of simulated time."""
+
+    def __init__(
+        self,
+        env: "Environment",  # noqa: F821
+        delay: float,
+        value: Any = None,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout({self._delay}) object at {id(self):#x}>"
+
+    @property
+    def delay(self) -> float:
+        """The delay this timeout was created with."""
+        return self._delay
+
+
+class ConditionValue:
+    """Ordered mapping from events to values for triggered conditions."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(str(key))
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()}>"
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def keys(self) -> List[Event]:
+        return list(self.events)
+
+    def values(self) -> List[Any]:
+        return [e._value for e in self.events]
+
+    def items(self):
+        return [(e, e._value) for e in self.events]
+
+    def todict(self) -> dict:
+        return dict(self.items())
+
+
+class Condition(Event):
+    """Composite event that triggers when ``evaluate`` is satisfied.
+
+    ``evaluate`` receives the list of composed events and the count of
+    already-triggered ones, and returns ``True`` when the condition
+    holds.  :class:`AnyOf` and :class:`AllOf` are the common cases.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",  # noqa: F821
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("mixing events from different environments")
+
+        # Immediately evaluate in case of zero events or all-processed.
+        if self._evaluate(self._events, self._count):
+            self.succeed(ConditionValue())
+            return
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _populate_value(self, value: ConditionValue) -> None:
+        for event in self._events:
+            if isinstance(event, Condition):
+                event._populate_value(value)
+            elif event.callbacks is None:
+                value.events.append(event)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            # A failed sub-event fails the condition.
+            event.defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            value = ConditionValue()
+            # Collection of values happens at processing time so that
+            # simultaneous events are included.
+            self.succeed(value)
+            self.callbacks.insert(0, self._collect)
+
+    def _collect(self, _event: Event) -> None:
+        assert isinstance(self._value, ConditionValue)
+        self._populate_value(self._value)
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        """Evaluator: all composed events have triggered."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        """Evaluator: at least one composed event has triggered."""
+        return count > 0 or not events
+
+
+class AnyOf(Condition):
+    """Condition that triggers when any of ``events`` triggers."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:  # noqa: F821
+        super().__init__(env, Condition.any_events, events)
+
+
+class AllOf(Condition):
+    """Condition that triggers when all of ``events`` have triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:  # noqa: F821
+        super().__init__(env, Condition.all_events, events)

@@ -1,0 +1,139 @@
+"""Generator-based processes for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from .errors import Interrupt
+from .events import Event, PENDING, URGENT
+
+__all__ = ["Process", "Initialize", "Interruption"]
+
+
+class Initialize(Event):
+    """Urgent event that starts a freshly created :class:`Process`."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:  # noqa: F821
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Interruption(Event):
+    """Urgent event that delivers an :class:`Interrupt` to a process."""
+
+    def __init__(self, process: "Process", cause: object) -> None:
+        super().__init__(process.env)
+        self.callbacks = [self._interrupt]
+        self._ok = False
+        self._value = Interrupt(cause)
+        self.defused = True
+        self.process = process
+        self.env.schedule(self, priority=URGENT)
+
+    def _interrupt(self, event: Event) -> None:
+        process = self.process
+        if not process.is_alive:
+            # The process terminated before the interrupt could arrive.
+            return
+        # Unsubscribe the process from the event it is waiting for.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            target.callbacks.remove(process._resume)
+        process._resume(self)
+
+
+class Process(Event):
+    """A process executing a generator function.
+
+    The process suspends whenever the generator yields an
+    :class:`Event` and resumes once that event is processed.  The
+    process itself is an event that triggers when the generator
+    terminates (its value is the generator's return value).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:  # noqa: F821
+        if not hasattr(generator, "throw"):
+            raise ValueError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", repr(self._generator))
+        return f"<Process({name}) object at {id(self):#x}>"
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` until the generator terminates."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: object = None) -> None:
+        """Interrupt this process, raising :class:`Interrupt` inside it."""
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with the value of ``event``."""
+        env = self.env
+        env._active_proc = self
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The event failed; throw its exception into the
+                    # generator.  Mark it defused: the process now owns
+                    # the error.
+                    event.defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                # Process finished.
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                break
+            except BaseException as exc:
+                # Process failed.
+                self._ok = False
+                self._value = exc
+                # Remember the traceback for debugging.
+                self.defused = False
+                env.schedule(self)
+                break
+
+            # Process the event the generator yielded.
+            if not isinstance(next_event, Event):
+                # Deliver the error into the generator on the next
+                # iteration so it surfaces as a normal process failure.
+                error = Event(env)
+                error._ok = False
+                error._value = TypeError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+                error.defused = True
+                error.callbacks = None
+                event = error
+                continue
+            if next_event.callbacks is not None:
+                # Event not yet processed: suspend until it is.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: continue immediately with its
+            # value (or exception).
+            event = next_event
+
+        env._active_proc = None

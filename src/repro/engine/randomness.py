@@ -1,0 +1,97 @@
+"""Seeded random-number streams for reproducible simulations.
+
+Every stochastic component of the simulator (each station's backoff
+draws, each traffic source, the management-message scheduler, ...)
+pulls from its own independent substream derived from a single root
+seed, so results are reproducible and adding a component never
+perturbs the draws of another.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["RandomStreams", "uniform_backoff"]
+
+
+class RandomStreams:
+    """A tree of named, independent random substreams.
+
+    Parameters
+    ----------
+    seed:
+        Root seed.  ``None`` draws OS entropy (non-reproducible).
+
+    Examples
+    --------
+    >>> streams = RandomStreams(7)
+    >>> rng = streams.stream("station", 0)
+    >>> int(rng.integers(0, 8)) in range(8)
+    True
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._root = np.random.SeedSequence(seed)
+        self._streams: Dict[tuple, np.random.Generator] = {}
+        self.seed = seed
+
+    def stream(self, *key: object) -> np.random.Generator:
+        """Return the generator for ``key``, creating it on first use.
+
+        The same key always maps to the same substream for a given root
+        seed, regardless of creation order.
+        """
+        k = tuple(key)
+        if k not in self._streams:
+            # Derive a child deterministically from the key's hash-free
+            # representation: spawn keys must be integers, so fold the
+            # repr of the key into words appended to the root's own
+            # spawn key (preserving any `spawn` lineage).
+            words = [w % (2**32) for w in _key_words(k)]
+            child = np.random.SeedSequence(
+                entropy=self._root.entropy,
+                spawn_key=tuple(self._root.spawn_key) + tuple(words),
+            )
+            self._streams[k] = np.random.default_rng(child)
+        return self._streams[k]
+
+    def spawn(self, *key: object) -> "RandomStreams":
+        """Create an independent child tree (e.g. per repetition)."""
+        child = RandomStreams.__new__(RandomStreams)
+        words = [w % (2**32) for w in _key_words(tuple(key))]
+        child._root = np.random.SeedSequence(
+            entropy=self._root.entropy,
+            spawn_key=tuple(self._root.spawn_key)
+            + tuple(words)
+            + (0xC0FFEE,),
+        )
+        child._streams = {}
+        child.seed = self.seed
+        return child
+
+
+def _key_words(key: tuple) -> list:
+    """Map an arbitrary key tuple to a deterministic list of ints."""
+    words = []
+    for part in key:
+        if isinstance(part, (int, np.integer)):
+            words.append(int(part) & 0xFFFFFFFF)
+        else:
+            # Stable across processes (unlike hash()): fold UTF-8 bytes.
+            acc = 2166136261
+            for byte in str(part).encode("utf-8"):
+                acc = ((acc ^ byte) * 16777619) & 0xFFFFFFFF
+            words.append(acc)
+    return words or [0]
+
+
+def uniform_backoff(rng: np.random.Generator, contention_window: int) -> int:
+    """Draw a backoff counter uniformly from {0, ..., CW - 1}.
+
+    This matches the reference simulator's ``unidrnd(CW) - 1``.
+    """
+    if contention_window < 1:
+        raise ValueError(f"contention window must be >= 1, got {contention_window}")
+    return int(rng.integers(0, contention_window))

@@ -1,0 +1,190 @@
+"""Shared resources for processes: capacity-limited resources and stores."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from .events import Event
+
+__all__ = ["Resource", "Request", "Release", "Store", "StorePut", "StoreGet"]
+
+
+class Request(Event):
+    """Request event for acquiring a :class:`Resource` slot.
+
+    Usable as a context manager so the slot is always released::
+
+        with resource.request() as req:
+            yield req
+            ...
+    """
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._trigger_requests()
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted request from the wait queue."""
+        if self in self.resource._queue:
+            self.resource._queue.remove(self)
+
+
+class Release(Event):
+    """Event that releases a previously granted :class:`Request`."""
+
+    def __init__(self, resource: "Resource", request: Request) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.request = request
+        resource._do_release(request)
+        self.succeed()
+
+
+class Resource:
+    """A resource with ``capacity`` usage slots and a FIFO wait queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:  # noqa: F821
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self._users: List[Request] = []
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def capacity(self) -> int:
+        """Total number of usage slots."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self._users)
+
+    @property
+    def queue(self) -> Deque[Request]:
+        """Pending (not yet granted) requests."""
+        return self._queue
+
+    def request(self) -> Request:
+        """Request a usage slot."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Release a granted slot (or cancel a pending request)."""
+        return Release(self, request)
+
+    def _do_release(self, request: Request) -> None:
+        if request in self._users:
+            self._users.remove(request)
+        else:
+            request.cancel()
+        self._trigger_requests()
+
+    def _trigger_requests(self) -> None:
+        while self._queue and len(self._users) < self._capacity:
+            req = self._queue.popleft()
+            self._users.append(req)
+            req.succeed()
+
+
+class StorePut(Event):
+    """Event for putting ``item`` into a :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    """Event for getting an item out of a :class:`Store`."""
+
+    def __init__(
+        self, store: "Store", filter: Optional[Callable[[Any], bool]] = None
+    ) -> None:
+        super().__init__(store.env)
+        self.filter = filter
+        store._get_queue.append(self)
+        store._trigger()
+
+    def cancel(self) -> None:
+        """Withdraw an unfulfilled get request."""
+        if self in self.env_store._get_queue:  # pragma: no cover - defensive
+            self.env_store._get_queue.remove(self)
+
+
+class Store:
+    """A FIFO store of Python objects with optional capacity.
+
+    ``get(filter=...)`` retrieves the first item matching the filter
+    (making this a combined Store/FilterStore).
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:  # noqa: F821
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self.items: List[Any] = []
+        self._put_queue: Deque[StorePut] = deque()
+        self._get_queue: Deque[StoreGet] = deque()
+
+    @property
+    def capacity(self) -> float:
+        """Maximum number of stored items."""
+        return self._capacity
+
+    def put(self, item: Any) -> StorePut:
+        """Put ``item`` into the store (waits while full)."""
+        return StorePut(self, item)
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Get the first item (matching ``filter`` if given)."""
+        event = StoreGet(self, filter)
+        event.env_store = self
+        return event
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit pending puts while capacity allows.
+            while self._put_queue and len(self.items) < self._capacity:
+                put = self._put_queue.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            # Serve pending gets for which an item is available.
+            served: List[StoreGet] = []
+            for get in list(self._get_queue):
+                match: Any = _MISSING
+                if get.filter is None:
+                    if self.items:
+                        match = self.items[0]
+                else:
+                    for item in self.items:
+                        if get.filter(item):
+                            match = item
+                            break
+                if match is not _MISSING:
+                    self.items.remove(match)
+                    get.succeed(match)
+                    served.append(get)
+                    progressed = True
+            for get in served:
+                self._get_queue.remove(get)
+
+
+#: Sentinel distinguishing "no matching item" from a stored ``None``.
+_MISSING = object()

@@ -1,0 +1,80 @@
+"""The paper's measurement methodology as executable experiments."""
+
+from .channel_errors import ChannelErrorPoint, error_rate_sweep
+from .coexistence import (
+    CoexistenceResult,
+    adoption_sweep,
+    coexistence_experiment,
+)
+from .coupling import CouplingResult, measure_coupling
+from .collision_probability import (
+    Figure2Point,
+    Table2Row,
+    figure2_data,
+    table2_data,
+)
+from .rate_diversity import (
+    RateDiversityResult,
+    anomaly_sweep,
+    rate_diversity_experiment,
+)
+from .unsaturated import LoadPoint, offered_load_sweep, saturation_rate_pps
+from .fairness import (
+    FairnessResult,
+    fairness_by_simulation,
+    fairness_by_testbed,
+    jain_vs_window,
+)
+from .mme_overhead import (
+    MmeOverheadResult,
+    measure_mme_overhead,
+    overhead_vs_n,
+)
+from .procedures import (
+    DEFAULT_TEST_DURATION_US,
+    DEFAULT_WARMUP_US,
+    CollisionTest,
+    CollisionTestSeries,
+    repeat_tests,
+    run_collision_test,
+)
+from .sweeps import SweepPoint, standard_protocol_sweep, sweep_configuration
+from .testbed import Testbed, build_testbed
+
+__all__ = [
+    "ChannelErrorPoint",
+    "CoexistenceResult",
+    "CollisionTest",
+    "CouplingResult",
+    "measure_coupling",
+    "adoption_sweep",
+    "coexistence_experiment",
+    "LoadPoint",
+    "RateDiversityResult",
+    "anomaly_sweep",
+    "error_rate_sweep",
+    "rate_diversity_experiment",
+    "offered_load_sweep",
+    "saturation_rate_pps",
+    "CollisionTestSeries",
+    "DEFAULT_TEST_DURATION_US",
+    "DEFAULT_WARMUP_US",
+    "FairnessResult",
+    "Figure2Point",
+    "MmeOverheadResult",
+    "SweepPoint",
+    "Table2Row",
+    "Testbed",
+    "build_testbed",
+    "fairness_by_simulation",
+    "fairness_by_testbed",
+    "jain_vs_window",
+    "figure2_data",
+    "measure_mme_overhead",
+    "overhead_vs_n",
+    "repeat_tests",
+    "run_collision_test",
+    "standard_protocol_sweep",
+    "sweep_configuration",
+    "table2_data",
+]

@@ -1,0 +1,110 @@
+"""Coexistence: boosted stations sharing the channel with legacy ones.
+
+A deployment question the boosting results raise: if some adapters
+adopt a boosted (CW, DC) schedule while others keep the 1901 default,
+who wins?  The heterogeneous slot simulator answers directly.
+
+Typical outcome: the boosted schedule is *more polite* (larger
+windows), so legacy stations grab a disproportionate share while
+overall efficiency still improves — upgrade incentives matter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import (
+    CsmaConfig,
+    ScenarioConfig,
+    StationConfig,
+    TimingConfig,
+)
+from ..core.simulator import SlotSimulator
+
+__all__ = ["CoexistenceResult", "coexistence_experiment", "adoption_sweep"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CoexistenceResult:
+    """Per-group outcomes of one mixed-population run."""
+
+    num_boosted: int
+    num_legacy: int
+    boosted_throughput: float
+    legacy_throughput: float
+    total_throughput: float
+    collision_probability: float
+
+    @property
+    def per_boosted_station(self) -> float:
+        if self.num_boosted == 0:
+            return 0.0
+        return self.boosted_throughput / self.num_boosted
+
+    @property
+    def per_legacy_station(self) -> float:
+        if self.num_legacy == 0:
+            return 0.0
+        return self.legacy_throughput / self.num_legacy
+
+
+def coexistence_experiment(
+    num_boosted: int,
+    num_legacy: int,
+    boosted: Optional[CsmaConfig] = None,
+    timing: Optional[TimingConfig] = None,
+    sim_time_us: float = 2e7,
+    seed: int = 1,
+) -> CoexistenceResult:
+    """Run a mixed population of boosted and default stations."""
+    if num_boosted < 0 or num_legacy < 0 or num_boosted + num_legacy < 1:
+        raise ValueError("need at least one station")
+    boosted = (
+        boosted
+        if boosted is not None
+        else CsmaConfig(cw=(32, 128, 512, 2048), dc=(7, 15, 31, 63))
+    )
+    timing = timing if timing is not None else TimingConfig()
+    stations = tuple(
+        StationConfig(csma=boosted, name=f"boosted{i}")
+        for i in range(num_boosted)
+    ) + tuple(
+        StationConfig(csma=CsmaConfig.default_1901(), name=f"legacy{i}")
+        for i in range(num_legacy)
+    )
+    scenario = ScenarioConfig(
+        stations=stations, timing=timing, sim_time_us=sim_time_us, seed=seed
+    )
+    result = SlotSimulator(scenario).run()
+    shares = result.per_station_throughput
+    return CoexistenceResult(
+        num_boosted=num_boosted,
+        num_legacy=num_legacy,
+        boosted_throughput=float(np.sum(shares[:num_boosted])),
+        legacy_throughput=float(np.sum(shares[num_boosted:])),
+        total_throughput=result.normalized_throughput,
+        collision_probability=result.collision_probability,
+    )
+
+
+def adoption_sweep(
+    total_stations: int = 10,
+    boosted_counts: Sequence[int] = (0, 2, 5, 8, 10),
+    boosted: Optional[CsmaConfig] = None,
+    sim_time_us: float = 2e7,
+    seed: int = 1,
+) -> List[CoexistenceResult]:
+    """Sweep the fraction of upgraded stations at fixed network size."""
+    return [
+        coexistence_experiment(
+            num_boosted=k,
+            num_legacy=total_stations - k,
+            boosted=boosted,
+            sim_time_us=sim_time_us,
+            seed=seed,
+        )
+        for k in boosted_counts
+    ]

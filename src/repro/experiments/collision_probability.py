@@ -1,0 +1,115 @@
+"""Figure 2 and Table 2: collision probability vs. number of stations.
+
+Three estimates per network size N, as in the paper:
+
+- **measurement** — the emulated HomePlug AV testbed driven through
+  the §3.2 ampstat procedure (ΣC_i / ΣA_i, averaged over tests);
+- **simulation** — the slot-synchronous MAC simulator of §4.2;
+- **analysis** — the decoupling model of [5].
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from ..analysis.model import Model1901
+from ..core.config import CsmaConfig, ScenarioConfig, TimingConfig
+from ..core.results import aggregate
+from ..core.simulator import simulate
+from .procedures import CollisionTestSeries, repeat_tests
+
+__all__ = ["Figure2Point", "figure2_data", "Table2Row", "table2_data"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Figure2Point:
+    """One x-position of Figure 2."""
+
+    num_stations: int
+    measured: float
+    measured_std: float
+    simulated: float
+    analytical: float
+
+
+def figure2_data(
+    station_counts: Sequence[int] = tuple(range(1, 8)),
+    test_duration_us: float = 24e6,
+    test_repetitions: int = 3,
+    sim_time_us: float = 5e7,
+    sim_repetitions: int = 3,
+    seed: int = 1,
+    config: Optional[CsmaConfig] = None,
+    timing: Optional[TimingConfig] = None,
+) -> List[Figure2Point]:
+    """Compute the three Figure 2 curves.
+
+    Defaults are scaled down from the paper's 240 s × 10 tests to keep
+    the benchmark quick; pass ``test_duration_us=240e6,
+    test_repetitions=10`` for the full procedure.
+    """
+    config = config if config is not None else CsmaConfig.default_1901()
+    timing = timing if timing is not None else TimingConfig()
+    model = Model1901(config, timing)
+    points = []
+    for n in station_counts:
+        series = repeat_tests(
+            n,
+            repetitions=test_repetitions,
+            duration_us=test_duration_us,
+            seed=seed,
+        )
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=n,
+            csma=config,
+            timing=timing,
+            sim_time_us=sim_time_us,
+            seed=seed,
+        )
+        agg = aggregate(simulate(scenario, repetitions=sim_repetitions))
+        points.append(
+            Figure2Point(
+                num_stations=n,
+                measured=series.collision_probability,
+                measured_std=series.collision_probability_std,
+                simulated=agg.collision_probability,
+                analytical=model.collision_probability(n),
+            )
+        )
+    return points
+
+
+@dataclasses.dataclass(frozen=True)
+class Table2Row:
+    """One row of Table 2: ΣC_i and ΣA_i for a network size."""
+
+    num_stations: int
+    sum_collided: int
+    sum_acked: int
+
+    @property
+    def collision_probability(self) -> float:
+        return self.sum_collided / self.sum_acked if self.sum_acked else 0.0
+
+
+def table2_data(
+    station_counts: Sequence[int] = tuple(range(1, 8)),
+    duration_us: float = 240e6,
+    seed: int = 1,
+) -> List[Table2Row]:
+    """Regenerate Table 2: one test per N at the paper's duration."""
+    rows = []
+    for n in station_counts:
+        series: CollisionTestSeries = repeat_tests(
+            n, repetitions=1, duration_us=duration_us, seed=seed
+        )
+        test = series.tests[0]
+        rows.append(
+            Table2Row(
+                num_stations=n,
+                sum_collided=test.sum_collided,
+                sum_acked=test.sum_acked,
+            )
+        )
+    return rows

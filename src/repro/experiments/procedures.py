@@ -1,0 +1,155 @@
+"""The §3.2 measurement procedure, as executable code.
+
+One *test*: bring the testbed up (association, beacon lock), reset the
+transmit statistics of all stations, run for the test duration, then
+retrieve ΣC_i and ΣA_i with ampstat and evaluate the collision
+probability as ΣC_i / ΣA_i.  :func:`repeat_tests` averages several
+independently seeded tests (the paper averages 10).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from .testbed import Testbed, build_testbed
+
+__all__ = [
+    "CollisionTest",
+    "CollisionTestSeries",
+    "run_collision_test",
+    "repeat_tests",
+    "DEFAULT_TEST_DURATION_US",
+    "DEFAULT_WARMUP_US",
+]
+
+#: The paper's test duration: 240 s.
+DEFAULT_TEST_DURATION_US = 240e6
+
+#: Warm-up before resetting stats: lets association/beacons settle and
+#: the queues reach their saturated steady state.
+DEFAULT_WARMUP_US = 2e6
+
+
+@dataclasses.dataclass(frozen=True)
+class CollisionTest:
+    """Result of one §3.2 test."""
+
+    num_stations: int
+    duration_us: float
+    #: Per-station (mac, acked, collided) rows towards D at CA1.
+    per_station: List[tuple]
+    #: App-layer goodput observed at D, bits per µs (== Mbps).
+    goodput_mbps: float
+
+    @property
+    def sum_acked(self) -> int:
+        """ΣA_i — includes collided frames (selective-ACK rule, §3.2)."""
+        return sum(acked for _mac, acked, _coll in self.per_station)
+
+    @property
+    def sum_collided(self) -> int:
+        """ΣC_i."""
+        return sum(collided for _mac, _acked, collided in self.per_station)
+
+    @property
+    def collision_probability(self) -> float:
+        """ΣC_i / ΣA_i (§3.2's estimator)."""
+        if self.sum_acked == 0:
+            return 0.0
+        return self.sum_collided / self.sum_acked
+
+
+@dataclasses.dataclass(frozen=True)
+class CollisionTestSeries:
+    """Several repetitions of the same test (different seeds)."""
+
+    tests: List[CollisionTest]
+
+    @property
+    def num_stations(self) -> int:
+        return self.tests[0].num_stations
+
+    @property
+    def collision_probability(self) -> float:
+        return float(
+            np.mean([test.collision_probability for test in self.tests])
+        )
+
+    @property
+    def collision_probability_std(self) -> float:
+        return float(
+            np.std([test.collision_probability for test in self.tests])
+        )
+
+    @property
+    def goodput_mbps(self) -> float:
+        return float(np.mean([test.goodput_mbps for test in self.tests]))
+
+
+def run_collision_test(
+    num_stations: int,
+    duration_us: float = DEFAULT_TEST_DURATION_US,
+    warmup_us: float = DEFAULT_WARMUP_US,
+    seed: Optional[int] = 1,
+    testbed: Optional[Testbed] = None,
+    **testbed_kwargs,
+) -> CollisionTest:
+    """Run one test following the §3.2 procedure."""
+    tb = (
+        testbed
+        if testbed is not None
+        else build_testbed(num_stations, seed=seed, **testbed_kwargs)
+    )
+    # Bring-up: association handshakes, beacon lock, queue fill.
+    tb.run_until(warmup_us)
+    if not tb.avln.all_associated:
+        # Associations retry every 100 ms; extend the warm-up.
+        tb.run_until(warmup_us + 1e6)
+    if not tb.avln.all_associated:
+        raise RuntimeError("stations failed to associate during warm-up")
+
+    # §3.2: reset the transmit statistics of all stations...
+    tb.reset_data_stats()
+    rx_frames_before = tb.destination.received_frames
+    rx_bytes_before = tb.destination.received_bytes
+    start = tb.env.now
+
+    # ...run the test...
+    tb.run_until(start + duration_us)
+
+    # ...and retrieve the counters.
+    rows = tb.read_data_stats()
+    elapsed = tb.env.now - start
+    goodput_mbps = (
+        (tb.destination.received_bytes - rx_bytes_before) * 8.0 / elapsed
+    )
+    del rx_frames_before
+    return CollisionTest(
+        num_stations=num_stations,
+        duration_us=elapsed,
+        per_station=rows,
+        goodput_mbps=goodput_mbps,
+    )
+
+
+def repeat_tests(
+    num_stations: int,
+    repetitions: int = 10,
+    duration_us: float = DEFAULT_TEST_DURATION_US,
+    seed: int = 1,
+    **testbed_kwargs,
+) -> CollisionTestSeries:
+    """The paper's 10-test average at one network size."""
+    tests = [
+        run_collision_test(
+            num_stations,
+            duration_us=duration_us,
+            seed=seed + repetition * 1000,
+            **testbed_kwargs,
+        )
+        for repetition in range(repetitions)
+    ]
+    return CollisionTestSeries(tests=tests)

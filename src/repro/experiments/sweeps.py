@@ -1,0 +1,109 @@
+"""Parameter sweeps: throughput vs. N, priority classes, protocols.
+
+These produce the extended-evaluation series of the CoNEXT paper's
+scope (experiments X1/X6 of DESIGN.md): saturation throughput and
+collision probability as functions of the number of stations for
+
+- the 1901 default (CA1) configuration,
+- the CA2/CA3 parameter column (Table 1's second group),
+- the 802.11 DCF baseline,
+- any custom configuration (e.g. a boosted one).
+
+Each series carries both simulation measurements and the analytical
+curve.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.bianchi import Bianchi80211Model
+from ..analysis.model import Model1901
+from ..core.config import CsmaConfig, ScenarioConfig, TimingConfig
+from ..core.parameters import PriorityClass
+from ..core.results import aggregate
+from ..core.simulator import simulate
+
+__all__ = ["SweepPoint", "sweep_configuration", "standard_protocol_sweep"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """Simulation + model values at one network size."""
+
+    label: str
+    num_stations: int
+    sim_throughput: float
+    sim_collision_probability: float
+    model_throughput: float
+    model_collision_probability: float
+
+
+def sweep_configuration(
+    label: str,
+    config: CsmaConfig,
+    station_counts: Sequence[int],
+    timing: Optional[TimingConfig] = None,
+    sim_time_us: float = 2e7,
+    repetitions: int = 3,
+    seed: int = 1,
+) -> List[SweepPoint]:
+    """One configuration across network sizes."""
+    timing = timing if timing is not None else TimingConfig()
+    if config.protocol == "80211":
+        model = Bianchi80211Model.from_config(config, timing)
+    else:
+        model = Model1901(config, timing, method="recursive")
+    points = []
+    for n in station_counts:
+        prediction = model.solve(n)
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=n,
+            csma=config,
+            timing=timing,
+            sim_time_us=sim_time_us,
+            seed=seed,
+        )
+        agg = aggregate(simulate(scenario, repetitions=repetitions))
+        points.append(
+            SweepPoint(
+                label=label,
+                num_stations=n,
+                sim_throughput=agg.normalized_throughput,
+                sim_collision_probability=agg.collision_probability,
+                model_throughput=prediction.normalized_throughput,
+                model_collision_probability=prediction.collision_probability,
+            )
+        )
+    return points
+
+
+def standard_protocol_sweep(
+    station_counts: Sequence[int] = (1, 2, 3, 5, 7, 10, 15, 20, 30),
+    timing: Optional[TimingConfig] = None,
+    sim_time_us: float = 2e7,
+    repetitions: int = 3,
+    seed: int = 1,
+    extra: Optional[Dict[str, CsmaConfig]] = None,
+) -> Dict[str, List[SweepPoint]]:
+    """The X1/X6 comparison: 1901 CA1, 1901 CA3, 802.11 DCF (+extras)."""
+    configs: List[Tuple[str, CsmaConfig]] = [
+        ("1901 CA1", CsmaConfig.for_priority(PriorityClass.CA1)),
+        ("1901 CA3", CsmaConfig.for_priority(PriorityClass.CA3)),
+        ("802.11 DCF", CsmaConfig.ieee80211()),
+    ]
+    if extra:
+        configs.extend(extra.items())
+    return {
+        label: sweep_configuration(
+            label,
+            config,
+            station_counts,
+            timing=timing,
+            sim_time_us=sim_time_us,
+            repetitions=repetitions,
+            seed=seed,
+        )
+        for label, config in configs
+    }

@@ -1,0 +1,137 @@
+"""Emulated testbed construction (the §3 experimental setup).
+
+One call builds the paper's measurement scenario: N saturated stations
+plugged into one power strip, all sending UDP traffic to a destination
+station D (which also acts as the CCo of the AVLN), with the
+management plane (beacons, association, channel estimation) running —
+exactly the environment in which §3.2's collision-probability numbers
+and §3.3's MME-overhead numbers are taken.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..core.config import CsmaConfig
+from ..core.parameters import PriorityClass
+from ..engine.environment import Environment
+from ..engine.randomness import RandomStreams
+from ..hpav.device import HomePlugAVDevice
+from ..hpav.network import Avln
+from ..mac.queueing import AggregationPolicy
+from ..phy.timing import PhyTiming
+from ..tools.ampstat import Ampstat
+from ..tools.faifa import Faifa
+from ..traffic.generators import SaturatedSource
+from ..traffic.packets import mac_address
+
+__all__ = ["Testbed", "build_testbed"]
+
+
+@dataclasses.dataclass
+class Testbed:
+    """A ready-to-run emulated HomePlug AV testbed."""
+
+    env: Environment
+    streams: RandomStreams
+    avln: Avln
+    destination: HomePlugAVDevice
+    stations: List[HomePlugAVDevice]
+    sources: List[SaturatedSource]
+    ampstats: Dict[str, Ampstat]
+    faifa: Optional[Faifa]
+
+    @property
+    def num_stations(self) -> int:
+        return len(self.stations)
+
+    def run_until(self, time_us: float) -> None:
+        """Advance virtual time to ``time_us`` (absolute)."""
+        self.env.run(until=time_us)
+
+    def reset_data_stats(self) -> None:
+        """§3.2: reset every station's TX counters towards D (CA1)."""
+        for station in self.stations:
+            self.ampstats[station.mac_addr].reset(
+                peer_mac=self.destination.mac_addr,
+                priority=int(PriorityClass.CA1),
+            )
+
+    def read_data_stats(self) -> List[tuple]:
+        """Per-station ``(mac, acked, collided)`` towards D at CA1."""
+        rows = []
+        for station in self.stations:
+            acked, collided = self.ampstats[station.mac_addr].get(
+                peer_mac=self.destination.mac_addr,
+                priority=int(PriorityClass.CA1),
+            )
+            rows.append((station.mac_addr, acked, collided))
+        return rows
+
+
+def build_testbed(
+    num_stations: int,
+    seed: Optional[int] = 1,
+    timing: Optional[PhyTiming] = None,
+    configs: Optional[Dict[PriorityClass, CsmaConfig]] = None,
+    aggregation: Optional[AggregationPolicy] = None,
+    enable_sniffer: bool = False,
+    beacons_enabled: bool = True,
+    channel_est_enabled: bool = True,
+    udp_payload_bytes: int = 1472,
+) -> Testbed:
+    """Assemble N saturated stations + destination/CCo D on one strip.
+
+    Parameters mirror the §3 setup; ``enable_sniffer`` attaches a
+    :class:`Faifa` instance to D (the paper captures at the
+    destination).
+    """
+    if num_stations < 1:
+        raise ValueError("num_stations must be >= 1")
+    env = Environment()
+    streams = RandomStreams(seed)
+    avln = Avln(
+        env,
+        streams,
+        timing=timing,
+        beacons_enabled=beacons_enabled,
+        channel_est_enabled=channel_est_enabled,
+    )
+
+    destination = avln.add_device(
+        mac_address(0), is_cco=True, configs=configs, aggregation=aggregation
+    )
+    stations = [
+        avln.add_device(
+            mac_address(i + 1), configs=configs, aggregation=aggregation
+        )
+        for i in range(num_stations)
+    ]
+    sources = [
+        SaturatedSource(
+            env,
+            station,
+            dst_mac=destination.mac_addr,
+            udp_payload_bytes=udp_payload_bytes,
+        )
+        for station in stations
+    ]
+    ampstats = {
+        device.mac_addr: Ampstat(device)
+        for device in [destination, *stations]
+    }
+    faifa = None
+    if enable_sniffer:
+        faifa = Faifa(destination)
+        faifa.enable()
+    return Testbed(
+        env=env,
+        streams=streams,
+        avln=avln,
+        destination=destination,
+        stations=stations,
+        sources=sources,
+        ampstats=ampstats,
+        faifa=faifa,
+    )

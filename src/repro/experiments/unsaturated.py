@@ -1,0 +1,102 @@
+"""Unsaturated operation: offered load vs. delivered throughput/delay.
+
+The paper analyzes saturated stations; this extension sweeps Poisson
+offered load through the slot simulator's arrival support to locate
+the saturation knee and the delay blow-up around it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import CsmaConfig, ScenarioConfig, TimingConfig
+from ..core.simulator import SlotSimulator
+
+__all__ = ["LoadPoint", "offered_load_sweep", "saturation_rate_pps"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadPoint:
+    """Measurements at one per-station offered load."""
+
+    arrival_rate_pps: float
+    num_stations: int
+    #: Total offered load, frames per second.
+    offered_fps: float
+    #: Total delivered frames per second.
+    delivered_fps: float
+    collision_probability: float
+    mean_delay_us: float
+    p95_delay_us: float
+    queue_loss_fraction: float
+
+
+def saturation_rate_pps(
+    num_stations: int, timing: Optional[TimingConfig] = None
+) -> float:
+    """Approximate per-station saturation frame rate.
+
+    At saturation the network delivers ~S·1e6/Ts frames per second in
+    total (each success occupies Ts); dividing by N gives the
+    per-station knee location used to scale sweep grids.
+    """
+    from ..analysis.model import Model1901
+
+    timing = timing if timing is not None else TimingConfig()
+    model = Model1901(timing=timing, method="recursive")
+    prediction = model.solve(num_stations)
+    total_fps = (
+        prediction.p_success
+        / prediction.expected_event_duration_us
+        * 1e6
+    )
+    return total_fps / num_stations
+
+
+def offered_load_sweep(
+    num_stations: int = 3,
+    load_fractions: Sequence[float] = (0.2, 0.5, 0.8, 1.0, 1.5),
+    sim_time_us: float = 3e7,
+    seed: int = 1,
+    config: Optional[CsmaConfig] = None,
+    timing: Optional[TimingConfig] = None,
+) -> List[LoadPoint]:
+    """Sweep per-station Poisson arrivals as fractions of saturation."""
+    timing = timing if timing is not None else TimingConfig()
+    knee = saturation_rate_pps(num_stations, timing)
+    points = []
+    for fraction in load_fractions:
+        rate = max(fraction * knee, 1e-3)
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=num_stations,
+            csma=config,
+            timing=timing,
+            sim_time_us=sim_time_us,
+            seed=seed,
+            arrival_rate_pps=rate,
+        )
+        result = SlotSimulator(scenario, record_delays=True).run()
+        seconds = result.duration_us / 1e6
+        arrivals = sum(s.arrivals for s in result.stations)
+        losses = sum(s.queue_losses for s in result.stations)
+        delays = (
+            result.delays_us
+            if result.delays_us is not None and result.delays_us.size
+            else np.array([np.nan])
+        )
+        points.append(
+            LoadPoint(
+                arrival_rate_pps=rate,
+                num_stations=num_stations,
+                offered_fps=arrivals / seconds,
+                delivered_fps=result.successes / seconds,
+                collision_probability=result.collision_probability,
+                mean_delay_us=float(np.nanmean(delays)),
+                p95_delay_us=float(np.nanpercentile(delays, 95)),
+                queue_loss_fraction=losses / arrivals if arrivals else 0.0,
+            )
+        )
+    return points

@@ -1,0 +1,469 @@
+"""An emulated HomePlug AV device (station or CCo).
+
+One device bundles:
+
+- a :class:`~repro.mac.node.MacNode` (queues + 1901 backoff FSM) wired
+  to the shared :class:`~repro.phy.channel.PowerStrip`;
+- the firmware statistics engine behind VS_STATS (ampstat's counters);
+- the host-side MME endpoint: :meth:`host_request` answers VS_STATS /
+  VS_SNIFFER / VS_NW_INFO requests exactly as the chip would, without
+  touching the powerline (host MMEs travel over the device's Ethernet
+  port, §3);
+- sniffer mode: when enabled, every SoF delimiter on the wire is
+  forwarded to the host as a VS_SNIFFER indication (faifa's capture
+  surface, §3.3);
+- the station-level management behaviours: association handshake with
+  the CCo, beacon reception, periodic channel-estimation indications.
+
+The device's data path: :meth:`send_ethernet` queues host traffic;
+frames delivered over the wire are reassembled and counted (app-layer
+throughput at the destination).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..core.parameters import PriorityClass
+from ..engine.environment import Environment
+from ..engine.randomness import RandomStreams
+from ..mac.node import BROADCAST_TEI, MacNode
+from ..mac.queueing import AggregationPolicy, QueuedMme
+from ..phy.channel import PowerStrip, SofObservation
+from ..phy.framing import Burst, Mpdu, SackDelimiter
+from ..traffic.packets import EthernetFrame
+from .firmware import FirmwareStats
+from .mme import MMTYPE_CNF, MMTYPE_IND, MmeFrame
+from .mme_types import (
+    KEY_TYPE_NEK,
+    KEY_TYPE_NMK,
+    AssocConfirm,
+    AssocRequest,
+    BeaconPayload,
+    ChannelEstIndication,
+    GetKeyConfirm,
+    GetKeyRequest,
+    LinkDirection,
+    MmeType,
+    NetworkInfoConfirm,
+    NetworkInfoRequest,
+    SetKeyConfirm,
+    SetKeyRequest,
+    SnifferConfirm,
+    SnifferIndication,
+    SnifferRequest,
+    StatsConfirm,
+    StatsControl,
+    StatsRequest,
+)
+from .security import KeyStore
+
+__all__ = ["HomePlugAVDevice"]
+
+
+class HomePlugAVDevice:
+    """One PLC adapter on the power strip.
+
+    Parameters
+    ----------
+    env, strip, streams:
+        Engine, medium and random substreams.
+    mac_addr:
+        The adapter's MAC address.
+    is_cco:
+        Whether this device is the central coordinator (assigns TEIs,
+        beacons).  The CCo self-associates with TEI 1.
+    configs / aggregation:
+        Optional per-priority CSMA override and bursting policy for the
+        underlying MAC node.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        strip: PowerStrip,
+        streams: RandomStreams,
+        mac_addr: str,
+        is_cco: bool = False,
+        configs: Optional[dict] = None,
+        aggregation: Optional[AggregationPolicy] = None,
+        keys: Optional[KeyStore] = None,
+        require_authentication: bool = False,
+    ) -> None:
+        self.env = env
+        self.strip = strip
+        self.mac_addr = mac_addr.lower()
+        self.is_cco = is_cco
+        self.firmware = FirmwareStats()
+        self.node = MacNode(
+            name=self.mac_addr,
+            streams=streams,
+            configs=configs,
+            aggregation=aggregation,
+        )
+        self.node.dest_tei_of = self._dest_tei_of
+        self.node.sack_handler = self._on_sack
+        strip.attach(self._on_mpdu)
+
+        #: MAC-address → TEI table (learned from overheard CC_ASSOC.CNF
+        #: broadcasts and beacons).
+        self.address_table: Dict[str, int] = {}
+        if is_cco:
+            self.node.tei = 1
+            self.address_table[self.mac_addr] = 1
+            self._next_tei = 2
+
+        #: Security plane: NMK (membership) and NEK (encryption) keys.
+        self.keys = keys if keys is not None else KeyStore()
+        #: Whether data transmission is gated on holding the NEK.
+        self.require_authentication = require_authentication
+        if is_cco:
+            # The CCo generates the network's NEK from its own NMK.
+            self.keys.nek = KeyStore.generate_nek(
+                self.keys.nmk + self.mac_addr.encode()
+            )
+        #: Host-side sink for indications (sniffer INDs etc.).
+        self.host_indication_handler: Callable[[bytes], None] = lambda b: None
+        self._sniffing = False
+
+        # Data-plane receive counters (the destination D's measurements).
+        self.received_frames = 0
+        self.received_bytes = 0
+        self.received_frame_log: List[EthernetFrame] = []
+        self.log_received_frames = False
+        #: Frames dropped because the destination TEI is unknown yet.
+        self.unresolved_drops = 0
+        # Management counters.
+        self.beacons_seen = 0
+        self.channel_est_seen = 0
+        self.mmes_sent = 0
+
+    # ------------------------------------------------------------------ #
+    # Identity / addressing
+    # ------------------------------------------------------------------ #
+    @property
+    def tei(self) -> int:
+        return self.node.tei
+
+    @property
+    def associated(self) -> bool:
+        return self.node.tei != 0
+
+    @property
+    def authenticated(self) -> bool:
+        """Whether the device holds the network's NEK."""
+        return self.keys.authenticated
+
+    def _dest_tei_of(self, mac: str) -> int:
+        tei = self.address_table.get(mac.lower())
+        if tei is None:
+            raise KeyError(f"{self.mac_addr}: unknown destination {mac}")
+        return tei
+
+    def _mac_of_tei(self, tei: int) -> Optional[str]:
+        for mac, known in self.address_table.items():
+            if known == tei:
+                return mac
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Host data plane
+    # ------------------------------------------------------------------ #
+    def send_ethernet(
+        self,
+        frame: EthernetFrame,
+        priority: PriorityClass = PriorityClass.CA1,
+    ) -> bool:
+        """Host Ethernet ingress (the UDP traffic of the tests).
+
+        Frames towards destinations that have not associated yet are
+        dropped (and counted), as a real bridge would flush unknown
+        unicast.
+        """
+        if frame.dst_mac.lower() not in self.address_table:
+            self.unresolved_drops += 1
+            return False
+        if self.require_authentication and not self.authenticated:
+            self.unresolved_drops += 1
+            return False
+        return self.node.submit_data(frame, priority)
+
+    # ------------------------------------------------------------------ #
+    # Host MME endpoint (ampstat / faifa surface)
+    # ------------------------------------------------------------------ #
+    def host_request(self, request_bytes: bytes) -> bytes:
+        """Answer a host MME request, returning the confirm frame."""
+        request = MmeFrame.decode(request_bytes)
+        if not request.is_request:
+            raise ValueError("host endpoint only accepts REQ MMEs")
+        base = request.base_mmtype
+        if base == MmeType.VS_STATS:
+            reply = self._handle_stats(StatsRequest.decode(request.payload))
+        elif base == MmeType.VS_SNIFFER:
+            reply = self._handle_sniffer(SnifferRequest.decode(request.payload))
+        elif base == MmeType.VS_NW_INFO:
+            NetworkInfoRequest.decode(request.payload)
+            reply = self._handle_nw_info()
+        elif base == MmeType.CM_SET_KEY:
+            reply = self._handle_set_key(
+                SetKeyRequest.decode(request.payload)
+            )
+        else:
+            raise ValueError(f"unsupported host MMTYPE {request.mmtype:#06x}")
+        return MmeFrame(
+            dst_mac=request.src_mac,
+            src_mac=self.mac_addr,
+            mmtype=request.reply_mmtype(),
+            payload=reply,
+        ).encode()
+
+    def _handle_stats(self, request: StatsRequest) -> bytes:
+        direction = (
+            FirmwareStats.TX
+            if request.direction == LinkDirection.TX
+            else FirmwareStats.RX
+        )
+        if request.control == StatsControl.RESET:
+            self.firmware.reset_link(
+                direction, request.peer_mac, request.priority
+            )
+            return StatsConfirm(status=0, acked=0, collided=0).encode()
+        acked, collided = self.firmware.snapshot(
+            direction, request.peer_mac, request.priority
+        )
+        return StatsConfirm(status=0, acked=acked, collided=collided).encode()
+
+    def _handle_sniffer(self, request: SnifferRequest) -> bytes:
+        if request.enable and not self._sniffing:
+            self.strip.add_sniffer(self._on_sof)
+            self._sniffing = True
+        elif not request.enable and self._sniffing:
+            self.strip.remove_sniffer(self._on_sof)
+            self._sniffing = False
+        return SnifferConfirm(status=0, enabled=self._sniffing).encode()
+
+    def _handle_set_key(self, request: SetKeyRequest) -> bytes:
+        if request.key_type == KEY_TYPE_NMK:
+            self.keys.set_nmk(request.key)
+            if self.is_cco:
+                self.keys.nek = KeyStore.generate_nek(
+                    self.keys.nmk + self.mac_addr.encode()
+                )
+            return SetKeyConfirm(result=0).encode()
+        if request.key_type == KEY_TYPE_NEK:
+            # Hosts cannot set the NEK directly; the CCo owns it.
+            return SetKeyConfirm(result=1).encode()
+        return SetKeyConfirm(result=1).encode()
+
+    def _handle_nw_info(self) -> bytes:
+        entries = tuple(
+            (mac, tei, 118, 118)  # calibrated PHY rate, symmetric (Mbps*10)
+            for mac, tei in sorted(self.address_table.items())
+            if mac != self.mac_addr
+        )
+        return NetworkInfoConfirm(entries=entries).encode()
+
+    # ------------------------------------------------------------------ #
+    # Sniffer capture path
+    # ------------------------------------------------------------------ #
+    def _on_sof(self, observation: SofObservation) -> None:
+        indication = SnifferIndication(
+            timestamp_us=int(observation.time_us),
+            source_tei=observation.sof.source_tei,
+            dest_tei=observation.sof.dest_tei,
+            link_id=observation.sof.link_id,
+            mpdu_count=observation.sof.mpdu_count,
+            frame_length_bytes=observation.sof.frame_length_bytes,
+            num_blocks=observation.sof.num_blocks,
+            collided=observation.collided,
+        )
+        frame = MmeFrame(
+            dst_mac="ff:ff:ff:ff:ff:ff",
+            src_mac=self.mac_addr,
+            mmtype=MmeType.VS_SNIFFER | MMTYPE_IND,
+            payload=indication.encode(),
+        )
+        self.host_indication_handler(frame.encode())
+
+    # ------------------------------------------------------------------ #
+    # Wire receive path
+    # ------------------------------------------------------------------ #
+    def _on_mpdu(self, mpdu: Mpdu, time_us: float) -> None:
+        if mpdu.dest_tei not in (self.tei, BROADCAST_TEI):
+            return
+        if mpdu.source_tei == self.tei:
+            return  # own broadcast echo
+        if mpdu.is_management:
+            self._on_management(mpdu)
+            return
+        # Data MPDU addressed to us: count reassembled frames.
+        if mpdu.dest_tei != self.tei:
+            return  # data is never broadcast in these tests
+        frame_ids = []
+        frame_bytes: Dict[int, int] = {}
+        for pb in mpdu.blocks:
+            if pb.frame_id not in frame_bytes:
+                frame_ids.append(pb.frame_id)
+                frame_bytes[pb.frame_id] = 0
+            frame_bytes[pb.frame_id] += pb.fill
+        self.received_frames += len(frame_ids)
+        self.received_bytes += sum(frame_bytes.values())
+        peer = self._mac_of_tei(mpdu.source_tei)
+        if peer is not None:
+            self.firmware.record_rx(peer, int(mpdu.priority))
+
+    def _on_management(self, mpdu: Mpdu) -> None:
+        if not mpdu.payload:
+            return
+        mme = MmeFrame.decode(mpdu.payload)
+        # Source learning, as a bridge would: any overheard MME teaches
+        # the sender's MAC → TEI mapping (unassociated senders use TEI
+        # 0 and are skipped).
+        if mpdu.source_tei != 0:
+            self.address_table[mme.src_mac] = mpdu.source_tei
+        base = mme.base_mmtype
+        if base == MmeType.CC_ASSOC and mme.is_request and self.is_cco:
+            self._assign_tei(AssocRequest.decode(mme.payload))
+        elif base == MmeType.CC_ASSOC and mme.is_confirm:
+            self._learn_association(AssocConfirm.decode(mme.payload))
+        elif base == MmeType.CC_BEACON:
+            beacon = BeaconPayload.decode(mme.payload)
+            self.beacons_seen += 1
+            self.address_table[mme.src_mac] = beacon.cco_tei
+        elif base == MmeType.VS_CHANNEL_EST:
+            self.channel_est_seen += 1
+        elif base == MmeType.CM_GET_KEY and mme.is_request and self.is_cco:
+            self._grant_key(mme, GetKeyRequest.decode(mme.payload))
+        elif base == MmeType.CM_GET_KEY and mme.is_confirm:
+            confirm = GetKeyConfirm.decode(mme.payload)
+            if (
+                mme.dst_mac == self.mac_addr
+                and confirm.result == 0
+                and confirm.key_type == KEY_TYPE_NEK
+            ):
+                self.keys.nek = confirm.key
+
+    def _assign_tei(self, request: AssocRequest) -> None:
+        mac = request.station_mac.lower()
+        tei = self.address_table.get(mac)
+        if tei is None:
+            tei = self._next_tei
+            self._next_tei += 1
+            self.address_table[mac] = tei
+        confirm = AssocConfirm(result=0, station_mac=mac, tei=tei)
+        self.send_mme_over_wire(
+            MmeType.CC_ASSOC | MMTYPE_CNF,
+            confirm.encode(),
+            dst_mac="ff:ff:ff:ff:ff:ff",
+            dest_tei=BROADCAST_TEI,
+            priority=PriorityClass.CA3,
+        )
+
+    def _grant_key(self, mme: MmeFrame, request: GetKeyRequest) -> None:
+        """CCo side of CM_GET_KEY: NEK for a valid NMK proof."""
+        valid = request.nmk_proof == self.keys.nmk_digest()
+        confirm = GetKeyConfirm(
+            result=0 if valid else 1,
+            key_type=KEY_TYPE_NEK,
+            key=self.keys.nek if valid and self.keys.nek else b"\x00" * 16,
+        )
+        requester_tei = self.address_table.get(mme.src_mac, 0xFF)
+        self.send_mme_over_wire(
+            MmeType.CM_GET_KEY | MMTYPE_CNF,
+            confirm.encode(),
+            dst_mac=mme.src_mac,
+            dest_tei=requester_tei,
+            priority=PriorityClass.CA3,
+        )
+
+    def request_network_key(self, cco_tei: int = 1) -> None:
+        """Station side of CM_GET_KEY: prove NMK, ask for the NEK."""
+        request = GetKeyRequest(
+            key_type=KEY_TYPE_NEK, nmk_proof=self.keys.nmk_digest()
+        )
+        self.send_mme_over_wire(
+            MmeType.CM_GET_KEY,
+            request.encode(),
+            dst_mac="ff:ff:ff:ff:ff:ff",
+            dest_tei=cco_tei,
+            priority=PriorityClass.CA3,
+        )
+
+    def _learn_association(self, confirm: AssocConfirm) -> None:
+        mac = confirm.station_mac.lower()
+        self.address_table[mac] = confirm.tei
+        if mac == self.mac_addr and confirm.result == 0:
+            self.node.tei = confirm.tei
+
+    # ------------------------------------------------------------------ #
+    # Over-the-wire MME transmission
+    # ------------------------------------------------------------------ #
+    def send_mme_over_wire(
+        self,
+        mmtype: int,
+        payload: bytes,
+        dst_mac: str,
+        dest_tei: int,
+        priority: PriorityClass = PriorityClass.CA2,
+    ) -> None:
+        """Queue a management message for CSMA transmission."""
+        frame = MmeFrame(
+            dst_mac=dst_mac,
+            src_mac=self.mac_addr,
+            mmtype=mmtype,
+            payload=payload,
+        )
+        self.node.submit_mme(
+            QueuedMme(
+                payload=frame.encode(),
+                dest_tei=dest_tei,
+                priority=priority,
+            )
+        )
+        self.mmes_sent += 1
+
+    def request_association(self, cco_tei: int = 1) -> None:
+        """Send CC_ASSOC.REQ to the CCo (station startup)."""
+        request = AssocRequest(request_type=0, station_mac=self.mac_addr)
+        self.send_mme_over_wire(
+            MmeType.CC_ASSOC,
+            request.encode(),
+            dst_mac="ff:ff:ff:ff:ff:ff",
+            dest_tei=cco_tei,
+            priority=PriorityClass.CA3,
+        )
+
+    def send_channel_estimation(self, peer_mac: str) -> None:
+        """Emit a channel-estimation indication towards a peer (CA2)."""
+        peer = peer_mac.lower()
+        tei = self.address_table.get(peer)
+        if tei is None:
+            return
+        indication = ChannelEstIndication(
+            peer_mac=peer, tone_map_index=0, modulation_bits=8
+        )
+        self.send_mme_over_wire(
+            MmeType.VS_CHANNEL_EST | MMTYPE_IND,
+            indication.encode(),
+            dst_mac=peer,
+            dest_tei=tei,
+            priority=PriorityClass.CA2,
+        )
+
+    # ------------------------------------------------------------------ #
+    # SACK feedback → firmware counters
+    # ------------------------------------------------------------------ #
+    def _on_sack(self, sack: SackDelimiter, burst: Burst, outcome: str) -> None:
+        mpdu = next(
+            (m for m in burst.mpdus if m.mpdu_id == sack.mpdu_id), None
+        )
+        if mpdu is None:
+            return
+        peer = self._mac_of_tei(mpdu.dest_tei) or "ff:ff:ff:ff:ff:ff"
+        priority = int(mpdu.priority)
+        if outcome == "collision":
+            self.firmware.record_tx_collided(peer, priority)
+        else:
+            self.firmware.record_tx_acked(peer, priority)
+            if not sack.ok:
+                self.firmware.record_phy_error()

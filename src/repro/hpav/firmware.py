@@ -1,0 +1,107 @@
+"""Emulated INT6300-style firmware: the statistics engine.
+
+The chip keeps, per (peer, priority, direction) link, the counters that
+``ampstat`` exposes over VS_STATS (§3.2):
+
+- ``acked`` — MPDUs for which a SACK arrived.  Per the 1901 selective
+  acknowledgment rules this *includes* collided MPDUs: the destination
+  decodes the robust delimiter and acknowledges with all PBs errored,
+  so the total acknowledgment count grows with N (the §3.2
+  verification).
+- ``collided`` — MPDUs whose SACK carried the all-errored collision
+  indication.
+
+Resetting is per-link and per-direction, matching the tool's options.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+__all__ = ["LinkStats", "FirmwareStats"]
+
+
+@dataclasses.dataclass
+class LinkStats:
+    """Counters of one (peer, priority, direction) link."""
+
+    acked: int = 0
+    collided: int = 0
+
+    def reset(self) -> None:
+        self.acked = 0
+        self.collided = 0
+
+    @property
+    def successes(self) -> int:
+        """Acknowledged MPDUs that did not collide."""
+        return self.acked - self.collided
+
+
+class FirmwareStats:
+    """The per-device statistics store behind VS_STATS."""
+
+    TX = 0
+    RX = 1
+
+    def __init__(self) -> None:
+        self._links: Dict[Tuple[int, str, int], LinkStats] = {}
+        #: PHY-error counter (per-PB errors outside collisions).
+        self.phy_errors = 0
+
+    def _key(self, direction: int, peer_mac: str, priority: int) -> Tuple:
+        if direction not in (self.TX, self.RX):
+            raise ValueError(f"bad direction {direction}")
+        if not 0 <= priority <= 3:
+            raise ValueError(f"bad priority {priority}")
+        return (direction, peer_mac.lower(), priority)
+
+    def link(self, direction: int, peer_mac: str, priority: int) -> LinkStats:
+        """The (created-on-demand) stats of one link."""
+        key = self._key(direction, peer_mac, priority)
+        if key not in self._links:
+            self._links[key] = LinkStats()
+        return self._links[key]
+
+    # -- recording (called from the MAC's SACK path) -------------------------
+    def record_tx_acked(self, peer_mac: str, priority: int) -> None:
+        self.link(self.TX, peer_mac, priority).acked += 1
+
+    def record_tx_collided(self, peer_mac: str, priority: int) -> None:
+        """A collision: counts as *both* acked and collided (§3.2)."""
+        stats = self.link(self.TX, peer_mac, priority)
+        stats.acked += 1
+        stats.collided += 1
+
+    def record_rx(self, peer_mac: str, priority: int) -> None:
+        self.link(self.RX, peer_mac, priority).acked += 1
+
+    def record_phy_error(self) -> None:
+        self.phy_errors += 1
+
+    # -- the VS_STATS surface ---------------------------------------------------
+    def snapshot(
+        self, direction: int, peer_mac: str, priority: int
+    ) -> Tuple[int, int]:
+        """(acked, collided) for a link, as returned by ampstat."""
+        stats = self.link(direction, peer_mac, priority)
+        return stats.acked, stats.collided
+
+    def reset_link(self, direction: int, peer_mac: str, priority: int) -> None:
+        """Reset one link's counters (ampstat's reset option)."""
+        self.link(direction, peer_mac, priority).reset()
+
+    def reset_all(self) -> None:
+        for stats in self._links.values():
+            stats.reset()
+        self.phy_errors = 0
+
+    def totals(self, direction: int) -> Tuple[int, int]:
+        """(acked, collided) summed over all links of a direction."""
+        acked = collided = 0
+        for (d, _mac, _prio), stats in self._links.items():
+            if d == direction:
+                acked += stats.acked
+                collided += stats.collided
+        return acked, collided

@@ -1,0 +1,157 @@
+"""HomePlug AV management message (MME) wire format.
+
+MMEs are Ethernet frames with ethertype 0x88E1 (§3): a fixed header —
+MMV (management message version), MMTYPE (little-endian, with the two
+low bits encoding REQ/CNF/IND/RSP), FMI (fragmentation management
+info) — followed by the entry data.  Vendor-specific MMEs (the ones the
+paper's tools rely on, e.g. 0xA030 for statistics and 0xA034 for the
+sniffer) carry the vendor OUI ``00:B0:52`` as the first three entry
+bytes.
+
+This module implements encoding/decoding of the raw frames; the typed
+request/confirm payloads live in :mod:`repro.hpav.mme_types`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+__all__ = [
+    "ETHERTYPE_HOMEPLUG_AV",
+    "MMV_AV_1_1",
+    "VENDOR_OUI",
+    "MMTYPE_REQ",
+    "MMTYPE_CNF",
+    "MMTYPE_IND",
+    "MMTYPE_RSP",
+    "MmeFrame",
+    "pack_mac",
+    "unpack_mac",
+]
+
+ETHERTYPE_HOMEPLUG_AV = 0x88E1
+
+#: HomePlug AV 1.1 management message version.
+MMV_AV_1_1 = 0x01
+
+#: Vendor OUI used by the INT6300-family vendor MMEs (00:B0:52).
+VENDOR_OUI = bytes((0x00, 0xB0, 0x52))
+
+#: Low-two-bit MMTYPE variants.
+MMTYPE_REQ = 0b00
+MMTYPE_CNF = 0b01
+MMTYPE_IND = 0b10
+MMTYPE_RSP = 0b11
+
+_HEADER = struct.Struct("<6s6sHBHH")  # ODA OSA ethertype MMV MMTYPE FMI
+# Note: the ethertype is big-endian on the wire; we byte-swap it
+# explicitly below so a single little-endian struct can be used for the
+# MMTYPE (which *is* little-endian per the standard).
+
+
+def pack_mac(mac: str) -> bytes:
+    """``'02:00:00:00:00:01'`` → 6 raw bytes."""
+    parts = mac.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"bad MAC address {mac!r}")
+    return bytes(int(part, 16) for part in parts)
+
+
+def unpack_mac(raw: bytes) -> str:
+    """6 raw bytes → ``'02:00:00:00:00:01'``."""
+    if len(raw) != 6:
+        raise ValueError("MAC address must be 6 bytes")
+    return ":".join(f"{byte:02x}" for byte in raw)
+
+
+@dataclasses.dataclass(frozen=True)
+class MmeFrame:
+    """A decoded MME: addressing, header fields and entry payload."""
+
+    dst_mac: str
+    src_mac: str
+    mmtype: int
+    payload: bytes
+    mmv: int = MMV_AV_1_1
+    fmi: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.mmtype <= 0xFFFF:
+            raise ValueError(f"bad MMTYPE {self.mmtype:#x}")
+
+    # -- MMTYPE variant helpers ------------------------------------------------
+    @property
+    def base_mmtype(self) -> int:
+        """MMTYPE with the REQ/CNF/IND/RSP bits cleared."""
+        return self.mmtype & ~0b11
+
+    @property
+    def variant(self) -> int:
+        """One of MMTYPE_REQ/CNF/IND/RSP."""
+        return self.mmtype & 0b11
+
+    @property
+    def is_request(self) -> bool:
+        return self.variant == MMTYPE_REQ
+
+    @property
+    def is_confirm(self) -> bool:
+        return self.variant == MMTYPE_CNF
+
+    @property
+    def is_indication(self) -> bool:
+        return self.variant == MMTYPE_IND
+
+    @property
+    def is_vendor_specific(self) -> bool:
+        """Vendor MMEs occupy the 0xA000–0xBFFF MMTYPE range."""
+        return 0xA000 <= self.base_mmtype <= 0xBFFF
+
+    def reply_mmtype(self) -> int:
+        """The CNF MMTYPE answering this REQ."""
+        if not self.is_request:
+            raise ValueError("only requests have a confirm type")
+        return self.base_mmtype | MMTYPE_CNF
+
+    # -- wire codec ---------------------------------------------------------------
+    def encode(self) -> bytes:
+        """Serialize to the full Ethernet frame bytes."""
+        header = _HEADER.pack(
+            pack_mac(self.dst_mac),
+            pack_mac(self.src_mac),
+            # Byte-swap: ethertype is big-endian on the wire.
+            ((ETHERTYPE_HOMEPLUG_AV & 0xFF) << 8)
+            | (ETHERTYPE_HOMEPLUG_AV >> 8),
+            self.mmv,
+            self.mmtype,
+            self.fmi,
+        )
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, frame: bytes) -> "MmeFrame":
+        """Parse an Ethernet frame into an :class:`MmeFrame`.
+
+        Raises ``ValueError`` on truncated frames or wrong ethertype.
+        """
+        if len(frame) < _HEADER.size:
+            raise ValueError(f"frame too short for an MME: {len(frame)} bytes")
+        dst, src, swapped_ethertype, mmv, mmtype, fmi = _HEADER.unpack_from(
+            frame
+        )
+        ethertype = ((swapped_ethertype & 0xFF) << 8) | (
+            swapped_ethertype >> 8
+        )
+        if ethertype != ETHERTYPE_HOMEPLUG_AV:
+            raise ValueError(
+                f"not a HomePlug AV frame (ethertype {ethertype:#06x})"
+            )
+        return cls(
+            dst_mac=unpack_mac(dst),
+            src_mac=unpack_mac(src),
+            mmtype=mmtype,
+            payload=frame[_HEADER.size :],
+            mmv=mmv,
+            fmi=fmi,
+        )

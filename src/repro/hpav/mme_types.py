@@ -1,0 +1,499 @@
+"""Typed payloads for the MMEs the emulated firmware understands.
+
+Vendor-specific messages (OUI 00:B0:52), mirroring the surface the
+paper's tools use (§3):
+
+- ``VS_STATS`` (0xA030) — frame statistics, the ``ampstat`` MME: reset
+  or retrieve the acknowledged/collided counters of a link.  The
+  confirm frame places the acknowledged count at bytes 25–32 and the
+  collided count at bytes 33–40 of the Ethernet frame (1-indexed),
+  exactly where §3.2 reads them.
+- ``VS_SNIFFER`` (0xA034) — enable/disable sniffer mode, as used by
+  ``faifa``.
+- ``VS_SNIFFER_IND`` (0xA036) — one indication per captured SoF
+  delimiter, delivered to the host.
+- ``VS_NW_INFO`` (0xA038) — PHY rates per peer (both tools expose
+  this, §3).
+- ``VS_CHANNEL_EST`` (0xA010) — stand-in for the vendor
+  channel-estimation exchange; emitted periodically between stations
+  to model the background MME traffic whose overhead §3.3 measures.
+
+Station-level (non-vendor) messages:
+
+- ``CC_ASSOC`` (0x0008) — TEI assignment handshake with the CCo;
+- ``CC_BEACON`` (0x0004) — the CCo's periodic beacon (modelled as a
+  management MPDU contending at CA3; the real beacon region is a
+  TDMA slot, a simplification documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from .mme import VENDOR_OUI, pack_mac, unpack_mac
+
+__all__ = [
+    "GetKeyConfirm",
+    "GetKeyRequest",
+    "KEY_TYPE_NEK",
+    "KEY_TYPE_NMK",
+    "MmeType",
+    "SetKeyConfirm",
+    "SetKeyRequest",
+    "StatsControl",
+    "LinkDirection",
+    "StatsRequest",
+    "StatsConfirm",
+    "SnifferRequest",
+    "SnifferConfirm",
+    "SnifferIndication",
+    "AssocRequest",
+    "AssocConfirm",
+    "BeaconPayload",
+    "ChannelEstIndication",
+    "NetworkInfoRequest",
+    "NetworkInfoConfirm",
+]
+
+
+class MmeType:
+    """Base MMTYPEs (REQ variant; CNF = +1, IND = +2)."""
+
+    CC_BEACON = 0x0004
+    CC_ASSOC = 0x0008
+    CM_SET_KEY = 0x6008
+    CM_GET_KEY = 0x600C
+    VS_CHANNEL_EST = 0xA010
+    VS_STATS = 0xA030
+    VS_SNIFFER = 0xA034
+    VS_SNIFFER_IND = 0xA034 + 2  # indications reuse the sniffer base
+    VS_NW_INFO = 0xA038
+
+
+class StatsControl:
+    """Control byte of a VS_STATS request."""
+
+    GET = 0
+    RESET = 1
+
+
+class LinkDirection:
+    """Direction byte of a VS_STATS request."""
+
+    TX = 0
+    RX = 1
+
+
+# --- VS_STATS ---------------------------------------------------------------
+
+_STATS_REQ = struct.Struct("<3sBBB6s")  # OUI ctl dir prio peer
+_STATS_CNF = struct.Struct("<3sHQQ")  # OUI status acked collided
+
+
+@dataclasses.dataclass(frozen=True)
+class StatsRequest:
+    """ampstat request: reset or get a link's TX/RX frame counters."""
+
+    control: int
+    direction: int
+    priority: int
+    peer_mac: str
+
+    def __post_init__(self) -> None:
+        if self.control not in (StatsControl.GET, StatsControl.RESET):
+            raise ValueError(f"bad stats control {self.control}")
+        if self.direction not in (LinkDirection.TX, LinkDirection.RX):
+            raise ValueError(f"bad direction {self.direction}")
+        if not 0 <= self.priority <= 3:
+            raise ValueError(f"bad priority {self.priority}")
+
+    def encode(self) -> bytes:
+        return _STATS_REQ.pack(
+            VENDOR_OUI,
+            self.control,
+            self.direction,
+            self.priority,
+            pack_mac(self.peer_mac),
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "StatsRequest":
+        oui, control, direction, priority, peer = _STATS_REQ.unpack_from(
+            payload
+        )
+        if oui != VENDOR_OUI:
+            raise ValueError("VS_STATS request with wrong OUI")
+        return cls(
+            control=control,
+            direction=direction,
+            priority=priority,
+            peer_mac=unpack_mac(peer),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class StatsConfirm:
+    """ampstat confirm: the counters §3.2 reads at bytes 25–40."""
+
+    status: int
+    acked: int
+    collided: int
+
+    def encode(self) -> bytes:
+        return _STATS_CNF.pack(VENDOR_OUI, self.status, self.acked, self.collided)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "StatsConfirm":
+        oui, status, acked, collided = _STATS_CNF.unpack_from(payload)
+        if oui != VENDOR_OUI:
+            raise ValueError("VS_STATS confirm with wrong OUI")
+        return cls(status=status, acked=acked, collided=collided)
+
+
+# --- VS_SNIFFER ----------------------------------------------------------------
+
+_SNIFFER_REQ = struct.Struct("<3sB")
+_SNIFFER_CNF = struct.Struct("<3sBB")
+
+
+@dataclasses.dataclass(frozen=True)
+class SnifferRequest:
+    """faifa's sniffer-mode control (§3.3): 1 = enable, 0 = disable."""
+
+    enable: bool
+
+    def encode(self) -> bytes:
+        return _SNIFFER_REQ.pack(VENDOR_OUI, 1 if self.enable else 0)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "SnifferRequest":
+        oui, flag = _SNIFFER_REQ.unpack_from(payload)
+        if oui != VENDOR_OUI:
+            raise ValueError("VS_SNIFFER request with wrong OUI")
+        return cls(enable=bool(flag))
+
+
+@dataclasses.dataclass(frozen=True)
+class SnifferConfirm:
+    status: int
+    enabled: bool
+
+    def encode(self) -> bytes:
+        return _SNIFFER_CNF.pack(VENDOR_OUI, self.status, 1 if self.enabled else 0)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "SnifferConfirm":
+        oui, status, flag = _SNIFFER_CNF.unpack_from(payload)
+        if oui != VENDOR_OUI:
+            raise ValueError("VS_SNIFFER confirm with wrong OUI")
+        return cls(status=status, enabled=bool(flag))
+
+
+# --- VS_SNIFFER_IND ----------------------------------------------------------------
+
+_SNIFFER_IND = struct.Struct("<3sQBBBBIBB")
+# OUI systime stei dtei lid mpdu_cnt frame_len num_pbs collided
+
+
+@dataclasses.dataclass(frozen=True)
+class SnifferIndication:
+    """One captured SoF delimiter, as delivered to the host (§3.3)."""
+
+    timestamp_us: int
+    source_tei: int
+    dest_tei: int
+    link_id: int
+    mpdu_count: int
+    frame_length_bytes: int
+    num_blocks: int
+    collided: bool
+
+    def encode(self) -> bytes:
+        return _SNIFFER_IND.pack(
+            VENDOR_OUI,
+            self.timestamp_us,
+            self.source_tei,
+            self.dest_tei,
+            self.link_id,
+            self.mpdu_count,
+            self.frame_length_bytes,
+            self.num_blocks,
+            1 if self.collided else 0,
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "SnifferIndication":
+        (
+            oui,
+            timestamp,
+            stei,
+            dtei,
+            lid,
+            mpdu_count,
+            frame_length,
+            num_blocks,
+            collided,
+        ) = _SNIFFER_IND.unpack_from(payload)
+        if oui != VENDOR_OUI:
+            raise ValueError("VS_SNIFFER indication with wrong OUI")
+        return cls(
+            timestamp_us=timestamp,
+            source_tei=stei,
+            dest_tei=dtei,
+            link_id=lid,
+            mpdu_count=mpdu_count,
+            frame_length_bytes=frame_length,
+            num_blocks=num_blocks,
+            collided=bool(collided),
+        )
+
+
+# --- CC_ASSOC ---------------------------------------------------------------
+
+_ASSOC_REQ = struct.Struct("<B6s")
+_ASSOC_CNF = struct.Struct("<B6sBH")
+
+
+@dataclasses.dataclass(frozen=True)
+class AssocRequest:
+    """Association request from an unassociated station to the CCo."""
+
+    request_type: int  # 0 = new association, 1 = renewal
+    station_mac: str
+
+    def encode(self) -> bytes:
+        return _ASSOC_REQ.pack(self.request_type, pack_mac(self.station_mac))
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "AssocRequest":
+        request_type, mac = _ASSOC_REQ.unpack_from(payload)
+        return cls(request_type=request_type, station_mac=unpack_mac(mac))
+
+
+@dataclasses.dataclass(frozen=True)
+class AssocConfirm:
+    """CCo's reply carrying the assigned TEI."""
+
+    result: int  # 0 = success
+    station_mac: str
+    tei: int
+    lease_minutes: int = 180
+
+    def encode(self) -> bytes:
+        return _ASSOC_CNF.pack(
+            self.result, pack_mac(self.station_mac), self.tei, self.lease_minutes
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "AssocConfirm":
+        result, mac, tei, lease = _ASSOC_CNF.unpack_from(payload)
+        return cls(
+            result=result,
+            station_mac=unpack_mac(mac),
+            tei=tei,
+            lease_minutes=lease,
+        )
+
+
+# --- CC_BEACON ---------------------------------------------------------------
+
+_BEACON = struct.Struct("<7sBIH")
+
+
+@dataclasses.dataclass(frozen=True)
+class BeaconPayload:
+    """The CCo's beacon: network id, CCo TEI, beacon counter, period."""
+
+    nid: bytes  # 7-byte network id
+    cco_tei: int
+    sequence: int
+    beacon_period_ms: int
+
+    def __post_init__(self) -> None:
+        if len(self.nid) != 7:
+            raise ValueError("NID must be 7 bytes")
+
+    def encode(self) -> bytes:
+        return _BEACON.pack(
+            self.nid, self.cco_tei, self.sequence, self.beacon_period_ms
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "BeaconPayload":
+        nid, cco_tei, sequence, period = _BEACON.unpack_from(payload)
+        return cls(
+            nid=nid, cco_tei=cco_tei, sequence=sequence, beacon_period_ms=period
+        )
+
+
+# --- VS_CHANNEL_EST ----------------------------------------------------------------
+
+_CHANNEL_EST = struct.Struct("<3s6sBB")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChannelEstIndication:
+    """Periodic tone-map refresh between peers (background MME load)."""
+
+    peer_mac: str
+    tone_map_index: int
+    modulation_bits: int
+
+    def encode(self) -> bytes:
+        return _CHANNEL_EST.pack(
+            VENDOR_OUI,
+            pack_mac(self.peer_mac),
+            self.tone_map_index,
+            self.modulation_bits,
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "ChannelEstIndication":
+        oui, mac, index, bits = _CHANNEL_EST.unpack_from(payload)
+        if oui != VENDOR_OUI:
+            raise ValueError("VS_CHANNEL_EST with wrong OUI")
+        return cls(
+            peer_mac=unpack_mac(mac), tone_map_index=index, modulation_bits=bits
+        )
+
+
+# --- VS_NW_INFO -------------------------------------------------------------------
+
+_NW_INFO_REQ = struct.Struct("<3s")
+_NW_INFO_ENTRY = struct.Struct("<6sBHH")  # mac tei tx_mbps rx_mbps
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkInfoRequest:
+    def encode(self) -> bytes:
+        return _NW_INFO_REQ.pack(VENDOR_OUI)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "NetworkInfoRequest":
+        (oui,) = _NW_INFO_REQ.unpack_from(payload)
+        if oui != VENDOR_OUI:
+            raise ValueError("VS_NW_INFO request with wrong OUI")
+        return cls()
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkInfoConfirm:
+    """Per-peer PHY rates (both tools print these, §3)."""
+
+    entries: tuple  # of (mac, tei, tx_mbps, rx_mbps)
+
+    def encode(self) -> bytes:
+        out = [VENDOR_OUI, bytes([len(self.entries)])]
+        for mac, tei, tx, rx in self.entries:
+            out.append(_NW_INFO_ENTRY.pack(pack_mac(mac), tei, tx, rx))
+        return b"".join(out)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "NetworkInfoConfirm":
+        if payload[:3] != VENDOR_OUI:
+            raise ValueError("VS_NW_INFO confirm with wrong OUI")
+        count = payload[3]
+        entries = []
+        offset = 4
+        for _ in range(count):
+            mac, tei, tx, rx = _NW_INFO_ENTRY.unpack_from(payload, offset)
+            entries.append((unpack_mac(mac), tei, tx, rx))
+            offset += _NW_INFO_ENTRY.size
+        return cls(entries=tuple(entries))
+
+
+# --- CM_SET_KEY / CM_GET_KEY -------------------------------------------------
+
+_SET_KEY = struct.Struct("<B16s")
+_GET_KEY_REQ = struct.Struct("<B8s")
+_GET_KEY_CNF = struct.Struct("<BB16s")
+
+#: Key-type byte values for the key-management MMEs.
+KEY_TYPE_NMK = 0x01
+KEY_TYPE_NEK = 0x02
+
+
+@dataclasses.dataclass(frozen=True)
+class SetKeyRequest:
+    """CM_SET_KEY: install a key on the local device (host-side).
+
+    The tools set the NMK over the host Ethernet port when the user
+    changes the network password; it never travels the powerline in
+    the clear.
+    """
+
+    key_type: int
+    key: bytes
+
+    def __post_init__(self) -> None:
+        if self.key_type not in (KEY_TYPE_NMK, KEY_TYPE_NEK):
+            raise ValueError(f"bad key type {self.key_type}")
+        if len(self.key) != 16:
+            raise ValueError("keys are 16 bytes (AES-128)")
+
+    def encode(self) -> bytes:
+        return _SET_KEY.pack(self.key_type, self.key)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "SetKeyRequest":
+        key_type, key = _SET_KEY.unpack_from(payload)
+        return cls(key_type=key_type, key=key)
+
+
+@dataclasses.dataclass(frozen=True)
+class SetKeyConfirm:
+    result: int  # 0 = success
+
+    def encode(self) -> bytes:
+        return bytes([self.result])
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "SetKeyConfirm":
+        return cls(result=payload[0])
+
+
+@dataclasses.dataclass(frozen=True)
+class GetKeyRequest:
+    """CM_GET_KEY: ask the CCo for the NEK, proving NMK possession.
+
+    ``nmk_proof`` is an 8-byte digest over the requester's NMK; the
+    CCo compares it with its own (stand-in for the standard's
+    encrypted exchange).
+    """
+
+    key_type: int
+    nmk_proof: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.nmk_proof) != 8:
+            raise ValueError("NMK proof is 8 bytes")
+
+    def encode(self) -> bytes:
+        return _GET_KEY_REQ.pack(self.key_type, self.nmk_proof)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "GetKeyRequest":
+        key_type, proof = _GET_KEY_REQ.unpack_from(payload)
+        return cls(key_type=key_type, nmk_proof=proof)
+
+
+@dataclasses.dataclass(frozen=True)
+class GetKeyConfirm:
+    """CCo's reply: the NEK on success, zeros on refusal."""
+
+    result: int  # 0 = granted, 1 = wrong NMK
+    key_type: int
+    key: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.key) != 16:
+            raise ValueError("keys are 16 bytes (AES-128)")
+
+    def encode(self) -> bytes:
+        return _GET_KEY_CNF.pack(self.result, self.key_type, self.key)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "GetKeyConfirm":
+        result, key_type, key = _GET_KEY_CNF.unpack_from(payload)
+        return cls(result=result, key_type=key_type, key=key)

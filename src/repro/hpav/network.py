@@ -1,0 +1,192 @@
+"""The AV logical network (AVLN): CCo, beacons, association, devices.
+
+:class:`Avln` assembles the full emulated testbed layer: the power
+strip, the contention coordinator, a CCo device and member stations.
+It runs the management-plane processes that generate the MME traffic
+whose overhead §3.3 measures:
+
+- the CCo's periodic **beacons** (CA3; the real HomePlug AV beacon
+  occupies a TDMA region — we model it as a CA3 management MPDU, a
+  documented simplification that preserves its airtime and its
+  visibility to the sniffer);
+- the **association handshake** at station startup (CC_ASSOC.REQ/CNF,
+  CA3, with the CNF broadcast so every member learns the TEI mapping);
+- periodic **channel-estimation indications** between associated peers
+  (CA2; stands in for the vendor's tone-map maintenance exchanges).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.parameters import PriorityClass
+from ..engine.environment import Environment
+from ..engine.randomness import RandomStreams
+from ..mac.coordinator import ContentionCoordinator
+from ..mac.queueing import AggregationPolicy
+from ..phy.channel import PowerStrip
+from ..phy.timing import PhyTiming
+from .device import HomePlugAVDevice
+from .mme import MMTYPE_IND
+from .mme_types import BeaconPayload, MmeType
+from .security import KeyStore, nmk_from_password
+
+__all__ = ["Avln"]
+
+#: HomePlug AV beacon period: two cycles of the 50 Hz mains (Europe,
+#: where the paper's testbed was located) = 40 ms.
+BEACON_PERIOD_US = 40_000.0
+
+#: Default period of per-peer channel-estimation indications.
+CHANNEL_EST_PERIOD_US = 10_000_000.0  # 10 s, per peer
+
+
+class Avln:
+    """An AV logical network on one power strip."""
+
+    def __init__(
+        self,
+        env: Environment,
+        streams: RandomStreams,
+        timing: Optional[PhyTiming] = None,
+        beacon_period_us: float = BEACON_PERIOD_US,
+        channel_est_period_us: float = CHANNEL_EST_PERIOD_US,
+        beacons_enabled: bool = True,
+        channel_est_enabled: bool = True,
+        nid: bytes = b"REPRO01",
+        security_enabled: bool = False,
+        network_password: str = "HomePlugAV",
+    ) -> None:
+        self.env = env
+        self.streams = streams
+        self.strip = PowerStrip()
+        self.coordinator = ContentionCoordinator(env, self.strip, timing)
+        self.devices: List[HomePlugAVDevice] = []
+        self.cco: Optional[HomePlugAVDevice] = None
+        self.beacon_period_us = beacon_period_us
+        self.channel_est_period_us = channel_est_period_us
+        self.beacons_enabled = beacons_enabled
+        self.channel_est_enabled = channel_est_enabled
+        self.nid = nid
+        #: When enabled, stations must fetch the NEK (CM_GET_KEY) after
+        #: associating before they may transmit data.
+        self.security_enabled = security_enabled
+        self.network_password = network_password
+        self._beacon_sequence = 0
+
+    # -- membership ------------------------------------------------------------
+    def add_device(
+        self,
+        mac_addr: str,
+        is_cco: bool = False,
+        configs: Optional[dict] = None,
+        aggregation: Optional[AggregationPolicy] = None,
+        network_password: Optional[str] = None,
+    ) -> HomePlugAVDevice:
+        """Create a device, attach it to the strip and the coordinator.
+
+        The first CCo starts the beacon process; stations schedule
+        their association handshake with a small random offset (as
+        adapters powering up do).  ``network_password`` overrides the
+        AVLN's password for this device (a mis-keyed adapter will
+        associate but never authenticate when security is enabled).
+        """
+        password = (
+            network_password
+            if network_password is not None
+            else self.network_password
+        )
+        device = HomePlugAVDevice(
+            env=self.env,
+            strip=self.strip,
+            streams=self.streams,
+            mac_addr=mac_addr,
+            is_cco=is_cco,
+            configs=configs,
+            aggregation=aggregation,
+            keys=KeyStore(nmk=nmk_from_password(password)),
+            require_authentication=self.security_enabled,
+        )
+        self.coordinator.add_node(device.node)
+        self.devices.append(device)
+        if is_cco:
+            if self.cco is not None:
+                raise ValueError("AVLN already has a CCo")
+            self.cco = device
+            if self.beacons_enabled:
+                self.env.process(self._beacon_process())
+        else:
+            self.env.process(self._association_process(device))
+        if self.channel_est_enabled:
+            self.env.process(self._channel_est_process(device))
+        return device
+
+    def find_device(self, mac_addr: str) -> HomePlugAVDevice:
+        mac = mac_addr.lower()
+        for device in self.devices:
+            if device.mac_addr == mac:
+                return device
+        raise KeyError(f"no device with MAC {mac_addr}")
+
+    @property
+    def all_associated(self) -> bool:
+        return all(device.associated for device in self.devices)
+
+    @property
+    def all_authenticated(self) -> bool:
+        return all(device.authenticated for device in self.devices)
+
+    # -- management-plane processes -------------------------------------------
+    def _beacon_process(self):
+        """CCo beacons every beacon period, via CA3 CSMA access."""
+        assert self.cco is not None
+        while True:
+            yield self.env.timeout(self.beacon_period_us)
+            self._beacon_sequence += 1
+            payload = BeaconPayload(
+                nid=self.nid,
+                cco_tei=self.cco.tei,
+                sequence=self._beacon_sequence,
+                beacon_period_ms=int(self.beacon_period_us / 1000),
+            )
+            self.cco.send_mme_over_wire(
+                MmeType.CC_BEACON | MMTYPE_IND,
+                payload.encode(),
+                dst_mac="ff:ff:ff:ff:ff:ff",
+                dest_tei=0xFF,
+                priority=PriorityClass.CA3,
+            )
+
+    def _association_process(self, device: HomePlugAVDevice):
+        """Station startup: wait a beat, then associate (retry if lost)."""
+        rng = self.streams.stream("assoc", device.mac_addr)
+        yield self.env.timeout(float(rng.uniform(1_000.0, 20_000.0)))
+        while not device.associated:
+            device.request_association()
+            # Re-try if the confirm has not arrived within 100 ms.
+            yield self.env.timeout(100_000.0)
+        if self.security_enabled:
+            # Authenticate: fetch the NEK.  A device with the wrong
+            # NMK keeps being refused and retries at a slow cadence.
+            while not device.authenticated:
+                device.request_network_key()
+                yield self.env.timeout(200_000.0)
+
+    def _channel_est_process(self, device: HomePlugAVDevice):
+        """Periodic tone-map indications towards every known peer."""
+        rng = self.streams.stream("chanest", device.mac_addr)
+        yield self.env.timeout(float(rng.uniform(0.0, self.channel_est_period_us)))
+        while True:
+            yield self.env.timeout(
+                float(
+                    rng.uniform(
+                        0.8 * self.channel_est_period_us,
+                        1.2 * self.channel_est_period_us,
+                    )
+                )
+            )
+            if not device.associated:
+                continue
+            for peer_mac, tei in list(device.address_table.items()):
+                if peer_mac != device.mac_addr and tei != 0xFF:
+                    device.send_channel_estimation(peer_mac)

@@ -1,0 +1,93 @@
+"""HomePlug AV security plane: NMK/NEK key management.
+
+Joining an AVLN requires the *network membership key* (NMK), derived
+from the user's network password; the CCo hands authenticated members
+the rotating *network encryption key* (NEK) that protects data frames.
+The paper's testbed uses factory-default keys (all devices shipped
+with the same password), so security never appears in its
+measurements — but the MMEs exist on real networks and the tools can
+set keys, so the emulation models the plane:
+
+- :func:`nmk_from_password` — password → 16-byte NMK (PBKDF2-HMAC-SHA256
+  with the HomePlug AV salt; the standard's PBKDF1 variant differs in
+  construction but not in any property the emulation relies on);
+- :class:`KeyStore` — per-device NMK/NEK state;
+- CM_SET_KEY / CM_GET_KEY payload codecs live in
+  :mod:`repro.hpav.mme_types`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Optional
+
+__all__ = [
+    "NMK_BYTES",
+    "HPAV_KEY_SALT",
+    "DEFAULT_NETWORK_PASSWORD",
+    "nmk_from_password",
+    "KeyStore",
+]
+
+#: AES-128 key size used for both NMK and NEK.
+NMK_BYTES = 16
+
+#: The HomePlug AV key-derivation salt.
+HPAV_KEY_SALT = bytes.fromhex("0885 6daf 7cf5 8185".replace(" ", ""))
+
+#: Factory-default network password ("HomePlugAV" out of the box).
+DEFAULT_NETWORK_PASSWORD = "HomePlugAV"
+
+
+def nmk_from_password(password: str) -> bytes:
+    """Derive the 16-byte NMK from a network password.
+
+    >>> nmk_from_password("HomePlugAV") == nmk_from_password("HomePlugAV")
+    True
+    >>> len(nmk_from_password("secret"))
+    16
+    """
+    if not password:
+        raise ValueError("password must be non-empty")
+    return hashlib.pbkdf2_hmac(
+        "sha256", password.encode("utf-8"), HPAV_KEY_SALT, 1000, NMK_BYTES
+    )
+
+
+@dataclasses.dataclass
+class KeyStore:
+    """The keys one device holds."""
+
+    nmk: bytes = dataclasses.field(
+        default_factory=lambda: nmk_from_password(DEFAULT_NETWORK_PASSWORD)
+    )
+    nek: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if len(self.nmk) != NMK_BYTES:
+            raise ValueError(f"NMK must be {NMK_BYTES} bytes")
+
+    def set_nmk_from_password(self, password: str) -> None:
+        self.nmk = nmk_from_password(password)
+        self.nek = None  # a new network means the old NEK is useless
+
+    def set_nmk(self, nmk: bytes) -> None:
+        if len(nmk) != NMK_BYTES:
+            raise ValueError(f"NMK must be {NMK_BYTES} bytes")
+        self.nmk = bytes(nmk)
+        self.nek = None
+
+    @property
+    def authenticated(self) -> bool:
+        """Whether the device holds the network's current NEK."""
+        return self.nek is not None
+
+    def nmk_digest(self) -> bytes:
+        """8-byte proof-of-NMK used in CM_GET_KEY (emulated HMAC)."""
+        return hashlib.sha256(b"nmk-proof" + self.nmk).digest()[:8]
+
+    @staticmethod
+    def generate_nek(seed_material: bytes) -> bytes:
+        """Deterministically derive a NEK (CCo side, reproducible)."""
+        return hashlib.sha256(b"nek" + seed_material).digest()[:NMK_BYTES]

@@ -1,0 +1,16 @@
+"""Event-driven IEEE 1901 MAC (µs resolution): queues, nodes, contention."""
+
+from .coordinator import ContentionCoordinator, RoundLog
+from .node import BROADCAST_TEI, UNASSOCIATED_TEI, MacNode
+from .queueing import AggregationPolicy, PriorityQueues, QueuedMme
+
+__all__ = [
+    "AggregationPolicy",
+    "BROADCAST_TEI",
+    "ContentionCoordinator",
+    "MacNode",
+    "PriorityQueues",
+    "QueuedMme",
+    "RoundLog",
+    "UNASSOCIATED_TEI",
+]

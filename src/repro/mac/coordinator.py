@@ -1,0 +1,211 @@
+"""The synchronized 1901 contention process in microsecond time.
+
+IEEE 1901 contention is slot-synchronized network-wide: every busy
+period is followed by the two priority-resolution slots (PRS0/PRS1),
+then contention slots of 35.84 µs tick in lockstep until some station's
+backoff counter expires.  :class:`ContentionCoordinator` runs that
+structure as a process on the discrete-event engine:
+
+1. wait until any node has pending traffic;
+2. priority resolution: the highest pending class wins (busy-tone
+   signalling, §2), lower classes defer with frozen counters;
+3. contention slots: every contending node's backoff FSM steps exactly
+   as in the slot-synchronous simulator;
+4. on an attempt: put the winning burst (or the colliding bursts'
+   first MPDUs) on the wire with real delimiter/payload/RIFS/SACK
+   timing, feed the sniffers and the destination, generate SACKs —
+   collisions get all-errored SACKs (§3.2) — and give every node the
+   same outcome feedback the slot simulator would.
+
+Because step 3 drives the *same* :class:`repro.core.station.Station`
+FSM as the slot simulator, the two implementations agree on the
+protocol by construction; the event MAC adds the PHY timeline, frame
+bursting, management traffic and per-device firmware observability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..core.parameters import PriorityClass
+from ..core.station import SlotOutcome
+from ..engine.environment import Environment
+from ..engine.events import Event
+from ..phy.channel import PowerStrip
+from ..phy.framing import SackDelimiter
+from ..phy.timing import PhyTiming
+from .node import MacNode
+
+__all__ = ["ContentionCoordinator", "RoundLog"]
+
+
+@dataclasses.dataclass
+class RoundLog:
+    """Aggregate counters of the contention process (for tests/benches)."""
+
+    rounds: int = 0
+    idle_slots: int = 0
+    successes: int = 0
+    collisions: int = 0
+    prs_phases: int = 0
+    mpdus_on_wire: int = 0
+    #: Busy airtime (µs) attributed to each transmitting TEI — the
+    #: measurement behind the rate-diversity anomaly (a slow link's
+    #: share of airtime exceeds its share of transmissions).
+    airtime_by_source: Dict[int, float] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def add_airtime(self, tei: int, duration_us: float) -> None:
+        self.airtime_by_source[tei] = (
+            self.airtime_by_source.get(tei, 0.0) + duration_us
+        )
+
+    def airtime_share(self, tei: int) -> float:
+        """Fraction of attributed busy airtime used by ``tei``."""
+        total = sum(self.airtime_by_source.values())
+        if total <= 0:
+            return 0.0
+        return self.airtime_by_source.get(tei, 0.0) / total
+
+
+class ContentionCoordinator:
+    """Drives all attached :class:`MacNode` instances over a strip."""
+
+    def __init__(
+        self,
+        env: Environment,
+        strip: PowerStrip,
+        timing: Optional[PhyTiming] = None,
+        max_idle_slots_between_prs: int = 1_000_000,
+    ) -> None:
+        self.env = env
+        self.strip = strip
+        self.timing = timing if timing is not None else PhyTiming.paper_calibrated()
+        self.nodes: List[MacNode] = []
+        self.log = RoundLog()
+        self._work_event: Optional[Event] = None
+        self._process = env.process(self._run())
+        self._max_idle_slots = max_idle_slots_between_prs
+
+    # -- attachment ---------------------------------------------------------
+    def add_node(self, node: MacNode) -> None:
+        """Attach a node; its work signal wakes the contention loop."""
+        node.work_signal = self._signal_work
+        self.nodes.append(node)
+
+    def _signal_work(self) -> None:
+        if self._work_event is not None and not self._work_event.triggered:
+            self._work_event.succeed()
+
+    # -- main process -----------------------------------------------------------
+    def _pending_priorities(self) -> List[PriorityClass]:
+        return [
+            priority
+            for priority in (node.pending_priority() for node in self.nodes)
+            if priority is not None
+        ]
+
+    def _run(self):
+        while True:
+            # Sleep until at least one node has something to send.
+            while not self._pending_priorities():
+                self._work_event = self.env.event()
+                yield self._work_event
+                self._work_event = None
+
+            # Priority resolution phase (PRS0 + PRS1 busy tones).
+            yield self.env.timeout(self.timing.prs_us)
+            self.log.prs_phases += 1
+            pending = self._pending_priorities()
+            if not pending:
+                continue  # queues drained while PRS elapsed (host reset)
+            winning = max(pending)
+            contenders = [
+                node for node in self.nodes if node.begin_round(winning)
+            ]
+            if not contenders:
+                continue
+
+            # Contention slots until a transmission happens.
+            transmitted = False
+            idle_run = 0
+            while not transmitted and idle_run < self._max_idle_slots:
+                attempters = [node for node in contenders if node.step()]
+                if not attempters:
+                    yield self.env.timeout(self.timing.slot_us)
+                    self.log.idle_slots += 1
+                    idle_run += 1
+                    for node in contenders:
+                        node.resolve(SlotOutcome.IDLE)
+                    continue
+                if len(attempters) == 1:
+                    yield from self._transmit_success(attempters[0], contenders)
+                else:
+                    yield from self._transmit_collision(attempters, contenders)
+                transmitted = True
+            self.log.rounds += 1
+
+    # -- transmissions ------------------------------------------------------------
+    def _transmit_success(self, winner: MacNode, contenders: List[MacNode]):
+        """Air the winner's burst: MPDUs back-to-back, one SACK (burst
+        mode), then CIFS."""
+        burst = winner.take_burst()
+        sofs = burst.sof_delimiters()
+        error_flags_per_mpdu = []
+        for mpdu, sof in zip(burst.mpdus, sofs):
+            self.strip.observe_sof(sof, self.env.now, collided=False)
+            airtime = self.timing.mpdu_airtime_us(mpdu)
+            self.log.add_airtime(burst.source_tei, airtime)
+            yield self.env.timeout(airtime)
+            error_flags_per_mpdu.append(
+                self.strip.deliver_mpdu(mpdu, self.env.now)
+            )
+            self.log.mpdus_on_wire += 1
+        # Single selective acknowledgment covering the whole burst.
+        yield self.env.timeout(self.timing.rifs_us + self.timing.sack_us)
+        for mpdu, flags in zip(burst.mpdus, error_flags_per_mpdu):
+            sack = SackDelimiter(
+                mpdu_id=mpdu.mpdu_id,
+                source_tei=mpdu.dest_tei,
+                dest_tei=mpdu.source_tei,
+                pb_errors=tuple(flags) if flags else (False,),
+            )
+            winner.notify_sack(sack, burst, "success")
+        yield self.env.timeout(self.timing.cifs_us)
+        self.log.successes += 1
+        for node in contenders:
+            node.resolve(SlotOutcome.SUCCESS, won=(node is winner))
+
+    def _transmit_collision(
+        self, attempters: List[MacNode], contenders: List[MacNode]
+    ):
+        """Overlapping full bursts (stations are committed until the
+        burst-end SACK slot); every MPDU collides."""
+        bursts = [node.take_burst() for node in attempters]
+        # Delimiters are robustly modulated: sniffers decode every SoF
+        # of the colliding bursts (§3.2).  Emit them in wall-clock
+        # order: the k-th MPDUs of all bursts overlap.
+        schedule = []  # (time offset, sof)
+        longest = 0.0
+        for burst in bursts:
+            offset = 0.0
+            for mpdu, sof in zip(burst.mpdus, burst.sof_delimiters()):
+                schedule.append((offset, sof))
+                offset += self.timing.mpdu_airtime_us(mpdu)
+            self.log.add_airtime(burst.source_tei, offset)
+            longest = max(longest, offset)
+        schedule.sort(key=lambda item: item[0])
+        for offset, sof in schedule:
+            self.strip.observe_sof(sof, self.env.now + offset, collided=True)
+        yield self.env.timeout(longest)
+        for node, burst in zip(attempters, bursts):
+            for mpdu in burst.mpdus:
+                sack = SackDelimiter.collision(mpdu)
+                node.notify_sack(sack, burst, "collision")
+                self.log.mpdus_on_wire += 1
+        yield self.env.timeout(self.timing.cifs_us)
+        self.log.collisions += 1
+        for node in contenders:
+            node.resolve(SlotOutcome.COLLISION)

@@ -1,0 +1,50 @@
+"""HomePlug AV PHY substrate: framing, timing and the shared medium."""
+
+from .bitloading import (
+    AV_MODULATIONS,
+    DEFAULT_STRIP_SNR_DB,
+    Modulation,
+    ToneMap,
+    compute_tone_map,
+    select_modulation,
+)
+from .channel import (
+    BernoulliPbErrors,
+    ErrorModel,
+    IdealChannel,
+    PowerStrip,
+    SofObservation,
+)
+from .framing import (
+    Burst,
+    Mpdu,
+    PhysicalBlock,
+    SackDelimiter,
+    SofDelimiter,
+    segment_into_pbs,
+)
+from .rates import LinkRateTable
+from .timing import PhyTiming, default_phy_rate_calibrated
+
+__all__ = [
+    "AV_MODULATIONS",
+    "BernoulliPbErrors",
+    "DEFAULT_STRIP_SNR_DB",
+    "LinkRateTable",
+    "Modulation",
+    "ToneMap",
+    "compute_tone_map",
+    "select_modulation",
+    "Burst",
+    "ErrorModel",
+    "IdealChannel",
+    "Mpdu",
+    "PhyTiming",
+    "PhysicalBlock",
+    "PowerStrip",
+    "SackDelimiter",
+    "SofDelimiter",
+    "SofObservation",
+    "default_phy_rate_calibrated",
+    "segment_into_pbs",
+]

@@ -1,0 +1,146 @@
+"""Bit loading and tone maps: the §4.1 "unknown" made explicit.
+
+The paper lists the bit-loading algorithm (how a HomePlug AV chip maps
+channel conditions to per-carrier modulation, hence to the number of
+Ethernet frames per PLC frame) as vendor-secret.  This module builds
+the closest well-defined substitute:
+
+- the OFDM band is divided into carrier groups; each group's SNR maps
+  to the highest HomePlug AV constellation whose demodulation
+  threshold it clears (BPSK … 1024-QAM, the AV modulation set);
+- the per-group bits/symbol, summed and scaled by symbol rate and FEC
+  rate, give the link's *tone map* and effective payload rate;
+- tone maps refresh when the SNR changes (the channel-estimation MMEs
+  of :mod:`repro.hpav.network` model the signalling for this).
+
+With ideal same-power-strip channels all links get the same (maximal)
+rate, reproducing the paper's setup; the model exists so rate-diverse
+scenarios (attenuated outlets) exercise the same code path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Modulation",
+    "AV_MODULATIONS",
+    "ToneMap",
+    "compute_tone_map",
+    "select_modulation",
+    "DEFAULT_STRIP_SNR_DB",
+]
+
+#: HomePlug AV OFDM parameters (1901 FFT PHY): 917 usable carriers in
+#: 1.8–30 MHz, ~40.96 µs symbols ≈ 24.4k symbols/s.
+USABLE_CARRIERS = 917
+SYMBOLS_PER_SECOND = 24414.0
+#: Effective FEC + framing efficiency (turbo code rate 16/21 with
+#: interleaving overheads folded in).
+FEC_EFFICIENCY = 0.6
+#: Number of carrier groups a tone map quantizes the band into.
+CARRIER_GROUPS = 16
+
+
+@dataclasses.dataclass(frozen=True)
+class Modulation:
+    """One constellation of the AV modulation set."""
+
+    name: str
+    bits_per_carrier: int
+    #: Minimum SNR (dB) at which the chip selects this constellation.
+    snr_threshold_db: float
+
+
+#: The HomePlug AV modulation set with textbook demodulation
+#: thresholds (ordered by increasing rate).
+AV_MODULATIONS: Tuple[Modulation, ...] = (
+    Modulation("BPSK", 1, 2.0),
+    Modulation("QPSK", 2, 5.0),
+    Modulation("8-QAM", 3, 8.5),
+    Modulation("16-QAM", 4, 11.5),
+    Modulation("64-QAM", 6, 17.5),
+    Modulation("256-QAM", 8, 23.5),
+    Modulation("1024-QAM", 10, 29.5),
+)
+
+#: Default SNR (dB) of a healthy same-power-strip link: clears the
+#: 256-QAM threshold (an effective ~107 Mbps tone map).  The *paper*'s
+#: effective rate (~11.8 Mbps payload, INT6300 with practical
+#: overheads) is reproduced by the fixed-airtime path of
+#: :class:`repro.phy.timing.PhyTiming`, not by this table.
+DEFAULT_STRIP_SNR_DB = 24.0
+
+
+def select_modulation(snr_db: float) -> Optional[Modulation]:
+    """Highest constellation whose threshold the SNR clears."""
+    chosen = None
+    for modulation in AV_MODULATIONS:
+        if snr_db >= modulation.snr_threshold_db:
+            chosen = modulation
+    return chosen
+
+
+@dataclasses.dataclass(frozen=True)
+class ToneMap:
+    """A link's negotiated modulation per carrier group."""
+
+    #: Modulation per carrier group (None = group masked off).
+    groups: Tuple[Optional[Modulation], ...]
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ValueError("tone map needs at least one carrier group")
+
+    @property
+    def bits_per_symbol(self) -> float:
+        """Raw bits carried by one OFDM symbol under this map."""
+        carriers_per_group = USABLE_CARRIERS / len(self.groups)
+        return sum(
+            modulation.bits_per_carrier * carriers_per_group
+            for modulation in self.groups
+            if modulation is not None
+        )
+
+    @property
+    def payload_rate_mbps(self) -> float:
+        """Effective payload rate (Mbps) after FEC/framing."""
+        return (
+            self.bits_per_symbol
+            * SYMBOLS_PER_SECOND
+            * FEC_EFFICIENCY
+            / 1e6
+        )
+
+    @property
+    def usable(self) -> bool:
+        """Whether any carrier group carries data."""
+        return any(modulation is not None for modulation in self.groups)
+
+    def describe(self) -> str:
+        names = [
+            modulation.name if modulation else "off"
+            for modulation in self.groups
+        ]
+        return f"<ToneMap {self.payload_rate_mbps:.1f} Mbps {names}>"
+
+
+def compute_tone_map(
+    snr_db: Sequence[float] | float,
+    num_groups: int = CARRIER_GROUPS,
+) -> ToneMap:
+    """Build a tone map from per-group (or flat) SNR measurements.
+
+    >>> compute_tone_map(30.0).groups[0].name
+    '1024-QAM'
+    >>> compute_tone_map(-10.0).usable
+    False
+    """
+    if isinstance(snr_db, (int, float)):
+        snrs: List[float] = [float(snr_db)] * num_groups
+    else:
+        snrs = [float(s) for s in snr_db]
+        if not snrs:
+            raise ValueError("need at least one SNR value")
+    return ToneMap(groups=tuple(select_modulation(s) for s in snrs))

@@ -1,0 +1,254 @@
+"""HomePlug AV framing: physical blocks, MPDUs, bursts and delimiters.
+
+§3.1 of the paper: Ethernet frames are segmented into 512-byte
+*physical blocks* (PBs); PBs are packed into a *MAC protocol data unit*
+(MPDU, the PLC frame); up to four MPDUs may be transmitted back-to-back
+in a *burst* that contends for the medium as a unit (the paper's
+devices use bursts of 2).
+
+Every MPDU on the wire is preceded by a *start-of-frame (SoF)
+delimiter* whose fields — Link ID (priority), source/destination TEI,
+``MPDUCnt`` (remaining MPDUs in the burst), frame length — are exactly
+what the ``faifa`` sniffer captures (§3.3).  Receivers answer a burst
+with a *selective acknowledgment (SACK)* delimiter carrying a per-PB
+error bitmap; a collision is acknowledged with all PBs marked errored
+(the 1901 feature §3.2 verifies).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import List, Optional, Tuple
+
+from ..core.parameters import (
+    MAX_MPDUS_PER_BURST,
+    PB_SIZE_BYTES,
+    PriorityClass,
+)
+
+__all__ = [
+    "PhysicalBlock",
+    "Mpdu",
+    "Burst",
+    "SofDelimiter",
+    "SackDelimiter",
+    "segment_into_pbs",
+]
+
+_mpdu_sequence = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class PhysicalBlock:
+    """One 512-byte PB carrying a slice of an Ethernet frame.
+
+    ``frame_id``/``offset`` identify the payload slice so the receiver
+    can reassemble; ``fill`` is the number of meaningful bytes (the
+    last PB of a frame is zero-padded on the wire).
+    """
+
+    frame_id: int
+    offset: int
+    fill: int
+    size: int = PB_SIZE_BYTES
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fill <= self.size:
+            raise ValueError(
+                f"PB fill must be in (0, {self.size}], got {self.fill}"
+            )
+
+
+def segment_into_pbs(frame_id: int, payload_bytes: int) -> List[PhysicalBlock]:
+    """Split an Ethernet frame into 512-byte physical blocks.
+
+    >>> [pb.fill for pb in segment_into_pbs(1, 1500)]
+    [512, 512, 476]
+    """
+    if payload_bytes <= 0:
+        raise ValueError("payload_bytes must be positive")
+    blocks = []
+    offset = 0
+    while offset < payload_bytes:
+        fill = min(PB_SIZE_BYTES, payload_bytes - offset)
+        blocks.append(PhysicalBlock(frame_id=frame_id, offset=offset, fill=fill))
+        offset += fill
+    return blocks
+
+
+@dataclasses.dataclass(frozen=True)
+class Mpdu:
+    """A PLC frame: an aggregate of physical blocks.
+
+    ``mpdu_id`` is globally unique (used by acknowledgment matching and
+    the firmware statistics engine).
+    """
+
+    source_tei: int
+    dest_tei: int
+    priority: PriorityClass
+    blocks: Tuple[PhysicalBlock, ...]
+    is_management: bool = False
+    #: Opaque payload reference for management MPDUs (the MME bytes).
+    payload: Optional[bytes] = None
+    mpdu_id: int = dataclasses.field(
+        default_factory=lambda: next(_mpdu_sequence)
+    )
+
+    def __post_init__(self) -> None:
+        if not self.blocks and not self.is_management:
+            raise ValueError("data MPDU needs at least one physical block")
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Meaningful bytes carried (PB fills, or MME payload length)."""
+        if self.blocks:
+            return sum(pb.fill for pb in self.blocks)
+        return len(self.payload) if self.payload else 0
+
+    @property
+    def on_wire_bytes(self) -> int:
+        """Bytes occupying the channel (PBs are padded to 512)."""
+        if self.blocks:
+            return self.num_blocks * PB_SIZE_BYTES
+        return max(PB_SIZE_BYTES, self.payload_bytes)
+
+
+@dataclasses.dataclass(frozen=True)
+class Burst:
+    """Up to four MPDUs contending for the medium as one unit (§3.1)."""
+
+    mpdus: Tuple[Mpdu, ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.mpdus) <= MAX_MPDUS_PER_BURST:
+            raise ValueError(
+                f"burst must carry 1..{MAX_MPDUS_PER_BURST} MPDUs, got "
+                f"{len(self.mpdus)}"
+            )
+        first = self.mpdus[0]
+        for mpdu in self.mpdus[1:]:
+            if (
+                mpdu.source_tei != first.source_tei
+                or mpdu.priority != first.priority
+            ):
+                raise ValueError(
+                    "all MPDUs of a burst share source and priority"
+                )
+
+    @property
+    def size(self) -> int:
+        return len(self.mpdus)
+
+    @property
+    def source_tei(self) -> int:
+        return self.mpdus[0].source_tei
+
+    @property
+    def priority(self) -> PriorityClass:
+        return self.mpdus[0].priority
+
+    @property
+    def is_management(self) -> bool:
+        return self.mpdus[0].is_management
+
+    def sof_delimiters(self) -> List["SofDelimiter"]:
+        """The SoF delimiter sequence a sniffer observes for this burst.
+
+        ``mpdu_count`` counts the *remaining* MPDUs: the last MPDU of a
+        burst carries 0, which is how burst boundaries are detected
+        (§3.3).
+        """
+        total = self.size
+        return [
+            SofDelimiter(
+                source_tei=mpdu.source_tei,
+                dest_tei=mpdu.dest_tei,
+                link_id=int(mpdu.priority),
+                mpdu_count=total - 1 - position,
+                frame_length_bytes=mpdu.on_wire_bytes,
+                num_blocks=max(mpdu.num_blocks, 1),
+            )
+            for position, mpdu in enumerate(self.mpdus)
+        ]
+
+
+@dataclasses.dataclass(frozen=True)
+class SofDelimiter:
+    """Start-of-frame delimiter fields visible to the sniffer (§3.3).
+
+    Delimiters use a robust modulation, so they are decodable even when
+    the MPDU payload collides — which is why collided frames still get
+    (negatively) acknowledged and why sniffer-based counting works.
+    """
+
+    source_tei: int
+    dest_tei: int
+    #: Link ID: the frame's priority class (CA0..CA3) for our traffic.
+    link_id: int
+    #: Remaining MPDUs in the burst after this one (0 = last).
+    mpdu_count: int
+    frame_length_bytes: int
+    num_blocks: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.link_id <= 3:
+            raise ValueError(f"link_id must be 0..3, got {self.link_id}")
+        if self.mpdu_count < 0:
+            raise ValueError("mpdu_count must be >= 0")
+
+    @property
+    def priority(self) -> PriorityClass:
+        return PriorityClass(self.link_id)
+
+    @property
+    def is_last_in_burst(self) -> bool:
+        return self.mpdu_count == 0
+
+
+@dataclasses.dataclass(frozen=True)
+class SackDelimiter:
+    """Selective acknowledgment for one MPDU.
+
+    ``pb_errors`` marks errored physical blocks.  On a collision the
+    destination can still decode the (robustly modulated) delimiter and
+    replies with *all* PBs errored — the paper's §3.2 explains this is
+    why the acknowledged-frame counter includes collided frames.
+    """
+
+    mpdu_id: int
+    source_tei: int
+    dest_tei: int
+    pb_errors: Tuple[bool, ...]
+
+    @property
+    def all_errored(self) -> bool:
+        return all(self.pb_errors) if self.pb_errors else True
+
+    @property
+    def ok(self) -> bool:
+        """Whether every PB was received correctly."""
+        return not any(self.pb_errors)
+
+    @classmethod
+    def success(cls, mpdu: Mpdu) -> "SackDelimiter":
+        return cls(
+            mpdu_id=mpdu.mpdu_id,
+            source_tei=mpdu.dest_tei,
+            dest_tei=mpdu.source_tei,
+            pb_errors=tuple(False for _ in range(max(mpdu.num_blocks, 1))),
+        )
+
+    @classmethod
+    def collision(cls, mpdu: Mpdu) -> "SackDelimiter":
+        return cls(
+            mpdu_id=mpdu.mpdu_id,
+            source_tei=mpdu.dest_tei,
+            dest_tei=mpdu.source_tei,
+            pb_errors=tuple(True for _ in range(max(mpdu.num_blocks, 1))),
+        )

@@ -1,0 +1,77 @@
+"""Per-link rate table: tone maps negotiated between device pairs.
+
+Glue between :mod:`repro.phy.bitloading` and the MAC timing: the table
+holds the tone map of every (source TEI, destination TEI) link,
+derived from that link's SNR, and answers rate queries from
+:class:`repro.phy.timing.PhyTiming` when MPDU airtime is rate-based.
+
+On the paper's single power strip every link has the same high SNR;
+setting a lower SNR for one outlet reproduces rate-diverse homes and
+the CSMA airtime anomaly (experiment X11).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .bitloading import DEFAULT_STRIP_SNR_DB, ToneMap, compute_tone_map
+
+__all__ = ["LinkRateTable"]
+
+
+class LinkRateTable:
+    """SNR-driven tone maps / payload rates per directed link."""
+
+    def __init__(self, default_snr_db: float = DEFAULT_STRIP_SNR_DB) -> None:
+        self.default_snr_db = default_snr_db
+        #: Explicit per-directed-link SNR overrides.
+        self._snr: Dict[Tuple[int, int], float] = {}
+        #: Per-station SNR caps (an attenuated outlet degrades every
+        #: link touching that station).
+        self._station_snr: Dict[int, float] = {}
+        self._maps: Dict[Tuple[int, int], ToneMap] = {}
+        self._default_map = compute_tone_map(default_snr_db)
+
+    # -- configuration -----------------------------------------------------
+    def set_snr(self, source_tei: int, dest_tei: int, snr_db: float) -> None:
+        """Set one directed link's SNR (recomputes its tone map)."""
+        self._snr[(source_tei, dest_tei)] = snr_db
+        self._maps.pop((source_tei, dest_tei), None)
+
+    def set_station_snr(self, tei: int, snr_db: float) -> None:
+        """Degrade every link touching ``tei`` (an attenuated outlet)."""
+        self._station_snr[tei] = snr_db
+        self._maps.clear()
+
+    # -- queries --------------------------------------------------------------
+    def snr(self, source_tei: int, dest_tei: int) -> float:
+        key = (source_tei, dest_tei)
+        explicit = self._snr.get(key)
+        caps = [
+            self._station_snr[tei]
+            for tei in key
+            if tei in self._station_snr
+        ]
+        candidates = ([explicit] if explicit is not None else []) + caps
+        if candidates:
+            return min(candidates)
+        return self.default_snr_db
+
+    def tone_map(self, source_tei: int, dest_tei: int) -> ToneMap:
+        key = (source_tei, dest_tei)
+        if key not in self._maps:
+            snr = self.snr(*key)
+            if snr == self.default_snr_db:
+                return self._default_map
+            self._maps[key] = compute_tone_map(snr)
+        return self._maps[key]
+
+    def rate_mbps(self, source_tei: int, dest_tei: int) -> float:
+        """Effective payload rate of a link (Mbps)."""
+        tone_map = self.tone_map(source_tei, dest_tei)
+        if not tone_map.usable:
+            raise ValueError(
+                f"link {source_tei}->{dest_tei} has no usable carriers "
+                f"(SNR {self.snr(source_tei, dest_tei)} dB)"
+            )
+        return tone_map.payload_rate_mbps

@@ -1,0 +1,185 @@
+"""µs-resolution timing composition for the event-driven MAC.
+
+The slot-synchronous simulator takes the total durations ``Ts``/``Tc``
+as opaque inputs (Table 3).  The event-driven MAC instead *composes*
+them from the HomePlug AV timeline:
+
+    contention round = PRS0 + PRS1 + backoff slots + burst
+    burst (success)  = Σ per MPDU (SoF delimiter + payload + RIFS + SACK)
+                       + CIFS
+    burst (collision)= SoF delimiter + payload + EIFS-style recovery
+                       (no usable SACK timing) + CIFS
+
+Payload airtime is derived from the PHY rate of the tone map.  The
+defaults are calibrated so that a single-MPDU data transmission matches
+the paper's Table 3 totals (Ts = 2920.64 µs, Tc = 2542.64 µs) — see
+:func:`default_phy_rate_calibrated`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from typing import TYPE_CHECKING
+
+from ..core.parameters import (
+    CIFS_US,
+    DEFAULT_FRAME_US,
+    DEFAULT_TS_US,
+    DELIMITER_US,
+    PRIORITY_RESOLUTION_US,
+    RIFS_US,
+    SACK_US,
+    SLOT_DURATION_US,
+)
+from .framing import Burst, Mpdu
+
+if TYPE_CHECKING:
+    from .rates import LinkRateTable
+
+__all__ = ["PhyTiming", "default_phy_rate_calibrated"]
+
+
+#: Airtime of one data MPDU (one 1514-byte Ethernet frame) such that a
+#: 2-MPDU burst occupies the paper's 2050 µs frame duration.
+DEFAULT_MPDU_AIRTIME_US = DEFAULT_FRAME_US / 2.0
+
+
+def default_phy_rate_calibrated(payload_bytes: int = 1514) -> float:
+    """PHY rate (Mbps) such that ``payload_bytes`` airs in one MPDU's
+    default airtime (1025 µs).
+
+    The paper's stations put one 1514-byte Ethernet frame in each MPDU
+    and contend with 2-MPDU bursts (§3.1); 1514 bytes in 1025 µs is
+    ≈ 11.8 Mbps of *payload* throughput at the MAC/PHY boundary (the
+    INT6300's effective rate for that tone map, channel coding
+    included).
+    """
+    return payload_bytes * 8.0 / DEFAULT_MPDU_AIRTIME_US  # bits/µs == Mbps
+
+
+@dataclasses.dataclass(frozen=True)
+class PhyTiming:
+    """Airtime calculator for delimiters, MPDUs and bursts.
+
+    Parameters
+    ----------
+    phy_rate_mbps:
+        Effective payload rate (bits per µs).  The default reproduces
+        the paper's 2050 µs frame duration for the testbed's typical
+        aggregate (see :func:`default_phy_rate_calibrated`).
+    fixed_mpdu_airtime_us:
+        If set, every data MPDU payload airs for exactly this duration
+        regardless of size — matching the slot simulator's fixed
+        ``frame_length`` input for like-for-like comparisons.
+    """
+
+    slot_us: float = SLOT_DURATION_US
+    prs_us: float = PRIORITY_RESOLUTION_US
+    delimiter_us: float = DELIMITER_US
+    rifs_us: float = RIFS_US
+    sack_us: float = SACK_US
+    cifs_us: float = CIFS_US
+    phy_rate_mbps: float = dataclasses.field(
+        default_factory=default_phy_rate_calibrated
+    )
+    fixed_mpdu_airtime_us: float | None = DEFAULT_MPDU_AIRTIME_US
+    #: Optional per-link tone-map rates (rate-diverse scenarios); used
+    #: when ``fixed_mpdu_airtime_us`` is ``None``.
+    link_rates: "LinkRateTable | None" = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "slot_us",
+            "prs_us",
+            "delimiter_us",
+            "rifs_us",
+            "sack_us",
+            "cifs_us",
+            "phy_rate_mbps",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    # -- per-unit durations -------------------------------------------------
+    def payload_airtime_us(self, mpdu: Mpdu) -> float:
+        """Airtime of one MPDU's payload symbols.
+
+        Data MPDUs use the fixed calibrated airtime unless disabled;
+        otherwise the link's tone-map rate (when a rate table is
+        installed) or the flat PHY rate converts bytes to µs.
+        Management MPDUs always go over the actual rate (they are much
+        shorter than data frames).
+        """
+        if self.fixed_mpdu_airtime_us is not None and not mpdu.is_management:
+            return self.fixed_mpdu_airtime_us
+        rate = self.phy_rate_mbps
+        if self.link_rates is not None:
+            rate = self.link_rates.rate_mbps(
+                mpdu.source_tei, mpdu.dest_tei
+            )
+        return mpdu.on_wire_bytes * 8.0 / rate
+
+    def mpdu_airtime_us(self, mpdu: Mpdu) -> float:
+        """SoF delimiter + payload of one MPDU (no response timing)."""
+        return self.delimiter_us + self.payload_airtime_us(mpdu)
+
+    def mpdu_exchange_us(self, mpdu: Mpdu) -> float:
+        """Delimiter + payload + RIFS + SACK for a lone MPDU."""
+        return self.mpdu_airtime_us(mpdu) + self.rifs_us + self.sack_us
+
+    def burst_airtime_us(self, burst: Burst) -> float:
+        """Back-to-back airtime of all MPDUs of a burst (no SACK)."""
+        return sum(self.mpdu_airtime_us(mpdu) for mpdu in burst.mpdus)
+
+    # -- burst outcomes ------------------------------------------------------
+    def burst_success_us(self, burst: Burst) -> float:
+        """Total busy time of a successful burst, CIFS included.
+
+        1901 burst mode: the MPDUs air back-to-back and a single
+        selective acknowledgment (covering all of them) follows the
+        last one after RIFS.  Priority-resolution and backoff slots are
+        accounted by the contention coordinator, not here.
+        """
+        return (
+            self.burst_airtime_us(burst)
+            + self.rifs_us
+            + self.sack_us
+            + self.cifs_us
+        )
+
+    def burst_collision_us(self, bursts: list) -> float:
+        """Busy time of a collision between overlapping bursts.
+
+        Colliding stations are committed to their whole burst (the
+        SACK only comes after the last MPDU), so the medium stays busy
+        for the longest full burst among the colliders, plus CIFS.
+        """
+        if len(bursts) < 2:
+            raise ValueError("a collision involves at least two bursts")
+        longest = max(self.burst_airtime_us(burst) for burst in bursts)
+        return longest + self.cifs_us
+
+    # -- calibration helpers ---------------------------------------------------
+    def single_mpdu_ts_us(self, mpdu: Mpdu) -> float:
+        """PRS + exchange + CIFS: comparable to the slot-sim ``Ts``."""
+        return self.prs_us + self.mpdu_exchange_us(mpdu) + self.cifs_us
+
+    @classmethod
+    def paper_calibrated(cls) -> "PhyTiming":
+        """Timing whose 2-MPDU-burst round matches Table 3's ``Ts``.
+
+        A standard testbed round is PRS + burst(2 MPDUs of 1025 µs) +
+        RIFS + SACK + CIFS = 2693.12 µs of protocol components; the
+        Table 3 total of 2920.64 µs implies an extra turnaround margin
+        of 227.52 µs measured on the devices.  We fold it into RIFS so
+        the burst-level totals agree with the reference inputs.
+        """
+        margin = DEFAULT_TS_US - (
+            PRIORITY_RESOLUTION_US
+            + 2 * (DELIMITER_US + DEFAULT_MPDU_AIRTIME_US)
+            + RIFS_US
+            + SACK_US
+            + CIFS_US
+        )
+        return cls(rifs_us=RIFS_US + margin)

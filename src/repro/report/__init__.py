@@ -1,0 +1,14 @@
+"""Text rendering of the reproduced tables and figures."""
+
+from .export import to_jsonable, write_csv, write_json
+from .figures import ascii_plot
+from .tables import format_scientific, format_table
+
+__all__ = [
+    "ascii_plot",
+    "format_scientific",
+    "format_table",
+    "to_jsonable",
+    "write_csv",
+    "write_json",
+]

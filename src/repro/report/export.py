@@ -1,0 +1,69 @@
+"""Machine-readable export of experiment results (CSV / JSON).
+
+The benches print human-readable tables; downstream users replotting
+the reproduced figures want files.  These helpers write plain rows to
+CSV and dataclass-friendly structures to JSON, with no third-party
+dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence, Union
+
+__all__ = ["write_csv", "write_json", "to_jsonable"]
+
+
+def write_csv(
+    path: Union[str, Path],
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+) -> Path:
+    """Write ``rows`` under ``headers`` to ``path``; returns the path."""
+    path = Path(path)
+    rows = [list(row) for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row length {len(row)} != header length {len(headers)}"
+            )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert dataclasses / numpy scalars / containers to JSON types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, bytes):
+        return value.hex()
+    if hasattr(value, "item") and callable(value.item):
+        try:
+            return value.item()  # numpy scalar
+        except (TypeError, ValueError):
+            pass
+    if hasattr(value, "tolist") and callable(value.tolist):
+        return value.tolist()  # numpy array
+    return value
+
+
+def write_json(path: Union[str, Path], value: Any, indent: int = 2) -> Path:
+    """Serialize ``value`` (dataclasses welcome) to JSON at ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(value), indent=indent) + "\n")
+    return path

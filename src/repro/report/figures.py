@@ -1,0 +1,93 @@
+"""ASCII line plots: the offline stand-in for the paper's figures.
+
+:func:`ascii_plot` renders one or more (x, y) series on a character
+grid with distinct markers per series and a legend — enough to eyeball
+the *shape* agreement that the reproduction targets (who wins, where
+curves cross, saturation levels).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 70,
+    height: int = 20,
+    title: Optional[str] = None,
+    xlabel: str = "",
+    ylabel: str = "",
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render named (xs, ys) series as an ASCII scatter/line chart.
+
+    >>> art = ascii_plot({"demo": ([0, 1, 2], [0.0, 0.5, 1.0])},
+    ...                  width=20, height=5)
+    >>> "demo" in art
+    True
+    """
+    if not series:
+        raise ValueError("ascii_plot needs at least one series")
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: x/y length mismatch")
+        if len(xs) == 0:
+            raise ValueError(f"series {name!r} is empty")
+
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo = y_min if y_min is not None else min(all_y)
+    y_hi = y_max if y_max is not None else max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, max(0, round((x - x_lo) / (x_hi - x_lo) * (width - 1))))
+
+    def to_row(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, max(0, round((1.0 - frac) * (height - 1))))
+
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            grid[to_row(float(y))][to_col(float(x))] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if ylabel:
+        lines.append(ylabel)
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(label_width)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_lo:.4g}".ljust(width - 8) + f"{x_hi:.4g}".rjust(8)
+    lines.append(" " * label_width + "  " + x_axis)
+    if xlabel:
+        lines.append(" " * label_width + "  " + xlabel.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series.keys())
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

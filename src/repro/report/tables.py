@@ -1,0 +1,78 @@
+"""Plain-text table rendering for benchmark and experiment output.
+
+The offline environment has no plotting stack, so every table/figure of
+the paper is regenerated as text: aligned tables here, ASCII line plots
+in :mod:`repro.report.figures`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_scientific"]
+
+
+def format_scientific(value: float, digits: int = 4) -> str:
+    """Render a number like the paper's Table 2 (e.g. ``2.5000e+01``)."""
+    return f"{value:.{digits}e}"
+
+
+def _render_cell(value: object, spec: Optional[str]) -> str:
+    if spec is None:
+        return str(value)
+    if isinstance(value, str):
+        return value
+    return format(value, spec)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    formats: Optional[Sequence[Optional[str]]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values; converted with ``formats`` where given.
+    formats:
+        Optional per-column format specs (e.g. ``".4f"``); ``None``
+        entries fall back to ``str``.
+
+    >>> print(format_table(["N", "p"], [(1, 0.0), (2, 0.0741)],
+    ...                    formats=[None, ".3f"]))
+    N  p
+    -  -----
+    1  0.000
+    2  0.074
+    """
+    rows = list(rows)
+    if formats is None:
+        formats = [None] * len(headers)
+    if len(formats) != len(headers):
+        raise ValueError("formats length must match headers length")
+    rendered: List[List[str]] = [
+        [_render_cell(value, spec) for value, spec in zip(row, formats)]
+        for row in rows
+    ]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row length must match headers length")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered))
+        if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

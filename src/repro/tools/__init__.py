@@ -1,0 +1,22 @@
+"""Reimplementations of the paper's measurement tools (§3).
+
+- :class:`Ampstat` — the Atheros Open Powerline Toolkit's ``ampstat``:
+  per-link acked/collided counters over VS_STATS (0xA030);
+- :class:`Faifa` — ``faifa``: sniffer-mode SoF capture (0xA034), burst
+  reconstruction, frame classification, MME-overhead and fairness
+  traces;
+- :mod:`repro.tools.cli` — the ``repro-plc`` command-line interface.
+"""
+
+from .ampstat import HOST_MAC, Ampstat
+from .amptool import Amptool
+from .faifa import BurstRecord, Faifa, export_captures_json
+
+__all__ = [
+    "Ampstat",
+    "Amptool",
+    "BurstRecord",
+    "Faifa",
+    "HOST_MAC",
+    "export_captures_json",
+]

@@ -1,0 +1,67 @@
+"""``amptool``: host-side device administration (keys, network info).
+
+The Open Powerline Toolkit ships administration tools alongside
+``ampstat``; this class covers the subset our emulated devices expose:
+
+- set the network password / NMK (CM_SET_KEY over the host port — the
+  key never travels the powerline in the clear);
+- read the network information table (VS_NW_INFO): peers, TEIs, PHY
+  rates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..hpav.device import HomePlugAVDevice
+from ..hpav.mme import MmeFrame
+from ..hpav.mme_types import (
+    KEY_TYPE_NMK,
+    MmeType,
+    NetworkInfoConfirm,
+    NetworkInfoRequest,
+    SetKeyConfirm,
+    SetKeyRequest,
+)
+from ..hpav.security import nmk_from_password
+from .ampstat import HOST_MAC
+
+__all__ = ["Amptool"]
+
+
+class Amptool:
+    """Host-side administration tool bound to one device."""
+
+    def __init__(self, device: HomePlugAVDevice, host_mac: str = HOST_MAC) -> None:
+        self.device = device
+        self.host_mac = host_mac
+
+    def _transact(self, mmtype: int, payload: bytes) -> MmeFrame:
+        frame = MmeFrame(
+            dst_mac=self.device.mac_addr,
+            src_mac=self.host_mac,
+            mmtype=mmtype,
+            payload=payload,
+        )
+        return MmeFrame.decode(self.device.host_request(frame.encode()))
+
+    # -- key management ----------------------------------------------------
+    def set_network_password(self, password: str) -> bool:
+        """Derive the NMK from ``password`` and install it."""
+        return self.set_nmk(nmk_from_password(password))
+
+    def set_nmk(self, nmk: bytes) -> bool:
+        """Install a raw 16-byte NMK; returns success."""
+        reply = self._transact(
+            MmeType.CM_SET_KEY,
+            SetKeyRequest(key_type=KEY_TYPE_NMK, key=nmk).encode(),
+        )
+        return SetKeyConfirm.decode(reply.payload).result == 0
+
+    # -- network info ---------------------------------------------------------
+    def network_info(self) -> List[Tuple[str, int, int, int]]:
+        """Peers as ``(mac, tei, tx_rate, rx_rate)`` tuples."""
+        reply = self._transact(
+            MmeType.VS_NW_INFO, NetworkInfoRequest().encode()
+        )
+        return list(NetworkInfoConfirm.decode(reply.payload).entries)

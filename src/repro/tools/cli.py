@@ -1,0 +1,420 @@
+"""Command-line interface: ``repro-plc``.
+
+Subcommands map to the paper's artifacts:
+
+- ``sim`` — the reference simulator with Table 3's inputs;
+- ``table2`` — regenerate Table 2 (ΣC, ΣA per N);
+- ``figure2`` — regenerate Figure 2 (three collision-probability
+  curves) as a table and an ASCII plot;
+- ``testbed`` — one §3.2 test on the emulated testbed;
+- ``overhead`` — the §3.3 MME-overhead measurement;
+- ``sweep`` — throughput/collision vs. N for the standard protocols;
+- ``boost`` — search for and report a boosted configuration;
+- ``load`` / ``errors`` / ``delay`` / ``coexist`` — the extension
+  experiments (unsaturated load, channel errors + ARQ, access-delay
+  model, boosted/legacy coexistence).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-plc",
+        description=(
+            "Reproduction toolkit for 'Analyzing and Boosting the "
+            "Performance of Power-Line Communication Networks'"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("sim", help="run the §4.2 reference simulator")
+    sim.add_argument("-n", "--stations", type=int, default=2)
+    sim.add_argument("--sim-time", type=float, default=5e7)
+    sim.add_argument("--tc", type=float, default=2542.64)
+    sim.add_argument("--ts", type=float, default=2920.64)
+    sim.add_argument("--frame", type=float, default=2050.0)
+    sim.add_argument(
+        "--cw", type=int, nargs="+", default=[8, 16, 32, 64]
+    )
+    sim.add_argument("--dc", type=int, nargs="+", default=[0, 1, 3, 15])
+    sim.add_argument("--seed", type=int, default=1)
+
+    table2 = sub.add_parser("table2", help="regenerate Table 2")
+    table2.add_argument("--duration", type=float, default=24e6)
+    table2.add_argument("--max-n", type=int, default=7)
+    table2.add_argument("--seed", type=int, default=1)
+
+    figure2 = sub.add_parser("figure2", help="regenerate Figure 2")
+    figure2.add_argument("--duration", type=float, default=24e6)
+    figure2.add_argument("--reps", type=int, default=3)
+    figure2.add_argument("--max-n", type=int, default=7)
+    figure2.add_argument("--seed", type=int, default=1)
+
+    testbed = sub.add_parser("testbed", help="one §3.2 emulated test")
+    testbed.add_argument("-n", "--stations", type=int, default=2)
+    testbed.add_argument("--duration", type=float, default=24e6)
+    testbed.add_argument("--seed", type=int, default=1)
+
+    overhead = sub.add_parser("overhead", help="§3.3 MME overhead")
+    overhead.add_argument("-n", "--stations", type=int, default=2)
+    overhead.add_argument("--duration", type=float, default=24e6)
+    overhead.add_argument("--seed", type=int, default=1)
+
+    sweep = sub.add_parser("sweep", help="throughput vs N per protocol")
+    sweep.add_argument(
+        "--counts", type=int, nargs="+", default=[1, 2, 5, 10, 20]
+    )
+    sweep.add_argument("--sim-time", type=float, default=2e7)
+    sweep.add_argument("--seed", type=int, default=1)
+
+    boost = sub.add_parser("boost", help="search boosted configurations")
+    boost.add_argument(
+        "--counts", type=int, nargs="+", default=[2, 5, 10, 20]
+    )
+
+    load = sub.add_parser("load", help="unsaturated offered-load sweep")
+    load.add_argument("-n", "--stations", type=int, default=3)
+    load.add_argument(
+        "--fractions", type=float, nargs="+",
+        default=[0.25, 0.5, 0.8, 1.0, 1.5],
+    )
+    load.add_argument("--sim-time", type=float, default=2e7)
+    load.add_argument("--seed", type=int, default=1)
+
+    errors = sub.add_parser("errors", help="channel-error sweep (ARQ)")
+    errors.add_argument("-n", "--stations", type=int, default=2)
+    errors.add_argument(
+        "--rates", type=float, nargs="+", default=[0.0, 0.02, 0.05, 0.1]
+    )
+    errors.add_argument("--duration", type=float, default=12e6)
+    errors.add_argument("--seed", type=int, default=1)
+
+    delay = sub.add_parser("delay", help="access-delay model vs simulation")
+    delay.add_argument(
+        "--counts", type=int, nargs="+", default=[1, 2, 5, 10]
+    )
+    delay.add_argument("--sim-time", type=float, default=2e7)
+
+    coexist = sub.add_parser(
+        "coexist", help="boosted/legacy mixed-population sweep"
+    )
+    coexist.add_argument("--total", type=int, default=10)
+    coexist.add_argument(
+        "--boosted", type=int, nargs="+", default=[0, 2, 5, 8, 10]
+    )
+    coexist.add_argument("--sim-time", type=float, default=2e7)
+    return parser
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    from ..core.simulator import sim_1901
+
+    collision_pr, throughput = sim_1901(
+        args.stations,
+        args.sim_time,
+        args.tc,
+        args.ts,
+        args.frame,
+        args.cw,
+        args.dc,
+        seed=args.seed,
+    )
+    print(f"collision_pr     = {collision_pr:.6f}")
+    print(f"norm_throughput  = {throughput:.6f}")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from ..experiments.collision_probability import table2_data
+    from ..report.tables import format_scientific, format_table
+
+    rows = table2_data(
+        station_counts=range(1, args.max_n + 1),
+        duration_us=args.duration,
+        seed=args.seed,
+    )
+    print(
+        format_table(
+            ["N", "sum C_i", "sum A_i", "C/A"],
+            [
+                (
+                    row.num_stations,
+                    format_scientific(row.sum_collided),
+                    format_scientific(row.sum_acked),
+                    f"{row.collision_probability:.4f}",
+                )
+                for row in rows
+            ],
+            title=f"Table 2 (duration {args.duration/1e6:.0f}s per test)",
+        )
+    )
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    from ..experiments.collision_probability import figure2_data
+    from ..report.figures import ascii_plot
+    from ..report.tables import format_table
+
+    points = figure2_data(
+        station_counts=range(1, args.max_n + 1),
+        test_duration_us=args.duration,
+        test_repetitions=args.reps,
+        seed=args.seed,
+    )
+    print(
+        format_table(
+            ["N", "measured", "simulated", "analysis"],
+            [
+                (
+                    p.num_stations,
+                    f"{p.measured:.4f}",
+                    f"{p.simulated:.4f}",
+                    f"{p.analytical:.4f}",
+                )
+                for p in points
+            ],
+            title="Figure 2: collision probability vs number of stations",
+        )
+    )
+    ns = [p.num_stations for p in points]
+    print(
+        ascii_plot(
+            {
+                "measured": (ns, [p.measured for p in points]),
+                "simulated": (ns, [p.simulated for p in points]),
+                "analysis": (ns, [p.analytical for p in points]),
+            },
+            title="Figure 2",
+            xlabel="number of stations",
+            ylabel="collision probability",
+            y_min=0.0,
+        )
+    )
+    return 0
+
+
+def _cmd_testbed(args: argparse.Namespace) -> int:
+    from ..experiments.procedures import run_collision_test
+
+    test = run_collision_test(
+        args.stations, duration_us=args.duration, seed=args.seed
+    )
+    print(f"stations              = {test.num_stations}")
+    print(f"duration              = {test.duration_us/1e6:.1f} s")
+    for mac, acked, collided in test.per_station:
+        print(f"  {mac}: acked={acked} collided={collided}")
+    print(f"sum acked             = {test.sum_acked}")
+    print(f"sum collided          = {test.sum_collided}")
+    print(f"collision probability = {test.collision_probability:.4f}")
+    print(f"goodput at D          = {test.goodput_mbps:.2f} Mbps")
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    from ..experiments.mme_overhead import measure_mme_overhead
+
+    result = measure_mme_overhead(
+        args.stations, duration_us=args.duration, seed=args.seed
+    )
+    print(f"data bursts       = {result.data_bursts}")
+    print(f"management bursts = {result.management_bursts}")
+    print(f"MME overhead      = {result.overhead:.6f}")
+    print(f"burst sizes       = {result.burst_size_histogram}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from ..experiments.sweeps import standard_protocol_sweep
+    from ..report.tables import format_table
+
+    series = standard_protocol_sweep(
+        station_counts=args.counts, sim_time_us=args.sim_time, seed=args.seed
+    )
+    rows = []
+    for label, points in series.items():
+        for p in points:
+            rows.append(
+                (
+                    label,
+                    p.num_stations,
+                    f"{p.sim_throughput:.4f}",
+                    f"{p.model_throughput:.4f}",
+                    f"{p.sim_collision_probability:.4f}",
+                )
+            )
+    print(
+        format_table(
+            ["protocol", "N", "sim S", "model S", "sim p"],
+            rows,
+            title="Saturation throughput / collision probability vs N",
+        )
+    )
+    return 0
+
+
+def _cmd_boost(args: argparse.Namespace) -> int:
+    from ..boost.adaptive import boost_report
+    from ..report.tables import format_table
+
+    boosted, rows = boost_report(args.counts)
+    print(f"boosted configuration: {boosted.describe()}")
+    print(
+        format_table(
+            ["N", "default S", "boosted S", "upper bound", "gain %"],
+            [
+                (
+                    r.num_stations,
+                    f"{r.default_throughput:.4f}",
+                    f"{r.boosted_throughput:.4f}",
+                    f"{r.upper_bound:.4f}",
+                    f"{r.gain_percent:+.1f}",
+                )
+                for r in rows
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    from ..experiments.unsaturated import offered_load_sweep, saturation_rate_pps
+    from ..report.tables import format_table
+
+    knee = saturation_rate_pps(args.stations)
+    points = offered_load_sweep(
+        args.stations,
+        load_fractions=args.fractions,
+        sim_time_us=args.sim_time,
+        seed=args.seed,
+    )
+    print(f"saturation knee ≈ {knee:.1f} frames/s per station")
+    print(
+        format_table(
+            ["rate (fps)", "offered", "delivered", "collision p",
+             "mean delay (ms)", "loss"],
+            [
+                (f"{p.arrival_rate_pps:.0f}", f"{p.offered_fps:.0f}",
+                 f"{p.delivered_fps:.0f}",
+                 f"{p.collision_probability:.4f}",
+                 f"{p.mean_delay_us / 1000:.1f}",
+                 f"{p.queue_loss_fraction:.3f}")
+                for p in points
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_errors(args: argparse.Namespace) -> int:
+    from ..experiments.channel_errors import error_rate_sweep
+    from ..report.tables import format_table
+
+    points = error_rate_sweep(
+        args.stations,
+        error_probabilities=args.rates,
+        duration_us=args.duration,
+        seed=args.seed,
+    )
+    print(
+        format_table(
+            ["PB error rate", "goodput (Mbps)", "collision p",
+             "retransmissions"],
+            [
+                (f"{p.pb_error_probability:.2f}", f"{p.goodput_mbps:.2f}",
+                 f"{p.collision_probability:.4f}", p.retransmissions)
+                for p in points
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_delay(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from ..analysis.delay import DelayModel
+    from ..core import ScenarioConfig, SlotSimulator
+    from ..report.tables import format_table
+
+    model = DelayModel()
+    rows = []
+    for n in args.counts:
+        prediction = model.solve(n)
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=n, sim_time_us=args.sim_time, seed=5
+        )
+        result = SlotSimulator(scenario, record_delays=True).run()
+        rows.append(
+            (n,
+             f"{prediction.mean_us / 1000:.2f}",
+             f"{float(result.delays_us.mean()) / 1000:.2f}",
+             f"{prediction.p95_us / 1000:.1f}",
+             f"{float(np.percentile(result.delays_us, 95)) / 1000:.1f}")
+        )
+    print(
+        format_table(
+            ["N", "model mean (ms)", "sim mean (ms)", "model p95 (ms)",
+             "sim p95 (ms)"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_coexist(args: argparse.Namespace) -> int:
+    from ..experiments.coexistence import adoption_sweep
+    from ..report.tables import format_table
+
+    results = adoption_sweep(
+        total_stations=args.total,
+        boosted_counts=args.boosted,
+        sim_time_us=args.sim_time,
+    )
+    print(
+        format_table(
+            ["boosted", "total S", "per boosted", "per legacy",
+             "collision p"],
+            [
+                (r.num_boosted, f"{r.total_throughput:.4f}",
+                 f"{r.per_boosted_station:.4f}" if r.num_boosted else "-",
+                 f"{r.per_legacy_station:.4f}" if r.num_legacy else "-",
+                 f"{r.collision_probability:.4f}")
+                for r in results
+            ],
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "sim": _cmd_sim,
+    "load": _cmd_load,
+    "errors": _cmd_errors,
+    "delay": _cmd_delay,
+    "coexist": _cmd_coexist,
+    "table2": _cmd_table2,
+    "figure2": _cmd_figure2,
+    "testbed": _cmd_testbed,
+    "overhead": _cmd_overhead,
+    "sweep": _cmd_sweep,
+    "boost": _cmd_boost,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-plc`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""Reimplementation of ``faifa``: the sniffer-mode capture tool.
+
+§3.3: faifa activates the device's sniffer mode (MMType 0xA034) and
+captures the start-of-frame delimiters of *all* PLC frames — data,
+beacons and management.  From the delimiter fields alone it supports
+the paper's three measurement methodologies:
+
+- frame classification by **Link ID** (UDP data flows at CA1;
+  management messages at CA2/CA3);
+- **burst reconstruction** via the ``MPDUCnt`` field (0 marks the last
+  MPDU of a burst), since bursts — not MPDUs — are the unit that pays
+  CSMA/CA overhead;
+- the **MME overhead** = management bursts / data bursts;
+- the **source trace** of data bursts, for fairness analysis ([4]).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from ..hpav.device import HomePlugAVDevice
+from ..hpav.mme import MmeFrame
+from ..hpav.mme_types import MmeType, SnifferIndication, SnifferRequest
+from .ampstat import HOST_MAC
+
+__all__ = ["BurstRecord", "Faifa", "export_captures_json"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BurstRecord:
+    """A burst reassembled from consecutive SoF captures."""
+
+    start_time_us: int
+    source_tei: int
+    dest_tei: int
+    link_id: int
+    num_mpdus: int
+    collided: bool
+
+    @property
+    def is_data(self) -> bool:
+        """CA0/CA1 carry the tests' data traffic (§3.3)."""
+        return self.link_id <= 1
+
+    @property
+    def is_management(self) -> bool:
+        """MMEs are transmitted at CA2/CA3 (§3.3)."""
+        return self.link_id >= 2
+
+
+class Faifa:
+    """Host-side sniffer bound to one device."""
+
+    def __init__(self, device: HomePlugAVDevice, host_mac: str = HOST_MAC) -> None:
+        self.device = device
+        self.host_mac = host_mac
+        self.captures: List[SnifferIndication] = []
+        device.host_indication_handler = self._on_indication
+
+    # -- sniffer control ------------------------------------------------------
+    def _control(self, enable: bool) -> None:
+        frame = MmeFrame(
+            dst_mac=self.device.mac_addr,
+            src_mac=self.host_mac,
+            mmtype=MmeType.VS_SNIFFER,
+            payload=SnifferRequest(enable=enable).encode(),
+        )
+        self.device.host_request(frame.encode())
+
+    def enable(self) -> None:
+        """Turn sniffer mode on (MMType 0xA034)."""
+        self._control(True)
+
+    def disable(self) -> None:
+        self._control(False)
+
+    def clear(self) -> None:
+        """Drop captures collected so far (start of a test)."""
+        self.captures.clear()
+
+    def _on_indication(self, frame_bytes: bytes) -> None:
+        mme = MmeFrame.decode(frame_bytes)
+        if mme.base_mmtype != MmeType.VS_SNIFFER:
+            return
+        self.captures.append(SnifferIndication.decode(mme.payload))
+
+    # -- §3.3 analyses -------------------------------------------------------
+    def bursts(self) -> List[BurstRecord]:
+        """Group captured SoFs into bursts via ``MPDUCnt`` (§3.3).
+
+        The field counts *remaining* MPDUs, so a burst is a maximal run
+        of captures from one source ending at ``mpdu_count == 0``.
+        """
+        records: List[BurstRecord] = []
+        open_bursts: Dict[Tuple[int, int], List[SnifferIndication]] = {}
+        for capture in self.captures:
+            key = (capture.source_tei, capture.link_id)
+            open_bursts.setdefault(key, []).append(capture)
+            if capture.mpdu_count == 0:
+                parts = open_bursts.pop(key)
+                first = parts[0]
+                records.append(
+                    BurstRecord(
+                        start_time_us=first.timestamp_us,
+                        source_tei=first.source_tei,
+                        dest_tei=first.dest_tei,
+                        link_id=first.link_id,
+                        num_mpdus=len(parts),
+                        collided=any(part.collided for part in parts),
+                    )
+                )
+        records.sort(key=lambda record: record.start_time_us)
+        return records
+
+    def data_bursts(self) -> List[BurstRecord]:
+        return [record for record in self.bursts() if record.is_data]
+
+    def management_bursts(self) -> List[BurstRecord]:
+        return [record for record in self.bursts() if record.is_management]
+
+    def mme_overhead(self) -> float:
+        """Management bursts / data bursts (§3.3's overhead metric)."""
+        data = len(self.data_bursts())
+        management = len(self.management_bursts())
+        if data == 0:
+            return float("inf") if management else 0.0
+        return management / data
+
+    def burst_size_histogram(self) -> Dict[int, int]:
+        """Frequency of burst sizes (the §3.1 measurement)."""
+        histogram: Dict[int, int] = {}
+        for record in self.bursts():
+            histogram[record.num_mpdus] = histogram.get(record.num_mpdus, 0) + 1
+        return histogram
+
+    def source_trace(
+        self, data_only: bool = True, include_collided: bool = False
+    ) -> List[Tuple[int, int]]:
+        """(time, source TEI) per burst — the fairness trace of [4]."""
+        return [
+            (record.start_time_us, record.source_tei)
+            for record in self.bursts()
+            if (record.is_data or not data_only)
+            and (include_collided or not record.collided)
+        ]
+
+
+def export_captures_json(faifa: "Faifa", path) -> "Path":
+    """Write a faifa capture session to JSON for offline analysis.
+
+    The file holds the raw SoF captures plus the derived burst records
+    — everything needed to re-run the §3.3 computations elsewhere.
+    """
+    from pathlib import Path
+
+    from ..report.export import write_json
+
+    return write_json(
+        Path(path),
+        {
+            "captures": list(faifa.captures),
+            "bursts": faifa.bursts(),
+            "mme_overhead": faifa.mme_overhead(),
+            "burst_size_histogram": faifa.burst_size_histogram(),
+        },
+    )

@@ -1,0 +1,31 @@
+"""Traffic generation: packets and source processes."""
+
+from .generators import CbrSource, PoissonSource, SaturatedSource
+from .packets import (
+    ETHERNET_HEADER_BYTES,
+    ETHERNET_MIN_FRAME_BYTES,
+    ETHERNET_MTU_BYTES,
+    ETHERTYPE_HOMEPLUG_AV,
+    ETHERTYPE_IPV4,
+    IPV4_HEADER_BYTES,
+    UDP_HEADER_BYTES,
+    EthernetFrame,
+    mac_address,
+    udp_frame,
+)
+
+__all__ = [
+    "CbrSource",
+    "ETHERNET_HEADER_BYTES",
+    "ETHERNET_MIN_FRAME_BYTES",
+    "ETHERNET_MTU_BYTES",
+    "ETHERTYPE_HOMEPLUG_AV",
+    "ETHERTYPE_IPV4",
+    "EthernetFrame",
+    "IPV4_HEADER_BYTES",
+    "PoissonSource",
+    "SaturatedSource",
+    "UDP_HEADER_BYTES",
+    "mac_address",
+    "udp_frame",
+]

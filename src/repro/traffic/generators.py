@@ -1,0 +1,140 @@
+"""Traffic sources feeding the emulated devices' host interfaces.
+
+The paper's tests use *saturated* stations (§3): the UDP source always
+has data queued.  :class:`SaturatedSource` keeps the device's CA1 queue
+topped up; :class:`PoissonSource` and :class:`CbrSource` provide the
+unsaturated extensions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.parameters import PriorityClass
+from ..engine.environment import Environment
+from ..engine.randomness import RandomStreams
+from .packets import udp_frame
+
+if TYPE_CHECKING:  # avoid a circular import at runtime (hpav uses traffic)
+    from ..hpav.device import HomePlugAVDevice
+
+__all__ = ["SaturatedSource", "PoissonSource", "CbrSource"]
+
+
+class _SourceBase:
+    """Common plumbing: counts offered/accepted frames."""
+
+    def __init__(
+        self,
+        env: Environment,
+        device: "HomePlugAVDevice",
+        dst_mac: str,
+        udp_payload_bytes: int = 1472,
+        priority: PriorityClass = PriorityClass.CA1,
+    ) -> None:
+        self.env = env
+        self.device = device
+        self.dst_mac = dst_mac
+        self.udp_payload_bytes = udp_payload_bytes
+        self.priority = priority
+        self.offered = 0
+        self.accepted = 0
+
+    def _offer(self) -> bool:
+        frame = udp_frame(
+            dst_mac=self.dst_mac,
+            src_mac=self.device.mac_addr,
+            udp_payload_bytes=self.udp_payload_bytes,
+            created_us=self.env.now,
+        )
+        self.offered += 1
+        if self.device.send_ethernet(frame, self.priority):
+            self.accepted += 1
+            return True
+        return False
+
+
+class SaturatedSource(_SourceBase):
+    """Keeps the device's transmit queue above a watermark.
+
+    Polls every ``poll_interval_us`` (default: one beacon period
+    fraction, cheap relative to contention rounds) and refills the
+    queue to ``high_watermark`` frames.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        device: "HomePlugAVDevice",
+        dst_mac: str,
+        udp_payload_bytes: int = 1472,
+        priority: PriorityClass = PriorityClass.CA1,
+        high_watermark: int = 64,
+        poll_interval_us: float = 5_000.0,
+    ) -> None:
+        super().__init__(env, device, dst_mac, udp_payload_bytes, priority)
+        self.high_watermark = high_watermark
+        self.poll_interval_us = poll_interval_us
+        self.process = env.process(self._run())
+
+    def _run(self):
+        while True:
+            depth = self.device.node.queues.depth(self.priority)
+            while depth < self.high_watermark:
+                if not self._offer():
+                    break
+                depth += 1
+            yield self.env.timeout(self.poll_interval_us)
+
+
+class PoissonSource(_SourceBase):
+    """Poisson frame arrivals at ``rate_pps`` (unsaturated extension)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        device: "HomePlugAVDevice",
+        dst_mac: str,
+        rate_pps: float,
+        streams: Optional[RandomStreams] = None,
+        udp_payload_bytes: int = 1472,
+        priority: PriorityClass = PriorityClass.CA1,
+    ) -> None:
+        super().__init__(env, device, dst_mac, udp_payload_bytes, priority)
+        if rate_pps <= 0:
+            raise ValueError("rate_pps must be positive")
+        self.mean_interarrival_us = 1e6 / rate_pps
+        streams = streams if streams is not None else RandomStreams(0)
+        self._rng = streams.stream("poisson", device.mac_addr)
+        self.process = env.process(self._run())
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(
+                float(self._rng.exponential(self.mean_interarrival_us))
+            )
+            self._offer()
+
+
+class CbrSource(_SourceBase):
+    """Constant-bit-rate frames every ``interval_us``."""
+
+    def __init__(
+        self,
+        env: Environment,
+        device: "HomePlugAVDevice",
+        dst_mac: str,
+        interval_us: float,
+        udp_payload_bytes: int = 1472,
+        priority: PriorityClass = PriorityClass.CA1,
+    ) -> None:
+        super().__init__(env, device, dst_mac, udp_payload_bytes, priority)
+        if interval_us <= 0:
+            raise ValueError("interval_us must be positive")
+        self.interval_us = interval_us
+        self.process = env.process(self._run())
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.interval_us)
+            self._offer()

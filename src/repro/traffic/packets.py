@@ -1,0 +1,106 @@
+"""Ethernet/UDP packet abstractions for the emulated testbed.
+
+The testbed methodology (§3) saturates N stations with UDP traffic
+towards a destination station D.  We model packets structurally — real
+header fields, sizes in bytes, monotone frame ids — without carrying
+payload bytes around (the MAC only needs sizes and addressing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+__all__ = [
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_HOMEPLUG_AV",
+    "ETHERNET_HEADER_BYTES",
+    "ETHERNET_MIN_FRAME_BYTES",
+    "ETHERNET_MTU_BYTES",
+    "IPV4_HEADER_BYTES",
+    "UDP_HEADER_BYTES",
+    "mac_address",
+    "EthernetFrame",
+    "udp_frame",
+]
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_HOMEPLUG_AV = 0x88E1
+
+ETHERNET_HEADER_BYTES = 14
+ETHERNET_MIN_FRAME_BYTES = 60  # without FCS
+ETHERNET_MTU_BYTES = 1500
+IPV4_HEADER_BYTES = 20
+UDP_HEADER_BYTES = 8
+
+_frame_ids = itertools.count(1)
+
+
+def mac_address(index: int) -> str:
+    """Deterministic locally administered MAC for station ``index``.
+
+    >>> mac_address(3)
+    '02:00:00:00:00:03'
+    """
+    if not 0 <= index <= 0xFFFFFFFFFF:
+        raise ValueError("index out of range for a MAC address")
+    raw = (0x02 << 40) | index
+    octets = [(raw >> shift) & 0xFF for shift in range(40, -8, -8)]
+    return ":".join(f"{octet:02x}" for octet in octets)
+
+
+@dataclasses.dataclass(frozen=True)
+class EthernetFrame:
+    """An Ethernet frame entering a PLC device's host interface."""
+
+    dst_mac: str
+    src_mac: str
+    ethertype: int
+    length_bytes: int
+    frame_id: int = dataclasses.field(default_factory=lambda: next(_frame_ids))
+    #: Creation (arrival) time, µs; stamped by traffic generators.
+    created_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.length_bytes < ETHERNET_HEADER_BYTES:
+            raise ValueError(
+                f"frame shorter than an Ethernet header: {self.length_bytes}"
+            )
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise ValueError(f"bad ethertype {self.ethertype:#x}")
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.length_bytes - ETHERNET_HEADER_BYTES
+
+
+def udp_frame(
+    dst_mac: str,
+    src_mac: str,
+    udp_payload_bytes: int = 1472,
+    created_us: float = 0.0,
+) -> EthernetFrame:
+    """Build the Ethernet frame of a UDP datagram.
+
+    The default payload of 1472 bytes fills a 1500-byte IP packet — the
+    iperf-style saturation traffic of the paper's tests.
+
+    >>> udp_frame("02:00:00:00:00:00", "02:00:00:00:00:01").length_bytes
+    1514
+    """
+    if udp_payload_bytes < 0:
+        raise ValueError("udp_payload_bytes must be >= 0")
+    length = max(
+        ETHERNET_HEADER_BYTES
+        + IPV4_HEADER_BYTES
+        + UDP_HEADER_BYTES
+        + udp_payload_bytes,
+        ETHERNET_MIN_FRAME_BYTES,
+    )
+    return EthernetFrame(
+        dst_mac=dst_mac,
+        src_mac=src_mac,
+        ethertype=ETHERTYPE_IPV4,
+        length_bytes=length,
+        created_us=created_us,
+    )

@@ -1,0 +1,89 @@
+"""Tests for the 802.11 Bianchi baseline model."""
+
+import pytest
+
+from repro.analysis.bianchi import Bianchi80211Model, tau_bianchi
+from repro.core.config import CsmaConfig, TimingConfig
+
+
+class TestTauBianchi:
+    def test_gamma_zero_closed_form(self):
+        # τ(0) = 2/(W+1).
+        assert tau_bianchi(0.0, 16, 6) == pytest.approx(2 / 17)
+        assert tau_bianchi(0.0, 32, 5) == pytest.approx(2 / 33)
+
+    def test_matches_textbook_closed_form(self):
+        # τ = 2(1−2γ) / ((1−2γ)(W+1) + γW(1−(2γ)^m)), γ ≠ 1/2.
+        for w, m, gamma in [(32, 5, 0.2), (16, 6, 0.1), (8, 3, 0.4)]:
+            closed = (2 * (1 - 2 * gamma)) / (
+                (1 - 2 * gamma) * (w + 1)
+                + gamma * w * (1 - (2 * gamma) ** m)
+            )
+            assert tau_bianchi(gamma, w, m) == pytest.approx(
+                closed, rel=1e-9
+            )
+
+    def test_no_singularity_at_half(self):
+        # The closed form is 0/0 at γ=1/2; the series is smooth there.
+        left = tau_bianchi(0.4999999, 32, 5)
+        mid = tau_bianchi(0.5, 32, 5)
+        right = tau_bianchi(0.5000001, 32, 5)
+        assert left == pytest.approx(mid, rel=1e-4)
+        assert right == pytest.approx(mid, rel=1e-4)
+
+    def test_decreasing_in_gamma(self):
+        taus = [tau_bianchi(g, 16, 6) for g in (0.0, 0.2, 0.5, 0.8)]
+        assert all(a > b for a, b in zip(taus, taus[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tau_bianchi(-0.1, 16, 6)
+        with pytest.raises(ValueError):
+            tau_bianchi(0.2, 0, 6)
+
+
+class TestBianchiModel:
+    def test_collision_probability_increases_with_n(self):
+        model = Bianchi80211Model()
+        values = [model.collision_probability(n) for n in (2, 5, 10, 20)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_single_station(self):
+        model = Bianchi80211Model()
+        assert model.collision_probability(1) == 0.0
+
+    def test_from_config_roundtrip(self):
+        config = CsmaConfig.ieee80211(cw_min=16, max_stage=4)
+        model = Bianchi80211Model.from_config(config)
+        assert model.cw_min == 16
+        assert model.max_stage == 4
+
+    def test_from_config_rejects_non_doubling(self):
+        config = CsmaConfig(cw=(8, 8), dc=(8, 8))
+        with pytest.raises(ValueError):
+            Bianchi80211Model.from_config(config)
+
+    def test_throughput_positive_and_bounded(self):
+        model = Bianchi80211Model(timing=TimingConfig())
+        for n in (1, 5, 20):
+            s = model.normalized_throughput(n)
+            assert 0 < s < 1
+
+    def test_matches_simulation(self):
+        """Bianchi vs our slot simulator running the 802.11 config."""
+        from repro.core import ScenarioConfig, SlotSimulator
+
+        config = CsmaConfig.ieee80211()
+        model = Bianchi80211Model.from_config(config)
+        n = 5
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=n, csma=config, sim_time_us=3e7, seed=3
+        )
+        result = SlotSimulator(scenario).run()
+        prediction = model.solve(n)
+        assert prediction.collision_probability == pytest.approx(
+            result.collision_probability, abs=0.03
+        )
+        assert prediction.normalized_throughput == pytest.approx(
+            result.normalized_throughput, rel=0.05
+        )

@@ -1,0 +1,99 @@
+"""Tests for the fixed-point machinery."""
+
+import pytest
+
+from repro.analysis.fixed_point import (
+    damped_iteration,
+    find_all_fixed_points,
+    gamma_from_tau,
+    solve_fixed_point,
+)
+
+
+class TestGammaFromTau:
+    def test_single_station_no_coupling(self):
+        assert gamma_from_tau(0.5, 1) == 0.0
+
+    def test_two_stations(self):
+        assert gamma_from_tau(0.3, 2) == pytest.approx(0.3)
+
+    def test_many_stations(self):
+        assert gamma_from_tau(0.1, 11) == pytest.approx(1 - 0.9**10)
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            gamma_from_tau(1.5, 2)
+        with pytest.raises(ValueError):
+            gamma_from_tau(0.5, 0)
+
+    def test_monotone_in_tau(self):
+        values = [gamma_from_tau(t, 5) for t in (0.1, 0.2, 0.4)]
+        assert values[0] < values[1] < values[2]
+
+
+class TestSolveFixedPoint:
+    def test_constant_map(self):
+        # f(γ) = 0.2 regardless: τ* = 0.2.
+        tau = solve_fixed_point(lambda g: 0.2, 5)
+        assert tau == pytest.approx(0.2)
+
+    def test_n_equals_one_shortcut(self):
+        assert solve_fixed_point(lambda g: 0.7, 1) == 0.7
+
+    def test_decreasing_map_unique_root(self):
+        # f(γ) = 0.5·(1−γ): strictly decreasing, unique fixed point.
+        tau = solve_fixed_point(lambda g: 0.5 * (1 - g), 2)
+        # τ = 0.5(1−τ) → τ = 1/3.
+        assert tau == pytest.approx(1 / 3, abs=1e-9)
+
+    def test_agrees_with_damped_iteration(self):
+        f = lambda g: 0.3 * (1 - g) ** 2
+        brent = solve_fixed_point(f, 4)
+        damped = damped_iteration(f, 4)
+        assert brent == pytest.approx(damped, abs=1e-6)
+
+
+class TestFindAllFixedPoints:
+    def test_single_root_found(self):
+        roots = find_all_fixed_points(lambda g: 0.5 * (1 - g), 2)
+        assert len(roots) == 1
+        assert roots[0] == pytest.approx(1 / 3, abs=1e-6)
+
+    def test_multiple_roots_synthetic(self):
+        # Craft a non-monotone map with three crossings for N=2
+        # (γ == τ there): f(γ) = γ + 0.1·sin(3π·γ) has roots where
+        # sin(3πγ) = 0, i.e. γ ∈ {1/3, 2/3} plus endpoints excluded.
+        import math
+
+        f = lambda g: min(max(g + 0.1 * math.sin(3 * math.pi * g), 0.0), 1.0)
+        roots = find_all_fixed_points(f, 2)
+        assert len(roots) >= 2
+
+    def test_roots_are_fixed_points(self):
+        f = lambda g: 0.4 * (1 - g) ** 3
+        for root in find_all_fixed_points(f, 3):
+            assert root == pytest.approx(
+                f(gamma_from_tau(root, 3)), abs=1e-6
+            )
+
+    def test_1901_decoupling_fixed_point_is_unique(self):
+        """τ(γ) is strictly decreasing for every (cw, dc) schedule, so
+        the scalar decoupling fixed point is always unique — the
+        multiple-equilibria phenomenon [5] discusses lives in the
+        coupled dynamics (short-term capture), not in this map."""
+        from repro.analysis.recursive import RecursiveModel
+        from repro.core.config import CsmaConfig
+
+        configs = [
+            CsmaConfig.default_1901(),
+            CsmaConfig(cw=(8, 16, 32, 64), dc=(15, 15, 15, 15)),
+            CsmaConfig(cw=(2, 1024), dc=(0, 1023)),
+            CsmaConfig(cw=(64,) * 4, dc=(0, 1, 3, 15)),
+        ]
+        for config in configs:
+            model = RecursiveModel(config)
+            for n in (2, 10, 50):
+                roots = find_all_fixed_points(
+                    model.tau, n, grid_points=300
+                )
+                assert len(roots) == 1, (config, n, roots)

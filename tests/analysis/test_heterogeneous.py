@@ -1,0 +1,114 @@
+"""Tests for the heterogeneous (multi-group) decoupling model."""
+
+import pytest
+
+from repro.analysis.heterogeneous import GroupSpec, HeterogeneousModel
+from repro.analysis.model import Model1901
+from repro.core.config import CsmaConfig
+
+BOOSTED = CsmaConfig(cw=(32, 128, 512, 2048), dc=(7, 15, 31, 63))
+
+
+class TestDegenerateCases:
+    def test_single_group_matches_homogeneous_model(self):
+        for n in (1, 3, 7):
+            hetero = HeterogeneousModel(
+                [GroupSpec(CsmaConfig.default_1901(), n)]
+            ).solve()
+            homo = Model1901(method="recursive").solve(n)
+            assert hetero.total_throughput == pytest.approx(
+                homo.normalized_throughput, abs=1e-9
+            )
+            assert hetero.groups[0].tau == pytest.approx(
+                homo.tau, abs=1e-9
+            )
+
+    def test_two_identical_groups_match_one_big_group(self):
+        config = CsmaConfig.default_1901()
+        split = HeterogeneousModel(
+            [GroupSpec(config, 3, "a"), GroupSpec(config, 3, "b")]
+        ).solve()
+        merged = HeterogeneousModel([GroupSpec(config, 6)]).solve()
+        assert split.total_throughput == pytest.approx(
+            merged.total_throughput, abs=1e-9
+        )
+        assert split.groups[0].tau == pytest.approx(
+            split.groups[1].tau, abs=1e-9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeterogeneousModel([])
+        with pytest.raises(ValueError):
+            GroupSpec(CsmaConfig.default_1901(), 0)
+
+
+class TestMixedPopulations:
+    def test_converges(self):
+        prediction = HeterogeneousModel(
+            [
+                GroupSpec(BOOSTED, 5, "boosted"),
+                GroupSpec(CsmaConfig.default_1901(), 5, "legacy"),
+            ]
+        ).solve()
+        assert prediction.converged
+
+    def test_politer_group_gets_less(self):
+        prediction = HeterogeneousModel(
+            [
+                GroupSpec(BOOSTED, 5, "boosted"),
+                GroupSpec(CsmaConfig.default_1901(), 5, "legacy"),
+            ]
+        ).solve()
+        boosted, legacy = prediction.groups
+        assert legacy.throughput_per_station > 2 * boosted.throughput_per_station
+        assert boosted.tau < legacy.tau
+
+    def test_group_throughputs_sum_to_total(self):
+        prediction = HeterogeneousModel(
+            [
+                GroupSpec(BOOSTED, 2, "boosted"),
+                GroupSpec(CsmaConfig.default_1901(), 8, "legacy"),
+            ]
+        ).solve()
+        assert prediction.total_throughput == pytest.approx(
+            sum(g.throughput for g in prediction.groups), abs=1e-12
+        )
+
+    def test_matches_heterogeneous_simulation(self):
+        from repro.experiments.coexistence import coexistence_experiment
+
+        prediction = HeterogeneousModel(
+            [
+                GroupSpec(BOOSTED, 5, "boosted"),
+                GroupSpec(CsmaConfig.default_1901(), 5, "legacy"),
+            ]
+        ).solve()
+        sim = coexistence_experiment(5, 5, sim_time_us=1e7, seed=3)
+        assert prediction.total_throughput == pytest.approx(
+            sim.total_throughput, rel=0.05
+        )
+        legacy = prediction.groups[1]
+        assert legacy.throughput_per_station == pytest.approx(
+            sim.per_legacy_station, rel=0.10
+        )
+
+    def test_three_groups(self):
+        prediction = HeterogeneousModel(
+            [
+                GroupSpec(CsmaConfig.default_1901(), 2, "default"),
+                GroupSpec(CsmaConfig(cw=(8, 16, 16, 32), dc=(0, 1, 3, 15)), 2, "ca3"),
+                GroupSpec(CsmaConfig.ieee80211(), 2, "wifi"),
+            ]
+        ).solve()
+        assert prediction.converged
+        assert len(prediction.groups) == 3
+        assert prediction.total_throughput > 0.4
+
+    def test_gamma_accounts_for_own_group(self):
+        """A station's γ excludes itself but includes its group mates."""
+        config = CsmaConfig.default_1901()
+        solo = HeterogeneousModel([GroupSpec(config, 1)]).solve()
+        assert solo.groups[0].collision_probability == 0.0
+        pair = HeterogeneousModel([GroupSpec(config, 2)]).solve()
+        assert pair.groups[0].collision_probability > 0.0

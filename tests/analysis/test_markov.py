@@ -1,0 +1,133 @@
+"""Tests for the exact per-station Markov chain."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.markov import StationChain
+from repro.core.config import CsmaConfig
+from repro.core.station import SlotOutcome, Station
+
+
+class TestChainStructure:
+    def test_state_count(self):
+        # A(s) per stage + sum_s (cw_s - 1) * (dc_s + 1) backoff states.
+        config = CsmaConfig.default_1901()
+        chain = StationChain(config)
+        expected = 4 + sum(
+            (w - 1) * (d + 1) for w, d in zip(config.cw, config.dc)
+        )
+        assert chain.num_states == expected
+
+    def test_transition_matrix_is_stochastic(self):
+        chain = StationChain(CsmaConfig.default_1901())
+        for gamma in (0.0, 0.1, 0.5, 0.9):
+            matrix = chain.transition_matrix(gamma)
+            assert np.allclose(matrix.sum(axis=1), 1.0)
+            assert (matrix >= 0).all()
+
+    def test_bad_gamma_rejected(self):
+        chain = StationChain(CsmaConfig.default_1901())
+        with pytest.raises(ValueError):
+            chain.transition_matrix(-0.1)
+
+    def test_stationary_distribution_normalized(self):
+        chain = StationChain(CsmaConfig.default_1901())
+        pi = chain.stationary_distribution(0.2)
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi >= 0).all()
+
+
+class TestTauValues:
+    def test_tau_at_zero_gamma_single_stage(self):
+        # Never busy -> station always transmits from stage 0:
+        # E[events/frame] = (CW0+1)/2, so τ = 2/(CW0+1).
+        chain = StationChain(CsmaConfig(cw=(8,), dc=(0,)))
+        assert chain.tau(0.0) == pytest.approx(2 / 9)
+
+    def test_tau_at_zero_gamma_default(self):
+        # With γ=0 higher stages are never visited.
+        chain = StationChain(CsmaConfig.default_1901())
+        assert chain.tau(0.0) == pytest.approx(2 / 9)
+
+    def test_tau_decreasing_in_gamma(self):
+        chain = StationChain(CsmaConfig.default_1901())
+        taus = [chain.tau(g) for g in (0.0, 0.2, 0.4, 0.6)]
+        assert all(a > b for a, b in zip(taus, taus[1:]))
+
+    def test_solution_extras(self):
+        chain = StationChain(CsmaConfig.default_1901())
+        sol = chain.solve(0.3)
+        assert sol.tau == pytest.approx(sum(sol.tau_per_stage))
+        assert sum(sol.stage_occupancy) == pytest.approx(1.0)
+        assert sol.jump_rate > 0
+
+    def test_no_jumps_when_deferral_unreachable(self):
+        chain = StationChain(CsmaConfig.ieee80211(cw_min=8, max_stage=2))
+        # Exactly zero up to the linear solver's round-off: the j=0
+        # states exist but are unreachable (b < cw busy events fit).
+        assert chain.solve(0.4).jump_rate == pytest.approx(0.0, abs=1e-12)
+
+
+class TestChainMatchesFsm:
+    """The chain must agree with the Station FSM driven by i.i.d.
+    busy slots — the decisive semantic cross-check."""
+
+    @pytest.mark.parametrize("gamma", [0.1, 0.3])
+    def test_tau_matches_monte_carlo(self, gamma):
+        config = CsmaConfig.default_1901()
+        chain = StationChain(config)
+        station = Station(config, np.random.default_rng(1))
+        medium = np.random.default_rng(2)
+        attempts = events = 0
+        for _ in range(200_000):
+            attempted = station.step()
+            events += 1
+            if attempted:
+                attempts += 1
+                if medium.random() < gamma:
+                    station.resolve(SlotOutcome.COLLISION)
+                else:
+                    station.resolve(SlotOutcome.SUCCESS, won=True)
+                    station.reset_for_new_frame()
+            elif medium.random() < gamma:
+                station.resolve(SlotOutcome.COLLISION)
+            else:
+                station.resolve(SlotOutcome.IDLE)
+        mc_tau = attempts / events
+        assert chain.tau(gamma) == pytest.approx(mc_tau, rel=0.03)
+
+
+class TestStageDistributionVsSimulation:
+    def test_attempt_stage_split_shows_capture_bias(self):
+        """Decoupling error, stage-resolved: both model and simulation
+        put most attempts at stage 0 with monotonically decreasing
+        shares over stages 0-2, but the *simulation* concentrates even
+        more at stage 0 — the capture effect (a winner camps at stage
+        0 while losers defer without attempting; cf. experiment X13).
+        """
+        from repro.analysis.fixed_point import gamma_from_tau, solve_fixed_point
+        from repro.core import ScenarioConfig, SlotSimulator
+
+        n = 3
+        config = CsmaConfig.default_1901()
+        chain = StationChain(config)
+        tau = solve_fixed_point(chain.tau, n)
+        solution = chain.solve(gamma_from_tau(tau, n))
+        model_split = np.array(solution.tau_per_stage) / solution.tau
+
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=n, sim_time_us=2e7, seed=6
+        )
+        result = SlotSimulator(scenario, record_trace=True).run()
+        histogram = np.array(
+            result.trace.stage_at_attempt_counts(config.num_stages),
+            dtype=float,
+        )
+        sim_split = histogram / histogram.sum()
+
+        # Shared shape: stage 0 dominates, early stages decrease.
+        for split in (model_split, sim_split):
+            assert split[0] > 0.4
+            assert split[0] > split[1] > split[2]
+        # The capture bias: simulation overweights stage 0.
+        assert sim_split[0] > model_split[0] + 0.05

@@ -1,0 +1,129 @@
+"""Tests for the high-level Model1901 and the throughput formulas."""
+
+import math
+
+import pytest
+
+from repro.analysis.model import Model1901
+from repro.analysis.throughput import network_prediction
+from repro.core.config import CsmaConfig, TimingConfig
+
+
+class TestNetworkPrediction:
+    def test_tau_zero_all_idle(self):
+        p = network_prediction(0.0, 5, TimingConfig())
+        assert p.normalized_throughput == 0.0
+        assert p.p_transmission == 0.0
+        assert math.isinf(p.mean_access_delay_us)
+
+    def test_tau_one_single_station_saturates(self):
+        timing = TimingConfig()
+        p = network_prediction(1.0, 1, timing)
+        assert p.normalized_throughput == pytest.approx(
+            timing.frame / timing.ts
+        )
+        assert p.collision_probability == 0.0
+
+    def test_probability_identities(self):
+        p = network_prediction(0.2, 4, TimingConfig())
+        assert p.p_transmission == pytest.approx(1 - 0.8**4)
+        assert p.p_success == pytest.approx(4 * 0.2 * 0.8**3)
+        assert p.collision_probability == pytest.approx(1 - 0.8**3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            network_prediction(1.5, 2, TimingConfig())
+        with pytest.raises(ValueError):
+            network_prediction(0.2, 0, TimingConfig())
+
+    def test_as_dict(self):
+        p = network_prediction(0.1, 2, TimingConfig())
+        d = p.as_dict()
+        assert d["num_stations"] == 2
+        assert d["tau"] == 0.1
+
+
+class TestModel1901:
+    def test_methods_agree(self):
+        markov = Model1901(method="markov")
+        recursive = Model1901(method="recursive")
+        for n in (2, 5, 10):
+            assert markov.collision_probability(n) == pytest.approx(
+                recursive.collision_probability(n), abs=1e-8
+            )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            Model1901(method="magic")
+
+    def test_single_station(self):
+        model = Model1901()
+        prediction = model.solve(1)
+        assert prediction.collision_probability == 0.0
+        # τ(γ=0) = 2/(CW0+1) = 2/9.
+        assert prediction.tau == pytest.approx(2 / 9)
+
+    def test_collision_probability_increases_with_n(self):
+        model = Model1901()
+        values = [model.collision_probability(n) for n in (2, 4, 8, 16)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_throughput_decreases_with_n(self):
+        model = Model1901()
+        values = [model.normalized_throughput(n) for n in (2, 5, 10, 30)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_delay_increases_with_n(self):
+        model = Model1901()
+        values = [model.mean_access_delay_us(n) for n in (1, 3, 9)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_figure2_range(self):
+        """The analysis curve of Figure 2: ~0 at N=1 up to <0.35 at N=7."""
+        model = Model1901()
+        p7 = model.collision_probability(7)
+        assert 0.2 < p7 < 0.35
+
+    def test_fixed_points_contains_operating_point(self):
+        model = Model1901()
+        points = model.fixed_points(5)
+        assert len(points) >= 1
+        solved = model.solve(5)
+        assert any(
+            fp.tau == pytest.approx(solved.tau, abs=1e-6) for fp in points
+        )
+
+    def test_custom_config(self):
+        model = Model1901(CsmaConfig(cw=(64,), dc=(0,)))
+        # Large fixed window: low collision probability even at N=10.
+        assert model.collision_probability(10) < 0.3
+
+
+class TestModelVsSimulation:
+    """Decoupling model vs simulator: shape agreement (Figure 2)."""
+
+    @pytest.mark.parametrize("n,abs_tol", [(2, 0.05), (5, 0.04), (7, 0.04)])
+    def test_collision_probability_close(self, n, abs_tol):
+        from repro.core import ScenarioConfig, SlotSimulator
+
+        model = Model1901()
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=n, sim_time_us=2e7, seed=4
+        )
+        result = SlotSimulator(scenario).run()
+        assert model.collision_probability(n) == pytest.approx(
+            result.collision_probability, abs=abs_tol
+        )
+
+    def test_throughput_close(self):
+        from repro.core import ScenarioConfig, SlotSimulator
+
+        model = Model1901()
+        for n in (2, 5):
+            scenario = ScenarioConfig.homogeneous(
+                num_stations=n, sim_time_us=2e7, seed=4
+            )
+            result = SlotSimulator(scenario).run()
+            assert model.normalized_throughput(n) == pytest.approx(
+                result.normalized_throughput, rel=0.05
+            )

@@ -1,0 +1,122 @@
+"""Tests for the stage-recursion model and its agreement with the chain."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.markov import StationChain
+from repro.analysis.recursive import RecursiveModel, stage_quantities
+from repro.core.config import CsmaConfig
+
+
+class TestStageQuantities:
+    def test_never_busy(self):
+        q = stage_quantities(8, 0, 0.0)
+        assert q.attempt_probability == 1.0
+        assert q.expected_events == pytest.approx(4.5)  # (w+1)/2
+
+    def test_window_one_always_attempts(self):
+        q = stage_quantities(1, 0, 0.7)
+        assert q.attempt_probability == 1.0
+        assert q.expected_events == pytest.approx(1.0)
+
+    def test_unreachable_deferral_always_attempts(self):
+        # d >= w-1: at most w-1 busy events fit before BC expiry.
+        q = stage_quantities(8, 7, 0.9)
+        assert q.attempt_probability == pytest.approx(1.0)
+        assert q.expected_events == pytest.approx(4.5)
+
+    def test_always_busy_zero_deferral(self):
+        # p=1, d=0: any b >= 1 jumps at the first event; only the
+        # immediate draw b=0 (probability 1/w) attempts.
+        q = stage_quantities(8, 0, 1.0)
+        assert q.attempt_probability == pytest.approx(1 / 8)
+        # b=0 spends 1 event (attempt); b>=1 spends 1 event (jump).
+        assert q.expected_events == pytest.approx(1.0)
+
+    def test_attempt_probability_decreasing_in_p(self):
+        values = [
+            stage_quantities(16, 1, p).attempt_probability
+            for p in (0.0, 0.2, 0.5, 0.8)
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_probability_bounds(self):
+        for w, d, p in [(8, 0, 0.3), (64, 15, 0.5), (32, 3, 0.95)]:
+            q = stage_quantities(w, d, p)
+            assert 0.0 <= q.attempt_probability <= 1.0
+            assert q.expected_events >= (1.0 - 1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stage_quantities(0, 0, 0.5)
+        with pytest.raises(ValueError):
+            stage_quantities(8, -1, 0.5)
+        with pytest.raises(ValueError):
+            stage_quantities(8, 0, 1.5)
+
+    def test_monte_carlo_agreement(self):
+        """Direct Monte-Carlo of one stage matches the formulas."""
+        w, d, p = 16, 3, 0.35
+        rng = np.random.default_rng(5)
+        attempts = 0
+        total_events = 0
+        trials = 40_000
+        for _ in range(trials):
+            b = rng.integers(0, w)
+            remaining_d = d
+            events = 0
+            transmitted = False
+            while True:
+                if b == 0:
+                    events += 1  # the attempt event
+                    transmitted = True
+                    break
+                events += 1
+                if rng.random() < p:
+                    if remaining_d == 0:
+                        break  # jump at this event
+                    remaining_d -= 1
+                b -= 1
+            attempts += transmitted
+            total_events += events
+        q = stage_quantities(w, d, p)
+        assert q.attempt_probability == pytest.approx(
+            attempts / trials, abs=0.01
+        )
+        assert q.expected_events == pytest.approx(
+            total_events / trials, rel=0.02
+        )
+
+
+class TestRecursiveVsChain:
+    """The two independent implementations must agree exactly."""
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            CsmaConfig.default_1901(),
+            CsmaConfig(cw=(8, 16, 16, 32), dc=(0, 1, 3, 15)),  # CA2/CA3
+            CsmaConfig(cw=(4, 8), dc=(1, 2)),
+            CsmaConfig(cw=(16,), dc=(0,)),
+            CsmaConfig.ieee80211(cw_min=8, max_stage=3),
+        ],
+    )
+    @pytest.mark.parametrize("gamma", [0.0, 0.1, 0.35, 0.7])
+    def test_tau_agreement(self, config, gamma):
+        chain_tau = StationChain(config).tau(gamma)
+        recursive_tau = RecursiveModel(config).tau(gamma)
+        assert recursive_tau == pytest.approx(chain_tau, abs=1e-10)
+
+    def test_visit_frequencies_normalized(self):
+        model = RecursiveModel(CsmaConfig.default_1901())
+        v = model.visit_frequencies(0.3)
+        assert v.sum() == pytest.approx(1.0)
+        assert (v >= 0).all()
+
+    def test_backoff_events_per_frame_increase_with_gamma(self):
+        model = RecursiveModel(CsmaConfig.default_1901())
+        values = [
+            model.expected_backoff_events_per_frame(g)
+            for g in (0.0, 0.3, 0.6)
+        ]
+        assert values[0] < values[1] < values[2]

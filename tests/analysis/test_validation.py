@@ -1,0 +1,39 @@
+"""Tests for the model-vs-simulation comparison helper."""
+
+import pytest
+
+from repro.analysis.validation import compare_model_to_simulation
+
+
+def test_comparison_rows_structure():
+    rows = compare_model_to_simulation(
+        [1, 3], sim_time_us=5e6, repetitions=2
+    )
+    assert [r.num_stations for r in rows] == [1, 3]
+    for row in rows:
+        assert 0.0 <= row.model_collision_probability <= 1.0
+        assert 0.0 <= row.sim_collision_probability <= 1.0
+        assert row.model_throughput > 0
+        assert row.sim_throughput > 0
+
+
+def test_errors_are_small_for_default_config():
+    rows = compare_model_to_simulation(
+        [2, 5], sim_time_us=1e7, repetitions=2
+    )
+    for row in rows:
+        assert row.collision_probability_error < 0.06
+        assert row.throughput_relative_error < 0.06
+
+
+def test_single_station_error_zero():
+    rows = compare_model_to_simulation([1], sim_time_us=5e6)
+    assert rows[0].model_collision_probability == 0.0
+    assert rows[0].sim_collision_probability == 0.0
+
+
+def test_recursive_method_usable():
+    rows = compare_model_to_simulation(
+        [2], sim_time_us=2e6, method="recursive"
+    )
+    assert rows[0].model_collision_probability > 0

@@ -1,0 +1,44 @@
+"""Tests for recommendations and the boost report."""
+
+import pytest
+
+from repro.boost.adaptive import boost_report, recommend_for_n, recommend_robust
+from repro.boost.search import single_stage_family
+from repro.core.config import CsmaConfig
+
+
+def test_recommend_for_n_beats_default():
+    from repro.analysis.model import Model1901
+
+    n = 20
+    best = recommend_for_n(n, candidates=single_stage_family())
+    default = Model1901().normalized_throughput(n)
+    assert best.throughput_curve[0] > default
+
+
+def test_recommend_robust_returns_candidate():
+    best = recommend_robust([2, 10], candidates=single_stage_family())
+    assert best.config.cw  # a real config
+    assert best.score > 0
+
+
+def test_boost_report_structure():
+    boosted, rows = boost_report(
+        [2, 10], boosted=CsmaConfig(cw=(32,), dc=(0,))
+    )
+    assert boosted.cw == (32,)
+    assert [r.num_stations for r in rows] == [2, 10]
+    for row in rows:
+        assert row.upper_bound >= row.boosted_throughput - 1e-9
+        assert row.upper_bound >= row.default_throughput - 1e-9
+
+
+def test_boost_report_gain_positive_at_large_n():
+    _boosted, rows = boost_report([20], boosted=CsmaConfig(cw=(64,), dc=(0,)))
+    assert rows[0].gain_percent > 0
+
+
+def test_gain_percent_definition():
+    _boosted, rows = boost_report([5], boosted=CsmaConfig.default_1901())
+    # Boosting with the default itself: zero gain.
+    assert rows[0].gain_percent == pytest.approx(0.0, abs=1e-9)

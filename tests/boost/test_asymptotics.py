@@ -1,0 +1,81 @@
+"""Tests for the closed-form window-sizing asymptotics."""
+
+import pytest
+
+from repro.analysis.model import Model1901
+from repro.boost.asymptotics import (
+    collision_cost_slots,
+    optimal_single_stage_cw,
+    optimal_tau_asymptotic,
+)
+from repro.boost.objectives import optimal_tau
+from repro.core.config import CsmaConfig, TimingConfig
+
+
+class TestAsymptoticTau:
+    def test_matches_numeric_optimum_at_large_n(self):
+        timing = TimingConfig()
+        for n in (10, 20, 40):
+            asymptotic = optimal_tau_asymptotic(n, timing)
+            numeric = optimal_tau(n, timing)
+            assert asymptotic == pytest.approx(numeric, rel=0.15)
+
+    def test_scales_as_inverse_n(self):
+        timing = TimingConfig()
+        assert optimal_tau_asymptotic(10, timing) == pytest.approx(
+            2 * optimal_tau_asymptotic(20, timing)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_tau_asymptotic(0, TimingConfig())
+
+
+class TestOptimalWindow:
+    def test_grows_linearly_with_n(self):
+        timing = TimingConfig()
+        w10 = optimal_single_stage_cw(10, timing)
+        w20 = optimal_single_stage_cw(20, timing)
+        assert w20 == pytest.approx(2 * w10, rel=0.1)
+
+    def test_formula_window_is_near_optimal(self):
+        """A fixed-window protocol (non-expiring DC, so τ = 2/(W+1))
+        at W*(N) must come within 1% of the best such protocol found
+        numerically."""
+        timing = TimingConfig()
+        n = 15
+        w_star = optimal_single_stage_cw(n, timing)
+
+        def throughput(w):
+            model = Model1901(
+                CsmaConfig(cw=(w,), dc=(w,)), timing, method="recursive"
+            )
+            return model.normalized_throughput(n)
+
+        best = max(
+            throughput(w) for w in range(max(2, w_star // 2), w_star * 2, 8)
+        )
+        assert throughput(w_star) > 0.99 * best
+
+    def test_redraw_on_busy_lowers_attempt_rate(self):
+        """The documented subtlety: dc=0 single-stage schedules redraw
+        BC on busy slots, discarding countdown progress, and therefore
+        attempt *less* under load than the frozen-DC variant."""
+        from repro.analysis.recursive import RecursiveModel
+
+        redraw = RecursiveModel(CsmaConfig(cw=(64,), dc=(0,)))
+        frozen = RecursiveModel(CsmaConfig(cw=(64,), dc=(64,)))
+        assert redraw.tau(0.0) == pytest.approx(frozen.tau(0.0))
+        assert redraw.tau(0.5) < frozen.tau(0.5)
+        # Frozen-DC τ is load independent: exactly 2/(W+1).
+        assert frozen.tau(0.5) == pytest.approx(2 / 65)
+
+    def test_collision_cost_slots(self):
+        timing = TimingConfig()
+        assert collision_cost_slots(timing) == pytest.approx(
+            2542.64 / 35.84
+        )
+
+    def test_minimum_window(self):
+        # Even at N=1 the formula returns a usable window.
+        assert optimal_single_stage_cw(1, TimingConfig()) >= 2

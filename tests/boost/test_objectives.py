@@ -1,0 +1,71 @@
+"""Tests for boosting objectives and the throughput upper bound."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.throughput import network_prediction
+from repro.boost.objectives import (
+    mean_throughput,
+    optimal_tau,
+    throughput_at_n,
+    throughput_upper_bound,
+    worst_case_throughput,
+)
+from repro.core.config import TimingConfig
+
+
+class TestOptimalTau:
+    def test_is_a_maximum(self):
+        timing = TimingConfig()
+        n = 10
+        tau_star = optimal_tau(n, timing)
+        best = network_prediction(tau_star, n, timing).normalized_throughput
+        for delta in (-0.01, 0.01):
+            tau = min(max(tau_star + delta, 1e-6), 1 - 1e-6)
+            other = network_prediction(tau, n, timing).normalized_throughput
+            assert best >= other - 1e-9
+
+    def test_decreases_with_n(self):
+        timing = TimingConfig()
+        taus = [optimal_tau(n, timing) for n in (2, 5, 10, 20)]
+        assert all(a > b for a, b in zip(taus, taus[1:]))
+
+    def test_scales_roughly_as_inverse_n(self):
+        timing = TimingConfig()
+        t10, t20 = optimal_tau(10, timing), optimal_tau(20, timing)
+        assert t10 / t20 == pytest.approx(2.0, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_tau(0, TimingConfig())
+
+
+class TestUpperBound:
+    def test_bound_dominates_default_protocol(self):
+        from repro.analysis.model import Model1901
+
+        timing = TimingConfig()
+        model = Model1901()
+        for n in (2, 5, 15):
+            bound = throughput_upper_bound(n, timing)
+            assert bound >= model.normalized_throughput(n) - 1e-9
+
+    def test_bound_nearly_flat_in_n(self):
+        timing = TimingConfig()
+        bounds = [throughput_upper_bound(n, timing) for n in (5, 10, 30)]
+        assert max(bounds) - min(bounds) < 0.02
+
+
+class TestObjectives:
+    def test_throughput_at_n(self):
+        objective = throughput_at_n(5)
+        assert objective.station_counts == (5,)
+        assert objective.evaluate(np.array([0.6])) == pytest.approx(0.6)
+
+    def test_worst_case(self):
+        objective = worst_case_throughput([2, 5, 10])
+        assert objective.evaluate(np.array([0.6, 0.5, 0.55])) == 0.5
+
+    def test_mean(self):
+        objective = mean_throughput([2, 5])
+        assert objective.evaluate(np.array([0.6, 0.4])) == pytest.approx(0.5)

@@ -1,0 +1,96 @@
+"""Tests for candidate families and the configuration search."""
+
+import pytest
+
+from repro.boost.objectives import throughput_at_n, worst_case_throughput
+from repro.boost.search import (
+    default_candidates,
+    deferral_family,
+    evaluate_candidate,
+    search,
+    single_stage_family,
+    standard_family,
+    validate_by_simulation,
+)
+from repro.core.config import CsmaConfig
+
+
+class TestFamilies:
+    def test_standard_family_shapes(self):
+        configs = standard_family()
+        assert configs
+        for config in configs:
+            assert config.num_stages == 4
+            assert len(config.cw) == len(config.dc)
+
+    def test_single_stage_family(self):
+        configs = single_stage_family((8, 16))
+        assert [c.cw for c in configs] == [(8,), (16,)]
+        assert all(c.dc == (0,) for c in configs)
+
+    def test_deferral_family_constant_windows(self):
+        for config in deferral_family(cw_values=(8,)):
+            assert len(set(config.cw)) == 1
+
+    def test_default_candidates_unique(self):
+        configs = default_candidates()
+        keys = [(c.cw, c.dc) for c in configs]
+        assert len(keys) == len(set(keys))
+        assert any(
+            c.cw == (8, 16, 32, 64) and c.dc == (0, 1, 3, 15)
+            for c in configs
+        )  # the standard config is always in the pool
+
+
+class TestSearch:
+    def test_evaluate_candidate_fields(self):
+        score = evaluate_candidate(
+            CsmaConfig.default_1901(), throughput_at_n(5)
+        )
+        assert len(score.throughput_curve) == 1
+        assert len(score.collision_curve) == 1
+        assert score.score == pytest.approx(score.throughput_curve[0])
+
+    def test_search_returns_sorted(self):
+        candidates = single_stage_family((4, 16, 64, 256))
+        scores = search(candidates, throughput_at_n(10), top=4)
+        values = [s.score for s in scores]
+        assert values == sorted(values, reverse=True)
+
+    def test_search_top_limits(self):
+        candidates = single_stage_family((4, 16, 64))
+        assert len(search(candidates, throughput_at_n(5), top=2)) == 2
+
+    def test_best_single_stage_tracks_n(self):
+        """At large N a larger fixed CW must win; at tiny N a small one."""
+        candidates = single_stage_family((4, 8, 16, 32, 64, 128, 256))
+        best_small = search(candidates, throughput_at_n(2), top=1)[0]
+        best_large = search(candidates, throughput_at_n(30), top=1)[0]
+        assert best_large.config.cw[0] > best_small.config.cw[0]
+
+    def test_robust_search_beats_default_at_large_n(self):
+        counts = (5, 10, 20)
+        best = search(
+            default_candidates(), worst_case_throughput(counts), top=1
+        )[0]
+        default = evaluate_candidate(
+            CsmaConfig.default_1901(), worst_case_throughput(counts)
+        )
+        assert best.score > default.score
+
+
+class TestSimulationValidation:
+    def test_validate_by_simulation_rows(self):
+        score = evaluate_candidate(
+            CsmaConfig.default_1901(), throughput_at_n(3)
+        )
+        rows = validate_by_simulation(
+            score, [3], sim_time_us=5e6, repetitions=2
+        )
+        assert len(rows) == 1
+        n, throughput, collision_pr = rows[0]
+        assert n == 3
+        assert throughput == pytest.approx(
+            score.throughput_curve[0], rel=0.08
+        )
+        assert 0 <= collision_pr <= 1

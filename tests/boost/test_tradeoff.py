@@ -1,0 +1,92 @@
+"""Tests for the CW/DC tradeoff ablations."""
+
+import pytest
+
+from repro.boost.tradeoff import (
+    cw_sweep,
+    dc_sweep,
+    deferral_ablation,
+    disable_deferral,
+    scale_deferral,
+)
+from repro.core.config import CsmaConfig
+
+
+class TestScaleDeferral:
+    def test_identity_factor(self):
+        config = CsmaConfig.default_1901()
+        assert scale_deferral(config, 1.0).dc == config.dc
+
+    def test_zero_factor_all_zero(self):
+        assert scale_deferral(CsmaConfig.default_1901(), 0.0).dc == (
+            0, 0, 0, 0,
+        )
+
+    def test_doubling(self):
+        assert scale_deferral(CsmaConfig.default_1901(), 2.0).dc == (
+            0, 2, 6, 30,
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            scale_deferral(CsmaConfig.default_1901(), -1.0)
+
+    def test_windows_untouched(self):
+        config = CsmaConfig.default_1901()
+        assert scale_deferral(config, 3.0).cw == config.cw
+
+
+class TestDisableDeferral:
+    def test_counters_unreachable(self):
+        config = disable_deferral(CsmaConfig.default_1901())
+        assert config.dc == config.cw
+
+    def test_simulation_shows_no_jumps(self):
+        from repro.core import ScenarioConfig, SlotSimulator
+
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=4,
+            csma=disable_deferral(CsmaConfig.default_1901()),
+            sim_time_us=5e6,
+            seed=2,
+        )
+        result = SlotSimulator(scenario).run()
+        assert sum(s.jumps for s in result.stations) == 0
+
+    def test_default_config_does_jump(self):
+        from repro.core import ScenarioConfig, SlotSimulator
+
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=4, sim_time_us=5e6, seed=2
+        )
+        result = SlotSimulator(scenario).run()
+        assert sum(s.jumps for s in result.stations) > 0
+
+
+class TestSweeps:
+    def test_cw_sweep_tradeoff_direction(self):
+        points = cw_sweep(station_counts=(10,), cw_values=(4, 256))
+        small, large = points[0], points[1]
+        assert small.collision_probability > large.collision_probability
+
+    def test_cw_sweep_has_interior_optimum(self):
+        points = cw_sweep(
+            station_counts=(10,), cw_values=(4, 8, 16, 32, 64, 128, 256)
+        )
+        throughputs = [p.normalized_throughput for p in points]
+        best = max(range(len(throughputs)), key=throughputs.__getitem__)
+        assert 0 < best < len(throughputs) - 1  # not at either extreme
+
+    def test_dc_sweep_labels_and_sizes(self):
+        points = dc_sweep(station_counts=(2, 5), factors=(0.0, 1.0))
+        assert len(points) == 4
+        assert {p.label for p in points} == {"dc×0", "dc×1"}
+
+    def test_deferral_ablation_shows_dc_helps_at_large_n(self):
+        points = deferral_ablation(station_counts=(20,))
+        with_dc = next(p for p in points if "with DC" in p.label)
+        without = next(p for p in points if "no DC" in p.label)
+        # The deferral counter reduces collisions markedly.
+        assert (
+            with_dc.collision_probability < without.collision_probability
+        )

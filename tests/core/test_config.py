@@ -1,0 +1,160 @@
+"""Configuration dataclasses (Table 3's inputs, experiment T3)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import (
+    CsmaConfig,
+    Protocol,
+    ScenarioConfig,
+    StationConfig,
+    TimingConfig,
+)
+from repro.core.parameters import PriorityClass
+
+
+class TestCsmaConfig:
+    def test_default_is_table1_ca1(self):
+        config = CsmaConfig.default_1901()
+        assert config.cw == (8, 16, 32, 64)
+        assert config.dc == (0, 1, 3, 15)
+        assert config.protocol == Protocol.IEEE_1901
+        assert config.retry_limit is None
+
+    def test_for_priority_high_group(self):
+        config = CsmaConfig.for_priority(PriorityClass.CA3)
+        assert config.cw == (8, 16, 16, 32)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            CsmaConfig(cw=(8, 16), dc=(0,))
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            CsmaConfig(protocol="ethernet")
+
+    def test_bad_retry_limit_rejected(self):
+        with pytest.raises(ValueError):
+            CsmaConfig(retry_limit=0)
+
+    def test_stage_cw_clamps_beyond_last(self):
+        config = CsmaConfig.default_1901()
+        assert config.stage_cw(0) == 8
+        assert config.stage_cw(3) == 64
+        assert config.stage_cw(99) == 64  # BPC >= 3 row of Table 1
+
+    def test_stage_dc_clamps(self):
+        config = CsmaConfig.default_1901()
+        assert config.stage_dc(0) == 0
+        assert config.stage_dc(10) == 15
+
+    def test_ieee80211_windows_double(self):
+        config = CsmaConfig.ieee80211(cw_min=16, max_stage=3)
+        assert config.cw == (16, 32, 64, 128)
+        assert config.protocol == Protocol.IEEE_80211
+
+    def test_ieee80211_deferral_unreachable(self):
+        config = CsmaConfig.ieee80211(cw_min=8, max_stage=1)
+        # dc == cw: at most cw-1 busy events can occur before BC expiry.
+        assert all(d >= w for d, w in zip(config.dc, config.cw))
+
+    def test_ieee80211_validation(self):
+        with pytest.raises(ValueError):
+            CsmaConfig.ieee80211(cw_min=0)
+
+    def test_values_coerced_to_int(self):
+        config = CsmaConfig(cw=(8.0, 16.0), dc=(1.0, 2.0))
+        assert config.cw == (8, 16)
+        assert isinstance(config.cw[0], int)
+
+    def test_describe_mentions_parameters(self):
+        text = CsmaConfig.default_1901().describe()
+        assert "1901" in text and "[8, 16, 32, 64]" in text
+
+    def test_frozen(self):
+        config = CsmaConfig.default_1901()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.cw = (4,)
+
+
+class TestTimingConfig:
+    def test_defaults_are_paper_values(self):
+        timing = TimingConfig.paper_defaults()
+        assert timing.slot == 35.84
+        assert timing.ts == 2920.64
+        assert timing.tc == 2542.64
+        assert timing.frame == 2050.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("slot", 0.0), ("ts", -1.0), ("tc", 0.0), ("frame", float("inf"))],
+    )
+    def test_positive_finite_required(self, field, value):
+        with pytest.raises(ValueError):
+            TimingConfig(**{field: value})
+
+    def test_frame_cannot_exceed_ts(self):
+        with pytest.raises(ValueError):
+            TimingConfig(ts=1000.0, tc=900.0, frame=1500.0)
+
+    def test_scaled_to_frame_keeps_overheads(self):
+        timing = TimingConfig()
+        scaled = timing.scaled_to_frame(1000.0)
+        assert scaled.frame == 1000.0
+        assert scaled.ts - scaled.frame == pytest.approx(
+            timing.ts - timing.frame
+        )
+        assert scaled.tc - scaled.frame == pytest.approx(
+            timing.tc - timing.frame
+        )
+
+
+class TestStationConfig:
+    def test_saturated_by_default(self):
+        assert StationConfig().saturated
+
+    def test_arrival_rate_makes_unsaturated(self):
+        config = StationConfig(arrival_rate_pps=100.0)
+        assert not config.saturated
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            StationConfig(arrival_rate_pps=0.0)
+
+    def test_bad_queue_rejected(self):
+        with pytest.raises(ValueError):
+            StationConfig(queue_capacity=0)
+
+
+class TestScenarioConfig:
+    def test_homogeneous_builds_n_stations(self):
+        scenario = ScenarioConfig.homogeneous(num_stations=5)
+        assert scenario.num_stations == 5
+        assert len({s.csma for s in scenario.stations}) == 1
+        assert scenario.stations[2].name == "sta2"
+
+    def test_paper_example_matches_table3(self):
+        scenario = ScenarioConfig.paper_example()
+        assert scenario.num_stations == 2
+        assert scenario.sim_time_us == 5e8
+        assert scenario.timing.ts == 2920.64
+        assert scenario.stations[0].csma.cw == (8, 16, 32, 64)
+
+    def test_zero_stations_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig.homogeneous(num_stations=0)
+
+    def test_empty_station_list_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(stations=())
+
+    def test_bad_sim_time_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig.homogeneous(num_stations=1, sim_time_us=0.0)
+
+    def test_priority_propagates_to_csma(self):
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=2, priority=PriorityClass.CA3
+        )
+        assert scenario.stations[0].csma.cw == (8, 16, 16, 32)

@@ -1,0 +1,180 @@
+"""Tests for the metrics module."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import metrics as M
+
+
+class TestCollisionProbability:
+    def test_basic_ratio(self):
+        assert M.collision_probability(12012, 162020) == pytest.approx(
+            0.0741, abs=1e-4
+        )  # Table 2's N=2 row
+
+    def test_zero_acked(self):
+        assert M.collision_probability(0, 0) == 0.0
+
+
+class TestNormalizedThroughput:
+    def test_formula(self):
+        assert M.normalized_throughput(100, 2050.0, 1e6) == pytest.approx(
+            0.205
+        )
+
+    def test_zero_duration(self):
+        assert M.normalized_throughput(5, 2050.0, 0.0) == 0.0
+
+
+class TestJain:
+    def test_perfectly_fair(self):
+        assert M.jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_totally_unfair(self):
+        assert M.jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_lower_bound_is_one_over_n(self):
+        n = 7
+        assert M.jain_index([1] + [0] * (n - 1)) == pytest.approx(1 / n)
+
+    def test_scale_invariant(self):
+        assert M.jain_index([1, 2, 3]) == pytest.approx(
+            M.jain_index([10, 20, 30])
+        )
+
+    def test_all_zero_defined_as_fair(self):
+        assert M.jain_index([0, 0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            M.jain_index([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            M.jain_index([1, -1])
+
+
+class TestWindowedJain:
+    def test_matches_naive_computation(self):
+        winners = [0, 1, 0, 0, 1, 1, 0, 1, 1, 1, 0, 0]
+        window = 4
+        fast = M.windowed_jain(winners, 2, window)
+        naive = []
+        for start in range(len(winners) - window + 1):
+            counts = np.bincount(
+                winners[start : start + window], minlength=2
+            )
+            naive.append(M.jain_index(counts))
+        assert fast == pytest.approx(naive)
+
+    def test_too_short_sequence_empty(self):
+        assert M.windowed_jain([0, 1], 2, 5).size == 0
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            M.windowed_jain([0, 1], 2, 0)
+
+    def test_alternating_is_fair(self):
+        values = M.windowed_jain([0, 1] * 20, 2, 4)
+        assert np.all(values == pytest.approx(1.0))
+
+    def test_blocky_is_unfair(self):
+        values = M.windowed_jain([0] * 20 + [1] * 20, 2, 10)
+        assert values.min() == pytest.approx(0.5)  # single-owner windows
+
+
+class TestShortTermFairness:
+    def test_default_window_is_10n(self):
+        winners = list(range(2)) * 50
+        explicit = M.short_term_fairness(winners, 2, window=20)
+        default = M.short_term_fairness(winners, 2)
+        assert explicit == default
+
+    def test_nan_when_too_short(self):
+        assert math.isnan(M.short_term_fairness([0], 2))
+
+
+class TestRunLengths:
+    def test_basic(self):
+        assert M.win_run_lengths([0, 0, 1, 1, 1, 0]) == [2, 3, 1]
+
+    def test_empty(self):
+        assert M.win_run_lengths([]) == []
+
+    def test_single(self):
+        assert M.win_run_lengths([3]) == [1]
+
+    def test_sum_equals_length(self):
+        winners = [0, 1, 1, 2, 2, 2, 0, 0]
+        assert sum(M.win_run_lengths(winners)) == len(winners)
+
+
+class TestCaptureProbability:
+    def test_alternating_zero(self):
+        assert M.capture_probability([0, 1, 0, 1]) == 0.0
+
+    def test_constant_one(self):
+        assert M.capture_probability([2, 2, 2, 2]) == 1.0
+
+    def test_half(self):
+        assert M.capture_probability([0, 0, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_nan_for_short(self):
+        assert math.isnan(M.capture_probability([0]))
+
+
+class TestDelayStats:
+    def test_summary_fields(self):
+        stats = M.delay_stats([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.median == pytest.approx(2.5)
+        assert stats.maximum == 4.0
+        assert stats.count == 4
+        assert stats.p95 <= stats.p99 <= stats.maximum
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            M.delay_stats([])
+
+    def test_as_dict_roundtrip(self):
+        stats = M.delay_stats([5.0])
+        d = stats.as_dict()
+        assert d["mean"] == 5.0
+        assert set(d) == {
+            "mean", "std", "median", "p95", "p99", "maximum", "count",
+        }
+
+
+class TestInterSuccessTimes:
+    def test_basic_gaps(self):
+        gaps = M.inter_success_times([0.0, 10.0, 25.0, 26.0])
+        assert list(gaps) == [10.0, 15.0, 1.0]
+
+    def test_too_short_empty(self):
+        assert M.inter_success_times([5.0]).size == 0
+        assert M.inter_success_times([]).size == 0
+
+    def test_unordered_rejected(self):
+        with pytest.raises(ValueError):
+            M.inter_success_times([5.0, 1.0])
+
+    def test_capture_shows_in_per_station_gaps(self):
+        """A station's inter-success spread is wider under 1901 than
+        802.11 at N=2 (the capture effect)."""
+        from repro.core import CsmaConfig, ScenarioConfig, SlotSimulator
+
+        def spread(config):
+            scenario = ScenarioConfig.homogeneous(
+                num_stations=2, csma=config, sim_time_us=1e7, seed=4
+            )
+            result = SlotSimulator(scenario, record_trace=True).run()
+            gaps = M.inter_success_times(
+                result.trace.success_times(station=0)
+            )
+            return float(np.std(gaps) / np.mean(gaps))  # CoV
+
+        assert spread(CsmaConfig.default_1901()) > spread(
+            CsmaConfig.ieee80211()
+        )

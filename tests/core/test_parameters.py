@@ -1,0 +1,81 @@
+"""Table 1 and timing constants (experiment T1)."""
+
+import pytest
+
+from repro.core import parameters as P
+
+
+def test_table1_ca0_ca1_contention_windows():
+    assert P.CW_CA0_CA1 == (8, 16, 32, 64)
+
+
+def test_table1_ca2_ca3_contention_windows():
+    assert P.CW_CA2_CA3 == (8, 16, 16, 32)
+
+
+def test_table1_deferral_counters_same_for_both_groups():
+    assert P.DC_CA0_CA1 == (0, 1, 3, 15)
+    assert P.DC_CA2_CA3 == (0, 1, 3, 15)
+
+
+def test_four_backoff_stages():
+    assert P.NUM_BACKOFF_STAGES == 4
+    assert len(P.CW_CA0_CA1) == 4
+    assert len(P.DC_CA0_CA1) == 4
+
+
+def test_slot_duration_from_reference_listing():
+    assert P.SLOT_DURATION_US == 35.84
+
+
+def test_default_durations_match_table3_example():
+    # sim_1901(2, 5*10^8, 2920.64, 2542.64, 2050, ...)
+    assert P.DEFAULT_TS_US == 2920.64
+    assert P.DEFAULT_TC_US == 2542.64
+    assert P.DEFAULT_FRAME_US == 2050.0
+    assert P.DEFAULT_SIM_TIME_US == 5e8
+
+
+def test_priority_groups():
+    assert not P.PriorityClass.CA0.is_high_group
+    assert not P.PriorityClass.CA1.is_high_group
+    assert P.PriorityClass.CA2.is_high_group
+    assert P.PriorityClass.CA3.is_high_group
+
+
+def test_priority_ordering():
+    assert P.PriorityClass.CA3 > P.PriorityClass.CA2 > P.PriorityClass.CA1
+
+
+def test_cw_schedule_selects_group():
+    assert P.cw_schedule(P.PriorityClass.CA1) == P.CW_CA0_CA1
+    assert P.cw_schedule(P.PriorityClass.CA2) == P.CW_CA2_CA3
+
+
+def test_dc_schedule_selects_group():
+    assert P.dc_schedule(P.PriorityClass.CA0) == P.DC_CA0_CA1
+    assert P.dc_schedule(P.PriorityClass.CA3) == P.DC_CA2_CA3
+
+
+def test_framing_constants():
+    assert P.PB_SIZE_BYTES == 512
+    assert P.MAX_MPDUS_PER_BURST == 4
+    assert P.DEFAULT_MPDUS_PER_BURST == 2
+
+
+def test_priority_resolution_is_two_slots():
+    assert P.PRIORITY_RESOLUTION_US == pytest.approx(2 * 35.84)
+
+
+@pytest.mark.parametrize(
+    "cw,dc",
+    [((8,), (0, 1)), ((), ()), ((8, 0), (0, 0)), ((8,), (-1,)), ((7.5,), (0,))],
+)
+def test_validate_schedules_rejects_bad_inputs(cw, dc):
+    with pytest.raises(ValueError):
+        P.validate_schedules(cw, dc)
+
+
+def test_validate_schedules_accepts_table1():
+    P.validate_schedules(P.CW_CA0_CA1, P.DC_CA0_CA1)
+    P.validate_schedules(P.CW_CA2_CA3, P.DC_CA2_CA3)

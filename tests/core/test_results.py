@@ -1,0 +1,110 @@
+"""Tests for result containers and aggregation."""
+
+import pytest
+
+from repro.core import (
+    AggregateResult,
+    ScenarioConfig,
+    SimulationResult,
+    StationStats,
+    aggregate,
+)
+
+
+def make_result(successes=100, collisions=10, events=5, idle=50, n=2):
+    scenario = ScenarioConfig.homogeneous(num_stations=n, sim_time_us=1e6)
+    timing = scenario.timing
+    duration = idle * timing.slot + successes * timing.ts + events * timing.tc
+    per_station = successes // n
+    return SimulationResult(
+        scenario=scenario,
+        duration_us=duration,
+        successes=successes,
+        collisions=collisions,
+        collision_events=events,
+        idle_slots=idle,
+        stations=[
+            StationStats(
+                index=i,
+                successes=per_station,
+                collisions=collisions // n,
+                drops=0,
+                jumps=0,
+            )
+            for i in range(n)
+        ],
+    )
+
+
+class TestSimulationResult:
+    def test_collision_probability_definition(self):
+        result = make_result(successes=90, collisions=10)
+        assert result.collision_probability == pytest.approx(0.1)
+
+    def test_collision_probability_empty(self):
+        result = make_result(successes=0, collisions=0, events=0)
+        assert result.collision_probability == 0.0
+
+    def test_normalized_throughput_definition(self):
+        result = make_result()
+        expected = 100 * result.scenario.timing.frame / result.duration_us
+        assert result.normalized_throughput == pytest.approx(expected)
+
+    def test_airtime_breakdown_sums_to_one(self):
+        result = make_result()
+        assert sum(result.airtime_breakdown.values()) == pytest.approx(1.0)
+
+    def test_airtime_breakdown_empty_run(self):
+        result = make_result(successes=0, collisions=0, events=0, idle=0)
+        assert result.airtime_breakdown == {
+            "idle": 0.0, "success": 0.0, "collision": 0.0,
+        }
+
+    def test_jain_perfect_split(self):
+        result = make_result(successes=100, n=2)
+        assert result.jain_fairness() == pytest.approx(1.0)
+
+    def test_per_station_throughput_sums_to_total(self):
+        result = make_result(successes=100, n=2)
+        assert result.per_station_throughput.sum() == pytest.approx(
+            result.normalized_throughput
+        )
+
+    def test_attempts(self):
+        result = make_result(successes=90, collisions=10)
+        assert result.attempts == 100
+
+
+class TestStationStats:
+    def test_attempts_property(self):
+        stats = StationStats(
+            index=0, successes=7, collisions=3, drops=0, jumps=1
+        )
+        assert stats.attempts == 10
+
+
+class TestAggregateResult:
+    def test_requires_runs(self):
+        with pytest.raises(ValueError):
+            AggregateResult(runs=[])
+
+    def test_mean_and_std(self):
+        runs = [make_result(successes=90, collisions=10),
+                make_result(successes=80, collisions=20)]
+        agg = aggregate(runs)
+        assert agg.collision_probability == pytest.approx((0.1 + 0.2) / 2)
+        assert agg.collision_probability_std > 0
+        assert agg.num_runs == 2
+
+    def test_confidence_interval_single_run(self):
+        agg = aggregate([make_result()])
+        mean, half = agg.confidence_interval()
+        assert half == 0.0
+
+    def test_confidence_interval_width_positive(self):
+        runs = [make_result(successes=s, collisions=10) for s in (80, 90, 100)]
+        mean, half = aggregate(runs).confidence_interval(
+            "normalized_throughput"
+        )
+        assert half > 0
+        assert mean > 0

@@ -1,0 +1,251 @@
+"""Tests for the slot-synchronous simulator (§4.2 port)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CsmaConfig,
+    ScenarioConfig,
+    SlotSimulator,
+    StationConfig,
+    TimingConfig,
+    aggregate,
+    sim_1901,
+    simulate,
+)
+
+
+def short_scenario(n, sim_time_us=2e6, seed=1, **kwargs):
+    return ScenarioConfig.homogeneous(
+        num_stations=n, sim_time_us=sim_time_us, seed=seed, **kwargs
+    )
+
+
+class TestSingleStation:
+    def test_never_collides(self):
+        result = SlotSimulator(short_scenario(1)).run()
+        assert result.collisions == 0
+        assert result.collision_probability == 0.0
+
+    def test_throughput_matches_counts(self):
+        result = SlotSimulator(short_scenario(1)).run()
+        expected = (
+            result.successes * result.scenario.timing.frame
+            / result.duration_us
+        )
+        assert result.normalized_throughput == pytest.approx(expected)
+
+    def test_time_accounting_is_exact(self):
+        result = SlotSimulator(short_scenario(1)).run()
+        timing = result.scenario.timing
+        reconstructed = (
+            result.idle_slots * timing.slot
+            + result.successes * timing.ts
+            + result.collision_events * timing.tc
+        )
+        assert result.duration_us == pytest.approx(reconstructed)
+
+    def test_single_station_throughput_near_expected(self):
+        # One saturated station: cycle = E[BC] slots + Ts where the
+        # expected per-frame backoff is (CW0+1)/2 events including the
+        # attempt event = 4.5 -> 3.5 idle slots.
+        result = SlotSimulator(short_scenario(1, sim_time_us=2e7)).run()
+        timing = result.scenario.timing
+        expected = timing.frame / (3.5 * timing.slot + timing.ts)
+        assert result.normalized_throughput == pytest.approx(expected, rel=0.02)
+
+
+class TestMultiStation:
+    def test_time_accounting_many_stations(self):
+        result = SlotSimulator(short_scenario(4)).run()
+        timing = result.scenario.timing
+        reconstructed = (
+            result.idle_slots * timing.slot
+            + result.successes * timing.ts
+            + result.collision_events * timing.tc
+        )
+        assert result.duration_us == pytest.approx(reconstructed)
+
+    def test_collision_probability_increases_with_n(self):
+        values = []
+        for n in (2, 4, 7):
+            agg = aggregate(
+                simulate(short_scenario(n, sim_time_us=1e7), repetitions=3)
+            )
+            values.append(agg.collision_probability)
+        assert values[0] < values[1] < values[2]
+
+    def test_station_counters_sum_to_totals(self):
+        result = SlotSimulator(short_scenario(3)).run()
+        assert sum(s.successes for s in result.stations) == result.successes
+        assert sum(s.collisions for s in result.stations) == result.collisions
+
+    def test_collision_counts_one_per_collided_station(self):
+        # The reference listing does `collisions += counter`.
+        result = SlotSimulator(short_scenario(5, sim_time_us=5e6)).run()
+        assert result.collisions >= 2 * result.collision_events
+
+    def test_reproducible_with_same_seed(self):
+        a = SlotSimulator(short_scenario(3, seed=77)).run()
+        b = SlotSimulator(short_scenario(3, seed=77)).run()
+        assert a.successes == b.successes
+        assert a.collisions == b.collisions
+        assert [s.successes for s in a.stations] == [
+            s.successes for s in b.stations
+        ]
+
+    def test_different_seed_differs(self):
+        a = SlotSimulator(short_scenario(3, seed=1)).run()
+        b = SlotSimulator(short_scenario(3, seed=2)).run()
+        assert (a.successes, a.collisions) != (b.successes, b.collisions)
+
+
+class TestTraces:
+    def test_trace_successes_match_counters(self):
+        sim = SlotSimulator(short_scenario(3), record_trace=True)
+        result = sim.run()
+        assert len(result.trace.success_times()) == result.successes
+        assert len(result.trace.collision_times()) == result.collision_events
+
+    def test_winner_indices_valid(self):
+        result = SlotSimulator(short_scenario(3), record_trace=True).run()
+        assert all(0 <= w < 3 for w in result.trace.winners())
+
+    def test_per_station_success_times(self):
+        result = SlotSimulator(short_scenario(2), record_trace=True).run()
+        total = sum(
+            len(result.trace.success_times(station=i)) for i in range(2)
+        )
+        assert total == result.successes
+
+    def test_slot_records_when_enabled(self):
+        result = SlotSimulator(
+            short_scenario(2, sim_time_us=1e5), record_slots=True
+        ).run()
+        assert result.trace.slots
+        for record in result.trace.slots:
+            assert len(record.per_station) == 2
+            for stage, cw, dc, bc in record.per_station:
+                assert 0 <= stage <= 3
+                assert cw in (8, 16, 32, 64)
+                assert bc >= 0
+
+    def test_no_trace_by_default(self):
+        result = SlotSimulator(short_scenario(2)).run()
+        assert result.trace is None
+
+    def test_stage_histogram_counts_attempts(self):
+        result = SlotSimulator(short_scenario(3), record_trace=True).run()
+        histogram = result.trace.stage_at_attempt_counts(4)
+        assert sum(histogram) == result.successes + result.collisions
+
+
+class TestDelays:
+    def test_delays_recorded_for_each_success(self):
+        result = SlotSimulator(
+            short_scenario(2), record_delays=True
+        ).run()
+        assert result.delays_us is not None
+        assert len(result.delays_us) == result.successes
+        assert np.all(result.delays_us > 0)
+
+    def test_delay_at_least_transmission_time(self):
+        result = SlotSimulator(short_scenario(1), record_delays=True).run()
+        # >= Ts up to float accumulation error over the long run.
+        assert result.delays_us.min() >= result.scenario.timing.ts - 1e-6
+
+
+class TestRetryLimit:
+    def test_drops_counted(self):
+        config = CsmaConfig(
+            cw=(2, 2), dc=(2, 2), retry_limit=1
+        )  # tiny CW, 1 attempt: drops guaranteed
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=4, csma=config, sim_time_us=2e6, seed=3
+        )
+        result = SlotSimulator(scenario).run()
+        assert sum(s.drops for s in result.stations) > 0
+
+
+class TestUnsaturated:
+    def test_low_rate_single_station_no_loss(self):
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=1, arrival_rate_pps=10.0, sim_time_us=2e7, seed=5
+        )
+        result = SlotSimulator(scenario).run()
+        stats = result.stations[0]
+        assert stats.arrivals > 0
+        assert stats.queue_losses == 0
+        # Deliveries track arrivals closely (queue drains fast).
+        assert abs(stats.successes - stats.arrivals) <= 2
+
+    def test_throughput_tracks_offered_load(self):
+        rate = 20.0  # frames/s, far below saturation
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=2, arrival_rate_pps=rate, sim_time_us=2e7, seed=5
+        )
+        result = SlotSimulator(scenario).run()
+        offered = 2 * rate * result.duration_us / 1e6
+        assert result.successes == pytest.approx(offered, rel=0.25)
+
+    def test_overload_fills_queue(self):
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=2, arrival_rate_pps=100000.0, sim_time_us=2e6, seed=5
+        )
+        result = SlotSimulator(scenario).run()
+        assert sum(s.queue_losses for s in result.stations) > 0
+
+
+class TestHeterogeneous:
+    def test_mixed_configs_run(self):
+        aggressive = StationConfig(csma=CsmaConfig(cw=(4,), dc=(0,)))
+        standard = StationConfig(csma=CsmaConfig.default_1901())
+        scenario = ScenarioConfig(
+            stations=(aggressive, standard),
+            sim_time_us=5e6,
+            seed=1,
+        )
+        result = SlotSimulator(scenario).run()
+        # The single-stage CW=4 station should dominate.
+        assert result.stations[0].successes > result.stations[1].successes
+
+
+class TestSim1901Wrapper:
+    def test_signature_matches_matlab_order(self):
+        # (N, sim_time, Tc, Ts, frame, cw, dc): Tc comes *before* Ts.
+        p, s = sim_1901(
+            1, 1e6, 2542.64, 2920.64, 2050.0, [8, 16, 32, 64], [0, 1, 3, 15]
+        )
+        assert p == 0.0
+        assert 0 < s < 1
+
+    def test_returns_collision_pr_then_throughput(self):
+        p, s = sim_1901(
+            5, 5e6, 2542.64, 2920.64, 2050.0, [8, 16, 32, 64], [0, 1, 3, 15],
+            seed=2,
+        )
+        assert 0.1 < p < 0.35  # collision probability range at N=5
+        assert 0.5 < s < 0.7
+
+    def test_mismatched_vectors_raise(self):
+        # The MATLAB listing silently returns; we raise instead.
+        with pytest.raises(ValueError):
+            sim_1901(2, 1e6, 2542.64, 2920.64, 2050.0, [8, 16], [0])
+
+    def test_seed_reproducibility(self):
+        a = sim_1901(3, 2e6, 2542.64, 2920.64, 2050.0, [8, 16], [0, 1], seed=9)
+        b = sim_1901(3, 2e6, 2542.64, 2920.64, 2050.0, [8, 16], [0, 1], seed=9)
+        assert a == b
+
+
+class TestSimulateHelper:
+    def test_repetitions_are_independent(self):
+        results = simulate(short_scenario(2), repetitions=3)
+        assert len(results) == 3
+        assert len({r.successes for r in results}) > 1
+
+    def test_aggregate_means(self):
+        agg = aggregate(simulate(short_scenario(2), repetitions=4))
+        values = [r.collision_probability for r in agg.runs]
+        assert agg.collision_probability == pytest.approx(np.mean(values))
+        assert agg.num_runs == 4

@@ -1,0 +1,70 @@
+"""Direct tests for the trace containers."""
+
+import pytest
+
+from repro.core.trace import SlotRecord, Trace, TransmissionRecord
+
+
+def tx(time, winner=None, stations=(0, 1), stages=(0, 1)):
+    return TransmissionRecord(
+        time_us=time,
+        outcome="success" if winner is not None else "collision",
+        stations=tuple(stations),
+        winner=winner,
+        stages=tuple(stages),
+    )
+
+
+class TestTransmissionRecord:
+    def test_collision_flag(self):
+        assert tx(1.0).is_collision
+        assert not tx(1.0, winner=0, stations=(0,), stages=(0,)).is_collision
+
+
+class TestTrace:
+    def test_len_counts_transmissions(self):
+        trace = Trace()
+        trace.add_transmission(tx(1.0, winner=0, stations=(0,), stages=(0,)))
+        trace.add_transmission(tx(2.0))
+        assert len(trace) == 2
+
+    def test_success_times_filtering(self):
+        trace = Trace()
+        trace.add_transmission(tx(1.0, winner=0, stations=(0,), stages=(0,)))
+        trace.add_transmission(tx(2.0))  # collision
+        trace.add_transmission(tx(3.0, winner=1, stations=(1,), stages=(2,)))
+        assert trace.success_times() == [1.0, 3.0]
+        assert trace.success_times(station=1) == [3.0]
+        assert trace.collision_times() == [2.0]
+
+    def test_winners_in_order(self):
+        trace = Trace()
+        for t, w in ((1.0, 1), (2.0, 0), (3.0, 1)):
+            trace.add_transmission(tx(t, winner=w, stations=(w,), stages=(0,)))
+        assert trace.winners() == [1, 0, 1]
+
+    def test_slot_records_gated_by_flag(self):
+        trace = Trace(record_slots=False)
+        trace.add_slot(SlotRecord(time_us=0.0, outcome="idle",
+                                  per_station=((0, 8, 0, 3),)))
+        assert trace.slots == []
+        trace = Trace(record_slots=True)
+        trace.add_slot(SlotRecord(time_us=0.0, outcome="idle",
+                                  per_station=((0, 8, 0, 3),)))
+        assert len(trace.slots) == 1
+
+    def test_stage_histogram_counts_all_attempters(self):
+        trace = Trace()
+        trace.add_transmission(tx(1.0, stations=(0, 1, 2), stages=(0, 1, 3)))
+        trace.add_transmission(
+            tx(2.0, winner=0, stations=(0,), stages=(2,))
+        )
+        histogram = trace.stage_at_attempt_counts(4)
+        assert histogram == [1, 1, 1, 1]
+
+    def test_stage_histogram_clamps_overflow(self):
+        trace = Trace()
+        trace.add_transmission(
+            tx(1.0, winner=0, stations=(0,), stages=(9,))
+        )
+        assert trace.stage_at_attempt_counts(4) == [0, 0, 0, 1]

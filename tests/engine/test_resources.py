@@ -1,0 +1,158 @@
+"""Tests for Resource and Store."""
+
+import pytest
+
+from repro.engine import Environment, Resource, Store
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    r1, r2, r3 = resource.request(), resource.request(), resource.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert resource.count == 2
+    assert len(resource.queue) == 1
+    env.run()
+
+
+def test_release_grants_next_waiter():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    r1 = resource.request()
+    r2 = resource.request()
+    assert not r2.triggered
+    resource.release(r1)
+    assert r2.triggered
+    env.run()
+
+
+def test_request_context_manager_releases():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    hold_times = []
+
+    def user(env, resource, tag, hold):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(hold)
+            hold_times.append((tag, env.now))
+
+    env.process(user(env, resource, "a", 2.0))
+    env.process(user(env, resource, "b", 3.0))
+    env.run()
+    assert hold_times == [("a", 2.0), ("b", 5.0)]
+
+
+def test_cancel_pending_request():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    resource.request()
+    r2 = resource.request()
+    r2.cancel()
+    assert len(resource.queue) == 0
+    env.run()
+
+
+def test_store_put_get_fifo():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+    store.put("y")
+    got = []
+
+    def getter(env, store):
+        got.append((yield store.get()))
+        got.append((yield store.get()))
+
+    env.process(getter(env, store))
+    env.run()
+    assert got == ["x", "y"]
+
+
+def test_store_get_waits_for_item():
+    env = Environment()
+    store = Store(env)
+    got_at = []
+
+    def getter(env, store):
+        yield store.get()
+        got_at.append(env.now)
+
+    def putter(env, store):
+        yield env.timeout(4.0)
+        store.put("late")
+
+    env.process(getter(env, store))
+    env.process(putter(env, store))
+    env.run()
+    assert got_at == [4.0]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    p1 = store.put("a")
+    p2 = store.put("b")
+    assert p1.triggered
+    assert not p2.triggered
+    got = []
+
+    def getter(env, store):
+        got.append((yield store.get()))
+
+    env.process(getter(env, store))
+    env.run()
+    assert got == ["a"]
+    assert p2.triggered  # freed capacity admitted the second put
+    assert store.items == ["b"]
+
+
+def test_store_filtered_get():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    store.put(3)
+    got = []
+
+    def getter(env, store):
+        got.append((yield store.get(filter=lambda item: item % 2 == 0)))
+
+    env.process(getter(env, store))
+    env.run()
+    assert got == [2]
+    assert store.items == [1, 3]
+
+
+def test_store_filter_waits_for_match():
+    env = Environment()
+    store = Store(env)
+    store.put("wrong")
+    got_at = []
+
+    def getter(env, store):
+        yield store.get(filter=lambda item: item == "right")
+        got_at.append(env.now)
+
+    def putter(env, store):
+        yield env.timeout(2.0)
+        store.put("right")
+
+    env.process(getter(env, store))
+    env.process(putter(env, store))
+    env.run()
+    assert got_at == [2.0]
+    assert store.items == ["wrong"]
+
+
+def test_store_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)

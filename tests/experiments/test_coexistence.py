@@ -1,0 +1,55 @@
+"""Tests for the boosted/legacy coexistence experiment."""
+
+import pytest
+
+from repro.experiments.coexistence import (
+    adoption_sweep,
+    coexistence_experiment,
+)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        coexistence_experiment(0, 0)
+
+
+def test_all_legacy_matches_homogeneous_default():
+    from repro.core import ScenarioConfig, SlotSimulator
+
+    mixed = coexistence_experiment(0, 5, sim_time_us=5e6, seed=2)
+    homogeneous = SlotSimulator(
+        ScenarioConfig.homogeneous(num_stations=5, sim_time_us=5e6, seed=2)
+    ).run()
+    assert mixed.total_throughput == pytest.approx(
+        homogeneous.normalized_throughput, rel=0.03
+    )
+
+
+def test_boosted_station_gets_less_share_when_mixed():
+    """The boosted schedule is politer: legacy stations out-grab it."""
+    result = coexistence_experiment(2, 8, sim_time_us=1e7, seed=1)
+    assert result.per_legacy_station > 2 * result.per_boosted_station
+
+
+def test_full_adoption_beats_no_adoption():
+    sweep = adoption_sweep(
+        total_stations=10, boosted_counts=(0, 10), sim_time_us=1e7
+    )
+    none, full = sweep
+    assert full.total_throughput > none.total_throughput
+    assert full.collision_probability < none.collision_probability
+
+
+def test_collisions_fall_with_adoption():
+    sweep = adoption_sweep(
+        total_stations=10, boosted_counts=(0, 5, 10), sim_time_us=1e7
+    )
+    ps = [r.collision_probability for r in sweep]
+    assert ps[0] > ps[1] > ps[2]
+
+
+def test_result_accounting():
+    result = coexistence_experiment(3, 4, sim_time_us=5e6)
+    assert result.total_throughput == pytest.approx(
+        result.boosted_throughput + result.legacy_throughput, rel=1e-9
+    )

@@ -1,0 +1,41 @@
+"""Tests for the coupling diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CsmaConfig
+from repro.experiments.coupling import measure_coupling
+
+
+def test_joint_distribution_normalized():
+    result = measure_coupling(sim_time_us=3e6)
+    assert result.joint.sum() == pytest.approx(1.0)
+    assert (result.joint >= 0).all()
+    assert result.joint.shape == (4, 4)
+
+
+def test_1901_strongly_anticorrelated():
+    """The Figure 1 capture pattern: one station low, the other high."""
+    result = measure_coupling(sim_time_us=1e7)
+    assert result.stage_correlation < -0.5
+    assert result.both_at_stage0 < 0.1 * result.independent_both_at_stage0
+
+
+def test_1901_far_from_decoupled():
+    result = measure_coupling(sim_time_us=1e7)
+    assert result.tv_distance > 0.3
+
+
+def test_80211_less_coupled_than_1901():
+    plc = measure_coupling(sim_time_us=1e7)
+    wifi = measure_coupling(
+        CsmaConfig.ieee80211(), label="802.11", sim_time_us=1e7
+    )
+    assert wifi.tv_distance < plc.tv_distance
+    assert abs(wifi.stage_correlation) < abs(plc.stage_correlation)
+
+
+def test_reproducible():
+    a = measure_coupling(sim_time_us=2e6, seed=9)
+    b = measure_coupling(sim_time_us=2e6, seed=9)
+    assert np.allclose(a.joint, b.joint)

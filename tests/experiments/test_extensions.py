@@ -1,0 +1,84 @@
+"""Tests for the extension experiments: channel errors, unsaturated."""
+
+import pytest
+
+from repro.experiments.channel_errors import error_rate_sweep
+from repro.experiments.unsaturated import (
+    offered_load_sweep,
+    saturation_rate_pps,
+)
+
+
+class TestChannelErrors:
+    def test_error_free_baseline_has_no_retransmissions(self):
+        points = error_rate_sweep(
+            2, error_probabilities=(0.0,), duration_us=4e6
+        )
+        assert points[0].retransmissions == 0
+        assert points[0].goodput_mbps > 5.0
+
+    def test_goodput_decreases_with_error_rate(self):
+        points = error_rate_sweep(
+            2, error_probabilities=(0.0, 0.1), duration_us=8e6
+        )
+        clean, noisy = points
+        assert noisy.goodput_mbps < clean.goodput_mbps
+        assert noisy.retransmissions > 0
+
+    def test_collision_estimator_stays_unbiased(self):
+        """PB errors must not masquerade as collisions in ΣC/ΣA."""
+        points = error_rate_sweep(
+            2, error_probabilities=(0.0, 0.05), duration_us=12e6
+        )
+        clean, noisy = points
+        assert noisy.collision_probability == pytest.approx(
+            clean.collision_probability, abs=0.03
+        )
+
+    def test_all_frames_eventually_delivered(self):
+        points = error_rate_sweep(
+            1, error_probabilities=(0.1,), duration_us=4e6
+        )
+        point = points[0]
+        # Retransmissions recover errored MPDUs; delivery continues.
+        assert point.delivered_frames > 500
+        assert point.retransmissions > 0
+
+
+class TestUnsaturated:
+    def test_saturation_rate_sane(self):
+        # At N=3 total delivery ≈ S·1e6/Ts ≈ 0.63·1e6/2920 ≈ 215 fps;
+        # per station ≈ 70–110 fps.
+        knee = saturation_rate_pps(3)
+        assert 60.0 < knee < 130.0
+
+    def test_low_load_fully_served(self):
+        points = offered_load_sweep(
+            3, load_fractions=(0.3,), sim_time_us=1e7
+        )
+        point = points[0]
+        assert point.delivered_fps == pytest.approx(
+            point.offered_fps, rel=0.05
+        )
+        assert point.queue_loss_fraction < 0.01
+        assert point.collision_probability < 0.05
+
+    def test_overload_saturates_and_drops(self):
+        points = offered_load_sweep(
+            3, load_fractions=(0.3, 1.6), sim_time_us=1e7
+        )
+        low, high = points
+        assert high.delivered_fps < high.offered_fps * 0.8
+        assert high.queue_loss_fraction > 0.2
+        assert high.mean_delay_us > low.mean_delay_us
+        assert high.collision_probability > low.collision_probability
+
+    def test_delivered_caps_near_knee(self):
+        points = offered_load_sweep(
+            3, load_fractions=(1.0, 2.0), sim_time_us=1e7
+        )
+        at_knee, overload = points
+        # Beyond saturation, delivering more is impossible.
+        assert overload.delivered_fps == pytest.approx(
+            at_knee.delivered_fps, rel=0.15
+        )

@@ -1,0 +1,201 @@
+"""Tests for the emulated device and the AVLN management plane."""
+
+import pytest
+
+from repro.core.parameters import PriorityClass
+from repro.engine import Environment, RandomStreams
+from repro.hpav.mme import MMTYPE_CNF, MmeFrame
+from repro.hpav.mme_types import (
+    MmeType,
+    NetworkInfoConfirm,
+    NetworkInfoRequest,
+    SnifferConfirm,
+    SnifferRequest,
+    StatsConfirm,
+    StatsControl,
+    StatsRequest,
+)
+from repro.hpav.network import Avln
+from repro.traffic.generators import SaturatedSource
+from repro.traffic.packets import mac_address, udp_frame
+
+HOST = "02:ff:00:00:00:01"
+
+
+def build_avln(n_stations=2, seed=1, **kwargs):
+    env = Environment()
+    streams = RandomStreams(seed)
+    avln = Avln(env, streams, **kwargs)
+    cco = avln.add_device(mac_address(0), is_cco=True)
+    stations = [avln.add_device(mac_address(i + 1)) for i in range(n_stations)]
+    return env, avln, cco, stations
+
+
+def host_mme(device, mmtype, payload):
+    frame = MmeFrame(
+        dst_mac=device.mac_addr, src_mac=HOST, mmtype=mmtype, payload=payload
+    )
+    return MmeFrame.decode(device.host_request(frame.encode()))
+
+
+class TestAssociation:
+    def test_all_stations_get_teis(self):
+        env, avln, cco, stations = build_avln(3)
+        env.run(until=2e6)
+        assert avln.all_associated
+        teis = [s.tei for s in stations]
+        assert sorted(teis) == [2, 3, 4]
+        assert cco.tei == 1
+
+    def test_address_tables_converge(self):
+        env, avln, cco, stations = build_avln(2)
+        env.run(until=2e6)
+        # Broadcast CNFs + beacons teach everyone everyone.
+        for device in avln.devices:
+            assert len(device.address_table) == 3
+
+    def test_single_cco_enforced(self):
+        env, avln, _cco, _stations = build_avln(1)
+        with pytest.raises(ValueError):
+            avln.add_device(mac_address(99), is_cco=True)
+
+    def test_find_device(self):
+        env, avln, cco, _stations = build_avln(1)
+        assert avln.find_device(mac_address(0)) is cco
+        with pytest.raises(KeyError):
+            avln.find_device("02:aa:aa:aa:aa:aa")
+
+
+class TestBeacons:
+    def test_beacons_observed_by_members(self):
+        env, _avln, _cco, stations = build_avln(1)
+        env.run(until=1e6)  # 1 s -> ~25 beacons at 40 ms period
+        assert 20 <= stations[0].beacons_seen <= 30
+
+    def test_beacons_disabled(self):
+        env, _avln, _cco, stations = build_avln(
+            1, beacons_enabled=False
+        )
+        env.run(until=1e6)
+        assert stations[0].beacons_seen == 0
+
+
+class TestChannelEstimation:
+    def test_indications_flow_between_peers(self):
+        env, _avln, cco, stations = build_avln(
+            1, channel_est_period_us=100_000.0
+        )
+        env.run(until=2e6)
+        assert cco.channel_est_seen > 0
+        assert stations[0].channel_est_seen > 0
+
+    def test_disabled(self):
+        env, _avln, cco, _stations = build_avln(
+            1, channel_est_enabled=False
+        )
+        env.run(until=2e6)
+        assert cco.channel_est_seen == 0
+
+
+class TestDataPath:
+    def test_frames_reach_destination(self):
+        env, _avln, cco, stations = build_avln(1)
+        env.run(until=1e6)
+        SaturatedSource(env, stations[0], cco.mac_addr)
+        env.run(until=2e6)
+        assert cco.received_frames > 100
+        assert cco.received_bytes == cco.received_frames * 1514
+
+    def test_unknown_destination_dropped_at_ingress(self):
+        env, _avln, _cco, stations = build_avln(1)
+        env.run(until=1e6)
+        frame = udp_frame("02:dd:dd:dd:dd:dd", stations[0].mac_addr)
+        assert stations[0].send_ethernet(frame) is False
+        assert stations[0].unresolved_drops == 1
+
+
+class TestHostEndpoint:
+    def test_stats_get_and_reset(self):
+        env, _avln, cco, stations = build_avln(1)
+        env.run(until=1e6)
+        SaturatedSource(env, stations[0], cco.mac_addr)
+        env.run(until=2e6)
+        request = StatsRequest(
+            control=StatsControl.GET,
+            direction=0,
+            priority=1,
+            peer_mac=cco.mac_addr,
+        )
+        reply = host_mme(stations[0], MmeType.VS_STATS, request.encode())
+        assert reply.mmtype == MmeType.VS_STATS | MMTYPE_CNF
+        confirm = StatsConfirm.decode(reply.payload)
+        assert confirm.acked > 0
+        # Reset and read back zero.
+        reset = StatsRequest(
+            control=StatsControl.RESET,
+            direction=0,
+            priority=1,
+            peer_mac=cco.mac_addr,
+        )
+        host_mme(stations[0], MmeType.VS_STATS, reset.encode())
+        reply = host_mme(stations[0], MmeType.VS_STATS, request.encode())
+        assert StatsConfirm.decode(reply.payload).acked == 0
+
+    def test_sniffer_enable_disable(self):
+        env, _avln, cco, _stations = build_avln(1)
+        reply = host_mme(
+            cco, MmeType.VS_SNIFFER, SnifferRequest(enable=True).encode()
+        )
+        assert SnifferConfirm.decode(reply.payload).enabled
+        reply = host_mme(
+            cco, MmeType.VS_SNIFFER, SnifferRequest(enable=False).encode()
+        )
+        assert not SnifferConfirm.decode(reply.payload).enabled
+
+    def test_nw_info_lists_peers(self):
+        env, _avln, cco, stations = build_avln(2)
+        env.run(until=2e6)
+        reply = host_mme(
+            cco, MmeType.VS_NW_INFO, NetworkInfoRequest().encode()
+        )
+        confirm = NetworkInfoConfirm.decode(reply.payload)
+        macs = {mac for mac, _tei, _tx, _rx in confirm.entries}
+        assert macs == {stations[0].mac_addr, stations[1].mac_addr}
+
+    def test_unsupported_mmtype_rejected(self):
+        env, _avln, cco, _stations = build_avln(1)
+        frame = MmeFrame(
+            dst_mac=cco.mac_addr, src_mac=HOST, mmtype=0xA0F0, payload=b""
+        )
+        with pytest.raises(ValueError):
+            cco.host_request(frame.encode())
+
+    def test_non_request_rejected(self):
+        env, _avln, cco, _stations = build_avln(1)
+        frame = MmeFrame(
+            dst_mac=cco.mac_addr,
+            src_mac=HOST,
+            mmtype=MmeType.VS_STATS | MMTYPE_CNF,
+            payload=b"",
+        )
+        with pytest.raises(ValueError):
+            cco.host_request(frame.encode())
+
+
+class TestFirmwareIntegration:
+    def test_collisions_recorded_on_both_sides(self):
+        env, _avln, cco, stations = build_avln(3, seed=7)
+        env.run(until=1e6)
+        for station in stations:
+            SaturatedSource(env, station, cco.mac_addr)
+        env.run(until=6e6)
+        acked = collided = 0
+        for station in stations:
+            a, c = station.firmware.snapshot(0, cco.mac_addr, 1)
+            acked += a
+            collided += c
+        assert collided > 0
+        assert acked > collided
+        # §3.2: acked includes collided, so the collision probability
+        # estimator is C/A, in the expected range for N=3.
+        assert 0.05 < collided / acked < 0.25

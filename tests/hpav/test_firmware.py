@@ -1,0 +1,85 @@
+"""Tests for the firmware statistics engine (§3.2 counter semantics)."""
+
+import pytest
+
+from repro.hpav.firmware import FirmwareStats
+
+PEER = "02:00:00:00:00:00"
+
+
+class TestCounters:
+    def test_acked_includes_collided(self):
+        """The §3.2-verified 1901 behaviour: ΣA contains collisions."""
+        fw = FirmwareStats()
+        fw.record_tx_acked(PEER, 1)
+        fw.record_tx_acked(PEER, 1)
+        fw.record_tx_collided(PEER, 1)
+        acked, collided = fw.snapshot(FirmwareStats.TX, PEER, 1)
+        assert acked == 3  # 2 successes + 1 collision
+        assert collided == 1
+
+    def test_successes_derived(self):
+        fw = FirmwareStats()
+        fw.record_tx_acked(PEER, 1)
+        fw.record_tx_collided(PEER, 1)
+        assert fw.link(FirmwareStats.TX, PEER, 1).successes == 1
+
+    def test_links_keyed_by_priority(self):
+        fw = FirmwareStats()
+        fw.record_tx_acked(PEER, 1)
+        fw.record_tx_acked(PEER, 3)
+        assert fw.snapshot(FirmwareStats.TX, PEER, 1) == (1, 0)
+        assert fw.snapshot(FirmwareStats.TX, PEER, 3) == (1, 0)
+
+    def test_links_keyed_by_peer(self):
+        fw = FirmwareStats()
+        fw.record_tx_acked(PEER, 1)
+        assert fw.snapshot(FirmwareStats.TX, "02:00:00:00:00:09", 1) == (0, 0)
+
+    def test_mac_case_insensitive(self):
+        fw = FirmwareStats()
+        fw.record_tx_acked("02:00:00:00:00:0A", 1)
+        assert fw.snapshot(FirmwareStats.TX, "02:00:00:00:00:0a", 1) == (1, 0)
+
+    def test_rx_direction_separate(self):
+        fw = FirmwareStats()
+        fw.record_rx(PEER, 1)
+        assert fw.snapshot(FirmwareStats.RX, PEER, 1) == (1, 0)
+        assert fw.snapshot(FirmwareStats.TX, PEER, 1) == (0, 0)
+
+
+class TestReset:
+    def test_reset_link_only_touches_that_link(self):
+        fw = FirmwareStats()
+        fw.record_tx_acked(PEER, 1)
+        fw.record_tx_acked(PEER, 2)
+        fw.reset_link(FirmwareStats.TX, PEER, 1)
+        assert fw.snapshot(FirmwareStats.TX, PEER, 1) == (0, 0)
+        assert fw.snapshot(FirmwareStats.TX, PEER, 2) == (1, 0)
+
+    def test_reset_all(self):
+        fw = FirmwareStats()
+        fw.record_tx_collided(PEER, 1)
+        fw.record_phy_error()
+        fw.reset_all()
+        assert fw.totals(FirmwareStats.TX) == (0, 0)
+        assert fw.phy_errors == 0
+
+
+class TestTotals:
+    def test_totals_sum_over_links(self):
+        fw = FirmwareStats()
+        fw.record_tx_acked(PEER, 1)
+        fw.record_tx_collided("02:00:00:00:00:09", 2)
+        assert fw.totals(FirmwareStats.TX) == (2, 1)
+        assert fw.totals(FirmwareStats.RX) == (0, 0)
+
+
+class TestValidation:
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            FirmwareStats().link(7, PEER, 1)
+
+    def test_bad_priority(self):
+        with pytest.raises(ValueError):
+            FirmwareStats().link(FirmwareStats.TX, PEER, 4)

@@ -1,0 +1,88 @@
+"""Tests for the MME wire format."""
+
+import pytest
+
+from repro.hpav.mme import (
+    ETHERTYPE_HOMEPLUG_AV,
+    MMTYPE_CNF,
+    MMTYPE_IND,
+    MMTYPE_REQ,
+    MmeFrame,
+    pack_mac,
+    unpack_mac,
+)
+
+
+class TestMacCodec:
+    def test_roundtrip(self):
+        mac = "02:0b:52:00:00:2a"
+        assert unpack_mac(pack_mac(mac)) == mac
+
+    def test_pack_bad_mac(self):
+        with pytest.raises(ValueError):
+            pack_mac("02:00:00")
+
+    def test_unpack_bad_length(self):
+        with pytest.raises(ValueError):
+            unpack_mac(b"\x00" * 5)
+
+
+class TestMmeFrame:
+    def frame(self, mmtype=0xA030, payload=b"\x01\x02\x03"):
+        return MmeFrame(
+            dst_mac="02:00:00:00:00:01",
+            src_mac="02:ff:00:00:00:01",
+            mmtype=mmtype,
+            payload=payload,
+        )
+
+    def test_encode_decode_roundtrip(self):
+        original = self.frame()
+        decoded = MmeFrame.decode(original.encode())
+        assert decoded == original
+
+    def test_wire_layout(self):
+        """Header byte positions as documented in §3.2."""
+        wire = self.frame().encode()
+        assert wire[0:6] == pack_mac("02:00:00:00:00:01")  # ODA
+        assert wire[6:12] == pack_mac("02:ff:00:00:00:01")  # OSA
+        assert wire[12:14] == b"\x88\xe1"  # ethertype, network order
+        assert wire[14] == 0x01  # MMV
+        assert wire[15:17] == b"\x30\xa0"  # MMTYPE little-endian
+        assert wire[17:19] == b"\x00\x00"  # FMI
+        assert wire[19:] == b"\x01\x02\x03"  # entry payload
+
+    def test_wrong_ethertype_rejected(self):
+        wire = bytearray(self.frame().encode())
+        wire[12:14] = b"\x08\x00"  # IPv4
+        with pytest.raises(ValueError):
+            MmeFrame.decode(bytes(wire))
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(ValueError):
+            MmeFrame.decode(b"\x00" * 10)
+
+    def test_variant_helpers(self):
+        req = self.frame(mmtype=0xA030)
+        cnf = self.frame(mmtype=0xA031)
+        ind = self.frame(mmtype=0xA036)
+        assert req.is_request and req.variant == MMTYPE_REQ
+        assert cnf.is_confirm and cnf.variant == MMTYPE_CNF
+        assert ind.is_indication and ind.variant == MMTYPE_IND
+        assert req.base_mmtype == cnf.base_mmtype == 0xA030
+        assert ind.base_mmtype == 0xA034
+
+    def test_reply_mmtype(self):
+        assert self.frame(mmtype=0xA030).reply_mmtype() == 0xA031
+
+    def test_reply_mmtype_only_for_requests(self):
+        with pytest.raises(ValueError):
+            self.frame(mmtype=0xA031).reply_mmtype()
+
+    def test_vendor_range(self):
+        assert self.frame(mmtype=0xA030).is_vendor_specific
+        assert not self.frame(mmtype=0x0008).is_vendor_specific
+
+    def test_bad_mmtype_rejected(self):
+        with pytest.raises(ValueError):
+            self.frame(mmtype=0x1_0000)

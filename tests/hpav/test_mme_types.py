@@ -1,0 +1,144 @@
+"""Round-trip tests for every typed MME payload."""
+
+import pytest
+
+from repro.hpav.mme_types import (
+    AssocConfirm,
+    AssocRequest,
+    BeaconPayload,
+    ChannelEstIndication,
+    LinkDirection,
+    MmeType,
+    NetworkInfoConfirm,
+    NetworkInfoRequest,
+    SnifferConfirm,
+    SnifferIndication,
+    SnifferRequest,
+    StatsConfirm,
+    StatsControl,
+    StatsRequest,
+)
+
+MAC = "02:00:00:00:00:07"
+
+
+class TestStats:
+    def test_request_roundtrip(self):
+        original = StatsRequest(
+            control=StatsControl.RESET,
+            direction=LinkDirection.TX,
+            priority=1,
+            peer_mac=MAC,
+        )
+        assert StatsRequest.decode(original.encode()) == original
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            StatsRequest(control=9, direction=0, priority=1, peer_mac=MAC)
+        with pytest.raises(ValueError):
+            StatsRequest(control=0, direction=5, priority=1, peer_mac=MAC)
+        with pytest.raises(ValueError):
+            StatsRequest(control=0, direction=0, priority=7, peer_mac=MAC)
+
+    def test_confirm_roundtrip(self):
+        original = StatsConfirm(status=0, acked=162020, collided=12012)
+        assert StatsConfirm.decode(original.encode()) == original
+
+    def test_confirm_byte_offsets_within_payload(self):
+        """acked at payload bytes 5..13 → frame bytes 25-32 (§3.2)."""
+        payload = StatsConfirm(status=0, acked=0xAABBCCDD, collided=7).encode()
+        # Payload: OUI(3) + status(2) + acked(8) + collided(8).
+        assert int.from_bytes(payload[5:13], "little") == 0xAABBCCDD
+        assert int.from_bytes(payload[13:21], "little") == 7
+
+    def test_wrong_oui_rejected(self):
+        payload = bytearray(
+            StatsConfirm(status=0, acked=1, collided=0).encode()
+        )
+        payload[0] = 0xFF
+        with pytest.raises(ValueError):
+            StatsConfirm.decode(bytes(payload))
+
+
+class TestSniffer:
+    def test_request_roundtrip(self):
+        assert SnifferRequest.decode(
+            SnifferRequest(enable=True).encode()
+        ) == SnifferRequest(enable=True)
+
+    def test_confirm_roundtrip(self):
+        original = SnifferConfirm(status=0, enabled=True)
+        assert SnifferConfirm.decode(original.encode()) == original
+
+    def test_indication_roundtrip(self):
+        original = SnifferIndication(
+            timestamp_us=123456789,
+            source_tei=2,
+            dest_tei=1,
+            link_id=1,
+            mpdu_count=1,
+            frame_length_bytes=1536,
+            num_blocks=3,
+            collided=True,
+        )
+        assert SnifferIndication.decode(original.encode()) == original
+
+    def test_indication_mmtype_is_0xa036(self):
+        assert MmeType.VS_SNIFFER_IND == 0xA036
+
+
+class TestAssoc:
+    def test_request_roundtrip(self):
+        original = AssocRequest(request_type=0, station_mac=MAC)
+        assert AssocRequest.decode(original.encode()) == original
+
+    def test_confirm_roundtrip(self):
+        original = AssocConfirm(
+            result=0, station_mac=MAC, tei=5, lease_minutes=180
+        )
+        assert AssocConfirm.decode(original.encode()) == original
+
+
+class TestBeacon:
+    def test_roundtrip(self):
+        original = BeaconPayload(
+            nid=b"REPRO01", cco_tei=1, sequence=42, beacon_period_ms=40
+        )
+        assert BeaconPayload.decode(original.encode()) == original
+
+    def test_nid_length_enforced(self):
+        with pytest.raises(ValueError):
+            BeaconPayload(nid=b"x", cco_tei=1, sequence=0, beacon_period_ms=40)
+
+
+class TestChannelEst:
+    def test_roundtrip(self):
+        original = ChannelEstIndication(
+            peer_mac=MAC, tone_map_index=3, modulation_bits=8
+        )
+        assert ChannelEstIndication.decode(original.encode()) == original
+
+
+class TestNetworkInfo:
+    def test_request_roundtrip(self):
+        assert (
+            NetworkInfoRequest.decode(NetworkInfoRequest().encode())
+            == NetworkInfoRequest()
+        )
+
+    def test_confirm_roundtrip(self):
+        original = NetworkInfoConfirm(
+            entries=((MAC, 5, 118, 118), ("02:00:00:00:00:08", 6, 90, 110))
+        )
+        assert NetworkInfoConfirm.decode(original.encode()) == original
+
+    def test_empty_confirm(self):
+        original = NetworkInfoConfirm(entries=())
+        assert NetworkInfoConfirm.decode(original.encode()) == original
+
+
+class TestMmTypeConstants:
+    def test_paper_mmtypes(self):
+        # §3.2 / §3.3 name these two explicitly.
+        assert MmeType.VS_STATS == 0xA030
+        assert MmeType.VS_SNIFFER == 0xA034

@@ -1,0 +1,167 @@
+"""Tests for the NMK/NEK security plane."""
+
+import pytest
+
+from repro.engine import Environment, RandomStreams
+from repro.hpav.mme import MMTYPE_CNF, MmeFrame
+from repro.hpav.mme_types import (
+    KEY_TYPE_NEK,
+    KEY_TYPE_NMK,
+    GetKeyConfirm,
+    GetKeyRequest,
+    MmeType,
+    SetKeyConfirm,
+    SetKeyRequest,
+)
+from repro.hpav.network import Avln
+from repro.hpav.security import (
+    DEFAULT_NETWORK_PASSWORD,
+    KeyStore,
+    nmk_from_password,
+)
+from repro.traffic.generators import SaturatedSource
+from repro.traffic.packets import mac_address
+
+HOST = "02:ff:00:00:00:01"
+
+
+class TestKeyDerivation:
+    def test_deterministic(self):
+        assert nmk_from_password("secret") == nmk_from_password("secret")
+
+    def test_password_sensitive(self):
+        assert nmk_from_password("a") != nmk_from_password("b")
+
+    def test_sixteen_bytes(self):
+        assert len(nmk_from_password(DEFAULT_NETWORK_PASSWORD)) == 16
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            nmk_from_password("")
+
+
+class TestKeyStore:
+    def test_default_is_factory_password(self):
+        assert KeyStore().nmk == nmk_from_password(DEFAULT_NETWORK_PASSWORD)
+
+    def test_new_nmk_invalidates_nek(self):
+        store = KeyStore()
+        store.nek = b"\x01" * 16
+        store.set_nmk_from_password("newpass")
+        assert store.nek is None
+        assert not store.authenticated
+
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            KeyStore(nmk=b"short")
+        with pytest.raises(ValueError):
+            KeyStore().set_nmk(b"short")
+
+    def test_digest_depends_on_nmk(self):
+        a, b = KeyStore(), KeyStore()
+        b.set_nmk_from_password("other")
+        assert a.nmk_digest() != b.nmk_digest()
+        assert len(a.nmk_digest()) == 8
+
+
+class TestMmeCodecs:
+    def test_set_key_roundtrip(self):
+        request = SetKeyRequest(key_type=KEY_TYPE_NMK, key=b"\x07" * 16)
+        assert SetKeyRequest.decode(request.encode()) == request
+
+    def test_set_key_validation(self):
+        with pytest.raises(ValueError):
+            SetKeyRequest(key_type=9, key=b"\x00" * 16)
+        with pytest.raises(ValueError):
+            SetKeyRequest(key_type=KEY_TYPE_NMK, key=b"short")
+
+    def test_get_key_roundtrip(self):
+        request = GetKeyRequest(key_type=KEY_TYPE_NEK, nmk_proof=b"\x01" * 8)
+        assert GetKeyRequest.decode(request.encode()) == request
+        confirm = GetKeyConfirm(
+            result=0, key_type=KEY_TYPE_NEK, key=b"\x02" * 16
+        )
+        assert GetKeyConfirm.decode(confirm.encode()) == confirm
+
+
+def build_secure_avln(passwords, seed=1):
+    env = Environment()
+    avln = Avln(env, RandomStreams(seed), security_enabled=True)
+    cco = avln.add_device(mac_address(0), is_cco=True)
+    stations = [
+        avln.add_device(mac_address(i + 1), network_password=pw)
+        for i, pw in enumerate(passwords)
+    ]
+    return env, avln, cco, stations
+
+
+class TestAuthenticationFlow:
+    def test_matching_password_authenticates(self):
+        env, avln, cco, stations = build_secure_avln(["HomePlugAV"])
+        env.run(until=3e6)
+        assert stations[0].authenticated
+        assert stations[0].keys.nek == cco.keys.nek
+
+    def test_wrong_password_never_authenticates(self):
+        env, avln, _cco, stations = build_secure_avln(
+            ["HomePlugAV", "wrong-password"]
+        )
+        env.run(until=5e6)
+        good, bad = stations
+        assert good.authenticated
+        assert bad.associated  # association is open
+        assert not bad.authenticated  # ...but the NEK is refused
+
+    def test_unauthenticated_station_sends_no_data(self):
+        env, avln, cco, stations = build_secure_avln(
+            ["HomePlugAV", "wrong-password"]
+        )
+        env.run(until=3e6)
+        good_src = SaturatedSource(env, stations[0], cco.mac_addr)
+        bad_src = SaturatedSource(env, stations[1], cco.mac_addr)
+        env.run(until=6e6)
+        assert good_src.accepted > 0
+        assert bad_src.accepted == 0
+        assert stations[1].unresolved_drops > 0
+
+    def test_host_set_key_rotates_nmk(self):
+        env, avln, _cco, stations = build_secure_avln(["HomePlugAV"])
+        env.run(until=3e6)
+        station = stations[0]
+        assert station.authenticated
+        new_nmk = nmk_from_password("rotated")
+        request = MmeFrame(
+            dst_mac=station.mac_addr,
+            src_mac=HOST,
+            mmtype=MmeType.CM_SET_KEY,
+            payload=SetKeyRequest(
+                key_type=KEY_TYPE_NMK, key=new_nmk
+            ).encode(),
+        )
+        reply = MmeFrame.decode(station.host_request(request.encode()))
+        assert reply.mmtype == MmeType.CM_SET_KEY | MMTYPE_CNF
+        assert SetKeyConfirm.decode(reply.payload).result == 0
+        assert station.keys.nmk == new_nmk
+        assert not station.authenticated  # NEK invalidated
+
+    def test_host_cannot_set_nek(self):
+        env, avln, cco, _stations = build_secure_avln([])
+        request = MmeFrame(
+            dst_mac=cco.mac_addr,
+            src_mac=HOST,
+            mmtype=MmeType.CM_SET_KEY,
+            payload=SetKeyRequest(
+                key_type=KEY_TYPE_NEK, key=b"\x09" * 16
+            ).encode(),
+        )
+        reply = MmeFrame.decode(cco.host_request(request.encode()))
+        assert SetKeyConfirm.decode(reply.payload).result == 1
+
+    def test_security_off_by_default(self):
+        env = Environment()
+        avln = Avln(env, RandomStreams(1))
+        avln.add_device(mac_address(0), is_cco=True)
+        station = avln.add_device(mac_address(1))
+        env.run(until=2e6)
+        assert station.associated
+        assert not station.require_authentication

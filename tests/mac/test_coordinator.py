@@ -1,0 +1,171 @@
+"""Tests for the synchronized contention coordinator."""
+
+import pytest
+
+from repro.core.parameters import PriorityClass
+from repro.engine import Environment, RandomStreams
+from repro.mac.coordinator import ContentionCoordinator
+from repro.mac.node import MacNode
+from repro.mac.queueing import QueuedMme
+from repro.phy.channel import PowerStrip
+from repro.phy.timing import PhyTiming
+from repro.traffic.packets import udp_frame
+
+D = "02:00:00:00:00:00"
+
+
+def build(num_nodes=2, seed=1):
+    env = Environment()
+    strip = PowerStrip()
+    coordinator = ContentionCoordinator(env, strip, PhyTiming())
+    streams = RandomStreams(seed)
+    nodes = []
+    for i in range(num_nodes):
+        node = MacNode(f"node{i}", streams)
+        node.tei = i + 2
+        node.dest_tei_of = lambda mac: 1
+        coordinator.add_node(node)
+        nodes.append(node)
+    return env, strip, coordinator, nodes
+
+
+def feed(node, count=50):
+    for _ in range(count):
+        node.submit_data(udp_frame(dst_mac=D, src_mac="02:00:00:00:00:02"))
+
+
+class TestIdleWake:
+    def test_no_traffic_no_events_forever(self):
+        env, _strip, coordinator, _nodes = build()
+        env.run(until=1e6)
+        assert coordinator.log.rounds == 0
+        assert coordinator.log.prs_phases == 0
+
+    def test_wakes_on_submission(self):
+        env, _strip, coordinator, nodes = build()
+        env.run(until=1000.0)
+        feed(nodes[0], 4)
+        env.run(until=50_000.0)
+        assert coordinator.log.successes > 0
+
+
+class TestSingleNode:
+    def test_all_successes_no_collisions(self):
+        env, _strip, coordinator, nodes = build(num_nodes=1)
+        feed(nodes[0], 20)
+        env.run(until=1e6)
+        assert coordinator.log.successes == 10  # 20 frames / 2 per burst
+        assert coordinator.log.collisions == 0
+
+    def test_round_timing_matches_paper_ts(self):
+        """With the calibrated timing, back-to-back 2-MPDU rounds are
+        spaced by Table 3's Ts plus the backoff slots between them."""
+        env = Environment()
+        strip = PowerStrip()
+        timing = PhyTiming.paper_calibrated()
+        coordinator = ContentionCoordinator(env, strip, timing)
+        node = MacNode("solo", RandomStreams(3))
+        node.tei = 2
+        node.dest_tei_of = lambda mac: 1
+        coordinator.add_node(node)
+        observations = []
+        strip.add_sniffer(observations.append)
+        feed(node, 4)  # exactly two bursts
+        env.run(until=1e5)
+        assert coordinator.log.successes == 2
+        # First SoF of round k appears after PRS + that round's backoff.
+        first_round_sofs = observations[:2]
+        second_round_sofs = observations[2:]
+        backoff_total = coordinator.log.idle_slots * timing.slot_us
+        start1 = first_round_sofs[0].time_us
+        start2 = second_round_sofs[0].time_us
+        # Between the two round starts: the remainder of round 1's Ts
+        # (Ts includes its PRS) plus round 2's backoff slots.
+        gap = start2 - start1
+        backoff2 = gap - 2920.64
+        assert backoff2 >= -1e-6
+        assert (start1 - timing.prs_us) + backoff2 == pytest.approx(
+            backoff_total, abs=1e-6
+        )
+        # MPDUs within a burst are delimiter+payload apart.
+        assert second_round_sofs[1].time_us - start2 == pytest.approx(
+            timing.delimiter_us + 1025.0, abs=1e-6
+        )
+
+
+class TestContention:
+    def test_two_saturated_nodes_collide_sometimes(self):
+        env, _strip, coordinator, nodes = build(num_nodes=2)
+        for node in nodes:
+            feed(node, 2000)
+        env.run(until=3e6)
+        assert coordinator.log.successes > 100
+        assert coordinator.log.collisions > 0
+        ratio = coordinator.log.collisions / (
+            coordinator.log.collisions + coordinator.log.successes
+        )
+        assert 0.02 < ratio < 0.2  # around the slot-sim's ~0.086
+
+    def test_mpdus_on_wire_counts_bursts(self):
+        env, _strip, coordinator, nodes = build(num_nodes=1)
+        feed(nodes[0], 10)
+        env.run(until=1e6)
+        assert coordinator.log.mpdus_on_wire == 10
+
+    def test_sniffer_sees_all_sofs(self):
+        env, strip, _coordinator, nodes = build(num_nodes=1)
+        seen = []
+        strip.add_sniffer(seen.append)
+        feed(nodes[0], 6)
+        env.run(until=1e6)
+        assert len(seen) == 6
+        assert [o.sof.mpdu_count for o in seen] == [1, 0, 1, 0, 1, 0]
+
+
+class TestPriorityResolution:
+    def test_high_priority_wins_every_round(self):
+        env, strip, coordinator, nodes = build(num_nodes=2)
+        # Node 0 has CA1 data, node 1 has a steady CA3 MME supply.
+        feed(nodes[0], 100)
+        for _ in range(20):
+            nodes[1].submit_mme(
+                QueuedMme(
+                    payload=b"m", dest_tei=1, priority=PriorityClass.CA3
+                )
+            )
+        observations = []
+        strip.add_sniffer(observations.append)
+        env.run(until=2e5)
+        # While CA3 MMEs remain, every burst on the wire is CA3.
+        ca3 = [o for o in observations if o.sof.link_id == 3]
+        ca1 = [o for o in observations if o.sof.link_id == 1]
+        assert len(ca3) == 20
+        if ca1:
+            first_ca1 = min(o.time_us for o in ca1)
+            last_ca3 = max(o.time_us for o in ca3)
+            assert first_ca1 > last_ca3
+
+    def test_cross_class_never_collides(self):
+        env, strip, coordinator, nodes = build(num_nodes=2)
+        feed(nodes[0], 500)
+        for _ in range(100):
+            nodes[1].submit_mme(
+                QueuedMme(
+                    payload=b"m", dest_tei=1, priority=PriorityClass.CA2
+                )
+            )
+        env.run(until=2e6)
+        # CA2 and CA1 traffic never contend in the same round, and
+        # each class has a single station: zero collisions.
+        assert coordinator.log.collisions == 0
+
+
+class TestDelivery:
+    def test_destination_receives_mpdus(self):
+        env, strip, coordinator, nodes = build(num_nodes=1)
+        received = []
+        strip.attach(lambda m, t: received.append(m))
+        feed(nodes[0], 4)
+        env.run(until=1e6)
+        assert len(received) == 4
+        assert all(m.dest_tei == 1 for m in received)

@@ -1,0 +1,128 @@
+"""Tests for per-priority queues and burst assembly."""
+
+import pytest
+
+from repro.core.parameters import PriorityClass
+from repro.mac.queueing import AggregationPolicy, PriorityQueues, QueuedMme
+from repro.traffic.packets import udp_frame
+
+D = "02:00:00:00:00:00"
+OTHER = "02:00:00:00:00:09"
+SRC = "02:00:00:00:00:01"
+
+
+def tei_of(mac):
+    return {D: 1, OTHER: 9}[mac]
+
+
+def frame(dst=D):
+    return udp_frame(dst_mac=dst, src_mac=SRC)
+
+
+class TestPolicy:
+    def test_defaults_match_section_3_1(self):
+        policy = AggregationPolicy()
+        assert policy.frames_per_mpdu == 1
+        assert policy.mpdus_per_burst == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AggregationPolicy(frames_per_mpdu=0)
+        with pytest.raises(ValueError):
+            AggregationPolicy(mpdus_per_burst=5)
+
+
+class TestEnqueue:
+    def test_pending_priority_highest_wins(self):
+        queues = PriorityQueues()
+        queues.enqueue_data(frame(), PriorityClass.CA1)
+        assert queues.pending_priority() == PriorityClass.CA1
+        queues.enqueue_mme(
+            QueuedMme(payload=b"x", dest_tei=1, priority=PriorityClass.CA3)
+        )
+        assert queues.pending_priority() == PriorityClass.CA3
+
+    def test_empty_pending_none(self):
+        assert PriorityQueues().pending_priority() is None
+
+    def test_drop_tail(self):
+        queues = PriorityQueues(capacity_frames=2)
+        assert queues.enqueue_data(frame(), PriorityClass.CA1)
+        assert queues.enqueue_data(frame(), PriorityClass.CA1)
+        assert not queues.enqueue_data(frame(), PriorityClass.CA1)
+        assert queues.drops == 1
+
+    def test_depth_counts_both_kinds(self):
+        queues = PriorityQueues()
+        queues.enqueue_data(frame(), PriorityClass.CA2)
+        queues.enqueue_mme(
+            QueuedMme(payload=b"x", dest_tei=1, priority=PriorityClass.CA2)
+        )
+        assert queues.depth(PriorityClass.CA2) == 2
+        assert queues.total_depth() == 2
+
+
+class TestBurstAssembly:
+    def test_burst_of_two_mpdus(self):
+        queues = PriorityQueues()
+        for _ in range(4):
+            queues.enqueue_data(frame(), PriorityClass.CA1)
+        burst = queues.build_burst(PriorityClass.CA1, 2, tei_of)
+        assert burst.size == 2
+        assert queues.depth(PriorityClass.CA1) == 2  # two consumed
+
+    def test_single_frame_single_mpdu_burst(self):
+        queues = PriorityQueues()
+        queues.enqueue_data(frame(), PriorityClass.CA1)
+        burst = queues.build_burst(PriorityClass.CA1, 2, tei_of)
+        assert burst.size == 1
+
+    def test_mpdu_blocks_cover_frame(self):
+        queues = PriorityQueues()
+        queues.enqueue_data(frame(), PriorityClass.CA1)
+        burst = queues.build_burst(PriorityClass.CA1, 2, tei_of)
+        assert sum(pb.fill for pb in burst.mpdus[0].blocks) == 1514
+
+    def test_burst_single_destination(self):
+        queues = PriorityQueues()
+        queues.enqueue_data(frame(dst=D), PriorityClass.CA1)
+        queues.enqueue_data(frame(dst=OTHER), PriorityClass.CA1)
+        burst = queues.build_burst(PriorityClass.CA1, 2, tei_of)
+        assert burst.size == 1  # second frame goes elsewhere
+        assert burst.mpdus[0].dest_tei == 1
+
+    def test_mme_rides_alone(self):
+        queues = PriorityQueues()
+        queues.enqueue_mme(
+            QueuedMme(payload=b"abc", dest_tei=1, priority=PriorityClass.CA3)
+        )
+        queues.enqueue_mme(
+            QueuedMme(payload=b"def", dest_tei=1, priority=PriorityClass.CA3)
+        )
+        burst = queues.build_burst(PriorityClass.CA3, 2, tei_of)
+        assert burst.size == 1
+        assert burst.is_management
+        assert burst.mpdus[0].payload == b"abc"
+
+    def test_mme_takes_precedence_within_class(self):
+        queues = PriorityQueues()
+        queues.enqueue_data(frame(), PriorityClass.CA2)
+        queues.enqueue_mme(
+            QueuedMme(payload=b"m", dest_tei=1, priority=PriorityClass.CA2)
+        )
+        burst = queues.build_burst(PriorityClass.CA2, 2, tei_of)
+        assert burst.is_management
+
+    def test_empty_queue_returns_none(self):
+        queues = PriorityQueues()
+        assert queues.build_burst(PriorityClass.CA1, 2, tei_of) is None
+
+    def test_aggregation_of_multiple_frames_per_mpdu(self):
+        queues = PriorityQueues(
+            policy=AggregationPolicy(frames_per_mpdu=2, mpdus_per_burst=1)
+        )
+        for _ in range(2):
+            queues.enqueue_data(frame(), PriorityClass.CA1)
+        burst = queues.build_burst(PriorityClass.CA1, 2, tei_of)
+        assert burst.size == 1
+        assert sum(pb.fill for pb in burst.mpdus[0].blocks) == 2 * 1514

@@ -1,0 +1,131 @@
+"""Tests for the bit-loading model and the link rate table."""
+
+import pytest
+
+from repro.phy.bitloading import (
+    AV_MODULATIONS,
+    DEFAULT_STRIP_SNR_DB,
+    ToneMap,
+    compute_tone_map,
+    select_modulation,
+)
+from repro.phy.rates import LinkRateTable
+
+
+class TestModulationSelection:
+    def test_below_all_thresholds(self):
+        assert select_modulation(0.0) is None
+
+    def test_exact_threshold_selects(self):
+        assert select_modulation(2.0).name == "BPSK"
+
+    def test_high_snr_selects_top(self):
+        assert select_modulation(40.0).name == "1024-QAM"
+
+    def test_monotone_in_snr(self):
+        bits = [
+            (select_modulation(snr).bits_per_carrier
+             if select_modulation(snr) else 0)
+            for snr in (0, 3, 6, 10, 14, 20, 25, 31)
+        ]
+        assert bits == sorted(bits)
+
+    def test_modulation_set_ordered(self):
+        thresholds = [m.snr_threshold_db for m in AV_MODULATIONS]
+        assert thresholds == sorted(thresholds)
+        bits = [m.bits_per_carrier for m in AV_MODULATIONS]
+        assert bits == sorted(bits)
+
+
+class TestToneMap:
+    def test_flat_snr_uniform_map(self):
+        tone_map = compute_tone_map(24.0)
+        assert all(m.name == "256-QAM" for m in tone_map.groups)
+
+    def test_per_group_snrs(self):
+        tone_map = compute_tone_map([30.0, 0.0], num_groups=2)
+        assert tone_map.groups[0].name == "1024-QAM"
+        assert tone_map.groups[1] is None
+        assert tone_map.usable
+
+    def test_unusable_map(self):
+        assert not compute_tone_map(-5.0).usable
+
+    def test_rate_scales_with_bits(self):
+        low = compute_tone_map(2.0).payload_rate_mbps   # BPSK
+        high = compute_tone_map(24.0).payload_rate_mbps  # 256-QAM
+        assert high == pytest.approx(8 * low, rel=1e-9)
+
+    def test_bpsk_rate_value(self):
+        # 917 carriers × 1 bit × 24414 sym/s × 0.6 ≈ 13.4 Mbps.
+        assert compute_tone_map(2.0).payload_rate_mbps == pytest.approx(
+            13.43, abs=0.05
+        )
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ValueError):
+            ToneMap(groups=())
+        with pytest.raises(ValueError):
+            compute_tone_map([])
+
+
+class TestLinkRateTable:
+    def test_default_rate_everywhere(self):
+        table = LinkRateTable()
+        assert table.rate_mbps(2, 1) == table.rate_mbps(5, 1)
+        assert table.snr(2, 1) == DEFAULT_STRIP_SNR_DB
+
+    def test_per_link_override(self):
+        table = LinkRateTable()
+        table.set_snr(2, 1, 5.0)
+        assert table.rate_mbps(2, 1) < table.rate_mbps(1, 2)
+        assert table.snr(2, 1) == 5.0
+        assert table.snr(1, 2) == DEFAULT_STRIP_SNR_DB
+
+    def test_station_cap_degrades_both_directions(self):
+        table = LinkRateTable()
+        table.set_station_snr(3, 6.0)
+        assert table.snr(3, 1) == 6.0
+        assert table.snr(1, 3) == 6.0
+        assert table.snr(2, 1) == DEFAULT_STRIP_SNR_DB
+
+    def test_minimum_of_caps_applies(self):
+        table = LinkRateTable()
+        table.set_station_snr(3, 6.0)
+        table.set_snr(3, 1, 10.0)
+        assert table.snr(3, 1) == 6.0  # the worse constraint wins
+
+    def test_unusable_link_raises(self):
+        table = LinkRateTable()
+        table.set_station_snr(3, -10.0)
+        with pytest.raises(ValueError):
+            table.rate_mbps(3, 1)
+
+    def test_tone_map_cached_and_refreshed(self):
+        table = LinkRateTable()
+        before = table.tone_map(2, 1)
+        table.set_station_snr(2, 5.0)
+        after = table.tone_map(2, 1)
+        assert after.payload_rate_mbps < before.payload_rate_mbps
+
+
+class TestTimingIntegration:
+    def test_rate_based_airtime_uses_link_rate(self):
+        from repro.core.parameters import PriorityClass
+        from repro.phy.framing import Mpdu, segment_into_pbs
+        from repro.phy.timing import PhyTiming
+
+        table = LinkRateTable()
+        table.set_station_snr(2, 2.0)  # BPSK
+        timing = PhyTiming(fixed_mpdu_airtime_us=None, link_rates=table)
+        slow = Mpdu(
+            source_tei=2, dest_tei=1, priority=PriorityClass.CA1,
+            blocks=tuple(segment_into_pbs(1, 1514)),
+        )
+        fast = Mpdu(
+            source_tei=3, dest_tei=1, priority=PriorityClass.CA1,
+            blocks=tuple(segment_into_pbs(2, 1514)),
+        )
+        assert timing.payload_airtime_us(slow) == pytest.approx(
+            8 * timing.payload_airtime_us(fast), rel=1e-9
+        )

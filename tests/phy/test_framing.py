@@ -1,0 +1,150 @@
+"""Tests for PBs, MPDUs, bursts and delimiters (§3.1)."""
+
+import pytest
+
+from repro.core.parameters import PriorityClass
+from repro.phy.framing import (
+    Burst,
+    Mpdu,
+    PhysicalBlock,
+    SackDelimiter,
+    SofDelimiter,
+    segment_into_pbs,
+)
+
+
+class TestSegmentation:
+    def test_mtu_frame_needs_three_pbs(self):
+        blocks = segment_into_pbs(1, 1514)
+        assert [pb.fill for pb in blocks] == [512, 512, 490]
+
+    def test_exact_multiple(self):
+        blocks = segment_into_pbs(1, 1024)
+        assert [pb.fill for pb in blocks] == [512, 512]
+
+    def test_tiny_frame_one_pb(self):
+        blocks = segment_into_pbs(1, 60)
+        assert len(blocks) == 1
+        assert blocks[0].fill == 60
+
+    def test_fills_sum_to_payload(self):
+        for size in (1, 511, 512, 513, 5000):
+            assert sum(pb.fill for pb in segment_into_pbs(1, size)) == size
+
+    def test_offsets_are_contiguous(self):
+        blocks = segment_into_pbs(1, 2000)
+        assert [pb.offset for pb in blocks] == [0, 512, 1024, 1536]
+
+    def test_zero_payload_rejected(self):
+        with pytest.raises(ValueError):
+            segment_into_pbs(1, 0)
+
+    def test_pb_fill_validation(self):
+        with pytest.raises(ValueError):
+            PhysicalBlock(frame_id=1, offset=0, fill=0)
+        with pytest.raises(ValueError):
+            PhysicalBlock(frame_id=1, offset=0, fill=513)
+
+
+def data_mpdu(src=2, dst=1, priority=PriorityClass.CA1, frame_id=1, size=1514):
+    return Mpdu(
+        source_tei=src,
+        dest_tei=dst,
+        priority=priority,
+        blocks=tuple(segment_into_pbs(frame_id, size)),
+    )
+
+
+class TestMpdu:
+    def test_ids_unique(self):
+        assert data_mpdu().mpdu_id != data_mpdu().mpdu_id
+
+    def test_payload_bytes(self):
+        assert data_mpdu(size=1514).payload_bytes == 1514
+
+    def test_on_wire_padding(self):
+        assert data_mpdu(size=1514).on_wire_bytes == 3 * 512
+
+    def test_data_mpdu_needs_blocks(self):
+        with pytest.raises(ValueError):
+            Mpdu(source_tei=1, dest_tei=2, priority=PriorityClass.CA1,
+                 blocks=())
+
+    def test_management_mpdu_without_blocks(self):
+        mpdu = Mpdu(
+            source_tei=1, dest_tei=2, priority=PriorityClass.CA3,
+            blocks=(), is_management=True, payload=b"\x01\x02",
+        )
+        assert mpdu.payload_bytes == 2
+        assert mpdu.on_wire_bytes == 512  # padded to one PB
+
+
+class TestBurst:
+    def test_size_limits(self):
+        with pytest.raises(ValueError):
+            Burst(mpdus=())
+        with pytest.raises(ValueError):
+            Burst(mpdus=tuple(data_mpdu() for _ in range(5)))
+
+    def test_mixed_source_rejected(self):
+        with pytest.raises(ValueError):
+            Burst(mpdus=(data_mpdu(src=2), data_mpdu(src=3)))
+
+    def test_mixed_priority_rejected(self):
+        with pytest.raises(ValueError):
+            Burst(mpdus=(
+                data_mpdu(priority=PriorityClass.CA1),
+                data_mpdu(priority=PriorityClass.CA2),
+            ))
+
+    def test_sof_mpdu_count_counts_down_to_zero(self):
+        burst = Burst(mpdus=(data_mpdu(), data_mpdu(), data_mpdu()))
+        counts = [sof.mpdu_count for sof in burst.sof_delimiters()]
+        assert counts == [2, 1, 0]  # 0 marks the last MPDU (§3.3)
+
+    def test_sof_carries_link_id(self):
+        burst = Burst(mpdus=(data_mpdu(priority=PriorityClass.CA1),))
+        assert burst.sof_delimiters()[0].link_id == 1
+
+    def test_properties(self):
+        burst = Burst(mpdus=(data_mpdu(src=7),))
+        assert burst.source_tei == 7
+        assert burst.size == 1
+        assert not burst.is_management
+
+
+class TestSofDelimiter:
+    def test_link_id_validation(self):
+        with pytest.raises(ValueError):
+            SofDelimiter(
+                source_tei=1, dest_tei=2, link_id=5, mpdu_count=0,
+                frame_length_bytes=512, num_blocks=1,
+            )
+
+    def test_priority_mapping(self):
+        sof = SofDelimiter(
+            source_tei=1, dest_tei=2, link_id=3, mpdu_count=0,
+            frame_length_bytes=512, num_blocks=1,
+        )
+        assert sof.priority == PriorityClass.CA3
+        assert sof.is_last_in_burst
+
+
+class TestSack:
+    def test_success_factory_no_errors(self):
+        sack = SackDelimiter.success(data_mpdu())
+        assert sack.ok
+        assert not sack.all_errored
+        assert len(sack.pb_errors) == 3
+
+    def test_collision_factory_all_errored(self):
+        """§3.2: collided frames are acked with all PBs errored."""
+        sack = SackDelimiter.collision(data_mpdu())
+        assert sack.all_errored
+        assert not sack.ok
+
+    def test_sack_addressing_reversed(self):
+        mpdu = data_mpdu(src=2, dst=1)
+        sack = SackDelimiter.success(mpdu)
+        assert sack.source_tei == 1
+        assert sack.dest_tei == 2

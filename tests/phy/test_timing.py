@@ -1,0 +1,100 @@
+"""Tests for the µs timing composition and Table 3 calibration."""
+
+import pytest
+
+from repro.core.parameters import DEFAULT_TS_US, PriorityClass
+from repro.phy.framing import Burst, Mpdu, segment_into_pbs
+from repro.phy.timing import (
+    DEFAULT_MPDU_AIRTIME_US,
+    PhyTiming,
+    default_phy_rate_calibrated,
+)
+
+
+def mpdu(size=1514, management=False):
+    if management:
+        return Mpdu(
+            source_tei=1, dest_tei=2, priority=PriorityClass.CA3,
+            blocks=(), is_management=True, payload=b"x" * size,
+        )
+    return Mpdu(
+        source_tei=1, dest_tei=2, priority=PriorityClass.CA1,
+        blocks=tuple(segment_into_pbs(1, size)),
+    )
+
+
+class TestDefaults:
+    def test_default_mpdu_airtime_is_half_frame(self):
+        assert DEFAULT_MPDU_AIRTIME_US == pytest.approx(1025.0)
+
+    def test_calibrated_rate(self):
+        # 1514 bytes in 1025 µs ≈ 11.8 Mbps.
+        assert default_phy_rate_calibrated() == pytest.approx(11.82, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhyTiming(slot_us=0.0)
+        with pytest.raises(ValueError):
+            PhyTiming(phy_rate_mbps=-1.0)
+
+
+class TestAirtime:
+    def test_fixed_airtime_for_data(self):
+        timing = PhyTiming()
+        assert timing.payload_airtime_us(mpdu()) == pytest.approx(1025.0)
+
+    def test_rate_based_airtime_when_unfixed(self):
+        timing = PhyTiming(fixed_mpdu_airtime_us=None, phy_rate_mbps=8.0)
+        # 3 PBs on the wire = 1536 bytes = 12288 bits at 8 bits/µs.
+        assert timing.payload_airtime_us(mpdu()) == pytest.approx(1536.0)
+
+    def test_management_always_rate_based(self):
+        timing = PhyTiming(phy_rate_mbps=8.0)
+        m = mpdu(size=100, management=True)
+        # Management MPDUs pad to one PB: 512 bytes at 8 bits/µs.
+        assert timing.payload_airtime_us(m) == pytest.approx(512.0)
+
+    def test_burst_airtime_sums(self):
+        timing = PhyTiming()
+        burst = Burst(mpdus=(mpdu(), mpdu()))
+        assert timing.burst_airtime_us(burst) == pytest.approx(
+            2 * (timing.delimiter_us + 1025.0)
+        )
+
+
+class TestOutcomeDurations:
+    def test_success_includes_sack_and_cifs(self):
+        timing = PhyTiming()
+        burst = Burst(mpdus=(mpdu(),))
+        expected = (
+            timing.delimiter_us + 1025.0
+            + timing.rifs_us + timing.sack_us + timing.cifs_us
+        )
+        assert timing.burst_success_us(burst) == pytest.approx(expected)
+
+    def test_collision_is_longest_burst(self):
+        timing = PhyTiming(fixed_mpdu_airtime_us=None, phy_rate_mbps=8.0)
+        short = Burst(mpdus=(mpdu(size=600),))
+        long = Burst(mpdus=(mpdu(size=1514), mpdu(size=1514)))
+        duration = timing.burst_collision_us([short, long])
+        assert duration == pytest.approx(
+            timing.burst_airtime_us(long) + timing.cifs_us
+        )
+
+    def test_collision_needs_two_bursts(self):
+        timing = PhyTiming()
+        with pytest.raises(ValueError):
+            timing.burst_collision_us([Burst(mpdus=(mpdu(),))])
+
+
+class TestPaperCalibration:
+    def test_two_mpdu_round_matches_table3_ts(self):
+        """PRS + calibrated burst(2) success == the reference Ts."""
+        timing = PhyTiming.paper_calibrated()
+        burst = Burst(mpdus=(mpdu(), mpdu()))
+        total = timing.prs_us + timing.burst_success_us(burst)
+        assert total == pytest.approx(DEFAULT_TS_US, abs=1e-6)
+
+    def test_margin_is_positive(self):
+        timing = PhyTiming.paper_calibrated()
+        assert timing.rifs_us > PhyTiming().rifs_us

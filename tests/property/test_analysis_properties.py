@@ -1,0 +1,66 @@
+"""Property-based tests for the analytical models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fixed_point import gamma_from_tau, solve_fixed_point
+from repro.analysis.markov import StationChain
+from repro.analysis.recursive import RecursiveModel, stage_quantities
+from repro.core.config import CsmaConfig
+
+small_schedules = st.integers(1, 3).flatmap(
+    lambda m: st.tuples(
+        st.tuples(*[st.integers(1, 32)] * m),
+        st.tuples(*[st.integers(0, 7)] * m),
+    )
+)
+
+
+@given(
+    w=st.integers(1, 128),
+    d=st.integers(0, 31),
+    p=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=200)
+def test_stage_quantities_bounds(w, d, p):
+    q = stage_quantities(w, d, p)
+    assert 0.0 <= q.attempt_probability <= 1.0 + 1e-12
+    assert q.expected_events >= 1.0 - 1e-9
+    # A stage visit can never outlast the drawn BC plus the attempt.
+    assert q.expected_events <= (w - 1) + 1 + 1e-9
+
+
+@given(w=st.integers(1, 64), d=st.integers(0, 15))
+def test_stage_quantities_monotone_in_busy_probability(w, d):
+    probs = [0.0, 0.25, 0.5, 0.75, 1.0]
+    attempts = [stage_quantities(w, d, p).attempt_probability for p in probs]
+    assert all(a >= b - 1e-12 for a, b in zip(attempts, attempts[1:]))
+
+
+@given(schedule=small_schedules, gamma=st.floats(0.0, 0.99))
+@settings(max_examples=60, deadline=None)
+def test_markov_and_recursive_agree_everywhere(schedule, gamma):
+    cw, dc = schedule
+    config = CsmaConfig(cw=cw, dc=dc)
+    chain_tau = StationChain(config).tau(gamma)
+    recursive_tau = RecursiveModel(config).tau(gamma)
+    assert abs(chain_tau - recursive_tau) < 1e-8
+    assert 0.0 < chain_tau <= 1.0
+
+
+@given(schedule=small_schedules, n=st.integers(1, 12))
+@settings(max_examples=40, deadline=None)
+def test_fixed_point_is_consistent(schedule, n):
+    cw, dc = schedule
+    model = RecursiveModel(CsmaConfig(cw=cw, dc=dc))
+    tau = solve_fixed_point(model.tau, n)
+    assert 0.0 < tau <= 1.0
+    # The fixed point satisfies its own equation.
+    gamma = gamma_from_tau(min(tau, 1.0), n)
+    assert abs(tau - model.tau(gamma)) < 1e-6
+
+
+@given(tau=st.floats(0.0, 1.0), n=st.integers(1, 50))
+def test_gamma_bounds(tau, n):
+    gamma = gamma_from_tau(tau, n)
+    assert 0.0 <= gamma <= 1.0

@@ -1,0 +1,105 @@
+"""Property-based round-trip tests for the wire codecs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpav.mme import MmeFrame, pack_mac, unpack_mac
+from repro.hpav.mme_types import (
+    AssocConfirm,
+    BeaconPayload,
+    SnifferIndication,
+    StatsConfirm,
+    StatsRequest,
+)
+from repro.phy.framing import segment_into_pbs
+
+macs = st.integers(0, 2**48 - 1).map(
+    lambda v: ":".join(f"{(v >> s) & 0xFF:02x}" for s in range(40, -8, -8))
+)
+
+
+@given(mac=macs)
+def test_mac_pack_unpack_roundtrip(mac):
+    assert unpack_mac(pack_mac(mac)) == mac
+
+
+@given(
+    dst=macs,
+    src=macs,
+    mmtype=st.integers(0, 0xFFFF),
+    payload=st.binary(max_size=200),
+)
+@settings(max_examples=200)
+def test_mme_frame_roundtrip(dst, src, mmtype, payload):
+    frame = MmeFrame(dst_mac=dst, src_mac=src, mmtype=mmtype, payload=payload)
+    assert MmeFrame.decode(frame.encode()) == frame
+
+
+@given(acked=st.integers(0, 2**64 - 1), collided=st.integers(0, 2**64 - 1),
+       status=st.integers(0, 0xFFFF))
+def test_stats_confirm_roundtrip(acked, collided, status):
+    confirm = StatsConfirm(status=status, acked=acked, collided=collided)
+    assert StatsConfirm.decode(confirm.encode()) == confirm
+
+
+@given(acked=st.integers(0, 2**64 - 1), collided=st.integers(0, 2**64 - 1))
+def test_stats_confirm_paper_offsets(acked, collided):
+    """Bytes 25-32 / 33-40 of the full frame, for any counter values."""
+    frame = MmeFrame(
+        dst_mac="02:00:00:00:00:01",
+        src_mac="02:00:00:00:00:02",
+        mmtype=0xA031,
+        payload=StatsConfirm(status=0, acked=acked, collided=collided).encode(),
+    ).encode()
+    assert int.from_bytes(frame[24:32], "little") == acked
+    assert int.from_bytes(frame[32:40], "little") == collided
+
+
+@given(
+    ts=st.integers(0, 2**63),
+    stei=st.integers(0, 255),
+    dtei=st.integers(0, 255),
+    lid=st.integers(0, 3),
+    cnt=st.integers(0, 3),
+    length=st.integers(0, 2**32 - 1),
+    blocks=st.integers(0, 255),
+    collided=st.booleans(),
+)
+def test_sniffer_indication_roundtrip(
+    ts, stei, dtei, lid, cnt, length, blocks, collided
+):
+    ind = SnifferIndication(
+        timestamp_us=ts, source_tei=stei, dest_tei=dtei, link_id=lid,
+        mpdu_count=cnt, frame_length_bytes=length, num_blocks=blocks,
+        collided=collided,
+    )
+    assert SnifferIndication.decode(ind.encode()) == ind
+
+
+@given(mac=macs, tei=st.integers(0, 255), lease=st.integers(0, 0xFFFF))
+def test_assoc_confirm_roundtrip(mac, tei, lease):
+    confirm = AssocConfirm(
+        result=0, station_mac=mac, tei=tei, lease_minutes=lease
+    )
+    assert AssocConfirm.decode(confirm.encode()) == confirm
+
+
+@given(seq=st.integers(0, 2**32 - 1), period=st.integers(0, 0xFFFF))
+def test_beacon_roundtrip(seq, period):
+    beacon = BeaconPayload(
+        nid=b"NIDNID7", cco_tei=1, sequence=seq, beacon_period_ms=period
+    )
+    assert BeaconPayload.decode(beacon.encode()) == beacon
+
+
+@given(size=st.integers(1, 65536))
+def test_segmentation_covers_frame_exactly(size):
+    blocks = segment_into_pbs(1, size)
+    assert sum(pb.fill for pb in blocks) == size
+    assert all(0 < pb.fill <= 512 for pb in blocks)
+    # All but the last PB are full.
+    assert all(pb.fill == 512 for pb in blocks[:-1])
+    # Offsets tile the payload.
+    assert [pb.offset for pb in blocks] == [
+        i * 512 for i in range(len(blocks))
+    ]

@@ -1,0 +1,70 @@
+"""Property-based tests for metric functions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    capture_probability,
+    jain_index,
+    win_run_lengths,
+    windowed_jain,
+)
+
+shares = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1,
+    max_size=50,
+)
+
+
+@given(shares=shares)
+def test_jain_bounds(shares):
+    value = jain_index(shares)
+    n = len(shares)
+    assert 1.0 / n - 1e-12 <= value <= 1.0 + 1e-12
+
+
+@given(shares=shares, scale=st.floats(min_value=1e-3, max_value=1e3))
+def test_jain_scale_invariance(shares, scale):
+    scaled = [x * scale for x in shares]
+    assert abs(jain_index(shares) - jain_index(scaled)) < 1e-9
+
+
+@given(x=st.floats(min_value=1e-6, max_value=1e6), n=st.integers(1, 30))
+def test_jain_equal_shares_perfect(x, n):
+    assert abs(jain_index([x] * n) - 1.0) < 1e-9
+
+
+winner_seqs = st.lists(st.integers(0, 4), min_size=1, max_size=200)
+
+
+@given(winners=winner_seqs)
+def test_run_lengths_partition_sequence(winners):
+    runs = win_run_lengths(winners)
+    assert sum(runs) == len(winners)
+    assert all(r >= 1 for r in runs)
+
+
+@given(winners=winner_seqs)
+def test_capture_probability_bounds(winners):
+    value = capture_probability(winners)
+    if len(winners) >= 2:
+        assert 0.0 <= value <= 1.0
+        # Consistency with run lengths: repeats = len - #runs.
+        expected = (len(winners) - len(win_run_lengths(winners))) / (
+            len(winners) - 1
+        )
+        assert abs(value - expected) < 1e-12
+
+
+@given(
+    winners=st.lists(st.integers(0, 3), min_size=10, max_size=120),
+    window=st.integers(1, 10),
+)
+@settings(max_examples=80)
+def test_windowed_jain_bounds_and_length(winners, window):
+    values = windowed_jain(winners, 4, window)
+    assert len(values) == max(0, len(winners) - window + 1)
+    if values.size:
+        assert np.all(values >= 1 / 4 - 1e-12)
+        assert np.all(values <= 1.0 + 1e-12)

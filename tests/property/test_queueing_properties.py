@@ -1,0 +1,98 @@
+"""Property-based tests for queueing/burst conservation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import PriorityClass
+from repro.mac.queueing import AggregationPolicy, PriorityQueues, QueuedMme
+from repro.traffic.packets import udp_frame
+
+D = "02:00:00:00:00:00"
+SRC = "02:00:00:00:00:01"
+
+
+def tei_of(mac):
+    return 1
+
+
+enqueue_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("data"),
+            st.sampled_from(list(PriorityClass)),
+            st.integers(46, 1472),
+        ),
+        st.tuples(
+            st.just("mme"),
+            st.sampled_from([PriorityClass.CA2, PriorityClass.CA3]),
+            st.integers(1, 64),
+        ),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+policies = st.builds(
+    AggregationPolicy,
+    frames_per_mpdu=st.integers(1, 3),
+    mpdus_per_burst=st.integers(1, 4),
+)
+
+
+@given(ops=enqueue_ops, policy=policies)
+@settings(max_examples=150, deadline=None)
+def test_frames_are_conserved_through_bursts(ops, policy):
+    """Everything enqueued is eventually emitted in bursts, exactly
+    once, highest priority first within each class."""
+    queues = PriorityQueues(policy=policy, capacity_frames=10_000)
+    enqueued_frames = 0
+    enqueued_mmes = 0
+    for kind, priority, size in ops:
+        if kind == "data":
+            assert queues.enqueue_data(
+                udp_frame(D, SRC, udp_payload_bytes=size), priority
+            )
+            enqueued_frames += 1
+        else:
+            queues.enqueue_mme(
+                QueuedMme(payload=b"x" * size, dest_tei=1, priority=priority)
+            )
+            enqueued_mmes += 1
+
+    drained_frames = 0
+    drained_mmes = 0
+    guard = 0
+    while (priority := queues.pending_priority()) is not None:
+        guard += 1
+        assert guard < 10_000, "drain did not terminate"
+        burst = queues.build_burst(priority, 2, tei_of)
+        assert burst is not None
+        assert 1 <= burst.size <= policy.mpdus_per_burst
+        for mpdu in burst.mpdus:
+            assert mpdu.priority == priority
+            if mpdu.is_management:
+                drained_mmes += 1
+            else:
+                frame_ids = {pb.frame_id for pb in mpdu.blocks}
+                assert 1 <= len(frame_ids) <= policy.frames_per_mpdu
+                drained_frames += len(frame_ids)
+
+    assert drained_frames == enqueued_frames
+    assert drained_mmes == enqueued_mmes
+    assert queues.total_depth() == 0
+
+
+@given(ops=enqueue_ops)
+@settings(max_examples=60, deadline=None)
+def test_pending_priority_is_maximum(ops):
+    queues = PriorityQueues(capacity_frames=10_000)
+    present = set()
+    for kind, priority, size in ops:
+        if kind == "data":
+            queues.enqueue_data(udp_frame(D, SRC), priority)
+        else:
+            queues.enqueue_mme(
+                QueuedMme(payload=b"x", dest_tei=1, priority=priority)
+            )
+        present.add(priority)
+        assert queues.pending_priority() == max(present)

@@ -1,0 +1,112 @@
+"""Property-based tests of the station FSM invariants.
+
+Whatever sequence of medium outcomes a station experiences, the
+reference listing's structural invariants must hold: counters stay in
+range, the contention window always comes from the schedule, attempts
+happen exactly when BC reaches 0, and BPC counts redraws since the
+last success.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CsmaConfig
+from repro.core.station import SlotOutcome, Station
+
+# A schedule strategy: 1-5 stages, windows 1..64, deferrals 0..15.
+schedules = st.integers(1, 5).flatmap(
+    lambda m: st.tuples(
+        st.tuples(*[st.integers(1, 64)] * m),
+        st.tuples(*[st.integers(0, 15)] * m),
+    )
+)
+
+# Outcome scripts: what the medium does whenever the station is NOT
+# attempting; attempts themselves resolve via the `collide` script.
+outcome_scripts = st.lists(
+    st.sampled_from(["idle", "busy_success", "busy_collision"]),
+    min_size=1,
+    max_size=300,
+)
+collision_flags = st.lists(st.booleans(), min_size=1, max_size=100)
+
+
+@given(schedule=schedules, script=outcome_scripts, flags=collision_flags,
+       seed=st.integers(0, 2**16))
+@settings(max_examples=150, deadline=None)
+def test_fsm_invariants_under_any_medium(schedule, script, flags, seed):
+    cw, dc = schedule
+    config = CsmaConfig(cw=cw, dc=dc)
+    station = Station(config, np.random.default_rng(seed))
+    flags = list(flags)
+    successes = collisions = 0
+
+    for outcome_name in script:
+        attempted = station.step()
+
+        # --- invariants right after the contention phase ---
+        assert 0 <= station.bc < station.cw or station.bc == 0
+        assert station.cw in cw
+        assert station.dc >= 0
+        assert station.bpc >= 1
+        assert attempted == (station.bc == 0)
+        assert attempted == station.attempting
+
+        if attempted:
+            collide = flags.pop(0) if flags else False
+            if collide:
+                station.resolve(SlotOutcome.COLLISION)
+                collisions += 1
+            else:
+                done = station.resolve(SlotOutcome.SUCCESS, won=True)
+                assert done or config.retry_limit is not None
+                successes += 1
+                station.reset_for_new_frame()
+        elif outcome_name == "idle":
+            station.resolve(SlotOutcome.IDLE)
+        elif outcome_name == "busy_success":
+            station.resolve(SlotOutcome.SUCCESS)
+        else:
+            station.resolve(SlotOutcome.COLLISION)
+
+    assert station.successes == successes
+    assert station.collisions == collisions
+
+
+@given(schedule=schedules, seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_all_idle_station_transmits_every_cw0_window(schedule, seed):
+    """On an always-idle medium the station succeeds every frame and
+    never leaves stage 0."""
+    cw, dc = schedule
+    config = CsmaConfig(cw=cw, dc=dc)
+    station = Station(config, np.random.default_rng(seed))
+    for _ in range(500):
+        if station.step():
+            station.resolve(SlotOutcome.SUCCESS, won=True)
+            station.reset_for_new_frame()
+        else:
+            station.resolve(SlotOutcome.IDLE)
+        assert station.cw == cw[0]
+    assert station.jumps == 0
+    assert station.collisions == 0
+    assert station.successes >= 500 // (cw[0] + 1)
+
+
+@given(schedule=schedules, seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_always_busy_station_escalates_to_last_stage(schedule, seed):
+    """A medium that is busy every slot drives BPC upward: the station
+    must reach (and then stay at) the last stage's parameters."""
+    cw, dc = schedule
+    config = CsmaConfig(cw=cw, dc=dc)
+    station = Station(config, np.random.default_rng(seed))
+    enough = 20 * (max(cw) + max(dc) + 1) * len(cw)
+    for _ in range(enough):
+        if station.step():
+            station.resolve(SlotOutcome.COLLISION)
+        else:
+            station.resolve(SlotOutcome.SUCCESS)  # busy: someone else
+    assert station.cw == cw[-1]
+    assert station.stage == len(cw) - 1

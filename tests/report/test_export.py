@@ -1,0 +1,72 @@
+"""Tests for CSV/JSON export helpers."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.report.export import to_jsonable, write_csv, write_json
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(
+            tmp_path / "out.csv", ["n", "p"], [(1, 0.1), (2, 0.2)]
+        )
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["n", "p"], ["1", "0.1"], ["2", "0.2"]]
+
+    def test_length_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "x.csv", ["a", "b"], [(1,)])
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_csv(tmp_path / "a" / "b" / "x.csv", ["c"], [(1,)])
+        assert path.exists()
+
+
+class TestToJsonable:
+    def test_dataclass(self):
+        from repro.analysis.throughput import network_prediction
+        from repro.core.config import TimingConfig
+
+        prediction = network_prediction(0.1, 3, TimingConfig())
+        data = to_jsonable(prediction)
+        assert data["num_stations"] == 3
+        assert isinstance(data["tau"], float)
+
+    def test_numpy_values(self):
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_bytes_hex(self):
+        assert to_jsonable(b"\x01\xff") == "01ff"
+
+    def test_nested_containers(self):
+        data = to_jsonable({"a": (1, np.int64(2)), "b": [b"\x00"]})
+        assert data == {"a": [1, 2], "b": ["00"]}
+
+
+class TestWriteJson:
+    def test_simulation_result_serializes(self, tmp_path):
+        from repro.core import ScenarioConfig, SlotSimulator
+
+        result = SlotSimulator(
+            ScenarioConfig.homogeneous(num_stations=2, sim_time_us=1e6)
+        ).run()
+        path = write_json(tmp_path / "result.json", result.stations)
+        loaded = json.loads(path.read_text())
+        assert loaded[0]["successes"] == result.stations[0].successes
+
+    def test_figure2_points_serialize(self, tmp_path):
+        from repro.experiments.collision_probability import Figure2Point
+
+        point = Figure2Point(
+            num_stations=2, measured=0.08, measured_std=0.01,
+            simulated=0.085, analytical=0.117,
+        )
+        path = write_json(tmp_path / "f2.json", [point])
+        loaded = json.loads(path.read_text())
+        assert loaded[0]["analytical"] == 0.117

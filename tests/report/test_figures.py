@@ -1,0 +1,56 @@
+"""Tests for ASCII plots."""
+
+import pytest
+
+from repro.report.figures import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_contains_legend_and_title(self):
+        art = ascii_plot(
+            {"s1": ([0, 1], [0, 1])}, title="T", xlabel="x", ylabel="y"
+        )
+        assert "T" in art
+        assert "legend" in art
+        assert "s1" in art
+
+    def test_markers_differ_per_series(self):
+        art = ascii_plot(
+            {"a": ([0, 1], [0.0, 0.5]), "b": ([0, 1], [1.0, 0.7])}
+        )
+        assert "o a" in art
+        assert "x b" in art
+
+    def test_axis_labels_show_range(self):
+        art = ascii_plot({"a": ([2, 9], [0.1, 0.4])})
+        assert "2" in art and "9" in art
+        assert "0.1" in art and "0.4" in art
+
+    def test_y_bounds_override(self):
+        art = ascii_plot({"a": ([0, 1], [0.2, 0.3])}, y_min=0.0, y_max=1.0)
+        assert "0" in art and "1" in art
+
+    def test_constant_series_ok(self):
+        art = ascii_plot({"a": ([0, 1, 2], [5.0, 5.0, 5.0])})
+        assert "o" in art
+
+    def test_single_point_ok(self):
+        art = ascii_plot({"a": ([3], [7.0])})
+        assert "o" in art
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([], [])})
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([1, 2], [1.0])})
+
+    def test_grid_dimensions(self):
+        art = ascii_plot({"a": ([0, 1], [0, 1])}, width=30, height=8)
+        plot_lines = [l for l in art.splitlines() if "|" in l]
+        assert len(plot_lines) == 8

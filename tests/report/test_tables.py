@@ -1,0 +1,54 @@
+"""Tests for text table rendering."""
+
+import pytest
+
+from repro.report.tables import format_scientific, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["N", "value"], [(1, "a"), (100, "bb")])
+        lines = text.splitlines()
+        assert lines[0].startswith("N")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+        assert "100" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_formats_applied(self):
+        text = format_table(
+            ["p"], [(0.123456,)], formats=[".2f"]
+        )
+        assert "0.12" in text
+        assert "0.123456" not in text
+
+    def test_string_cells_ignore_format(self):
+        text = format_table(["p"], [("n/a",)], formats=[".2f"])
+        assert "n/a" in text
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_formats_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [(1,)], formats=[None, None])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_separator_row(self):
+        text = format_table(["ab"], [(1,)])
+        assert "--" in text.splitlines()[1]
+
+
+class TestFormatScientific:
+    def test_paper_table2_style(self):
+        assert format_scientific(25.0) == "2.5000e+01"
+        assert format_scientific(162220) == "1.6222e+05"
+
+    def test_digits(self):
+        assert format_scientific(12345, digits=2) == "1.23e+04"

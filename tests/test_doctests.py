@@ -1,0 +1,32 @@
+"""Run every docstring example in the package as a test."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    for module_info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        yield module_info.name
+
+
+MODULE_NAMES = sorted(_iter_modules())
+
+
+@pytest.mark.parametrize("module_name", MODULE_NAMES)
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+        verbose=False,
+    )
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module_name}"
+    )

@@ -1,0 +1,78 @@
+"""Tests for the ampstat reimplementation (§3.2)."""
+
+import pytest
+
+from repro.engine import Environment, RandomStreams
+from repro.hpav.network import Avln
+from repro.tools.ampstat import Ampstat
+from repro.traffic.generators import SaturatedSource
+from repro.traffic.packets import mac_address
+
+
+def build(n=2, seed=1):
+    env = Environment()
+    avln = Avln(env, RandomStreams(seed))
+    cco = avln.add_device(mac_address(0), is_cco=True)
+    stations = [avln.add_device(mac_address(i + 1)) for i in range(n)]
+    env.run(until=1e6)
+    for station in stations:
+        SaturatedSource(env, station, cco.mac_addr)
+    return env, cco, stations
+
+
+class TestAmpstat:
+    def test_get_matches_firmware(self):
+        env, cco, stations = build()
+        env.run(until=4e6)
+        tool = Ampstat(stations[0])
+        acked, collided = tool.get(cco.mac_addr, priority=1)
+        fw_acked, fw_collided = stations[0].firmware.snapshot(
+            0, cco.mac_addr, 1
+        )
+        assert (acked, collided) == (fw_acked, fw_collided)
+        assert acked > 0
+
+    def test_raw_byte_offsets_match_typed_decoder(self):
+        """§3.2: bytes 25-32 = acked, 33-40 = collided (1-indexed)."""
+        from repro.hpav.mme import MmeFrame
+        from repro.hpav.mme_types import StatsConfirm, StatsRequest
+
+        env, cco, stations = build()
+        env.run(until=4e6)
+        tool = Ampstat(stations[0])
+        reply = tool._transact(
+            StatsRequest(
+                control=0, direction=0, priority=1, peer_mac=cco.mac_addr
+            )
+        )
+        typed = StatsConfirm.decode(MmeFrame.decode(reply).payload)
+        raw_acked = int.from_bytes(reply[24:32], "little")
+        raw_collided = int.from_bytes(reply[32:40], "little")
+        assert raw_acked == typed.acked
+        assert raw_collided == typed.collided
+
+    def test_reset_zeroes_the_link(self):
+        env, cco, stations = build()
+        env.run(until=3e6)
+        tool = Ampstat(stations[0])
+        acked, _ = tool.get(cco.mac_addr)
+        assert acked > 0
+        tool.reset(cco.mac_addr)
+        assert tool.get(cco.mac_addr) == (0, 0)
+
+    def test_reset_is_per_priority(self):
+        env, cco, stations = build()
+        env.run(until=3e6)
+        tool = Ampstat(stations[0])
+        before = tool.get(cco.mac_addr, priority=1)
+        tool.reset(cco.mac_addr, priority=2)  # different link
+        assert tool.get(cco.mac_addr, priority=1) == before
+
+    def test_counters_accumulate_between_reads(self):
+        env, cco, stations = build()
+        env.run(until=3e6)
+        tool = Ampstat(stations[0])
+        first, _ = tool.get(cco.mac_addr)
+        env.run(until=6e6)
+        second, _ = tool.get(cco.mac_addr)
+        assert second > first

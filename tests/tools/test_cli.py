@@ -1,0 +1,96 @@
+"""Smoke tests for the repro-plc CLI."""
+
+import pytest
+
+from repro.tools.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sim_defaults(self):
+        args = build_parser().parse_args(["sim"])
+        assert args.stations == 2
+        assert args.cw == [8, 16, 32, 64]
+        assert args.dc == [0, 1, 3, 15]
+
+
+class TestCommands:
+    def test_sim(self, capsys):
+        assert main(["sim", "-n", "2", "--sim-time", "1e6"]) == 0
+        out = capsys.readouterr().out
+        assert "collision_pr" in out
+        assert "norm_throughput" in out
+
+    def test_testbed(self, capsys):
+        assert main(
+            ["testbed", "-n", "1", "--duration", "2e6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "collision probability" in out
+        assert "goodput" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "-n", "1", "--duration", "2e6"]) == 0
+        assert "MME overhead" in capsys.readouterr().out
+
+    def test_boost(self, capsys):
+        assert main(["boost", "--counts", "2", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "boosted configuration" in out
+        assert "upper bound" in out
+
+    def test_table2(self, capsys):
+        assert main(
+            ["table2", "--duration", "2e6", "--max-n", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "sum C_i" in out
+
+    def test_figure2(self, capsys):
+        assert main(
+            ["figure2", "--duration", "2e6", "--reps", "1", "--max-n", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "measured" in out
+        assert "legend" in out  # the ASCII plot
+
+    def test_sweep(self, capsys):
+        assert main(
+            ["sweep", "--counts", "1", "2", "--sim-time", "1e6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "802.11 DCF" in out
+        assert "1901 CA1" in out
+
+
+class TestExtensionCommands:
+    def test_load(self, capsys):
+        assert main(
+            ["load", "-n", "2", "--fractions", "0.5", "--sim-time", "2e6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "saturation knee" in out
+        assert "delivered" in out
+
+    def test_errors(self, capsys):
+        assert main(
+            ["errors", "-n", "1", "--rates", "0.0", "--duration", "2e6"]
+        ) == 0
+        assert "goodput" in capsys.readouterr().out
+
+    def test_delay(self, capsys):
+        assert main(["delay", "--counts", "1", "--sim-time", "2e6"]) == 0
+        assert "model mean" in capsys.readouterr().out
+
+    def test_coexist(self, capsys):
+        assert main(
+            ["coexist", "--total", "4", "--boosted", "0", "4",
+             "--sim-time", "2e6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per legacy" in out

@@ -1,0 +1,155 @@
+"""Tests for the faifa sniffer reimplementation (§3.3)."""
+
+import pytest
+
+from repro.engine import Environment, RandomStreams
+from repro.hpav.network import Avln
+from repro.tools.faifa import BurstRecord, Faifa
+from repro.traffic.generators import SaturatedSource
+from repro.traffic.packets import mac_address
+
+
+def build(n=2, seed=1, **avln_kwargs):
+    env = Environment()
+    avln = Avln(env, RandomStreams(seed), **avln_kwargs)
+    cco = avln.add_device(mac_address(0), is_cco=True)
+    stations = [avln.add_device(mac_address(i + 1)) for i in range(n)]
+    faifa = Faifa(cco)
+    faifa.enable()
+    env.run(until=1e6)
+    for station in stations:
+        SaturatedSource(env, station, cco.mac_addr)
+    return env, cco, stations, faifa
+
+
+class TestCapture:
+    def test_captures_accumulate(self):
+        env, _cco, _stations, faifa = build()
+        env.run(until=3e6)
+        assert len(faifa.captures) > 100
+
+    def test_clear(self):
+        env, _cco, _stations, faifa = build()
+        env.run(until=2e6)
+        faifa.clear()
+        assert faifa.captures == []
+
+    def test_disable_stops_capture(self):
+        env, _cco, _stations, faifa = build()
+        env.run(until=2e6)
+        faifa.disable()
+        faifa.clear()
+        env.run(until=3e6)
+        assert faifa.captures == []
+
+    def test_capture_timestamps_monotone(self):
+        env, _cco, _stations, faifa = build()
+        env.run(until=2e6)
+        times = [c.timestamp_us for c in faifa.captures]
+        assert times == sorted(times)
+
+
+class TestBurstReconstruction:
+    def test_data_bursts_have_two_mpdus(self):
+        """§3.1: the testbed stations use bursts with 2 MPDUs."""
+        env, _cco, _stations, faifa = build()
+        env.run(until=4e6)
+        histogram = faifa.burst_size_histogram()
+        assert histogram.get(2, 0) > 0
+        data_sizes = {b.num_mpdus for b in faifa.data_bursts()}
+        assert data_sizes <= {1, 2}
+        # The overwhelming majority are full 2-MPDU bursts.
+        full = sum(1 for b in faifa.data_bursts() if b.num_mpdus == 2)
+        assert full / len(faifa.data_bursts()) > 0.95
+
+    def test_management_bursts_single_mpdu(self):
+        env, _cco, _stations, faifa = build()
+        env.run(until=4e6)
+        assert all(
+            b.num_mpdus == 1 for b in faifa.management_bursts()
+        )
+
+    def test_classification_by_link_id(self):
+        env, _cco, _stations, faifa = build()
+        env.run(until=4e6)
+        for burst in faifa.data_bursts():
+            assert burst.link_id <= 1
+        for burst in faifa.management_bursts():
+            assert burst.link_id >= 2
+
+    def test_interleaved_collision_sofs_grouped_by_source(self):
+        env, _cco, _stations, faifa = build(n=4, seed=3)
+        env.run(until=6e6)
+        collided = [b for b in faifa.bursts() if b.collided]
+        assert collided  # with 4 saturated stations there are collisions
+        # A collision burst still reconstructs per source.
+        for burst in collided:
+            assert burst.num_mpdus in (1, 2)
+
+
+class TestOverhead:
+    def test_overhead_small_but_positive(self):
+        env, _cco, _stations, faifa = build()
+        env.run(until=5e6)
+        overhead = faifa.mme_overhead()
+        assert 0.0 < overhead < 0.3
+
+    def test_overhead_no_data_is_infinite(self):
+        faifa = Faifa.__new__(Faifa)
+        faifa.captures = []
+        from repro.hpav.mme_types import SnifferIndication
+
+        faifa.captures = [
+            SnifferIndication(
+                timestamp_us=0, source_tei=1, dest_tei=0xFF, link_id=3,
+                mpdu_count=0, frame_length_bytes=512, num_blocks=1,
+                collided=False,
+            )
+        ]
+        assert faifa.mme_overhead() == float("inf")
+
+    def test_overhead_empty_zero(self):
+        faifa = Faifa.__new__(Faifa)
+        faifa.captures = []
+        assert faifa.mme_overhead() == 0.0
+
+
+class TestSourceTrace:
+    def test_trace_excludes_collisions_by_default(self):
+        env, _cco, _stations, faifa = build(n=3, seed=2)
+        env.run(until=5e6)
+        trace = faifa.source_trace()
+        collided_times = {
+            b.start_time_us for b in faifa.bursts() if b.collided
+        }
+        assert all(t not in collided_times for t, _tei in trace)
+
+    def test_trace_sources_are_station_teis(self):
+        env, _cco, stations, faifa = build()
+        env.run(until=4e6)
+        teis = {tei for _t, tei in faifa.source_trace()}
+        assert teis == {s.tei for s in stations}
+
+    def test_all_stations_get_share(self):
+        env, _cco, stations, faifa = build(n=2, seed=5)
+        env.run(until=6e6)
+        counts = {}
+        for _t, tei in faifa.source_trace():
+            counts[tei] = counts.get(tei, 0) + 1
+        shares = sorted(counts.values())
+        assert shares[0] / shares[-1] > 0.7  # long-term fairness
+
+
+class TestExport:
+    def test_capture_session_exports_to_json(self, tmp_path):
+        import json
+
+        from repro.tools.faifa import export_captures_json
+
+        env, _cco, _stations, faifa = build()
+        env.run(until=2e6)
+        path = export_captures_json(faifa, tmp_path / "capture.json")
+        data = json.loads(path.read_text())
+        assert len(data["captures"]) == len(faifa.captures)
+        assert data["mme_overhead"] == pytest.approx(faifa.mme_overhead())
+        assert data["bursts"][0]["link_id"] in (0, 1, 2, 3)

@@ -1,0 +1,91 @@
+"""Tests for traffic sources against the emulated testbed devices."""
+
+import pytest
+
+from repro.core.parameters import PriorityClass
+from repro.engine import Environment, RandomStreams
+from repro.hpav.network import Avln
+from repro.traffic.generators import CbrSource, PoissonSource, SaturatedSource
+from repro.traffic.packets import mac_address
+
+
+def make_pair(seed=1):
+    env = Environment()
+    streams = RandomStreams(seed)
+    avln = Avln(env, streams, channel_est_enabled=False)
+    destination = avln.add_device(mac_address(0), is_cco=True)
+    station = avln.add_device(mac_address(1))
+    env.run(until=1e6)  # association settles
+    return env, destination, station
+
+
+class TestSaturatedSource:
+    def test_keeps_queue_topped_up(self):
+        env, destination, station = make_pair()
+        source = SaturatedSource(
+            env, station, destination.mac_addr, high_watermark=32
+        )
+        env.run(until=2e6)
+        depth = station.node.queues.depth(PriorityClass.CA1)
+        assert depth >= 16  # continuously refilled while draining
+        assert source.accepted > 32
+
+    def test_unknown_destination_dropped(self):
+        env, _destination, station = make_pair()
+        source = SaturatedSource(
+            env, station, "02:aa:aa:aa:aa:aa", high_watermark=8
+        )
+        env.run(until=1.2e6)
+        assert source.accepted == 0
+        assert station.unresolved_drops > 0
+
+
+class TestPoissonSource:
+    def test_rate_roughly_respected(self):
+        env, destination, station = make_pair()
+        source = PoissonSource(
+            env,
+            station,
+            destination.mac_addr,
+            rate_pps=200.0,
+            streams=RandomStreams(9),
+        )
+        start = env.now
+        env.run(until=start + 10e6)  # 10 s
+        assert source.offered == pytest.approx(2000, rel=0.15)
+
+    def test_bad_rate(self):
+        env, destination, station = make_pair()
+        with pytest.raises(ValueError):
+            PoissonSource(env, station, destination.mac_addr, rate_pps=0.0)
+
+
+class TestCbrSource:
+    def test_exact_count(self):
+        env, destination, station = make_pair()
+        source = CbrSource(
+            env, station, destination.mac_addr, interval_us=10_000.0
+        )
+        start = env.now
+        # +1 µs: the run-until stop event pre-empts a frame landing
+        # exactly on the boundary.
+        env.run(until=start + 1e6 + 1.0)
+        assert source.offered == 100
+
+    def test_bad_interval(self):
+        env, destination, station = make_pair()
+        with pytest.raises(ValueError):
+            CbrSource(env, station, destination.mac_addr, interval_us=0.0)
+
+    def test_priority_honored(self):
+        env, destination, station = make_pair()
+        CbrSource(
+            env,
+            station,
+            destination.mac_addr,
+            interval_us=10_000.0,
+            priority=PriorityClass.CA3,
+        )
+        env.run(until=env.now + 50_000.0)
+        # Frames landed in the CA3 queue (possibly already sent).
+        assert station.node.station_for(PriorityClass.CA3).successes >= 0

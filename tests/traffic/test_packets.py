@@ -1,0 +1,74 @@
+"""Tests for packet abstractions."""
+
+import pytest
+
+from repro.traffic.packets import (
+    ETHERNET_MIN_FRAME_BYTES,
+    EthernetFrame,
+    mac_address,
+    udp_frame,
+)
+
+
+class TestMacAddress:
+    def test_formatting(self):
+        assert mac_address(0) == "02:00:00:00:00:00"
+        assert mac_address(255) == "02:00:00:00:00:ff"
+        assert mac_address(256) == "02:00:00:00:01:00"
+
+    def test_locally_administered_bit(self):
+        assert mac_address(7).startswith("02:")
+
+    def test_unique(self):
+        assert len({mac_address(i) for i in range(100)}) == 100
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            mac_address(-1)
+
+
+class TestUdpFrame:
+    def test_default_is_full_mtu(self):
+        frame = udp_frame("02:00:00:00:00:00", "02:00:00:00:00:01")
+        assert frame.length_bytes == 1514  # 14 + 20 + 8 + 1472
+
+    def test_small_payload_padded_to_minimum(self):
+        frame = udp_frame(
+            "02:00:00:00:00:00", "02:00:00:00:00:01", udp_payload_bytes=1
+        )
+        assert frame.length_bytes == ETHERNET_MIN_FRAME_BYTES
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            udp_frame("a", "b", udp_payload_bytes=-1)
+
+    def test_frame_ids_monotone(self):
+        a = udp_frame("02:00:00:00:00:00", "02:00:00:00:00:01")
+        b = udp_frame("02:00:00:00:00:00", "02:00:00:00:00:01")
+        assert b.frame_id > a.frame_id
+
+    def test_created_us_stamped(self):
+        frame = udp_frame(
+            "02:00:00:00:00:00", "02:00:00:00:00:01", created_us=123.0
+        )
+        assert frame.created_us == 123.0
+
+
+class TestEthernetFrame:
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            EthernetFrame(
+                dst_mac="a", src_mac="b", ethertype=0x0800, length_bytes=10
+            )
+
+    def test_bad_ethertype_rejected(self):
+        with pytest.raises(ValueError):
+            EthernetFrame(
+                dst_mac="a", src_mac="b", ethertype=-1, length_bytes=100
+            )
+
+    def test_payload_bytes(self):
+        frame = EthernetFrame(
+            dst_mac="a", src_mac="b", ethertype=0x0800, length_bytes=100
+        )
+        assert frame.payload_bytes == 86
