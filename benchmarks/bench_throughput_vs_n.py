@@ -12,25 +12,31 @@ grow with N, 1901's staying below plain DCF's would-be growth because
 stations escalate *before* colliding.
 """
 
+import os
+import time
+
 import pytest
 
 from conftest import emit
-from repro.experiments.sweeps import standard_protocol_sweep
+from repro.experiments.sweeps import sweep_configuration, standard_protocol_sweep
 from repro.report.figures import ascii_plot
 from repro.report.tables import format_table
 
 COUNTS = (1, 2, 3, 5, 7, 10, 15, 20)
 
 
-def _generate():
+def _generate(runner=None):
     return standard_protocol_sweep(
-        station_counts=COUNTS, sim_time_us=1e7, repetitions=2, seed=1
+        station_counts=COUNTS, sim_time_us=1e7, repetitions=2, seed=1,
+        runner=runner,
     )
 
 
 @pytest.mark.benchmark(group="throughput-vs-n")
-def bench_throughput_vs_n(benchmark):
-    series = benchmark.pedantic(_generate, rounds=1, iterations=1)
+def bench_throughput_vs_n(benchmark, runner):
+    series = benchmark.pedantic(
+        lambda: _generate(runner), rounds=1, iterations=1
+    )
 
     rows = []
     for label in ("1901 CA1", "802.11 DCF"):
@@ -81,3 +87,55 @@ def bench_throughput_vs_n(benchmark):
             assert p.model_throughput == pytest.approx(
                 p.sim_throughput, rel=0.08
             )
+
+
+SPEEDUP_COUNTS = tuple(range(5, 55, 5))
+
+
+@pytest.mark.benchmark(group="throughput-vs-n")
+def bench_parallel_speedup(benchmark):
+    """Serial vs. 4-worker wall time on the 10-point 1901 sweep.
+
+    The parallel sweep must reproduce the serial one bit-for-bit (the
+    runner's seeds depend only on point position, never on worker
+    scheduling); the ≥2x speedup is only asserted on machines with at
+    least 4 CPUs, since a single-core container cannot exhibit it.
+    """
+    from repro.core.config import CsmaConfig
+    from repro.runner import ExperimentRunner
+
+    def _sweep(workers):
+        return sweep_configuration(
+            "1901 CA1",
+            CsmaConfig.default_1901(),
+            station_counts=SPEEDUP_COUNTS,
+            sim_time_us=2e6,
+            repetitions=2,
+            seed=1,
+            runner=ExperimentRunner(max_workers=workers),
+        )
+
+    t0 = time.perf_counter()
+    serial = _sweep(1)
+    serial_s = time.perf_counter() - t0
+
+    def _parallel():
+        return _sweep(4)
+
+    t0 = time.perf_counter()
+    parallel = benchmark.pedantic(_parallel, rounds=1, iterations=1)
+    parallel_s = time.perf_counter() - t0
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    emit("")
+    emit(
+        f"parallel runner speedup (N={SPEEDUP_COUNTS[0]}..."
+        f"{SPEEDUP_COUNTS[-1]}): serial {serial_s:.2f}s, "
+        f"4 workers {parallel_s:.2f}s -> {speedup:.2f}x "
+        f"on {os.cpu_count()} CPU(s)"
+    )
+
+    # Determinism: identical results regardless of worker count.
+    assert parallel == serial
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0

@@ -9,6 +9,12 @@ a dedicated section after the benchmark table.
 Scaling: the paper's tests run 240 s × 10 repetitions; by default the
 benchmarks use shortened durations so the whole suite completes in a
 few minutes.  Set ``REPRO_BENCH_FULL=1`` for paper-scale runs.
+
+Parallelism: benches route their experiments through a
+:class:`repro.runner.ExperimentRunner`.  ``REPRO_BENCH_WORKERS`` sets
+the worker-process count (default 1 = serial, 0 = one per CPU) and
+``REPRO_BENCH_CACHE_DIR`` enables the on-disk result cache — results
+are bit-identical either way, per the runner's determinism contract.
 """
 
 import os
@@ -18,6 +24,11 @@ import pytest
 
 #: Whether to run at the paper's full durations.
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Runner knobs: worker processes (1 = serial, 0 = one per CPU) and
+#: optional on-disk cache directory.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
 
 #: Emulated-testbed test duration (µs) and repetitions.
 TEST_DURATION_US = 240e6 if FULL else 12e6
@@ -41,6 +52,14 @@ def emit(text: str) -> None:
 def report():
     """Fixture handing benches the report printer."""
     return emit
+
+
+@pytest.fixture
+def runner():
+    """Experiment runner configured from the REPRO_BENCH_* env knobs."""
+    from repro.runner import ExperimentRunner
+
+    return ExperimentRunner(max_workers=WORKERS, cache_dir=CACHE_DIR)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

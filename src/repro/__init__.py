@@ -17,6 +17,8 @@ The library provides, as independent subpackages:
 - :mod:`repro.tools` — reimplementations of the ``ampstat`` and
   ``faifa`` utilities operating on emulated devices, and a CLI;
 - :mod:`repro.experiments` — the §3 measurement methodology as code;
+- :mod:`repro.runner` — parallel experiment execution with
+  deterministic per-point seeding and on-disk result caching;
 - :mod:`repro.traffic`, :mod:`repro.report` — traffic generation and
   text rendering of tables/figures.
 

@@ -44,10 +44,18 @@ def recommend_robust(
     station_counts: Sequence[int],
     candidates: Optional[Sequence[CsmaConfig]] = None,
     timing: Optional[TimingConfig] = None,
+    runner=None,
 ) -> CandidateScore:
-    """Best worst-case candidate over a range of network sizes."""
+    """Best worst-case candidate over a range of network sizes.
+
+    ``runner`` (a :class:`repro.runner.ExperimentRunner`) parallelizes
+    and caches the candidate evaluation.
+    """
     pool = list(candidates) if candidates is not None else default_candidates()
-    best = search(pool, worst_case_throughput(station_counts), timing, top=1)
+    best = search(
+        pool, worst_case_throughput(station_counts), timing, top=1,
+        runner=runner,
+    )
     return best[0]
 
 
@@ -76,15 +84,19 @@ def boost_report(
     station_counts: Sequence[int],
     boosted: Optional[CsmaConfig] = None,
     timing: Optional[TimingConfig] = None,
+    runner=None,
 ) -> Tuple[CsmaConfig, List[BoostRow]]:
     """Compare default 1901 against a boosted configuration per N.
 
     If ``boosted`` is not given, the robust recommendation over
-    ``station_counts`` is used.
+    ``station_counts`` is used (searched through ``runner`` when one
+    is supplied).
     """
     timing = timing if timing is not None else TimingConfig()
     if boosted is None:
-        boosted = recommend_robust(station_counts, timing=timing).config
+        boosted = recommend_robust(
+            station_counts, timing=timing, runner=runner
+        ).config
     default_model = Model1901(CsmaConfig.default_1901(), timing, "recursive")
     boosted_model = Model1901(boosted, timing, "recursive")
     rows = []

@@ -28,7 +28,8 @@ import numpy as np
 from ..analysis.model import Model1901
 from ..core.config import CsmaConfig, ScenarioConfig, TimingConfig
 from ..core.results import aggregate
-from ..core.simulator import simulate
+from ..runner import ExperimentRunner, Task, TaskKind
+from ..runner.serialize import csma_to_jsonable, timing_to_jsonable
 from .objectives import Objective
 
 __all__ = [
@@ -83,12 +84,47 @@ def search(
     objective: Objective,
     timing: Optional[TimingConfig] = None,
     top: int = 10,
+    runner: Optional[ExperimentRunner] = None,
 ) -> List[CandidateScore]:
-    """Evaluate all ``candidates`` and return the ``top`` best scores."""
-    scores = [
-        evaluate_candidate(config, objective, timing)
-        for config in candidates
+    """Evaluate all ``candidates`` and return the ``top`` best scores.
+
+    With a ``runner``, candidate curves are computed as one batch of
+    ``model_curve`` tasks — in parallel across worker processes and
+    memoized on disk, so resuming an interrupted search (or re-scoring
+    the same families under a different objective over the same station
+    counts) only solves new configurations.  The objective itself is
+    applied in the submitting process (it can be any callable; only the
+    curves are cached).
+    """
+    timing = timing if timing is not None else TimingConfig()
+    configs = list(candidates)
+    runner = runner if runner is not None else ExperimentRunner()
+    counts = [int(n) for n in objective.station_counts]
+    tasks = [
+        Task(
+            kind=TaskKind.MODEL_CURVE,
+            payload={
+                "family": "1901",
+                "csma": csma_to_jsonable(config),
+                "timing": timing_to_jsonable(timing),
+                "station_counts": counts,
+                "method": "recursive",
+            },
+        )
+        for config in configs
     ]
+    scores = []
+    for config, curve in zip(configs, runner.run(tasks)):
+        throughputs = [p["normalized_throughput"] for p in curve["points"]]
+        collisions = [p["collision_probability"] for p in curve["points"]]
+        scores.append(
+            CandidateScore(
+                config=config,
+                score=objective.evaluate(np.array(throughputs)),
+                throughput_curve=tuple(throughputs),
+                collision_curve=tuple(collisions),
+            )
+        )
     scores.sort(key=lambda cs: cs.score, reverse=True)
     return scores[:top]
 
@@ -172,24 +208,34 @@ def validate_by_simulation(
     sim_time_us: float = 2e7,
     repetitions: int = 3,
     seed: int = 1,
+    runner: Optional[ExperimentRunner] = None,
 ) -> List[Tuple[int, float, float]]:
     """Re-measure a candidate by simulation.
 
     Returns ``(N, sim_throughput, sim_collision_probability)`` rows —
     the guard against the model mis-ranking configurations where the
-    decoupling approximation is weak.
+    decoupling approximation is weak.  All ``N × repetitions`` points
+    go through ``runner`` as one batch, seeded per the runner's
+    ``(seed, point_index, repetition)`` contract.
     """
     timing = timing if timing is not None else TimingConfig()
-    rows = []
-    for n in station_counts:
-        scenario = ScenarioConfig.homogeneous(
+    runner = runner if runner is not None else ExperimentRunner()
+    scenarios = [
+        ScenarioConfig.homogeneous(
             num_stations=n,
             csma=score.config,
             timing=timing,
             sim_time_us=sim_time_us,
             seed=seed,
         )
-        agg = aggregate(simulate(scenario, repetitions=repetitions))
+        for n in station_counts
+    ]
+    grouped = runner.run_scenarios(
+        scenarios, root_seed=seed, repetitions=repetitions
+    )
+    rows = []
+    for n, group in zip(station_counts, grouped):
+        agg = aggregate([point.result for point in group])
         rows.append(
             (n, agg.normalized_throughput, agg.collision_probability)
         )

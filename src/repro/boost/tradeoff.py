@@ -21,10 +21,12 @@ quantitative:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.model import Model1901
 from ..core.config import CsmaConfig, TimingConfig
+from ..runner import ExperimentRunner, Task, TaskKind
+from ..runner.serialize import csma_to_jsonable, timing_to_jsonable
 
 __all__ = [
     "TradeoffPoint",
@@ -62,6 +64,50 @@ def _point(
     )
 
 
+def _model_curves(
+    labeled: Sequence[Tuple[str, CsmaConfig]],
+    station_counts: Sequence[int],
+    timing: TimingConfig,
+    runner: Optional[ExperimentRunner],
+) -> Dict[int, List[TradeoffPoint]]:
+    """One ``model_curve`` task per configuration, through the runner.
+
+    Returns ``{config position: [TradeoffPoint per N]}`` so callers can
+    reassemble their historical point orderings.
+    """
+    runner = runner if runner is not None else ExperimentRunner()
+    counts = [int(n) for n in station_counts]
+    tasks = [
+        Task(
+            kind=TaskKind.MODEL_CURVE,
+            payload={
+                "family": "1901",
+                "csma": csma_to_jsonable(config),
+                "timing": timing_to_jsonable(timing),
+                "station_counts": counts,
+                "method": "recursive",
+            },
+        )
+        for _label, config in labeled
+    ]
+    curves = {}
+    for i, ((label, config), curve) in enumerate(
+        zip(labeled, runner.run(tasks))
+    ):
+        curves[i] = [
+            TradeoffPoint(
+                label=label,
+                config=config,
+                num_stations=p["num_stations"],
+                collision_probability=p["collision_probability"],
+                normalized_throughput=p["normalized_throughput"],
+                tau=p["tau"],
+            )
+            for p in curve["points"]
+        ]
+    return curves
+
+
 def scale_deferral(config: CsmaConfig, factor: float) -> CsmaConfig:
     """Scale all deferral counters by ``factor`` (rounded down)."""
     if factor < 0:
@@ -93,15 +139,15 @@ def cw_sweep(
     station_counts: Sequence[int],
     cw_values: Sequence[int] = (4, 8, 16, 32, 64, 128, 256),
     timing: Optional[TimingConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> List[TradeoffPoint]:
     """Single-stage fixed-CW protocols: the raw CW tradeoff."""
     timing = timing if timing is not None else TimingConfig()
-    points = []
-    for w in cw_values:
-        config = CsmaConfig(cw=(w,), dc=(0,))
-        for n in station_counts:
-            points.append(_point(f"CW={w}", config, n, timing))
-    return points
+    labeled = [
+        (f"CW={w}", CsmaConfig(cw=(w,), dc=(0,))) for w in cw_values
+    ]
+    curves = _model_curves(labeled, station_counts, timing, runner)
+    return [p for i in range(len(labeled)) for p in curves[i]]
 
 
 def dc_sweep(
@@ -109,29 +155,36 @@ def dc_sweep(
     factors: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 4.0),
     base: Optional[CsmaConfig] = None,
     timing: Optional[TimingConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> List[TradeoffPoint]:
     """Scale the default deferral ladder up and down."""
     timing = timing if timing is not None else TimingConfig()
     base = base if base is not None else CsmaConfig.default_1901()
-    points = []
-    for factor in factors:
-        config = scale_deferral(base, factor)
-        label = f"dc×{factor:g}"
-        for n in station_counts:
-            points.append(_point(label, config, n, timing))
-    return points
+    labeled = [
+        (f"dc×{factor:g}", scale_deferral(base, factor))
+        for factor in factors
+    ]
+    curves = _model_curves(labeled, station_counts, timing, runner)
+    return [p for i in range(len(labeled)) for p in curves[i]]
 
 
 def deferral_ablation(
     station_counts: Sequence[int],
     timing: Optional[TimingConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> List[TradeoffPoint]:
     """1901 default vs. identical windows with deferral disabled."""
     timing = timing if timing is not None else TimingConfig()
     default = CsmaConfig.default_1901()
     beb = disable_deferral(default)
+    labeled = [
+        ("1901 (with DC)", default),
+        ("same CWs, no DC", beb),
+    ]
+    curves = _model_curves(labeled, station_counts, timing, runner)
+    # Historical point order: N-major, default before BEB at each N.
     points = []
-    for n in station_counts:
-        points.append(_point("1901 (with DC)", default, n, timing))
-        points.append(_point("same CWs, no DC", beb, n, timing))
+    for j in range(len(station_counts)):
+        points.append(curves[0][j])
+        points.append(curves[1][j])
     return points

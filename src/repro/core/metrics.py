@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 __all__ = [
+    "RunnerCounters",
     "collision_probability",
     "normalized_throughput",
     "jain_index",
@@ -32,6 +33,42 @@ __all__ = [
     "DelayStats",
     "delay_stats",
 ]
+
+
+@dataclasses.dataclass
+class RunnerCounters:
+    """Progress/timing counters of an experiment runner.
+
+    Updated by :class:`repro.runner.ExperimentRunner` across its
+    lifetime; the cache-effectiveness counters are what the
+    reproducibility tests assert on (a warm second run must show
+    ``executed == 0``).
+    """
+
+    #: Points requested across all ``run()`` calls.
+    points_total: int = 0
+    #: Points actually executed (i.e. `simulate()`/model/testbed calls
+    #: that ran, instead of being served from the cache).
+    executed: int = 0
+    #: Points answered from the on-disk cache.
+    cache_hits: int = 0
+    #: Points not found in the cache (== executed when caching is on).
+    cache_misses: int = 0
+    #: Cache entries found corrupted/truncated and recomputed.
+    cache_corrupt: int = 0
+    #: Wall-clock seconds spent inside ``run()`` calls.
+    wall_time_s: float = 0.0
+    #: Worker processes used by the most recent ``run()`` call.
+    workers: int = 1
+
+    def as_dict(self) -> Dict[str, float]:
+        return dataclasses.asdict(self)
+
+    def reset(self) -> None:
+        """Zero every counter (e.g. between cold/warm cache phases)."""
+        fresh = RunnerCounters()
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, getattr(fresh, field.name))
 
 
 def collision_probability(collided: float, acknowledged: float) -> float:

@@ -57,6 +57,27 @@ class RandomStreams:
             self._streams[k] = np.random.default_rng(child)
         return self._streams[k]
 
+    @classmethod
+    def from_seed_sequence(
+        cls,
+        sequence: np.random.SeedSequence,
+        seed: Optional[int] = None,
+    ) -> "RandomStreams":
+        """A tree rooted at an externally derived ``SeedSequence``.
+
+        Used by :mod:`repro.runner` to hand each experiment point a
+        root spawned from ``(root_seed, point_index, repetition)``
+        while keeping the named-substream layout (``stream("station",
+        i)`` etc.) identical to the serial code paths.  ``seed`` is
+        only bookkeeping (the :attr:`seed` attribute); the draws are
+        fully determined by ``sequence``.
+        """
+        streams = cls.__new__(cls)
+        streams._root = sequence
+        streams._streams = {}
+        streams.seed = seed
+        return streams
+
     def spawn(self, *key: object) -> "RandomStreams":
         """Create an independent child tree (e.g. per repetition)."""
         child = RandomStreams.__new__(RandomStreams)

@@ -6,6 +6,13 @@ Three estimates per network size N, as in the paper:
   the §3.2 ampstat procedure (ΣC_i / ΣA_i, averaged over tests);
 - **simulation** — the slot-synchronous MAC simulator of §4.2;
 - **analysis** — the decoupling model of [5].
+
+Both generators batch every testbed test and simulation repetition
+through a :class:`repro.runner.ExperimentRunner`, so a Figure 2 at the
+paper's scale (70 four-minute testbed runs) parallelizes across worker
+processes and survives interruption via the on-disk cache.  Testbed
+tests keep their historical explicit seeds (``seed + repetition *
+1000``), which the golden Table 2 regression pins bit-for-bit.
 """
 
 from __future__ import annotations
@@ -16,8 +23,15 @@ from typing import List, Optional, Sequence
 from ..analysis.model import Model1901
 from ..core.config import CsmaConfig, ScenarioConfig, TimingConfig
 from ..core.results import aggregate
-from ..core.simulator import simulate
-from .procedures import CollisionTestSeries, repeat_tests
+from ..runner import ExperimentRunner, Task, TaskKind
+from ..runner.runner import rehydrate_simulation
+from ..runner.seeding import SeedSpec
+from ..runner.serialize import scenario_to_jsonable
+from .procedures import (
+    DEFAULT_WARMUP_US,
+    CollisionTest,
+    CollisionTestSeries,
+)
 
 __all__ = ["Figure2Point", "figure2_data", "Table2Row", "table2_data"]
 
@@ -33,6 +47,30 @@ class Figure2Point:
     analytical: float
 
 
+def _collision_test_task(
+    num_stations: int, duration_us: float, seed: int
+) -> Task:
+    return Task(
+        kind=TaskKind.COLLISION_TEST,
+        payload={
+            "num_stations": num_stations,
+            "duration_us": duration_us,
+            "warmup_us": DEFAULT_WARMUP_US,
+            "seed": seed,
+            "testbed_kwargs": {},
+        },
+    )
+
+
+def _test_from_entry(entry: dict) -> CollisionTest:
+    return CollisionTest(
+        num_stations=entry["num_stations"],
+        duration_us=entry["duration_us"],
+        per_station=[tuple(row) for row in entry["per_station"]],
+        goodput_mbps=entry["goodput_mbps"],
+    )
+
+
 def figure2_data(
     station_counts: Sequence[int] = tuple(range(1, 8)),
     test_duration_us: float = 24e6,
@@ -42,32 +80,68 @@ def figure2_data(
     seed: int = 1,
     config: Optional[CsmaConfig] = None,
     timing: Optional[TimingConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> List[Figure2Point]:
     """Compute the three Figure 2 curves.
 
     Defaults are scaled down from the paper's 240 s × 10 tests to keep
     the benchmark quick; pass ``test_duration_us=240e6,
-    test_repetitions=10`` for the full procedure.
+    test_repetitions=10`` for the full procedure.  All testbed tests
+    and simulation repetitions across every N are submitted to
+    ``runner`` as a single batch.
     """
     config = config if config is not None else CsmaConfig.default_1901()
     timing = timing if timing is not None else TimingConfig()
+    runner = runner if runner is not None else ExperimentRunner()
     model = Model1901(config, timing)
-    points = []
-    for n in station_counts:
-        series = repeat_tests(
-            n,
-            repetitions=test_repetitions,
-            duration_us=test_duration_us,
-            seed=seed,
-        )
-        scenario = ScenarioConfig.homogeneous(
+    counts = [int(n) for n in station_counts]
+
+    test_tasks = [
+        _collision_test_task(n, test_duration_us, seed + rep * 1000)
+        for n in counts
+        for rep in range(test_repetitions)
+    ]
+    scenarios = [
+        ScenarioConfig.homogeneous(
             num_stations=n,
             csma=config,
             timing=timing,
             sim_time_us=sim_time_us,
             seed=seed,
         )
-        agg = aggregate(simulate(scenario, repetitions=sim_repetitions))
+        for n in counts
+    ]
+    sim_tasks = [
+        Task(
+            kind=TaskKind.SIMULATE,
+            payload={"scenario": scenario_to_jsonable(scenario)},
+            seed=SeedSpec(root_seed=seed, point_index=i, repetition=rep),
+        )
+        for i, scenario in enumerate(scenarios)
+        for rep in range(sim_repetitions)
+    ]
+
+    raw = runner.run(test_tasks + sim_tasks)
+    test_entries = raw[: len(test_tasks)]
+    sim_entries = raw[len(test_tasks):]
+
+    points = []
+    for i, n in enumerate(counts):
+        series = CollisionTestSeries(
+            tests=[
+                _test_from_entry(entry)
+                for entry in test_entries[
+                    i * test_repetitions : (i + 1) * test_repetitions
+                ]
+            ]
+        )
+        runs = [
+            rehydrate_simulation(scenarios[i], entry).result
+            for entry in sim_entries[
+                i * sim_repetitions : (i + 1) * sim_repetitions
+            ]
+        ]
+        agg = aggregate(runs)
         points.append(
             Figure2Point(
                 num_stations=n,
@@ -97,14 +171,22 @@ def table2_data(
     station_counts: Sequence[int] = tuple(range(1, 8)),
     duration_us: float = 240e6,
     seed: int = 1,
+    runner: Optional[ExperimentRunner] = None,
 ) -> List[Table2Row]:
-    """Regenerate Table 2: one test per N at the paper's duration."""
+    """Regenerate Table 2: one test per N at the paper's duration.
+
+    Each N's test keeps the seed the serial code always used, so the
+    rows are independent of worker count and cache state (the golden
+    regression test pins them to the seed implementation exactly).
+    """
+    runner = runner if runner is not None else ExperimentRunner()
+    counts = [int(n) for n in station_counts]
+    tasks = [
+        _collision_test_task(n, duration_us, seed) for n in counts
+    ]
     rows = []
-    for n in station_counts:
-        series: CollisionTestSeries = repeat_tests(
-            n, repetitions=1, duration_us=duration_us, seed=seed
-        )
-        test = series.tests[0]
+    for n, entry in zip(counts, runner.run(tasks)):
+        test = _test_from_entry(entry)
         rows.append(
             Table2Row(
                 num_stations=n,

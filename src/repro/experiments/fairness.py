@@ -65,27 +65,49 @@ def fairness_by_simulation(
     sim_time_us: float = 5e7,
     seed: int = 1,
     timing: Optional[TimingConfig] = None,
+    runner=None,
 ) -> List[FairnessResult]:
-    """1901 default vs. 802.11 DCF fairness from simulator traces."""
+    """1901 default vs. 802.11 DCF fairness from simulator traces.
+
+    All ``(N, protocol)`` scenarios run through a
+    :class:`repro.runner.ExperimentRunner` as one batch with the winner
+    sequences recorded, so the fairness study parallelizes and caches
+    like every other experiment family.  Seeds derive from ``(seed,
+    scenario position, 0)`` per the runner's determinism contract.
+    """
+    from ..runner import ExperimentRunner
+
     timing = timing if timing is not None else TimingConfig()
+    runner = runner if runner is not None else ExperimentRunner()
     protocols = [
         ("1901 CA1", CsmaConfig.default_1901()),
         ("802.11 DCF", CsmaConfig.ieee80211()),
     ]
+    labeled = [
+        (label, n, config)
+        for n in station_counts
+        for label, config in protocols
+    ]
+    scenarios = [
+        ScenarioConfig.homogeneous(
+            num_stations=n,
+            csma=config,
+            timing=timing,
+            sim_time_us=sim_time_us,
+            seed=seed,
+        )
+        for _label, n, config in labeled
+    ]
+    grouped = runner.run_scenarios(
+        scenarios, root_seed=seed, repetitions=1, record_winners=True
+    )
     results = []
-    for n in station_counts:
-        for label, config in protocols:
-            scenario = ScenarioConfig.homogeneous(
-                num_stations=n,
-                csma=config,
-                timing=timing,
-                sim_time_us=sim_time_us,
-                seed=seed,
-            )
-            result = SlotSimulator(scenario, record_trace=True).run()
-            winners = result.trace.winners()
-            counts = [s.successes for s in result.stations]
-            results.append(_result_from_winners(label, n, winners, counts))
+    for (label, n, _config), group in zip(labeled, grouped):
+        point = group[0]
+        counts = [s.successes for s in point.result.stations]
+        results.append(
+            _result_from_winners(label, n, list(point.winners), counts)
+        )
     return results
 
 

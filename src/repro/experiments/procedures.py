@@ -140,16 +140,63 @@ def repeat_tests(
     repetitions: int = 10,
     duration_us: float = DEFAULT_TEST_DURATION_US,
     seed: int = 1,
+    warmup_us: float = DEFAULT_WARMUP_US,
+    runner=None,
     **testbed_kwargs,
 ) -> CollisionTestSeries:
-    """The paper's 10-test average at one network size."""
-    tests = [
-        run_collision_test(
-            num_stations,
-            duration_us=duration_us,
-            seed=seed + repetition * 1000,
-            **testbed_kwargs,
+    """The paper's 10-test average at one network size.
+
+    Repetition ``r`` keeps its historical explicit seed ``seed + r *
+    1000`` (the golden Table 2 regression pins this bit-for-bit), so
+    routing through a :class:`repro.runner.ExperimentRunner` — for
+    parallel repetitions and on-disk memoization — cannot change the
+    numbers.  Non-JSON-serializable ``testbed_kwargs`` (e.g. live
+    config objects) fall back to the in-process loop.
+    """
+    import json
+
+    from ..runner import ExperimentRunner, Task, TaskKind
+
+    payload_kwargs = testbed_kwargs
+    if testbed_kwargs:
+        try:
+            json.dumps(testbed_kwargs)
+        except TypeError:
+            payload_kwargs = None
+    if payload_kwargs is None:
+        tests = [
+            run_collision_test(
+                num_stations,
+                duration_us=duration_us,
+                warmup_us=warmup_us,
+                seed=seed + repetition * 1000,
+                **testbed_kwargs,
+            )
+            for repetition in range(repetitions)
+        ]
+        return CollisionTestSeries(tests=tests)
+
+    runner = runner if runner is not None else ExperimentRunner()
+    tasks = [
+        Task(
+            kind=TaskKind.COLLISION_TEST,
+            payload={
+                "num_stations": num_stations,
+                "duration_us": duration_us,
+                "warmup_us": warmup_us,
+                "seed": seed + repetition * 1000,
+                "testbed_kwargs": payload_kwargs,
+            },
         )
         for repetition in range(repetitions)
+    ]
+    tests = [
+        CollisionTest(
+            num_stations=entry["num_stations"],
+            duration_us=entry["duration_us"],
+            per_station=[tuple(row) for row in entry["per_station"]],
+            goodput_mbps=entry["goodput_mbps"],
+        )
+        for entry in runner.run(tasks)
     ]
     return CollisionTestSeries(tests=tests)

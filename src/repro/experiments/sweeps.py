@@ -11,6 +11,15 @@ collision probability as functions of the number of stations for
 
 Each series carries both simulation measurements and the analytical
 curve.
+
+Execution goes through :class:`repro.runner.ExperimentRunner`: pass
+``runner=ExperimentRunner(max_workers=4, cache_dir=...)`` to simulate
+points concurrently and/or memoize them on disk.  Seeding is the
+runner's determinism contract — the point at ``station_counts[i]``,
+repetition ``r``, draws from ``SeedSequence(seed, spawn_key=(i, r))``
+— so a sweep's numbers are bit-identical for any worker count and
+reproducible across process restarts, and ``repetitions=3`` means
+three documented, independently seeded runs per point.
 """
 
 from __future__ import annotations
@@ -18,12 +27,17 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis.bianchi import Bianchi80211Model
-from ..analysis.model import Model1901
 from ..core.config import CsmaConfig, ScenarioConfig, TimingConfig
 from ..core.parameters import PriorityClass
 from ..core.results import aggregate
-from ..core.simulator import simulate
+from ..runner import ExperimentRunner, Task, TaskKind
+from ..runner.runner import rehydrate_simulation
+from ..runner.seeding import SeedSpec
+from ..runner.serialize import (
+    csma_to_jsonable,
+    scenario_to_jsonable,
+    timing_to_jsonable,
+)
 
 __all__ = ["SweepPoint", "sweep_configuration", "standard_protocol_sweep"]
 
@@ -48,32 +62,72 @@ def sweep_configuration(
     sim_time_us: float = 2e7,
     repetitions: int = 3,
     seed: int = 1,
+    runner: Optional[ExperimentRunner] = None,
 ) -> List[SweepPoint]:
-    """One configuration across network sizes."""
+    """One configuration across network sizes.
+
+    All ``len(station_counts) * repetitions`` simulation points plus
+    the analytical curve are submitted to ``runner`` as one batch, so
+    with ``max_workers > 1`` they execute concurrently.
+    """
     timing = timing if timing is not None else TimingConfig()
-    if config.protocol == "80211":
-        model = Bianchi80211Model.from_config(config, timing)
-    else:
-        model = Model1901(config, timing, method="recursive")
-    points = []
-    for n in station_counts:
-        prediction = model.solve(n)
-        scenario = ScenarioConfig.homogeneous(
+    runner = runner if runner is not None else ExperimentRunner()
+    counts = [int(n) for n in station_counts]
+
+    family = "80211" if config.protocol == "80211" else "1901"
+    model_task = Task(
+        kind=TaskKind.MODEL_CURVE,
+        payload={
+            "family": family,
+            "csma": csma_to_jsonable(config),
+            "timing": timing_to_jsonable(timing),
+            "station_counts": counts,
+            "method": "recursive",
+        },
+    )
+
+    scenarios = [
+        ScenarioConfig.homogeneous(
             num_stations=n,
             csma=config,
             timing=timing,
             sim_time_us=sim_time_us,
             seed=seed,
         )
-        agg = aggregate(simulate(scenario, repetitions=repetitions))
+        for n in counts
+    ]
+    sim_tasks = [
+        Task(
+            kind=TaskKind.SIMULATE,
+            payload={"scenario": scenario_to_jsonable(scenario)},
+            seed=SeedSpec(root_seed=seed, point_index=i, repetition=rep),
+        )
+        for i, scenario in enumerate(scenarios)
+        for rep in range(repetitions)
+    ]
+
+    raw = runner.run([model_task] + sim_tasks)
+    model_points = raw[0]["points"]
+    sim_entries = raw[1:]
+
+    points = []
+    for i, n in enumerate(counts):
+        prediction = model_points[i]
+        runs = [
+            rehydrate_simulation(scenarios[i], entry).result
+            for entry in sim_entries[i * repetitions : (i + 1) * repetitions]
+        ]
+        agg = aggregate(runs)
         points.append(
             SweepPoint(
                 label=label,
                 num_stations=n,
                 sim_throughput=agg.normalized_throughput,
                 sim_collision_probability=agg.collision_probability,
-                model_throughput=prediction.normalized_throughput,
-                model_collision_probability=prediction.collision_probability,
+                model_throughput=prediction["normalized_throughput"],
+                model_collision_probability=prediction[
+                    "collision_probability"
+                ],
             )
         )
     return points
@@ -86,8 +140,14 @@ def standard_protocol_sweep(
     repetitions: int = 3,
     seed: int = 1,
     extra: Optional[Dict[str, CsmaConfig]] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[str, List[SweepPoint]]:
-    """The X1/X6 comparison: 1901 CA1, 1901 CA3, 802.11 DCF (+extras)."""
+    """The X1/X6 comparison: 1901 CA1, 1901 CA3, 802.11 DCF (+extras).
+
+    Every configuration reuses the same per-point seeds (common random
+    numbers), which pairs the protocol comparison at each N.
+    """
+    runner = runner if runner is not None else ExperimentRunner()
     configs: List[Tuple[str, CsmaConfig]] = [
         ("1901 CA1", CsmaConfig.for_priority(PriorityClass.CA1)),
         ("1901 CA3", CsmaConfig.for_priority(PriorityClass.CA3)),
@@ -104,6 +164,7 @@ def standard_protocol_sweep(
             sim_time_us=sim_time_us,
             repetitions=repetitions,
             seed=seed,
+            runner=runner,
         )
         for label, config in configs
     }

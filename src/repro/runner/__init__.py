@@ -1,0 +1,44 @@
+"""Parallel experiment execution with deterministic seeding and caching.
+
+The paper's evaluation — throughput-vs-N sweeps, the (CW, DC) boosting
+search, fairness and coexistence studies — consists of many *independent*
+simulation points.  This package runs them:
+
+- **in parallel** across processes (:class:`ExperimentRunner`, backed by
+  :class:`concurrent.futures.ProcessPoolExecutor`, with an in-process
+  serial path for ``max_workers=1``);
+- **deterministically** — every point's random stream is derived from
+  ``(root_seed, point_index, repetition)`` via
+  :class:`numpy.random.SeedSequence` spawn keys, so results are
+  bit-identical regardless of worker count or scheduling order
+  (:mod:`repro.runner.seeding`);
+- **incrementally** — completed points are memoized on disk under a
+  stable content hash of the full configuration tuple
+  (:mod:`repro.runner.cache`), so re-running a sweep or resuming an
+  interrupted search only simulates new points.
+
+Progress and cache behaviour are observable through
+:class:`repro.core.metrics.RunnerCounters` (``runner.counters``).
+"""
+
+from .cache import CacheEntryError, ResultCache, cache_key
+from .runner import ExperimentRunner, RunnerConfig
+from .seeding import SeedSpec, derive_seed_sequence, streams_for
+from .serialize import canonical_json, scenario_from_jsonable, scenario_to_jsonable
+from .tasks import Task, TaskKind
+
+__all__ = [
+    "ExperimentRunner",
+    "RunnerConfig",
+    "ResultCache",
+    "CacheEntryError",
+    "cache_key",
+    "SeedSpec",
+    "derive_seed_sequence",
+    "streams_for",
+    "Task",
+    "TaskKind",
+    "canonical_json",
+    "scenario_to_jsonable",
+    "scenario_from_jsonable",
+]

@@ -1,0 +1,153 @@
+"""On-disk memoization of completed experiment points.
+
+Each completed point is stored as one JSON file under the cache
+directory, named by the point's *cache key*: the SHA-256 of the
+canonical JSON of the full task description — task kind, configuration
+tuple (``CsmaConfig``/``ScenarioConfig``/``TimingConfig`` fields) and
+seed derivation.  The key is therefore
+
+- stable across process restarts (no dependence on ``hash()``
+  randomization or object identity);
+- stable under field-order permutations (keys are sorted before
+  hashing);
+- different whenever any configuration field differs.
+
+Entries are written atomically (temp file + ``os.replace``) so an
+interrupted run never leaves a truncated entry behind under its final
+name; a corrupted or truncated entry that does appear is detected on
+read (JSON parse + schema check) and treated as a miss, never crashed
+on — the point is simply recomputed and the entry rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .serialize import canonical_json
+
+__all__ = ["cache_key", "ResultCache", "CacheEntryError"]
+
+#: Schema version folded into every key: bump to invalidate all entries
+#: when the stored result format changes.
+CACHE_FORMAT_VERSION = 1
+
+
+class CacheEntryError(Exception):
+    """A cache entry exists but cannot be trusted (corrupt/truncated)."""
+
+
+def cache_key(description: Dict[str, Any]) -> str:
+    """SHA-256 content hash of a task description.
+
+    ``description`` must be JSON-serializable; it normally comes from
+    :meth:`repro.runner.tasks.Task.describe` and contains the task kind,
+    the jsonable configuration tuple and the seed spec.
+    """
+    payload = canonical_json(
+        {"version": CACHE_FORMAT_VERSION, "task": description}
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of ``<key>.json`` result files.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory to store entries in (created on first write).
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the stored result for ``key``, or ``None`` on a miss.
+
+        A present-but-unreadable entry (truncated write, disk
+        corruption, foreign file) counts as a miss and bumps
+        :attr:`corrupt`; it is deleted so the recompute can rewrite it
+        cleanly.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError:
+            self.misses += 1
+            self.corrupt += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            if not isinstance(entry, dict):
+                raise CacheEntryError("entry is not an object")
+            if entry.get("key") != key:
+                raise CacheEntryError("entry key mismatch")
+            if "result" not in entry:
+                raise CacheEntryError("entry has no result")
+        except (json.JSONDecodeError, CacheEntryError):
+            self.misses += 1
+            self.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def put(
+        self, key: str, result: Dict[str, Any], description: Dict[str, Any]
+    ) -> None:
+        """Store ``result`` for ``key`` atomically.
+
+        The originating ``description`` is stored alongside the result
+        for debuggability (``repro-plc cache info`` and humans reading
+        the files).
+        """
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "task": description, "result": result}
+        fd, tmp = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; return the number removed."""
+        removed = 0
+        if not self.cache_dir.is_dir():
+            return removed
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*.json"))

@@ -1,0 +1,255 @@
+"""The parallel experiment runner.
+
+:class:`ExperimentRunner` executes an ordered list of
+:class:`~repro.runner.tasks.Task` and returns their results *in input
+order*, regardless of completion order, worker count or cache state:
+
+1. every task's cache key is computed in the submitting process;
+2. cached points are answered from disk;
+3. the remaining points run either in-process (``max_workers=1`` — the
+   serial fallback, no pool, no pickling) or on a
+   :class:`concurrent.futures.ProcessPoolExecutor`;
+4. fresh results are written back to the cache (when one is
+   configured) and every result is slotted back by task index.
+
+Determinism: each task's random draws are fully specified by its
+:class:`~repro.runner.seeding.SeedSpec`, so steps 2–4 cannot change the
+numbers — only how fast they arrive.  The determinism contract is
+enforced by ``tests/runner/test_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.config import ScenarioConfig
+from ..core.metrics import RunnerCounters
+from ..core.results import SimulationResult, StationStats
+from .cache import ResultCache, cache_key
+from .seeding import SeedSpec
+from .serialize import scenario_to_jsonable
+from .tasks import Task, TaskKind, execute_task
+
+__all__ = [
+    "RunnerConfig",
+    "ExperimentRunner",
+    "SimPointResult",
+    "rehydrate_simulation",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class RunnerConfig:
+    """How to execute experiment points.
+
+    Parameters
+    ----------
+    max_workers:
+        ``1`` (default) runs points serially in-process; ``n > 1``
+        fans them out over ``n`` worker processes; ``0`` or ``None``
+        means "one per CPU".
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` disables
+        caching.
+    progress:
+        Optional ``callback(done, total)`` invoked in the submitting
+        process as points complete.
+    """
+
+    max_workers: Optional[int] = 1
+    cache_dir: Optional[Union[str, Path]] = None
+    progress: Optional[Callable[[int, int], None]] = None
+
+    def resolved_workers(self) -> int:
+        if not self.max_workers:
+            return max(1, os.cpu_count() or 1)
+        if self.max_workers < 0:
+            raise ValueError("max_workers must be >= 0 or None")
+        return self.max_workers
+
+
+@dataclasses.dataclass(frozen=True)
+class SimPointResult:
+    """One simulated point: the counters result plus optional extras."""
+
+    result: SimulationResult
+    winners: Optional[Tuple[int, ...]] = None
+
+
+class ExperimentRunner:
+    """Execute experiment tasks in parallel, deterministically, cached."""
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self.config = RunnerConfig(
+            max_workers=max_workers, cache_dir=cache_dir, progress=progress
+        )
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.counters = RunnerCounters()
+
+    # -- core execution ----------------------------------------------------
+    def run(self, tasks: Sequence[Task]) -> List[Dict[str, Any]]:
+        """Execute ``tasks``; results are returned in task order."""
+        tasks = list(tasks)
+        start = time.perf_counter()
+        workers = self.config.resolved_workers()
+        self.counters.points_total += len(tasks)
+        self.counters.workers = workers
+
+        results: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+        pending: List[Tuple[int, Task, str]] = []
+        for i, task in enumerate(tasks):
+            key = cache_key(task.describe())
+            if self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[i] = cached
+                    continue
+            pending.append((i, task, key))
+
+        done = len(tasks) - len(pending)
+        self._progress(done, len(tasks))
+
+        if workers == 1 or len(pending) <= 1:
+            for i, task, key in pending:
+                results[i] = self._finish(i, task, key, execute_task(task))
+                done += 1
+                self._progress(done, len(tasks))
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(execute_task, task): (i, task, key)
+                    for i, task, key in pending
+                }
+                outstanding = set(futures)
+                while outstanding:
+                    finished, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        i, task, key = futures[future]
+                        results[i] = self._finish(
+                            i, task, key, future.result()
+                        )
+                        done += 1
+                        self._progress(done, len(tasks))
+
+        self.counters.executed += len(pending)
+        if self.cache is not None:
+            self.counters.cache_hits += self.cache.hits
+            self.counters.cache_misses += self.cache.misses
+            self.counters.cache_corrupt += self.cache.corrupt
+            self.cache.hits = self.cache.misses = self.cache.corrupt = 0
+        self.counters.wall_time_s += time.perf_counter() - start
+        return results  # type: ignore[return-value]
+
+    def _finish(
+        self, index: int, task: Task, key: str, result: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        if self.cache is not None:
+            self.cache.put(key, result, task.describe())
+        return result
+
+    def _progress(self, done: int, total: int) -> None:
+        if self.config.progress is not None:
+            self.config.progress(done, total)
+
+    # -- simulation conveniences ------------------------------------------
+    def run_scenarios(
+        self,
+        scenarios: Sequence[ScenarioConfig],
+        root_seed: int = 1,
+        repetitions: int = 1,
+        record_winners: bool = False,
+    ) -> List[List[SimPointResult]]:
+        """Simulate every ``(scenario, repetition)`` pair.
+
+        Point ``i`` (the scenario's position) at repetition ``r`` is
+        seeded from ``(root_seed, i, r)`` per the determinism contract;
+        the scenario's own ``seed`` field is *not* used.  Returns one
+        list of :class:`SimPointResult` per scenario, repetition-major.
+        """
+        tasks = []
+        for i, scenario in enumerate(scenarios):
+            payload = {
+                "scenario": scenario_to_jsonable(scenario),
+                "record_winners": record_winners,
+            }
+            for rep in range(repetitions):
+                tasks.append(
+                    Task(
+                        kind=TaskKind.SIMULATE,
+                        payload=payload,
+                        seed=SeedSpec(
+                            root_seed=root_seed,
+                            point_index=i,
+                            repetition=rep,
+                        ),
+                    )
+                )
+        raw = self.run(tasks)
+        grouped: List[List[SimPointResult]] = []
+        for i, scenario in enumerate(scenarios):
+            chunk = raw[i * repetitions : (i + 1) * repetitions]
+            grouped.append(
+                [rehydrate_simulation(scenario, entry) for entry in chunk]
+            )
+        return grouped
+
+    def run_repetitions(
+        self,
+        scenario: ScenarioConfig,
+        root_seed: int = 1,
+        repetitions: int = 1,
+        point_index: int = 0,
+        record_winners: bool = False,
+    ) -> List[SimPointResult]:
+        """Repetitions of a single scenario at a fixed point index."""
+        payload = {
+            "scenario": scenario_to_jsonable(scenario),
+            "record_winners": record_winners,
+        }
+        tasks = [
+            Task(
+                kind=TaskKind.SIMULATE,
+                payload=payload,
+                seed=SeedSpec(
+                    root_seed=root_seed,
+                    point_index=point_index,
+                    repetition=rep,
+                ),
+            )
+            for rep in range(repetitions)
+        ]
+        return [
+            rehydrate_simulation(scenario, entry) for entry in self.run(tasks)
+        ]
+
+
+def rehydrate_simulation(
+    scenario: ScenarioConfig, entry: Dict[str, Any]
+) -> SimPointResult:
+    """Rebuild a :class:`SimulationResult` from a task's counters dict."""
+    result = SimulationResult(
+        scenario=scenario,
+        duration_us=entry["duration_us"],
+        successes=entry["successes"],
+        collisions=entry["collisions"],
+        collision_events=entry["collision_events"],
+        idle_slots=entry["idle_slots"],
+        stations=[StationStats(**s) for s in entry["stations"]],
+    )
+    winners = entry.get("winners")
+    return SimPointResult(
+        result=result,
+        winners=tuple(winners) if winners is not None else None,
+    )

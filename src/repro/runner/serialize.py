@@ -1,0 +1,118 @@
+"""Canonical JSON forms of the configuration dataclasses.
+
+Two consumers with the same requirement — a *stable, process-independent
+representation* of a configuration:
+
+- the cache (:mod:`repro.runner.cache`) hashes it into the cache key, so
+  it must not depend on ``hash()`` randomization, dict insertion order or
+  dataclass field order;
+- the worker processes (:mod:`repro.runner.tasks`) rebuild the config
+  objects from it, so it must round-trip exactly.
+
+``canonical_json`` sorts keys and uses minimal separators, which makes
+the byte string (and therefore the hash) independent of the order in
+which fields were assembled.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..core import parameters as P
+from ..core.config import CsmaConfig, ScenarioConfig, StationConfig, TimingConfig
+
+__all__ = [
+    "canonical_json",
+    "csma_to_jsonable",
+    "csma_from_jsonable",
+    "timing_to_jsonable",
+    "timing_from_jsonable",
+    "station_to_jsonable",
+    "station_from_jsonable",
+    "scenario_to_jsonable",
+    "scenario_from_jsonable",
+]
+
+
+def canonical_json(obj: Any) -> str:
+    """Serialize ``obj`` to a canonical JSON string.
+
+    Keys are sorted and separators minimal, so two structurally equal
+    objects always produce the same bytes — the property the cache key
+    relies on.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def csma_to_jsonable(config: CsmaConfig) -> Dict[str, Any]:
+    return {
+        "cw": list(config.cw),
+        "dc": list(config.dc),
+        "protocol": config.protocol,
+        "retry_limit": config.retry_limit,
+    }
+
+
+def csma_from_jsonable(data: Dict[str, Any]) -> CsmaConfig:
+    return CsmaConfig(
+        cw=tuple(data["cw"]),
+        dc=tuple(data["dc"]),
+        protocol=data["protocol"],
+        retry_limit=data["retry_limit"],
+    )
+
+
+def timing_to_jsonable(timing: TimingConfig) -> Dict[str, Any]:
+    return {
+        "slot": timing.slot,
+        "ts": timing.ts,
+        "tc": timing.tc,
+        "frame": timing.frame,
+    }
+
+
+def timing_from_jsonable(data: Dict[str, Any]) -> TimingConfig:
+    return TimingConfig(
+        slot=data["slot"], ts=data["ts"], tc=data["tc"], frame=data["frame"]
+    )
+
+
+def station_to_jsonable(station: StationConfig) -> Dict[str, Any]:
+    return {
+        "csma": csma_to_jsonable(station.csma),
+        "priority": int(station.priority),
+        "arrival_rate_pps": station.arrival_rate_pps,
+        "queue_capacity": station.queue_capacity,
+        "name": station.name,
+    }
+
+
+def station_from_jsonable(data: Dict[str, Any]) -> StationConfig:
+    return StationConfig(
+        csma=csma_from_jsonable(data["csma"]),
+        priority=P.PriorityClass(data["priority"]),
+        arrival_rate_pps=data["arrival_rate_pps"],
+        queue_capacity=data["queue_capacity"],
+        name=data["name"],
+    )
+
+
+def scenario_to_jsonable(scenario: ScenarioConfig) -> Dict[str, Any]:
+    return {
+        "stations": [station_to_jsonable(s) for s in scenario.stations],
+        "timing": timing_to_jsonable(scenario.timing),
+        "sim_time_us": scenario.sim_time_us,
+        "seed": scenario.seed,
+    }
+
+
+def scenario_from_jsonable(data: Dict[str, Any]) -> ScenarioConfig:
+    return ScenarioConfig(
+        stations=tuple(
+            station_from_jsonable(s) for s in data["stations"]
+        ),
+        timing=timing_from_jsonable(data["timing"]),
+        sim_time_us=data["sim_time_us"],
+        seed=data["seed"],
+    )

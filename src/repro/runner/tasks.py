@@ -1,0 +1,173 @@
+"""Task descriptions and worker entry points.
+
+A :class:`Task` is the unit the runner schedules: a *kind* (which
+module-level worker function executes it), a JSON-serializable
+*payload*, and an optional :class:`~repro.runner.seeding.SeedSpec`.
+Keeping payloads JSON-able buys three things at once: tasks pickle
+cheaply into worker processes, the cache key is a content hash of
+exactly what determines the result, and cached results are readable on
+disk.
+
+Worker functions return plain dicts of counters (never live objects
+with traces or RNG state), which the experiment retrofits re-hydrate
+into their domain types (:class:`~repro.core.results.SimulationResult`,
+:class:`~repro.experiments.procedures.CollisionTest`, ...).
+
+Task kinds
+----------
+``simulate``
+    One scenario, one repetition, seeded per the task's
+    :class:`SeedSpec`.  Optionally records the winner sequence (for
+    fairness studies).
+``model_curve``
+    Analytical predictions (:class:`~repro.analysis.model.Model1901`,
+    or :class:`~repro.analysis.bianchi.Bianchi80211Model` for the
+    ``"80211"`` family) for one configuration over a list of station
+    counts.  Deterministic — carries no seed, so identical curves are
+    shared between sweeps with different root seeds.
+``collision_test``
+    One §3.2 emulated-testbed test
+    (:func:`repro.experiments.procedures.run_collision_test`), seeded
+    explicitly to preserve the historical testbed seeding bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+from .seeding import SeedSpec, streams_for
+from .serialize import (
+    csma_from_jsonable,
+    scenario_from_jsonable,
+    timing_from_jsonable,
+)
+
+__all__ = ["Task", "TaskKind", "execute_task"]
+
+
+class TaskKind:
+    """Names of the registered task kinds."""
+
+    SIMULATE = "simulate"
+    MODEL_CURVE = "model_curve"
+    COLLISION_TEST = "collision_test"
+
+
+@dataclasses.dataclass(frozen=True)
+class Task:
+    """One schedulable experiment point."""
+
+    kind: str
+    payload: Dict[str, Any]
+    seed: Optional[SeedSpec] = None
+
+    def describe(self) -> Dict[str, Any]:
+        """The JSON-able description hashed into the cache key."""
+        return {
+            "kind": self.kind,
+            "payload": self.payload,
+            "seed": self.seed.as_jsonable() if self.seed else None,
+        }
+
+
+def _run_simulate(payload: Dict[str, Any], seed: SeedSpec) -> Dict[str, Any]:
+    from ..core.simulator import SlotSimulator
+
+    scenario = scenario_from_jsonable(payload["scenario"])
+    record_winners = bool(payload.get("record_winners", False))
+    sim = SlotSimulator(
+        scenario,
+        record_trace=record_winners,
+        streams=streams_for(seed),
+    )
+    result = sim.run()
+    out: Dict[str, Any] = {
+        "duration_us": result.duration_us,
+        "successes": result.successes,
+        "collisions": result.collisions,
+        "collision_events": result.collision_events,
+        "idle_slots": result.idle_slots,
+        "stations": [
+            {
+                "index": s.index,
+                "successes": s.successes,
+                "collisions": s.collisions,
+                "drops": s.drops,
+                "jumps": s.jumps,
+                "arrivals": s.arrivals,
+                "queue_losses": s.queue_losses,
+            }
+            for s in result.stations
+        ],
+    }
+    if record_winners:
+        out["winners"] = [int(w) for w in result.trace.winners()]
+    return out
+
+
+def _run_model_curve(
+    payload: Dict[str, Any], seed: Optional[SeedSpec]
+) -> Dict[str, Any]:
+    from ..analysis.bianchi import Bianchi80211Model
+    from ..analysis.model import Model1901
+
+    config = csma_from_jsonable(payload["csma"])
+    timing = timing_from_jsonable(payload["timing"])
+    if payload.get("family", "1901") == "80211":
+        model = Bianchi80211Model.from_config(config, timing)
+    else:
+        model = Model1901(
+            config, timing, method=payload.get("method", "recursive")
+        )
+    points = []
+    for n in payload["station_counts"]:
+        prediction = model.solve(n)
+        points.append(
+            {
+                "num_stations": int(n),
+                "normalized_throughput": prediction.normalized_throughput,
+                "collision_probability": prediction.collision_probability,
+                "tau": prediction.tau,
+            }
+        )
+    return {"points": points}
+
+
+def _run_collision_test(
+    payload: Dict[str, Any], seed: Optional[SeedSpec]
+) -> Dict[str, Any]:
+    from ..experiments.procedures import run_collision_test
+
+    test = run_collision_test(
+        payload["num_stations"],
+        duration_us=payload["duration_us"],
+        warmup_us=payload["warmup_us"],
+        seed=payload["seed"],
+        **payload.get("testbed_kwargs", {}),
+    )
+    return {
+        "num_stations": test.num_stations,
+        "duration_us": test.duration_us,
+        "per_station": [
+            [mac, int(acked), int(collided)]
+            for mac, acked, collided in test.per_station
+        ],
+        "goodput_mbps": test.goodput_mbps,
+    }
+
+
+_EXECUTORS = {
+    TaskKind.SIMULATE: _run_simulate,
+    TaskKind.MODEL_CURVE: _run_model_curve,
+    TaskKind.COLLISION_TEST: _run_collision_test,
+}
+
+
+def execute_task(task: Task) -> Dict[str, Any]:
+    """Run one task to completion (worker-process entry point)."""
+    try:
+        executor = _EXECUTORS[task.kind]
+    except KeyError:
+        raise ValueError(f"unknown task kind {task.kind!r}") from None
+    return executor(task.payload, task.seed)

@@ -12,7 +12,13 @@ Subcommands map to the paper's artifacts:
 - ``boost`` — search for and report a boosted configuration;
 - ``load`` / ``errors`` / ``delay`` / ``coexist`` — the extension
   experiments (unsaturated load, channel errors + ARQ, access-delay
-  model, boosted/legacy coexistence).
+  model, boosted/legacy coexistence);
+- ``cache`` — inspect or clear the experiment result cache.
+
+Experiment subcommands backed by :mod:`repro.runner` (``sweep``,
+``figure2``, ``boost``) accept ``--workers N`` to simulate points on
+``N`` worker processes and ``--cache-dir DIR`` to memoize completed
+points on disk; results are bit-identical for any ``--workers`` value.
 """
 
 from __future__ import annotations
@@ -22,6 +28,48 @@ import sys
 from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
+
+
+def _worker_count(value: str) -> int:
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            "--workers must be >= 0 (0 = one per CPU)"
+        )
+    return count
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    """``--workers`` / ``--cache-dir`` for runner-backed subcommands."""
+    parser.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help="worker processes for simulation points (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="directory for the on-disk result cache (default: off)",
+    )
+
+
+def _runner_from_args(args: argparse.Namespace):
+    from ..runner import ExperimentRunner
+
+    return ExperimentRunner(
+        max_workers=args.workers, cache_dir=args.cache_dir
+    )
+
+
+def _print_runner_counters(runner) -> None:
+    c = runner.counters
+    print(
+        f"[runner] points={c.points_total} executed={c.executed} "
+        f"cache_hits={c.cache_hits} corrupt={c.cache_corrupt} "
+        f"workers={c.workers} wall={c.wall_time_s:.2f}s"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,12 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
     table2.add_argument("--duration", type=float, default=24e6)
     table2.add_argument("--max-n", type=int, default=7)
     table2.add_argument("--seed", type=int, default=1)
+    _add_runner_args(table2)
 
     figure2 = sub.add_parser("figure2", help="regenerate Figure 2")
     figure2.add_argument("--duration", type=float, default=24e6)
     figure2.add_argument("--reps", type=int, default=3)
     figure2.add_argument("--max-n", type=int, default=7)
     figure2.add_argument("--seed", type=int, default=1)
+    _add_runner_args(figure2)
 
     testbed = sub.add_parser("testbed", help="one §3.2 emulated test")
     testbed.add_argument("-n", "--stations", type=int, default=2)
@@ -73,10 +123,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--sim-time", type=float, default=2e7)
     sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--reps", type=int, default=3)
+    _add_runner_args(sweep)
 
     boost = sub.add_parser("boost", help="search boosted configurations")
     boost.add_argument(
         "--counts", type=int, nargs="+", default=[2, 5, 10, 20]
+    )
+    _add_runner_args(boost)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the experiment result cache"
+    )
+    cache.add_argument("action", choices=["info", "clear"])
+    cache.add_argument(
+        "--cache-dir", type=str, required=True,
+        help="cache directory to operate on",
     )
 
     load = sub.add_parser("load", help="unsaturated offered-load sweep")
@@ -139,6 +201,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         station_counts=range(1, args.max_n + 1),
         duration_us=args.duration,
         seed=args.seed,
+        runner=_runner_from_args(args),
     )
     print(
         format_table(
@@ -168,6 +231,7 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
         test_duration_us=args.duration,
         test_repetitions=args.reps,
         seed=args.seed,
+        runner=_runner_from_args(args),
     )
     print(
         format_table(
@@ -235,8 +299,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from ..experiments.sweeps import standard_protocol_sweep
     from ..report.tables import format_table
 
+    runner = _runner_from_args(args)
     series = standard_protocol_sweep(
-        station_counts=args.counts, sim_time_us=args.sim_time, seed=args.seed
+        station_counts=args.counts,
+        sim_time_us=args.sim_time,
+        repetitions=args.reps,
+        seed=args.seed,
+        runner=runner,
     )
     rows = []
     for label, points in series.items():
@@ -257,6 +326,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title="Saturation throughput / collision probability vs N",
         )
     )
+    _print_runner_counters(runner)
     return 0
 
 
@@ -264,7 +334,8 @@ def _cmd_boost(args: argparse.Namespace) -> int:
     from ..boost.adaptive import boost_report
     from ..report.tables import format_table
 
-    boosted, rows = boost_report(args.counts)
+    runner = _runner_from_args(args)
+    boosted, rows = boost_report(args.counts, runner=runner)
     print(f"boosted configuration: {boosted.describe()}")
     print(
         format_table(
@@ -281,6 +352,20 @@ def _cmd_boost(args: argparse.Namespace) -> int:
             ],
         )
     )
+    _print_runner_counters(runner)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from ..runner import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {args.cache_dir}")
+    else:
+        print(f"cache dir : {args.cache_dir}")
+        print(f"entries   : {len(cache)}")
     return 0
 
 
@@ -406,6 +491,7 @@ _COMMANDS = {
     "overhead": _cmd_overhead,
     "sweep": _cmd_sweep,
     "boost": _cmd_boost,
+    "cache": _cmd_cache,
 }
 
 

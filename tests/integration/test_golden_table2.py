@@ -1,0 +1,67 @@
+"""Golden regression: Table 2 and ``sim_1901`` pinned bit-for-bit.
+
+The values below were generated from the seed implementation (serial,
+pre-runner) at fixed seeds.  The parallel runner, its seeding layer and
+the on-disk cache must reproduce them exactly — any drift means the
+physics changed, which the reproduction cannot silently absorb.
+
+Tolerances are ≤1e-9; the counter columns are exact integers.
+"""
+
+import pytest
+
+from repro.core.simulator import sim_1901
+from repro.experiments.collision_probability import table2_data
+from repro.runner import ExperimentRunner
+
+#: table2_data(station_counts=(1, 2, 3), duration_us=4e6, seed=7) from
+#: the seed implementation: (N, ΣC_i, ΣA_i).
+GOLDEN_TABLE2 = [
+    (1, 0, 2546),
+    (2, 248, 2700),
+    (3, 384, 2790),
+]
+GOLDEN_COLLISION_PROBS = [0.0, 0.09185185185185185, 0.13763440860215054]
+
+#: sim_1901(n, 2e6, 2542.64, 2920.64, 2050.0, [8,16,32,64],
+#: [0,1,3,15], seed=11) -> (collision_pr, norm_throughput).
+GOLDEN_SIM_1901 = {
+    2: (0.08658008658008658, 0.648701746668117),
+    5: (0.24093264248704663, 0.6000256852749772),
+}
+
+
+def _assert_table2(rows):
+    assert [
+        (row.num_stations, row.sum_collided, row.sum_acked) for row in rows
+    ] == GOLDEN_TABLE2
+    for row, expected in zip(rows, GOLDEN_COLLISION_PROBS):
+        assert row.collision_probability == pytest.approx(
+            expected, abs=1e-9
+        )
+
+
+def test_table2_serial_matches_golden():
+    _assert_table2(table2_data(station_counts=(1, 2, 3), duration_us=4e6,
+                               seed=7))
+
+
+def test_table2_parallel_and_cached_match_golden(tmp_path):
+    kwargs = dict(station_counts=(1, 2, 3), duration_us=4e6, seed=7)
+    parallel = ExperimentRunner(max_workers=4, cache_dir=tmp_path)
+    _assert_table2(table2_data(runner=parallel, **kwargs))
+
+    warm = ExperimentRunner(max_workers=1, cache_dir=tmp_path)
+    _assert_table2(table2_data(runner=warm, **kwargs))
+    assert warm.counters.executed == 0
+
+
+@pytest.mark.parametrize("n", sorted(GOLDEN_SIM_1901))
+def test_sim_1901_matches_golden(n):
+    collision_pr, throughput = sim_1901(
+        n, 2e6, 2542.64, 2920.64, 2050.0, [8, 16, 32, 64], [0, 1, 3, 15],
+        seed=11,
+    )
+    golden_p, golden_s = GOLDEN_SIM_1901[n]
+    assert collision_pr == pytest.approx(golden_p, abs=1e-9)
+    assert throughput == pytest.approx(golden_s, abs=1e-9)

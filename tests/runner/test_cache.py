@@ -1,0 +1,178 @@
+"""Property tests for the on-disk result cache and its keys.
+
+The key contract: a cache key is a pure content hash of the task
+description — stable across process restarts and dict field order,
+different whenever any configuration field differs.  The entry
+contract: corrupted or truncated files are detected, counted, and
+recomputed, never crashed on.
+"""
+
+import dataclasses
+import json
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CsmaConfig, ScenarioConfig
+from repro.experiments.sweeps import sweep_configuration
+from repro.runner import (
+    ExperimentRunner,
+    ResultCache,
+    SeedSpec,
+    Task,
+    TaskKind,
+    cache_key,
+    scenario_to_jsonable,
+)
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**31), 2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+descriptions = st.dictionaries(
+    st.text(min_size=1, max_size=10), json_values, min_size=1, max_size=6
+)
+
+
+def _simulate_task(**overrides) -> Task:
+    params = dict(num_stations=3, sim_time_us=1e5, seed=1)
+    seed_spec = SeedSpec(
+        root_seed=overrides.pop("root_seed", 1),
+        point_index=overrides.pop("point_index", 0),
+        repetition=overrides.pop("repetition", 0),
+    )
+    params.update(overrides)
+    scenario = ScenarioConfig.homogeneous(
+        csma=CsmaConfig.default_1901(), **params
+    )
+    return Task(
+        kind=TaskKind.SIMULATE,
+        payload={"scenario": scenario_to_jsonable(scenario)},
+        seed=seed_spec,
+    )
+
+
+class TestKeyStability:
+    @given(description=descriptions, seed=st.randoms(use_true_random=False))
+    @settings(max_examples=100, deadline=None)
+    def test_key_invariant_under_field_order(self, description, seed):
+        items = list(description.items())
+        seed.shuffle(items)
+        permuted = dict(items)
+        assert permuted == description
+        assert cache_key(permuted) == cache_key(description)
+
+    def test_key_stable_across_process_restarts(self):
+        description = _simulate_task().describe()
+        expected = cache_key(description)
+        script = (
+            "import json, sys\n"
+            "from repro.runner import cache_key\n"
+            "print(cache_key(json.loads(sys.argv[1])))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script, json.dumps(description)],
+            capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == expected
+
+    @given(
+        n=st.integers(1, 10),
+        sim_time_us=st.sampled_from([1e5, 2e5, 1e6]),
+        root_seed=st.integers(0, 100),
+        repetition=st.integers(0, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_key_changes_with_any_field(
+        self, n, sim_time_us, root_seed, repetition
+    ):
+        base = _simulate_task()
+        varied = _simulate_task(
+            num_stations=n, sim_time_us=sim_time_us,
+            root_seed=root_seed, repetition=repetition,
+        )
+        if varied.describe() == base.describe():
+            assert cache_key(varied.describe()) == cache_key(base.describe())
+        else:
+            assert cache_key(varied.describe()) != cache_key(base.describe())
+
+    def test_key_changes_per_csma_field(self):
+        base = CsmaConfig.default_1901()
+        base_key = cache_key({"csma": dataclasses.asdict(base)})
+        for field, value in [
+            ("cw", tuple(w * 2 for w in base.cw)),
+            ("dc", tuple(d + 1 for d in base.dc)),
+            ("protocol", "80211"),
+        ]:
+            changed = dataclasses.replace(base, **{field: value})
+            assert (
+                cache_key({"csma": dataclasses.asdict(changed)}) != base_key
+            ), field
+
+
+class TestCorruptEntries:
+    @given(garbage=st.sampled_from([
+        "", "{", "null", "[]", '{"key": "wrong", "result": {}}',
+        '{"no_result": true}', "\x00\x01binary",
+    ]))
+    @settings(max_examples=7, deadline=None)
+    def test_corrupt_entry_is_miss_not_crash(self, tmp_path_factory, garbage):
+        cache = ResultCache(tmp_path_factory.mktemp("cache"))
+        task = _simulate_task()
+        key = cache_key(task.describe())
+        cache.put(key, {"ok": 1}, task.describe())
+        cache.path_for(key).write_text(garbage, encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        assert not cache.path_for(key).exists()
+        # The recompute path can rewrite and read back cleanly.
+        cache.put(key, {"ok": 2}, task.describe())
+        assert cache.get(key) == {"ok": 2}
+
+    def test_runner_recomputes_after_corruption(self, tmp_path):
+        def sweep():
+            runner = ExperimentRunner(max_workers=1, cache_dir=tmp_path)
+            points = sweep_configuration(
+                "1901 CA1", CsmaConfig.default_1901(),
+                station_counts=(2, 3), sim_time_us=1e5, repetitions=1,
+                runner=runner,
+            )
+            return points, runner
+
+        first, _ = sweep()
+        victims = sorted(tmp_path.glob("*.json"))
+        assert victims
+        victims[0].write_text("truncated{", encoding="utf-8")
+
+        second, runner = sweep()
+        assert second == first
+        assert runner.counters.cache_corrupt == 1
+        assert runner.counters.executed == 1  # only the corrupted point
+
+    def test_put_round_trip_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = _simulate_task()
+        key = cache_key(task.describe())
+        assert cache.get(key) is None and cache.misses == 1
+        cache.put(key, {"throughput": 0.5}, task.describe())
+        assert len(cache) == 1
+        assert cache.get(key) == {"throughput": 0.5}
+        # The stored file carries the description for humans.
+        entry = json.loads(cache.path_for(key).read_text())
+        assert entry["task"] == task.describe()
+        assert cache.clear() == 1
+        assert len(cache) == 0

@@ -17,6 +17,7 @@ MODULES = [
     "repro.mac",
     "repro.phy",
     "repro.report",
+    "repro.runner",
     "repro.tools",
     "repro.traffic",
 ]
