@@ -15,6 +15,9 @@ Parallelism: benches route their experiments through a
 the worker-process count (default 1 = serial, 0 = one per CPU) and
 ``REPRO_BENCH_CACHE_DIR`` enables the on-disk result cache — results
 are bit-identical either way, per the runner's determinism contract.
+``REPRO_BENCH_RETRIES`` and ``REPRO_BENCH_TASK_TIMEOUT`` arm the fault
+tolerance for paper-scale runs (a retried point reuses its seed, so
+these cannot change the numbers either).
 """
 
 import os
@@ -29,6 +32,11 @@ FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 #: optional on-disk cache directory.
 WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+
+#: Fault-tolerance knobs: per-point retries and wall-clock timeout.
+RETRIES = int(os.environ.get("REPRO_BENCH_RETRIES", "0"))
+_TIMEOUT = os.environ.get("REPRO_BENCH_TASK_TIMEOUT")
+TASK_TIMEOUT_S = float(_TIMEOUT) if _TIMEOUT else None
 
 #: Emulated-testbed test duration (µs) and repetitions.
 TEST_DURATION_US = 240e6 if FULL else 12e6
@@ -59,7 +67,12 @@ def runner():
     """Experiment runner configured from the REPRO_BENCH_* env knobs."""
     from repro.runner import ExperimentRunner
 
-    return ExperimentRunner(max_workers=WORKERS, cache_dir=CACHE_DIR)
+    return ExperimentRunner(
+        max_workers=WORKERS,
+        cache_dir=CACHE_DIR,
+        retries=RETRIES,
+        task_timeout_s=TASK_TIMEOUT_S,
+    )
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

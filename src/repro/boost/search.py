@@ -28,7 +28,7 @@ import numpy as np
 from ..analysis.model import Model1901
 from ..core.config import CsmaConfig, ScenarioConfig, TimingConfig
 from ..core.results import aggregate
-from ..runner import ExperimentRunner, Task, TaskKind
+from ..runner import ExperimentRunner, Task, TaskKind, require_complete
 from ..runner.serialize import csma_to_jsonable, timing_to_jsonable
 from .objectives import Objective
 
@@ -113,8 +113,10 @@ def search(
         )
         for config in configs
     ]
+    curves = runner.run(tasks)
+    require_complete(curves, runner.failures)
     scores = []
-    for config, curve in zip(configs, runner.run(tasks)):
+    for config, curve in zip(configs, curves):
         throughputs = [p["normalized_throughput"] for p in curve["points"]]
         collisions = [p["collision_probability"] for p in curve["points"]]
         scores.append(

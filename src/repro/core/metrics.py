@@ -42,7 +42,10 @@ class RunnerCounters:
     Updated by :class:`repro.runner.ExperimentRunner` across its
     lifetime; the cache-effectiveness counters are what the
     reproducibility tests assert on (a warm second run must show
-    ``executed == 0``).
+    ``executed == 0``).  The fault counters (``retried``, ``failed``,
+    ``timeouts``, ``pool_rebuilds``, ``degraded_serial``) stay truthful
+    even when a run aborts mid-sweep — finalization happens in the
+    runner's ``finally`` block.
     """
 
     #: Points requested across all ``run()`` calls.
@@ -56,6 +59,17 @@ class RunnerCounters:
     cache_misses: int = 0
     #: Cache entries found corrupted/truncated and recomputed.
     cache_corrupt: int = 0
+    #: Task attempts retried after a failure, crash, or timeout.
+    retried: int = 0
+    #: Tasks that failed permanently (retries exhausted).
+    failed: int = 0
+    #: Task attempts killed by the per-task wall-clock timeout.
+    timeouts: int = 0
+    #: Worker-pool rebuilds after a dead worker (BrokenProcessPool).
+    pool_rebuilds: int = 0
+    #: Times a run degraded to serial in-process execution after
+    #: exhausting its pool-rebuild budget.
+    degraded_serial: int = 0
     #: Wall-clock seconds spent inside ``run()`` calls.
     wall_time_s: float = 0.0
     #: Worker processes used by the most recent ``run()`` call.

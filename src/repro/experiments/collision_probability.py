@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence
 from ..analysis.model import Model1901
 from ..core.config import CsmaConfig, ScenarioConfig, TimingConfig
 from ..core.results import aggregate
-from ..runner import ExperimentRunner, Task, TaskKind
+from ..runner import ExperimentRunner, Task, TaskKind, require_complete
 from ..runner.runner import rehydrate_simulation
 from ..runner.seeding import SeedSpec
 from ..runner.serialize import scenario_to_jsonable
@@ -122,6 +122,7 @@ def figure2_data(
     ]
 
     raw = runner.run(test_tasks + sim_tasks)
+    require_complete(raw, runner.failures)
     test_entries = raw[: len(test_tasks)]
     sim_entries = raw[len(test_tasks):]
 
@@ -184,8 +185,10 @@ def table2_data(
     tasks = [
         _collision_test_task(n, duration_us, seed) for n in counts
     ]
+    entries = runner.run(tasks)
+    require_complete(entries, runner.failures)
     rows = []
-    for n, entry in zip(counts, runner.run(tasks)):
+    for n, entry in zip(counts, entries):
         test = _test_from_entry(entry)
         rows.append(
             Table2Row(

@@ -155,7 +155,7 @@ def repeat_tests(
     """
     import json
 
-    from ..runner import ExperimentRunner, Task, TaskKind
+    from ..runner import ExperimentRunner, Task, TaskKind, require_complete
 
     payload_kwargs = testbed_kwargs
     if testbed_kwargs:
@@ -190,6 +190,8 @@ def repeat_tests(
         )
         for repetition in range(repetitions)
     ]
+    entries = runner.run(tasks)
+    require_complete(entries, runner.failures)
     tests = [
         CollisionTest(
             num_stations=entry["num_stations"],
@@ -197,6 +199,6 @@ def repeat_tests(
             per_station=[tuple(row) for row in entry["per_station"]],
             goodput_mbps=entry["goodput_mbps"],
         )
-        for entry in runner.run(tasks)
+        for entry in entries
     ]
     return CollisionTestSeries(tests=tests)

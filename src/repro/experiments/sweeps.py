@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.config import CsmaConfig, ScenarioConfig, TimingConfig
 from ..core.parameters import PriorityClass
 from ..core.results import aggregate
-from ..runner import ExperimentRunner, Task, TaskKind
+from ..runner import ExperimentRunner, Task, TaskKind, require_complete
 from ..runner.runner import rehydrate_simulation
 from ..runner.seeding import SeedSpec
 from ..runner.serialize import (
@@ -107,6 +107,7 @@ def sweep_configuration(
     ]
 
     raw = runner.run([model_task] + sim_tasks)
+    require_complete(raw, runner.failures)
     model_points = raw[0]["points"]
     sim_entries = raw[1:]
 

@@ -17,19 +17,40 @@ simulation points.  This package runs them:
   (:mod:`repro.runner.cache`), so re-running a sweep or resuming an
   interrupted search only simulates new points.
 
-Progress and cache behaviour are observable through
-:class:`repro.core.metrics.RunnerCounters` (``runner.counters``).
+The execution layer is **fault tolerant**: per-task retries with
+capped exponential backoff (a retry reuses the task's exact
+:class:`SeedSpec`, so recovery cannot change the numbers), per-task
+wall-clock timeouts, automatic worker-pool rebuilds after a crashed
+worker with graceful degradation to serial execution, and an optional
+partial-results mode that returns what completed plus a structured
+:class:`TaskFailure` per lost point (:mod:`repro.runner.telemetry`).
+Fault paths are exercised deterministically through the
+``REPRO_FAULT_INJECT`` hook (:mod:`repro.runner.faults`).
+
+Progress, cache and fault behaviour are observable through
+:class:`repro.core.metrics.RunnerCounters` (``runner.counters``) and
+the per-task lifecycle trace (``runner.trace``, exportable as JSONL
+via ``trace_path``).
 """
 
 from .cache import CacheEntryError, ResultCache, cache_key
-from .runner import ExperimentRunner, RunnerConfig
+from .faults import FaultPlan, InjectedFault
+from .runner import (
+    ExperimentRunner,
+    RunnerConfig,
+    RunnerTaskError,
+    require_complete,
+)
 from .seeding import SeedSpec, derive_seed_sequence, streams_for
 from .serialize import canonical_json, scenario_from_jsonable, scenario_to_jsonable
 from .tasks import Task, TaskKind
+from .telemetry import TaskEvent, TaskFailure, TraceRecorder
 
 __all__ = [
     "ExperimentRunner",
     "RunnerConfig",
+    "RunnerTaskError",
+    "require_complete",
     "ResultCache",
     "CacheEntryError",
     "cache_key",
@@ -38,6 +59,11 @@ __all__ = [
     "streams_for",
     "Task",
     "TaskKind",
+    "TaskEvent",
+    "TaskFailure",
+    "TraceRecorder",
+    "FaultPlan",
+    "InjectedFault",
     "canonical_json",
     "scenario_to_jsonable",
     "scenario_from_jsonable",

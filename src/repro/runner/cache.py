@@ -36,6 +36,12 @@ __all__ = ["cache_key", "ResultCache", "CacheEntryError"]
 #: when the stored result format changes.
 CACHE_FORMAT_VERSION = 1
 
+#: Prefix of in-flight atomic-write temp files.  They end in ``.json``
+#: too, so entry iteration must filter on this prefix — otherwise
+#: ``len(cache)`` counts partial writes and ``clear()`` races with a
+#: concurrent ``put()``'s ``os.replace``.
+TEMP_PREFIX = ".tmp-"
+
 
 class CacheEntryError(Exception):
     """A cache entry exists but cannot be trusted (corrupt/truncated)."""
@@ -116,16 +122,30 @@ class ResultCache:
 
         The originating ``description`` is stored alongside the result
         for debuggability (``repro-plc cache info`` and humans reading
-        the files).
+        the files).  The write is best-effort against a concurrent
+        ``clear()``: if the temp file (or the directory) vanishes under
+        the ``os.replace``, the write is retried once on a fresh temp
+        file and then given up silently — memoization is an
+        optimization, never a correctness dependency.
         """
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         entry = {"key": key, "task": description, "result": result}
+        payload = json.dumps(entry)
+        for final_attempt in (False, True):
+            try:
+                self._write_entry(key, payload)
+                return
+            except FileNotFoundError:
+                if final_attempt:
+                    return
+
+    def _write_entry(self, key: str, payload: str) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
-            dir=self.cache_dir, prefix=".tmp-", suffix=".json"
+            dir=self.cache_dir, prefix=TEMP_PREFIX, suffix=".json"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle)
+                handle.write(payload)
             os.replace(tmp, self.path_for(key))
         except BaseException:
             try:
@@ -134,20 +154,40 @@ class ResultCache:
                 pass
             raise
 
-    def clear(self) -> int:
-        """Delete every entry; return the number removed."""
-        removed = 0
+    def entry_paths(self):
+        """Paths of the committed entries (in-flight temp files excluded)."""
         if not self.cache_dir.is_dir():
-            return removed
+            return
         for path in self.cache_dir.glob("*.json"):
+            if not path.name.startswith(TEMP_PREFIX):
+                yield path
+
+    def temp_paths(self):
+        """In-flight or orphaned atomic-write temp files."""
+        if not self.cache_dir.is_dir():
+            return
+        yield from self.cache_dir.glob(f"{TEMP_PREFIX}*")
+
+    def clear(self) -> int:
+        """Delete every entry; return the number removed.
+
+        Orphaned ``.tmp-*`` leftovers (from writers killed mid-``put``)
+        are swept as well but do not count toward the return value —
+        they were never entries.
+        """
+        removed = 0
+        for path in list(self.entry_paths()):
             try:
                 path.unlink()
                 removed += 1
             except OSError:
                 pass
+        for path in list(self.temp_paths()):
+            try:
+                path.unlink()
+            except OSError:
+                pass
         return removed
 
     def __len__(self) -> int:
-        if not self.cache_dir.is_dir():
-            return 0
-        return sum(1 for _ in self.cache_dir.glob("*.json"))
+        return sum(1 for _ in self.entry_paths())

@@ -1,0 +1,167 @@
+"""Deterministic fault injection for exercising the recovery paths.
+
+The fault-tolerant runner has code paths — retry after a worker crash,
+pool rebuild after a :class:`BrokenProcessPool`, timeout of a hung
+task — that never fire in a healthy run.  This module lets the test
+suite (and the CI smoke job) trigger them on demand, from *inside* the
+worker, controlled entirely by environment variables so no production
+code path changes shape:
+
+``REPRO_FAULT_INJECT``
+    ``mode[:key=value[,key=value...]]`` — what to do to a claimed task:
+
+    - ``raise`` — raise :class:`InjectedFault` (an ordinary task
+      failure, exercised by the retry path);
+    - ``exit`` — ``os._exit`` the worker process (kills it without
+      cleanup, exercising ``BrokenProcessPool`` recovery; never use
+      with a serial runner — it would kill the submitting process);
+    - ``hang`` — sleep for ``seconds`` (default 30), exercising the
+      per-task timeout.
+
+    Options: ``times=N`` (how many distinct tasks to hit, default 1),
+    ``seconds=S`` (hang duration).
+
+``REPRO_FAULT_DIR``
+    A directory of claim markers shared by all workers.  Each task is
+    identified by its cache key; the *first* execution of a claimed
+    task faults, every retry of it runs clean.  This is what makes the
+    injection deterministic-per-task and lets a retried task succeed —
+    the retry reuses the exact :class:`~repro.runner.seeding.SeedSpec`,
+    so the recovered sweep is bit-identical to an uninjected run.
+    Injection is disabled when unset.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from pathlib import Path
+from typing import Mapping, Optional
+
+__all__ = [
+    "ENV_FAULT_INJECT",
+    "ENV_FAULT_DIR",
+    "FaultPlan",
+    "InjectedFault",
+    "parse_plan",
+    "plan_from_env",
+    "inject_for_task",
+]
+
+ENV_FAULT_INJECT = "REPRO_FAULT_INJECT"
+ENV_FAULT_DIR = "REPRO_FAULT_DIR"
+
+_MODES = ("raise", "exit", "hang")
+
+#: Exit status used by ``exit`` mode — recognizable in worker postmortems.
+FAULT_EXIT_CODE = 117
+
+
+class InjectedFault(RuntimeError):
+    """The failure raised by ``raise``-mode injection."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """Parsed ``REPRO_FAULT_INJECT`` specification."""
+
+    mode: str
+    times: int = 1
+    hang_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"fault mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+        if self.hang_s <= 0:
+            raise ValueError("seconds must be > 0")
+
+
+def parse_plan(spec: str) -> FaultPlan:
+    """Parse ``mode[:key=value[,key=value...]]`` into a :class:`FaultPlan`."""
+    mode, _, rest = spec.strip().partition(":")
+    kwargs = {}
+    if rest:
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise ValueError(f"malformed fault option {item!r} in {spec!r}")
+            key = key.strip()
+            if key == "times":
+                kwargs["times"] = int(value)
+            elif key == "seconds":
+                kwargs["hang_s"] = float(value)
+            else:
+                raise ValueError(f"unknown fault option {key!r} in {spec!r}")
+    return FaultPlan(mode=mode, **kwargs)
+
+
+def plan_from_env(
+    environ: Optional[Mapping[str, str]] = None,
+) -> Optional[FaultPlan]:
+    """The active plan, or ``None`` when injection is off."""
+    environ = os.environ if environ is None else environ
+    spec = environ.get(ENV_FAULT_INJECT)
+    if not spec:
+        return None
+    if not environ.get(ENV_FAULT_DIR):
+        # No claim directory means no cross-worker coordination: the
+        # same task would fault on every retry.  Fail safe: inject
+        # nothing rather than make a sweep unrecoverable.
+        return None
+    return parse_plan(spec)
+
+
+def _claim(marker_dir: Path, token: str, times: int) -> bool:
+    """Atomically claim an injection slot for ``token``.
+
+    ``times`` numbered slot files bound the total number of injections;
+    each slot is taken exactly once via ``O_EXCL`` creation (atomic on
+    a local filesystem, so concurrent workers cannot over-claim).  A
+    slot records which task took it, making the claim a one-shot: the
+    retry of a faulted task finds its token in a slot and runs clean.
+    """
+    marker_dir.mkdir(parents=True, exist_ok=True)
+    for k in range(times):
+        slot = marker_dir / f"slot-{k}"
+        try:
+            with open(slot, "x", encoding="utf-8") as handle:
+                handle.write(token)
+            return True
+        except FileExistsError:
+            try:
+                if slot.read_text(encoding="utf-8") == token:
+                    return False  # this task already faulted once
+            except OSError:
+                pass
+    return False
+
+
+def inject_for_task(
+    task, environ: Optional[Mapping[str, str]] = None
+) -> None:
+    """Fault hook, called at the top of every task execution.
+
+    No-op (one dict lookup) unless ``REPRO_FAULT_INJECT`` and
+    ``REPRO_FAULT_DIR`` are both set.
+    """
+    environ = os.environ if environ is None else environ
+    if not environ.get(ENV_FAULT_INJECT):
+        return
+    plan = plan_from_env(environ)
+    if plan is None:
+        return
+    from .cache import cache_key
+
+    token = cache_key(task.describe())
+    if not _claim(Path(environ[ENV_FAULT_DIR]), token, plan.times):
+        return
+    if plan.mode == "raise":
+        raise InjectedFault(f"injected fault for task {token[:12]}")
+    if plan.mode == "exit":
+        os._exit(FAULT_EXIT_CODE)
+    time.sleep(plan.hang_s)

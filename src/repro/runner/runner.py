@@ -1,4 +1,4 @@
-"""The parallel experiment runner.
+"""The fault-tolerant parallel experiment runner.
 
 :class:`ExperimentRunner` executes an ordered list of
 :class:`~repro.runner.tasks.Task` and returns their results *in input
@@ -16,6 +16,25 @@ Determinism: each task's random draws are fully specified by its
 :class:`~repro.runner.seeding.SeedSpec`, so steps 2–4 cannot change the
 numbers — only how fast they arrive.  The determinism contract is
 enforced by ``tests/runner/test_determinism.py``.
+
+Fault tolerance (``tests/runner/test_faults.py``): a failing task is
+retried up to ``retries`` times with capped exponential backoff — and
+because a retry resubmits the *same* :class:`Task` (hence the same
+``SeedSpec``), the determinism contract extends to failure paths: a
+sweep that recovers from worker crashes is bit-identical to a clean
+run.  A dead worker (:class:`BrokenProcessPool`) triggers an automatic
+pool rebuild, up to ``max_pool_rebuilds`` times, after which the
+remaining points degrade gracefully to serial in-process execution.
+``task_timeout_s`` puts a wall-clock bound on each running task (pool
+mode only — a hung task cannot be preempted in-process); overrunning
+tasks have their workers killed and count as ordinary failures.  With
+``on_failure="partial"``, a task that exhausts its retries leaves
+``None`` in its result slot and a structured
+:class:`~repro.runner.telemetry.TaskFailure` on ``runner.failures``
+instead of aborting the sweep; the default ``"raise"`` mode raises
+:class:`RunnerTaskError` (with counters still finalized truthfully).
+Every lifecycle transition is recorded on ``runner.trace`` and can be
+exported as JSONL via ``trace_path``.
 """
 
 from __future__ import annotations
@@ -23,9 +42,24 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.config import ScenarioConfig
 from ..core.metrics import RunnerCounters
@@ -33,14 +67,29 @@ from ..core.results import SimulationResult, StationStats
 from .cache import ResultCache, cache_key
 from .seeding import SeedSpec
 from .serialize import scenario_to_jsonable
-from .tasks import Task, TaskKind, execute_task
+from .tasks import Task, TaskKind, run_task
+from .telemetry import TaskFailure, TraceRecorder
 
 __all__ = [
     "RunnerConfig",
     "ExperimentRunner",
+    "RunnerTaskError",
     "SimPointResult",
     "rehydrate_simulation",
+    "require_complete",
 ]
+
+
+class RunnerTaskError(RuntimeError):
+    """One or more tasks failed permanently (retries exhausted).
+
+    Carries the structured :class:`TaskFailure` records on
+    ``.failures`` so callers can report exactly which points were lost.
+    """
+
+    def __init__(self, message: str, failures: Sequence[TaskFailure] = ()):
+        super().__init__(message)
+        self.failures = list(failures)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -58,19 +107,80 @@ class RunnerConfig:
         caching.
     progress:
         Optional ``callback(done, total)`` invoked in the submitting
-        process as points complete.
+        process as points complete (including permanently failed ones).
+    retries:
+        Retry attempts per task after its first failure (default 0 —
+        one attempt total).  A retry reuses the task's exact
+        ``SeedSpec``, so retrying cannot change the numbers.
+    task_timeout_s:
+        Per-task wall-clock bound, enforced in pool mode by killing
+        the worker of an overrunning task.  ``None`` (default)
+        disables it; not enforceable on the serial path.
+    backoff_base_s / backoff_max_s:
+        Capped exponential backoff before retry ``k`` (1-based):
+        ``min(backoff_max_s, backoff_base_s * 2**(k-1))``.
+    on_failure:
+        ``"raise"`` (default) aborts the sweep with
+        :class:`RunnerTaskError` on the first permanent failure;
+        ``"partial"`` completes the sweep, leaves ``None`` in failed
+        slots and records a :class:`TaskFailure` per lost point.
+    trace_path:
+        When set, task lifecycle events are appended to this JSONL
+        file at the end of every ``run()``.
+    max_pool_rebuilds:
+        Broken-pool rebuilds tolerated per ``run()`` before degrading
+        the remaining points to serial in-process execution.
+
+    All constraints are validated here at construction time, so a bad
+    config fails immediately with a clear message instead of deep
+    inside a sweep.
     """
 
     max_workers: Optional[int] = 1
     cache_dir: Optional[Union[str, Path]] = None
     progress: Optional[Callable[[int, int], None]] = None
+    retries: int = 0
+    task_timeout_s: Optional[float] = None
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    on_failure: str = "raise"
+    trace_path: Optional[Union[str, Path]] = None
+    max_pool_rebuilds: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_workers is not None and self.max_workers < 0:
+            raise ValueError(
+                "max_workers must be >= 0 or None (0/None = one per CPU), "
+                f"got {self.max_workers}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError(
+                f"task_timeout_s must be > 0 or None, got {self.task_timeout_s}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff_base_s and backoff_max_s must be >= 0")
+        if self.on_failure not in ("raise", "partial"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'partial', got {self.on_failure!r}"
+            )
+        if self.max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
+            )
 
     def resolved_workers(self) -> int:
         if not self.max_workers:
             return max(1, os.cpu_count() or 1)
-        if self.max_workers < 0:
-            raise ValueError("max_workers must be >= 0 or None")
         return self.max_workers
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(
+            self.backoff_max_s,
+            self.backoff_base_s * (2 ** max(0, attempt - 1)),
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,87 +191,476 @@ class SimPointResult:
     winners: Optional[Tuple[int, ...]] = None
 
 
+@dataclasses.dataclass
+class _Pending:
+    """One not-yet-completed task and its retry state."""
+
+    index: int
+    task: Task
+    key: str
+    #: Failed attempts so far (0 = never attempted).
+    attempt: int = 0
+    #: Monotonic time before which the entry must not be (re)submitted.
+    not_before: float = 0.0
+
+
+@dataclasses.dataclass
+class _RunState:
+    """Mutable bookkeeping of one ``run()`` call."""
+
+    done: int = 0
+    total: int = 0
+    executed: int = 0
+    failures: List[TaskFailure] = dataclasses.field(default_factory=list)
+
+
 class ExperimentRunner:
-    """Execute experiment tasks in parallel, deterministically, cached."""
+    """Execute experiment tasks in parallel, deterministically, cached —
+    and keep going when workers crash, hang, or tasks fail."""
 
     def __init__(
         self,
         max_workers: Optional[int] = 1,
         cache_dir: Optional[Union[str, Path]] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        *,
+        retries: int = 0,
+        task_timeout_s: Optional[float] = None,
+        on_failure: str = "raise",
+        trace_path: Optional[Union[str, Path]] = None,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        max_pool_rebuilds: int = 2,
+        config: Optional[RunnerConfig] = None,
     ) -> None:
-        self.config = RunnerConfig(
-            max_workers=max_workers, cache_dir=cache_dir, progress=progress
+        self.config = (
+            config
+            if config is not None
+            else RunnerConfig(
+                max_workers=max_workers,
+                cache_dir=cache_dir,
+                progress=progress,
+                retries=retries,
+                task_timeout_s=task_timeout_s,
+                on_failure=on_failure,
+                trace_path=trace_path,
+                backoff_base_s=backoff_base_s,
+                backoff_max_s=backoff_max_s,
+                max_pool_rebuilds=max_pool_rebuilds,
+            )
         )
-        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.cache = (
+            ResultCache(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else None
+        )
         self.counters = RunnerCounters()
+        #: Structured records of permanently failed tasks, across runs.
+        self.failures: List[TaskFailure] = []
+        #: Lifecycle event trace, across runs.
+        self.trace = TraceRecorder()
 
     # -- core execution ----------------------------------------------------
-    def run(self, tasks: Sequence[Task]) -> List[Dict[str, Any]]:
-        """Execute ``tasks``; results are returned in task order."""
+    def run(self, tasks: Sequence[Task]) -> List[Optional[Dict[str, Any]]]:
+        """Execute ``tasks``; results are returned in task order.
+
+        In ``on_failure="partial"`` mode a slot is ``None`` when its
+        task failed permanently — consult :attr:`failures` (or call
+        :func:`require_complete`) before consuming the results.
+        """
         tasks = list(tasks)
         start = time.perf_counter()
         workers = self.config.resolved_workers()
         self.counters.points_total += len(tasks)
         self.counters.workers = workers
+        self.trace.record("run_start", detail=f"points={len(tasks)}")
 
         results: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
-        pending: List[Tuple[int, Task, str]] = []
-        for i, task in enumerate(tasks):
-            key = cache_key(task.describe())
-            if self.cache is not None:
-                cached = self.cache.get(key)
-                if cached is not None:
-                    results[i] = cached
-                    continue
-            pending.append((i, task, key))
-
-        done = len(tasks) - len(pending)
-        self._progress(done, len(tasks))
-
-        if workers == 1 or len(pending) <= 1:
-            for i, task, key in pending:
-                results[i] = self._finish(i, task, key, execute_task(task))
-                done += 1
-                self._progress(done, len(tasks))
-        else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(execute_task, task): (i, task, key)
-                    for i, task, key in pending
-                }
-                outstanding = set(futures)
-                while outstanding:
-                    finished, outstanding = wait(
-                        outstanding, return_when=FIRST_COMPLETED
-                    )
-                    for future in finished:
-                        i, task, key = futures[future]
-                        results[i] = self._finish(
-                            i, task, key, future.result()
+        state = _RunState(total=len(tasks))
+        try:
+            pending: List[_Pending] = []
+            for i, task in enumerate(tasks):
+                key = cache_key(task.describe())
+                if self.cache is not None:
+                    cached = self.cache.get(key)
+                    if cached is not None:
+                        results[i] = cached
+                        state.done += 1
+                        self.trace.record(
+                            "cache_hit", task_index=i, kind=task.kind
                         )
-                        done += 1
-                        self._progress(done, len(tasks))
+                        continue
+                pending.append(_Pending(index=i, task=task, key=key))
+                self.trace.record("queued", task_index=i, kind=task.kind)
+            self._progress(state.done, state.total)
 
-        self.counters.executed += len(pending)
-        if self.cache is not None:
-            self.counters.cache_hits += self.cache.hits
-            self.counters.cache_misses += self.cache.misses
-            self.counters.cache_corrupt += self.cache.corrupt
-            self.cache.hits = self.cache.misses = self.cache.corrupt = 0
-        self.counters.wall_time_s += time.perf_counter() - start
-        return results  # type: ignore[return-value]
+            if workers == 1 or len(pending) <= 1:
+                self._run_serial(pending, results, state)
+            else:
+                self._run_pool(pending, results, state, workers)
+        finally:
+            # Counter finalization must not depend on a clean sweep:
+            # a mid-run failure still leaves truthful telemetry.
+            self.failures.extend(state.failures)
+            self.counters.executed += state.executed
+            self.counters.failed += len(state.failures)
+            if self.cache is not None:
+                self.counters.cache_hits += self.cache.hits
+                self.counters.cache_misses += self.cache.misses
+                self.counters.cache_corrupt += self.cache.corrupt
+                self.cache.hits = self.cache.misses = self.cache.corrupt = 0
+            self.counters.wall_time_s += time.perf_counter() - start
+            self.trace.record(
+                "run_end",
+                detail=(
+                    f"done={state.done}/{state.total} "
+                    f"failed={len(state.failures)}"
+                ),
+            )
+            if self.config.trace_path is not None:
+                self.trace.flush_jsonl(self.config.trace_path)
+        return results
 
-    def _finish(
-        self, index: int, task: Task, key: str, result: Dict[str, Any]
-    ) -> Dict[str, Any]:
+    # -- serial path -------------------------------------------------------
+    def _run_serial(
+        self,
+        pending: Sequence[_Pending],
+        results: List[Optional[Dict[str, Any]]],
+        state: _RunState,
+    ) -> None:
+        for entry in pending:
+            while True:
+                delay = entry.not_before - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                self.trace.record(
+                    "started",
+                    task_index=entry.index,
+                    kind=entry.task.kind,
+                    attempt=entry.attempt,
+                )
+                try:
+                    envelope = run_task(entry.task)
+                except Exception as exc:
+                    if not self._retry_or_fail(entry, exc, state):
+                        break  # permanent failure, partial mode
+                    continue
+                self._complete(entry, envelope, results, state)
+                break
+
+    # -- pool path ---------------------------------------------------------
+    def _run_pool(
+        self,
+        pending: Sequence[_Pending],
+        results: List[Optional[Dict[str, Any]]],
+        state: _RunState,
+        workers: int,
+    ) -> None:
+        timeout = self.config.task_timeout_s
+        # With a timeout, in-flight is capped at the worker count so
+        # every submitted task is actually running and its deadline is
+        # fair; without one, a small buffer keeps workers saturated.
+        limit = workers if timeout is not None else workers * 2
+        queue: List[_Pending] = list(pending)
+        inflight: Dict[Future, Tuple[_Pending, float]] = {}
+        pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=workers
+        )
+        rebuilds = 0
+        try:
+            while queue or inflight:
+                now = time.monotonic()
+                # Submit every ready entry, up to the in-flight limit.
+                broken = False
+                i = 0
+                while i < len(queue) and len(inflight) < limit:
+                    entry = queue[i]
+                    if entry.not_before > now:
+                        i += 1
+                        continue
+                    try:
+                        future = pool.submit(run_task, entry.task)
+                    except (BrokenExecutor, RuntimeError):
+                        broken = True
+                        break
+                    queue.pop(i)
+                    inflight[future] = (entry, now)
+                    self.trace.record(
+                        "started",
+                        task_index=entry.index,
+                        kind=entry.task.kind,
+                        attempt=entry.attempt,
+                    )
+                if broken:
+                    pool, rebuilds = self._recover_pool(
+                        pool, inflight, queue, results, state, workers, rebuilds,
+                        kill=False,
+                    )
+                    if pool is None:
+                        self._degrade_serial(queue, results, state)
+                        return
+                    continue
+
+                if not inflight:
+                    # Everything is backing off; sleep to the earliest.
+                    wake = min(e.not_before for e in queue)
+                    time.sleep(max(0.0, wake - time.monotonic()))
+                    continue
+
+                finished, _ = wait(
+                    set(inflight),
+                    timeout=self._wait_timeout(inflight, queue, limit),
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in finished:
+                    entry, _submitted = inflight.pop(future)
+                    try:
+                        envelope = future.result()
+                    except BrokenExecutor:
+                        broken = True
+                        self._retry_or_fail(
+                            entry, _pool_died_error(), state, queue
+                        )
+                    except Exception as exc:
+                        self._retry_or_fail(entry, exc, state, queue)
+                    else:
+                        self._complete(entry, envelope, results, state)
+                if broken:
+                    pool, rebuilds = self._recover_pool(
+                        pool, inflight, queue, results, state, workers, rebuilds,
+                        kill=False,
+                    )
+                    if pool is None:
+                        self._degrade_serial(queue, results, state)
+                        return
+                    continue
+
+                if timeout is not None:
+                    overdue = [
+                        (future, entry)
+                        for future, (entry, submitted) in inflight.items()
+                        if time.monotonic() - submitted >= timeout
+                    ]
+                    if overdue:
+                        for future, entry in overdue:
+                            del inflight[future]
+                            self.counters.timeouts += 1
+                            self.trace.record(
+                                "timeout",
+                                task_index=entry.index,
+                                kind=entry.task.kind,
+                                attempt=entry.attempt,
+                            )
+                            self._retry_or_fail(
+                                entry,
+                                TimeoutError(
+                                    f"task exceeded {timeout}s wall clock"
+                                ),
+                                state,
+                                queue,
+                                timed_out=True,
+                            )
+                        # A hung worker only dies with its pool.
+                        pool, rebuilds = self._recover_pool(
+                            pool, inflight, queue, results, state, workers, rebuilds,
+                            kill=True,
+                        )
+                        if pool is None:
+                            self._degrade_serial(queue, results, state)
+                            return
+        except BaseException:
+            self._shutdown_pool(pool, kill=True)
+            raise
+        else:
+            self._shutdown_pool(pool, kill=False)
+
+    def _wait_timeout(
+        self,
+        inflight: Dict[Future, Tuple[_Pending, float]],
+        queue: Sequence[_Pending],
+        limit: int,
+    ) -> Optional[float]:
+        """How long ``wait()`` may block before the loop must wake up."""
+        now = time.monotonic()
+        horizons = []
+        if self.config.task_timeout_s is not None:
+            earliest = min(submitted for _, submitted in inflight.values())
+            horizons.append(earliest + self.config.task_timeout_s - now)
+        if queue and len(inflight) < limit:
+            backoff_wake = min(e.not_before for e in queue)
+            if backoff_wake > now:
+                horizons.append(backoff_wake - now)
+        if not horizons:
+            return None
+        return max(0.0, min(horizons))
+
+    def _recover_pool(
+        self,
+        pool: Optional[ProcessPoolExecutor],
+        inflight: Dict[Future, Tuple[_Pending, float]],
+        queue: List[_Pending],
+        results: List[Optional[Dict[str, Any]]],
+        state: _RunState,
+        workers: int,
+        rebuilds: int,
+        kill: bool,
+    ) -> Tuple[Optional[ProcessPoolExecutor], int]:
+        """Drain a broken/killed pool and rebuild it — or degrade.
+
+        Every task still in flight is resolved: completed futures keep
+        their results, broken ones go through the retry machinery.
+        Returns ``(new_pool, rebuilds)``; ``new_pool`` is ``None`` when
+        the rebuild budget is exhausted and the caller must degrade to
+        serial execution.
+        """
+        self._shutdown_pool(pool, kill=kill)
+        if inflight:
+            # Broken futures resolve ~immediately once the pool is
+            # down; the bounded wait is a safety net, not a sleep.
+            done, not_done = wait(set(inflight), timeout=5.0)
+            for future in done:
+                entry, _submitted = inflight.pop(future)
+                try:
+                    envelope = future.result()
+                except Exception as exc:
+                    self._retry_or_fail(entry, exc, state, queue)
+                else:
+                    # The task finished before its worker died.
+                    self._complete(entry, envelope, results, state)
+            for future in not_done:
+                entry, _submitted = inflight.pop(future)
+                # Unresolvable — requeue without consuming an attempt.
+                queue.append(entry)
+                self.trace.record(
+                    "requeued", task_index=entry.index, kind=entry.task.kind,
+                    attempt=entry.attempt,
+                )
+        if rebuilds >= self.config.max_pool_rebuilds:
+            self.counters.degraded_serial += 1
+            self.trace.record(
+                "degrade_serial",
+                detail=f"after {rebuilds} rebuild(s)",
+            )
+            return None, rebuilds
+        rebuilds += 1
+        self.counters.pool_rebuilds += 1
+        self.trace.record("pool_rebuild", detail=f"rebuild #{rebuilds}")
+        return ProcessPoolExecutor(max_workers=workers), rebuilds
+
+    def _degrade_serial(
+        self,
+        queue: List[_Pending],
+        results: List[Optional[Dict[str, Any]]],
+        state: _RunState,
+    ) -> None:
+        """Run every remaining point in-process, in task order."""
+        queue.sort(key=lambda entry: entry.index)
+        self._run_serial(queue, results, state)
+
+    # -- completion / failure handling -------------------------------------
+    def _complete(
+        self,
+        entry: _Pending,
+        envelope: Dict[str, Any],
+        results: List[Optional[Dict[str, Any]]],
+        state: _RunState,
+    ) -> None:
+        result = envelope["result"]
         if self.cache is not None:
-            self.cache.put(key, result, task.describe())
-        return result
+            self.cache.put(entry.key, result, entry.task.describe())
+        results[entry.index] = result
+        state.executed += 1
+        state.done += 1
+        self.trace.record(
+            "finished",
+            task_index=entry.index,
+            kind=entry.task.kind,
+            attempt=entry.attempt,
+            duration_s=envelope.get("elapsed_s"),
+            worker_pid=envelope.get("worker_pid"),
+        )
+        self._progress(state.done, state.total)
+
+    def _retry_or_fail(
+        self,
+        entry: _Pending,
+        exc: BaseException,
+        state: _RunState,
+        queue: Optional[List[_Pending]] = None,
+        timed_out: bool = False,
+    ) -> bool:
+        """Schedule a retry for ``entry`` or record its permanent failure.
+
+        Returns ``True`` when a retry was scheduled.  In ``"raise"``
+        mode a permanent failure raises :class:`RunnerTaskError`
+        immediately (counters are finalized by ``run()``'s ``finally``).
+        """
+        if entry.attempt < self.config.retries:
+            entry.attempt += 1
+            entry.not_before = time.monotonic() + self.config.backoff_s(
+                entry.attempt
+            )
+            self.counters.retried += 1
+            self.trace.record(
+                "retried",
+                task_index=entry.index,
+                kind=entry.task.kind,
+                attempt=entry.attempt,
+                error=repr(exc),
+            )
+            if queue is not None:
+                queue.append(entry)
+            return True
+        failure = TaskFailure(
+            task_index=entry.index,
+            kind=entry.task.kind,
+            key=entry.key,
+            attempts=entry.attempt + 1,
+            error_type=type(exc).__name__,
+            error=str(exc) or repr(exc),
+            timed_out=timed_out,
+        )
+        state.failures.append(failure)
+        state.done += 1
+        self.trace.record(
+            "failed",
+            task_index=entry.index,
+            kind=entry.task.kind,
+            attempt=entry.attempt,
+            error=repr(exc),
+        )
+        self._progress(state.done, state.total)
+        if self.config.on_failure == "raise":
+            raise RunnerTaskError(
+                f"task {entry.index} ({entry.task.kind}) failed after "
+                f"{failure.attempts} attempt(s): {failure.error_type}: "
+                f"{failure.error}",
+                failures=[failure],
+            ) from exc
+        return False
 
     def _progress(self, done: int, total: int) -> None:
         if self.config.progress is not None:
             self.config.progress(done, total)
+
+    @staticmethod
+    def _shutdown_pool(
+        pool: Optional[ProcessPoolExecutor], kill: bool
+    ) -> None:
+        if pool is None:
+            return
+        if kill:
+            # A hung or crashed worker never drains the call queue;
+            # terminate the processes outright before shutdown.
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True)
 
     # -- simulation conveniences ------------------------------------------
     def run_scenarios(
@@ -197,6 +696,7 @@ class ExperimentRunner:
                     )
                 )
         raw = self.run(tasks)
+        require_complete(raw, self.failures)
         grouped: List[List[SimPointResult]] = []
         for i, scenario in enumerate(scenarios):
             chunk = raw[i * repetitions : (i + 1) * repetitions]
@@ -230,9 +730,40 @@ class ExperimentRunner:
             )
             for rep in range(repetitions)
         ]
-        return [
-            rehydrate_simulation(scenario, entry) for entry in self.run(tasks)
-        ]
+        raw = self.run(tasks)
+        require_complete(raw, self.failures)
+        return [rehydrate_simulation(scenario, entry) for entry in raw]
+
+
+def _pool_died_error() -> RuntimeError:
+    return RuntimeError(
+        "worker process died abruptly (BrokenProcessPool)"
+    )
+
+
+def require_complete(
+    results: Sequence[Optional[Dict[str, Any]]],
+    failures: Sequence[TaskFailure] = (),
+) -> None:
+    """Raise :class:`RunnerTaskError` if any result slot is ``None``.
+
+    The guard between a partial-results run and code that rehydrates
+    every slot (sweeps, Figure 2 / Table 2, boost validation): instead
+    of a ``TypeError`` deep inside aggregation, callers get the failed
+    indices and the structured failure records.
+    """
+    missing = [i for i, entry in enumerate(results) if entry is None]
+    if not missing:
+        return
+    shown = ", ".join(str(i) for i in missing[:8])
+    if len(missing) > 8:
+        shown += ", ..."
+    raise RunnerTaskError(
+        f"{len(missing)} of {len(results)} task(s) have no result "
+        f"(failed indices: {shown}); inspect runner.failures for "
+        "per-task records or re-run with retries",
+        failures=failures,
+    )
 
 
 def rehydrate_simulation(

@@ -34,6 +34,8 @@ Task kinds
 from __future__ import annotations
 
 import dataclasses
+import os
+import time
 from typing import Any, Dict, Optional
 
 from .seeding import SeedSpec, streams_for
@@ -43,7 +45,7 @@ from .serialize import (
     timing_from_jsonable,
 )
 
-__all__ = ["Task", "TaskKind", "execute_task"]
+__all__ = ["Task", "TaskKind", "execute_task", "run_task"]
 
 
 class TaskKind:
@@ -165,9 +167,30 @@ _EXECUTORS = {
 
 
 def execute_task(task: Task) -> Dict[str, Any]:
-    """Run one task to completion (worker-process entry point)."""
+    """Run one task to completion."""
     try:
         executor = _EXECUTORS[task.kind]
     except KeyError:
         raise ValueError(f"unknown task kind {task.kind!r}") from None
     return executor(task.payload, task.seed)
+
+
+def run_task(task: Task) -> Dict[str, Any]:
+    """Worker-process entry point: fault hook, timing, pid annotation.
+
+    Wraps :func:`execute_task` in an envelope carrying the executing
+    worker's pid and wall-clock duration for the telemetry layer, and
+    applies the :mod:`repro.runner.faults` injection hook (a no-op
+    unless ``REPRO_FAULT_INJECT`` is configured).  The runner caches
+    and returns only ``envelope["result"]``.
+    """
+    from .faults import inject_for_task
+
+    inject_for_task(task)
+    started = time.perf_counter()
+    result = execute_task(task)
+    return {
+        "result": result,
+        "worker_pid": os.getpid(),
+        "elapsed_s": time.perf_counter() - started,
+    }

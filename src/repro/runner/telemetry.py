@@ -1,0 +1,117 @@
+"""Run telemetry: per-task lifecycle events and failure records.
+
+The runner emits one :class:`TaskEvent` per lifecycle transition of
+every task it schedules — ``queued``, ``cache_hit``, ``started``,
+``retried``, ``timeout``, ``failed``, ``finished`` — plus run-level
+events (``run_start``, ``run_end``, ``pool_rebuild``,
+``degrade_serial``).  A :class:`TraceRecorder` collects them in order
+and can append them to a JSONL file (one event object per line), which
+is what ``repro-plc ... --trace FILE`` writes.
+
+Permanently failed tasks additionally get a structured
+:class:`TaskFailure` record (collected on
+``ExperimentRunner.failures``), so a partial-results sweep can report
+exactly which points were lost, after how many attempts, and why.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["TaskEvent", "TaskFailure", "TraceRecorder"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskEvent:
+    """One lifecycle transition of one task (or of the run itself).
+
+    ``t_s`` is seconds since the recorder was created — a single
+    monotonic origin for the whole trace, so event ordering and
+    durations are meaningful across workers.
+    """
+
+    event: str
+    t_s: float
+    #: Slot of the task in the ``run()`` batch; ``None`` for run-level
+    #: events (``run_start``, ``pool_rebuild``, ...).
+    task_index: Optional[int] = None
+    kind: Optional[str] = None
+    #: Failed attempts before this one (0 = first execution).
+    attempt: int = 0
+    #: Wall-clock seconds the task spent executing (``finished`` only).
+    duration_s: Optional[float] = None
+    #: PID of the worker process that executed the task.
+    worker_pid: Optional[int] = None
+    error: Optional[str] = None
+    detail: Optional[str] = None
+
+    def as_jsonable(self) -> Dict[str, Any]:
+        return {
+            key: value
+            for key, value in dataclasses.asdict(self).items()
+            if value is not None
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskFailure:
+    """Why one task produced no result.
+
+    ``attempts`` counts every execution attempt (1 + retries).  The
+    failed slot in the results list is ``None``; this record is the
+    structured explanation.
+    """
+
+    task_index: int
+    kind: str
+    key: str
+    attempts: int
+    error_type: str
+    error: str
+    timed_out: bool = False
+
+    def as_jsonable(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class TraceRecorder:
+    """Collect :class:`TaskEvent` records; flush them to JSONL.
+
+    ``flush_jsonl`` appends only the events recorded since the last
+    flush, so a runner shared across several ``run()`` calls keeps one
+    coherent trace file.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TaskEvent] = []
+        self._t0 = time.perf_counter()
+        self._flushed = 0
+
+    def record(self, event: str, **fields: Any) -> TaskEvent:
+        item = TaskEvent(
+            event=event, t_s=time.perf_counter() - self._t0, **fields
+        )
+        self.events.append(item)
+        return item
+
+    def of_kind(self, event: str) -> List[TaskEvent]:
+        """Events with the given ``event`` name, in record order."""
+        return [e for e in self.events if e.event == event]
+
+    def flush_jsonl(self, path: Union[str, Path]) -> int:
+        """Append unflushed events to ``path``; return how many."""
+        fresh = self.events[self._flushed :]
+        if not fresh:
+            return 0
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as handle:
+            for event in fresh:
+                handle.write(json.dumps(event.as_jsonable()) + "\n")
+        self._flushed = len(self.events)
+        return len(fresh)

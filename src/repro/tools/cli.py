@@ -19,6 +19,10 @@ Experiment subcommands backed by :mod:`repro.runner` (``sweep``,
 ``figure2``, ``boost``) accept ``--workers N`` to simulate points on
 ``N`` worker processes and ``--cache-dir DIR`` to memoize completed
 points on disk; results are bit-identical for any ``--workers`` value.
+Long sweeps survive faults with ``--retries K`` (re-run a crashed
+point up to ``K`` times, same seed — retry cannot change the numbers)
+and ``--task-timeout S`` (kill points hung longer than ``S`` seconds);
+``--trace FILE`` appends the per-task lifecycle trace as JSONL.
 """
 
 from __future__ import annotations
@@ -39,8 +43,22 @@ def _worker_count(value: str) -> int:
     return count
 
 
+def _retry_count(value: str) -> int:
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError("--retries must be >= 0")
+    return count
+
+
+def _timeout_seconds(value: str) -> float:
+    seconds = float(value)
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError("--task-timeout must be > 0")
+    return seconds
+
+
 def _add_runner_args(parser: argparse.ArgumentParser) -> None:
-    """``--workers`` / ``--cache-dir`` for runner-backed subcommands."""
+    """Runner knobs for runner-backed subcommands."""
     parser.add_argument(
         "--workers",
         type=_worker_count,
@@ -53,23 +71,57 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="directory for the on-disk result cache (default: off)",
     )
+    parser.add_argument(
+        "--retries",
+        type=_retry_count,
+        default=0,
+        help="retry attempts per failed/crashed point (same seed, "
+        "so results are unchanged; default: 0)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=_timeout_seconds,
+        default=None,
+        metavar="SECONDS",
+        help="per-point wall-clock limit; hung workers are killed and "
+        "the point is retried (default: no limit)",
+    )
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="append the per-task lifecycle trace to FILE as JSONL",
+    )
 
 
 def _runner_from_args(args: argparse.Namespace):
     from ..runner import ExperimentRunner
 
     return ExperimentRunner(
-        max_workers=args.workers, cache_dir=args.cache_dir
+        max_workers=args.workers,
+        cache_dir=args.cache_dir,
+        retries=args.retries,
+        task_timeout_s=args.task_timeout,
+        trace_path=args.trace,
     )
 
 
 def _print_runner_counters(runner) -> None:
     c = runner.counters
-    print(
+    line = (
         f"[runner] points={c.points_total} executed={c.executed} "
         f"cache_hits={c.cache_hits} corrupt={c.cache_corrupt} "
         f"workers={c.workers} wall={c.wall_time_s:.2f}s"
     )
+    if c.retried or c.failed or c.timeouts or c.pool_rebuilds:
+        line += (
+            f" retried={c.retried} failed={c.failed} "
+            f"timeouts={c.timeouts} pool_rebuilds={c.pool_rebuilds}"
+        )
+    if c.degraded_serial:
+        line += f" degraded_serial={c.degraded_serial}"
+    print(line)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -364,8 +416,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {args.cache_dir}")
     else:
+        orphans = sum(1 for _ in cache.temp_paths())
         print(f"cache dir : {args.cache_dir}")
         print(f"entries   : {len(cache)}")
+        if orphans:
+            print(f"orphaned  : {orphans} temp file(s) (swept by 'clear')")
     return 0
 
 

@@ -176,3 +176,79 @@ class TestCorruptEntries:
         assert entry["task"] == task.describe()
         assert cache.clear() == 1
         assert len(cache) == 0
+
+
+class TestTempFiles:
+    """In-flight ``.tmp-*.json`` atomic-write files are not entries.
+
+    They match ``glob("*.json")``, so naive counting over-counts and a
+    naive ``clear()`` can unlink a temp file out from under a
+    concurrent ``put()``'s ``os.replace``.
+    """
+
+    @staticmethod
+    def _orphan(tmp_path, n):
+        import tempfile as _tempfile
+
+        for _ in range(n):
+            fd, _ = _tempfile.mkstemp(
+                dir=tmp_path, prefix=".tmp-", suffix=".json"
+            )
+            import os as _os
+
+            _os.close(fd)
+
+    @given(entries=st.integers(0, 4), orphans=st.integers(0, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_len_never_counts_partial_writes(
+        self, tmp_path_factory, entries, orphans
+    ):
+        tmp_path = tmp_path_factory.mktemp("cache")
+        cache = ResultCache(tmp_path)
+        for i in range(entries):
+            task = _simulate_task(num_stations=i + 1)
+            cache.put(cache_key(task.describe()), {"i": i}, task.describe())
+        self._orphan(tmp_path, orphans)
+        assert len(cache) == entries
+        assert sum(1 for _ in cache.temp_paths()) == orphans
+
+    def test_clear_sweeps_orphans_but_counts_only_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = _simulate_task()
+        cache.put(cache_key(task.describe()), {"ok": 1}, task.describe())
+        self._orphan(tmp_path, 3)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert sum(1 for _ in cache.temp_paths()) == 0
+        assert list(tmp_path.glob("*")) == []
+
+    def test_put_survives_concurrent_clear_sweeping_its_temp(
+        self, tmp_path, monkeypatch
+    ):
+        import os as _os
+
+        cache = ResultCache(tmp_path)
+        task = _simulate_task()
+        key = cache_key(task.describe())
+        real_replace = _os.replace
+        raced = {"done": False}
+
+        def racing_replace(src, dst):
+            # A concurrent clear() sweeps the temp file (and everything
+            # else) between the write and the rename — exactly once.
+            if not raced["done"]:
+                raced["done"] = True
+                ResultCache(tmp_path).clear()
+                return real_replace(src, dst)  # src is gone -> ENOENT
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(_os, "replace", racing_replace)
+        cache.put(key, {"ok": 1}, task.describe())  # must not raise
+        monkeypatch.setattr(_os, "replace", real_replace)
+        assert cache.get(key) == {"ok": 1}
+
+    def test_empty_or_missing_dir(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert len(cache) == 0
+        assert cache.clear() == 0
+        assert list(cache.temp_paths()) == []
