@@ -19,6 +19,9 @@ The library provides, as independent subpackages:
 - :mod:`repro.experiments` — the §3 measurement methodology as code;
 - :mod:`repro.runner` — parallel experiment execution with
   deterministic per-point seeding and on-disk result caching;
+- :mod:`repro.obs` — in-simulation observability: MAC/PHY event
+  probes, a metrics registry, JSONL MAC + sniffer-style SoF traces
+  with trace-vs-direct cross-checks, and an engine profiler;
 - :mod:`repro.traffic`, :mod:`repro.report` — traffic generation and
   text rendering of tables/figures.
 

@@ -230,10 +230,31 @@ class DelayStats:
 
 
 def delay_stats(delays_us: Sequence[float]) -> DelayStats:
-    """Compute :class:`DelayStats` from raw per-frame delays."""
+    """Compute :class:`DelayStats` from raw per-frame delays.
+
+    Degenerate input yields NaN statistics with ``count=0``, consistent
+    with :func:`short_term_fairness` / :func:`capture_probability`
+    returning NaN rather than raising:
+
+    >>> empty = delay_stats([])
+    >>> empty.count
+    0
+    >>> import math
+    >>> math.isnan(empty.mean) and math.isnan(empty.p99)
+    True
+    """
     d = np.asarray(list(delays_us), dtype=float)
     if d.size == 0:
-        raise ValueError("delay_stats needs at least one delay sample")
+        nan = float("nan")
+        return DelayStats(
+            mean=nan,
+            std=nan,
+            median=nan,
+            p95=nan,
+            p99=nan,
+            maximum=nan,
+            count=0,
+        )
     return DelayStats(
         mean=float(d.mean()),
         std=float(d.std(ddof=0)),

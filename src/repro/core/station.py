@@ -102,6 +102,11 @@ class Station:
         self.drops = 0
         self.jumps = 0
         self._attempting = False
+        #: Optional :class:`repro.obs.probe.MacProbe`; ``None`` keeps
+        #: the hot path to a single attribute check per site.
+        self.probe = None
+        #: Identity stamped on emitted events (set by the owning node).
+        self.probe_id = index
 
     def __repr__(self) -> str:
         return (
@@ -127,10 +132,23 @@ class Station:
         *current* BPC as stage selector and then increments BPC.
         """
         stage = min(self.bpc, self.config.num_stages - 1)
+        bpc_before = self.bpc
         self.cw = self.config.cw[stage]
         self.dc = self.config.dc[stage]
         self.bc = int(self.rng.integers(0, self.cw))
         self.bpc += 1
+        if self.probe is not None:
+            self.probe.emit(
+                {
+                    "event": "backoff_stage",
+                    "station": self.probe_id,
+                    "stage": stage,
+                    "bpc": bpc_before,
+                    "cw": self.cw,
+                    "bc": self.bc,
+                    "dc": self.dc,
+                }
+            )
 
     # -- lifecycle --------------------------------------------------------
     def reset_for_new_frame(self) -> None:
@@ -169,10 +187,28 @@ class Station:
                 if self.dc == 0 and self.bpc > 0 and self.bc != 0:
                     # Deferral-counter expiry: stage jump without attempt.
                     self.jumps += 1
+                    if self.probe is not None:
+                        self.probe.emit(
+                            {
+                                "event": "dc_jump",
+                                "station": self.probe_id,
+                                "bpc": self.bpc,
+                                "bc": self.bc,
+                            }
+                        )
                 self._redraw()
             else:
                 self.bc -= 1
                 self.dc -= 1
+                if self.probe is not None:
+                    self.probe.emit(
+                        {
+                            "event": "defer",
+                            "station": self.probe_id,
+                            "bc": self.bc,
+                            "dc": self.dc,
+                        }
+                    )
         else:  # IDLE: medium was idle in the previous slot.
             self.bc -= 1
 

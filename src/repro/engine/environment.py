@@ -32,6 +32,9 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_proc: Optional[Process] = None
+        #: Optional engine monitor (e.g. ``repro.obs.profiler``); the
+        #: ``is not None`` guard in :meth:`step` is the disabled fast path.
+        self._monitor: Optional[Any] = None
 
     def __repr__(self) -> str:
         return f"<Environment(now={self._now}, queued={len(self._queue)})>"
@@ -46,6 +49,24 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_proc
+
+    # -- monitoring ------------------------------------------------------
+    @property
+    def monitor(self) -> Optional[Any]:
+        """The attached engine monitor, if any."""
+        return self._monitor
+
+    def set_monitor(self, monitor: Optional[Any]) -> None:
+        """Attach (or with ``None`` detach) an engine monitor.
+
+        A monitor observes every processed event via
+        ``monitor.event_begin(event)`` / ``monitor.event_end(event)``
+        around the callback dispatch in :meth:`step`.  ``event_begin``
+        runs while ``event.callbacks`` is still intact, so monitors can
+        classify the event by its registered callbacks (see
+        :class:`repro.obs.profiler.EngineProfiler`).
+        """
+        self._monitor = monitor
 
     # -- event factories -------------------------------------------------
     def event(self) -> Event:
@@ -93,9 +114,16 @@ class Environment:
         except IndexError:
             raise EmptySchedule("no scheduled events left") from None
 
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.event_begin(event)
+
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
+
+        if monitor is not None:
+            monitor.event_end(event)
 
         if not event._ok and not event.defused:
             # An event failed and nothing handled the failure.

@@ -142,6 +142,7 @@ def repeat_tests(
     seed: int = 1,
     warmup_us: float = DEFAULT_WARMUP_US,
     runner=None,
+    obs=None,
     **testbed_kwargs,
 ) -> CollisionTestSeries:
     """The paper's 10-test average at one network size.
@@ -152,10 +153,26 @@ def repeat_tests(
     parallel repetitions and on-disk memoization — cannot change the
     numbers.  Non-JSON-serializable ``testbed_kwargs`` (e.g. live
     config objects) fall back to the in-process loop.
+
+    ``obs`` (an :class:`~repro.obs.capture.ObsConfig` or its dict form)
+    captures per-repetition traces: each repetition's artifacts land in
+    ``obs.dir`` labelled ``rep<r>`` (a non-empty ``obs.label`` becomes
+    the prefix ``<label>_rep<r>``).
     """
     import json
 
     from ..runner import ExperimentRunner, Task, TaskKind, require_complete
+
+    obs_per_rep = [None] * repetitions
+    if obs is not None:
+        from ..obs.capture import ObsConfig
+
+        base = ObsConfig.from_jsonable(obs)
+        prefix = f"{base.label}_" if base.label else ""
+        obs_per_rep = [
+            dataclasses.replace(base, label=f"{prefix}rep{repetition}")
+            for repetition in range(repetitions)
+        ]
 
     payload_kwargs = testbed_kwargs
     if testbed_kwargs:
@@ -164,32 +181,44 @@ def repeat_tests(
         except TypeError:
             payload_kwargs = None
     if payload_kwargs is None:
-        tests = [
-            run_collision_test(
-                num_stations,
-                duration_us=duration_us,
-                warmup_us=warmup_us,
-                seed=seed + repetition * 1000,
-                **testbed_kwargs,
-            )
-            for repetition in range(repetitions)
-        ]
+        tests = []
+        for repetition in range(repetitions):
+            rep_seed = seed + repetition * 1000
+            if obs_per_rep[repetition] is not None:
+                from ..obs.capture import observed_collision_test
+
+                test, _capture = observed_collision_test(
+                    num_stations,
+                    obs_per_rep[repetition],
+                    duration_us=duration_us,
+                    warmup_us=warmup_us,
+                    seed=rep_seed,
+                    **testbed_kwargs,
+                )
+            else:
+                test = run_collision_test(
+                    num_stations,
+                    duration_us=duration_us,
+                    warmup_us=warmup_us,
+                    seed=rep_seed,
+                    **testbed_kwargs,
+                )
+            tests.append(test)
         return CollisionTestSeries(tests=tests)
 
     runner = runner if runner is not None else ExperimentRunner()
-    tasks = [
-        Task(
-            kind=TaskKind.COLLISION_TEST,
-            payload={
-                "num_stations": num_stations,
-                "duration_us": duration_us,
-                "warmup_us": warmup_us,
-                "seed": seed + repetition * 1000,
-                "testbed_kwargs": payload_kwargs,
-            },
-        )
-        for repetition in range(repetitions)
-    ]
+    tasks = []
+    for repetition in range(repetitions):
+        payload = {
+            "num_stations": num_stations,
+            "duration_us": duration_us,
+            "warmup_us": warmup_us,
+            "seed": seed + repetition * 1000,
+            "testbed_kwargs": payload_kwargs,
+        }
+        if obs_per_rep[repetition] is not None:
+            payload["obs"] = obs_per_rep[repetition].as_jsonable()
+        tasks.append(Task(kind=TaskKind.COLLISION_TEST, payload=payload))
     entries = runner.run(tasks)
     require_complete(entries, runner.failures)
     tests = [

@@ -69,6 +69,33 @@ class RoundLog:
             return 0.0
         return self.airtime_by_source.get(tei, 0.0) / total
 
+    def as_dict(self) -> Dict[str, object]:
+        """Counters as a plain dict (mirrors ``RunnerCounters.as_dict``).
+
+        >>> log = RoundLog(rounds=3, successes=2, collisions=1)
+        >>> log.as_dict()["collisions"]
+        1
+        """
+        return {
+            "rounds": self.rounds,
+            "idle_slots": self.idle_slots,
+            "successes": self.successes,
+            "collisions": self.collisions,
+            "prs_phases": self.prs_phases,
+            "mpdus_on_wire": self.mpdus_on_wire,
+            "airtime_by_source": dict(self.airtime_by_source),
+        }
+
+    def reset(self) -> None:
+        """Zero all counters (long-running coordinators, warmup cuts)."""
+        self.rounds = 0
+        self.idle_slots = 0
+        self.successes = 0
+        self.collisions = 0
+        self.prs_phases = 0
+        self.mpdus_on_wire = 0
+        self.airtime_by_source.clear()
+
 
 class ContentionCoordinator:
     """Drives all attached :class:`MacNode` instances over a strip."""
@@ -85,6 +112,8 @@ class ContentionCoordinator:
         self.timing = timing if timing is not None else PhyTiming.paper_calibrated()
         self.nodes: List[MacNode] = []
         self.log = RoundLog()
+        #: Optional :class:`repro.obs.probe.MacProbe` (``None`` = off).
+        self.probe = None
         self._work_event: Optional[Event] = None
         self._process = env.process(self._run())
         self._max_idle_slots = max_idle_slots_between_prs
@@ -125,6 +154,15 @@ class ContentionCoordinator:
             contenders = [
                 node for node in self.nodes if node.begin_round(winning)
             ]
+            if self.probe is not None:
+                self.probe.emit(
+                    {
+                        "event": "prs",
+                        "winning": int(winning),
+                        "pending": len(pending),
+                        "contenders": len(contenders),
+                    }
+                )
             if not contenders:
                 continue
 
@@ -136,6 +174,12 @@ class ContentionCoordinator:
                 if not attempters:
                     yield self.env.timeout(self.timing.slot_us)
                     self.log.idle_slots += 1
+                    if self.probe is not None:
+                        # Emitted adjacent to the counter increment so a
+                        # truncated run leaves trace and RoundLog equal.
+                        self.probe.emit(
+                            {"event": "slot", "outcome": "idle"}
+                        )
                     idle_run += 1
                     for node in contenders:
                         node.resolve(SlotOutcome.IDLE)
@@ -158,6 +202,18 @@ class ContentionCoordinator:
             self.strip.observe_sof(sof, self.env.now, collided=False)
             airtime = self.timing.mpdu_airtime_us(mpdu)
             self.log.add_airtime(burst.source_tei, airtime)
+            if self.probe is not None:
+                # One event per add_airtime call, same value and order:
+                # trace consumers accumulate the exact floats that end
+                # up in ``RoundLog.airtime_by_source``, even when the
+                # run cuts off mid-burst.
+                self.probe.emit(
+                    {
+                        "event": "airtime",
+                        "source_tei": burst.source_tei,
+                        "airtime_us": airtime,
+                    }
+                )
             yield self.env.timeout(airtime)
             error_flags_per_mpdu.append(
                 self.strip.deliver_mpdu(mpdu, self.env.now)
@@ -175,6 +231,15 @@ class ContentionCoordinator:
             winner.notify_sack(sack, burst, "success")
         yield self.env.timeout(self.timing.cifs_us)
         self.log.successes += 1
+        if self.probe is not None:
+            self.probe.emit(
+                {
+                    "event": "slot",
+                    "outcome": "success",
+                    "sources": [burst.source_tei],
+                    "mpdus": len(burst.mpdus),
+                }
+            )
         for node in contenders:
             node.resolve(SlotOutcome.SUCCESS, won=(node is winner))
 
@@ -195,6 +260,14 @@ class ContentionCoordinator:
                 schedule.append((offset, sof))
                 offset += self.timing.mpdu_airtime_us(mpdu)
             self.log.add_airtime(burst.source_tei, offset)
+            if self.probe is not None:
+                self.probe.emit(
+                    {
+                        "event": "airtime",
+                        "source_tei": burst.source_tei,
+                        "airtime_us": offset,
+                    }
+                )
             longest = max(longest, offset)
         schedule.sort(key=lambda item: item[0])
         for offset, sof in schedule:
@@ -207,5 +280,14 @@ class ContentionCoordinator:
                 self.log.mpdus_on_wire += 1
         yield self.env.timeout(self.timing.cifs_us)
         self.log.collisions += 1
+        if self.probe is not None:
+            self.probe.emit(
+                {
+                    "event": "slot",
+                    "outcome": "collision",
+                    "sources": [burst.source_tei for burst in bursts],
+                    "mpdus": sum(len(burst.mpdus) for burst in bursts),
+                }
+            )
         for node in contenders:
             node.resolve(SlotOutcome.COLLISION)

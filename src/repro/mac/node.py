@@ -81,6 +81,8 @@ class MacNode:
         self.tx_bursts = 0
         self.tx_collisions = 0
         self.phy_retransmissions = 0
+        #: Optional :class:`repro.obs.probe.MacProbe` (``None`` = off).
+        self.probe = None
 
     # -- station management ------------------------------------------------
     def station_for(self, priority: PriorityClass) -> Station:
@@ -92,8 +94,23 @@ class MacNode:
             rng: np.random.Generator = self._streams.stream(
                 "backoff", self.name, int(priority)
             )
-            self._stations[priority] = Station(config, rng)
+            station = Station(config, rng)
+            station.probe = self.probe
+            station.probe_id = self.name
+            self._stations[priority] = station
         return self._stations[priority]
+
+    def set_probe(self, probe) -> None:
+        """Attach (or with ``None`` detach) an observability probe.
+
+        Propagates to the per-priority backoff stations, existing and
+        lazily created later, stamping this node's name as their
+        ``probe_id``.
+        """
+        self.probe = probe
+        for station in self._stations.values():
+            station.probe = probe
+            station.probe_id = self.name
 
     # -- ingress -------------------------------------------------------------
     def submit_data(
@@ -102,6 +119,15 @@ class MacNode:
         """Host Ethernet ingress; returns False if the queue dropped it."""
         accepted = self.queues.enqueue_data(frame, priority)
         if accepted:
+            if self.probe is not None:
+                self.probe.emit(
+                    {
+                        "event": "queue",
+                        "station": self.name,
+                        "priority": int(priority),
+                        "depth": self.queues.depth(priority),
+                    }
+                )
             self.work_signal()
         return accepted
 
@@ -109,6 +135,15 @@ class MacNode:
         """Queue a management message for over-the-wire transmission."""
         accepted = self.queues.enqueue_mme(mme)
         if accepted:
+            if self.probe is not None:
+                self.probe.emit(
+                    {
+                        "event": "queue",
+                        "station": self.name,
+                        "priority": int(mme.priority),
+                        "depth": self.queues.depth(mme.priority),
+                    }
+                )
             self.work_signal()
         return accepted
 
@@ -202,6 +237,16 @@ class MacNode:
         MPDU for MAC-level retransmission (whole-MPDU ARQ; see
         :meth:`repro.phy.channel.PowerStrip.deliver_mpdu`).
         """
+        if self.probe is not None:
+            self.probe.emit(
+                {
+                    "event": "sack",
+                    "station": self.name,
+                    "outcome": outcome,
+                    "mpdu_id": sack.mpdu_id,
+                    "ok": sack.ok,
+                }
+            )
         if outcome == "collision":
             self.tx_collisions += 1
         elif not sack.ok:

@@ -1,0 +1,156 @@
+"""The in-simulation probe: a lightweight MAC/PHY event bus.
+
+Instrumented hot paths (:class:`~repro.core.station.Station`,
+:class:`~repro.mac.node.MacNode`,
+:class:`~repro.mac.coordinator.ContentionCoordinator`,
+:class:`~repro.phy.channel.PowerStrip`) each hold a ``probe``
+attribute that is ``None`` by default.  The **disabled fast path** is
+the ``probe is not None`` guard: with no probe attached, the only cost
+the instrumentation adds to a simulation is one attribute load and an
+identity check per instrumented site — no event dict is ever built, no
+call is made.  ``tests/obs/test_overhead.py`` bounds that cost at
+under 5 % of a fixed Table-2 point and
+``benchmarks/bench_observability.py`` measures it.
+
+When a :class:`MacProbe` *is* attached, instrumented sites build one
+plain-dict event and hand it to :meth:`MacProbe.emit`, which stamps
+the simulation time (``t_us``, from the probe's clock) and fans the
+event out to every subscriber.  Subscribers are plain callables —
+trace recorders (:mod:`repro.obs.trace`), the metrics adapter
+(:class:`repro.obs.registry.ProbeMetrics`), or ad-hoc lambdas in
+tests.
+
+Event vocabulary (the ``event`` key of every dict):
+
+===============  ============================================================
+``backoff_stage``  a station redrew BC: new ``stage``/``cw``/``bc``/``dc``,
+                   with ``bpc`` counted *before* the redraw incremented it
+``dc_jump``        deferral-counter expiry: stage jump without an attempt
+``defer``          busy-slot BC/DC decrement (values after the decrement)
+``prs``            one priority-resolution phase: ``winning`` class,
+                   ``pending``/``contenders`` counts
+``slot``           one contention slot event: ``outcome`` of ``idle`` /
+                   ``success`` / ``collision``; transmissions carry
+                   their ``sources`` (TEIs) and total ``mpdus``
+``airtime``        one busy-airtime quantum attributed to a TEI —
+                   emitted adjacent to each ``RoundLog.add_airtime``
+                   call, same value and order, so trace-side sums are
+                   bitwise-equal to the direct accumulation
+``sof``            one SoF delimiter on the wire (sniffer observables:
+                   ``timestamp_us``, TEIs, ``link_id``, ``mpdu_count``,
+                   ``frame_length_bytes``, ``num_blocks``, ``collided``)
+``sack``           a selective acknowledgment delivered to a node
+``queue``          queue occupancy after an enqueue (``depth``)
+===============  ============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+__all__ = ["MacProbe", "instrument", "instrument_testbed", "deinstrument"]
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+class MacProbe:
+    """Fan-out bus for structured MAC/PHY events.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current simulation time in
+        µs (usually ``lambda: env.now``).  Every emitted event is
+        stamped with it under ``t_us``.
+    """
+
+    __slots__ = ("clock", "_subscribers")
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.clock: Callable[[], float] = clock or _zero_clock
+        self._subscribers: List[Callable[[Dict[str, Any]], None]] = []
+
+    def __repr__(self) -> str:
+        return f"<MacProbe subscribers={len(self._subscribers)}>"
+
+    # -- subscriptions ---------------------------------------------------
+    @property
+    def subscribers(self) -> int:
+        return len(self._subscribers)
+
+    def subscribe(self, callback: Callable[[Dict[str, Any]], None]) -> None:
+        """Register ``callback`` to receive every emitted event."""
+        if callback in self._subscribers:
+            raise ValueError("callback already subscribed")
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[Dict[str, Any]], None]) -> None:
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
+    # -- emission --------------------------------------------------------
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Stamp ``event`` with ``t_us`` and deliver it to subscribers.
+
+        With no subscribers the event is dropped without being stamped
+        (the secondary fast path; the primary one is the caller's
+        ``probe is not None`` guard, which avoids building the dict at
+        all).
+        """
+        subscribers = self._subscribers
+        if not subscribers:
+            return
+        event["t_us"] = self.clock()
+        for callback in subscribers:
+            callback(event)
+
+
+def instrument(
+    probe: MacProbe,
+    coordinator=None,
+    strip=None,
+    nodes: Iterable = (),
+) -> MacProbe:
+    """Attach ``probe`` to already-built simulation components.
+
+    Sets the ``probe`` attribute of the contention coordinator, the
+    power strip, and each MAC node (which propagates to the per-priority
+    backoff stations).  Pass ``probe=None``-detaching is done with
+    :func:`deinstrument`.
+    """
+    if coordinator is not None:
+        coordinator.probe = probe
+    if strip is not None:
+        strip.probe = probe
+    for node in nodes:
+        node.set_probe(probe)
+    return probe
+
+
+def instrument_testbed(testbed, probe: Optional[MacProbe] = None) -> MacProbe:
+    """Attach a probe to every layer of a built testbed.
+
+    Covers the coordinator (PRS/slot events), the strip (SoF events)
+    and all device MAC nodes (backoff, SACK and queue events).  Returns
+    the probe (a fresh one clocked on ``testbed.env`` if none given).
+    """
+    if probe is None:
+        probe = MacProbe(clock=lambda: testbed.env.now)
+    return instrument(
+        probe,
+        coordinator=testbed.avln.coordinator,
+        strip=testbed.avln.strip,
+        nodes=[device.node for device in testbed.avln.devices],
+    )
+
+
+def deinstrument(coordinator=None, strip=None, nodes: Iterable = ()) -> None:
+    """Detach probes from components (restores the disabled fast path)."""
+    if coordinator is not None:
+        coordinator.probe = None
+    if strip is not None:
+        strip.probe = None
+    for node in nodes:
+        node.set_probe(None)

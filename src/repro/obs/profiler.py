@@ -1,0 +1,176 @@
+"""Engine profiler: where does the event loop spend its wall time?
+
+:class:`EngineProfiler` attaches to an
+:class:`~repro.engine.Environment` as its monitor (the ``is not None``
+guard in ``Environment.step`` is the disabled fast path) and times the
+callback dispatch of every processed event.  Events are classified by
+*process type*: the generator name of the process the event resumes
+(``_beacon_process``, ``_run``, ``_channel_est_process``, …), falling
+back to the event class name for bare events.
+
+The :class:`ProfileReport` answers the ROADMAP's perf questions
+directly: events processed per wall-second, simulated µs advanced per
+wall-second, and the wall-time share of each process type —
+``benchmarks/bench_observability.py`` persists it as ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["EngineProfiler", "ProfileReport"]
+
+
+def _event_label(event: Any) -> str:
+    """Process-type label for a scheduled event.
+
+    A :class:`~repro.engine.process.Process` completion event carries
+    its own generator; other events are attributed to the process they
+    resume (their callbacks are bound ``Process._resume`` methods).
+    Runs in :meth:`Environment.step` *before* the callback swap, so
+    ``event.callbacks`` is still intact.
+    """
+    generator = getattr(event, "_generator", None)
+    if generator is not None:
+        return getattr(generator, "__name__", "process")
+    callbacks = event.callbacks
+    if callbacks:
+        for callback in callbacks:
+            owner = getattr(callback, "__self__", None)
+            generator = getattr(owner, "_generator", None)
+            if generator is not None:
+                return getattr(generator, "__name__", "process")
+    return type(event).__name__
+
+
+@dataclasses.dataclass
+class ProfileReport:
+    """Aggregated engine-profiling results (JSON-able via as_dict)."""
+
+    total_events: int
+    wall_s: float
+    sim_us: float
+    events_per_sec: float
+    sim_us_per_wall_s: float
+    #: label → {"count": int, "wall_s": float, "share": float}
+    by_label: Dict[str, Dict[str, float]]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "total_events": self.total_events,
+            "wall_s": self.wall_s,
+            "sim_us": self.sim_us,
+            "events_per_sec": self.events_per_sec,
+            "sim_us_per_wall_s": self.sim_us_per_wall_s,
+            "by_label": {
+                label: dict(entry) for label, entry in self.by_label.items()
+            },
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"events processed : {self.total_events}",
+            f"wall time        : {self.wall_s:.3f} s",
+            f"simulated time   : {self.sim_us:.0f} us",
+            f"events/sec       : {self.events_per_sec:,.0f}",
+            f"sim-us per wall-s: {self.sim_us_per_wall_s:,.0f}",
+            "",
+            f"{'process type':<28} {'events':>10} {'wall s':>10} {'share':>7}",
+        ]
+        ranked = sorted(
+            self.by_label.items(),
+            key=lambda item: item[1]["wall_s"],
+            reverse=True,
+        )
+        for label, entry in ranked:
+            lines.append(
+                f"{label:<28} {int(entry['count']):>10} "
+                f"{entry['wall_s']:>10.4f} {entry['share']:>6.1%}"
+            )
+        return "\n".join(lines)
+
+
+class EngineProfiler:
+    """Environment monitor timing every event's callback dispatch.
+
+    Usage::
+
+        profiler = EngineProfiler()
+        profiler.attach(env)
+        env.run(until=...)
+        profiler.detach()
+        print(profiler.report().format())
+    """
+
+    def __init__(self) -> None:
+        self._by_label: Dict[str, List[float]] = {}  # label -> [count, wall]
+        self.total_events = 0
+        self._env: Optional[Any] = None
+        self._wall_start: Optional[float] = None
+        self._sim_start = 0.0
+        self._wall_total = 0.0
+        self._sim_total = 0.0
+        self._current_label = ""
+        self._current_start = 0.0
+
+    # -- lifecycle -------------------------------------------------------
+    def attach(self, env: Any) -> "EngineProfiler":
+        """Install as ``env``'s monitor and start the wall/sim clocks."""
+        env.set_monitor(self)
+        self._env = env
+        self._wall_start = time.perf_counter()
+        self._sim_start = env.now
+        return self
+
+    def detach(self) -> None:
+        """Uninstall and fold the elapsed wall/sim spans into totals."""
+        if self._env is None:
+            return
+        self._wall_total += time.perf_counter() - self._wall_start
+        self._sim_total += self._env.now - self._sim_start
+        self._env.set_monitor(None)
+        self._env = None
+        self._wall_start = None
+
+    # -- Environment monitor hooks --------------------------------------
+    def event_begin(self, event: Any) -> None:
+        self._current_label = _event_label(event)
+        self._current_start = time.perf_counter()
+
+    def event_end(self, event: Any) -> None:
+        elapsed = time.perf_counter() - self._current_start
+        entry = self._by_label.get(self._current_label)
+        if entry is None:
+            entry = self._by_label[self._current_label] = [0, 0.0]
+        entry[0] += 1
+        entry[1] += elapsed
+        self.total_events += 1
+
+    # -- results ---------------------------------------------------------
+    def report(self) -> ProfileReport:
+        """Snapshot the profile (attach-to-now if still attached)."""
+        wall = self._wall_total
+        sim = self._sim_total
+        if self._env is not None:
+            wall += time.perf_counter() - self._wall_start
+            sim += self._env.now - self._sim_start
+        dispatch_total = sum(entry[1] for entry in self._by_label.values())
+        by_label = {
+            label: {
+                "count": entry[0],
+                "wall_s": entry[1],
+                "share": entry[1] / dispatch_total if dispatch_total else 0.0,
+            }
+            for label, entry in self._by_label.items()
+        }
+        return ProfileReport(
+            total_events=self.total_events,
+            wall_s=wall,
+            sim_us=sim,
+            events_per_sec=self.total_events / wall if wall > 0 else 0.0,
+            sim_us_per_wall_s=sim / wall if wall > 0 else 0.0,
+            by_label=by_label,
+        )

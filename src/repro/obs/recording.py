@@ -1,0 +1,108 @@
+"""Shared event-record conventions: ordered logs with JSONL export.
+
+Every trace producer in the repo — the runner's task-lifecycle
+:class:`~repro.runner.telemetry.TraceRecorder`, the MAC trace and the
+SoF trace of :mod:`repro.obs.trace` — follows the same contract:
+
+- events are collected **in record order** on an ``events`` list;
+- each event serializes via ``as_jsonable()`` (dataclasses drop
+  ``None`` fields; plain dicts pass through);
+- ``flush_jsonl`` **appends** one JSON object per line and only writes
+  events recorded since the last flush, so a recorder shared across
+  several runs keeps one coherent trace file.
+
+:class:`JsonlEventLog` implements that contract once; recorders either
+subclass it or hold one, instead of re-growing drifting copies of the
+append/serialize logic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+__all__ = ["as_jsonable", "append_jsonl", "read_jsonl", "JsonlEventLog"]
+
+
+def as_jsonable(record: Any) -> Dict[str, Any]:
+    """One event record as a JSON-serializable dict.
+
+    Dataclasses are converted field-by-field with ``None`` fields
+    dropped (absent-field convention: optional fields simply do not
+    appear on the line); mappings pass through unchanged; objects
+    providing their own ``as_jsonable()`` are deferred to.
+    """
+    method = getattr(record, "as_jsonable", None)
+    if method is not None:
+        return method()
+    if dataclasses.is_dataclass(record) and not isinstance(record, type):
+        return {
+            key: value
+            for key, value in dataclasses.asdict(record).items()
+            if value is not None
+        }
+    if isinstance(record, dict):
+        return record
+    raise TypeError(
+        f"cannot serialize event record of type {type(record).__name__}"
+    )
+
+
+def append_jsonl(path: Union[str, Path], records: Iterable[Any]) -> int:
+    """Append ``records`` to ``path``, one JSON object per line.
+
+    Parent directories are created on demand.  Returns the number of
+    lines written.
+    """
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    written = 0
+    with path.open("a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(as_jsonable(record)) + "\n")
+            written += 1
+    return written
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load a JSONL event file back into a list of dicts."""
+    rows: List[Dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+class JsonlEventLog:
+    """Ordered event collector with incremental JSONL flushing.
+
+    ``flush_jsonl`` appends only the events recorded since the last
+    flush, so one log instance can back a long-running recorder that
+    periodically persists its tail.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Any] = []
+        self._flushed = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def append(self, record: Any) -> Any:
+        """Append one event record and return it."""
+        self.events.append(record)
+        return record
+
+    def flush_jsonl(self, path: Union[str, Path]) -> int:
+        """Append unflushed events to ``path``; return how many."""
+        fresh = self.events[self._flushed:]
+        if not fresh:
+            return 0
+        written = append_jsonl(path, fresh)
+        self._flushed = len(self.events)
+        return written

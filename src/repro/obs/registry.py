@@ -1,0 +1,355 @@
+"""A metrics registry: labelled counters, gauges and histograms.
+
+Experiments, the boost search and tests can read these **mid-run** —
+unlike :class:`~repro.mac.coordinator.RoundLog`, which only aggregates
+totals, the registry keeps labelled series (per-TEI, per-backoff-stage,
+per-outcome) and snapshots cheaply via :meth:`MetricsRegistry.as_dict`.
+
+:class:`ProbeMetrics` is the bridge from the in-simulation probe
+(:mod:`repro.obs.probe`) to the registry: subscribe it to a
+:class:`~repro.obs.probe.MacProbe` and the standard MAC metric set
+fills itself as the simulation runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import math
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProbeMetrics",
+]
+
+LabelKey = Tuple[str, ...]
+
+
+class _Metric:
+    """Common machinery of one named, labelled metric."""
+
+    kind = "metric"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        self.name = name
+        self.help = help
+        self.labelnames: LabelKey = tuple(labelnames)
+
+    def _key(self, labels: Dict[str, Any]) -> LabelKey:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+
+class Counter(_Metric):
+    """Monotonically increasing value, one series per label set.
+
+    >>> c = Counter("slots_total", labelnames=("outcome",))
+    >>> c.inc(outcome="idle"); c.inc(2, outcome="idle")
+    >>> c.value(outcome="idle")
+    3.0
+    """
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label series."""
+        return sum(self._values.values())
+
+    def series(self) -> Dict[LabelKey, float]:
+        """Label tuple → value, a shallow copy."""
+        return dict(self._values)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def as_jsonable(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "labelnames": list(self.labelnames),
+            "series": {
+                ",".join(key) if key else "": value
+                for key, value in sorted(self._values.items())
+            },
+        }
+
+
+class Gauge(Counter):
+    """A value that can go up and down (queue depth, window size)."""
+
+    kind = "gauge"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[self._key(labels)] = float(value)
+
+
+#: Default histogram buckets: µs-scale quantities spanning a slot
+#: (35.84 µs) through a full 1901 transmission (~3000 µs) and beyond.
+DEFAULT_BUCKETS = (
+    50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0,
+    10_000.0, 50_000.0, 100_000.0,
+)
+
+
+@dataclasses.dataclass
+class _HistogramSeries:
+    counts: List[int]
+    total: float = 0.0
+    count: int = 0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+
+class Histogram(_Metric):
+    """Bucketed distribution with per-label series.
+
+    >>> h = Histogram("airtime_us", buckets=(10.0, 100.0))
+    >>> for v in (5.0, 50.0, 500.0): h.observe(v)
+    >>> h.snapshot()["counts"]
+    [1, 1, 1]
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(
+                counts=[0] * (len(self.buckets) + 1)
+            )
+        series.counts[bisect.bisect_left(self.buckets, value)] += 1
+        series.total += value
+        series.count += 1
+        series.minimum = min(series.minimum, value)
+        series.maximum = max(series.maximum, value)
+
+    def snapshot(self, **labels: Any) -> Dict[str, Any]:
+        """Counts/sum/mean for one label series (zeros when empty)."""
+        series = self._series.get(self._key(labels))
+        if series is None:
+            return {
+                "buckets": list(self.buckets),
+                "counts": [0] * (len(self.buckets) + 1),
+                "count": 0,
+                "sum": 0.0,
+                "mean": float("nan"),
+            }
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(series.counts),
+            "count": series.count,
+            "sum": series.total,
+            "mean": series.total / series.count,
+            "min": series.minimum,
+            "max": series.maximum,
+        }
+
+    def reset(self) -> None:
+        self._series.clear()
+
+    def as_jsonable(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "labelnames": list(self.labelnames),
+            "buckets": list(self.buckets),
+            "series": {
+                ",".join(key) if key else "": {
+                    "counts": list(series.counts),
+                    "count": series.count,
+                    "sum": series.total,
+                }
+                for key, series in sorted(self._series.items())
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named collection of metrics with get-or-create semantics.
+
+    Re-requesting an existing name returns the existing metric (so
+    independent subsystems can share series) but mismatched kinds or
+    label names raise immediately.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def __iter__(self) -> Iterator[_Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str) -> _Metric:
+        return self._metrics[name]
+
+    def _register(self, cls, name, help, labelnames, **kwargs) -> Any:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.labelnames != tuple(
+                labelnames
+            ):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind} with labels {existing.labelnames}"
+                )
+            return existing
+        metric = cls(name, help=help, labelnames=labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def reset(self) -> None:
+        """Zero every metric (keeps the registrations)."""
+        for metric in self._metrics.values():
+            metric.reset()  # type: ignore[attr-defined]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able snapshot of every metric, safe to take mid-run."""
+        return {
+            name: metric.as_jsonable()  # type: ignore[attr-defined]
+            for name, metric in sorted(self._metrics.items())
+        }
+
+
+class ProbeMetrics:
+    """Probe subscriber maintaining the standard MAC metric set.
+
+    Subscribe an instance to a :class:`~repro.obs.probe.MacProbe`
+    (``probe.subscribe(metrics)``) and read the registry at any point
+    of the run::
+
+        metrics = ProbeMetrics()
+        probe.subscribe(metrics)
+        ...
+        metrics.slots.value(outcome="collision")
+        metrics.registry.as_dict()
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self.slots = r.counter(
+            "mac_slots_total", "slot events by outcome", ("outcome",)
+        )
+        self.prs_phases = r.counter(
+            "mac_prs_phases_total", "priority-resolution phases", ()
+        )
+        self.transmissions = r.counter(
+            "mac_transmissions_total",
+            "bursts put on the wire, by source TEI and outcome",
+            ("source_tei", "outcome"),
+        )
+        self.airtime = r.counter(
+            "mac_airtime_us_total", "busy airtime by source TEI", ("source_tei",)
+        )
+        self.stage_entries = r.counter(
+            "mac_backoff_stage_entries_total",
+            "backoff redraws by stage",
+            ("stage",),
+        )
+        self.dc_jumps = r.counter(
+            "mac_dc_jumps_total", "deferral-counter stage jumps", ()
+        )
+        self.sacks = r.counter(
+            "mac_sacks_total", "SACKs delivered, by outcome", ("outcome",)
+        )
+        self.queue_depth = r.gauge(
+            "mac_queue_depth", "queue occupancy after enqueue", ("station",)
+        )
+        self.burst_airtime = r.histogram(
+            "mac_burst_airtime_us",
+            "busy-airtime quanta (per MPDU on success, per burst on collision)",
+            (),
+        )
+
+    def __call__(self, event: Dict[str, Any]) -> None:
+        kind = event["event"]
+        if kind == "slot":
+            outcome = event["outcome"]
+            self.slots.inc(outcome=outcome)
+            for tei in event.get("sources", ()):
+                self.transmissions.inc(source_tei=tei, outcome=outcome)
+        elif kind == "airtime":
+            self.airtime.inc(event["airtime_us"], source_tei=event["source_tei"])
+            self.burst_airtime.observe(event["airtime_us"])
+        elif kind == "backoff_stage":
+            self.stage_entries.inc(stage=event["stage"])
+        elif kind == "dc_jump":
+            self.dc_jumps.inc()
+        elif kind == "prs":
+            self.prs_phases.inc()
+        elif kind == "sack":
+            self.sacks.inc(outcome=event["outcome"])
+        elif kind == "queue":
+            self.queue_depth.set(event["depth"], station=event["station"])

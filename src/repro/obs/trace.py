@@ -1,0 +1,90 @@
+"""Trace exporters: JSONL MAC trace and sniffer-compatible SoF trace.
+
+Both recorders are probe subscribers (see :mod:`repro.obs.probe`) built
+on the shared event-record conventions of :mod:`repro.obs.recording`:
+
+- :class:`MacTraceRecorder` keeps **every** probe event (backoff-stage
+  transitions, deferral decrements, PRS outcomes, slot outcomes, SoFs,
+  SACKs, queue depths) as one JSON object per line, in emission order —
+  the full protocol-level history :mod:`repro.obs.analyze` recomputes
+  the paper's metrics from.
+- :class:`SofTraceRecorder` keeps only the wire-visible subset: one row
+  per SoF delimiter, with exactly the
+  :class:`~repro.hpav.mme_types.SnifferIndication` field set the §3
+  testbed's faifa sniffer logs.  A simulation trace and a (hypothetical)
+  hardware capture are therefore row-compatible.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .recording import JsonlEventLog, read_jsonl
+
+__all__ = [
+    "MacTraceRecorder",
+    "SofTraceRecorder",
+    "SOF_TRACE_FIELDS",
+    "load_mac_trace",
+    "load_sof_trace",
+]
+
+#: Row schema of the SoF trace (the §3.3 sniffer observables, in the
+#: order of :class:`repro.hpav.mme_types.SnifferIndication`).
+SOF_TRACE_FIELDS = (
+    "timestamp_us",
+    "source_tei",
+    "dest_tei",
+    "link_id",
+    "mpdu_count",
+    "frame_length_bytes",
+    "num_blocks",
+    "collided",
+)
+
+
+class MacTraceRecorder(JsonlEventLog):
+    """Probe subscriber recording the full MAC event stream.
+
+    Subscribe to a probe and flush at any point::
+
+        recorder = MacTraceRecorder()
+        probe.subscribe(recorder)
+        env.run(until=...)
+        recorder.flush_jsonl("mac_trace.jsonl")
+    """
+
+    def __call__(self, event: Dict[str, Any]) -> None:
+        # Copy: the probe hands subscribers one shared dict per event.
+        self.append(dict(event))
+
+
+class SofTraceRecorder(JsonlEventLog):
+    """Probe subscriber recording only SoF delimiters, sniffer-style.
+
+    Rows carry exactly :data:`SOF_TRACE_FIELDS` — what a sniffer-mode
+    station on the §3 power strip observes of each delimiter.
+    """
+
+    def __call__(self, event: Dict[str, Any]) -> None:
+        if event.get("event") != "sof":
+            return
+        self.append({field: event[field] for field in SOF_TRACE_FIELDS})
+
+
+def load_mac_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load a MAC trace JSONL file back into event dicts."""
+    return read_jsonl(path)
+
+
+def load_sof_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load a SoF trace JSONL file; validates the row schema."""
+    rows = read_jsonl(path)
+    for index, row in enumerate(rows):
+        missing = [field for field in SOF_TRACE_FIELDS if field not in row]
+        if missing:
+            raise ValueError(
+                f"SoF trace row {index} is missing fields {missing}"
+            )
+    return rows

@@ -87,6 +87,8 @@ class PowerStrip:
         #: Wire-level counters (useful for tests and sanity checks).
         self.sof_count = 0
         self.delivered_mpdus = 0
+        #: Optional :class:`repro.obs.probe.MacProbe` (``None`` = off).
+        self.probe = None
 
     # -- attachment --------------------------------------------------------
     def attach(self, handler: Callable[[Mpdu, float], None]) -> None:
@@ -128,6 +130,21 @@ class PowerStrip:
         """
         self.sof_count += 1
         observation = SofObservation(time_us=time_us, sof=sof, collided=collided)
+        if self.probe is not None:
+            # Mirrors the SnifferIndication field set (§3.3 observables).
+            self.probe.emit(
+                {
+                    "event": "sof",
+                    "timestamp_us": time_us,
+                    "source_tei": sof.source_tei,
+                    "dest_tei": sof.dest_tei,
+                    "link_id": sof.link_id,
+                    "mpdu_count": sof.mpdu_count,
+                    "frame_length_bytes": sof.frame_length_bytes,
+                    "num_blocks": sof.num_blocks,
+                    "collided": collided,
+                }
+            )
         for sniffer in self._sniffers:
             sniffer(observation)
 

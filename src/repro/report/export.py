@@ -14,7 +14,7 @@ import json
 from pathlib import Path
 from typing import Any, Iterable, Sequence, Union
 
-__all__ = ["write_csv", "write_json", "to_jsonable"]
+__all__ = ["write_csv", "write_json", "write_jsonl", "to_jsonable"]
 
 
 def write_csv(
@@ -66,4 +66,19 @@ def write_json(path: Union[str, Path], value: Any, indent: int = 2) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(to_jsonable(value), indent=indent) + "\n")
+    return path
+
+
+def write_jsonl(path: Union[str, Path], records: Iterable[Any]) -> Path:
+    """Write ``records`` as one JSON object per line (whole-file write).
+
+    Complements :func:`repro.obs.recording.append_jsonl`: this is the
+    export-a-finished-dataset form (truncate and write), while the
+    recording helper appends incrementally to a live trace.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(to_jsonable(record)) + "\n")
     return path

@@ -29,6 +29,10 @@ Task kinds
     One §3.2 emulated-testbed test
     (:func:`repro.experiments.procedures.run_collision_test`), seeded
     explicitly to preserve the historical testbed seeding bit-for-bit.
+    An optional ``payload["obs"]`` dict (an
+    :class:`~repro.obs.capture.ObsConfig` as JSON) captures MAC/SoF
+    traces, metrics and a profile for the point; the artifact paths
+    come back under ``result["obs"]``.
 """
 
 from __future__ import annotations
@@ -139,16 +143,29 @@ def _run_model_curve(
 def _run_collision_test(
     payload: Dict[str, Any], seed: Optional[SeedSpec]
 ) -> Dict[str, Any]:
-    from ..experiments.procedures import run_collision_test
+    obs = payload.get("obs")
+    if obs is not None:
+        from ..obs.capture import observed_collision_test
 
-    test = run_collision_test(
-        payload["num_stations"],
-        duration_us=payload["duration_us"],
-        warmup_us=payload["warmup_us"],
-        seed=payload["seed"],
-        **payload.get("testbed_kwargs", {}),
-    )
-    return {
+        test, capture = observed_collision_test(
+            payload["num_stations"],
+            obs,
+            duration_us=payload["duration_us"],
+            warmup_us=payload["warmup_us"],
+            seed=payload["seed"],
+            **payload.get("testbed_kwargs", {}),
+        )
+    else:
+        from ..experiments.procedures import run_collision_test
+
+        test = run_collision_test(
+            payload["num_stations"],
+            duration_us=payload["duration_us"],
+            warmup_us=payload["warmup_us"],
+            seed=payload["seed"],
+            **payload.get("testbed_kwargs", {}),
+        )
+    result = {
         "num_stations": test.num_stations,
         "duration_us": test.duration_us,
         "per_station": [
@@ -157,6 +174,11 @@ def _run_collision_test(
         ],
         "goodput_mbps": test.goodput_mbps,
     }
+    if obs is not None:
+        # The obs config is part of the cache key, so a cache hit
+        # returns these paths without regenerating the files on disk.
+        result["obs"] = capture
+    return result
 
 
 _EXECUTORS = {

@@ -17,10 +17,10 @@ exactly which points were lost, after how many attempts, and why.
 from __future__ import annotations
 
 import dataclasses
-import json
 import time
-from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional
+
+from ..obs.recording import JsonlEventLog
 
 __all__ = ["TaskEvent", "TaskFailure", "TraceRecorder"]
 
@@ -78,40 +78,29 @@ class TaskFailure:
         return dataclasses.asdict(self)
 
 
-class TraceRecorder:
+class TraceRecorder(JsonlEventLog):
     """Collect :class:`TaskEvent` records; flush them to JSONL.
 
-    ``flush_jsonl`` appends only the events recorded since the last
-    flush, so a runner shared across several ``run()`` calls keeps one
-    coherent trace file.
+    The collection/flush contract (ordered ``events`` list,
+    append-only incremental ``flush_jsonl``) comes from
+    :class:`~repro.obs.recording.JsonlEventLog` — the same conventions
+    the MAC/SoF trace recorders of :mod:`repro.obs.trace` follow.
+    This recorder adds the ``t_s`` stamping relative to its creation:
+    a single monotonic origin for the whole trace, so event ordering
+    and durations are meaningful across workers.
     """
 
     def __init__(self) -> None:
-        self.events: List[TaskEvent] = []
+        super().__init__()
         self._t0 = time.perf_counter()
-        self._flushed = 0
 
     def record(self, event: str, **fields: Any) -> TaskEvent:
-        item = TaskEvent(
-            event=event, t_s=time.perf_counter() - self._t0, **fields
+        return self.append(
+            TaskEvent(
+                event=event, t_s=time.perf_counter() - self._t0, **fields
+            )
         )
-        self.events.append(item)
-        return item
 
     def of_kind(self, event: str) -> List[TaskEvent]:
         """Events with the given ``event`` name, in record order."""
         return [e for e in self.events if e.event == event]
-
-    def flush_jsonl(self, path: Union[str, Path]) -> int:
-        """Append unflushed events to ``path``; return how many."""
-        fresh = self.events[self._flushed :]
-        if not fresh:
-            return 0
-        path = Path(path)
-        if path.parent != Path(""):
-            path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("a", encoding="utf-8") as handle:
-            for event in fresh:
-                handle.write(json.dumps(event.as_jsonable()) + "\n")
-        self._flushed = len(self.events)
-        return len(fresh)

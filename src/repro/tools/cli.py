@@ -13,7 +13,12 @@ Subcommands map to the paper's artifacts:
 - ``load`` / ``errors`` / ``delay`` / ``coexist`` — the extension
   experiments (unsaturated load, channel errors + ARQ, access-delay
   model, boosted/legacy coexistence);
-- ``cache`` — inspect or clear the experiment result cache.
+- ``cache`` — inspect or clear the experiment result cache;
+- ``trace`` — capture JSONL MAC + sniffer-style SoF traces of an
+  experiment and cross-check the trace-derived metrics against the
+  direct computation (exits non-zero on disagreement > 1e-9);
+- ``profile`` — run an experiment under the engine profiler and report
+  events/sec, wall time per process type, simulated-µs per wall-second.
 
 Experiment subcommands backed by :mod:`repro.runner` (``sweep``,
 ``figure2``, ``boost``) accept ``--workers N`` to simulate points on
@@ -224,6 +229,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--boosted", type=int, nargs="+", default=[0, 2, 5, 8, 10]
     )
     coexist.add_argument("--sim-time", type=float, default=2e7)
+
+    trace = sub.add_parser(
+        "trace",
+        help="capture MAC + SoF traces of one experiment and "
+        "cross-check the trace-derived metrics",
+    )
+    trace.add_argument(
+        "experiment", nargs="?", choices=["testbed"], default="testbed",
+        help="what to trace (currently the §3.2 emulated testbed)",
+    )
+    trace.add_argument("-n", "--stations", type=int, default=2)
+    trace.add_argument("--duration", type=float, default=24e6)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument(
+        "--out-dir", type=str, default="traces",
+        help="directory receiving the JSONL artifacts (default: traces/)",
+    )
+    trace.add_argument(
+        "--no-mac-trace", action="store_true",
+        help="skip the full MAC event trace",
+    )
+    trace.add_argument(
+        "--no-sof-trace", action="store_true",
+        help="skip the sniffer-compatible SoF trace",
+    )
+    trace.add_argument(
+        "--metrics", action="store_true",
+        help="also export the metrics-registry snapshot",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile the engine while running one experiment "
+        "(events/sec, wall time per process type)",
+    )
+    profile.add_argument(
+        "experiment", nargs="?", choices=["testbed"], default="testbed",
+        help="what to profile (currently the §3.2 emulated testbed)",
+    )
+    profile.add_argument("-n", "--stations", type=int, default=2)
+    profile.add_argument("--duration", type=float, default=24e6)
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument(
+        "--json", type=str, default=None, metavar="FILE",
+        help="also write the profile report to FILE as JSON",
+    )
     return parser
 
 
@@ -534,6 +585,77 @@ def _cmd_coexist(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from ..obs.capture import ObsConfig, observed_collision_test
+    from ..report.tables import format_table
+
+    config = ObsConfig(
+        dir=args.out_dir,
+        mac_trace=not args.no_mac_trace,
+        sof_trace=not args.no_sof_trace,
+        metrics=args.metrics,
+        label=f"{args.experiment}_n{args.stations}_seed{args.seed}",
+    )
+    test, capture = observed_collision_test(
+        args.stations, config, duration_us=args.duration, seed=args.seed
+    )
+    print(f"stations              = {test.num_stations}")
+    print(f"duration              = {test.duration_us/1e6:.1f} s")
+    print(f"collision probability = {test.collision_probability:.4f}")
+    for name, path in sorted(capture["paths"].items()):
+        print(f"{name:<21} -> {path}")
+    if "mac_events" in capture:
+        print(f"MAC events            = {capture['mac_events']}")
+    if "sof_rows" in capture:
+        print(f"SoF rows              = {capture['sof_rows']}")
+    if "cross_check" in capture:
+        print(
+            format_table(
+                ["metric", "trace", "direct", "abs err"],
+                [
+                    (
+                        row["metric"],
+                        f"{row['trace']:.10g}",
+                        f"{row['direct']:.10g}",
+                        f"{row['abs_err']:.3g}",
+                    )
+                    for row in capture["cross_check"]
+                ],
+                title="Trace vs direct RoundLog cross-check",
+            )
+        )
+        if not capture["cross_check_ok"]:
+            print("cross-check FAILED: trace disagrees with RoundLog "
+                  "beyond 1e-9")
+            return 1
+        print("cross-check OK (all metrics within 1e-9)")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from ..experiments.procedures import run_collision_test
+    from ..experiments.testbed import build_testbed
+    from ..obs.profiler import EngineProfiler
+
+    testbed = build_testbed(args.stations, seed=args.seed)
+    profiler = EngineProfiler().attach(testbed.env)
+    run_collision_test(
+        args.stations,
+        duration_us=args.duration,
+        seed=args.seed,
+        testbed=testbed,
+    )
+    profiler.detach()
+    report = profiler.report()
+    print(report.format())
+    if args.json:
+        from ..report.export import write_json
+
+        write_json(args.json, report.as_dict())
+        print(f"\nprofile written to {args.json}")
+    return 0
+
+
 _COMMANDS = {
     "sim": _cmd_sim,
     "load": _cmd_load,
@@ -547,6 +669,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "boost": _cmd_boost,
     "cache": _cmd_cache,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
 }
 
 

@@ -24,7 +24,7 @@ from ..hpav.mme import MmeFrame
 from ..hpav.mme_types import MmeType, SnifferIndication, SnifferRequest
 from .ampstat import HOST_MAC
 
-__all__ = ["BurstRecord", "Faifa", "export_captures_json"]
+__all__ = ["BurstRecord", "Faifa", "export_captures_json", "export_sof_trace_jsonl"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -164,4 +164,27 @@ def export_captures_json(faifa: "Faifa", path) -> "Path":
             "mme_overhead": faifa.mme_overhead(),
             "burst_size_histogram": faifa.burst_size_histogram(),
         },
+    )
+
+
+def export_sof_trace_jsonl(faifa: "Faifa", path) -> "Path":
+    """Write a faifa capture session as a SoF-trace JSONL file.
+
+    Rows follow :data:`repro.obs.trace.SOF_TRACE_FIELDS` — the same
+    schema the in-simulation :class:`repro.obs.trace.SofTraceRecorder`
+    emits — so a firmware-sniffer capture and a probe capture feed the
+    same :func:`repro.obs.analyze.analyze_sof_trace` pipeline.
+    """
+    from ..obs.trace import SOF_TRACE_FIELDS
+    from ..report.export import write_jsonl
+
+    return write_jsonl(
+        path,
+        (
+            {
+                field: getattr(capture, field)
+                for field in SOF_TRACE_FIELDS
+            }
+            for capture in faifa.captures
+        ),
     )

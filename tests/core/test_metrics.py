@@ -134,9 +134,11 @@ class TestDelayStats:
         assert stats.count == 4
         assert stats.p95 <= stats.p99 <= stats.maximum
 
-    def test_empty_rejected(self):
-        with pytest.raises(ValueError):
-            M.delay_stats([])
+    def test_empty_gives_nans_with_zero_count(self):
+        stats = M.delay_stats([])
+        assert stats.count == 0
+        for field in ("mean", "std", "median", "p95", "p99", "maximum"):
+            assert math.isnan(getattr(stats, field))
 
     def test_as_dict_roundtrip(self):
         stats = M.delay_stats([5.0])

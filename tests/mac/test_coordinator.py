@@ -169,3 +169,41 @@ class TestDelivery:
         env.run(until=1e6)
         assert len(received) == 4
         assert all(m.dest_tei == 1 for m in received)
+
+
+class TestRoundLog:
+    def test_as_dict_mirrors_counters(self):
+        env, _strip, coordinator, nodes = build()
+        for node in nodes:
+            feed(node, 20)
+        env.run(until=2e6)
+        log = coordinator.log
+        data = log.as_dict()
+        assert data["rounds"] == log.rounds
+        assert data["successes"] == log.successes
+        assert data["collisions"] == log.collisions
+        assert data["idle_slots"] == log.idle_slots
+        assert data["prs_phases"] == log.prs_phases
+        assert data["mpdus_on_wire"] == log.mpdus_on_wire
+        assert data["airtime_by_source"] == log.airtime_by_source
+        # A copy, not a view.
+        data["airtime_by_source"][999] = 1.0
+        assert 999 not in log.airtime_by_source
+
+    def test_reset_zeroes_everything(self):
+        env, _strip, coordinator, nodes = build()
+        feed(nodes[0], 10)
+        env.run(until=1e6)
+        log = coordinator.log
+        assert log.successes > 0
+        log.reset()
+        empty = {
+            "rounds": 0,
+            "idle_slots": 0,
+            "successes": 0,
+            "collisions": 0,
+            "prs_phases": 0,
+            "mpdus_on_wire": 0,
+            "airtime_by_source": {},
+        }
+        assert log.as_dict() == empty

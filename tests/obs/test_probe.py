@@ -1,0 +1,110 @@
+"""MacProbe bus semantics and component attachment."""
+
+import pytest
+
+from repro.experiments.testbed import build_testbed
+from repro.obs.probe import (
+    MacProbe,
+    deinstrument,
+    instrument,
+    instrument_testbed,
+)
+
+
+class TestMacProbe:
+    def test_emit_without_subscribers_drops_event(self):
+        probe = MacProbe()
+        event = {"event": "slot"}
+        probe.emit(event)
+        # Not even stamped: the no-subscriber path does no work.
+        assert "t_us" not in event
+
+    def test_emit_stamps_clock_and_fans_out(self):
+        now = {"t": 42.5}
+        probe = MacProbe(clock=lambda: now["t"])
+        seen = []
+        probe.subscribe(seen.append)
+        probe.emit({"event": "slot", "outcome": "idle"})
+        now["t"] = 43.0
+        probe.emit({"event": "slot", "outcome": "success"})
+        assert [e["t_us"] for e in seen] == [42.5, 43.0]
+        assert seen[0]["outcome"] == "idle"
+
+    def test_multiple_subscribers_all_receive(self):
+        probe = MacProbe()
+        a, b = [], []
+        probe.subscribe(a.append)
+        probe.subscribe(b.append)
+        probe.emit({"event": "x"})
+        assert len(a) == len(b) == 1
+
+    def test_duplicate_subscribe_rejected(self):
+        probe = MacProbe()
+        callback = lambda event: None  # noqa: E731
+        probe.subscribe(callback)
+        with pytest.raises(ValueError):
+            probe.subscribe(callback)
+
+    def test_unsubscribe_stops_delivery(self):
+        probe = MacProbe()
+        seen = []
+        probe.subscribe(seen.append)
+        probe.unsubscribe(seen.append)
+        assert probe.subscribers == 0
+        probe.emit({"event": "x"})
+        assert seen == []
+
+    def test_unsubscribe_unknown_is_noop(self):
+        probe = MacProbe()
+        probe.unsubscribe(lambda event: None)
+        assert probe.subscribers == 0
+
+    def test_default_clock_is_zero(self):
+        probe = MacProbe()
+        probe.subscribe(lambda e: None)
+        event = {"event": "x"}
+        probe.emit(event)
+        assert event["t_us"] == 0.0
+
+
+class TestInstrument:
+    def test_instrument_testbed_covers_all_layers(self):
+        testbed = build_testbed(2, seed=1)
+        probe = instrument_testbed(testbed)
+        assert testbed.avln.coordinator.probe is probe
+        assert testbed.avln.strip.probe is probe
+        for device in testbed.avln.devices:
+            assert device.node.probe is probe
+        # The probe clock follows the environment.
+        probe.subscribe(lambda e: None)
+        event = {"event": "x"}
+        probe.emit(event)
+        assert event["t_us"] == testbed.env.now
+
+    def test_deinstrument_restores_none(self):
+        testbed = build_testbed(2, seed=1)
+        instrument_testbed(testbed)
+        nodes = [device.node for device in testbed.avln.devices]
+        deinstrument(
+            coordinator=testbed.avln.coordinator,
+            strip=testbed.avln.strip,
+            nodes=nodes,
+        )
+        assert testbed.avln.coordinator.probe is None
+        assert testbed.avln.strip.probe is None
+        assert all(node.probe is None for node in nodes)
+
+    def test_set_probe_propagates_to_existing_stations(self):
+        from repro.core.parameters import PriorityClass
+
+        testbed = build_testbed(2, seed=1)
+        node = testbed.avln.devices[0].node
+        station = node.station_for(PriorityClass.CA1)
+        probe = MacProbe()
+        instrument(probe, nodes=[node])
+        assert station.probe is probe
+        assert station.probe_id == node.name
+        # Lazily created stations inherit it too.
+        late = node.station_for(PriorityClass.CA3)
+        assert late.probe is probe
+        assert late.probe_id == node.name

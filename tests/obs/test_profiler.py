@@ -1,0 +1,102 @@
+"""EngineProfiler: monitor wiring, labels, report math."""
+
+from repro.engine import Environment
+from repro.obs.profiler import EngineProfiler, ProfileReport
+
+
+def _ticker(env, period, count):
+    for _ in range(count):
+        yield env.timeout(period)
+
+
+def _sleeper(env, delay):
+    yield env.timeout(delay)
+
+
+class TestEnvironmentMonitor:
+    def test_default_monitor_is_none(self):
+        env = Environment()
+        assert env.monitor is None
+
+    def test_attach_detach(self):
+        env = Environment()
+        profiler = EngineProfiler().attach(env)
+        assert env.monitor is profiler
+        profiler.detach()
+        assert env.monitor is None
+        profiler.detach()  # idempotent
+
+    def test_monitor_sees_every_event(self):
+        env = Environment()
+        env.process(_ticker(env, 1.0, 5))
+        profiler = EngineProfiler().attach(env)
+        env.run(until=10.0)
+        profiler.detach()
+        # Process start event + 5 timeouts + the completion event.
+        assert profiler.total_events == 7
+
+
+class TestLabels:
+    def test_events_attributed_to_process_generator(self):
+        env = Environment()
+        env.process(_ticker(env, 1.0, 3))
+        env.process(_sleeper(env, 2.0))
+        profiler = EngineProfiler().attach(env)
+        env.run(until=10.0)
+        profiler.detach()
+        report = profiler.report()
+        assert "_ticker" in report.by_label
+        assert "_sleeper" in report.by_label
+        # Start + 3 timeouts + completion for the ticker.
+        assert report.by_label["_ticker"]["count"] == 5
+        assert report.by_label["_sleeper"]["count"] == 3
+
+
+class TestReport:
+    def test_report_math(self):
+        env = Environment(initial_time=100.0)
+        env.process(_ticker(env, 1.0, 4))
+        profiler = EngineProfiler().attach(env)
+        env.run(until=110.0)
+        profiler.detach()
+        report = profiler.report()
+        assert isinstance(report, ProfileReport)
+        assert report.total_events == 6
+        assert report.sim_us == 10.0
+        assert report.wall_s > 0
+        assert report.events_per_sec > 0
+        assert report.sim_us_per_wall_s > 0
+        shares = [entry["share"] for entry in report.by_label.values()]
+        assert sum(shares) == 1.0 or abs(sum(shares) - 1.0) < 1e-12
+        assert sum(
+            entry["count"] for entry in report.by_label.values()
+        ) == report.total_events
+
+    def test_report_while_attached(self):
+        env = Environment()
+        env.process(_ticker(env, 1.0, 3))
+        profiler = EngineProfiler().attach(env)
+        env.run(until=10.0)
+        report = profiler.report()  # still attached: snapshot-to-now
+        assert report.total_events == 5
+        assert report.sim_us == 10.0
+        profiler.detach()
+
+    def test_empty_report(self):
+        report = EngineProfiler().report()
+        assert report.total_events == 0
+        assert report.events_per_sec == 0.0
+
+    def test_as_dict_and_format(self):
+        env = Environment()
+        env.process(_ticker(env, 1.0, 2))
+        profiler = EngineProfiler().attach(env)
+        env.run(until=5.0)
+        profiler.detach()
+        report = profiler.report()
+        data = report.as_dict()
+        assert data["total_events"] == report.total_events
+        assert "_ticker" in data["by_label"]
+        text = report.format()
+        assert "events/sec" in text
+        assert "_ticker" in text

@@ -1,0 +1,114 @@
+"""Shared event-record conventions (satellite of the obs PR)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs.recording import (
+    JsonlEventLog,
+    append_jsonl,
+    as_jsonable,
+    read_jsonl,
+)
+
+
+@dataclasses.dataclass
+class _Record:
+    event: str
+    value: int
+    optional: object = None
+
+
+class _SelfSerializing:
+    def as_jsonable(self):
+        return {"custom": True}
+
+
+class TestAsJsonable:
+    def test_dict_passes_through(self):
+        record = {"event": "x", "t_us": 1.0}
+        assert as_jsonable(record) is record
+
+    def test_dataclass_drops_none_fields(self):
+        assert as_jsonable(_Record("x", 3)) == {"event": "x", "value": 3}
+        assert as_jsonable(_Record("x", 3, optional="y")) == {
+            "event": "x", "value": 3, "optional": "y"
+        }
+
+    def test_own_method_wins(self):
+        assert as_jsonable(_SelfSerializing()) == {"custom": True}
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeError):
+            as_jsonable(object())
+
+
+class TestAppendRead:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        assert append_jsonl(path, [{"a": 1}, _Record("x", 2)]) == 2
+        assert read_jsonl(path) == [{"a": 1}, {"event": "x", "value": 2}]
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append_jsonl(path, [{"a": 1}])
+        append_jsonl(path, [{"a": 2}])
+        assert [row["a"] for row in read_jsonl(path)] == [1, 2]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "nested" / "deep" / "log.jsonl"
+        append_jsonl(path, [{"a": 1}])
+        assert path.exists()
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n')
+        assert len(read_jsonl(path)) == 2
+
+
+class TestJsonlEventLog:
+    def test_append_and_len(self):
+        log = JsonlEventLog()
+        record = log.append({"a": 1})
+        assert record == {"a": 1}
+        assert len(log) == 1
+        assert log.events == [{"a": 1}]
+
+    def test_incremental_flush(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = JsonlEventLog()
+        log.append({"a": 1})
+        assert log.flush_jsonl(path) == 1
+        assert log.flush_jsonl(path) == 0  # nothing fresh
+        log.append({"a": 2})
+        assert log.flush_jsonl(path) == 1
+        assert [row["a"] for row in read_jsonl(path)] == [1, 2]
+
+    def test_flush_nothing_does_not_create_file(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        assert JsonlEventLog().flush_jsonl(path) == 0
+        assert not path.exists()
+
+
+class TestTelemetryUsesSharedLog:
+    def test_trace_recorder_is_jsonl_event_log(self, tmp_path):
+        from repro.runner.telemetry import TraceRecorder
+
+        recorder = TraceRecorder()
+        assert isinstance(recorder, JsonlEventLog)
+        recorder.record("run_start", detail="3 tasks")
+        recorder.record("finished", task_index=0, kind="simulate")
+        assert len(recorder) == 2
+        assert [e.event for e in recorder.of_kind("finished")] == [
+            "finished"
+        ]
+        path = tmp_path / "trace.jsonl"
+        recorder.flush_jsonl(path)
+        rows = read_jsonl(path)
+        assert rows[0]["event"] == "run_start"
+        assert rows[0]["detail"] == "3 tasks"
+        assert rows[1]["task_index"] == 0
+        assert all("t_s" in row for row in rows)
+        # None-valued optional TaskEvent fields stay off the line.
+        assert "error" not in json.dumps(rows)

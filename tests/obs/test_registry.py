@@ -1,0 +1,174 @@
+"""Metrics registry: counters, gauges, histograms, probe adapter."""
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ProbeMetrics,
+)
+
+
+class TestCounter:
+    def test_inc_value_total(self):
+        c = Counter("tx_total", labelnames=("tei",))
+        c.inc(tei=1)
+        c.inc(2.5, tei=1)
+        c.inc(tei=2)
+        assert c.value(tei=1) == 3.5
+        assert c.value(tei=2) == 1.0
+        assert c.value(tei=99) == 0.0
+        assert c.total() == 4.5
+
+    def test_negative_rejected(self):
+        c = Counter("n")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_label_mismatch_rejected(self):
+        c = Counter("n", labelnames=("tei",))
+        with pytest.raises(ValueError):
+            c.inc()
+        with pytest.raises(ValueError):
+            c.inc(tei=1, extra=2)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("")
+
+    def test_reset_and_series(self):
+        c = Counter("n", labelnames=("tei",))
+        c.inc(3, tei=7)
+        assert c.series() == {("7",): 3.0}
+        c.reset()
+        assert c.series() == {}
+
+    def test_as_jsonable(self):
+        c = Counter("n", labelnames=("outcome",))
+        c.inc(outcome="idle")
+        data = c.as_jsonable()
+        assert data["kind"] == "counter"
+        assert data["series"] == {"idle": 1.0}
+
+
+class TestGauge:
+    def test_up_down_set(self):
+        g = Gauge("depth")
+        g.inc(5)
+        g.dec(2)
+        assert g.value() == 3.0
+        g.set(10)
+        assert g.value() == 10.0
+
+
+class TestHistogram:
+    def test_bucketing_and_stats(self):
+        h = Histogram("t", buckets=(10.0, 100.0))
+        for value in (5.0, 50.0, 500.0, 7.0):
+            h.observe(value)
+        snap = h.snapshot()
+        assert snap["counts"] == [2, 1, 1]
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(562.0)
+        assert snap["min"] == 5.0 and snap["max"] == 500.0
+
+    def test_boundary_goes_to_lower_bucket(self):
+        # bisect_left: a value exactly on a bound counts as <= bound.
+        h = Histogram("t", buckets=(10.0,))
+        h.observe(10.0)
+        assert h.snapshot()["counts"] == [1, 0]
+
+    def test_empty_snapshot(self):
+        h = Histogram("t", buckets=(1.0,))
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert math.isnan(snap["mean"])
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("t", buckets=())
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        a = registry.counter("n", labelnames=("tei",))
+        b = registry.counter("n", labelnames=("tei",))
+        assert a is b
+        assert len(registry) == 1
+        assert "n" in registry
+        assert registry.get("n") is a
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("n")
+        with pytest.raises(ValueError):
+            registry.gauge("n")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("n", labelnames=("tei",))
+        with pytest.raises(ValueError):
+            registry.counter("n", labelnames=("station",))
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n")
+        counter.inc(5)
+        registry.reset()
+        assert counter.value() == 0.0
+        assert registry.counter("n") is counter
+
+    def test_as_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.histogram("a", buckets=(1.0,)).observe(0.5)
+        data = registry.as_dict()
+        assert list(data) == ["a", "b"]
+        assert data["b"]["series"] == {"": 1.0}
+        assert data["a"]["series"][""]["count"] == 1
+
+
+class TestProbeMetrics:
+    def test_event_dispatch(self):
+        metrics = ProbeMetrics()
+        metrics({"event": "slot", "outcome": "idle"})
+        metrics({"event": "slot", "outcome": "success",
+                 "sources": [3], "mpdus": 2})
+        metrics({"event": "slot", "outcome": "collision",
+                 "sources": [2, 3], "mpdus": 2})
+        metrics({"event": "airtime", "source_tei": 3, "airtime_us": 2500.0})
+        metrics({"event": "backoff_stage", "stage": 1})
+        metrics({"event": "dc_jump"})
+        metrics({"event": "prs"})
+        metrics({"event": "sack", "outcome": "success"})
+        metrics({"event": "queue", "station": "sta1", "depth": 4})
+
+        assert metrics.slots.value(outcome="idle") == 1
+        assert metrics.slots.value(outcome="success") == 1
+        assert metrics.slots.value(outcome="collision") == 1
+        assert metrics.transmissions.value(source_tei=3, outcome="success") == 1
+        assert metrics.transmissions.value(source_tei=3, outcome="collision") == 1
+        assert metrics.transmissions.value(source_tei=2, outcome="collision") == 1
+        assert metrics.airtime.value(source_tei=3) == 2500.0
+        assert metrics.burst_airtime.snapshot()["count"] == 1
+        assert metrics.stage_entries.value(stage=1) == 1
+        assert metrics.dc_jumps.value() == 1
+        assert metrics.prs_phases.value() == 1
+        assert metrics.sacks.value(outcome="success") == 1
+        assert metrics.queue_depth.value(station="sta1") == 4.0
+
+    def test_unknown_event_ignored(self):
+        metrics = ProbeMetrics()
+        metrics({"event": "something_new", "t_us": 0.0})
+        assert metrics.slots.total() == 0
+
+    def test_shared_registry(self):
+        registry = MetricsRegistry()
+        metrics = ProbeMetrics(registry)
+        assert metrics.registry is registry
+        assert "mac_slots_total" in registry

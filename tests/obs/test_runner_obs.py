@@ -1,0 +1,132 @@
+"""Per-task obs capture through the runner and repeat_tests."""
+
+from repro.experiments.procedures import repeat_tests
+from repro.obs.capture import ObsConfig
+from repro.runner import ExperimentRunner, Task, TaskKind
+from repro.runner.cache import cache_key
+from repro.runner.tasks import execute_task
+
+STATIONS = 2
+DURATION_US = 0.8e6
+WARMUP_US = 0.1e6
+
+
+def _payload(obs=None):
+    payload = {
+        "num_stations": STATIONS,
+        "duration_us": DURATION_US,
+        "warmup_us": WARMUP_US,
+        "seed": 1,
+        "testbed_kwargs": {},
+    }
+    if obs is not None:
+        payload["obs"] = obs.as_jsonable()
+    return payload
+
+
+class TestCollisionTestTask:
+    def test_payload_obs_produces_artifacts(self, tmp_path):
+        obs = ObsConfig(dir=str(tmp_path), label="task0")
+        task = Task(kind=TaskKind.COLLISION_TEST, payload=_payload(obs))
+        result = execute_task(task)
+        capture = result["obs"]
+        assert capture["cross_check_ok"]
+        assert (tmp_path / "mac_trace_task0.jsonl").exists()
+        assert (tmp_path / "sof_trace_task0.jsonl").exists()
+
+    def test_without_obs_no_key(self):
+        result = execute_task(
+            Task(kind=TaskKind.COLLISION_TEST, payload=_payload())
+        )
+        assert "obs" not in result
+
+    def test_obs_is_part_of_cache_key(self, tmp_path):
+        bare = Task(kind=TaskKind.COLLISION_TEST, payload=_payload())
+        observed = Task(
+            kind=TaskKind.COLLISION_TEST,
+            payload=_payload(ObsConfig(dir=str(tmp_path))),
+        )
+        assert cache_key(bare.describe()) != cache_key(observed.describe())
+
+    def test_observed_run_matches_bare_run(self, tmp_path):
+        """Capture must not change the numbers the runner caches."""
+        bare = execute_task(
+            Task(kind=TaskKind.COLLISION_TEST, payload=_payload())
+        )
+        observed = execute_task(
+            Task(
+                kind=TaskKind.COLLISION_TEST,
+                payload=_payload(ObsConfig(dir=str(tmp_path))),
+            )
+        )
+        assert observed["per_station"] == bare["per_station"]
+        assert observed["goodput_mbps"] == bare["goodput_mbps"]
+
+
+class TestRepeatTests:
+    def test_runner_path_labels_per_repetition(self, tmp_path):
+        obs = ObsConfig(dir=str(tmp_path))
+        series = repeat_tests(
+            STATIONS,
+            repetitions=2,
+            duration_us=DURATION_US,
+            warmup_us=WARMUP_US,
+            seed=1,
+            runner=ExperimentRunner(max_workers=1),
+            obs=obs,
+        )
+        assert len(series.tests) == 2
+        for repetition in range(2):
+            assert (tmp_path / f"mac_trace_rep{repetition}.jsonl").exists()
+            assert (tmp_path / f"sof_trace_rep{repetition}.jsonl").exists()
+
+    def test_label_prefix_preserved(self, tmp_path):
+        obs = ObsConfig(dir=str(tmp_path), label="n2", sof_trace=False)
+        repeat_tests(
+            STATIONS,
+            repetitions=1,
+            duration_us=DURATION_US,
+            warmup_us=WARMUP_US,
+            seed=1,
+            runner=ExperimentRunner(max_workers=1),
+            obs=obs,
+        )
+        assert (tmp_path / "mac_trace_n2_rep0.jsonl").exists()
+        assert not (tmp_path / "sof_trace_n2_rep0.jsonl").exists()
+
+    def test_in_process_fallback_still_captures(self, tmp_path):
+        """Non-JSON-able testbed kwargs drop to the in-process loop."""
+        from repro.phy.timing import PhyTiming
+
+        obs = ObsConfig(dir=str(tmp_path))
+        series = repeat_tests(
+            STATIONS,
+            repetitions=1,
+            duration_us=DURATION_US,
+            warmup_us=WARMUP_US,
+            seed=1,
+            obs=obs,
+            timing=PhyTiming(),
+        )
+        assert len(series.tests) == 1
+        assert (tmp_path / "mac_trace_rep0.jsonl").exists()
+
+    def test_obs_series_matches_bare_series(self, tmp_path):
+        bare = repeat_tests(
+            STATIONS,
+            repetitions=2,
+            duration_us=DURATION_US,
+            warmup_us=WARMUP_US,
+            seed=1,
+        )
+        observed = repeat_tests(
+            STATIONS,
+            repetitions=2,
+            duration_us=DURATION_US,
+            warmup_us=WARMUP_US,
+            seed=1,
+            obs=ObsConfig(dir=str(tmp_path), sof_trace=False),
+        )
+        assert [t.per_station for t in observed.tests] == [
+            t.per_station for t in bare.tests
+        ]

@@ -1,0 +1,194 @@
+"""Acceptance: traces reproduce RoundLog metrics within 1e-9.
+
+The ISSUE's headline criterion: running a 2-station saturated scenario
+through the capture pipeline must produce a MAC trace and a SoF trace
+from which ``repro.obs.analyze`` reproduces the collision probability
+and the Jain index to within 1e-9 of the direct ``RoundLog`` /
+``core.metrics`` computation.
+"""
+
+import math
+
+import pytest
+
+from repro.core import metrics as core_metrics
+from repro.obs.analyze import (
+    CrossCheckRow,
+    analyze_mac_trace,
+    analyze_sof_trace,
+    collision_probability_from_trace,
+    cross_check,
+    jain_index_from_trace,
+    sof_bursts,
+    winner_sequence,
+)
+from repro.obs.capture import ObsConfig, observed_collision_test
+from repro.obs.trace import (
+    SOF_TRACE_FIELDS,
+    load_mac_trace,
+    load_sof_trace,
+)
+
+DURATION_US = 1.5e6
+WARMUP_US = 0.2e6
+
+
+@pytest.fixture(scope="module")
+def captured(tmp_path_factory):
+    """One 2-station saturated capture shared by the module's tests."""
+    out_dir = tmp_path_factory.mktemp("obs")
+    config = ObsConfig(dir=str(out_dir), metrics=True, profile=True)
+    test, capture = observed_collision_test(
+        2, config, duration_us=DURATION_US, warmup_us=WARMUP_US, seed=1
+    )
+    return test, capture, config
+
+
+class TestAcceptance:
+    def test_cross_check_within_1e9(self, captured):
+        _, capture, _ = captured
+        assert capture["cross_check_ok"], capture["cross_check"]
+        for row in capture["cross_check"]:
+            assert row["abs_err"] <= 1e-9, row
+
+    def test_collision_probability_matches_direct(self, captured):
+        # Round-level C / (C + S): the trace must reproduce the
+        # RoundLog value exactly.  (CollisionTest.collision_probability
+        # is the *frame*-level SC/SA firmware estimator — a different
+        # quantity, checked by the golden Table 2 tests.)
+        _, capture, _ = captured
+        events = load_mac_trace(capture["paths"]["mac_trace"])
+        log = capture["round_log"]
+        direct = core_metrics.collision_probability(
+            log["collisions"], log["collisions"] + log["successes"]
+        )
+        assert collision_probability_from_trace(events) == pytest.approx(
+            direct, abs=1e-9
+        )
+
+    def test_jain_index_matches_direct(self, captured):
+        _, capture, _ = captured
+        events = load_mac_trace(capture["paths"]["mac_trace"])
+        log = capture["round_log"]
+        shares = [
+            log["airtime_by_source"][tei]
+            for tei in sorted(log["airtime_by_source"])
+        ]
+        direct = core_metrics.jain_index(shares)
+        assert jain_index_from_trace(events) == pytest.approx(
+            direct, abs=1e-9
+        )
+
+    def test_artifacts_on_disk(self, captured):
+        _, capture, config = captured
+        assert config.mac_trace_path.exists()
+        assert config.sof_trace_path.exists()
+        assert config.metrics_path.exists()
+        assert config.profile_path.exists()
+        assert capture["mac_events"] > 0
+        assert capture["sof_rows"] > 0
+        assert capture["profile"]["total_events"] > 0
+
+
+class TestMacTrace:
+    def test_events_are_time_ordered_and_stamped(self, captured):
+        _, capture, _ = captured
+        events = load_mac_trace(capture["paths"]["mac_trace"])
+        times = [event["t_us"] for event in events]
+        assert times == sorted(times)
+        assert all("event" in event for event in events)
+
+    def test_vocabulary_present(self, captured):
+        _, capture, _ = captured
+        events = load_mac_trace(capture["paths"]["mac_trace"])
+        kinds = {event["event"] for event in events}
+        # A saturated 2-station run exercises the whole vocabulary
+        # except dc_jump (stage jumps need deeper backoff stages).
+        assert {"backoff_stage", "defer", "prs", "slot", "airtime",
+                "sof", "sack", "queue"} <= kinds
+
+    def test_analyze_summary(self, captured):
+        _, capture, _ = captured
+        events = load_mac_trace(capture["paths"]["mac_trace"])
+        summary = analyze_mac_trace(events)
+        assert summary["slots"]["success"] == capture["round_log"]["successes"]
+        assert set(summary["airtime_by_source"]) == set(
+            int(tei) for tei in capture["round_log"]["airtime_by_source"]
+        )
+        assert summary["win_run_lengths"]
+        assert 0.0 <= summary["capture_probability"] <= 1.0
+        assert summary["short_term_fairness"] > 0.0
+        assert sum(summary["stage_occupancy"].values()) > 0
+        winners = winner_sequence(events)
+        assert len(winners) == summary["slots"]["success"]
+
+
+class TestSofTrace:
+    def test_schema(self, captured):
+        _, capture, _ = captured
+        rows = load_sof_trace(capture["paths"]["sof_trace"])
+        assert rows
+        for row in rows:
+            assert set(row) == set(SOF_TRACE_FIELDS)
+
+    def test_loader_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"timestamp_us": 0.0, "source_tei": 1}\n')
+        with pytest.raises(ValueError, match="missing fields"):
+            load_sof_trace(path)
+
+    def test_burst_reconstruction_counts_rounds(self, captured):
+        _, capture, _ = captured
+        rows = load_sof_trace(capture["paths"]["sof_trace"])
+        result = analyze_sof_trace(rows)
+        assert result["mpdus"] == len(rows)
+        log = capture["round_log"]
+        # The wire's view may include one in-flight burst the RoundLog
+        # never completed (run truncation), hence the ±1 windows.
+        assert abs(result["successes"] - log["successes"]) <= 1
+        assert abs(result["collisions"] - log["collisions"]) <= 1
+        assert result["collision_probability"] == pytest.approx(
+            log["collisions"] / (log["collisions"] + log["successes"]),
+            abs=2e-3,
+        )
+        complete = [b for b in sof_bursts(rows) if b["complete"]]
+        assert len(complete) >= result["bursts"] - 2
+
+
+class TestCrossCheckRow:
+    def test_within_tolerance(self):
+        assert CrossCheckRow("m", 1.0, 1.0 + 1e-12).within(1e-9)
+        assert not CrossCheckRow("m", 1.0, 1.1).within(1e-9)
+
+    def test_both_nan_agree(self):
+        nan = float("nan")
+        assert CrossCheckRow("m", nan, nan).within(1e-9)
+        assert not CrossCheckRow("m", nan, 1.0).within(1e-9)
+
+    def test_as_jsonable(self):
+        row = CrossCheckRow("m", 2.0, 1.5)
+        data = row.as_jsonable()
+        assert data == {
+            "metric": "m", "trace": 2.0, "direct": 1.5, "abs_err": 0.5
+        }
+
+
+class TestEmptyTraces:
+    def test_empty_mac_trace(self):
+        summary = analyze_mac_trace([])
+        assert summary["slots"] == {"idle": 0, "success": 0, "collision": 0}
+        assert summary["collision_probability"] == 0.0
+        assert math.isnan(summary["jain_airtime"])
+        assert math.isnan(summary["short_term_fairness"])
+        assert summary["win_run_lengths"] == []
+
+    def test_empty_sof_trace(self):
+        result = analyze_sof_trace([])
+        assert result["bursts"] == 0
+        assert result["collision_probability"] == 0.0
+
+    def test_cross_check_against_fresh_log(self):
+        from repro.mac.coordinator import RoundLog
+
+        rows = cross_check([], RoundLog())
+        assert all(row.within(1e-9) for row in rows)

@@ -1,0 +1,79 @@
+"""Property-based tests: traces reproduce the ground truth.
+
+Satellite of the observability PR: on randomized scenarios (station
+count, seed), the metrics recomputed from an in-memory MAC trace must
+equal the coordinator's :class:`~repro.mac.coordinator.RoundLog`
+ground truth — not approximately, *exactly*, because every
+``RoundLog`` mutation has an adjacent probe emission with the same
+value and commit order.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import metrics as core_metrics
+from repro.experiments.procedures import run_collision_test
+from repro.experiments.testbed import build_testbed
+from repro.obs.analyze import (
+    airtime_by_source_from_trace,
+    collision_probability_from_trace,
+    cross_check,
+    jain_index_from_trace,
+    slot_counts,
+)
+from repro.obs.probe import instrument_testbed
+from repro.obs.trace import MacTraceRecorder
+
+DURATION_US = 1.2e6
+WARMUP_US = 0.1e6
+
+
+def _traced_run(num_stations: int, seed: int):
+    """(mac events, RoundLog) of one short saturated run."""
+    testbed = build_testbed(num_stations, seed=seed)
+    probe = instrument_testbed(testbed)
+    recorder = MacTraceRecorder()
+    probe.subscribe(recorder)
+    run_collision_test(
+        num_stations,
+        duration_us=DURATION_US,
+        warmup_us=WARMUP_US,
+        seed=seed,
+        testbed=testbed,
+    )
+    return recorder.events, testbed.avln.coordinator.log
+
+
+@given(num_stations=st.integers(2, 4), seed=st.integers(1, 1_000))
+@settings(max_examples=5, deadline=None)
+def test_trace_collision_probability_equals_round_log(num_stations, seed):
+    events, log = _traced_run(num_stations, seed)
+    counts = slot_counts(events)
+    assert counts["success"] == log.successes
+    assert counts["collision"] == log.collisions
+    assert counts["idle"] == log.idle_slots
+    direct = core_metrics.collision_probability(
+        log.collisions, log.collisions + log.successes
+    )
+    assert collision_probability_from_trace(events) == direct
+
+
+@given(num_stations=st.integers(2, 4), seed=st.integers(1, 1_000))
+@settings(max_examples=5, deadline=None)
+def test_trace_airtime_shares_equal_round_log(num_stations, seed):
+    events, log = _traced_run(num_stations, seed)
+    # Bitwise equality: same values added in the same order.
+    assert airtime_by_source_from_trace(events) == log.airtime_by_source
+    shares = [
+        log.airtime_by_source[tei] for tei in sorted(log.airtime_by_source)
+    ]
+    assert jain_index_from_trace(events) == core_metrics.jain_index(shares)
+
+
+@given(num_stations=st.integers(2, 3), seed=st.integers(1, 1_000))
+@settings(max_examples=3, deadline=None)
+def test_cross_check_rows_all_exact(num_stations, seed):
+    events, log = _traced_run(num_stations, seed)
+    for row in cross_check(events, log):
+        assert row.within(1e-9), row
+        assert row.abs_err == 0.0 or row.abs_err != row.abs_err

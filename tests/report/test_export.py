@@ -70,3 +70,16 @@ class TestWriteJson:
         path = write_json(tmp_path / "f2.json", [point])
         loaded = json.loads(path.read_text())
         assert loaded[0]["analytical"] == 0.117
+
+
+class TestWriteJsonl:
+    def test_whole_file_write(self, tmp_path):
+        from repro.obs.recording import read_jsonl
+        from repro.report.export import write_jsonl
+
+        path = tmp_path / "rows.jsonl"
+        write_jsonl(path, [{"a": 1}, {"a": 2}])
+        assert [row["a"] for row in read_jsonl(path)] == [1, 2]
+        # Unlike obs.recording.append_jsonl, rewriting replaces.
+        write_jsonl(path, [{"a": 3}])
+        assert [row["a"] for row in read_jsonl(path)] == [3]

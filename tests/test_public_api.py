@@ -15,6 +15,14 @@ MODULES = [
     "repro.experiments",
     "repro.hpav",
     "repro.mac",
+    "repro.obs",
+    "repro.obs.analyze",
+    "repro.obs.capture",
+    "repro.obs.probe",
+    "repro.obs.profiler",
+    "repro.obs.recording",
+    "repro.obs.registry",
+    "repro.obs.trace",
     "repro.phy",
     "repro.report",
     "repro.runner",

@@ -94,3 +94,35 @@ class TestExtensionCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "per legacy" in out
+
+
+class TestObservabilityCommands:
+    def test_trace(self, capsys, tmp_path):
+        assert main(
+            ["trace", "testbed", "-n", "2", "--duration", "1e6",
+             "--seed", "1", "--out-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cross-check OK" in out
+        assert "mac_trace" in out
+        assert list(tmp_path.glob("mac_trace*.jsonl"))
+        assert list(tmp_path.glob("sof_trace*.jsonl"))
+
+    def test_trace_opt_out_flags(self, capsys, tmp_path):
+        assert main(
+            ["trace", "testbed", "-n", "2", "--duration", "1e6",
+             "--out-dir", str(tmp_path), "--no-sof-trace", "--metrics"]
+        ) == 0
+        capsys.readouterr()
+        assert not list(tmp_path.glob("sof_trace*.jsonl"))
+        assert list(tmp_path.glob("metrics*.json"))
+
+    def test_profile(self, capsys, tmp_path):
+        json_path = tmp_path / "profile.json"
+        assert main(
+            ["profile", "testbed", "-n", "2", "--duration", "1e6",
+             "--json", str(json_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "events/sec" in out
+        assert json_path.exists()

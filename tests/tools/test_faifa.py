@@ -153,3 +153,22 @@ class TestExport:
         assert len(data["captures"]) == len(faifa.captures)
         assert data["mme_overhead"] == pytest.approx(faifa.mme_overhead())
         assert data["bursts"][0]["link_id"] in (0, 1, 2, 3)
+
+
+class TestSofTraceExport:
+    def test_export_matches_obs_schema(self, tmp_path):
+        from repro.obs.analyze import analyze_sof_trace
+        from repro.obs.trace import SOF_TRACE_FIELDS, load_sof_trace
+        from repro.tools.faifa import export_sof_trace_jsonl
+
+        env, _cco, _stations, faifa = build()
+        env.run(until=3e6)
+        path = export_sof_trace_jsonl(faifa, tmp_path / "sof.jsonl")
+        rows = load_sof_trace(path)  # validates the schema
+        assert len(rows) == len(faifa.captures)
+        assert set(rows[0]) == set(SOF_TRACE_FIELDS)
+        # A firmware-sniffer capture feeds the same analyze pipeline
+        # as a probe capture.
+        result = analyze_sof_trace(rows)
+        assert result["mpdus"] == len(rows)
+        assert result["successes"] > 0
