@@ -1,0 +1,183 @@
+"""Chaos-layer benchmarks: checker overhead and recovery dynamics.
+
+Two jobs:
+
+1. Measure the runtime invariant checker's cost on the fixed testbed
+   point.  Run-to-run wall-clock deltas between two full simulations
+   drown in scheduler noise on shared hardware, so (like
+   ``tests/chaos/test_overhead.py``) the checker's cost is isolated
+   deterministically: record the probe event stream of the point,
+   *replay* it through a fresh checker (deep sweeps at production
+   cadence) and time exactly that.  Replay time over baseline time is
+   the quantity under the <10 % acceptance bar; persisted as
+   ``BENCH_chaos_overhead.json``.  (The probe's own cost is
+   benchmarked separately in ``bench_observability``.)
+2. Run the recovery experiment once and persist its window metrics
+   (baseline/faulty/recovered collision probability, deviation,
+   convergence verdict) as ``BENCH_chaos_recovery.json`` — the
+   robustness trajectory on disk next to the perf numbers.
+
+``REPRO_BENCH_JSON_DIR`` overrides where the JSON files land (default:
+this directory).
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import ChaosPlan, InvariantChecker, run_recovery_experiment
+from repro.experiments.procedures import run_collision_test
+from repro.experiments.testbed import build_testbed
+from repro.obs import instrument_testbed
+from repro.report.export import write_json
+
+#: Where BENCH_*.json files are written.
+JSON_DIR = Path(
+    os.environ.get("REPRO_BENCH_JSON_DIR", Path(__file__).parent)
+)
+
+#: The fixed point (matches bench_observability for comparability).
+POINT_STATIONS = 3
+POINT_DURATION_US = 5e6
+POINT_SEED = 1
+
+
+def _baseline_s() -> float:
+    """Wall-clock seconds for the bare fixed point (best of 3)."""
+
+    def once() -> float:
+        testbed = build_testbed(POINT_STATIONS, seed=POINT_SEED)
+        started = time.perf_counter()
+        run_collision_test(
+            POINT_STATIONS,
+            duration_us=POINT_DURATION_US,
+            seed=POINT_SEED,
+            testbed=testbed,
+        )
+        return time.perf_counter() - started
+
+    return min(once() for _ in range(3))
+
+
+def _recorded_events():
+    """The point's probe event stream + the finished testbed."""
+    testbed = build_testbed(POINT_STATIONS, seed=POINT_SEED)
+    probe = instrument_testbed(testbed)
+    events = []
+    probe.subscribe(lambda event: events.append(dict(event)))
+    run_collision_test(
+        POINT_STATIONS,
+        duration_us=POINT_DURATION_US,
+        seed=POINT_SEED,
+        testbed=testbed,
+    )
+    return events, testbed
+
+
+@pytest.mark.benchmark(group="chaos")
+def bench_invariant_checker_overhead(benchmark, report):
+    """Replay the event stream through the checker; persist the ratio."""
+    baseline = _baseline_s()
+    events, testbed = _recorded_events()
+    checker = InvariantChecker(policy="count", deep_every=256)
+    checker.watch(nodes=[device.node for device in testbed.avln.devices])
+
+    def replay():
+        started = time.perf_counter()
+        for event in events:
+            checker(event)
+        return time.perf_counter() - started
+
+    replay_s = benchmark.pedantic(replay, rounds=1, iterations=1)
+    result = {
+        "point": {
+            "stations": POINT_STATIONS,
+            "duration_us": POINT_DURATION_US,
+            "seed": POINT_SEED,
+        },
+        "baseline_s": baseline,
+        "events": len(events),
+        "deep_sweeps": checker.deep_sweeps,
+        "checker_replay_s": replay_s,
+        # The checker's own cost: the <10% acceptance quantity.
+        "checker_overhead_ratio": replay_s / baseline,
+        "budget_ratio": 0.10,
+    }
+    path = write_json(JSON_DIR / "BENCH_chaos_overhead.json", result)
+    report(
+        "[chaos] invariant checker overhead "
+        f"(baseline {baseline*1e3:.0f} ms, {len(events)} events, "
+        f"{checker.deep_sweeps} deep sweeps): "
+        f"{result['checker_overhead_ratio']:+.1%} of baseline "
+        f"(budget +10.0%) -> {path}"
+    )
+
+
+@pytest.mark.benchmark(group="chaos")
+def bench_recovery_dynamics(benchmark, report):
+    """Baseline → fault → recovery windows; persist the verdict."""
+    result = benchmark.pedantic(
+        lambda: run_recovery_experiment(
+            3, seed=POINT_SEED, window_us=8e6, settle_us=3e6
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.converged
+    assert result.invariants["green"]
+    path = write_json(
+        JSON_DIR / "BENCH_chaos_recovery.json", result.as_dict()
+    )
+    report(
+        "[chaos] recovery: baseline p={:.4f}, faulty p={:.4f}, "
+        "recovered p={:.4f} (deviation {:.4f} <= {:.4f}) -> {}".format(
+            result.baseline,
+            result.faulty,
+            result.recovered,
+            result.deviation,
+            result.allowed_deviation,
+            path,
+        )
+    )
+
+
+@pytest.mark.benchmark(group="chaos")
+def bench_full_plan_throughput_cost(benchmark, report):
+    """What the 'full' preset does to the §3.2 numbers (context for the
+    recovery bench: the faults are a real perturbation)."""
+    from repro.chaos import chaos_collision_test, preset_plan
+
+    bare = run_collision_test(
+        POINT_STATIONS, duration_us=POINT_DURATION_US, seed=POINT_SEED
+    )
+
+    def run():
+        return chaos_collision_test(
+            POINT_STATIONS,
+            preset_plan("full", POINT_DURATION_US, seed=3),
+            duration_us=POINT_DURATION_US,
+            seed=POINT_SEED,
+        )
+
+    test, chaos_report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert chaos_report["invariants"]["green"]
+    result = {
+        "bare_collision_probability": bare.collision_probability,
+        "chaos_collision_probability": test.collision_probability,
+        "bare_goodput_mbps": bare.goodput_mbps,
+        "chaos_goodput_mbps": test.goodput_mbps,
+        "injection": chaos_report["injection"],
+    }
+    path = write_json(JSON_DIR / "BENCH_chaos_full_plan.json", result)
+    report(
+        "[chaos] full preset: p {:.4f} -> {:.4f}, goodput "
+        "{:.2f} -> {:.2f} Mbps -> {}".format(
+            bare.collision_probability,
+            test.collision_probability,
+            bare.goodput_mbps,
+            test.goodput_mbps,
+            path,
+        )
+    )

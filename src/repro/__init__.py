@@ -22,6 +22,11 @@ The library provides, as independent subpackages:
 - :mod:`repro.obs` — in-simulation observability: MAC/PHY event
   probes, a metrics registry, JSONL MAC + sniffer-style SoF traces
   with trace-vs-direct cross-checks, and an engine profiler;
+- :mod:`repro.chaos` — in-simulation chaos layer: bursty
+  Gilbert–Elliott/impulsive channel impairments, seedable device and
+  MAC fault injection (SACK loss, station churn, firmware glitches),
+  a runtime MAC invariant checker on the probe bus, and a recovery
+  harness proving the MAC re-converges after faults clear;
 - :mod:`repro.traffic`, :mod:`repro.report` — traffic generation and
   text rendering of tables/figures.
 

@@ -1,0 +1,427 @@
+"""The chaos injector: executes a :class:`~repro.chaos.plan.ChaosPlan`
+against a built testbed.
+
+:class:`ChaosInjector` translates the plan's declarative fault schedule
+into concrete interventions on a
+:class:`~repro.experiments.testbed.Testbed`:
+
+- **channel impairments** become an error model installed on the power
+  strip (composed with whatever model the testbed already had);
+- **SACK loss / corruption** wrap each station node's ``notify_sack``
+  (the coordinator's delivery point), dropping or bit-flipping the
+  selective acknowledgments the MAC would otherwise trust;
+- **station churn** runs as engine processes that build, attach and
+  detach whole devices mid-run — graceful leaves drain the MAC queue
+  first, crash-leaves yank the station even while it holds the medium;
+- **firmware glitches** corrupt the VS_STATS counters at scheduled
+  times via :meth:`repro.hpav.firmware.FirmwareStats.apply_glitch`;
+- **sniffer faults** wrap the destination's host indication path,
+  dropping or reordering faifa's capture stream.
+
+Every fault family draws from its own :meth:`ChaosPlan.stream
+<repro.chaos.plan.ChaosPlan.stream>` substream, so enabling one family
+never perturbs another and none perturb the simulation's own draws.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+from ..phy.channel import IdealChannel
+from ..tools.ampstat import Ampstat
+from ..traffic.generators import SaturatedSource
+from ..traffic.packets import mac_address
+from .impairments import (
+    AsymmetricLinkQuality,
+    ComposedErrorModel,
+    GilbertElliottPbErrors,
+    ImpulsiveNoiseBursts,
+)
+from .invariants import InvariantChecker
+from .plan import ChaosPlan
+
+__all__ = ["ChaosInjector"]
+
+#: MAC index base for stations the injector creates (clear of the
+#: testbed's own ``mac_address(0..N)`` range).
+_JOIN_MAC_BASE = 200
+
+#: Poll period of the graceful-leave queue-drain loop (µs).
+_DRAIN_POLL_US = 1_000.0
+
+
+def _window_active(spec: Dict[str, float], time_us: float) -> bool:
+    start = float(spec.get("start_us", 0.0))
+    end = spec.get("end_us")
+    if time_us < start:
+        return False
+    return end is None or time_us < float(end)
+
+
+class ChaosInjector:
+    """Installs a plan's faults on a testbed and tracks what happened.
+
+    Parameters
+    ----------
+    testbed:
+        A built (not yet run) :class:`~repro.experiments.testbed
+        .Testbed`.
+    plan:
+        The fault schedule.
+    checker:
+        Optional :class:`~repro.chaos.invariants.InvariantChecker`;
+        stations created by churn joins are registered with it (and
+        given the coordinator's probe) so the safety net follows the
+        membership.
+
+    Call :meth:`install` once before running the simulation;
+    :meth:`report` afterwards for the injection ledger.
+    """
+
+    def __init__(
+        self,
+        testbed,
+        plan: ChaosPlan,
+        checker: Optional[InvariantChecker] = None,
+    ) -> None:
+        self.testbed = testbed
+        self.plan = plan
+        self.checker = checker
+        self.gilbert_elliott: Optional[GilbertElliottPbErrors] = None
+        self._installed = False
+        self._held_indication: Optional[bytes] = None
+        self._sniffer_downstream = lambda frame_bytes: None
+        self._join_count = 0
+        #: Injection ledger (see :meth:`report`).
+        self.sacks_dropped = 0
+        self.sacks_corrupted = 0
+        self.joins = 0
+        self.leaves = 0
+        self.crash_leaves = 0
+        self.glitches_applied: List[Dict[str, Any]] = []
+        self.indications_dropped = 0
+        self.indications_reordered = 0
+
+    # -- installation ------------------------------------------------------
+    def install(self) -> "ChaosInjector":
+        """Wire every fault family of the plan into the testbed."""
+        if self._installed:
+            raise RuntimeError("ChaosInjector.install called twice")
+        self._installed = True
+        self._install_channel_impairments()
+        self._install_sack_faults()
+        self._install_churn()
+        self._install_firmware_glitches()
+        self._install_sniffer_faults()
+        return self
+
+    def _install_channel_impairments(self) -> None:
+        plan = self.plan
+        if not plan.any_channel_impairment:
+            return
+        strip = self.testbed.avln.strip
+        models: List[object] = []
+        existing = strip.error_model
+        if not isinstance(existing, IdealChannel):
+            models.append(existing)
+        if plan.gilbert_elliott is not None:
+            ge = plan.gilbert_elliott
+            self.gilbert_elliott = GilbertElliottPbErrors(
+                p_good_to_bad=ge["p_good_to_bad"],
+                p_bad_to_good=ge["p_bad_to_good"],
+                error_good=ge.get("error_good", 0.0),
+                error_bad=ge.get("error_bad", 0.0),
+                rng=plan.stream("gilbert_elliott"),
+                start_us=ge.get("start_us", 0.0),
+                end_us=ge.get("end_us"),
+            )
+            models.append(self.gilbert_elliott)
+        if plan.impulse_noise:
+            models.append(
+                ImpulsiveNoiseBursts(
+                    windows=[
+                        (
+                            w["start_us"],
+                            w["duration_us"],
+                            w.get("error_probability", 0.0),
+                        )
+                        for w in plan.impulse_noise
+                    ],
+                    rng=plan.stream("impulse_noise"),
+                )
+            )
+        if plan.link_quality:
+            quality = {
+                mac.lower(): float(p)
+                for mac, p in plan.link_quality.items()
+            }
+            devices = self.testbed.avln.devices
+
+            def probability_of(tei: int) -> float:
+                # TEIs are assigned at association time, so resolve the
+                # plan's MAC keys to TEIs per lookup, not at install.
+                for device in devices:
+                    if device.node.tei == tei:
+                        return quality.get(device.mac_addr, 0.0)
+                return 0.0
+
+            models.append(
+                AsymmetricLinkQuality(
+                    probabilities=probability_of,
+                    rng=plan.stream("link_quality"),
+                )
+            )
+        if len(models) == 1:
+            strip.error_model = models[0]
+        else:
+            strip.error_model = ComposedErrorModel(models)
+
+    def _install_sack_faults(self) -> None:
+        plan = self.plan
+        env = self.testbed.env
+        if plan.sack_loss is not None:
+            self._wrap_sacks_drop(plan.sack_loss, env)
+        if plan.sack_corruption is not None:
+            self._wrap_sacks_corrupt(plan.sack_corruption, env)
+
+    def _target_devices(self, spec: Dict[str, Any]) -> list:
+        mac = spec.get("mac")
+        if mac is not None:
+            return [self.testbed.avln.find_device(mac)]
+        return list(self.testbed.stations)
+
+    def _wrap_sacks_drop(self, spec, env) -> None:
+        rng = self.plan.stream("sack_loss")
+        probability = float(spec.get("probability", 0.0))
+        for device in self._target_devices(spec):
+            node = device.node
+            original = node.notify_sack
+
+            def dropped(
+                sack, burst, outcome, _original=original, _spec=spec
+            ):
+                if (
+                    _window_active(_spec, env.now)
+                    and rng.random() < probability
+                ):
+                    # The SACK is lost on the air: the firmware never
+                    # hears it, retransmission logic never fires.
+                    self.sacks_dropped += 1
+                    return
+                _original(sack, burst, outcome)
+
+            node.notify_sack = dropped
+
+    def _wrap_sacks_corrupt(self, spec, env) -> None:
+        rng = self.plan.stream("sack_corruption")
+        probability = float(spec.get("probability", 0.0))
+        for device in self._target_devices(spec):
+            node = device.node
+            original = node.notify_sack
+
+            def corrupted(
+                sack, burst, outcome, _original=original, _spec=spec
+            ):
+                if (
+                    _window_active(_spec, env.now)
+                    and rng.random() < probability
+                ):
+                    self.sacks_corrupted += 1
+                    flipped = tuple(
+                        (not flag) if rng.random() < 0.5 else flag
+                        for flag in sack.pb_errors
+                    )
+                    sack = dataclasses.replace(sack, pb_errors=flipped)
+                _original(sack, burst, outcome)
+
+            node.notify_sack = corrupted
+
+    # -- churn -------------------------------------------------------------
+    def _install_churn(self) -> None:
+        for event in self.plan.churn:
+            self.testbed.env.process(self._churn_process(dict(event)))
+
+    def _churn_process(self, event: Dict[str, Any]):
+        env = self.testbed.env
+        delay = float(event["time_us"]) - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        action = event["action"]
+        if action == "join":
+            device = self._join_station(event.get("mac"))
+            leave_at = event.get("leave_at_us")
+            if leave_at is not None:
+                yield env.timeout(max(float(leave_at) - env.now, 0.0))
+                if event.get("crash", False):
+                    self._crash_leave(device)
+                else:
+                    yield from self._graceful_leave(device)
+        elif action == "crash_leave":
+            device = self._resolve_leaver(event.get("mac"))
+            if device is not None:
+                self._crash_leave(device)
+        else:  # graceful leave
+            device = self._resolve_leaver(event.get("mac"))
+            if device is not None:
+                yield from self._graceful_leave(device)
+
+    def _join_station(self, mac: Optional[str]):
+        testbed = self.testbed
+        if mac is None:
+            mac = mac_address(_JOIN_MAC_BASE + self._join_count)
+        self._join_count += 1
+        device = testbed.avln.add_device(mac)
+        probe = testbed.avln.coordinator.probe
+        if probe is not None:
+            device.node.set_probe(probe)
+        source = SaturatedSource(
+            testbed.env,
+            device,
+            dst_mac=testbed.destination.mac_addr,
+        )
+        testbed.stations.append(device)
+        testbed.sources.append(source)
+        testbed.ampstats[device.mac_addr] = Ampstat(device)
+        if self.checker is not None:
+            self.checker.watch_node(device.node)
+        self.joins += 1
+        return device
+
+    def _resolve_leaver(self, mac: Optional[str]):
+        testbed = self.testbed
+        if mac is not None:
+            device = testbed.avln.find_device(mac)
+        elif testbed.stations:
+            device = testbed.stations[-1]
+        else:
+            return None
+        if device is testbed.destination:
+            raise ValueError("the destination/CCo cannot leave")
+        return device
+
+    def _stop_sources_of(self, device) -> None:
+        for source in self.testbed.sources:
+            if source.device is device:
+                source.stop()
+
+    def _detach(self, device) -> None:
+        self.testbed.avln.remove_device(device)
+        if device in self.testbed.stations:
+            self.testbed.stations.remove(device)
+        self.testbed.sources = [
+            source
+            for source in self.testbed.sources
+            if source.device is not device
+        ]
+        self.testbed.ampstats.pop(device.mac_addr, None)
+
+    def _crash_leave(self, device) -> None:
+        """Yank the station immediately — even mid-backoff or while its
+        burst is on the wire (the coordinator's ``detached`` guards
+        absorb the in-flight round)."""
+        self._stop_sources_of(device)
+        self._detach(device)
+        self.crash_leaves += 1
+
+    def _graceful_leave(self, device):
+        """Stop offering traffic, drain the MAC queue, then detach."""
+        self._stop_sources_of(device)
+        env = self.testbed.env
+        while device.node.pending_priority() is not None:
+            yield env.timeout(_DRAIN_POLL_US)
+        self._detach(device)
+        self.leaves += 1
+
+    # -- firmware glitches ---------------------------------------------------
+    def _install_firmware_glitches(self) -> None:
+        if not self.plan.firmware_glitches:
+            return
+        rng = self.plan.stream("firmware_glitches")
+        for glitch in self.plan.firmware_glitches:
+            self.testbed.env.process(
+                self._glitch_process(dict(glitch), rng)
+            )
+
+    def _glitch_process(self, glitch: Dict[str, Any], rng):
+        env = self.testbed.env
+        delay = float(glitch["time_us"]) - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        kind = glitch.get("kind", "zero")
+        mac = glitch.get("mac")
+        if mac is not None:
+            devices = [self.testbed.avln.find_device(mac)]
+        else:
+            devices = list(self.testbed.avln.devices)
+        for device in devices:
+            summary = device.firmware.apply_glitch(kind, rng)
+            self.glitches_applied.append(
+                {
+                    "time_us": env.now,
+                    "mac": device.mac_addr,
+                    "kind": kind,
+                    **summary,
+                }
+            )
+
+    # -- sniffer faults -------------------------------------------------------
+    def _install_sniffer_faults(self) -> None:
+        spec = self.plan.sniffer
+        if spec is None:
+            return
+        rng = self.plan.stream("sniffer")
+        drop = float(spec.get("drop_probability", 0.0))
+        reorder = float(spec.get("reorder_probability", 0.0))
+        device = self.testbed.destination
+        original = device.host_indication_handler
+        self._sniffer_downstream = original
+
+        def faulty(frame_bytes: bytes) -> None:
+            if drop and rng.random() < drop:
+                self.indications_dropped += 1
+                return
+            if self._held_indication is not None:
+                # Deliver the newer frame first, then the held one:
+                # one adjacent transposition in the capture stream.
+                held, self._held_indication = self._held_indication, None
+                original(frame_bytes)
+                original(held)
+                self.indications_reordered += 1
+                return
+            if reorder and rng.random() < reorder:
+                self._held_indication = frame_bytes
+                return
+            original(frame_bytes)
+
+        device.host_indication_handler = faulty
+
+    def flush(self) -> None:
+        """Deliver any indication still held by the reorder fault."""
+        if self._held_indication is not None:
+            held, self._held_indication = self._held_indication, None
+            self._sniffer_downstream(held)
+
+    # -- reporting -------------------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        """The injection ledger: what the plan actually did."""
+        data: Dict[str, Any] = {
+            "plan_seed": self.plan.seed,
+            "sacks_dropped": self.sacks_dropped,
+            "sacks_corrupted": self.sacks_corrupted,
+            "joins": self.joins,
+            "leaves": self.leaves,
+            "crash_leaves": self.crash_leaves,
+            "glitches_applied": list(self.glitches_applied),
+            "indications_dropped": self.indications_dropped,
+            "indications_reordered": self.indications_reordered,
+        }
+        if self.gilbert_elliott is not None:
+            data["gilbert_elliott"] = {
+                "pbs_seen": self.gilbert_elliott.pbs_seen,
+                "pbs_errored": self.gilbert_elliott.pbs_errored,
+                "stationary_error_rate": (
+                    self.gilbert_elliott.stationary_error_rate
+                ),
+            }
+        return data

@@ -1,0 +1,302 @@
+"""Runtime MAC invariant checker (the chaos layer's safety net).
+
+Fault injection is only useful if protocol damage is *detected*: the
+checker rides the existing :class:`~repro.obs.probe.MacProbe` event bus
+and asserts, on every event it sees, that the 1901 backoff machinery is
+still in a legal state — and periodically (every ``deep_every`` events,
+plus once at :meth:`finalize`) runs a *deep sweep* over every station
+FSM and the coordinator's airtime ledger.
+
+Invariants enforced
+-------------------
+Per event (O(1), on the probe hot path):
+
+- ``backoff_stage``: the redrawn BC lies in ``[0, CW)``, CW ≥ 1, DC ≥ 0;
+- ``defer``: BC and DC stay non-negative after the busy-slot decrement;
+- ``dc_jump``: the jump fired with BPC > 0 and an unexpired BC;
+- ``slot``/``success``: exactly **one** source TEI (no two concurrent
+  transmissions may both be marked successful);
+- ``slot``/``collision``: at least two distinct sources;
+- ``airtime``: strictly positive quanta.
+
+Per deep sweep:
+
+- every station FSM passes
+  :meth:`repro.core.station.Station.check_invariants` (BC/DC/BPC/stage
+  bounds, CW from the configured schedule, attempt ⇒ BC = 0);
+- airtime conservation: the per-TEI airtime accumulated from probe
+  events equals the coordinator :class:`~repro.mac.coordinator
+  .RoundLog` ledger (the two are written adjacently in the
+  coordinator, so any drift means lost or duplicated accounting).
+
+Violation policy (from :attr:`ChaosPlan.invariants <repro.chaos.plan
+.ChaosPlan.invariants>`): ``raise`` aborts the run with
+:class:`InvariantViolation`, ``log`` records every description (up to a
+cap) and keeps going, ``count`` only counts — optionally into a
+:class:`repro.obs.registry.MetricsRegistry` counter
+(``chaos_invariant_violations_total``, labelled by ``check``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["InvariantViolation", "InvariantChecker"]
+
+#: Relative tolerance of the airtime-conservation comparison.  The two
+#: accumulations add the same floats in the same order, so they agree
+#: bitwise today; the epsilon only guards against a future reordering.
+_AIRTIME_RTOL = 1e-9
+
+#: Cap on stored violation descriptions (``log`` policy); the count
+#: keeps increasing past it.
+_MAX_STORED = 200
+
+
+class InvariantViolation(AssertionError):
+    """A MAC invariant failed during a chaos run.
+
+    ``AssertionError`` subclass: a violation is a *bug surface* (either
+    in the protocol implementation or in a fault injector), not an
+    operational error.  Carries the simulation time and check name.
+    """
+
+    def __init__(self, description: str, check: str, time_us: float) -> None:
+        super().__init__(f"[t={time_us:.1f}µs] {check}: {description}")
+        self.description = description
+        self.check = check
+        self.time_us = time_us
+
+
+class InvariantChecker:
+    """Probe subscriber asserting MAC invariants at runtime.
+
+    Parameters
+    ----------
+    policy:
+        ``raise`` / ``log`` / ``count`` (see module docstring).
+    deep_every:
+        Run the deep sweep every this many probe events (0 disables
+        periodic sweeps; :meth:`finalize` always sweeps once).
+    registry:
+        Optional :class:`repro.obs.registry.MetricsRegistry`; when
+        given, violations increment
+        ``chaos_invariant_violations_total{check=...}``.
+
+    Use: subscribe to a probe and register the components to sweep::
+
+        probe = instrument_testbed(testbed)
+        checker = InvariantChecker(policy="raise")
+        checker.watch_testbed(testbed)
+        probe.subscribe(checker)
+    """
+
+    def __init__(
+        self,
+        policy: str = "raise",
+        deep_every: int = 256,
+        registry=None,
+    ) -> None:
+        if policy not in ("raise", "log", "count"):
+            raise ValueError(
+                f"policy must be raise/log/count, got {policy!r}"
+            )
+        if deep_every < 0:
+            raise ValueError("deep_every must be >= 0")
+        self.policy = policy
+        self.deep_every = int(deep_every)
+        self._counter = None
+        if registry is not None:
+            self._counter = registry.counter(
+                "chaos_invariant_violations_total",
+                "MAC invariant violations detected by the chaos checker",
+                labelnames=("check",),
+            )
+        #: Components under watch.
+        self._nodes: List[Any] = []
+        self._coordinator = None
+        #: Airtime accumulated from probe events, per source TEI.
+        self._airtime_seen: Dict[int, float] = {}
+        #: RoundLog airtime at watch time (pre-existing ledger content
+        #: that predates our subscription and must be excluded).
+        self._airtime_baseline: Dict[int, float] = {}
+        #: Stats.
+        self.events_seen = 0
+        self.deep_sweeps = 0
+        self.violation_count = 0
+        self.violations: List[str] = []
+        self._last_time_us = 0.0
+
+    # -- registration ----------------------------------------------------
+    def watch(self, coordinator=None, nodes=()) -> None:
+        """Register a coordinator and/or MAC nodes for deep sweeps."""
+        if coordinator is not None:
+            self._coordinator = coordinator
+            self._airtime_baseline = dict(
+                coordinator.log.airtime_by_source
+            )
+            self._airtime_seen.clear()
+        for node in nodes:
+            if node not in self._nodes:
+                self._nodes.append(node)
+
+    def watch_node(self, node) -> None:
+        """Register one MAC node (late joiners during churn)."""
+        if node not in self._nodes:
+            self._nodes.append(node)
+
+    def watch_testbed(self, testbed) -> None:
+        """Register every layer of a built testbed."""
+        self.watch(
+            coordinator=testbed.avln.coordinator,
+            nodes=[device.node for device in testbed.avln.devices],
+        )
+
+    # -- status ----------------------------------------------------------
+    @property
+    def green(self) -> bool:
+        """True while no invariant has been violated."""
+        return self.violation_count == 0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "events_seen": self.events_seen,
+            "deep_sweeps": self.deep_sweeps,
+            "violation_count": self.violation_count,
+            "violations": list(self.violations),
+            "green": self.green,
+        }
+
+    # -- violation handling ----------------------------------------------
+    def _violate(self, description: str, check: str) -> None:
+        self.violation_count += 1
+        if self._counter is not None:
+            self._counter.inc(check=check)
+        if self.policy == "raise":
+            raise InvariantViolation(description, check, self._last_time_us)
+        if self.policy == "log" and len(self.violations) < _MAX_STORED:
+            self.violations.append(
+                f"[t={self._last_time_us:.1f}µs] {check}: {description}"
+            )
+
+    # -- the probe-event fast path ----------------------------------------
+    def __call__(self, event: Dict[str, Any]) -> None:
+        self.events_seen += 1
+        self._last_time_us = float(event.get("t_us", self._last_time_us))
+        kind = event.get("event")
+        if kind == "backoff_stage":
+            cw = event["cw"]
+            bc = event["bc"]
+            if cw < 1:
+                self._violate(
+                    f"station {event.get('station')}: redraw with CW={cw}",
+                    "backoff_cw",
+                )
+            if not 0 <= bc < max(cw, 1):
+                self._violate(
+                    f"station {event.get('station')}: redrawn BC={bc} "
+                    f"outside [0, {cw})",
+                    "backoff_bc",
+                )
+            if event["dc"] < 0:
+                self._violate(
+                    f"station {event.get('station')}: reloaded "
+                    f"DC={event['dc']} negative",
+                    "backoff_dc",
+                )
+        elif kind == "defer":
+            if event["bc"] < 0 or event["dc"] < 0:
+                self._violate(
+                    f"station {event.get('station')}: defer left "
+                    f"BC={event['bc']} DC={event['dc']}",
+                    "defer_counters",
+                )
+        elif kind == "dc_jump":
+            if event["bpc"] <= 0:
+                self._violate(
+                    f"station {event.get('station')}: DC jump with "
+                    f"BPC={event['bpc']}",
+                    "dc_jump",
+                )
+            if event["bc"] == 0:
+                self._violate(
+                    f"station {event.get('station')}: DC jump with "
+                    "expired BC (should have attempted)",
+                    "dc_jump",
+                )
+        elif kind == "slot":
+            outcome = event.get("outcome")
+            if outcome == "success":
+                sources = event.get("sources", ())
+                if len(sources) != 1:
+                    self._violate(
+                        f"success slot with sources={list(sources)} "
+                        "(exactly one transmitter may succeed)",
+                        "single_success",
+                    )
+            elif outcome == "collision":
+                sources = event.get("sources", ())
+                if len(sources) < 2:
+                    self._violate(
+                        f"collision slot with sources={list(sources)} "
+                        "(needs at least two transmitters)",
+                        "collision_sources",
+                    )
+        elif kind == "airtime":
+            airtime = event.get("airtime_us", 0.0)
+            if airtime <= 0.0:
+                self._violate(
+                    f"non-positive airtime quantum {airtime} for TEI "
+                    f"{event.get('source_tei')}",
+                    "airtime_positive",
+                )
+            else:
+                tei = event["source_tei"]
+                self._airtime_seen[tei] = (
+                    self._airtime_seen.get(tei, 0.0) + airtime
+                )
+        if self.deep_every and self.events_seen % self.deep_every == 0:
+            self.deep_sweep()
+
+    # -- deep sweeps ------------------------------------------------------
+    def deep_sweep(self) -> None:
+        """Sweep every watched FSM and the airtime ledger."""
+        self.deep_sweeps += 1
+        for node in self._nodes:
+            for station in node.stations().values():
+                for description in station.check_invariants():
+                    self._violate(description, "station_fsm")
+        self._check_airtime_conservation()
+
+    def _check_airtime_conservation(self) -> None:
+        coordinator = self._coordinator
+        if coordinator is None:
+            return
+        ledger = coordinator.log.airtime_by_source
+        baseline = self._airtime_baseline
+        total_ledger = sum(ledger.values())
+        total_baseline = sum(baseline.values())
+        if total_ledger < total_baseline - 1e-9:
+            # The ledger was reset (warmup cut, RoundLog.reset()):
+            # re-anchor rather than reporting phantom loss.
+            self._airtime_baseline = {
+                tei: ledger.get(tei, 0.0) - seen
+                for tei, seen in self._airtime_seen.items()
+            }
+            baseline = self._airtime_baseline
+        for tei, seen in self._airtime_seen.items():
+            expected = baseline.get(tei, 0.0) + seen
+            actual = ledger.get(tei, 0.0)
+            tolerance = _AIRTIME_RTOL * max(abs(expected), abs(actual), 1.0)
+            if abs(actual - expected) > tolerance:
+                self._violate(
+                    f"airtime ledger for TEI {tei} is {actual:.3f}µs but "
+                    f"probe events account for {expected:.3f}µs",
+                    "airtime_conservation",
+                )
+
+    def finalize(self) -> Dict[str, Any]:
+        """Run one last deep sweep and return :meth:`summary`."""
+        self.deep_sweep()
+        return self.summary()

@@ -150,6 +150,49 @@ class Station:
                 }
             )
 
+    def check_invariants(self) -> list:
+        """FSM sanity sweep: the violated-invariant descriptions.
+
+        Empty list means the state is consistent.  The checks must hold
+        at *every* point of the drive cycle, which rules out the
+        tempting per-stage forms: ``reset_for_new_frame`` zeroes
+        BPC/BC/DC but leaves ``cw`` at its last-stage value, and a
+        successful ``resolve`` zeroes BPC while DC keeps its old-stage
+        value — so DC is bounded by the schedule's maximum, not by the
+        current stage's entry, and CW by membership in the schedule.
+        """
+        config = self.config
+        violations = []
+        if not 0 <= self.bc < max(self.cw, 1):
+            violations.append(
+                f"station {self.probe_id}: BC={self.bc} outside [0, "
+                f"CW={self.cw})"
+            )
+        if self.cw not in config.cw:
+            violations.append(
+                f"station {self.probe_id}: CW={self.cw} not in the "
+                f"schedule {list(config.cw)}"
+            )
+        if not 0 <= self.dc <= max(config.dc):
+            violations.append(
+                f"station {self.probe_id}: DC={self.dc} outside [0, "
+                f"{max(config.dc)}]"
+            )
+        if self.bpc < 0:
+            violations.append(
+                f"station {self.probe_id}: BPC={self.bpc} negative"
+            )
+        if not 0 <= self.stage < config.num_stages:
+            violations.append(
+                f"station {self.probe_id}: stage={self.stage} outside "
+                f"[0, {config.num_stages})"
+            )
+        if self._attempting and self.bc != 0:
+            violations.append(
+                f"station {self.probe_id}: attempting with BC={self.bc} != 0"
+            )
+        return violations
+
     # -- lifecycle --------------------------------------------------------
     def reset_for_new_frame(self) -> None:
         """Start contention for a fresh frame at backoff stage 0."""

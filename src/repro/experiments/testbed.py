@@ -80,12 +80,15 @@ def build_testbed(
     beacons_enabled: bool = True,
     channel_est_enabled: bool = True,
     udp_payload_bytes: int = 1472,
+    error_model=None,
 ) -> Testbed:
     """Assemble N saturated stations + destination/CCo D on one strip.
 
     Parameters mirror the §3 setup; ``enable_sniffer`` attaches a
     :class:`Faifa` instance to D (the paper captures at the
-    destination).
+    destination).  ``error_model`` installs a PB-error model on the
+    strip (``None`` keeps the paper's ideal channel); the chaos layer
+    installs its impairments through this hook.
     """
     if num_stations < 1:
         raise ValueError("num_stations must be >= 1")
@@ -97,6 +100,7 @@ def build_testbed(
         timing=timing,
         beacons_enabled=beacons_enabled,
         channel_est_enabled=channel_est_enabled,
+        error_model=error_model,
     )
 
     destination = avln.add_device(

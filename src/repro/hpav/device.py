@@ -139,6 +139,21 @@ class HomePlugAVDevice:
         self.mmes_sent = 0
 
     # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def shutdown(self) -> None:
+        """Take the adapter off the wire (churn / crash-leave).
+
+        Detaches the receive handler and any active sniffer tap from
+        the strip.  Idempotent; MAC-side detachment is the AVLN's job
+        (:meth:`repro.hpav.network.Avln.remove_device`).
+        """
+        self.strip.detach(self._on_mpdu)
+        if self._sniffing:
+            self.strip.remove_sniffer(self._on_sof)
+            self._sniffing = False
+
+    # ------------------------------------------------------------------ #
     # Identity / addressing
     # ------------------------------------------------------------------ #
     @property

@@ -97,6 +97,46 @@ class FirmwareStats:
             stats.reset()
         self.phy_errors = 0
 
+    # -- fault injection (repro.chaos) ----------------------------------------
+    def apply_glitch(self, kind: str, rng) -> Dict[str, int]:
+        """Corrupt the counters the way buggy firmware revisions do.
+
+        Used by the chaos layer's firmware-glitch faults; returns a
+        small summary of what was touched so injectors can report it.
+
+        ``zero``
+            Spontaneous counter reset (all links and the PHY-error
+            counter) — the classic lost-statistics reboot.
+        ``inflate_acked``
+            Adds a random positive offset to every link's ``acked``
+            (double-counting bug): rate estimators that trust raw
+            counters drift low.
+        ``corrupt_collided``
+            Adds a random positive offset to every link's
+            ``collided``, which can push ``collided`` past ``acked``
+            (making :attr:`LinkStats.successes` negative) — consumers
+            must not assume the firmware keeps them consistent.
+        """
+        if kind == "zero":
+            touched = len(self._links)
+            self.reset_all()
+            return {"links_touched": touched, "delta": 0}
+        if kind == "inflate_acked":
+            delta = 0
+            for stats in self._links.values():
+                amount = int(rng.integers(1, 64))
+                stats.acked += amount
+                delta += amount
+            return {"links_touched": len(self._links), "delta": delta}
+        if kind == "corrupt_collided":
+            delta = 0
+            for stats in self._links.values():
+                amount = int(rng.integers(1, 64))
+                stats.collided += amount
+                delta += amount
+            return {"links_touched": len(self._links), "delta": delta}
+        raise ValueError(f"unknown firmware glitch kind {kind!r}")
+
     def totals(self, direction: int) -> Tuple[int, int]:
         """(acked, collided) summed over all links of a direction."""
         acked = collided = 0

@@ -25,9 +25,11 @@ __all__ = [
     "MMTYPE_CNF",
     "MMTYPE_IND",
     "MMTYPE_RSP",
+    "MmeDecodeError",
     "MmeFrame",
     "pack_mac",
     "unpack_mac",
+    "unpack_struct",
 ]
 
 ETHERTYPE_HOMEPLUG_AV = 0x88E1
@@ -48,6 +50,61 @@ _HEADER = struct.Struct("<6s6sHBHH")  # ODA OSA ethertype MMV MMTYPE FMI
 # Note: the ethertype is big-endian on the wire; we byte-swap it
 # explicitly below so a single little-endian struct can be used for the
 # MMTYPE (which *is* little-endian per the standard).
+
+
+class MmeDecodeError(ValueError):
+    """A malformed or truncated MME frame/payload.
+
+    Subclasses ``ValueError`` so existing handlers keep working, but
+    carries *where* decoding failed: the ``field`` being parsed, the
+    byte ``offset`` into the buffer at which it starts, and how many
+    bytes were ``needed`` vs ``available`` (``None`` when the failure
+    is semantic — wrong ethertype, wrong OUI — rather than truncation).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        field: str,
+        offset: int = 0,
+        needed: int = None,
+        available: int = None,
+    ) -> None:
+        detail = f"{message} (field {field!r} at offset {offset}"
+        if needed is not None:
+            detail += f": need {needed} byte(s), have {available}"
+        detail += ")"
+        super().__init__(detail)
+        self.field = field
+        self.offset = offset
+        self.needed = needed
+        self.available = available
+
+
+def unpack_struct(
+    layout: struct.Struct, payload: bytes, field: str, offset: int = 0
+) -> tuple:
+    """``layout.unpack_from`` with truncation mapped to MmeDecodeError.
+
+    The shared guard of every typed payload decoder in
+    :mod:`repro.hpav.mme_types`: raw ``struct.error`` never escapes to
+    callers, who instead get the failing field name and offset.
+    """
+    if len(payload) < offset + layout.size:
+        raise MmeDecodeError(
+            "truncated MME payload",
+            field=field,
+            offset=offset,
+            needed=layout.size,
+            available=max(len(payload) - offset, 0),
+        )
+    try:
+        return layout.unpack_from(payload, offset)
+    except struct.error as exc:  # pragma: no cover - length checked above
+        raise MmeDecodeError(
+            f"malformed MME payload: {exc}", field=field, offset=offset
+        ) from None
 
 
 def pack_mac(mac: str) -> bytes:
@@ -133,19 +190,21 @@ class MmeFrame:
     def decode(cls, frame: bytes) -> "MmeFrame":
         """Parse an Ethernet frame into an :class:`MmeFrame`.
 
-        Raises ``ValueError`` on truncated frames or wrong ethertype.
+        Raises :class:`MmeDecodeError` (a ``ValueError`` subclass) on
+        truncated frames or a wrong ethertype; the exception carries
+        the offending field name and byte offset.
         """
-        if len(frame) < _HEADER.size:
-            raise ValueError(f"frame too short for an MME: {len(frame)} bytes")
-        dst, src, swapped_ethertype, mmv, mmtype, fmi = _HEADER.unpack_from(
-            frame
+        dst, src, swapped_ethertype, mmv, mmtype, fmi = unpack_struct(
+            _HEADER, frame, "header"
         )
         ethertype = ((swapped_ethertype & 0xFF) << 8) | (
             swapped_ethertype >> 8
         )
         if ethertype != ETHERTYPE_HOMEPLUG_AV:
-            raise ValueError(
-                f"not a HomePlug AV frame (ethertype {ethertype:#06x})"
+            raise MmeDecodeError(
+                f"not a HomePlug AV frame (ethertype {ethertype:#06x})",
+                field="ethertype",
+                offset=12,
             )
         return cls(
             dst_mac=unpack_mac(dst),

@@ -31,7 +31,13 @@ from __future__ import annotations
 import dataclasses
 import struct
 
-from .mme import VENDOR_OUI, pack_mac, unpack_mac
+from .mme import MmeDecodeError, VENDOR_OUI, pack_mac, unpack_mac, unpack_struct
+
+
+def _check_oui(oui: bytes, mme: str) -> None:
+    """Shared wrong-OUI rejection for the vendor-specific decoders."""
+    if oui != VENDOR_OUI:
+        raise MmeDecodeError(f"{mme} with wrong OUI", field="oui", offset=0)
 
 __all__ = [
     "GetKeyConfirm",
@@ -119,11 +125,10 @@ class StatsRequest:
 
     @classmethod
     def decode(cls, payload: bytes) -> "StatsRequest":
-        oui, control, direction, priority, peer = _STATS_REQ.unpack_from(
-            payload
+        oui, control, direction, priority, peer = unpack_struct(
+            _STATS_REQ, payload, "stats_request"
         )
-        if oui != VENDOR_OUI:
-            raise ValueError("VS_STATS request with wrong OUI")
+        _check_oui(oui, "VS_STATS request")
         return cls(
             control=control,
             direction=direction,
@@ -145,9 +150,10 @@ class StatsConfirm:
 
     @classmethod
     def decode(cls, payload: bytes) -> "StatsConfirm":
-        oui, status, acked, collided = _STATS_CNF.unpack_from(payload)
-        if oui != VENDOR_OUI:
-            raise ValueError("VS_STATS confirm with wrong OUI")
+        oui, status, acked, collided = unpack_struct(
+            _STATS_CNF, payload, "stats_confirm"
+        )
+        _check_oui(oui, "VS_STATS confirm")
         return cls(status=status, acked=acked, collided=collided)
 
 
@@ -168,9 +174,8 @@ class SnifferRequest:
 
     @classmethod
     def decode(cls, payload: bytes) -> "SnifferRequest":
-        oui, flag = _SNIFFER_REQ.unpack_from(payload)
-        if oui != VENDOR_OUI:
-            raise ValueError("VS_SNIFFER request with wrong OUI")
+        oui, flag = unpack_struct(_SNIFFER_REQ, payload, "sniffer_request")
+        _check_oui(oui, "VS_SNIFFER request")
         return cls(enable=bool(flag))
 
 
@@ -184,9 +189,10 @@ class SnifferConfirm:
 
     @classmethod
     def decode(cls, payload: bytes) -> "SnifferConfirm":
-        oui, status, flag = _SNIFFER_CNF.unpack_from(payload)
-        if oui != VENDOR_OUI:
-            raise ValueError("VS_SNIFFER confirm with wrong OUI")
+        oui, status, flag = unpack_struct(
+            _SNIFFER_CNF, payload, "sniffer_confirm"
+        )
+        _check_oui(oui, "VS_SNIFFER confirm")
         return cls(status=status, enabled=bool(flag))
 
 
@@ -234,9 +240,8 @@ class SnifferIndication:
             frame_length,
             num_blocks,
             collided,
-        ) = _SNIFFER_IND.unpack_from(payload)
-        if oui != VENDOR_OUI:
-            raise ValueError("VS_SNIFFER indication with wrong OUI")
+        ) = unpack_struct(_SNIFFER_IND, payload, "sniffer_indication")
+        _check_oui(oui, "VS_SNIFFER indication")
         return cls(
             timestamp_us=timestamp,
             source_tei=stei,
@@ -267,7 +272,7 @@ class AssocRequest:
 
     @classmethod
     def decode(cls, payload: bytes) -> "AssocRequest":
-        request_type, mac = _ASSOC_REQ.unpack_from(payload)
+        request_type, mac = unpack_struct(_ASSOC_REQ, payload, "assoc_request")
         return cls(request_type=request_type, station_mac=unpack_mac(mac))
 
 
@@ -287,7 +292,9 @@ class AssocConfirm:
 
     @classmethod
     def decode(cls, payload: bytes) -> "AssocConfirm":
-        result, mac, tei, lease = _ASSOC_CNF.unpack_from(payload)
+        result, mac, tei, lease = unpack_struct(
+            _ASSOC_CNF, payload, "assoc_confirm"
+        )
         return cls(
             result=result,
             station_mac=unpack_mac(mac),
@@ -321,7 +328,9 @@ class BeaconPayload:
 
     @classmethod
     def decode(cls, payload: bytes) -> "BeaconPayload":
-        nid, cco_tei, sequence, period = _BEACON.unpack_from(payload)
+        nid, cco_tei, sequence, period = unpack_struct(
+            _BEACON, payload, "beacon"
+        )
         return cls(
             nid=nid, cco_tei=cco_tei, sequence=sequence, beacon_period_ms=period
         )
@@ -350,9 +359,10 @@ class ChannelEstIndication:
 
     @classmethod
     def decode(cls, payload: bytes) -> "ChannelEstIndication":
-        oui, mac, index, bits = _CHANNEL_EST.unpack_from(payload)
-        if oui != VENDOR_OUI:
-            raise ValueError("VS_CHANNEL_EST with wrong OUI")
+        oui, mac, index, bits = unpack_struct(
+            _CHANNEL_EST, payload, "channel_est"
+        )
+        _check_oui(oui, "VS_CHANNEL_EST")
         return cls(
             peer_mac=unpack_mac(mac), tone_map_index=index, modulation_bits=bits
         )
@@ -371,9 +381,8 @@ class NetworkInfoRequest:
 
     @classmethod
     def decode(cls, payload: bytes) -> "NetworkInfoRequest":
-        (oui,) = _NW_INFO_REQ.unpack_from(payload)
-        if oui != VENDOR_OUI:
-            raise ValueError("VS_NW_INFO request with wrong OUI")
+        (oui,) = unpack_struct(_NW_INFO_REQ, payload, "nw_info_request")
+        _check_oui(oui, "VS_NW_INFO request")
         return cls()
 
 
@@ -391,13 +400,22 @@ class NetworkInfoConfirm:
 
     @classmethod
     def decode(cls, payload: bytes) -> "NetworkInfoConfirm":
-        if payload[:3] != VENDOR_OUI:
-            raise ValueError("VS_NW_INFO confirm with wrong OUI")
+        if len(payload) < 4:
+            raise MmeDecodeError(
+                "truncated MME payload",
+                field="entry_count",
+                offset=3,
+                needed=4,
+                available=len(payload),
+            )
+        _check_oui(payload[:3], "VS_NW_INFO confirm")
         count = payload[3]
         entries = []
         offset = 4
-        for _ in range(count):
-            mac, tei, tx, rx = _NW_INFO_ENTRY.unpack_from(payload, offset)
+        for index in range(count):
+            mac, tei, tx, rx = unpack_struct(
+                _NW_INFO_ENTRY, payload, f"entry[{index}]", offset
+            )
             entries.append((unpack_mac(mac), tei, tx, rx))
             offset += _NW_INFO_ENTRY.size
         return cls(entries=tuple(entries))
@@ -437,7 +455,7 @@ class SetKeyRequest:
 
     @classmethod
     def decode(cls, payload: bytes) -> "SetKeyRequest":
-        key_type, key = _SET_KEY.unpack_from(payload)
+        key_type, key = unpack_struct(_SET_KEY, payload, "set_key_request")
         return cls(key_type=key_type, key=key)
 
 
@@ -450,6 +468,14 @@ class SetKeyConfirm:
 
     @classmethod
     def decode(cls, payload: bytes) -> "SetKeyConfirm":
+        if not payload:
+            raise MmeDecodeError(
+                "truncated MME payload",
+                field="result",
+                offset=0,
+                needed=1,
+                available=0,
+            )
         return cls(result=payload[0])
 
 
@@ -474,7 +500,9 @@ class GetKeyRequest:
 
     @classmethod
     def decode(cls, payload: bytes) -> "GetKeyRequest":
-        key_type, proof = _GET_KEY_REQ.unpack_from(payload)
+        key_type, proof = unpack_struct(
+            _GET_KEY_REQ, payload, "get_key_request"
+        )
         return cls(key_type=key_type, nmk_proof=proof)
 
 
@@ -495,5 +523,7 @@ class GetKeyConfirm:
 
     @classmethod
     def decode(cls, payload: bytes) -> "GetKeyConfirm":
-        result, key_type, key = _GET_KEY_CNF.unpack_from(payload)
+        result, key_type, key = unpack_struct(
+            _GET_KEY_CNF, payload, "get_key_confirm"
+        )
         return cls(result=result, key_type=key_type, key=key)

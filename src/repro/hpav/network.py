@@ -56,10 +56,11 @@ class Avln:
         nid: bytes = b"REPRO01",
         security_enabled: bool = False,
         network_password: str = "HomePlugAV",
+        error_model=None,
     ) -> None:
         self.env = env
         self.streams = streams
-        self.strip = PowerStrip()
+        self.strip = PowerStrip(error_model=error_model)
         self.coordinator = ContentionCoordinator(env, self.strip, timing)
         self.devices: List[HomePlugAVDevice] = []
         self.cco: Optional[HomePlugAVDevice] = None
@@ -121,6 +122,23 @@ class Avln:
             self.env.process(self._channel_est_process(device))
         return device
 
+    def remove_device(self, device: HomePlugAVDevice) -> None:
+        """Take a member off the network (station churn).
+
+        Detaches the MAC node from the coordinator (marking it
+        ``detached`` so in-flight contention rounds skip it), takes the
+        adapter off the wire, and drops it from the roster.  The
+        device's management processes observe ``node.detached`` and
+        exit at their next wake.  The CCo keeps the TEI reserved, so a
+        re-joining MAC gets its old TEI back.
+        """
+        if device is self.cco:
+            raise ValueError("cannot remove the CCo from the AVLN")
+        self.coordinator.remove_node(device.node)
+        device.shutdown()
+        if device in self.devices:
+            self.devices.remove(device)
+
     def find_device(self, mac_addr: str) -> HomePlugAVDevice:
         mac = mac_addr.lower()
         for device in self.devices:
@@ -161,14 +179,14 @@ class Avln:
         """Station startup: wait a beat, then associate (retry if lost)."""
         rng = self.streams.stream("assoc", device.mac_addr)
         yield self.env.timeout(float(rng.uniform(1_000.0, 20_000.0)))
-        while not device.associated:
+        while not device.associated and not device.node.detached:
             device.request_association()
             # Re-try if the confirm has not arrived within 100 ms.
             yield self.env.timeout(100_000.0)
         if self.security_enabled:
             # Authenticate: fetch the NEK.  A device with the wrong
             # NMK keeps being refused and retries at a slow cadence.
-            while not device.authenticated:
+            while not device.authenticated and not device.node.detached:
                 device.request_network_key()
                 yield self.env.timeout(200_000.0)
 
@@ -176,7 +194,7 @@ class Avln:
         """Periodic tone-map indications towards every known peer."""
         rng = self.streams.stream("chanest", device.mac_addr)
         yield self.env.timeout(float(rng.uniform(0.0, self.channel_est_period_us)))
-        while True:
+        while not device.node.detached:
             yield self.env.timeout(
                 float(
                     rng.uniform(
@@ -185,6 +203,8 @@ class Avln:
                     )
                 )
             )
+            if device.node.detached:
+                break
             if not device.associated:
                 continue
             for peer_mac, tei in list(device.address_table.items()):

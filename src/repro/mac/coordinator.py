@@ -122,7 +122,23 @@ class ContentionCoordinator:
     def add_node(self, node: MacNode) -> None:
         """Attach a node; its work signal wakes the contention loop."""
         node.work_signal = self._signal_work
+        node.detached = False
         self.nodes.append(node)
+
+    def remove_node(self, node: MacNode) -> None:
+        """Detach a node mid-run (station churn).
+
+        Marks the node ``detached`` *and* drops it from the roster: the
+        contention loop captures its ``contenders`` list before
+        yielding, so a node that leaves mid-round (crash-leave while
+        holding the medium, or mid-backoff) is still referenced by the
+        in-flight round — the ``detached`` flag makes every later
+        ``step``/``resolve``/``notify_sack`` touch point skip it.
+        """
+        node.detached = True
+        node.work_signal = lambda: None
+        if node in self.nodes:
+            self.nodes.remove(node)
 
     def _signal_work(self) -> None:
         if self._work_event is not None and not self._work_event.triggered:
@@ -170,6 +186,14 @@ class ContentionCoordinator:
             transmitted = False
             idle_run = 0
             while not transmitted and idle_run < self._max_idle_slots:
+                # Churn: drop nodes that left since the round started;
+                # with nobody left the round simply dissolves (the next
+                # loop iteration re-runs priority resolution).
+                contenders = [
+                    node for node in contenders if not node.detached
+                ]
+                if not contenders:
+                    break
                 attempters = [node for node in contenders if node.step()]
                 if not attempters:
                     yield self.env.timeout(self.timing.slot_us)
@@ -182,7 +206,8 @@ class ContentionCoordinator:
                         )
                     idle_run += 1
                     for node in contenders:
-                        node.resolve(SlotOutcome.IDLE)
+                        if not node.detached:
+                            node.resolve(SlotOutcome.IDLE)
                     continue
                 if len(attempters) == 1:
                     yield from self._transmit_success(attempters[0], contenders)
@@ -228,7 +253,8 @@ class ContentionCoordinator:
                 dest_tei=mpdu.source_tei,
                 pb_errors=tuple(flags) if flags else (False,),
             )
-            winner.notify_sack(sack, burst, "success")
+            if not winner.detached:
+                winner.notify_sack(sack, burst, "success")
         yield self.env.timeout(self.timing.cifs_us)
         self.log.successes += 1
         if self.probe is not None:
@@ -241,7 +267,8 @@ class ContentionCoordinator:
                 }
             )
         for node in contenders:
-            node.resolve(SlotOutcome.SUCCESS, won=(node is winner))
+            if not node.detached:
+                node.resolve(SlotOutcome.SUCCESS, won=(node is winner))
 
     def _transmit_collision(
         self, attempters: List[MacNode], contenders: List[MacNode]
@@ -276,7 +303,8 @@ class ContentionCoordinator:
         for node, burst in zip(attempters, bursts):
             for mpdu in burst.mpdus:
                 sack = SackDelimiter.collision(mpdu)
-                node.notify_sack(sack, burst, "collision")
+                if not node.detached:
+                    node.notify_sack(sack, burst, "collision")
                 self.log.mpdus_on_wire += 1
         yield self.env.timeout(self.timing.cifs_us)
         self.log.collisions += 1
@@ -290,4 +318,5 @@ class ContentionCoordinator:
                 }
             )
         for node in contenders:
-            node.resolve(SlotOutcome.COLLISION)
+            if not node.detached:
+                node.resolve(SlotOutcome.COLLISION)

@@ -83,8 +83,22 @@ class MacNode:
         self.phy_retransmissions = 0
         #: Optional :class:`repro.obs.probe.MacProbe` (``None`` = off).
         self.probe = None
+        #: Set by :meth:`repro.mac.coordinator.ContentionCoordinator
+        #: .remove_node` (station churn): a detached node is skipped by
+        #: the coordinator even if a contention round captured it
+        #: before it left — the crash-leave-mid-round case.
+        self.detached = False
 
     # -- station management ------------------------------------------------
+    def stations(self) -> Dict[PriorityClass, Station]:
+        """The per-priority backoff FSMs created so far (read-only view).
+
+        The chaos invariant checker sweeps these; stations are created
+        lazily by :meth:`station_for`, so the view only contains the
+        priorities this node has actually contended at.
+        """
+        return dict(self._stations)
+
     def station_for(self, priority: PriorityClass) -> Station:
         """The backoff FSM used when contending at ``priority``."""
         if priority not in self._stations:

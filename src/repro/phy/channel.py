@@ -25,6 +25,7 @@ from .framing import Mpdu, SofDelimiter
 __all__ = [
     "SofObservation",
     "ErrorModel",
+    "TimeAwareErrorModel",
     "IdealChannel",
     "BernoulliPbErrors",
     "PowerStrip",
@@ -46,6 +47,22 @@ class ErrorModel(Protocol):
 
     def pb_error_flags(self, mpdu: Mpdu) -> List[bool]:
         """Return an error flag per physical block of ``mpdu``."""
+
+
+class TimeAwareErrorModel(Protocol):
+    """Per-PB error hook for time-varying channels.
+
+    A model advertises this interface with a truthy ``time_aware``
+    class attribute; :meth:`PowerStrip.deliver_mpdu` then passes the
+    wire time so bursty/scheduled impairments (Gilbert–Elliott states,
+    impulsive-noise windows — :mod:`repro.chaos.impairments`) can
+    evolve with the simulation clock instead of the call count alone.
+    """
+
+    time_aware: bool
+
+    def pb_error_flags(self, mpdu: Mpdu, time_us: float) -> List[bool]:
+        """Error flag per physical block of ``mpdu`` at ``time_us``."""
 
 
 class IdealChannel:
@@ -158,8 +175,24 @@ class PowerStrip:
         retransmission of the whole MPDU (per-PB retransmission is one
         of the vendor unknowns §4.1 lists; whole-MPDU ARQ preserves the
         airtime/goodput behaviour without guessing its details).
+
+        Raises ``RuntimeError`` if no receiver is attached: an MPDU on
+        a bus nobody listens to is always a wiring bug (a detached
+        device left in the coordinator, a testbed built without its
+        destination), and silently returning flags would let such runs
+        produce zeros instead of failing.
         """
-        flags = self.error_model.pb_error_flags(mpdu)
+        if not self._receivers:
+            raise RuntimeError(
+                "deliver_mpdu on a PowerStrip with no attached receivers "
+                f"(source_tei={mpdu.source_tei}, dest_tei={mpdu.dest_tei}); "
+                "attach at least one transceiver before transmitting"
+            )
+        model = self.error_model
+        if getattr(model, "time_aware", False):
+            flags = model.pb_error_flags(mpdu, time_us)
+        else:
+            flags = model.pb_error_flags(mpdu)
         if not any(flags):
             self.delivered_mpdus += 1
             for handler in list(self._receivers):

@@ -32,7 +32,12 @@ Task kinds
     An optional ``payload["obs"]`` dict (an
     :class:`~repro.obs.capture.ObsConfig` as JSON) captures MAC/SoF
     traces, metrics and a profile for the point; the artifact paths
-    come back under ``result["obs"]``.
+    come back under ``result["obs"]``.  An optional ``payload["chaos"]``
+    dict (a :class:`~repro.chaos.plan.ChaosPlan` as JSON) runs the test
+    under fault injection with the runtime invariant checker; the
+    injection ledger and checker summary come back under
+    ``result["chaos"]``.  Both dicts ride in the payload and therefore
+    in the cache key.
 """
 
 from __future__ import annotations
@@ -144,6 +149,38 @@ def _run_collision_test(
     payload: Dict[str, Any], seed: Optional[SeedSpec]
 ) -> Dict[str, Any]:
     obs = payload.get("obs")
+    chaos = payload.get("chaos")
+    capture = None
+    if chaos is not None:
+        # Chaos plan in the payload → fault-injected test.  The plan
+        # dict is part of Task.describe(), hence of the cache key, so
+        # (scenario, plan, seed) triples are memoized bit-exactly and
+        # identical across the serial and parallel runner paths.
+        from ..chaos.experiment import chaos_collision_test
+
+        test, chaos_report = chaos_collision_test(
+            payload["num_stations"],
+            chaos,
+            duration_us=payload["duration_us"],
+            warmup_us=payload["warmup_us"],
+            seed=payload["seed"],
+            obs=obs,
+            **payload.get("testbed_kwargs", {}),
+        )
+        capture = chaos_report.pop("capture", None)
+        result = {
+            "num_stations": test.num_stations,
+            "duration_us": test.duration_us,
+            "per_station": [
+                [mac, int(acked), int(collided)]
+                for mac, acked, collided in test.per_station
+            ],
+            "goodput_mbps": test.goodput_mbps,
+            "chaos": chaos_report,
+        }
+        if capture is not None:
+            result["obs"] = capture
+        return result
     if obs is not None:
         from ..obs.capture import observed_collision_test
 

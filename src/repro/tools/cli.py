@@ -18,7 +18,13 @@ Subcommands map to the paper's artifacts:
   experiment and cross-check the trace-derived metrics against the
   direct computation (exits non-zero on disagreement > 1e-9);
 - ``profile`` — run an experiment under the engine profiler and report
-  events/sec, wall time per process type, simulated-µs per wall-second.
+  events/sec, wall time per process type, simulated-µs per wall-second;
+- ``chaos`` — run a §3.2 test under an in-simulation fault-injection
+  plan (bursty channel errors, station churn, SACK loss, firmware
+  glitches) with the runtime MAC invariant checker; exits non-zero if
+  any invariant is violated.  ``--recovery`` instead measures
+  baseline → fault → recovery collision probabilities and exits
+  non-zero unless the MAC re-converges.
 
 Experiment subcommands backed by :mod:`repro.runner` (``sweep``,
 ``figure2``, ``boost``) accept ``--workers N`` to simulate points on
@@ -274,6 +280,44 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--json", type=str, default=None, metavar="FILE",
         help="also write the profile report to FILE as JSON",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injected collision test with the runtime MAC "
+        "invariant checker",
+    )
+    # Keep in sync with repro.chaos.plan.PRESETS (hardcoded so parser
+    # construction stays import-light like every other subcommand).
+    chaos.add_argument(
+        "--preset", choices=["ge", "churn", "full"], default="full",
+        help="ready-made ChaosPlan scaled to the run duration "
+        "(default: full)",
+    )
+    chaos.add_argument(
+        "--plan", type=str, default=None, metavar="FILE",
+        help="JSON ChaosPlan file (overrides --preset)",
+    )
+    chaos.add_argument("-n", "--stations", type=int, default=3)
+    chaos.add_argument("--duration", type=float, default=12e6)
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument(
+        "--plan-seed", type=int, default=0,
+        help="entropy for the plan's per-fault RNG streams (default: 0)",
+    )
+    chaos.add_argument(
+        "--invariants", choices=["raise", "log", "count"],
+        default="raise",
+        help="violation policy for preset plans (default: raise)",
+    )
+    chaos.add_argument(
+        "--recovery", action="store_true",
+        help="run the recovery experiment (baseline/faulty/recovered "
+        "windows of --duration each) instead of a single test",
+    )
+    chaos.add_argument(
+        "--json", type=str, default=None, metavar="FILE",
+        help="also write the chaos report to FILE as JSON",
     )
     return parser
 
@@ -656,6 +700,84 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from ..chaos import InvariantViolation, preset_plan
+    from ..chaos.experiment import chaos_collision_test
+    from ..chaos.recovery import run_recovery_experiment
+
+    if args.recovery:
+        result = run_recovery_experiment(
+            args.stations,
+            seed=args.seed,
+            window_us=args.duration,
+            plan_seed=args.plan_seed,
+        )
+        print(f"stations (baseline)   = {result.num_stations}")
+        print(f"window                = {result.window_us/1e6:.1f} s")
+        print(f"baseline p            = {result.baseline:.4f}")
+        print(f"faulty p              = {result.faulty:.4f}")
+        print(f"recovered p           = {result.recovered:.4f}")
+        print(f"deviation             = {result.deviation:.4f} "
+              f"(allowed {result.allowed_deviation:.4f})")
+        print(f"invariants green      = {result.invariants['green']}")
+        print(f"converged             = {result.converged}")
+        if args.json:
+            from ..report.export import write_json
+
+            write_json(args.json, result.as_dict())
+            print(f"report written to {args.json}")
+        return 0 if result.converged and result.invariants["green"] else 1
+
+    if args.plan:
+        with open(args.plan, encoding="utf-8") as handle:
+            plan = json.load(handle)
+    else:
+        plan = preset_plan(
+            args.preset,
+            args.duration,
+            seed=args.plan_seed,
+            invariants=args.invariants,
+        )
+    try:
+        test, report = chaos_collision_test(
+            args.stations, plan, duration_us=args.duration, seed=args.seed
+        )
+    except InvariantViolation as violation:
+        print(f"INVARIANT VIOLATION: {violation}")
+        return 1
+    invariants = report["invariants"]
+    print(f"stations              = {test.num_stations}")
+    print(f"duration              = {test.duration_us/1e6:.1f} s")
+    print(f"collision probability = {test.collision_probability:.4f}")
+    print(f"goodput at D          = {test.goodput_mbps:.2f} Mbps")
+    for family, ledger in sorted(report["injection"].items()):
+        print(f"  {family}: {ledger}")
+    print(f"probe events          = {invariants['events_seen']}")
+    print(f"deep sweeps           = {invariants['deep_sweeps']}")
+    print(f"violations            = {invariants['violation_count']}")
+    if args.json:
+        from ..report.export import write_json
+
+        write_json(
+            args.json,
+            {
+                "num_stations": test.num_stations,
+                "duration_us": test.duration_us,
+                "collision_probability": test.collision_probability,
+                "goodput_mbps": test.goodput_mbps,
+                **report,
+            },
+        )
+        print(f"report written to {args.json}")
+    if not invariants["green"]:
+        print("invariant checker NOT green")
+        return 1
+    print("invariant checker green")
+    return 0
+
+
 _COMMANDS = {
     "sim": _cmd_sim,
     "load": _cmd_load,
@@ -671,6 +793,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
+    "chaos": _cmd_chaos,
 }
 
 

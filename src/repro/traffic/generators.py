@@ -39,6 +39,13 @@ class _SourceBase:
         self.priority = priority
         self.offered = 0
         self.accepted = 0
+        #: Set by :meth:`stop`; the generator process exits at its next
+        #: poll (station churn: a leaving device's source must quiesce).
+        self.stopped = False
+
+    def stop(self) -> None:
+        """Stop offering traffic; the generator exits at its next wake."""
+        self.stopped = True
 
     def _offer(self) -> bool:
         frame = udp_frame(
@@ -78,7 +85,7 @@ class SaturatedSource(_SourceBase):
         self.process = env.process(self._run())
 
     def _run(self):
-        while True:
+        while not self.stopped:
             depth = self.device.node.queues.depth(self.priority)
             while depth < self.high_watermark:
                 if not self._offer():
@@ -109,11 +116,12 @@ class PoissonSource(_SourceBase):
         self.process = env.process(self._run())
 
     def _run(self):
-        while True:
+        while not self.stopped:
             yield self.env.timeout(
                 float(self._rng.exponential(self.mean_interarrival_us))
             )
-            self._offer()
+            if not self.stopped:
+                self._offer()
 
 
 class CbrSource(_SourceBase):
@@ -135,6 +143,7 @@ class CbrSource(_SourceBase):
         self.process = env.process(self._run())
 
     def _run(self):
-        while True:
+        while not self.stopped:
             yield self.env.timeout(self.interval_us)
-            self._offer()
+            if not self.stopped:
+                self._offer()

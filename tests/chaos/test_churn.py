@@ -1,0 +1,116 @@
+"""Station churn edge cases (under the invariant checker, always green).
+
+The three scenarios the issue calls out:
+
+- the **last** contending station leaves gracefully mid-run — the
+  coordinator must idle cleanly instead of resolving PRS with zero
+  contenders;
+- a station **joins while another is transmitting** — association and
+  first contention happen against a busy medium;
+- a station **crash-leaves while it may hold the medium** — saturated
+  traffic keeps the air occupied, so the yank lands mid-round and the
+  coordinator's detached guards must absorb the in-flight state.
+"""
+
+from repro.chaos.experiment import attach_chaos
+from repro.chaos.plan import ChaosPlan
+from repro.experiments.testbed import build_testbed
+from repro.traffic.packets import mac_address
+
+WARMUP_US = 0.5e6
+EVENT_US = 1.5e6
+END_US = 3.0e6
+
+
+def _run(num_stations, churn, seed=2):
+    testbed = build_testbed(num_stations, seed=seed)
+    plan = ChaosPlan(churn=churn, invariants="raise")
+    injector, checker, _probe = attach_chaos(testbed, plan)
+    testbed.run_until(WARMUP_US)
+    assert testbed.avln.all_associated
+    testbed.run_until(END_US)
+    injector.flush()
+    return testbed, injector, checker
+
+
+class TestLastStationLeaves:
+    def test_graceful_leave_of_only_station(self):
+        testbed, injector, checker = _run(
+            1, ({"time_us": EVENT_US, "action": "leave"},)
+        )
+        assert injector.leaves == 1
+        assert testbed.stations == []
+        # Only the destination/CCo remains attached.
+        assert [d.mac_addr for d in testbed.avln.devices] == [
+            testbed.destination.mac_addr
+        ]
+        # The engine ran to the end with zero contenders and the MAC
+        # state stayed legal throughout.
+        assert testbed.env.now >= END_US
+        assert checker.finalize()["green"]
+
+    def test_medium_usable_after_rejoin(self):
+        """The coordinator survives an empty-AVLN phase: a later join
+        contends and delivers as if the network were fresh."""
+        testbed, injector, checker = _run(
+            1,
+            (
+                {"time_us": 1.0e6, "action": "leave"},
+                {"time_us": 2.0e6, "action": "join"},
+            ),
+        )
+        assert injector.leaves == 1
+        assert injector.joins == 1
+        assert len(testbed.stations) == 1
+        testbed.reset_data_stats()
+        testbed.run_until(END_US + 1.0e6)
+        (mac, acked, _collided), = testbed.read_data_stats()
+        assert mac == mac_address(200)
+        assert acked > 0
+        assert checker.finalize()["green"]
+
+
+class TestJoinDuringTransmission:
+    def test_join_against_saturated_medium(self):
+        testbed, injector, checker = _run(
+            2, ({"time_us": EVENT_US, "action": "join"},), seed=3
+        )
+        assert injector.joins == 1
+        assert len(testbed.stations) == 3
+        # The joiner associated and moved real data to D.
+        rows = {mac: acked for mac, acked, _ in testbed.read_data_stats()}
+        assert rows[mac_address(200)] > 0
+        assert checker.finalize()["green"]
+
+
+class TestCrashLeave:
+    def test_crash_leave_under_saturation(self):
+        testbed, injector, checker = _run(
+            2, ({"time_us": EVENT_US, "action": "crash_leave"},), seed=4
+        )
+        assert injector.crash_leaves == 1
+        assert len(testbed.stations) == 1
+        # The survivor keeps delivering after the yank.
+        testbed.reset_data_stats()
+        testbed.run_until(END_US + 1.0e6)
+        (_mac, acked, _collided), = testbed.read_data_stats()
+        assert acked > 0
+        assert checker.finalize()["green"]
+
+    def test_churned_membership_reflected_in_ledger(self):
+        testbed, injector, checker = _run(
+            2,
+            (
+                {
+                    "time_us": 1.0e6,
+                    "action": "join",
+                    "crash": True,
+                    "leave_at_us": 2.0e6,
+                },
+            ),
+            seed=5,
+        )
+        assert injector.joins == 1
+        assert injector.crash_leaves == 1
+        assert len(testbed.stations) == 2
+        assert checker.finalize()["green"]

@@ -1,0 +1,190 @@
+"""Channel impairment models: statistics, windows, composition."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.impairments import (
+    AsymmetricLinkQuality,
+    ComposedErrorModel,
+    GilbertElliottPbErrors,
+    ImpulsiveNoiseBursts,
+)
+from repro.core.parameters import PriorityClass
+from repro.phy.channel import BernoulliPbErrors
+from repro.phy.framing import Mpdu, PhysicalBlock
+
+
+def _mpdu(num_blocks=4, source_tei=1):
+    return Mpdu(
+        source_tei=source_tei,
+        dest_tei=2,
+        priority=PriorityClass.CA1,
+        blocks=tuple(
+            PhysicalBlock(frame_id=0, offset=i * 512, fill=512)
+            for i in range(num_blocks)
+        ),
+    )
+
+
+class TestGilbertElliott:
+    def test_stationary_rate_closed_form(self):
+        model = GilbertElliottPbErrors(
+            0.1, 0.3, 0.0, 1.0, np.random.default_rng(0)
+        )
+        assert model.stationary_bad_probability == pytest.approx(0.25)
+        assert model.stationary_error_rate == pytest.approx(0.25)
+        assert model.correlation == pytest.approx(0.6)
+
+    @given(
+        p_gb=st.floats(0.05, 0.5),
+        p_bg=st.floats(0.05, 0.5),
+        error_bad=st.floats(0.2, 1.0),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_empirical_rate_matches_stationary_distribution(
+        self, p_gb, p_bg, error_bad, seed
+    ):
+        """The long-run PB error rate is pinned to π_g·e_g + π_b·e_b.
+
+        The tolerance accounts for the burstiness: over n blocks the
+        empirical rate has variance ≈ r(1−r)·(1+ρ)/(1−ρ)/n, inflated
+        relative to i.i.d. sampling by the lag-1 state correlation ρ.
+        Six standard deviations keeps the test deterministic-grade
+        (false-failure odds ≈ 1e-9 per example).
+        """
+        model = GilbertElliottPbErrors(
+            p_gb, p_bg, 0.0, error_bad, np.random.default_rng(seed)
+        )
+        n = 40_000
+        flags = model.sample_flags(n)
+        empirical = sum(flags) / n
+        rate = model.stationary_error_rate
+        rho = model.correlation
+        sigma = math.sqrt(rate * (1 - rate) * (1 + rho) / (1 - rho) / n)
+        # Small absolute floor absorbs the burn-in bias of starting in
+        # the good state (mixing time ≤ 1/(p_gb+p_bg) ≤ 10 blocks).
+        assert abs(empirical - rate) < 6 * sigma + 1e-3
+
+    def test_window_gating_freezes_state_and_errors(self):
+        model = GilbertElliottPbErrors(
+            0.5, 0.5, 1.0, 1.0, np.random.default_rng(0),
+            start_us=100.0, end_us=200.0,
+        )
+        before = model.pb_error_flags(_mpdu(), time_us=50.0)
+        assert before == [False] * 4
+        assert model.pbs_seen == 0
+
+        inside = model.pb_error_flags(_mpdu(), time_us=150.0)
+        assert inside == [True] * 4
+        assert model.pbs_seen == 4
+        assert model.pbs_errored == 4
+
+        after = model.pb_error_flags(_mpdu(), time_us=200.0)
+        assert after == [False] * 4
+        assert model.pbs_seen == 4
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="p_good_to_bad"):
+            GilbertElliottPbErrors(1.5, 0.5, 0.0, 1.0, rng)
+        with pytest.raises(ValueError, match="absorbing"):
+            GilbertElliottPbErrors(0.0, 0.0, 0.0, 1.0, rng)
+        with pytest.raises(ValueError, match="error_bad"):
+            GilbertElliottPbErrors(0.1, 0.1, 0.0, -0.2, rng)
+
+    def test_seeded_replay_is_bit_identical(self):
+        a = GilbertElliottPbErrors(
+            0.1, 0.3, 0.05, 0.8, np.random.default_rng(7)
+        )
+        b = GilbertElliottPbErrors(
+            0.1, 0.3, 0.05, 0.8, np.random.default_rng(7)
+        )
+        assert a.sample_flags(500) == b.sample_flags(500)
+
+
+class TestImpulsiveNoise:
+    def test_window_probability_combines_by_max(self):
+        model = ImpulsiveNoiseBursts(
+            [(100.0, 50.0, 0.2), (120.0, 100.0, 0.9)],
+            np.random.default_rng(0),
+        )
+        assert model.error_probability_at(50.0) == 0.0
+        assert model.error_probability_at(110.0) == 0.2
+        assert model.error_probability_at(130.0) == 0.9
+        assert model.error_probability_at(180.0) == 0.9
+        assert model.error_probability_at(220.0) == 0.0
+
+    def test_certain_window_errors_every_block(self):
+        model = ImpulsiveNoiseBursts(
+            [(0.0, 100.0, 1.0)], np.random.default_rng(0)
+        )
+        assert model.pb_error_flags(_mpdu(6), time_us=10.0) == [True] * 6
+        assert model.pbs_errored == 6
+        assert model.pb_error_flags(_mpdu(6), time_us=200.0) == [False] * 6
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="duration"):
+            ImpulsiveNoiseBursts([(0.0, 0.0, 0.5)], rng)
+        with pytest.raises(ValueError, match="error_probability"):
+            ImpulsiveNoiseBursts([(0.0, 10.0, 1.5)], rng)
+
+
+class TestAsymmetricLinks:
+    def test_mapping_targets_one_source(self):
+        model = AsymmetricLinkQuality({1: 1.0}, np.random.default_rng(0))
+        assert model.pb_error_flags(_mpdu(source_tei=1)) == [True] * 4
+        assert model.pb_error_flags(_mpdu(source_tei=2)) == [False] * 4
+
+    def test_callable_resolves_per_lookup(self):
+        table = {}
+        model = AsymmetricLinkQuality(
+            lambda tei: table.get(tei, 0.0), np.random.default_rng(0)
+        )
+        assert model.pb_error_flags(_mpdu(source_tei=3)) == [False] * 4
+        table[3] = 1.0  # late assignment, as TEIs are at association
+        assert model.pb_error_flags(_mpdu(source_tei=3)) == [True] * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="link error probability"):
+            AsymmetricLinkQuality({1: 2.0}, np.random.default_rng(0))
+
+
+class TestComposedModel:
+    def test_or_composition(self):
+        clean = ImpulsiveNoiseBursts([], np.random.default_rng(0))
+        noisy = ImpulsiveNoiseBursts(
+            [(0.0, 100.0, 1.0)], np.random.default_rng(0)
+        )
+        model = ComposedErrorModel([clean, noisy])
+        assert model.pb_error_flags(_mpdu(), time_us=10.0) == [True] * 4
+        assert model.pb_error_flags(_mpdu(), time_us=500.0) == [False] * 4
+
+    def test_composes_with_stock_time_blind_models(self):
+        stock = BernoulliPbErrors(1.0, rng=np.random.default_rng(0))
+        model = ComposedErrorModel(
+            [stock, ImpulsiveNoiseBursts([], np.random.default_rng(0))]
+        )
+        assert model.pb_error_flags(_mpdu(), time_us=0.0) == [True] * 4
+
+    def test_every_component_consulted(self):
+        """Stateful components keep evolving even when another already
+        errored the block (determinism across compositions)."""
+        ge = GilbertElliottPbErrors(
+            0.5, 0.5, 0.0, 0.5, np.random.default_rng(1)
+        )
+        always = ImpulsiveNoiseBursts(
+            [(0.0, 1e9, 1.0)], np.random.default_rng(0)
+        )
+        model = ComposedErrorModel([always, ge])
+        model.pb_error_flags(_mpdu(8), time_us=0.0)
+        assert ge.pbs_seen == 8
+
+    def test_needs_at_least_one_model(self):
+        with pytest.raises(ValueError):
+            ComposedErrorModel([])

@@ -1,0 +1,227 @@
+"""InvariantChecker: policies, per-event checks, deep sweeps, airtime."""
+
+import pytest
+
+from repro.chaos.invariants import InvariantChecker, InvariantViolation
+from repro.obs.registry import MetricsRegistry
+
+
+class _FakeLog:
+    def __init__(self):
+        self.airtime_by_source = {}
+
+
+class _FakeCoordinator:
+    def __init__(self):
+        self.log = _FakeLog()
+
+
+class _FakeStation:
+    def __init__(self, problems=()):
+        self.problems = list(problems)
+
+    def check_invariants(self):
+        return list(self.problems)
+
+
+class _FakeNode:
+    def __init__(self, stations=None):
+        self._stations = dict(stations or {})
+
+    def stations(self):
+        return self._stations
+
+
+def _stage_event(cw=8, bc=3, dc=1, t=10.0, station=0):
+    return {
+        "event": "backoff_stage",
+        "t_us": t,
+        "station": station,
+        "cw": cw,
+        "bc": bc,
+        "dc": dc,
+    }
+
+
+class TestPolicies:
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            InvariantChecker(policy="ignore")
+        with pytest.raises(ValueError, match="deep_every"):
+            InvariantChecker(deep_every=-1)
+
+    def test_raise_aborts_with_context(self):
+        checker = InvariantChecker(policy="raise", deep_every=0)
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker(_stage_event(cw=8, bc=9, t=42.0))
+        assert excinfo.value.check == "backoff_bc"
+        assert excinfo.value.time_us == 42.0
+        assert not checker.green
+
+    def test_log_stores_descriptions_and_continues(self):
+        checker = InvariantChecker(policy="log", deep_every=0)
+        checker(_stage_event(bc=-1))
+        checker(_stage_event())  # healthy event after the violation
+        assert checker.violation_count == 1
+        assert len(checker.violations) == 1
+        assert "backoff_bc" in checker.violations[0]
+        assert not checker.green
+
+    def test_count_only_counts(self):
+        checker = InvariantChecker(policy="count", deep_every=0)
+        checker(_stage_event(dc=-2))
+        assert checker.violation_count == 1
+        assert checker.violations == []
+
+    def test_registry_counter_labelled_by_check(self):
+        registry = MetricsRegistry()
+        checker = InvariantChecker(
+            policy="count", deep_every=0, registry=registry
+        )
+        checker(_stage_event(bc=-1))
+        checker(_stage_event(cw=0, bc=0))
+        counter = registry.counter(
+            "chaos_invariant_violations_total", labelnames=("check",)
+        )
+        assert counter.value(check="backoff_bc") == 1.0
+        assert counter.value(check="backoff_cw") == 1.0
+
+
+class TestPerEventChecks:
+    def _violations(self, *events):
+        checker = InvariantChecker(policy="count", deep_every=0)
+        for event in events:
+            checker(event)
+        return checker.violation_count
+
+    def test_healthy_stream_stays_green(self):
+        checker = InvariantChecker(policy="raise", deep_every=0)
+        checker(_stage_event())
+        checker({"event": "defer", "t_us": 1.0, "bc": 2, "dc": 0})
+        checker({"event": "dc_jump", "t_us": 2.0, "bpc": 1, "bc": 3})
+        checker(
+            {
+                "event": "slot",
+                "t_us": 3.0,
+                "outcome": "success",
+                "sources": (1,),
+            }
+        )
+        checker(
+            {
+                "event": "slot",
+                "t_us": 4.0,
+                "outcome": "collision",
+                "sources": (1, 2),
+            }
+        )
+        checker(
+            {
+                "event": "airtime",
+                "t_us": 5.0,
+                "source_tei": 1,
+                "airtime_us": 100.0,
+            }
+        )
+        assert checker.green
+        assert checker.events_seen == 6
+
+    def test_negative_defer_counters(self):
+        assert (
+            self._violations({"event": "defer", "bc": -1, "dc": 0}) == 1
+        )
+
+    def test_dc_jump_requires_bpc_and_live_bc(self):
+        assert self._violations({"event": "dc_jump", "bpc": 0, "bc": 3}) == 1
+        assert self._violations({"event": "dc_jump", "bpc": 2, "bc": 0}) == 1
+
+    def test_two_winners_is_a_violation(self):
+        assert (
+            self._violations(
+                {"event": "slot", "outcome": "success", "sources": (1, 2)}
+            )
+            == 1
+        )
+
+    def test_single_source_collision_is_a_violation(self):
+        assert (
+            self._violations(
+                {"event": "slot", "outcome": "collision", "sources": (1,)}
+            )
+            == 1
+        )
+
+    def test_nonpositive_airtime(self):
+        assert (
+            self._violations(
+                {"event": "airtime", "source_tei": 1, "airtime_us": 0.0}
+            )
+            == 1
+        )
+
+
+class TestDeepSweep:
+    def test_periodic_sweep_cadence(self):
+        checker = InvariantChecker(policy="raise", deep_every=4)
+        for _ in range(12):
+            checker(_stage_event())
+        assert checker.deep_sweeps == 3
+
+    def test_station_fsm_problems_surface(self):
+        checker = InvariantChecker(policy="count", deep_every=0)
+        checker.watch(
+            nodes=[_FakeNode({1: _FakeStation(["BC went negative"])})]
+        )
+        checker.deep_sweep()
+        assert checker.violation_count == 1
+
+    def test_finalize_always_sweeps_once(self):
+        checker = InvariantChecker(policy="raise", deep_every=0)
+        summary = checker.finalize()
+        assert summary["deep_sweeps"] == 1
+        assert summary["green"]
+
+
+class TestAirtimeConservation:
+    def _airtime(self, tei, amount, t=1.0):
+        return {
+            "event": "airtime",
+            "t_us": t,
+            "source_tei": tei,
+            "airtime_us": amount,
+        }
+
+    def test_matching_ledger_is_green(self):
+        coordinator = _FakeCoordinator()
+        coordinator.log.airtime_by_source = {1: 500.0}  # pre-watch history
+        checker = InvariantChecker(policy="raise", deep_every=0)
+        checker.watch(coordinator=coordinator)
+        checker(self._airtime(1, 100.0))
+        coordinator.log.airtime_by_source[1] = 600.0
+        checker.deep_sweep()
+        assert checker.green
+
+    def test_ledger_drift_detected(self):
+        coordinator = _FakeCoordinator()
+        checker = InvariantChecker(policy="count", deep_every=0)
+        checker.watch(coordinator=coordinator)
+        checker(self._airtime(2, 100.0))
+        coordinator.log.airtime_by_source[2] = 250.0  # duplicated booking
+        checker.deep_sweep()
+        assert checker.violation_count == 1
+
+    def test_ledger_reset_reanchors_instead_of_phantom_violation(self):
+        coordinator = _FakeCoordinator()
+        coordinator.log.airtime_by_source = {1: 900.0}
+        checker = InvariantChecker(policy="raise", deep_every=0)
+        checker.watch(coordinator=coordinator)
+        checker(self._airtime(1, 50.0))
+        # Warmup cut: the RoundLog restarts from the post-reset booking.
+        coordinator.log.airtime_by_source = {1: 50.0}
+        checker.deep_sweep()
+        assert checker.green
+        # Accounting continues against the new anchor.
+        checker(self._airtime(1, 25.0))
+        coordinator.log.airtime_by_source[1] = 75.0
+        checker.deep_sweep()
+        assert checker.green

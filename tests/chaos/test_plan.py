@@ -1,0 +1,125 @@
+"""ChaosPlan: JSON round-trip, per-fault streams, presets, validation."""
+
+import json
+
+import pytest
+
+from repro.chaos.plan import FAULT_IDS, PRESETS, ChaosPlan, preset_plan
+
+
+class TestRoundTrip:
+    def test_full_plan_survives_json(self):
+        plan = preset_plan("full", 8e6, seed=5, invariants="log")
+        wire = json.loads(json.dumps(plan.as_jsonable()))
+        assert ChaosPlan.from_jsonable(wire) == plan
+
+    def test_from_jsonable_passes_through_instances(self):
+        plan = ChaosPlan(seed=3)
+        assert ChaosPlan.from_jsonable(plan) is plan
+
+    def test_defaults_are_inert(self):
+        plan = ChaosPlan()
+        assert not plan.any_channel_impairment
+        assert plan.churn == ()
+        assert plan.invariants == "raise"
+
+
+class TestStreams:
+    def test_same_family_same_substream(self):
+        plan = ChaosPlan(seed=11)
+        assert plan.stream("churn").random() == plan.stream("churn").random()
+
+    def test_families_are_independent(self):
+        plan = ChaosPlan(seed=11)
+        draws = {
+            family: plan.stream(family).random() for family in FAULT_IDS
+        }
+        assert len(set(draws.values())) == len(FAULT_IDS)
+
+    def test_seed_changes_every_family(self):
+        a, b = ChaosPlan(seed=1), ChaosPlan(seed=2)
+        for family in FAULT_IDS:
+            assert a.stream(family).random() != b.stream(family).random()
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault family"):
+            ChaosPlan().stream("cosmic_rays")
+
+    def test_fault_ids_append_only_guard(self):
+        """Reordering or reusing an id silently changes existing plans'
+        draws; lock the current assignment in place."""
+        assert FAULT_IDS == {
+            "gilbert_elliott": 1,
+            "impulse_noise": 2,
+            "link_quality": 3,
+            "sack_loss": 4,
+            "sack_corruption": 5,
+            "churn": 6,
+            "firmware_glitches": 7,
+            "sniffer": 8,
+        }
+
+
+class TestValidation:
+    def test_bad_invariants_policy(self):
+        with pytest.raises(ValueError, match="invariants policy"):
+            ChaosPlan(invariants="panic")
+
+    def test_gilbert_elliott_needs_transition_probabilities(self):
+        with pytest.raises(ValueError, match="p_bad_to_good"):
+            ChaosPlan(gilbert_elliott={"p_good_to_bad": 0.1})
+        with pytest.raises(ValueError, match="error_bad"):
+            ChaosPlan(
+                gilbert_elliott={
+                    "p_good_to_bad": 0.1,
+                    "p_bad_to_good": 0.1,
+                    "error_bad": 1.7,
+                }
+            )
+
+    def test_churn_event_shape(self):
+        with pytest.raises(ValueError, match="churn action"):
+            ChaosPlan(churn=({"time_us": 0.0, "action": "reboot"},))
+        with pytest.raises(ValueError, match="time_us"):
+            ChaosPlan(churn=({"action": "join"},))
+
+    def test_glitch_shape(self):
+        with pytest.raises(ValueError, match="glitch kind"):
+            ChaosPlan(
+                firmware_glitches=({"time_us": 0.0, "kind": "explode"},)
+            )
+
+    def test_probability_fields(self):
+        with pytest.raises(ValueError, match="sack_loss"):
+            ChaosPlan(sack_loss={"probability": -0.1})
+        with pytest.raises(ValueError, match="sniffer.drop_probability"):
+            ChaosPlan(sniffer={"drop_probability": 2.0})
+        with pytest.raises(ValueError, match="link_quality"):
+            ChaosPlan(link_quality={"02:00:00:00:00:00": 1.1})
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", PRESETS)
+    def test_presets_validate_and_round_trip(self, name):
+        plan = preset_plan(name, 10e6, seed=2)
+        wire = json.loads(json.dumps(plan.as_jsonable()))
+        assert ChaosPlan.from_jsonable(wire) == plan
+
+    def test_preset_windows_scale_with_duration(self):
+        plan = preset_plan("ge", 40e6)
+        assert plan.gilbert_elliott["start_us"] == 10e6
+        assert plan.gilbert_elliott["end_us"] == 30e6
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            preset_plan("entropy", 1e6)
+
+    def test_cli_choices_cover_presets(self):
+        """The CLI hardcodes the preset names; keep them in sync."""
+        from repro.tools.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["chaos", "--preset", PRESETS[0]])
+        assert args.preset == PRESETS[0]
+        for name in PRESETS:
+            parser.parse_args(["chaos", "--preset", name])

@@ -1,0 +1,81 @@
+"""Recovery harness: the MAC re-converges once faults clear."""
+
+import json
+
+import pytest
+
+from repro.chaos.recovery import (
+    default_recovery_plan,
+    run_recovery_experiment,
+)
+
+WINDOW_US = 6e6
+SETTLE_US = 2e6
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_recovery_experiment(
+        3, seed=1, window_us=WINDOW_US, settle_us=SETTLE_US
+    )
+
+
+def test_collision_probability_reconverges(result):
+    """The acceptance criterion: after the faults clear, the §3.2
+    metric returns to within tolerance of the fault-free baseline."""
+    assert result.converged
+    assert result.deviation <= result.allowed_deviation
+
+
+def test_fault_window_actually_hurts(result):
+    """The episode must be a real perturbation (an extra contender +
+    burst errors push collisions up), or the test proves nothing."""
+    assert result.faulty > result.baseline
+
+
+def test_invariants_green_throughout(result):
+    assert result.invariants["green"]
+    assert result.invariants["policy"] == "raise"
+    assert result.invariants["events_seen"] > 1000
+
+
+def test_fault_episode_was_injected(result):
+    assert result.injection["joins"] == 1
+    assert result.injection["crash_leaves"] == 1
+    assert result.injection["gilbert_elliott"]["pbs_errored"] > 0
+
+
+def test_result_serializes(result):
+    wire = json.loads(json.dumps(result.as_dict()))
+    assert wire["converged"] is True
+    assert wire["baseline"] == result.baseline
+
+
+def test_default_plan_times_the_episode():
+    plan = default_recovery_plan(10.0, 20.0, seed=4, invariants="count")
+    assert plan.seed == 4
+    assert plan.invariants == "count"
+    assert plan.gilbert_elliott["start_us"] == 10.0
+    assert plan.gilbert_elliott["end_us"] == 20.0
+    (event,) = plan.churn
+    assert event["time_us"] == 10.0
+    assert event["leave_at_us"] == 20.0
+    assert event["crash"] is True
+
+
+def test_allowed_deviation_floor_guards_small_baselines():
+    from repro.chaos.recovery import RecoveryResult
+
+    result = RecoveryResult(
+        num_stations=1,
+        window_us=1.0,
+        baseline=0.001,
+        faulty=0.1,
+        recovered=0.01,
+        tolerance=0.05,
+        floor=0.02,
+        invariants={"green": True},
+        injection={},
+    )
+    assert result.allowed_deviation == 0.02
+    assert result.converged

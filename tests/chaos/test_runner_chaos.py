@@ -1,0 +1,90 @@
+"""Chaos plans through the runner: cache keying + bit-identity."""
+
+from repro.chaos.plan import preset_plan
+from repro.runner import ExperimentRunner, Task, TaskKind
+from repro.runner.cache import cache_key
+from repro.runner.tasks import execute_task
+
+STATIONS = 2
+DURATION_US = 1.2e6
+WARMUP_US = 0.2e6
+
+
+def _payload(chaos=None, seed=1):
+    payload = {
+        "num_stations": STATIONS,
+        "duration_us": DURATION_US,
+        "warmup_us": WARMUP_US,
+        "seed": seed,
+        "testbed_kwargs": {},
+    }
+    if chaos is not None:
+        payload["chaos"] = chaos.as_jsonable()
+    return payload
+
+
+def _tasks(plan_seeds=(0, 1)):
+    return [
+        Task(
+            kind=TaskKind.COLLISION_TEST,
+            payload=_payload(
+                preset_plan("full", DURATION_US, seed=plan_seed)
+            ),
+        )
+        for plan_seed in plan_seeds
+    ]
+
+
+class TestTaskExecution:
+    def test_chaos_report_rides_in_the_result(self):
+        plan = preset_plan("full", DURATION_US, seed=3)
+        result = execute_task(
+            Task(kind=TaskKind.COLLISION_TEST, payload=_payload(plan))
+        )
+        assert result["chaos"]["invariants"]["green"]
+        assert result["chaos"]["plan"] == plan.as_jsonable()
+        assert result["chaos"]["injection"]["joins"] == 1
+        assert "obs" not in result
+
+    def test_without_chaos_no_key(self):
+        result = execute_task(
+            Task(kind=TaskKind.COLLISION_TEST, payload=_payload())
+        )
+        assert "chaos" not in result
+
+    def test_plan_is_part_of_cache_key(self):
+        bare = Task(kind=TaskKind.COLLISION_TEST, payload=_payload())
+        chaotic = Task(
+            kind=TaskKind.COLLISION_TEST,
+            payload=_payload(preset_plan("ge", DURATION_US)),
+        )
+        other = Task(
+            kind=TaskKind.COLLISION_TEST,
+            payload=_payload(preset_plan("ge", DURATION_US, seed=9)),
+        )
+        keys = {
+            cache_key(task.describe()) for task in (bare, chaotic, other)
+        }
+        assert len(keys) == 3
+
+
+class TestBitIdentity:
+    def test_serial_equals_parallel_equals_cached(self, tmp_path):
+        """The acceptance criterion: identical (scenario, plan, seed)
+        yields bit-identical results on the serial and parallel runner
+        paths, and again from a warm cache."""
+        serial = ExperimentRunner(max_workers=1).run(_tasks())
+        parallel = ExperimentRunner(max_workers=2).run(_tasks())
+        assert serial == parallel
+
+        warmer = ExperimentRunner(max_workers=2, cache_dir=tmp_path)
+        warmer.run(_tasks())
+        warm = ExperimentRunner(max_workers=1, cache_dir=tmp_path)
+        cached = warm.run(_tasks())
+        assert cached == serial
+        assert warm.counters.executed == 0
+        assert warm.counters.cache_hits == warm.counters.points_total
+
+    def test_plan_seed_changes_the_injection(self):
+        a, b = ExperimentRunner(max_workers=1).run(_tasks((0, 7)))
+        assert a["chaos"]["injection"] != b["chaos"]["injection"]

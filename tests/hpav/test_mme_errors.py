@@ -1,0 +1,185 @@
+"""Structured decode errors for malformed MMEs (fuzz regression).
+
+Every typed decoder in :mod:`repro.hpav.mme_types` and the frame codec
+in :mod:`repro.hpav.mme` must turn *any* malformed input into a
+:class:`MmeDecodeError` (a ``ValueError`` carrying the failing field
+and byte offset) — a raw ``struct.error`` escaping a decoder is the
+regression these tests pin down.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpav.mme import (
+    ETHERTYPE_HOMEPLUG_AV,
+    MmeDecodeError,
+    MmeFrame,
+    VENDOR_OUI,
+)
+from repro.hpav.mme_types import (
+    KEY_TYPE_NEK,
+    KEY_TYPE_NMK,
+    AssocConfirm,
+    AssocRequest,
+    BeaconPayload,
+    ChannelEstIndication,
+    GetKeyConfirm,
+    GetKeyRequest,
+    NetworkInfoConfirm,
+    NetworkInfoRequest,
+    SetKeyConfirm,
+    SetKeyRequest,
+    SnifferConfirm,
+    SnifferIndication,
+    SnifferRequest,
+    StatsConfirm,
+    StatsRequest,
+)
+
+MAC_A = "02:00:00:00:00:01"
+MAC_B = "02:00:00:00:00:02"
+
+#: One valid instance of every typed MME payload.
+SAMPLES = [
+    StatsRequest(control=0, direction=0, priority=1, peer_mac=MAC_A),
+    StatsConfirm(status=0, acked=1234, collided=56),
+    SnifferRequest(enable=True),
+    SnifferConfirm(status=0, enabled=True),
+    SnifferIndication(
+        timestamp_us=77,
+        source_tei=1,
+        dest_tei=2,
+        link_id=1,
+        mpdu_count=0,
+        frame_length_bytes=512,
+        num_blocks=1,
+        collided=False,
+    ),
+    AssocRequest(request_type=0, station_mac=MAC_A),
+    AssocConfirm(result=0, station_mac=MAC_A, tei=3),
+    BeaconPayload(nid=b"\x01" * 7, cco_tei=1, sequence=2, beacon_period_ms=50),
+    ChannelEstIndication(peer_mac=MAC_B, tone_map_index=1, modulation_bits=8),
+    NetworkInfoRequest(),
+    NetworkInfoConfirm(entries=((MAC_A, 1, 100, 90), (MAC_B, 2, 80, 70))),
+    SetKeyRequest(key_type=KEY_TYPE_NMK, key=b"\x00" * 16),
+    SetKeyConfirm(result=0),
+    GetKeyRequest(key_type=KEY_TYPE_NMK, nmk_proof=b"\x01" * 8),
+    GetKeyConfirm(result=0, key_type=KEY_TYPE_NEK, key=b"\x02" * 16),
+]
+
+DECODERS = sorted({type(m) for m in SAMPLES}, key=lambda c: c.__name__)
+
+#: Payloads that start with the 00:B0:52 vendor OUI.
+VENDOR_SAMPLES = [m for m in SAMPLES if m.encode()[:3] == VENDOR_OUI]
+
+
+def _ids(message):
+    return type(message).__name__
+
+
+@pytest.mark.parametrize("message", SAMPLES, ids=_ids)
+class TestTruncation:
+    def test_full_payload_round_trips(self, message):
+        assert type(message).decode(message.encode()) == message
+
+    def test_every_strict_prefix_is_a_structured_error(self, message):
+        payload = message.encode()
+        decoder = type(message).decode
+        for cut in range(len(payload)):
+            with pytest.raises(MmeDecodeError) as excinfo:
+                decoder(payload[:cut])
+            error = excinfo.value
+            assert error.field, f"no field at cut {cut}"
+            assert error.offset >= 0
+            if error.needed is not None:
+                assert error.available < error.needed
+
+
+@pytest.mark.parametrize("message", VENDOR_SAMPLES, ids=_ids)
+def test_wrong_oui_names_the_field(message):
+    payload = b"\xff\xff\xff" + message.encode()[3:]
+    with pytest.raises(MmeDecodeError) as excinfo:
+        type(message).decode(payload)
+    assert excinfo.value.field == "oui"
+    assert excinfo.value.offset == 0
+
+
+def test_nw_info_reports_the_truncated_entry():
+    confirm = NetworkInfoConfirm(
+        entries=((MAC_A, 1, 100, 90), (MAC_B, 2, 80, 70))
+    )
+    payload = confirm.encode()
+    # Keep the count byte (2) but cut the second entry off.
+    truncated = payload[: 4 + 11]
+    with pytest.raises(MmeDecodeError) as excinfo:
+        NetworkInfoConfirm.decode(truncated)
+    assert excinfo.value.field == "entry[1]"
+    assert excinfo.value.offset == 4 + 11
+
+
+class TestFrameCodec:
+    def _frame(self):
+        return MmeFrame(
+            dst_mac=MAC_A,
+            src_mac=MAC_B,
+            mmtype=0xA030,
+            payload=b"\x01\x02\x03",
+        )
+
+    def test_header_truncation(self):
+        wire = self._frame().encode()
+        for cut in range(19):  # the fixed Ethernet + MME header
+            with pytest.raises(MmeDecodeError) as excinfo:
+                MmeFrame.decode(wire[:cut])
+            assert excinfo.value.field == "header"
+            assert excinfo.value.needed == 19
+            assert excinfo.value.available == cut
+
+    def test_wrong_ethertype(self):
+        wire = bytearray(self._frame().encode())
+        wire[12:14] = b"\x08\x00"  # plain IPv4 ethertype
+        with pytest.raises(MmeDecodeError) as excinfo:
+            MmeFrame.decode(bytes(wire))
+        assert excinfo.value.field == "ethertype"
+        assert excinfo.value.offset == 12
+        assert "0x0800" in str(excinfo.value)
+
+    def test_round_trip_still_works(self):
+        frame = self._frame()
+        decoded = MmeFrame.decode(frame.encode())
+        assert decoded == frame
+        assert decoded.mmtype == 0xA030
+        assert ETHERTYPE_HOMEPLUG_AV == 0x88E1
+
+
+@given(data=st.binary(max_size=80))
+@settings(max_examples=300, deadline=None)
+def test_fuzz_no_decoder_leaks_struct_error(data):
+    """Arbitrary bytes: decoders succeed or raise ValueError (usually
+    MmeDecodeError); ``struct.error`` must never escape."""
+    for cls in DECODERS:
+        try:
+            cls.decode(data)
+        except ValueError:
+            pass
+    try:
+        MmeFrame.decode(data)
+    except ValueError:
+        pass
+
+
+@given(
+    sample=st.sampled_from(SAMPLES),
+    index=st.integers(min_value=0, max_value=200),
+    value=st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=300, deadline=None)
+def test_fuzz_single_byte_mutations(sample, index, value):
+    """Flipping any one byte of a valid payload is handled cleanly."""
+    payload = bytearray(sample.encode())
+    payload[index % len(payload)] = value
+    try:
+        type(sample).decode(bytes(payload))
+    except ValueError:
+        pass

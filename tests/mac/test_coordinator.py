@@ -17,6 +17,9 @@ D = "02:00:00:00:00:00"
 def build(num_nodes=2, seed=1):
     env = Environment()
     strip = PowerStrip()
+    # These tests exercise bare MAC nodes with no device layer;
+    # deliver_mpdu rejects a receiver-less strip, so give it a sink.
+    strip.attach(lambda mpdu, time_us: None)
     coordinator = ContentionCoordinator(env, strip, PhyTiming())
     streams = RandomStreams(seed)
     nodes = []
@@ -62,6 +65,7 @@ class TestSingleNode:
         spaced by Table 3's Ts plus the backoff slots between them."""
         env = Environment()
         strip = PowerStrip()
+        strip.attach(lambda mpdu, time_us: None)
         timing = PhyTiming.paper_calibrated()
         coordinator = ContentionCoordinator(env, strip, timing)
         node = MacNode("solo", RandomStreams(3))

@@ -17,6 +17,9 @@ D = "02:00:00:00:00:00"
 def build(num_nodes=2, seed=1, configs=None):
     env = Environment()
     strip = PowerStrip()
+    # Bare-MAC tests have no device layer; deliver_mpdu rejects a
+    # receiver-less strip, so give it a sink.
+    strip.attach(lambda mpdu, time_us: None)
     coordinator = ContentionCoordinator(env, strip, PhyTiming())
     streams = RandomStreams(seed)
     nodes = []
@@ -119,6 +122,7 @@ class TestMaxIdleGuard:
         idle-run guard instead of hanging the process."""
         env = Environment()
         strip = PowerStrip()
+        strip.attach(lambda mpdu, time_us: None)
         coordinator = ContentionCoordinator(
             env, strip, PhyTiming(), max_idle_slots_between_prs=10
         )

@@ -47,11 +47,26 @@ class TestAttachment:
         strip = PowerStrip()
         heard = []
         handler = lambda m, t: heard.append(m)
+        other = lambda m, t: None
         strip.attach(handler)
+        strip.attach(other)
         strip.detach(handler)
         strip.deliver_mpdu(mpdu(), 0.0)
         assert heard == []
-        assert strip.num_receivers == 0
+        assert strip.num_receivers == 1
+
+    def test_deliver_without_receivers_rejected(self):
+        strip = PowerStrip()
+        with pytest.raises(RuntimeError, match="no attached receivers"):
+            strip.deliver_mpdu(mpdu(), 0.0)
+
+    def test_deliver_after_last_detach_rejected(self):
+        strip = PowerStrip()
+        handler = lambda m, t: None
+        strip.attach(handler)
+        strip.detach(handler)
+        with pytest.raises(RuntimeError, match="no attached receivers"):
+            strip.deliver_mpdu(mpdu(), 0.0)
 
 
 class TestSniffers:

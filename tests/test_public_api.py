@@ -8,6 +8,13 @@ MODULES = [
     "repro",
     "repro.analysis",
     "repro.boost",
+    "repro.chaos",
+    "repro.chaos.experiment",
+    "repro.chaos.impairments",
+    "repro.chaos.injector",
+    "repro.chaos.invariants",
+    "repro.chaos.plan",
+    "repro.chaos.recovery",
     "repro.core",
     "repro.core.metrics",
     "repro.core.parameters",
