@@ -1,0 +1,248 @@
+"""Checkpoint-layer benchmarks: snapshot overhead and resume savings.
+
+Two jobs:
+
+1. Measure what periodic snapshotting costs on the fixed testbed
+   point.  Run-to-run wall-clock deltas between two full simulations
+   drown in scheduler noise, so the per-snapshot cost (capture +
+   checksummed atomic write) is timed in isolation and combined with
+   the measured simulation rate into a predicted overhead ratio *per
+   interval*; one end-to-end checkpointed run at a dense interval
+   cross-checks the prediction and confirms the results stay
+   bit-identical.  The acceptance bar: **<10 % overhead at the
+   default interval** (``DEFAULT_CHECKPOINT_EVERY_US``).  Persisted
+   as ``BENCH_checkpoint_overhead.json``.
+2. Measure what resuming actually saves: finish the point from its
+   newest snapshot (``resume_collision_test``) and compare that
+   wall-clock against recomputing from t=0.  Persisted as
+   ``BENCH_checkpoint_resume.json``.
+
+``REPRO_BENCH_JSON_DIR`` overrides where the JSON files land (default:
+this directory).
+"""
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    DEFAULT_CHECKPOINT_EVERY_US,
+    checkpointed_collision_test,
+    resume_collision_test,
+)
+from repro.checkpoint.testbed import capture_testbed
+from repro.experiments.procedures import DEFAULT_WARMUP_US, run_collision_test
+from repro.experiments.testbed import build_testbed
+from repro.report.export import write_json
+
+#: Where BENCH_*.json files are written.
+JSON_DIR = Path(
+    os.environ.get("REPRO_BENCH_JSON_DIR", Path(__file__).parent)
+)
+
+#: The fixed point (matches bench_chaos for comparability).
+POINT_STATIONS = 3
+POINT_DURATION_US = 5e6
+POINT_SEED = 1
+
+#: Simulated span of the point (warm-up + measurement window).
+POINT_SPAN_US = DEFAULT_WARMUP_US + POINT_DURATION_US
+
+#: Dense interval used for the end-to-end cross-check run.
+DENSE_EVERY_US = 0.5e6
+
+
+def _baseline_s() -> float:
+    """Wall-clock seconds for the bare fixed point (best of 3)."""
+
+    def once() -> float:
+        testbed = build_testbed(POINT_STATIONS, seed=POINT_SEED)
+        started = time.perf_counter()
+        run_collision_test(
+            POINT_STATIONS,
+            duration_us=POINT_DURATION_US,
+            seed=POINT_SEED,
+            testbed=testbed,
+        )
+        return time.perf_counter() - started
+
+    return min(once() for _ in range(3))
+
+
+def _per_snapshot_s(store_dir: str) -> float:
+    """Seconds for one capture + checksummed atomic write (best of 5)."""
+    testbed = build_testbed(POINT_STATIONS, seed=POINT_SEED)
+    testbed.run_until(DEFAULT_WARMUP_US)  # realistic mid-run state
+    store = CheckpointStore(store_dir)
+    costs = []
+    for _ in range(5):
+        started = time.perf_counter()
+        store.write(
+            Checkpoint(
+                kind="testbed",
+                seq=store.next_seq(),
+                sim_time_us=testbed.env.now,
+                meta={"bench": True},
+                state=capture_testbed(testbed),
+            )
+        )
+        costs.append(time.perf_counter() - started)
+    return min(costs)
+
+
+def _same_test(a, b) -> bool:
+    return (
+        a.per_station == b.per_station
+        and a.goodput_mbps == b.goodput_mbps
+        and a.duration_us == b.duration_us
+    )
+
+
+@pytest.mark.benchmark(group="checkpoint")
+def bench_checkpoint_overhead(benchmark, report):
+    """Snapshot cost vs interval; <10 % at the default interval."""
+    baseline = _baseline_s()
+    bare = run_collision_test(
+        POINT_STATIONS, duration_us=POINT_DURATION_US, seed=POINT_SEED
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        per_snapshot = _per_snapshot_s(os.path.join(tmp, "probe"))
+
+        # End-to-end cross-check at a dense interval, timed once.
+        dense_store = CheckpointStore(os.path.join(tmp, "dense"))
+
+        def dense_run():
+            started = time.perf_counter()
+            test = checkpointed_collision_test(
+                POINT_STATIONS,
+                dense_store,
+                duration_us=POINT_DURATION_US,
+                seed=POINT_SEED,
+                checkpoint_every_us=DENSE_EVERY_US,
+            )
+            return test, time.perf_counter() - started
+
+        test, dense_s = benchmark.pedantic(
+            dense_run, rounds=1, iterations=1
+        )
+        assert _same_test(test, bare), "checkpointing perturbed the run"
+        dense_snapshots = len(list(dense_store.entries()))
+        assert dense_snapshots > 0
+
+    # Simulation rate (sim-µs per wall-second) sets how often a given
+    # interval fires per wall-second; with the isolated per-snapshot
+    # cost that predicts the overhead ratio at any interval.
+    rate_us_per_s = POINT_SPAN_US / baseline
+    intervals_us = sorted(
+        {DENSE_EVERY_US, 1e6, 2.5e6, 5e6, DEFAULT_CHECKPOINT_EVERY_US}
+    )
+    predicted = {
+        interval: per_snapshot * rate_us_per_s / interval
+        for interval in intervals_us
+    }
+    default_ratio = predicted[DEFAULT_CHECKPOINT_EVERY_US]
+    measured_dense_ratio = (dense_s - baseline) / baseline
+
+    assert default_ratio < 0.10, (
+        f"snapshot overhead at the default interval is "
+        f"{default_ratio:.1%} (budget 10%)"
+    )
+
+    result = {
+        "point": {
+            "stations": POINT_STATIONS,
+            "duration_us": POINT_DURATION_US,
+            "warmup_us": DEFAULT_WARMUP_US,
+            "seed": POINT_SEED,
+        },
+        "baseline_s": baseline,
+        "per_snapshot_s": per_snapshot,
+        "sim_rate_us_per_s": rate_us_per_s,
+        "predicted_overhead_ratio_by_interval_us": {
+            f"{interval:g}": ratio
+            for interval, ratio in predicted.items()
+        },
+        "dense_interval_us": DENSE_EVERY_US,
+        "dense_snapshots": dense_snapshots,
+        "dense_run_s": dense_s,
+        "measured_dense_overhead_ratio": measured_dense_ratio,
+        "default_interval_us": DEFAULT_CHECKPOINT_EVERY_US,
+        # The <10% acceptance quantity.
+        "default_overhead_ratio": default_ratio,
+        "budget_ratio": 0.10,
+    }
+    path = write_json(JSON_DIR / "BENCH_checkpoint_overhead.json", result)
+    report(
+        "[checkpoint] snapshot overhead "
+        f"(baseline {baseline*1e3:.0f} ms, "
+        f"{per_snapshot*1e3:.1f} ms/snapshot): "
+        f"{default_ratio:+.2%} at the default interval "
+        f"({DEFAULT_CHECKPOINT_EVERY_US:g} us, budget +10.0%), "
+        f"{measured_dense_ratio:+.1%} measured at {DENSE_EVERY_US:g} us "
+        f"({dense_snapshots} snapshots) -> {path}"
+    )
+
+
+@pytest.mark.benchmark(group="checkpoint")
+def bench_checkpoint_resume_savings(benchmark, report):
+    """Wall-clock saved by resuming instead of recomputing from t=0."""
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CheckpointStore(tmp)
+
+        started = time.perf_counter()
+        full = checkpointed_collision_test(
+            POINT_STATIONS,
+            store,
+            duration_us=POINT_DURATION_US,
+            seed=POINT_SEED,
+            checkpoint_every_us=DENSE_EVERY_US,
+        )
+        full_s = time.perf_counter() - started
+
+        newest = store.latest_valid()
+        assert newest is not None
+
+        def resume():
+            started = time.perf_counter()
+            test = resume_collision_test(store, checkpoint=newest)
+            return test, time.perf_counter() - started
+
+        resumed, resume_s = benchmark.pedantic(
+            resume, rounds=1, iterations=1
+        )
+
+    assert _same_test(resumed, full), "resume diverged from the full run"
+    saved_s = full_s - resume_s
+    result = {
+        "point": {
+            "stations": POINT_STATIONS,
+            "duration_us": POINT_DURATION_US,
+            "warmup_us": DEFAULT_WARMUP_US,
+            "seed": POINT_SEED,
+        },
+        "checkpoint_every_us": DENSE_EVERY_US,
+        "resume_from_sim_time_us": newest.sim_time_us,
+        "total_sim_span_us": POINT_SPAN_US,
+        "full_run_s": full_s,
+        "resume_s": resume_s,
+        "saved_s": saved_s,
+        "saved_ratio": saved_s / full_s if full_s else 0.0,
+    }
+    path = write_json(JSON_DIR / "BENCH_checkpoint_resume.json", result)
+    report(
+        "[checkpoint] resume from t={:.2f} s of {:.2f} s: "
+        "{:.0f} ms vs {:.0f} ms full run ({:+.0%} saved) -> {}".format(
+            newest.sim_time_us / 1e6,
+            POINT_SPAN_US / 1e6,
+            resume_s * 1e3,
+            full_s * 1e3,
+            result["saved_ratio"],
+            path,
+        )
+    )

@@ -20,6 +20,7 @@ from .heterogeneous import (
     HeterogeneousPrediction,
 )
 from .fixed_point import (
+    ConvergenceError,
     damped_iteration,
     find_all_fixed_points,
     gamma_from_tau,
@@ -35,6 +36,7 @@ __all__ = [
     "Bianchi80211Model",
     "ChainSolution",
     "ComparisonRow",
+    "ConvergenceError",
     "DelayModel",
     "DelayPrediction",
     "GroupPrediction",

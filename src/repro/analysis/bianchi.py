@@ -19,7 +19,7 @@ the convention under which Bianchi's formula is exact.
 from __future__ import annotations
 
 from ..core.config import CsmaConfig, TimingConfig
-from .fixed_point import solve_fixed_point
+from .fixed_point import ConvergenceError, solve_fixed_point
 from .throughput import NetworkPrediction, network_prediction
 
 __all__ = ["tau_bianchi", "Bianchi80211Model"]
@@ -104,8 +104,20 @@ class Bianchi80211Model:
         return tau_bianchi(gamma, self.cw_min, self.max_stage)
 
     def solve(self, num_stations: int) -> NetworkPrediction:
-        """Fixed point + renewal formulas for ``num_stations``."""
-        tau = solve_fixed_point(self.tau_of_gamma, num_stations)
+        """Fixed point + renewal formulas for ``num_stations``.
+
+        Raises :class:`ConvergenceError` (annotated with the model and
+        ``N``) if the solver cannot find the operating point.
+        """
+        try:
+            tau = solve_fixed_point(self.tau_of_gamma, num_stations)
+        except ConvergenceError as exc:
+            raise ConvergenceError(
+                f"Bianchi 802.11 model failed for N={num_stations}",
+                last_iterate=exc.last_iterate,
+                residual=exc.residual,
+                iterations=exc.iterations,
+            ) from exc
         return network_prediction(tau, num_stations, self.timing)
 
     def collision_probability(self, num_stations: int) -> float:

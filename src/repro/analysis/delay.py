@@ -29,7 +29,11 @@ import numpy as np
 from scipy import stats
 
 from ..core.config import CsmaConfig, TimingConfig
-from .fixed_point import gamma_from_tau, solve_fixed_point
+from .fixed_point import (
+    ConvergenceError,
+    gamma_from_tau,
+    solve_fixed_point,
+)
 from .recursive import RecursiveModel, stage_quantities
 from .throughput import network_prediction
 
@@ -144,8 +148,20 @@ class DelayModel:
 
     # -- the public prediction ---------------------------------------------
     def solve(self, num_stations: int) -> DelayPrediction:
-        """Delay statistics at the decoupling operating point."""
-        tau = solve_fixed_point(self._recursive.tau, num_stations)
+        """Delay statistics at the decoupling operating point.
+
+        Raises :class:`ConvergenceError` (annotated with the model and
+        ``N``) if the solver cannot find the operating point.
+        """
+        try:
+            tau = solve_fixed_point(self._recursive.tau, num_stations)
+        except ConvergenceError as exc:
+            raise ConvergenceError(
+                f"1901 delay model failed for N={num_stations}",
+                last_iterate=exc.last_iterate,
+                residual=exc.residual,
+                iterations=exc.iterations,
+            ) from exc
         gamma = gamma_from_tau(tau, num_stations)
         prediction = network_prediction(tau, num_stations, self.timing)
         mean_events, var_events = self.service_event_moments(gamma)

@@ -21,6 +21,7 @@ import numpy as np
 from scipy.optimize import brentq
 
 __all__ = [
+    "ConvergenceError",
     "gamma_from_tau",
     "solve_fixed_point",
     "find_all_fixed_points",
@@ -28,6 +29,38 @@ __all__ = [
 ]
 
 _EPS = 1e-12
+
+
+class ConvergenceError(RuntimeError):
+    """A fixed-point computation failed to converge.
+
+    Carries the numerical evidence so callers (and failure telemetry)
+    can report *where* the solver stalled instead of silently using a
+    garbage operating point:
+
+    - ``last_iterate`` — the best/last τ the solver held;
+    - ``residual`` — |τ − f(γ(τ))| at that iterate;
+    - ``iterations`` — how many iterations (or grid points) were spent.
+
+    All solvers raise this by default; pass ``strict=False`` to get the
+    old silent behaviour (return the last iterate / an empty root list).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        last_iterate: float,
+        residual: float,
+        iterations: int,
+    ) -> None:
+        super().__init__(
+            f"{message} after {iterations} iteration(s): "
+            f"last iterate tau={last_iterate:.12g}, "
+            f"residual={residual:.3g}"
+        )
+        self.last_iterate = float(last_iterate)
+        self.residual = float(residual)
+        self.iterations = int(iterations)
 
 
 def gamma_from_tau(tau: float, num_stations: int) -> float:
@@ -51,6 +84,8 @@ def solve_fixed_point(
     num_stations: int,
     bracket: tuple = (_EPS, 1.0 - _EPS),
     xtol: float = 1e-12,
+    strict: bool = True,
+    max_iter: int = 10000,
 ) -> float:
     """Solve τ = f(1 − (1 − τ)^(N−1)) for τ via Brent's method.
 
@@ -61,6 +96,12 @@ def solve_fixed_point(
         busy probability γ it experiences.
     num_stations:
         Number of contending stations ``N``.
+    strict:
+        If the bracket has no sign change the solver falls back to
+        :func:`damped_iteration`; when that fails to converge within
+        ``max_iter`` steps, ``strict=True`` raises
+        :class:`ConvergenceError` (carrying the last iterate and its
+        residual) and ``strict=False`` returns the last iterate.
 
     For ``N == 1`` there is no coupling: returns ``f(0)`` directly.
     """
@@ -75,7 +116,9 @@ def solve_fixed_point(
         return hi
     if f_lo * f_hi > 0:
         # No sign change over the bracket; fall back to iteration.
-        return damped_iteration(tau_of_gamma, num_stations)
+        return damped_iteration(
+            tau_of_gamma, num_stations, max_iter=max_iter, strict=strict
+        )
     return float(
         brentq(_residual, lo, hi, args=(tau_of_gamma, num_stations), xtol=xtol)
     )
@@ -85,11 +128,20 @@ def find_all_fixed_points(
     tau_of_gamma: Callable[[float], float],
     num_stations: int,
     grid_points: int = 2000,
+    strict: bool = True,
 ) -> List[float]:
     """Locate every fixed point by scanning for residual sign changes.
 
     Useful to reproduce the multiple-fixed-point phenomenon [5]
     discusses for some 1901 configurations.
+
+    A continuous ``tau_of_gamma`` mapping into [0, 1] always has a
+    fixed point (Brouwer), so finding none means the scan failed —
+    typically a discontinuous or out-of-range model, or a root hugging
+    the bracket boundary below grid resolution.  ``strict=True``
+    (default) raises :class:`ConvergenceError` in that case, carrying
+    the grid point of smallest \\|residual\\|; ``strict=False`` returns
+    the empty list.
     """
     taus = np.linspace(_EPS, 1.0 - _EPS, grid_points)
     residuals = np.array(
@@ -116,6 +168,14 @@ def find_all_fixed_points(
     for root in roots:
         if not unique or abs(root - unique[-1]) > 1e-9:
             unique.append(root)
+    if not unique and strict:
+        best = int(np.argmin(np.abs(residuals)))
+        raise ConvergenceError(
+            "no fixed point found on the tau grid",
+            last_iterate=float(taus[best]),
+            residual=abs(float(residuals[best])),
+            iterations=grid_points,
+        )
     return unique
 
 
@@ -125,11 +185,18 @@ def damped_iteration(
     damping: float = 0.5,
     tol: float = 1e-12,
     max_iter: int = 10000,
+    strict: bool = True,
 ) -> float:
     """Damped Picard iteration τ ← (1−α)τ + α·f(γ(τ)).
 
     Robust fallback when the residual does not change sign on the
     bracket boundary (e.g. degenerate single-slot windows).
+
+    When the iteration has not contracted below ``tol`` after
+    ``max_iter`` steps, ``strict=True`` (default) raises
+    :class:`ConvergenceError` — returning a non-converged τ silently
+    poisons every downstream renewal formula — and ``strict=False``
+    restores the old behaviour of returning the last iterate.
     """
     tau = 0.1
     for _ in range(max_iter):
@@ -138,4 +205,11 @@ def damped_iteration(
         if abs(new - tau) < tol:
             return new
         tau = new
+    if strict:
+        raise ConvergenceError(
+            "damped Picard iteration did not converge",
+            last_iterate=tau,
+            residual=abs(_residual(tau, tau_of_gamma, num_stations)),
+            iterations=max_iter,
+        )
     return tau

@@ -11,7 +11,11 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..core.config import CsmaConfig, TimingConfig
-from .fixed_point import find_all_fixed_points, solve_fixed_point
+from .fixed_point import (
+    ConvergenceError,
+    find_all_fixed_points,
+    solve_fixed_point,
+)
 from .markov import StationChain
 from .recursive import RecursiveModel
 from .throughput import NetworkPrediction, network_prediction
@@ -78,13 +82,34 @@ class Model1901:
         return self._solver.tau(gamma)
 
     def solve(self, num_stations: int) -> NetworkPrediction:
-        """Solve the fixed point and evaluate the network formulas."""
-        tau = solve_fixed_point(self.tau_of_gamma, num_stations)
+        """Solve the fixed point and evaluate the network formulas.
+
+        Raises :class:`ConvergenceError` (annotated with the model and
+        ``N``) if the solver cannot find the operating point.
+        """
+        try:
+            tau = solve_fixed_point(self.tau_of_gamma, num_stations)
+        except ConvergenceError as exc:
+            raise ConvergenceError(
+                f"1901 model ({self.method}) failed for N={num_stations}",
+                last_iterate=exc.last_iterate,
+                residual=exc.residual,
+                iterations=exc.iterations,
+            ) from exc
         return network_prediction(tau, num_stations, self.timing)
 
     def fixed_points(self, num_stations: int) -> List[NetworkPrediction]:
         """All decoupling fixed points (possibly more than one, [5])."""
-        taus = find_all_fixed_points(self.tau_of_gamma, num_stations)
+        try:
+            taus = find_all_fixed_points(self.tau_of_gamma, num_stations)
+        except ConvergenceError as exc:
+            raise ConvergenceError(
+                f"1901 model ({self.method}) fixed-point scan failed "
+                f"for N={num_stations}",
+                last_iterate=exc.last_iterate,
+                residual=exc.residual,
+                iterations=exc.iterations,
+            ) from exc
         return [
             network_prediction(tau, num_stations, self.timing)
             for tau in taus

@@ -26,8 +26,9 @@ never perturbs another and none perturb the simulation's own draws.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from ..engine.marks import ProcMark
 from ..phy.channel import IdealChannel
 from ..tools.ampstat import Ampstat
 from ..traffic.generators import SaturatedSource
@@ -89,10 +90,23 @@ class ChaosInjector:
         self.plan = plan
         self.checker = checker
         self.gilbert_elliott: Optional[GilbertElliottPbErrors] = None
+        self.impulse_noise_model: Optional[ImpulsiveNoiseBursts] = None
+        self.link_quality_model: Optional[AsymmetricLinkQuality] = None
         self._installed = False
         self._held_indication: Optional[bytes] = None
         self._sniffer_downstream = lambda frame_bytes: None
         self._join_count = 0
+        #: Per-fault-family RNGs, created once at install time and kept
+        #: by name so a checkpoint can capture/restore their states in
+        #: place (the fault wrappers close over the generator objects).
+        self._rngs: Dict[str, Any] = {}
+        #: Resume bookmarks of the churn/glitch processes, keyed
+        #: ``("churn", i)`` / ``("glitch", i)`` by plan-schedule index.
+        self._proc_marks: Dict[Tuple, ProcMark] = {}
+        #: Structural membership changes (joins/leaves) in order, so a
+        #: checkpoint restore can rebuild the same device roster before
+        #: overlaying the captured state.
+        self.membership_log: List[Dict[str, str]] = []
         #: Injection ledger (see :meth:`report`).
         self.sacks_dropped = 0
         self.sacks_corrupted = 0
@@ -102,6 +116,20 @@ class ChaosInjector:
         self.glitches_applied: List[Dict[str, Any]] = []
         self.indications_dropped = 0
         self.indications_reordered = 0
+
+    def _mark(self, *key) -> ProcMark:
+        mark = self._proc_marks.get(key)
+        if mark is None:
+            mark = ProcMark(key)
+            self._proc_marks[key] = mark
+        return mark
+
+    def _stream(self, name: str):
+        rng = self._rngs.get(name)
+        if rng is None:
+            rng = self.plan.stream(name)
+            self._rngs[name] = rng
+        return rng
 
     # -- installation ------------------------------------------------------
     def install(self) -> "ChaosInjector":
@@ -132,25 +160,24 @@ class ChaosInjector:
                 p_bad_to_good=ge["p_bad_to_good"],
                 error_good=ge.get("error_good", 0.0),
                 error_bad=ge.get("error_bad", 0.0),
-                rng=plan.stream("gilbert_elliott"),
+                rng=self._stream("gilbert_elliott"),
                 start_us=ge.get("start_us", 0.0),
                 end_us=ge.get("end_us"),
             )
             models.append(self.gilbert_elliott)
         if plan.impulse_noise:
-            models.append(
-                ImpulsiveNoiseBursts(
-                    windows=[
-                        (
-                            w["start_us"],
-                            w["duration_us"],
-                            w.get("error_probability", 0.0),
-                        )
-                        for w in plan.impulse_noise
-                    ],
-                    rng=plan.stream("impulse_noise"),
-                )
+            self.impulse_noise_model = ImpulsiveNoiseBursts(
+                windows=[
+                    (
+                        w["start_us"],
+                        w["duration_us"],
+                        w.get("error_probability", 0.0),
+                    )
+                    for w in plan.impulse_noise
+                ],
+                rng=self._stream("impulse_noise"),
             )
+            models.append(self.impulse_noise_model)
         if plan.link_quality:
             quality = {
                 mac.lower(): float(p)
@@ -166,12 +193,11 @@ class ChaosInjector:
                         return quality.get(device.mac_addr, 0.0)
                 return 0.0
 
-            models.append(
-                AsymmetricLinkQuality(
-                    probabilities=probability_of,
-                    rng=plan.stream("link_quality"),
-                )
+            self.link_quality_model = AsymmetricLinkQuality(
+                probabilities=probability_of,
+                rng=self._stream("link_quality"),
             )
+            models.append(self.link_quality_model)
         if len(models) == 1:
             strip.error_model = models[0]
         else:
@@ -192,7 +218,7 @@ class ChaosInjector:
         return list(self.testbed.stations)
 
     def _wrap_sacks_drop(self, spec, env) -> None:
-        rng = self.plan.stream("sack_loss")
+        rng = self._stream("sack_loss")
         probability = float(spec.get("probability", 0.0))
         for device in self._target_devices(spec):
             node = device.node
@@ -214,7 +240,7 @@ class ChaosInjector:
             node.notify_sack = dropped
 
     def _wrap_sacks_corrupt(self, spec, env) -> None:
-        rng = self.plan.stream("sack_corruption")
+        rng = self._stream("sack_corruption")
         probability = float(spec.get("probability", 0.0))
         for device in self._target_devices(spec):
             node = device.node
@@ -239,32 +265,94 @@ class ChaosInjector:
 
     # -- churn -------------------------------------------------------------
     def _install_churn(self) -> None:
-        for event in self.plan.churn:
-            self.testbed.env.process(self._churn_process(dict(event)))
+        for index, event in enumerate(self.plan.churn):
+            self.testbed.env.process(
+                self._churn_process(index, dict(event))
+            )
+            self._mark("churn", index).stamp_created(self.testbed.env)
 
-    def _churn_process(self, event: Dict[str, Any]):
+    def _churn_process(
+        self,
+        index: int,
+        event: Dict[str, Any],
+        resume_wake_us: Optional[float] = None,
+        resume_phase: Optional[str] = None,
+        resume_mac: Optional[str] = None,
+    ):
         env = self.testbed.env
-        delay = float(event["time_us"]) - env.now
-        if delay > 0:
-            yield env.timeout(delay)
+        mark = self._mark("churn", index)
         action = event["action"]
-        if action == "join":
-            device = self._join_station(event.get("mac"))
-            leave_at = event.get("leave_at_us")
-            if leave_at is not None:
-                yield env.timeout(max(float(leave_at) - env.now, 0.0))
-                if event.get("crash", False):
-                    self._crash_leave(device)
-                else:
-                    yield from self._graceful_leave(device)
-        elif action == "crash_leave":
-            device = self._resolve_leaver(event.get("mac"))
-            if device is not None:
+        phase = resume_phase
+        device = None
+
+        if phase is None:
+            delay = float(event["time_us"]) - env.now
+            if delay > 0:
+                mark.sleeping(env, env.now + delay, phase="fire")
+                yield env.timeout(delay)
+            phase = "fire"
+        else:
+            yield env.timeout_at(resume_wake_us)
+            if resume_mac is not None:
+                try:
+                    device = self.testbed.avln.find_device(resume_mac)
+                except KeyError:
+                    # The device left some other way; nothing to do.
+                    mark.finish()
+                    return
+
+        if phase == "fire":
+            if action == "join":
+                device = self._join_station(event.get("mac"))
+                leave_at = event.get("leave_at_us")
+                if leave_at is None:
+                    mark.finish()
+                    return
+                wait = max(float(leave_at) - env.now, 0.0)
+                mark.sleeping(
+                    env,
+                    env.now + wait,
+                    phase="leave",
+                    mac=device.mac_addr,
+                )
+                yield env.timeout(wait)
+            else:
+                device = self._resolve_leaver(event.get("mac"))
+                if device is None:
+                    mark.finish()
+                    return
+            phase = "leave"
+
+        if phase == "leave":
+            crash = (
+                event.get("crash", False)
+                if action == "join"
+                else action == "crash_leave"
+            )
+            if crash:
                 self._crash_leave(device)
-        else:  # graceful leave
-            device = self._resolve_leaver(event.get("mac"))
-            if device is not None:
-                yield from self._graceful_leave(device)
+                mark.finish()
+                return
+            self._stop_sources_of(device)
+            phase = "drain"
+
+        # Graceful leave: drain the MAC queue, then detach.  A resume
+        # into "drain" re-enters the loop exactly as a live wake would
+        # (the restored source state is already stopped).
+        while device.node.pending_priority() is not None:
+            mark.sleeping(
+                env,
+                env.now + _DRAIN_POLL_US,
+                phase="drain",
+                mac=device.mac_addr,
+            )
+            yield env.timeout(_DRAIN_POLL_US)
+        self._detach(device)
+        self.leaves += 1
+        self.membership_log.append(
+            {"action": "leave", "mac": device.mac_addr}
+        )
+        mark.finish()
 
     def _join_station(self, mac: Optional[str]):
         testbed = self.testbed
@@ -286,6 +374,7 @@ class ChaosInjector:
         if self.checker is not None:
             self.checker.watch_node(device.node)
         self.joins += 1
+        self.membership_log.append({"action": "join", "mac": device.mac_addr})
         return device
 
     def _resolve_leaver(self, mac: Optional[str]):
@@ -323,31 +412,37 @@ class ChaosInjector:
         self._stop_sources_of(device)
         self._detach(device)
         self.crash_leaves += 1
-
-    def _graceful_leave(self, device):
-        """Stop offering traffic, drain the MAC queue, then detach."""
-        self._stop_sources_of(device)
-        env = self.testbed.env
-        while device.node.pending_priority() is not None:
-            yield env.timeout(_DRAIN_POLL_US)
-        self._detach(device)
-        self.leaves += 1
+        self.membership_log.append(
+            {"action": "leave", "mac": device.mac_addr}
+        )
 
     # -- firmware glitches ---------------------------------------------------
     def _install_firmware_glitches(self) -> None:
         if not self.plan.firmware_glitches:
             return
-        rng = self.plan.stream("firmware_glitches")
-        for glitch in self.plan.firmware_glitches:
+        self._stream("firmware_glitches")
+        for index, glitch in enumerate(self.plan.firmware_glitches):
             self.testbed.env.process(
-                self._glitch_process(dict(glitch), rng)
+                self._glitch_process(index, dict(glitch))
             )
+            self._mark("glitch", index).stamp_created(self.testbed.env)
 
-    def _glitch_process(self, glitch: Dict[str, Any], rng):
+    def _glitch_process(
+        self,
+        index: int,
+        glitch: Dict[str, Any],
+        resume_wake_us: Optional[float] = None,
+    ):
         env = self.testbed.env
-        delay = float(glitch["time_us"]) - env.now
-        if delay > 0:
-            yield env.timeout(delay)
+        mark = self._mark("glitch", index)
+        rng = self._rngs["firmware_glitches"]
+        if resume_wake_us is not None:
+            yield env.timeout_at(resume_wake_us)
+        else:
+            delay = float(glitch["time_us"]) - env.now
+            if delay > 0:
+                mark.sleeping(env, env.now + delay, phase="armed")
+                yield env.timeout(delay)
         kind = glitch.get("kind", "zero")
         mac = glitch.get("mac")
         if mac is not None:
@@ -364,13 +459,14 @@ class ChaosInjector:
                     **summary,
                 }
             )
+        mark.finish()
 
     # -- sniffer faults -------------------------------------------------------
     def _install_sniffer_faults(self) -> None:
         spec = self.plan.sniffer
         if spec is None:
             return
-        rng = self.plan.stream("sniffer")
+        rng = self._stream("sniffer")
         drop = float(spec.get("drop_probability", 0.0))
         reorder = float(spec.get("reorder_probability", 0.0))
         device = self.testbed.destination
@@ -395,6 +491,126 @@ class ChaosInjector:
             original(frame_bytes)
 
         device.host_indication_handler = faulty
+
+    # -- checkpoint capture / restore ----------------------------------------
+    def adopt_mark(self, mark: ProcMark) -> None:
+        """Install a restored bookmark over the freshly built one."""
+        self._proc_marks[tuple(mark.key)] = mark
+
+    def restart_marked(self, mark: ProcMark) -> bool:
+        """Restart the scheduled fault process behind a restored mark."""
+        key = tuple(mark.key)
+        kind, index = key[0], key[1]
+        env = self.testbed.env
+        if kind == "churn":
+            env.process(
+                self._churn_process(
+                    index,
+                    dict(self.plan.churn[index]),
+                    resume_wake_us=mark.wake_us,
+                    resume_phase=mark.phase,
+                    resume_mac=mark.data.get("mac"),
+                )
+            )
+        elif kind == "glitch":
+            env.process(
+                self._glitch_process(
+                    index,
+                    dict(self.plan.firmware_glitches[index]),
+                    resume_wake_us=mark.wake_us,
+                )
+            )
+        else:
+            raise ValueError(f"unknown process mark {key!r}")
+        mark.stamp_created(env)
+        return True
+
+    def replay_membership(self, log: List[Dict[str, str]]) -> None:
+        """Re-apply logged joins/leaves on a freshly built testbed.
+
+        Rebuilds the device roster *structurally*; the captured
+        per-device state and the injector's own ledger are overlaid
+        afterwards by :meth:`restore_state`.
+        """
+        for entry in log:
+            if entry["action"] == "join":
+                self._join_station(entry["mac"])
+            else:
+                device = self.testbed.avln.find_device(entry["mac"])
+                self._stop_sources_of(device)
+                self._detach(device)
+
+    def capture_state(self) -> Dict[str, Any]:
+        """Everything mutable the injector owns, picklable."""
+        state: Dict[str, Any] = {
+            "rngs": {
+                name: rng.bit_generator.state
+                for name, rng in self._rngs.items()
+            },
+            "join_count": self._join_count,
+            "membership_log": [dict(e) for e in self.membership_log],
+            "held_indication": self._held_indication,
+            "ledger": {
+                "sacks_dropped": self.sacks_dropped,
+                "sacks_corrupted": self.sacks_corrupted,
+                "joins": self.joins,
+                "leaves": self.leaves,
+                "crash_leaves": self.crash_leaves,
+                "glitches_applied": [dict(g) for g in self.glitches_applied],
+                "indications_dropped": self.indications_dropped,
+                "indications_reordered": self.indications_reordered,
+            },
+        }
+        if self.gilbert_elliott is not None:
+            state["gilbert_elliott"] = {
+                "in_bad_state": self.gilbert_elliott.in_bad_state,
+                "pbs_seen": self.gilbert_elliott.pbs_seen,
+                "pbs_errored": self.gilbert_elliott.pbs_errored,
+            }
+        if self.impulse_noise_model is not None:
+            state["impulse_noise"] = {
+                "pbs_errored": self.impulse_noise_model.pbs_errored,
+            }
+        if self.link_quality_model is not None:
+            state["link_quality"] = {
+                "pbs_errored": self.link_quality_model.pbs_errored,
+            }
+        return state
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Overlay a captured state onto a freshly installed injector.
+
+        Must run after :meth:`install` and :meth:`replay_membership`:
+        the RNG states are written into the very generator objects the
+        fault wrappers closed over at install time.
+        """
+        for name, rng_state in state["rngs"].items():
+            self._rngs[name].bit_generator.state = rng_state
+        self._join_count = state["join_count"]
+        self.membership_log = [dict(e) for e in state["membership_log"]]
+        self._held_indication = state["held_indication"]
+        ledger = state["ledger"]
+        self.sacks_dropped = ledger["sacks_dropped"]
+        self.sacks_corrupted = ledger["sacks_corrupted"]
+        self.joins = ledger["joins"]
+        self.leaves = ledger["leaves"]
+        self.crash_leaves = ledger["crash_leaves"]
+        self.glitches_applied = [dict(g) for g in ledger["glitches_applied"]]
+        self.indications_dropped = ledger["indications_dropped"]
+        self.indications_reordered = ledger["indications_reordered"]
+        if "gilbert_elliott" in state:
+            ge = state["gilbert_elliott"]
+            self.gilbert_elliott.in_bad_state = ge["in_bad_state"]
+            self.gilbert_elliott.pbs_seen = ge["pbs_seen"]
+            self.gilbert_elliott.pbs_errored = ge["pbs_errored"]
+        if "impulse_noise" in state:
+            self.impulse_noise_model.pbs_errored = (
+                state["impulse_noise"]["pbs_errored"]
+            )
+        if "link_quality" in state:
+            self.link_quality_model.pbs_errored = (
+                state["link_quality"]["pbs_errored"]
+            )
 
     def flush(self) -> None:
         """Deliver any indication still held by the reorder fault."""

@@ -25,12 +25,18 @@ near-zero baselines) of the baseline.
 from __future__ import annotations
 
 import dataclasses
+import json
 from typing import Any, Dict, Optional
 
 from .experiment import attach_chaos
 from .plan import ChaosPlan
 
-__all__ = ["RecoveryResult", "run_recovery_experiment", "default_recovery_plan"]
+__all__ = [
+    "RecoveryResult",
+    "run_recovery_experiment",
+    "resume_recovery_experiment",
+    "default_recovery_plan",
+]
 
 
 def default_recovery_plan(
@@ -128,6 +134,7 @@ def run_recovery_experiment(
     tolerance: float = 0.05,
     floor: float = 0.02,
     plan_seed: int = 0,
+    checkpoint_store=None,
     **testbed_kwargs,
 ) -> RecoveryResult:
     """Measure baseline → fault → recovery on one testbed.
@@ -141,6 +148,15 @@ def run_recovery_experiment(
     probability is a ratio of two counters with O(1/√n) noise per
     window, so a purely relative tolerance would make short windows
     flaky at small baselines.
+
+    ``checkpoint_store`` (a
+    :class:`~repro.checkpoint.CheckpointStore`) snapshots the full
+    testbed + chaos state at the first contention-round boundary of
+    the settle gap — i.e. just after the fault episode clears.
+    :func:`resume_recovery_experiment` re-enters the experiment from
+    that snapshot and re-measures only the recovery window, producing
+    a :class:`RecoveryResult` bit-identical to this one; it requires
+    JSON-serializable ``testbed_kwargs``.
     """
     from ..experiments.testbed import build_testbed
 
@@ -162,9 +178,56 @@ def run_recovery_experiment(
 
     baseline = _window_collision_probability(testbed, window_us)
     faulty = _window_collision_probability(testbed, window_us)
+    if checkpoint_store is not None:
+        # Mirror Environment.run's stop arithmetic for the two runs
+        # that remain, so the resumed experiment can reproduce the
+        # exact stop instants with run_until_at.
+        settle_start = testbed.env.now
+        settle_stop = settle_start + (
+            (settle_start + settle_us) - settle_start
+        )
+        recovered_stop = settle_stop + (
+            (settle_stop + window_us) - settle_stop
+        )
+        try:
+            json.dumps(testbed_kwargs)
+        except TypeError as exc:
+            raise ValueError(
+                "checkpointed recovery requires JSON-serializable "
+                f"testbed_kwargs: {exc}"
+            ) from None
+        _arm_settle_checkpoint(
+            testbed,
+            injector,
+            checker,
+            checkpoint_store,
+            settle_stop=settle_stop,
+            meta={
+                "experiment": "recovery",
+                "num_stations": num_stations,
+                "seed": seed,
+                "testbed_kwargs": testbed_kwargs,
+                "plan": plan.as_jsonable()
+                if isinstance(plan, ChaosPlan)
+                else dict(plan),
+                "window_us": window_us,
+                "settle_us": settle_us,
+                "warmup_us": warmup_us,
+                "tolerance": tolerance,
+                "floor": floor,
+                "baseline": baseline,
+                "faulty": faulty,
+                "settle_stop_us": settle_stop,
+                "recovered_stop_us": recovered_stop,
+            },
+        )
     # Let the faults clear and the backoff state drain before the
     # recovery window.
-    testbed.run_until(testbed.env.now + settle_us)
+    try:
+        testbed.run_until(testbed.env.now + settle_us)
+    finally:
+        if checkpoint_store is not None:
+            testbed.avln.coordinator.checkpoint_hook = None
     recovered = _window_collision_probability(testbed, window_us)
 
     injector.flush()
@@ -176,6 +239,103 @@ def run_recovery_experiment(
         recovered=recovered,
         tolerance=tolerance,
         floor=floor,
+        invariants=checker.finalize(),
+        injection=injector.report(),
+    )
+
+
+def _arm_settle_checkpoint(
+    testbed, injector, checker, store, settle_stop: float, meta: Dict[str, Any]
+) -> None:
+    """One-shot snapshot at the first safe point of the settle gap.
+
+    Fires at a contention-round boundary (the coordinator's checkpoint
+    hook), skips instants with another event pending at the same time
+    (relative order would not be reconstructible), and never fires
+    inside the recovery measurement window — the resume must re-enter
+    *before* the window's stat reset.
+    """
+    done = []
+
+    def hook() -> None:
+        env = testbed.env
+        if done or env.now >= settle_stop or env.peek() == env.now:
+            return
+        from ..checkpoint.format import Checkpoint
+        from ..checkpoint.testbed import capture_testbed
+
+        store.write(
+            Checkpoint(
+                kind="testbed",
+                seq=store.next_seq(),
+                sim_time_us=env.now,
+                meta=dict(meta),
+                state=capture_testbed(
+                    testbed, injector=injector, checker=checker
+                ),
+            )
+        )
+        done.append(True)
+
+    testbed.avln.coordinator.checkpoint_hook = hook
+
+
+def resume_recovery_experiment(store, checkpoint=None) -> RecoveryResult:
+    """Re-enter a recovery experiment from its settle-gap snapshot.
+
+    Rebuilds the testbed and chaos stack from the checkpoint's meta,
+    restores the captured state, and re-runs only the tail of the
+    settle gap plus the recovery window.  The returned
+    :class:`RecoveryResult` — recovered collision probability,
+    invariant summary and injection ledger included — is bit-identical
+    to the one :func:`run_recovery_experiment` produced (or would have
+    produced, had it not crashed after the snapshot).
+    """
+    from ..checkpoint.format import CheckpointError
+    from ..checkpoint.testbed import restore_testbed_state
+    from ..experiments.testbed import build_testbed
+
+    if checkpoint is None:
+        checkpoint = store.latest_valid()
+        if checkpoint is None:
+            raise CheckpointError(
+                f"no valid checkpoint in {store.directory}"
+            )
+    meta = checkpoint.meta
+    if checkpoint.kind != "testbed" or meta.get("experiment") != "recovery":
+        raise CheckpointError(
+            "checkpoint is not a recovery-experiment snapshot "
+            f"(kind={checkpoint.kind!r}, "
+            f"experiment={meta.get('experiment')!r})"
+        )
+
+    testbed = build_testbed(
+        meta["num_stations"],
+        seed=meta["seed"],
+        **(meta.get("testbed_kwargs") or {}),
+    )
+    injector, checker, _probe = attach_chaos(testbed, meta["plan"])
+    restore_testbed_state(
+        testbed, checkpoint.state, injector=injector, checker=checker
+    )
+
+    testbed.env.run_until_at(meta["settle_stop_us"])
+    testbed.reset_data_stats()
+    testbed.env.run_until_at(meta["recovered_stop_us"])
+    rows = testbed.read_data_stats()
+    acked = sum(row[1] for row in rows)
+    collided = sum(row[2] for row in rows)
+    recovered = collided / acked if acked else 0.0
+
+    injector.flush()
+    return RecoveryResult(
+        num_stations=meta["num_stations"],
+        window_us=meta["window_us"],
+        baseline=meta["baseline"],
+        faulty=meta["faulty"],
+        recovered=recovered,
+        tolerance=meta["tolerance"],
+        floor=meta["floor"],
         invariants=checker.finalize(),
         injection=injector.report(),
     )

@@ -1,0 +1,65 @@
+"""Content integrity and atomic-write primitives.
+
+Shared by the checkpoint container (:mod:`repro.checkpoint.format`) and
+the runner's result cache (:mod:`repro.runner.cache`): both persist
+state a crash must never corrupt silently, so both use the same two
+building blocks — a sha256 content checksum verified on every read, and
+write-to-temp + fsync + atomic rename so a file is either complete or
+absent (a torn write leaves only a temp file behind, never a plausible
+half-entry under the real name).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+
+__all__ = ["sha256_hex", "atomic_write_bytes", "atomic_write_text"]
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex sha256 of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def atomic_write_bytes(path: str, data: bytes, temp_prefix: str = ".tmp-") -> None:
+    """Write ``data`` to ``path`` atomically and durably.
+
+    The bytes land in a same-directory temp file which is fsynced and
+    then renamed over ``path``; the enclosing directory is fsynced too
+    (best effort — not all platforms allow opening directories), so a
+    crash at any instant leaves either the old file, the new file, or a
+    stray temp file — never a truncated ``path``.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(prefix=temp_prefix, dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def atomic_write_text(
+    path: str, text: str, temp_prefix: str = ".tmp-"
+) -> None:
+    """Atomic, durable UTF-8 text write (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode("utf-8"), temp_prefix=temp_prefix)

@@ -1,0 +1,39 @@
+"""Resettable monotone id counters.
+
+``itertools.count`` exposes no way to read or set its position, which
+makes globals built on it (MPDU sequence numbers, Ethernet frame ids)
+invisible to checkpoints.  :class:`SequenceCounter` is a drop-in
+iterator replacement whose position can be captured and restored, so a
+resumed simulation hands out exactly the ids the original run would
+have.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SequenceCounter"]
+
+
+class SequenceCounter:
+    """A ``next()``-able monotone counter with readable position."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = int(start)
+
+    def __iter__(self) -> "SequenceCounter":
+        return self
+
+    def __next__(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    def peek(self) -> int:
+        """The value the next ``next()`` call will return."""
+        return self._next
+
+    def reset(self, value: int) -> None:
+        """Set the value the next ``next()`` call will return."""
+        self._next = int(value)
+
+    def __repr__(self) -> str:
+        return f"SequenceCounter(next={self._next})"

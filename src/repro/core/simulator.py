@@ -97,13 +97,14 @@ class SlotSimulator:
         self.streams = (
             streams if streams is not None else RandomStreams(scenario.seed)
         )
+        #: Loop state (stations, arrival processes, counters, clock).
+        #: Created lazily by :meth:`advance`; every field is picklable,
+        #: which is what makes this simulator checkpointable — see
+        #: :mod:`repro.checkpoint.slotsim`.
+        self._state: Optional[dict] = None
 
-    def run(self) -> SimulationResult:
-        """Execute the simulation and return its result."""
+    def _initialize(self) -> None:
         scenario = self.scenario
-        timing = scenario.timing
-        slot, ts, tc = timing.slot, timing.ts, timing.tc
-
         stations: List[Station] = []
         arrivals: List[Optional[_ArrivalProcess]] = []
         for i, cfg in enumerate(scenario.stations):
@@ -121,18 +122,67 @@ class SlotSimulator:
                 station.sleep()
                 arrivals.append(proc)
 
-        trace = Trace(record_slots=self.record_slots) if self.record_trace else None
-        delays: List[float] = []
-        frame_start = [0.0] * len(stations)
+        self._state = {
+            "stations": stations,
+            "arrivals": arrivals,
+            "trace": (
+                Trace(record_slots=self.record_slots)
+                if self.record_trace
+                else None
+            ),
+            "delays": [],
+            "frame_start": [0.0] * len(stations),
+            "t": 0.0,
+            "successes": 0,
+            "collisions": 0,
+            "collision_events": 0,
+            "idle_slots": 0,
+        }
 
-        t = 0.0
-        successes = 0
-        collisions = 0
-        collision_events = 0
-        idle_slots = 0
+    @property
+    def finished(self) -> bool:
+        """Whether the main loop has consumed the configured sim time."""
+        state = self._state
+        return state is not None and state["t"] > self.scenario.sim_time_us
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return its result."""
+        self.advance(None)
+        return self.result()
+
+    def advance(self, pause_at_us: Optional[float]) -> bool:
+        """Run slot events until ``pause_at_us`` (or to completion).
+
+        Returns ``True`` once the simulation has finished.  Pausing
+        happens only *between* slot events, so a run interleaved with
+        any number of pauses (and checkpoint snapshots) executes the
+        exact same iterations as an uninterrupted one.
+        """
+        if self._state is None:
+            self._initialize()
+        state = self._state
+        scenario = self.scenario
+        timing = scenario.timing
+        slot, ts, tc = timing.slot, timing.ts, timing.tc
+
+        stations = state["stations"]
+        arrivals = state["arrivals"]
+        trace = state["trace"]
+        delays = state["delays"]
+        frame_start = state["frame_start"]
+
+        t = state["t"]
+        successes = state["successes"]
+        collisions = state["collisions"]
+        collision_events = state["collision_events"]
+        idle_slots = state["idle_slots"]
         sim_time = scenario.sim_time_us
 
+        paused = False
         while t <= sim_time:
+            if pause_at_us is not None and t >= pause_at_us:
+                paused = True
+                break
             # Wake unsaturated stations whose arrivals are due.
             for i, proc in enumerate(arrivals):
                 if proc is None:
@@ -216,6 +266,20 @@ class SlotSimulator:
                     else:
                         station.sleep()
 
+        state["t"] = t
+        state["successes"] = successes
+        state["collisions"] = collisions
+        state["collision_events"] = collision_events
+        state["idle_slots"] = idle_slots
+        return not paused
+
+    def result(self) -> SimulationResult:
+        """Assemble the result of a finished run."""
+        if not self.finished:
+            raise RuntimeError("simulation has not run to completion")
+        state = self._state
+        stations = state["stations"]
+        arrivals = state["arrivals"]
         stats = [
             StationStats(
                 index=s.index,
@@ -229,15 +293,17 @@ class SlotSimulator:
             for i, s in enumerate(stations)
         ]
         return SimulationResult(
-            scenario=scenario,
-            duration_us=t,
-            successes=successes,
-            collisions=collisions,
-            collision_events=collision_events,
-            idle_slots=idle_slots,
+            scenario=self.scenario,
+            duration_us=state["t"],
+            successes=state["successes"],
+            collisions=state["collisions"],
+            collision_events=state["collision_events"],
+            idle_slots=state["idle_slots"],
             stations=stats,
-            trace=trace,
-            delays_us=np.array(delays) if self.record_delays else None,
+            trace=state["trace"],
+            delays_us=(
+                np.array(state["delays"]) if self.record_delays else None
+            ),
         )
 
 

@@ -97,6 +97,38 @@ class Environment:
         self._eid += 1
         heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
+    def schedule_at(
+        self, event: Event, at: float, priority: int = NORMAL
+    ) -> None:
+        """Schedule ``event`` at the *exact* absolute time ``at``.
+
+        ``schedule(delay=at - now)`` re-derives the firing time as
+        ``now + (at - now)``, which is not always the same float as
+        ``at``.  Checkpoint restore re-creates pending timers from
+        recorded absolute wake times and must reproduce the original
+        firing instants bit-exactly, so it needs this exact form.
+        """
+        if at < self._now:
+            raise ValueError(
+                f"cannot schedule at {at}, before the current time "
+                f"({self._now})"
+            )
+        self._eid += 1
+        heappush(self._queue, (at, priority, self._eid, event))
+
+    def timeout_at(self, at: float, value: Any = None) -> Event:
+        """An event firing at the exact absolute time ``at``.
+
+        The restore-side twin of :meth:`timeout`: a restarted process's
+        first sleep targets the wake instant its pre-checkpoint
+        incarnation had already scheduled, as an exact float.
+        """
+        event = Event(self)
+        event._ok = True
+        event._value = value
+        self.schedule_at(event, at)
+        return event
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else inf
@@ -169,6 +201,56 @@ class Environment:
                     "triggered"
                 ) from None
         return None
+
+    def run_until_at(self, at: float) -> Any:
+        """Run until the clock reaches the *exact* float ``at``.
+
+        :meth:`run` schedules its stop event via delay arithmetic
+        (``now + (at - now)``); a resumed simulation must instead stop
+        at the bit-exact instant the original run stopped at, which the
+        checkpoint records.  Semantics otherwise match ``run(until=at)``.
+        """
+        if at <= self._now:
+            raise ValueError(
+                f"until ({at}) must be greater than the current "
+                f"simulation time ({self._now})"
+            )
+        event = Event(self)
+        event._ok = True
+        event._value = None
+        self.schedule_at(event, at, priority=0)
+        event.callbacks.append(_stop_callback)
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            return None
+
+    # -- checkpoint hooks -------------------------------------------------
+    def clock_state(self) -> dict:
+        """The scheduler state a checkpoint must capture.
+
+        The pending event queue itself is *not* part of this state:
+        events hold generator continuations and cannot be serialized.
+        Checkpoints are only taken at safe points where every pending
+        event is a timer that its owning process knows how to re-create
+        (see :mod:`repro.engine.marks`).
+        """
+        return {"now": self._now, "eid": self._eid}
+
+    def restore_clock_state(self, state: dict) -> None:
+        """Reset the scheduler onto a checkpoint's clock.
+
+        Discards every pending event (a freshly rebuilt simulation has
+        initializer events queued that must never run) and restores the
+        clock and the event-id counter, so that tie-breaking of
+        same-time events stays consistent with the original run.
+        """
+        self._queue.clear()
+        self._now = float(state["now"])
+        self._eid = int(state["eid"])
 
 
 def _stop_callback(event: Event) -> None:

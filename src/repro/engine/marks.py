@@ -1,0 +1,108 @@
+"""Process marks: the protocol that makes generator processes resumable.
+
+Generator-based processes cannot be pickled, so a checkpoint cannot
+capture a process mid-execution.  Instead, every *restartable* process
+keeps a :class:`ProcMark` that it updates immediately before each
+``yield`` of a sleep timer:
+
+- ``scheduled_us`` — the instant the pending sleep was scheduled (the
+  process's last wake time);
+- ``wake_us`` — the absolute instant the pending sleep will fire;
+- ``phase`` / ``data`` — which park site of the generator the process
+  sleeps at, when the resume action depends on it;
+- ``seq`` — a global creation sequence number (the environment's event
+  id right after the process was started), used for tie-breaking;
+- ``done`` — set when the generator exits, so restore skips it.
+
+On restore, a fresh generator is started per live mark whose first act
+is ``yield env.timeout_at(mark.wake_us)`` followed by the exact code the
+original generator would have executed at that wake.  Restart order is
+``sorted by (scheduled_us, seq)``: in the original run, a timer
+scheduled earlier carries a smaller event id, and ties at equal
+scheduling instants resolve by prior event order, which roots at process
+creation order — i.e. at ``seq``.  Restarting in that order therefore
+reproduces the original heap tie-breaking for timers that fire at the
+same instant, which is what makes resumed runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Tuple
+
+__all__ = ["ProcMark", "restart_order"]
+
+
+@dataclasses.dataclass
+class ProcMark:
+    """Resume bookmark of one restartable process."""
+
+    #: Stable identity of the process across a rebuild, e.g.
+    #: ``("source", 2)`` or ``("chanest", "02:00:00:00:00:01")``.
+    key: Tuple[Any, ...]
+    #: Creation sequence (environment event id stamped at process start).
+    seq: int = 0
+    #: Instant the pending sleep was scheduled (last wake time).
+    scheduled_us: float = 0.0
+    #: Absolute instant the pending sleep fires.
+    wake_us: float = 0.0
+    #: Park-site label, for generators with several sleep sites.
+    phase: str = ""
+    #: Extra resume context (must stay picklable and JSON-friendly).
+    data: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Set when the generator exits; done marks are not restarted.
+    done: bool = False
+
+    def stamp_created(self, env) -> None:
+        """Record the creation sequence right after ``env.process(...)``.
+
+        The initializer event of a fresh process is the most recently
+        scheduled event, so the environment's event-id counter *is* the
+        process's creation sequence number.
+        """
+        self.seq = env._eid
+
+    def sleeping(
+        self, env, wake_us: float, phase: str = "", **data: Any
+    ) -> None:
+        """Record a pending sleep; call immediately before the yield."""
+        self.scheduled_us = env.now
+        self.wake_us = wake_us
+        self.phase = phase
+        if data:
+            self.data.update(data)
+
+    def finish(self) -> None:
+        """Mark the generator as exited (nothing to restart)."""
+        self.done = True
+
+    def as_state(self) -> Dict[str, Any]:
+        return {
+            "key": tuple(self.key),
+            "seq": self.seq,
+            "scheduled_us": self.scheduled_us,
+            "wake_us": self.wake_us,
+            "phase": self.phase,
+            "data": dict(self.data),
+            "done": self.done,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "ProcMark":
+        return cls(
+            key=tuple(state["key"]),
+            seq=int(state["seq"]),
+            scheduled_us=float(state["scheduled_us"]),
+            wake_us=float(state["wake_us"]),
+            phase=str(state["phase"]),
+            data=dict(state["data"]),
+            done=bool(state["done"]),
+        )
+
+
+def restart_order(marks) -> list:
+    """Live marks sorted into the order their processes must restart in."""
+    return sorted(
+        (m for m in marks if not m.done),
+        key=lambda m: (m.scheduled_us, m.seq),
+    )

@@ -17,10 +17,11 @@ whose overhead §3.3 measures:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.parameters import PriorityClass
 from ..engine.environment import Environment
+from ..engine.marks import ProcMark
 from ..engine.randomness import RandomStreams
 from ..mac.coordinator import ContentionCoordinator
 from ..mac.queueing import AggregationPolicy
@@ -74,6 +75,16 @@ class Avln:
         self.security_enabled = security_enabled
         self.network_password = network_password
         self._beacon_sequence = 0
+        #: Resume bookmarks of the management-plane processes, keyed
+        #: ``("beacon",)`` / ``("assoc", mac)`` / ``("chanest", mac)``.
+        self._proc_marks: Dict[Tuple, ProcMark] = {}
+
+    def _mark(self, *key) -> ProcMark:
+        mark = self._proc_marks.get(key)
+        if mark is None:
+            mark = ProcMark(key)
+            self._proc_marks[key] = mark
+        return mark
 
     # -- membership ------------------------------------------------------------
     def add_device(
@@ -116,10 +127,13 @@ class Avln:
             self.cco = device
             if self.beacons_enabled:
                 self.env.process(self._beacon_process())
+                self._mark("beacon").stamp_created(self.env)
         else:
             self.env.process(self._association_process(device))
+            self._mark("assoc", device.mac_addr).stamp_created(self.env)
         if self.channel_est_enabled:
             self.env.process(self._channel_est_process(device))
+            self._mark("chanest", device.mac_addr).stamp_created(self.env)
         return device
 
     def remove_device(self, device: HomePlugAVDevice) -> None:
@@ -154,59 +168,155 @@ class Avln:
     def all_authenticated(self) -> bool:
         return all(device.authenticated for device in self.devices)
 
+    # -- checkpoint restore ------------------------------------------------
+    def adopt_mark(self, mark: ProcMark) -> None:
+        """Install a restored bookmark over the freshly built one."""
+        self._proc_marks[tuple(mark.key)] = mark
+
+    def restart_marked(self, mark: ProcMark) -> bool:
+        """Restart the process behind a live restored bookmark.
+
+        Returns ``False`` (after retiring the mark) when the process's
+        device has already left the network: the pending wake of such a
+        process observes ``detached`` and exits without side effects, so
+        skipping the restart cannot change any simulated outcome.
+        """
+        key = tuple(mark.key)
+        kind = key[0]
+        if kind == "beacon":
+            self.env.process(
+                self._beacon_process(resume_wake_us=mark.wake_us)
+            )
+            mark.stamp_created(self.env)
+            return True
+        try:
+            device = self.find_device(key[1])
+        except KeyError:
+            mark.finish()
+            return False
+        if kind == "assoc":
+            self.env.process(
+                self._association_process(
+                    device, resume_wake_us=mark.wake_us
+                )
+            )
+        elif kind == "chanest":
+            self.env.process(
+                self._channel_est_process(
+                    device,
+                    resume_wake_us=mark.wake_us,
+                    resume_phase=mark.phase,
+                )
+            )
+        else:
+            raise ValueError(f"unknown process mark {key!r}")
+        mark.stamp_created(self.env)
+        return True
+
     # -- management-plane processes -------------------------------------------
-    def _beacon_process(self):
+    def _emit_beacon(self) -> None:
+        self._beacon_sequence += 1
+        payload = BeaconPayload(
+            nid=self.nid,
+            cco_tei=self.cco.tei,
+            sequence=self._beacon_sequence,
+            beacon_period_ms=int(self.beacon_period_us / 1000),
+        )
+        self.cco.send_mme_over_wire(
+            MmeType.CC_BEACON | MMTYPE_IND,
+            payload.encode(),
+            dst_mac="ff:ff:ff:ff:ff:ff",
+            dest_tei=0xFF,
+            priority=PriorityClass.CA3,
+        )
+
+    def _beacon_process(self, resume_wake_us: Optional[float] = None):
         """CCo beacons every beacon period, via CA3 CSMA access."""
         assert self.cco is not None
+        mark = self._mark("beacon")
+        if resume_wake_us is not None:
+            # A live wake emits a beacon; the restored first wake must too.
+            yield self.env.timeout_at(resume_wake_us)
+            self._emit_beacon()
         while True:
+            mark.sleeping(self.env, self.env.now + self.beacon_period_us)
             yield self.env.timeout(self.beacon_period_us)
-            self._beacon_sequence += 1
-            payload = BeaconPayload(
-                nid=self.nid,
-                cco_tei=self.cco.tei,
-                sequence=self._beacon_sequence,
-                beacon_period_ms=int(self.beacon_period_us / 1000),
-            )
-            self.cco.send_mme_over_wire(
-                MmeType.CC_BEACON | MMTYPE_IND,
-                payload.encode(),
-                dst_mac="ff:ff:ff:ff:ff:ff",
-                dest_tei=0xFF,
-                priority=PriorityClass.CA3,
-            )
+            self._emit_beacon()
 
-    def _association_process(self, device: HomePlugAVDevice):
+    def _association_process(
+        self,
+        device: HomePlugAVDevice,
+        resume_wake_us: Optional[float] = None,
+    ):
         """Station startup: wait a beat, then associate (retry if lost)."""
-        rng = self.streams.stream("assoc", device.mac_addr)
-        yield self.env.timeout(float(rng.uniform(1_000.0, 20_000.0)))
+        mark = self._mark("assoc", device.mac_addr)
+        if resume_wake_us is not None:
+            # The startup offset was drawn before the checkpoint (the
+            # restored stream state is post-draw); every park site of
+            # this process resumes into the same condition checks a live
+            # wake runs, so no phase tracking is needed.
+            yield self.env.timeout_at(resume_wake_us)
+        else:
+            rng = self.streams.stream("assoc", device.mac_addr)
+            delay = float(rng.uniform(1_000.0, 20_000.0))
+            mark.sleeping(self.env, self.env.now + delay, phase="startup")
+            yield self.env.timeout(delay)
         while not device.associated and not device.node.detached:
             device.request_association()
             # Re-try if the confirm has not arrived within 100 ms.
+            mark.sleeping(self.env, self.env.now + 100_000.0, phase="assoc")
             yield self.env.timeout(100_000.0)
         if self.security_enabled:
             # Authenticate: fetch the NEK.  A device with the wrong
             # NMK keeps being refused and retries at a slow cadence.
             while not device.authenticated and not device.node.detached:
                 device.request_network_key()
+                mark.sleeping(
+                    self.env, self.env.now + 200_000.0, phase="auth"
+                )
                 yield self.env.timeout(200_000.0)
+        mark.finish()
 
-    def _channel_est_process(self, device: HomePlugAVDevice):
+    def _channel_est_step(self, device: HomePlugAVDevice) -> bool:
+        """One wake of the channel-estimation loop; False = exit."""
+        if device.node.detached:
+            return False
+        if not device.associated:
+            return True
+        for peer_mac, tei in list(device.address_table.items()):
+            if peer_mac != device.mac_addr and tei != 0xFF:
+                device.send_channel_estimation(peer_mac)
+        return True
+
+    def _channel_est_process(
+        self,
+        device: HomePlugAVDevice,
+        resume_wake_us: Optional[float] = None,
+        resume_phase: Optional[str] = None,
+    ):
         """Periodic tone-map indications towards every known peer."""
         rng = self.streams.stream("chanest", device.mac_addr)
-        yield self.env.timeout(float(rng.uniform(0.0, self.channel_est_period_us)))
+        mark = self._mark("chanest", device.mac_addr)
+        if resume_phase is None:
+            delay = float(rng.uniform(0.0, self.channel_est_period_us))
+            # The startup wake does not send (the loop body runs only
+            # after in-loop sleeps), hence the phase distinction.
+            mark.sleeping(self.env, self.env.now + delay, phase="startup")
+            yield self.env.timeout(delay)
+        else:
+            yield self.env.timeout_at(resume_wake_us)
+            if resume_phase == "loop" and not self._channel_est_step(device):
+                mark.finish()
+                return
         while not device.node.detached:
-            yield self.env.timeout(
-                float(
-                    rng.uniform(
-                        0.8 * self.channel_est_period_us,
-                        1.2 * self.channel_est_period_us,
-                    )
+            delay = float(
+                rng.uniform(
+                    0.8 * self.channel_est_period_us,
+                    1.2 * self.channel_est_period_us,
                 )
             )
-            if device.node.detached:
+            mark.sleeping(self.env, self.env.now + delay, phase="loop")
+            yield self.env.timeout(delay)
+            if not self._channel_est_step(device):
                 break
-            if not device.associated:
-                continue
-            for peer_mac, tei in list(device.address_table.items()):
-                if peer_mac != device.mac_addr and tei != 0xFF:
-                    device.send_channel_estimation(peer_mac)
+        mark.finish()

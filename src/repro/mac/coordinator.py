@@ -114,6 +114,10 @@ class ContentionCoordinator:
         self.log = RoundLog()
         #: Optional :class:`repro.obs.probe.MacProbe` (``None`` = off).
         self.probe = None
+        #: Optional callable invoked at every round boundary — the one
+        #: instant where no contention state is in flight, which makes
+        #: it the safe point for checkpoint snapshots (``None`` = off).
+        self.checkpoint_hook = None
         self._work_event: Optional[Event] = None
         self._process = env.process(self._run())
         self._max_idle_slots = max_idle_slots_between_prs
@@ -143,6 +147,17 @@ class ContentionCoordinator:
     def _signal_work(self) -> None:
         if self._work_event is not None and not self._work_event.triggered:
             self._work_event.succeed()
+
+    def restart(self) -> None:
+        """Re-create the contention process (checkpoint restore).
+
+        Snapshots are only taken at round boundaries — the top of the
+        ``_run`` loop — so a restored coordinator restarts its process
+        from scratch and immediately re-evaluates pending traffic, which
+        is exactly what the live process would have done next.
+        """
+        self._work_event = None
+        self._process = self.env.process(self._run())
 
     # -- main process -----------------------------------------------------------
     def _pending_priorities(self) -> List[PriorityClass]:
@@ -215,6 +230,8 @@ class ContentionCoordinator:
                     yield from self._transmit_collision(attempters, contenders)
                 transmitted = True
             self.log.rounds += 1
+            if self.checkpoint_hook is not None:
+                self.checkpoint_hook()
 
     # -- transmissions ------------------------------------------------------------
     def _transmit_success(self, winner: MacNode, contenders: List[MacNode]):

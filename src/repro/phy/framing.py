@@ -18,9 +18,9 @@ error bitmap; a collision is acknowledged with all PBs marked errored
 from __future__ import annotations
 
 import dataclasses
-import itertools
 from typing import List, Optional, Tuple
 
+from ..core.counters import SequenceCounter
 from ..core.parameters import (
     MAX_MPDUS_PER_BURST,
     PB_SIZE_BYTES,
@@ -36,7 +36,17 @@ __all__ = [
     "segment_into_pbs",
 ]
 
-_mpdu_sequence = itertools.count(1)
+_mpdu_sequence = SequenceCounter(1)
+
+
+def mpdu_sequence_state() -> int:
+    """Checkpoint hook: the next MPDU id to be handed out."""
+    return _mpdu_sequence.peek()
+
+
+def restore_mpdu_sequence(value: int) -> None:
+    """Checkpoint hook: restore the MPDU id counter."""
+    _mpdu_sequence.reset(value)
 
 
 @dataclasses.dataclass(frozen=True)

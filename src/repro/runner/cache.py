@@ -12,29 +12,31 @@ seed derivation.  The key is therefore
   hashing);
 - different whenever any configuration field differs.
 
-Entries are written atomically (temp file + ``os.replace``) so an
-interrupted run never leaves a truncated entry behind under its final
-name; a corrupted or truncated entry that does appear is detected on
-read (JSON parse + schema check) and treated as a miss, never crashed
-on — the point is simply recomputed and the entry rewritten.
+Entries are written atomically and durably (temp file + fsync +
+``os.replace``, via the same :mod:`repro.checkpoint.integrity` helpers
+the checkpoint container uses) so an interrupted run never leaves a
+truncated entry behind under its final name; a corrupted or truncated
+entry that does appear is detected on read (JSON parse + schema check +
+sha256 content checksum of the stored result) and treated as a miss,
+never crashed on — the entry is evicted and the point recomputed.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from ..checkpoint.integrity import atomic_write_text, sha256_hex
 from .serialize import canonical_json
 
-__all__ = ["cache_key", "ResultCache", "CacheEntryError"]
+__all__ = ["cache_key", "ResultCache", "CacheEntryError", "result_checksum"]
 
 #: Schema version folded into every key: bump to invalidate all entries
-#: when the stored result format changes.
-CACHE_FORMAT_VERSION = 1
+#: when the stored result format changes.  v2 added the sha256 result
+#: checksum.
+CACHE_FORMAT_VERSION = 2
 
 #: Prefix of in-flight atomic-write temp files.  They end in ``.json``
 #: too, so entry iteration must filter on this prefix — otherwise
@@ -58,6 +60,16 @@ def cache_key(description: Dict[str, Any]) -> str:
         {"version": CACHE_FORMAT_VERSION, "task": description}
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def result_checksum(result: Dict[str, Any]) -> str:
+    """sha256 of the canonical JSON of a stored result.
+
+    Stored in every entry and re-verified on every read, so a bit flip
+    anywhere in the result payload — not just a torn JSON — turns the
+    entry into a detected miss instead of a silently wrong sweep point.
+    """
+    return sha256_hex(canonical_json(result).encode("utf-8"))
 
 
 class ResultCache:
@@ -104,6 +116,8 @@ class ResultCache:
                 raise CacheEntryError("entry key mismatch")
             if "result" not in entry:
                 raise CacheEntryError("entry has no result")
+            if entry.get("sha256") != result_checksum(entry["result"]):
+                raise CacheEntryError("result checksum mismatch")
         except (json.JSONDecodeError, CacheEntryError):
             self.misses += 1
             self.corrupt += 1
@@ -128,7 +142,12 @@ class ResultCache:
         file and then given up silently — memoization is an
         optimization, never a correctness dependency.
         """
-        entry = {"key": key, "task": description, "result": result}
+        entry = {
+            "key": key,
+            "task": description,
+            "result": result,
+            "sha256": result_checksum(result),
+        }
         payload = json.dumps(entry)
         for final_attempt in (False, True):
             try:
@@ -140,19 +159,9 @@ class ResultCache:
 
     def _write_entry(self, key: str, payload: str) -> None:
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=self.cache_dir, prefix=TEMP_PREFIX, suffix=".json"
+        atomic_write_text(
+            str(self.path_for(key)), payload, temp_prefix=TEMP_PREFIX
         )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-            os.replace(tmp, self.path_for(key))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
 
     def entry_paths(self):
         """Paths of the committed entries (in-flight temp files excluded)."""

@@ -67,7 +67,7 @@ from ..core.results import SimulationResult, StationStats
 from .cache import ResultCache, cache_key
 from .seeding import SeedSpec
 from .serialize import scenario_to_jsonable
-from .tasks import Task, TaskKind, run_task
+from .tasks import Task, TaskKind, checkpoint_status, run_task
 from .telemetry import TaskFailure, TraceRecorder
 
 __all__ = [
@@ -130,6 +130,28 @@ class RunnerConfig:
     max_pool_rebuilds:
         Broken-pool rebuilds tolerated per ``run()`` before degrading
         the remaining points to serial in-process execution.
+    checkpoint_dir:
+        When set, ``simulate`` and ``collision_test`` points snapshot
+        their full simulation state into
+        ``checkpoint_dir/<cache_key>/`` as they run, and a (re)run of
+        the same point — after a crash, a kill, or an exhausted-retry
+        failure — resumes from the newest valid snapshot instead of
+        starting over.  Resumption is bit-identical to an
+        uninterrupted run (the :mod:`repro.checkpoint` invariant), so
+        cache keys and results are unaffected.  ``None`` (default)
+        disables checkpointing.  Points with an ``obs`` capture config
+        run straight through (capture sessions stream artifacts and
+        cannot be re-entered mid-run).
+    checkpoint_every_us:
+        Snapshot cadence in simulated microseconds; ``None`` uses the
+        per-kind defaults (:data:`repro.checkpoint.slotsim
+        .DEFAULT_SLOTSIM_EVERY_US`, :data:`repro.checkpoint
+        .DEFAULT_CHECKPOINT_EVERY_US`).
+    resume:
+        ``True`` (default) resumes checkpointed points from the newest
+        valid snapshot when one exists; ``False`` ignores existing
+        snapshots and recomputes from scratch (still writing fresh
+        ones).
 
     All constraints are validated here at construction time, so a bad
     config fails immediately with a clear message instead of deep
@@ -146,8 +168,23 @@ class RunnerConfig:
     on_failure: str = "raise"
     trace_path: Optional[Union[str, Path]] = None
     max_pool_rebuilds: int = 2
+    checkpoint_dir: Optional[Union[str, Path]] = None
+    checkpoint_every_us: Optional[float] = None
+    resume: bool = True
 
     def __post_init__(self) -> None:
+        if (
+            self.checkpoint_every_us is not None
+            and self.checkpoint_every_us <= 0
+        ):
+            raise ValueError(
+                "checkpoint_every_us must be > 0 or None, "
+                f"got {self.checkpoint_every_us}"
+            )
+        if self.checkpoint_every_us is not None and self.checkpoint_dir is None:
+            raise ValueError(
+                "checkpoint_every_us requires checkpoint_dir to be set"
+            )
         if self.max_workers is not None and self.max_workers < 0:
             raise ValueError(
                 "max_workers must be >= 0 or None (0/None = one per CPU), "
@@ -231,6 +268,9 @@ class ExperimentRunner:
         backoff_base_s: float = 0.05,
         backoff_max_s: float = 2.0,
         max_pool_rebuilds: int = 2,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every_us: Optional[float] = None,
+        resume: bool = True,
         config: Optional[RunnerConfig] = None,
     ) -> None:
         self.config = (
@@ -247,6 +287,9 @@ class ExperimentRunner:
                 backoff_base_s=backoff_base_s,
                 backoff_max_s=backoff_max_s,
                 max_pool_rebuilds=max_pool_rebuilds,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every_us=checkpoint_every_us,
+                resume=resume,
             )
         )
         self.cache = (
@@ -290,7 +333,13 @@ class ExperimentRunner:
                             "cache_hit", task_index=i, kind=task.kind
                         )
                         continue
-                pending.append(_Pending(index=i, task=task, key=key))
+                pending.append(
+                    _Pending(
+                        index=i,
+                        task=self._with_checkpointing(task, key),
+                        key=key,
+                    )
+                )
                 self.trace.record("queued", task_index=i, kind=task.kind)
             self._progress(state.done, state.total)
 
@@ -320,6 +369,32 @@ class ExperimentRunner:
             if self.config.trace_path is not None:
                 self.trace.flush_jsonl(self.config.trace_path)
         return results
+
+    #: Task kinds whose executors understand the checkpoint runtime.
+    _CHECKPOINTABLE = (TaskKind.SIMULATE, TaskKind.COLLISION_TEST)
+
+    def _with_checkpointing(self, task: Task, key: str) -> Task:
+        """Attach the per-point checkpoint runtime, if configured.
+
+        Each point snapshots into its own ``checkpoint_dir/<cache_key>``
+        subdirectory: the cache key already identifies the point's full
+        description, so concurrent sweep points never share a store,
+        and a re-run of the same sweep finds its snapshots again.  A
+        task that already carries an explicit ``runtime`` is left
+        untouched.  The runtime is excluded from ``describe()``, so
+        ``key`` (computed by the caller) is unaffected.
+        """
+        if self.config.checkpoint_dir is None:
+            return task
+        if task.kind not in self._CHECKPOINTABLE or task.runtime is not None:
+            return task
+        runtime: Dict[str, Any] = {
+            "checkpoint_dir": str(Path(self.config.checkpoint_dir) / key),
+            "resume": self.config.resume,
+        }
+        if self.config.checkpoint_every_us is not None:
+            runtime["checkpoint_every_us"] = self.config.checkpoint_every_us
+        return dataclasses.replace(task, runtime=runtime)
 
     # -- serial path -------------------------------------------------------
     def _run_serial(
@@ -571,6 +646,20 @@ class ExperimentRunner:
         results[entry.index] = result
         state.executed += 1
         state.done += 1
+        checkpoint = envelope.get("checkpoint")
+        if checkpoint and checkpoint.get("resume_seq") is not None:
+            # This attempt picked the simulation up mid-run instead of
+            # recomputing from t=0 — the crash-recovery path working.
+            self.trace.record(
+                "checkpoint_resume",
+                task_index=entry.index,
+                kind=entry.task.kind,
+                attempt=entry.attempt,
+                detail=(
+                    f"seq={checkpoint['resume_seq']} "
+                    f"sim_time_us={checkpoint['resume_sim_time_us']}"
+                ),
+            )
         self.trace.record(
             "finished",
             task_index=entry.index,
@@ -619,6 +708,8 @@ class ExperimentRunner:
             error_type=type(exc).__name__,
             error=str(exc) or repr(exc),
             timed_out=timed_out,
+            # Where a re-run would resume this point from, if anywhere.
+            checkpoint=checkpoint_status(entry.task),
         )
         state.failures.append(failure)
         state.done += 1

@@ -54,7 +54,13 @@ from .serialize import (
     timing_from_jsonable,
 )
 
-__all__ = ["Task", "TaskKind", "execute_task", "run_task"]
+__all__ = [
+    "Task",
+    "TaskKind",
+    "checkpoint_status",
+    "execute_task",
+    "run_task",
+]
 
 
 class TaskKind:
@@ -72,9 +78,23 @@ class Task:
     kind: str
     payload: Dict[str, Any]
     seed: Optional[SeedSpec] = None
+    #: Execution-time settings that must NOT change the result — today
+    #: the checkpoint/resume knobs (``checkpoint_dir``,
+    #: ``checkpoint_every_us``, ``resume``).  Deliberately excluded from
+    #: :meth:`describe` and from equality: a checkpointed run is
+    #: bit-identical to an uninterrupted one (the tentpole invariant of
+    #: :mod:`repro.checkpoint`), so it shares the same cache key.
+    runtime: Optional[Dict[str, Any]] = dataclasses.field(
+        default=None, compare=False
+    )
 
     def describe(self) -> Dict[str, Any]:
-        """The JSON-able description hashed into the cache key."""
+        """The JSON-able description hashed into the cache key.
+
+        ``runtime`` is intentionally absent: it only controls *how*
+        the point executes (snapshot cadence, crash resumption), never
+        what numbers come out.
+        """
         return {
             "kind": self.kind,
             "payload": self.payload,
@@ -82,17 +102,54 @@ class Task:
         }
 
 
-def _run_simulate(payload: Dict[str, Any], seed: SeedSpec) -> Dict[str, Any]:
+def _run_simulate(
+    payload: Dict[str, Any],
+    seed: SeedSpec,
+    runtime: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     from ..core.simulator import SlotSimulator
 
     scenario = scenario_from_jsonable(payload["scenario"])
     record_winners = bool(payload.get("record_winners", False))
-    sim = SlotSimulator(
-        scenario,
-        record_trace=record_winners,
-        streams=streams_for(seed),
-    )
-    result = sim.run()
+    checkpoint_dir = (runtime or {}).get("checkpoint_dir")
+    if checkpoint_dir:
+        from ..checkpoint import (
+            CheckpointStore,
+            restore_slot_simulator,
+            run_simulate_with_checkpoints,
+        )
+
+        store = CheckpointStore(checkpoint_dir)
+        newest = (
+            store.latest_valid()
+            if (runtime or {}).get("resume", True)
+            else None
+        )
+        if newest is not None and newest.kind == "slotsim":
+            sim = restore_slot_simulator(scenario, newest.state)
+        else:
+            sim = SlotSimulator(
+                scenario,
+                record_trace=record_winners,
+                streams=streams_for(seed),
+            )
+        result = run_simulate_with_checkpoints(
+            sim,
+            store,
+            every_us=(runtime or {}).get("checkpoint_every_us"),
+            meta={
+                "kind": TaskKind.SIMULATE,
+                "payload": payload,
+                "seed": seed.as_jsonable() if seed else None,
+            },
+        )
+    else:
+        sim = SlotSimulator(
+            scenario,
+            record_trace=record_winners,
+            streams=streams_for(seed),
+        )
+        result = sim.run()
     out: Dict[str, Any] = {
         "duration_us": result.duration_us,
         "successes": result.successes,
@@ -118,7 +175,9 @@ def _run_simulate(payload: Dict[str, Any], seed: SeedSpec) -> Dict[str, Any]:
 
 
 def _run_model_curve(
-    payload: Dict[str, Any], seed: Optional[SeedSpec]
+    payload: Dict[str, Any],
+    seed: Optional[SeedSpec],
+    runtime: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     from ..analysis.bianchi import Bianchi80211Model
     from ..analysis.model import Model1901
@@ -146,11 +205,64 @@ def _run_model_curve(
 
 
 def _run_collision_test(
-    payload: Dict[str, Any], seed: Optional[SeedSpec]
+    payload: Dict[str, Any],
+    seed: Optional[SeedSpec],
+    runtime: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     obs = payload.get("obs")
     chaos = payload.get("chaos")
     capture = None
+    checkpoint_dir = (runtime or {}).get("checkpoint_dir")
+    if checkpoint_dir and obs is None:
+        # Checkpointed execution: bit-identical to the plain/chaos
+        # branches below (enforced by tests/checkpoint/), so the result
+        # is safe to share a cache key with uncheckpointed runs.  An
+        # ``obs`` capture session streams artifacts to disk as the sim
+        # runs and cannot be re-entered mid-run, so obs points fall
+        # through to straight-through execution.
+        from ..checkpoint import (
+            CheckpointStore,
+            checkpointed_collision_test,
+            resume_collision_test,
+        )
+
+        store = CheckpointStore(checkpoint_dir)
+        newest = (
+            store.latest_valid()
+            if (runtime or {}).get("resume", True)
+            else None
+        )
+        if newest is not None:
+            outcome = resume_collision_test(store, checkpoint=newest)
+        else:
+            outcome = checkpointed_collision_test(
+                payload["num_stations"],
+                store,
+                duration_us=payload["duration_us"],
+                warmup_us=payload["warmup_us"],
+                seed=payload["seed"],
+                checkpoint_every_us=(runtime or {}).get(
+                    "checkpoint_every_us"
+                ),
+                plan=chaos,
+                **payload.get("testbed_kwargs", {}),
+            )
+        if chaos is not None:
+            test, chaos_report = outcome
+        else:
+            test, chaos_report = outcome, None
+        result = {
+            "num_stations": test.num_stations,
+            "duration_us": test.duration_us,
+            "per_station": [
+                [mac, int(acked), int(collided)]
+                for mac, acked, collided in test.per_station
+            ],
+            "goodput_mbps": test.goodput_mbps,
+        }
+        if chaos_report is not None:
+            result["chaos"] = chaos_report
+        return result
     if chaos is not None:
         # Chaos plan in the payload → fault-injected test.  The plan
         # dict is part of Task.describe(), hence of the cache key, so
@@ -231,7 +343,38 @@ def execute_task(task: Task) -> Dict[str, Any]:
         executor = _EXECUTORS[task.kind]
     except KeyError:
         raise ValueError(f"unknown task kind {task.kind!r}") from None
-    return executor(task.payload, task.seed)
+    return executor(task.payload, task.seed, task.runtime)
+
+
+def checkpoint_status(task: Task) -> Optional[Dict[str, Any]]:
+    """What the checkpoint store holds for ``task`` right now.
+
+    ``None`` when the task carries no checkpoint runtime.  Otherwise a
+    small JSON-able summary: the store directory, how many valid
+    snapshots it holds, and — when resumption is enabled and a valid
+    snapshot exists — the seq/sim-time the next execution will resume
+    from.  Used by the runner for trace events and
+    :class:`~repro.runner.telemetry.TaskFailure` records.
+    """
+    runtime = task.runtime or {}
+    directory = runtime.get("checkpoint_dir")
+    if not directory:
+        return None
+    from ..checkpoint import CheckpointStore
+
+    rows = CheckpointStore(directory).entries()
+    valid = [row for row in rows if row["valid"]]
+    info: Dict[str, Any] = {
+        "dir": str(directory),
+        "checkpoints": len(rows),
+        "valid_checkpoints": len(valid),
+        "resume": bool(runtime.get("resume", True)),
+    }
+    if valid and info["resume"]:
+        newest = valid[-1]
+        info["resume_seq"] = newest["seq"]
+        info["resume_sim_time_us"] = newest["header"]["sim_time_us"]
+    return info
 
 
 def run_task(task: Task) -> Dict[str, Any]:
@@ -240,16 +383,23 @@ def run_task(task: Task) -> Dict[str, Any]:
     Wraps :func:`execute_task` in an envelope carrying the executing
     worker's pid and wall-clock duration for the telemetry layer, and
     applies the :mod:`repro.runner.faults` injection hook (a no-op
-    unless ``REPRO_FAULT_INJECT`` is configured).  The runner caches
+    unless ``REPRO_FAULT_INJECT`` is configured).  For checkpointed
+    tasks the envelope also carries the pre-execution
+    :func:`checkpoint_status`, so the runner can trace whether this
+    attempt started fresh or resumed mid-simulation.  The runner caches
     and returns only ``envelope["result"]``.
     """
     from .faults import inject_for_task
 
     inject_for_task(task)
+    checkpoints = checkpoint_status(task)
     started = time.perf_counter()
     result = execute_task(task)
-    return {
+    envelope = {
         "result": result,
         "worker_pid": os.getpid(),
         "elapsed_s": time.perf_counter() - started,
     }
+    if checkpoints is not None:
+        envelope["checkpoint"] = checkpoints
+    return envelope

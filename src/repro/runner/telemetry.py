@@ -73,9 +73,16 @@ class TaskFailure:
     error_type: str
     error: str
     timed_out: bool = False
+    #: For checkpointed tasks: the store directory and what it holds
+    #: (valid snapshot count, newest resumable seq/sim-time) at failure
+    #: time — i.e. exactly where a re-run would pick the point up.
+    checkpoint: Optional[Dict[str, Any]] = None
 
     def as_jsonable(self) -> Dict[str, Any]:
-        return dataclasses.asdict(self)
+        out = dataclasses.asdict(self)
+        if out["checkpoint"] is None:
+            del out["checkpoint"]
+        return out
 
 
 class TraceRecorder(JsonlEventLog):

@@ -14,6 +14,9 @@ Subcommands map to the paper's artifacts:
   experiments (unsaturated load, channel errors + ARQ, access-delay
   model, boosted/legacy coexistence);
 - ``cache`` — inspect or clear the experiment result cache;
+- ``checkpoint`` — inspect/verify a checkpoint store, or resume an
+  interrupted simulation from its newest valid snapshot (bit-identical
+  to the uninterrupted run);
 - ``trace`` — capture JSONL MAC + sniffer-style SoF traces of an
   experiment and cross-check the trace-derived metrics against the
   direct computation (exits non-zero on disagreement > 1e-9);
@@ -34,6 +37,11 @@ Long sweeps survive faults with ``--retries K`` (re-run a crashed
 point up to ``K`` times, same seed — retry cannot change the numbers)
 and ``--task-timeout S`` (kill points hung longer than ``S`` seconds);
 ``--trace FILE`` appends the per-task lifecycle trace as JSONL.
+``--checkpoint-dir DIR`` snapshots every long point's full simulation
+state under ``DIR/<cache_key>/`` as it runs (cadence via
+``--checkpoint-every-us``), so a crashed or killed point resumes from
+its newest valid snapshot instead of recomputing — with bit-identical
+results; ``--no-resume`` ignores existing snapshots.
 """
 
 from __future__ import annotations
@@ -66,6 +74,15 @@ def _timeout_seconds(value: str) -> float:
     if seconds <= 0:
         raise argparse.ArgumentTypeError("--task-timeout must be > 0")
     return seconds
+
+
+def _interval_us(value: str) -> float:
+    interval = float(value)
+    if interval <= 0:
+        raise argparse.ArgumentTypeError(
+            "--checkpoint-every-us must be > 0"
+        )
+    return interval
 
 
 def _add_runner_args(parser: argparse.ArgumentParser) -> None:
@@ -104,6 +121,29 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="append the per-task lifecycle trace to FILE as JSONL",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="snapshot each point's simulation state under "
+        "DIR/<cache_key>/ so crashed points resume instead of "
+        "recomputing (default: off)",
+    )
+    parser.add_argument(
+        "--checkpoint-every-us",
+        type=_interval_us,
+        default=None,
+        metavar="US",
+        help="snapshot cadence in simulated microseconds "
+        "(default: per-kind defaults)",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore existing snapshots and recompute from scratch "
+        "(fresh snapshots are still written)",
+    )
 
 
 def _runner_from_args(args: argparse.Namespace):
@@ -115,6 +155,9 @@ def _runner_from_args(args: argparse.Namespace):
         retries=args.retries,
         task_timeout_s=args.task_timeout,
         trace_path=args.trace,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every_us=args.checkpoint_every_us,
+        resume=not args.no_resume,
     )
 
 
@@ -202,6 +245,28 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--cache-dir", type=str, required=True,
         help="cache directory to operate on",
+    )
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="inspect/verify a checkpoint store or resume a simulation "
+        "from its newest valid snapshot",
+    )
+    checkpoint.add_argument(
+        "action",
+        choices=["inspect", "verify", "resume"],
+        help="inspect: list snapshots; verify: exit non-zero unless "
+        "every snapshot verifies and one is resumable; resume: run "
+        "the checkpointed simulation to completion",
+    )
+    checkpoint.add_argument(
+        "--dir", type=str, required=True,
+        help="checkpoint store directory (one simulation per store)",
+    )
+    checkpoint.add_argument(
+        "--json", type=str, default=None, metavar="FILE",
+        help="also write the inspection rows (inspect/verify) or the "
+        "result summary (resume) to FILE as JSON",
     )
 
     load = sub.add_parser("load", help="unsaturated offered-load sweep")
@@ -314,6 +379,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--recovery", action="store_true",
         help="run the recovery experiment (baseline/faulty/recovered "
         "windows of --duration each) instead of a single test",
+    )
+    chaos.add_argument(
+        "--checkpoint-dir", type=str, default=None, metavar="DIR",
+        help="(with --recovery) snapshot the post-fault state into DIR "
+        "so 'repro-plc checkpoint resume' can re-enter the experiment",
     )
     chaos.add_argument(
         "--json", type=str, default=None, metavar="FILE",
@@ -519,6 +589,149 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from ..checkpoint import CheckpointStore
+    from ..report.tables import format_table
+
+    store = CheckpointStore(args.dir)
+    if args.action in ("inspect", "verify"):
+        rows = store.entries()
+        print(f"checkpoint store : {store.directory}")
+        print(f"snapshots        : {len(rows)}")
+        if rows:
+            print(
+                format_table(
+                    ["seq", "valid", "kind", "sim time (s)", "bytes"],
+                    [
+                        (
+                            row["seq"],
+                            "yes" if row["valid"] else "NO",
+                            row.get("header", {}).get("kind", "?"),
+                            (
+                                f"{row['header']['sim_time_us'] / 1e6:.3f}"
+                                if row["valid"]
+                                else "-"
+                            ),
+                            row["bytes"],
+                        )
+                        for row in rows
+                    ],
+                )
+            )
+            for row in rows:
+                if not row["valid"]:
+                    print(f"  seq {row['seq']}: {row['error']}")
+        if args.json:
+            from ..report.export import write_json
+
+            write_json(args.json, {"dir": store.directory, "entries": rows})
+            print(f"inspection written to {args.json}")
+        if args.action == "verify":
+            invalid = [row for row in rows if not row["valid"]]
+            valid = [row for row in rows if row["valid"]]
+            if invalid:
+                print(f"verify FAILED: {len(invalid)} corrupt snapshot(s)")
+                return 1
+            if not valid:
+                print("verify FAILED: no resumable snapshot")
+                return 1
+            newest = valid[-1]
+            print(
+                f"verify OK: resumable from seq {newest['seq']} "
+                f"(t = {newest['header']['sim_time_us'] / 1e6:.3f} s)"
+            )
+        return 0
+
+    # resume
+    newest = store.latest_valid()
+    if newest is None:
+        print(f"no valid snapshot in {store.directory}")
+        return 1
+    print(
+        f"resuming {newest.kind} from seq {newest.seq} "
+        f"(t = {newest.sim_time_us / 1e6:.3f} s)"
+    )
+    if newest.kind == "testbed" and newest.meta.get("experiment") == "recovery":
+        from ..chaos.recovery import resume_recovery_experiment
+
+        result = resume_recovery_experiment(store, checkpoint=newest)
+        print(f"baseline p            = {result.baseline:.4f}")
+        print(f"faulty p              = {result.faulty:.4f}")
+        print(f"recovered p           = {result.recovered:.4f}")
+        print(f"deviation             = {result.deviation:.4f} "
+              f"(allowed {result.allowed_deviation:.4f})")
+        print(f"converged             = {result.converged}")
+        if args.json:
+            from ..report.export import write_json
+
+            write_json(args.json, result.as_dict())
+            print(f"result written to {args.json}")
+        return 0 if result.converged and result.invariants["green"] else 1
+    if newest.kind == "testbed":
+        from ..checkpoint import resume_collision_test
+
+        outcome = resume_collision_test(store, checkpoint=newest)
+        report = None
+        if isinstance(outcome, tuple):
+            test, report = outcome
+        else:
+            test = outcome
+        print(f"stations              = {test.num_stations}")
+        print(f"duration              = {test.duration_us / 1e6:.1f} s")
+        print(f"sum acked             = {test.sum_acked}")
+        print(f"sum collided          = {test.sum_collided}")
+        print(f"collision probability = {test.collision_probability:.4f}")
+        print(f"goodput at D          = {test.goodput_mbps:.2f} Mbps")
+        summary = {
+            "num_stations": test.num_stations,
+            "duration_us": test.duration_us,
+            "per_station": [list(row) for row in test.per_station],
+            "collision_probability": test.collision_probability,
+            "goodput_mbps": test.goodput_mbps,
+        }
+        if report is not None:
+            for family, ledger in sorted(report["injection"].items()):
+                print(f"  {family}: {ledger}")
+            summary["chaos"] = report
+    elif newest.kind == "slotsim":
+        from ..checkpoint import (
+            restore_slot_simulator,
+            run_simulate_with_checkpoints,
+        )
+        from ..runner.serialize import scenario_from_jsonable
+
+        scenario_json = (newest.meta.get("payload") or {}).get("scenario")
+        if scenario_json is None:
+            print(
+                "snapshot meta carries no scenario; cannot rebuild the "
+                "simulator (was this store written by the runner?)"
+            )
+            return 1
+        sim = restore_slot_simulator(
+            scenario_from_jsonable(scenario_json), newest.state
+        )
+        result = run_simulate_with_checkpoints(
+            sim, store, meta=dict(newest.meta)
+        )
+        print(f"successes             = {result.successes}")
+        print(f"collisions            = {result.collisions}")
+        print(f"collision probability = {result.collision_probability:.6f}")
+        summary = {
+            "successes": result.successes,
+            "collisions": result.collisions,
+            "collision_probability": result.collision_probability,
+        }
+    else:
+        print(f"unknown snapshot kind {newest.kind!r}")
+        return 1
+    if args.json:
+        from ..report.export import write_json
+
+        write_json(args.json, summary)
+        print(f"result written to {args.json}")
+    return 0
+
+
 def _cmd_load(args: argparse.Namespace) -> int:
     from ..experiments.unsaturated import offered_load_sweep, saturation_rate_pps
     from ..report.tables import format_table
@@ -708,11 +921,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from ..chaos.recovery import run_recovery_experiment
 
     if args.recovery:
+        checkpoint_store = None
+        if args.checkpoint_dir:
+            from ..checkpoint import CheckpointStore
+
+            checkpoint_store = CheckpointStore(args.checkpoint_dir)
         result = run_recovery_experiment(
             args.stations,
             seed=args.seed,
             window_us=args.duration,
             plan_seed=args.plan_seed,
+            checkpoint_store=checkpoint_store,
         )
         print(f"stations (baseline)   = {result.num_stations}")
         print(f"window                = {result.window_us/1e6:.1f} s")
@@ -791,6 +1010,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "boost": _cmd_boost,
     "cache": _cmd_cache,
+    "checkpoint": _cmd_checkpoint,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
     "chaos": _cmd_chaos,

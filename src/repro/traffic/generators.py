@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..core.parameters import PriorityClass
 from ..engine.environment import Environment
+from ..engine.marks import ProcMark
 from ..engine.randomness import RandomStreams
 from .packets import udp_frame
 
@@ -42,10 +43,17 @@ class _SourceBase:
         #: Set by :meth:`stop`; the generator process exits at its next
         #: poll (station churn: a leaving device's source must quiesce).
         self.stopped = False
+        #: Resume bookmark, updated before every sleep (checkpointing).
+        self.mark = ProcMark(("source", device.mac_addr))
 
     def stop(self) -> None:
         """Stop offering traffic; the generator exits at its next wake."""
         self.stopped = True
+
+    def restart(self, env: Environment) -> None:
+        """Re-create the generator process from the mark (restore path)."""
+        self.process = env.process(self._run(resume_wake_us=self.mark.wake_us))
+        self.mark.stamp_created(env)
 
     def _offer(self) -> bool:
         frame = udp_frame(
@@ -83,15 +91,23 @@ class SaturatedSource(_SourceBase):
         self.high_watermark = high_watermark
         self.poll_interval_us = poll_interval_us
         self.process = env.process(self._run())
+        self.mark.stamp_created(env)
 
-    def _run(self):
+    def _run(self, resume_wake_us: Optional[float] = None):
+        if resume_wake_us is not None:
+            # A restored incarnation sleeps to the exact wake instant
+            # its predecessor had scheduled, then re-enters the loop —
+            # the same check/refill/sleep sequence a live wake runs.
+            yield self.env.timeout_at(resume_wake_us)
         while not self.stopped:
             depth = self.device.node.queues.depth(self.priority)
             while depth < self.high_watermark:
                 if not self._offer():
                     break
                 depth += 1
+            self.mark.sleeping(self.env, self.env.now + self.poll_interval_us)
             yield self.env.timeout(self.poll_interval_us)
+        self.mark.finish()
 
 
 class PoissonSource(_SourceBase):
@@ -114,14 +130,23 @@ class PoissonSource(_SourceBase):
         streams = streams if streams is not None else RandomStreams(0)
         self._rng = streams.stream("poisson", device.mac_addr)
         self.process = env.process(self._run())
+        self.mark.stamp_created(env)
 
-    def _run(self):
-        while not self.stopped:
-            yield self.env.timeout(
-                float(self._rng.exponential(self.mean_interarrival_us))
-            )
+    def _run(self, resume_wake_us: Optional[float] = None):
+        if resume_wake_us is not None:
+            # The inter-arrival delay for this wake was drawn before the
+            # checkpoint (the restored RNG state is post-draw), so only
+            # the sleep is replayed, at the exact recorded instant.
+            yield self.env.timeout_at(resume_wake_us)
             if not self.stopped:
                 self._offer()
+        while not self.stopped:
+            delay = float(self._rng.exponential(self.mean_interarrival_us))
+            self.mark.sleeping(self.env, self.env.now + delay)
+            yield self.env.timeout(delay)
+            if not self.stopped:
+                self._offer()
+        self.mark.finish()
 
 
 class CbrSource(_SourceBase):
@@ -141,9 +166,16 @@ class CbrSource(_SourceBase):
             raise ValueError("interval_us must be positive")
         self.interval_us = interval_us
         self.process = env.process(self._run())
+        self.mark.stamp_created(env)
 
-    def _run(self):
+    def _run(self, resume_wake_us: Optional[float] = None):
+        if resume_wake_us is not None:
+            yield self.env.timeout_at(resume_wake_us)
+            if not self.stopped:
+                self._offer()
         while not self.stopped:
+            self.mark.sleeping(self.env, self.env.now + self.interval_us)
             yield self.env.timeout(self.interval_us)
             if not self.stopped:
                 self._offer()
+        self.mark.finish()

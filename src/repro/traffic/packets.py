@@ -9,7 +9,8 @@ payload bytes around (the MAC only needs sizes and addressing).
 from __future__ import annotations
 
 import dataclasses
-import itertools
+
+from ..core.counters import SequenceCounter
 
 __all__ = [
     "ETHERTYPE_IPV4",
@@ -33,7 +34,17 @@ ETHERNET_MTU_BYTES = 1500
 IPV4_HEADER_BYTES = 20
 UDP_HEADER_BYTES = 8
 
-_frame_ids = itertools.count(1)
+_frame_ids = SequenceCounter(1)
+
+
+def frame_id_state() -> int:
+    """Checkpoint hook: the next frame id to be handed out."""
+    return _frame_ids.peek()
+
+
+def restore_frame_ids(value: int) -> None:
+    """Checkpoint hook: restore the frame id counter."""
+    _frame_ids.reset(value)
 
 
 def mac_address(index: int) -> str:

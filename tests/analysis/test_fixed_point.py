@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis.fixed_point import (
+    ConvergenceError,
     damped_iteration,
     find_all_fixed_points,
     gamma_from_tau,
@@ -97,3 +98,86 @@ class TestFindAllFixedPoints:
                     model.tau, n, grid_points=300
                 )
                 assert len(roots) == 1, (config, n, roots)
+
+
+class TestConvergenceError:
+    """Non-convergence is a structured error, not a silent bad value."""
+
+    # f(γ) = 1 − γ with damping 1 oscillates 0.1 ↔ 0.9 forever (N=2,
+    # where γ == τ).
+    @staticmethod
+    def _flip(gamma):
+        return 1.0 - gamma
+
+    def test_damped_iteration_raises_with_evidence(self):
+        with pytest.raises(ConvergenceError) as err:
+            damped_iteration(self._flip, 2, damping=1.0, max_iter=50)
+        exc = err.value
+        assert exc.iterations == 50
+        assert 0.0 <= exc.last_iterate <= 1.0
+        assert exc.residual == pytest.approx(0.8)
+        assert "50 iteration" in str(exc)
+        assert "residual" in str(exc)
+        assert isinstance(exc, RuntimeError)
+
+    def test_damped_iteration_strict_false_returns_last_iterate(self):
+        tau = damped_iteration(
+            self._flip, 2, damping=1.0, max_iter=50, strict=False
+        )
+        assert tau in (pytest.approx(0.1), pytest.approx(0.9))
+
+    def test_solve_fixed_point_threads_strict_to_fallback(self):
+        # f ≡ 0 has the same residual sign at both bracket ends, so
+        # solve_fixed_point falls back to damped iteration; τ halves
+        # each step and cannot reach tol=1e-12 in 3 steps.
+        with pytest.raises(ConvergenceError):
+            solve_fixed_point(lambda g: 0.0, 2, max_iter=3)
+        tau = solve_fixed_point(lambda g: 0.0, 2, max_iter=3, strict=False)
+        assert tau == pytest.approx(0.1 * 0.5**3)
+        # With the default budget the same fallback converges fine.
+        assert solve_fixed_point(lambda g: 0.0, 2) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_find_all_fixed_points_raises_when_scan_finds_nothing(self):
+        # f ≡ 1 only touches τ = 1 exactly, outside the open grid: the
+        # residual τ − 1 never changes sign, so the scan comes up dry.
+        with pytest.raises(ConvergenceError) as err:
+            find_all_fixed_points(lambda g: 1.0, 3, grid_points=100)
+        exc = err.value
+        assert exc.iterations == 100
+        # The best grid point hugs τ = 1 where |residual| is smallest.
+        assert exc.last_iterate > 0.9
+        assert exc.residual < 0.05
+
+    def test_find_all_fixed_points_strict_false_returns_empty(self):
+        roots = find_all_fixed_points(
+            lambda g: 1.0, 3, grid_points=100, strict=False
+        )
+        assert roots == []
+
+    def test_model_call_sites_annotate_the_error(self, monkeypatch):
+        from repro.analysis import bianchi, delay, model
+        from repro.analysis.bianchi import Bianchi80211Model
+        from repro.analysis.delay import DelayModel
+        from repro.analysis.model import Model1901
+
+        def explode(*args, **kwargs):
+            raise ConvergenceError(
+                "damped Picard iteration did not converge",
+                last_iterate=0.3,
+                residual=0.01,
+                iterations=10000,
+            )
+
+        for module, make in (
+            (model, lambda: Model1901()),
+            (bianchi, lambda: Bianchi80211Model()),
+            (delay, lambda: DelayModel()),
+        ):
+            monkeypatch.setattr(module, "solve_fixed_point", explode)
+            with pytest.raises(ConvergenceError, match="N=5") as err:
+                make().solve(5)
+            assert err.value.last_iterate == 0.3
+            assert err.value.iterations == 10000
+            assert isinstance(err.value.__cause__, ConvergenceError)

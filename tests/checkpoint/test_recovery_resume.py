@@ -1,0 +1,83 @@
+"""The chaos recovery harness reuses checkpoints.
+
+A recovery experiment snapshots its full state at the first safe point
+of the settle gap (fault episode over, backoff draining);
+``resume_recovery_experiment`` re-enters from that snapshot and
+re-measures only the recovery window — bit-identical to the
+straight-through experiment.
+"""
+
+import pytest
+
+from repro.chaos.recovery import (
+    resume_recovery_experiment,
+    run_recovery_experiment,
+)
+from repro.checkpoint import Checkpoint, CheckpointError, CheckpointStore
+
+WINDOW_US = 6e6
+SETTLE_US = 2e6
+
+
+@pytest.fixture(scope="module")
+def plain():
+    return run_recovery_experiment(
+        3, seed=1, window_us=WINDOW_US, settle_us=SETTLE_US
+    )
+
+
+@pytest.fixture(scope="module")
+def checkpointed(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("recovery-ckpt"))
+    result = run_recovery_experiment(
+        3,
+        seed=1,
+        window_us=WINDOW_US,
+        settle_us=SETTLE_US,
+        checkpoint_store=CheckpointStore(directory),
+    )
+    return CheckpointStore(directory), result
+
+
+def test_checkpointing_does_not_perturb_the_experiment(plain, checkpointed):
+    _store, result = checkpointed
+    assert result.as_dict() == plain.as_dict()
+
+
+def test_snapshot_lands_inside_the_settle_gap(checkpointed):
+    store, _result = checkpointed
+    ckpt = store.latest_valid()
+    assert ckpt is not None
+    assert ckpt.kind == "testbed"
+    assert ckpt.meta["experiment"] == "recovery"
+    settle_stop = ckpt.meta["settle_stop_us"]
+    assert settle_stop - ckpt.meta["settle_us"] <= ckpt.sim_time_us
+    assert ckpt.sim_time_us < settle_stop
+    # The snapshot already carries the two measured windows.
+    assert ckpt.meta["faulty"] > ckpt.meta["baseline"]
+
+
+def test_resume_is_bit_identical(plain, checkpointed):
+    store, _result = checkpointed
+    resumed = resume_recovery_experiment(store)
+    assert resumed.as_dict() == plain.as_dict()
+
+
+def test_resume_rejects_empty_store(tmp_path):
+    with pytest.raises(CheckpointError, match="no valid checkpoint"):
+        resume_recovery_experiment(CheckpointStore(str(tmp_path)))
+
+
+def test_resume_rejects_foreign_checkpoint(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    store.write(
+        Checkpoint(
+            kind="testbed",
+            seq=1,
+            sim_time_us=1.0,
+            meta={"num_stations": 3},  # a collision test, not recovery
+            state={},
+        )
+    )
+    with pytest.raises(CheckpointError, match="recovery"):
+        resume_recovery_experiment(store)

@@ -1,0 +1,109 @@
+"""Bit-identity of checkpointed slot-simulator runs.
+
+The headline invariant: run-to-T equals run-to-T/2 → checkpoint →
+restore → run-to-T, bit-identical in every result field including the
+slot-level trace.
+"""
+
+import numpy as np
+
+from repro.checkpoint import (
+    CheckpointStore,
+    read_file,
+    run_simulate_with_checkpoints,
+)
+from repro.checkpoint.slotsim import (
+    restore_slot_simulator,
+    snapshot_slot_simulator,
+)
+from repro.core.config import ScenarioConfig
+from repro.core.simulator import SlotSimulator
+
+SIM_TIME_US = 2e6
+
+
+def _scenario(seed=5, sim_time_us=SIM_TIME_US):
+    return ScenarioConfig.homogeneous(
+        num_stations=4, sim_time_us=sim_time_us, seed=seed
+    )
+
+
+def _assert_results_identical(a, b):
+    assert a.successes == b.successes
+    assert a.collisions == b.collisions
+    assert a.collision_events == b.collision_events
+    assert a.idle_slots == b.idle_slots
+    if a.trace is None:
+        assert b.trace is None
+    else:
+        assert a.trace.transmissions == b.trace.transmissions
+        assert a.trace.slots == b.trace.slots
+    assert a.stations == b.stations
+    if a.delays_us is None:
+        assert b.delays_us is None
+    else:
+        assert np.array_equal(a.delays_us, b.delays_us)
+    assert a.collision_probability == b.collision_probability
+
+
+class TestSlotSimBitIdentity:
+    def test_checkpointed_run_equals_straight_run(self, tmp_path):
+        straight = SlotSimulator(_scenario(), record_trace=True).run()
+        store = CheckpointStore(str(tmp_path))
+        checkpointed = run_simulate_with_checkpoints(
+            SlotSimulator(_scenario(), record_trace=True),
+            store,
+            every_us=0.25e6,
+        )
+        _assert_results_identical(straight, checkpointed)
+        assert len(store.sequence_numbers()) >= 4
+
+    def test_restore_midway_and_finish(self, tmp_path):
+        straight = SlotSimulator(_scenario(), record_trace=True).run()
+        store = CheckpointStore(str(tmp_path))
+        run_simulate_with_checkpoints(
+            SlotSimulator(_scenario(), record_trace=True),
+            store,
+            every_us=0.25e6,
+        )
+        # Resume from a mid-run snapshot (not the newest): real slots
+        # are re-executed, and the result must still match bitwise.
+        middle = read_file(store.path_for(store.sequence_numbers()[2]))
+        assert 0 < middle.sim_time_us < SIM_TIME_US
+        sim = restore_slot_simulator(_scenario(), middle.state)
+        resumed = run_simulate_with_checkpoints(
+            sim, CheckpointStore(str(tmp_path / "resumed")), every_us=0.25e6
+        )
+        _assert_results_identical(straight, resumed)
+
+    def test_restore_roundtrips_through_disk(self, tmp_path):
+        """The snapshot survives pickling to disk, not just in memory."""
+        store = CheckpointStore(str(tmp_path))
+        sim = SlotSimulator(_scenario(), record_trace=True)
+        sim.advance(1e6)
+        snapshot_slot_simulator(sim)  # snapshot of a live sim works
+        run_simulate_with_checkpoints(sim, store, every_us=0.5e6)
+        newest = store.latest_valid()
+        restored = restore_slot_simulator(_scenario(), newest.state)
+        assert restored.record_trace is True
+        assert restored._state["t"] == newest.sim_time_us
+
+    def test_delay_recording_is_preserved(self, tmp_path):
+        straight = SlotSimulator(
+            _scenario(seed=9), record_delays=True
+        ).run()
+        store = CheckpointStore(str(tmp_path))
+        checkpointed = run_simulate_with_checkpoints(
+            SlotSimulator(_scenario(seed=9), record_delays=True),
+            store,
+            every_us=0.5e6,
+        )
+        _assert_results_identical(straight, checkpointed)
+        middle = read_file(store.path_for(store.sequence_numbers()[0]))
+        resumed = restore_slot_simulator(_scenario(seed=9), middle.state)
+        result = run_simulate_with_checkpoints(
+            resumed,
+            CheckpointStore(str(tmp_path / "resumed")),
+            every_us=0.5e6,
+        )
+        _assert_results_identical(straight, result)

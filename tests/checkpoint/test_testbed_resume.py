@@ -1,0 +1,211 @@
+"""Bit-identity of checkpointed event-testbed runs (plain and chaos).
+
+The tentpole invariant: for any scenario, run-to-T equals
+run-to-T/2 → checkpoint → restore → run-to-T, bit-identical in the
+measurement rows, the goodput float, the coordinator RoundLog, the
+wire counters and the sniffer captures.
+"""
+
+import pickle
+
+from repro.chaos.experiment import attach_chaos, chaos_collision_test
+from repro.checkpoint import CheckpointStore, read_file
+from repro.checkpoint.testbed import (
+    capture_testbed,
+    checkpointed_collision_test,
+    restore_testbed_state,
+    resume_collision_test,
+)
+from repro.experiments.procedures import run_collision_test
+from repro.experiments.testbed import build_testbed
+
+# Short but non-trivial: a few thousand contention rounds, beacons,
+# association, channel estimation and (in the chaos case) every fault
+# family all land inside the window.
+DURATION_US = 3e6
+WARMUP_US = 2e6
+EVERY_US = 1e6
+
+CHAOS_PLAN = {
+    "seed": 42,
+    "invariants": "log",
+    "sack_loss": {"probability": 0.02},
+    "sack_corruption": {"probability": 0.01},
+    "gilbert_elliott": {
+        "p_good_to_bad": 0.002,
+        "p_bad_to_good": 0.2,
+        "error_good": 0.0,
+        "error_bad": 0.4,
+    },
+    "churn": (
+        {"time_us": WARMUP_US + 0.4e6, "action": "join"},
+        {"time_us": WARMUP_US + 1.3e6, "action": "leave"},
+    ),
+    "firmware_glitches": (
+        {"time_us": WARMUP_US + 1.7e6, "kind": "inflate_acked"},
+    ),
+}
+
+
+def _fingerprint(testbed):
+    return {
+        "now": testbed.env.now,
+        "round_log": testbed.avln.coordinator.log.as_dict(),
+        "sof_count": testbed.avln.strip.sof_count,
+        "delivered_mpdus": testbed.avln.strip.delivered_mpdus,
+        "rows": testbed.read_data_stats(),
+        "rx_bytes": testbed.destination.received_bytes,
+        "beacons": [d.beacons_seen for d in testbed.avln.devices],
+        "chanest": [d.channel_est_seen for d in testbed.avln.devices],
+        "mmes": [d.mmes_sent for d in testbed.avln.devices],
+        "captures": (
+            list(testbed.faifa.captures) if testbed.faifa else None
+        ),
+    }
+
+
+def _capture_at_round_boundary(testbed, not_before_us, injector=None,
+                               checker=None):
+    """Arm a one-shot snapshot at the first safe point past a time."""
+    captured = {}
+
+    def hook():
+        env = testbed.env
+        if captured or env.now < not_before_us or env.peek() == env.now:
+            return
+        captured["state"] = capture_testbed(
+            testbed, injector=injector, checker=checker
+        )
+        captured["at"] = env.now
+
+    testbed.avln.coordinator.checkpoint_hook = hook
+    return captured
+
+
+class TestPlainBitIdentity:
+    def test_restore_midway_matches_straight_run(self):
+        kwargs = dict(seed=11, enable_sniffer=True)
+        end_us = 5e6
+
+        reference = build_testbed(3, **kwargs)
+        captured = _capture_at_round_boundary(reference, 2.5e6)
+        reference.run_until(3e6)
+        assert captured, "no round boundary between 2.5e6 and 3e6?"
+        reference.avln.coordinator.checkpoint_hook = None
+        reference.run_until(end_us)
+        want = _fingerprint(reference)
+
+        resumed = build_testbed(3, **kwargs)
+        # Disk roundtrip: the restored state is a pickle copy, proving
+        # no hidden aliasing into the original testbed survives.
+        state = pickle.loads(pickle.dumps(captured["state"]))
+        restore_testbed_state(resumed, state)
+        assert resumed.env.now == captured["at"]
+        resumed.env.run_until_at(3e6)
+        resumed.env.run_until_at(end_us)
+        assert _fingerprint(resumed) == want
+
+    def test_checkpointed_procedure_matches_plain_procedure(
+        self, tmp_path
+    ):
+        plain = run_collision_test(
+            3, duration_us=DURATION_US, warmup_us=WARMUP_US, seed=7
+        )
+        store = CheckpointStore(str(tmp_path))
+        checkpointed = checkpointed_collision_test(
+            3,
+            store,
+            duration_us=DURATION_US,
+            warmup_us=WARMUP_US,
+            seed=7,
+            checkpoint_every_us=EVERY_US,
+        )
+        assert checkpointed == plain
+        assert len(store.sequence_numbers()) >= 2
+
+        # Resume from an *early* snapshot: most of the measurement
+        # window is re-executed, and every field still matches.
+        earliest = read_file(store.path_for(store.sequence_numbers()[0]))
+        resumed = resume_collision_test(
+            CheckpointStore(str(tmp_path)), checkpoint=earliest
+        )
+        assert resumed == plain
+
+        # Resume from the newest snapshot too (the crash-recovery path).
+        assert resume_collision_test(store) == plain
+
+
+class TestChaosBitIdentity:
+    def test_restore_midway_matches_straight_run(self):
+        end_us = WARMUP_US + DURATION_US
+
+        reference = build_testbed(3, seed=21)
+        ref_injector, ref_checker, _ = attach_chaos(
+            reference, CHAOS_PLAN, deep_every=64
+        )
+        captured = _capture_at_round_boundary(
+            reference,
+            WARMUP_US + 1.5e6,  # after join, leave and GE onset
+            injector=ref_injector,
+            checker=ref_checker,
+        )
+        reference.run_until(WARMUP_US + 2e6)
+        assert captured
+        reference.avln.coordinator.checkpoint_hook = None
+        reference.run_until(end_us)
+        ref_injector.flush()
+        want = _fingerprint(reference)
+        want_report = ref_injector.report()
+        want_invariants = ref_checker.finalize()
+
+        resumed = build_testbed(3, seed=21)
+        injector, checker, _ = attach_chaos(
+            resumed, CHAOS_PLAN, deep_every=64
+        )
+        state = pickle.loads(pickle.dumps(captured["state"]))
+        restore_testbed_state(
+            resumed, state, injector=injector, checker=checker
+        )
+        resumed.env.run_until_at(WARMUP_US + 2e6)
+        resumed.env.run_until_at(end_us)
+        injector.flush()
+        assert _fingerprint(resumed) == want
+        assert injector.report() == want_report
+        assert checker.finalize() == want_invariants
+
+    def test_checkpointed_procedure_matches_chaos_procedure(
+        self, tmp_path
+    ):
+        plain_test, plain_report = chaos_collision_test(
+            3,
+            CHAOS_PLAN,
+            duration_us=DURATION_US,
+            warmup_us=WARMUP_US,
+            seed=42,
+        )
+        store = CheckpointStore(str(tmp_path))
+        ckpt_test, ckpt_report = checkpointed_collision_test(
+            3,
+            store,
+            duration_us=DURATION_US,
+            warmup_us=WARMUP_US,
+            seed=42,
+            checkpoint_every_us=EVERY_US,
+            plan=CHAOS_PLAN,
+        )
+        assert ckpt_test == plain_test
+        assert ckpt_report == plain_report
+        assert len(store.sequence_numbers()) >= 2
+
+        resumed_test, resumed_report = resume_collision_test(store)
+        assert resumed_test == plain_test
+        assert resumed_report == plain_report
+
+        # And from the earliest snapshot, which replays the glitch and
+        # part of the churn window.
+        earliest = read_file(store.path_for(store.sequence_numbers()[0]))
+        early_test, early_report = resume_collision_test(
+            CheckpointStore(str(tmp_path)), checkpoint=earliest
+        )
+        assert early_test == plain_test
+        assert early_report == plain_report

@@ -143,6 +143,32 @@ class TestCorruptEntries:
         cache.put(key, {"ok": 2}, task.describe())
         assert cache.get(key) == {"ok": 2}
 
+    def test_bit_flip_in_result_payload_is_detected(self, tmp_path):
+        # Valid JSON, valid schema — but the result bytes changed after
+        # the write: only the content checksum can catch this.
+        cache = ResultCache(tmp_path)
+        task = _simulate_task()
+        key = cache_key(task.describe())
+        cache.put(key, {"throughput": 0.5}, task.describe())
+        entry = json.loads(cache.path_for(key).read_text())
+        entry["result"]["throughput"] = 0.6  # the silent bit flip
+        cache.path_for(key).write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        assert not cache.path_for(key).exists()  # evicted for recompute
+
+    def test_entry_carries_result_checksum(self, tmp_path):
+        from repro.runner.cache import result_checksum
+
+        cache = ResultCache(tmp_path)
+        task = _simulate_task()
+        key = cache_key(task.describe())
+        cache.put(key, {"throughput": 0.5}, task.describe())
+        entry = json.loads(cache.path_for(key).read_text())
+        assert entry["sha256"] == result_checksum({"throughput": 0.5})
+        assert cache.get(key) == {"throughput": 0.5}
+        assert cache.corrupt == 0
+
     def test_runner_recomputes_after_corruption(self, tmp_path):
         def sweep():
             runner = ExperimentRunner(max_workers=1, cache_dir=tmp_path)

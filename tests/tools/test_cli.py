@@ -126,3 +126,111 @@ class TestObservabilityCommands:
         out = capsys.readouterr().out
         assert "events/sec" in out
         assert json_path.exists()
+
+
+class TestCheckpointCommand:
+    def _filled_store(self, tmp_path):
+        from repro.checkpoint import (
+            CheckpointStore,
+            checkpointed_collision_test,
+        )
+
+        store_dir = tmp_path / "store"
+        store = CheckpointStore(str(store_dir))
+        checkpointed_collision_test(
+            2,
+            store,
+            duration_us=2e6,
+            warmup_us=2e6,
+            seed=7,
+            checkpoint_every_us=1e6,
+        )
+        return store, store_dir
+
+    def test_inspect_writes_json_artifact(self, capsys, tmp_path):
+        import json
+
+        _store, store_dir = self._filled_store(tmp_path)
+        json_path = tmp_path / "entries.json"
+        assert main(
+            ["checkpoint", "inspect", "--dir", str(store_dir),
+             "--json", str(json_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "snapshots" in out
+        rows = json.loads(json_path.read_text())["entries"]
+        assert rows and all(row["valid"] for row in rows)
+
+    def test_verify_ok_then_fails_on_corruption(self, capsys, tmp_path):
+        store, store_dir = self._filled_store(tmp_path)
+        assert main(["checkpoint", "verify", "--dir", str(store_dir)]) == 0
+        assert "verify OK" in capsys.readouterr().out
+        seq = store.sequence_numbers()[-1]
+        blob = bytearray(open(store.path_for(seq), "rb").read())
+        blob[-1] ^= 0xFF
+        open(store.path_for(seq), "wb").write(bytes(blob))
+        assert main(["checkpoint", "verify", "--dir", str(store_dir)]) == 1
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_verify_fails_on_empty_store(self, capsys, tmp_path):
+        assert main(
+            ["checkpoint", "verify", "--dir", str(tmp_path / "empty")]
+        ) == 1
+        assert "no resumable snapshot" in capsys.readouterr().out
+
+    def test_resume_testbed_matches_plain(self, capsys, tmp_path):
+        from repro.experiments.procedures import run_collision_test
+
+        _store, store_dir = self._filled_store(tmp_path)
+        plain = run_collision_test(
+            2, duration_us=2e6, warmup_us=2e6, seed=7
+        )
+        assert main(["checkpoint", "resume", "--dir", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "resuming testbed" in out
+        assert f"{plain.collision_probability:.4f}" in out
+
+    def test_resume_empty_store_fails(self, capsys, tmp_path):
+        assert main(
+            ["checkpoint", "resume", "--dir", str(tmp_path / "empty")]
+        ) == 1
+        assert "no valid snapshot" in capsys.readouterr().out
+
+    def test_resume_slotsim_store(self, capsys, tmp_path):
+        from repro.core.config import ScenarioConfig
+        from repro.runner.runner import ExperimentRunner
+        from repro.runner.seeding import SeedSpec
+        from repro.runner.serialize import scenario_to_jsonable
+        from repro.runner.tasks import Task, TaskKind
+
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=3, sim_time_us=1e6, seed=2
+        )
+        task = Task(
+            kind=TaskKind.SIMULATE,
+            payload={
+                "scenario": scenario_to_jsonable(scenario),
+                "record_winners": False,
+            },
+            seed=SeedSpec(root_seed=1, point_index=0, repetition=0),
+        )
+        runner = ExperimentRunner(
+            max_workers=1,
+            checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_every_us=0.25e6,
+        )
+        (expected,) = runner.run([task])
+        (store_dir,) = list((tmp_path / "ckpt").iterdir())
+        assert main(["checkpoint", "resume", "--dir", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "resuming slotsim" in out
+        assert f"successes             = {expected['successes']}" in out
+
+    def test_runner_checkpoint_flags(self, capsys, tmp_path):
+        assert main(
+            ["table2", "--duration", "2e6", "--max-n", "2",
+             "--checkpoint-dir", str(tmp_path / "ckpt"),
+             "--checkpoint-every-us", "1e6"]
+        ) == 0
+        assert "Table 2" in capsys.readouterr().out
+        assert list((tmp_path / "ckpt").glob("*/ckpt-*.ckpt"))
