@@ -3,13 +3,32 @@
 Not a paper artifact — these track that the two simulators stay fast
 enough to run the paper-scale experiments (240 s × 10 tests × 7 network
 sizes) in minutes.  Regressions here make the reproduction impractical.
+
+``bench_batch_kernel_vs_fsm`` additionally records the vectorized
+batch kernel's throughput advantage over the per-station FSM simulator
+into ``BENCH_batch_kernel.json`` (location overridable via
+``REPRO_BENCH_JSON_DIR``) and fails if the measured ratio drops below
+the committed floor in ``batch_speedup_floor.json``.
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.core import ScenarioConfig, SlotSimulator
 from repro.engine import Environment
 from repro.experiments.procedures import run_collision_test
+
+#: Where BENCH_*.json files are written.
+JSON_DIR = Path(
+    os.environ.get("REPRO_BENCH_JSON_DIR", Path(__file__).parent)
+)
+
+#: Committed regression floor for the kernel/FSM speedup ratio.
+FLOOR_PATH = Path(__file__).parent / "batch_speedup_floor.json"
 
 
 @pytest.mark.benchmark(group="performance")
@@ -53,3 +72,88 @@ def bench_testbed_emulation_3_stations(benchmark):
 
     test = benchmark.pedantic(run, rounds=1, iterations=1)
     assert test.sum_acked > 1000
+
+
+@pytest.mark.benchmark(group="performance")
+def bench_batch_kernel_vs_fsm(benchmark, report):
+    """Kernel vs FSM simulated-µs throughput, with regression floor.
+
+    Runs the full point array through :class:`BatchSlotKernel`, times a
+    sample of the same points through :class:`SlotSimulator`, checks the
+    shared points are bit-identical, and records both rates plus their
+    ratio into ``BENCH_batch_kernel.json``.  The ratio must clear the
+    committed floor (``batch_speedup_floor.json``); the design target
+    is 10x.
+    """
+    from conftest import FULL
+    from repro.batch import BatchSlotKernel
+    from repro.report.export import write_json
+
+    batch_size = 1024
+    num_stations = 5
+    sim_time_us = 4e6 if FULL else 1e6
+    fsm_sample = 16
+
+    scenarios = [
+        ScenarioConfig.homogeneous(
+            num_stations=num_stations,
+            sim_time_us=sim_time_us,
+            seed=1000 + b,
+        )
+        for b in range(batch_size)
+    ]
+
+    timing = {}
+
+    def run_kernel():
+        kernel = BatchSlotKernel(scenarios)
+        start = time.perf_counter()
+        results = kernel.run()
+        timing["kernel_s"] = time.perf_counter() - start
+        return results
+
+    batch_results = benchmark.pedantic(run_kernel, rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    fsm_results = [
+        SlotSimulator(scenarios[b]).run() for b in range(fsm_sample)
+    ]
+    fsm_s = time.perf_counter() - start
+
+    # The sampled points must be bit-identical across the two engines.
+    for b in range(fsm_sample):
+        assert batch_results[b] == fsm_results[b], f"point {b} diverged"
+
+    kernel_rate = batch_size * sim_time_us / timing["kernel_s"]
+    fsm_rate = fsm_sample * sim_time_us / fsm_s
+    ratio = kernel_rate / fsm_rate
+
+    floor = json.loads(FLOOR_PATH.read_text())
+    result = {
+        "batch_size": batch_size,
+        "num_stations": num_stations,
+        "sim_time_us": sim_time_us,
+        "fsm_sample_points": fsm_sample,
+        "kernel_rate_sim_us_per_s": kernel_rate,
+        "fsm_rate_sim_us_per_s": fsm_rate,
+        "speedup_ratio": ratio,
+        "target_ratio": floor["target_ratio"],
+        "floor_ratio": floor["min_ratio"],
+        "full": FULL,
+    }
+    path = write_json(JSON_DIR / "BENCH_batch_kernel.json", result)
+    report(
+        "[batch] kernel {:.0f}M sim-us/s vs FSM {:.0f}M sim-us/s "
+        "-> {:.1f}x (target {:.0f}x, floor {:.1f}x) -> {}".format(
+            kernel_rate / 1e6,
+            fsm_rate / 1e6,
+            ratio,
+            floor["target_ratio"],
+            floor["min_ratio"],
+            path,
+        )
+    )
+    assert ratio >= floor["min_ratio"], (
+        f"batch kernel speedup {ratio:.2f}x fell below the committed "
+        f"floor {floor['min_ratio']}x (see {FLOOR_PATH})"
+    )

@@ -1,0 +1,195 @@
+"""Per-round trace adapter: the differential harness's common language.
+
+The equivalence contract between :class:`~repro.batch.kernel
+.BatchSlotKernel` and :class:`~repro.core.simulator.SlotSimulator` is
+*per-round bit-exactness*, not just equal end-of-run counters.  To
+assert it, both simulators must emit comparable per-round records:
+
+- the scalar simulator already records them — ``record_slots=True``
+  keeps a :class:`~repro.core.trace.SlotRecord` (full counter
+  snapshot) per slot event and a
+  :class:`~repro.core.trace.TransmissionRecord` per channel event;
+- the kernel exposes an ``on_round`` hook fired at the exact same
+  instant the scalar simulator takes its snapshot (after the
+  contention phase, before the feedback phase).
+
+This module folds both sides into one :class:`RoundRecord` shape and
+compares sequences of them, so a divergence pinpoints the first round
+and field that differ instead of a smeared end-of-run delta.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.config import ScenarioConfig
+from ..core.results import SimulationResult
+from ..core.simulator import SlotSimulator
+from ..engine.randomness import RandomStreams
+from .kernel import BatchSlotKernel
+
+__all__ = [
+    "RoundRecord",
+    "KernelTraceRecorder",
+    "kernel_round_records",
+    "slotsim_round_records",
+    "compare_round_records",
+]
+
+_OUTCOMES = ("idle", "success", "collision")
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundRecord:
+    """One slot event in the common per-round comparison shape.
+
+    ``per_station`` holds ``(stage, cw, dc, bc)`` after the contention
+    phase — the same quantities :class:`~repro.core.trace.SlotRecord`
+    tabulates; ``stations``/``winner``/``stages`` mirror
+    :class:`~repro.core.trace.TransmissionRecord` (empty/None for an
+    idle round).
+    """
+
+    time_us: float
+    outcome: str  # "idle" | "success" | "collision"
+    stations: Tuple[int, ...]
+    winner: Optional[int]
+    stages: Tuple[int, ...]
+    per_station: Tuple[Tuple[int, int, int, int], ...]
+
+
+class KernelTraceRecorder:
+    """``on_round`` hook collecting a :class:`RoundRecord` per point.
+
+    Attach to a :class:`BatchSlotKernel` via its ``on_round``
+    parameter; after the run, ``recorder.records[b]`` is point ``b``'s
+    round sequence, directly comparable to
+    :func:`slotsim_round_records` output for the same scenario and
+    streams.
+    """
+
+    def __init__(self, batch_size: int) -> None:
+        self.records: List[List[RoundRecord]] = [
+            [] for _ in range(batch_size)
+        ]
+
+    def __call__(self, kernel: BatchSlotKernel) -> None:
+        bpc = kernel.bpc
+        for b, scenario in enumerate(kernel.scenarios):
+            code = int(kernel.outcome[b])
+            if code < 0:  # point already finished
+                continue
+            n = scenario.num_stations
+            attempting = [
+                i for i in range(n) if kernel.attempting[b, i]
+            ]
+            per_station = tuple(
+                (
+                    # Station.stage: clamped BPC of the last redraw.
+                    int(
+                        min(
+                            max(bpc[b, i] - 1, 0),
+                            kernel.last_stage[b, i],
+                        )
+                    ),
+                    int(kernel.cw[b, i]),
+                    int(kernel.dc[b, i]),
+                    int(kernel.bc[b, i]),
+                )
+                for i in range(n)
+            )
+            winner = int(kernel.winner[b]) if code == 1 else None
+            self.records[b].append(
+                RoundRecord(
+                    time_us=float(kernel.t[b]),
+                    outcome=_OUTCOMES[code],
+                    stations=tuple(attempting),
+                    winner=winner,
+                    stages=tuple(per_station[i][0] for i in attempting),
+                    per_station=per_station,
+                )
+            )
+
+
+def kernel_round_records(
+    scenarios: Sequence[ScenarioConfig],
+    streams: Optional[Sequence[RandomStreams]] = None,
+) -> Tuple[List[List[RoundRecord]], List[SimulationResult]]:
+    """Run ``scenarios`` through the kernel, recording every round."""
+    recorder = KernelTraceRecorder(len(scenarios))
+    kernel = BatchSlotKernel(scenarios, streams=streams, on_round=recorder)
+    results = kernel.run()
+    return recorder.records, results
+
+
+def slotsim_round_records(
+    scenario: ScenarioConfig,
+    streams: Optional[RandomStreams] = None,
+) -> Tuple[List[RoundRecord], SimulationResult]:
+    """Run ``scenario`` through ``SlotSimulator``, as round records.
+
+    Merges the slot-granularity snapshots with the transmission
+    records (which carry attempting stations / winner / stages for the
+    non-idle rounds) into the common :class:`RoundRecord` shape.
+    """
+    sim = SlotSimulator(scenario, record_slots=True, streams=streams)
+    result = sim.run()
+    trace = result.trace
+    records: List[RoundRecord] = []
+    tx_iter = iter(trace.transmissions)
+    for slot in trace.slots:
+        if slot.outcome == "idle":
+            stations: Tuple[int, ...] = ()
+            winner = None
+            stages: Tuple[int, ...] = ()
+        else:
+            tx = next(tx_iter)
+            stations = tx.stations
+            winner = tx.winner
+            stages = tx.stages
+        records.append(
+            RoundRecord(
+                time_us=slot.time_us,
+                outcome=slot.outcome,
+                stations=stations,
+                winner=winner,
+                stages=stages,
+                per_station=slot.per_station,
+            )
+        )
+    return records, result
+
+
+def compare_round_records(
+    reference: Sequence[RoundRecord],
+    candidate: Sequence[RoundRecord],
+    limit: int = 5,
+) -> List[str]:
+    """Describe where two round sequences diverge (empty == identical).
+
+    Reports at most ``limit`` diverging rounds, each pinned to the
+    first differing field, so a differential-test failure reads as
+    "round 17: outcome success != collision" rather than two opaque
+    sequences.
+    """
+    problems: List[str] = []
+    if len(reference) != len(candidate):
+        problems.append(
+            f"round count {len(reference)} != {len(candidate)}"
+        )
+    for k, (ref, got) in enumerate(zip(reference, candidate)):
+        if ref == got:
+            continue
+        for field in dataclasses.fields(RoundRecord):
+            a = getattr(ref, field.name)
+            b = getattr(got, field.name)
+            if a != b:
+                problems.append(
+                    f"round {k}: {field.name} {a!r} != {b!r}"
+                )
+                break
+        if len(problems) >= limit:
+            problems.append("...")
+            break
+    return problems

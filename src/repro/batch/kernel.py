@@ -1,0 +1,415 @@
+"""Vectorized struct-of-arrays slot kernel for saturated scenarios.
+
+:class:`BatchSlotKernel` advances *many* independent ``(scenario,
+seed)`` points per process in lockstep.  Where
+:class:`~repro.core.simulator.SlotSimulator` dispatches one Python
+method call per station per slot event, the kernel keeps every
+counter of every point in ``(batch, station)`` numpy arrays
+
+- ``bc``  — backoff counters,
+- ``dc``  — deferral counters,
+- ``bpc`` — backoff procedure counters,
+- ``cw``  — current contention windows,
+
+plus per-point clocks and outcome counters, and applies the paper's
+BC/DC update rules as masked array operations.  One lockstep
+iteration is one *slot event per point*: decrement/redraw counters,
+find the attempting stations, classify each point's medium outcome
+(idle / success / collision) and apply the feedback phase — all
+batched across points.
+
+Equivalence is the contract
+---------------------------
+The kernel is **bit-exact** against ``SlotSimulator``: each
+``(point, station)`` lane owns the same named substream
+(``streams.stream("station", i)``) the scalar simulator would use,
+and draws from it *only* at the FSM's redraw events, in the same
+order.  Every counter update mirrors
+:meth:`repro.core.station.Station.step` /
+:meth:`~repro.core.station.Station.resolve` exactly, so a batch of
+points produces, per point, the very numbers an independent
+``SlotSimulator`` run would — the differential harness in
+``tests/batch/`` locks this per round.  Backoff draws are the only
+per-lane scalar operation left (a lane's next variate depends on its
+own generator state); everything else is array code, which is where
+the ≥10× throughput over the event-driven FSM comes from
+(``benchmarks/bench_engine_performance.py`` records the ratio).
+
+Supported scenarios
+-------------------
+Saturated, single-priority contention — the paper's operating regime
+and the large-N workload the ROADMAP targets.  Everything else
+(unsaturated arrivals, retry limits, delay/trace recording beyond the
+round hook) raises :class:`UnsupportedScenario` so callers fall back
+to the event-driven/scalar paths; see :func:`check_supported`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import ScenarioConfig
+from ..core.results import SimulationResult, StationStats
+from ..engine.randomness import RandomStreams
+from .lanes import LaneRngs
+
+__all__ = [
+    "UnsupportedScenario",
+    "check_supported",
+    "supports_scenario",
+    "BatchSlotKernel",
+    "batch_simulate",
+]
+
+
+class UnsupportedScenario(ValueError):
+    """The batch kernel cannot run this scenario (use the FSM paths)."""
+
+
+def check_supported(scenario: ScenarioConfig) -> None:
+    """Raise :class:`UnsupportedScenario` unless the kernel can run it.
+
+    The kernel handles the paper's operating regime: every station
+    saturated (always has a frame pending) and contending in a single
+    priority class with infinite retries.  Chaos plans, PRS priority
+    resolution and unsaturated traffic live in the event-driven
+    testbed and the scalar simulator.
+    """
+    for i, cfg in enumerate(scenario.stations):
+        if not cfg.saturated:
+            raise UnsupportedScenario(
+                f"station {i} is unsaturated (arrival_rate_pps="
+                f"{cfg.arrival_rate_pps}); the batch kernel only "
+                "handles saturated stations"
+            )
+        if cfg.csma.retry_limit is not None:
+            raise UnsupportedScenario(
+                f"station {i} has a finite retry limit "
+                f"({cfg.csma.retry_limit}); the batch kernel assumes "
+                "the paper's infinite retries"
+            )
+
+
+def supports_scenario(scenario: ScenarioConfig) -> bool:
+    """Whether :class:`BatchSlotKernel` can run ``scenario``."""
+    try:
+        check_supported(scenario)
+    except UnsupportedScenario:
+        return False
+    return True
+
+
+class BatchSlotKernel:
+    """Lockstep slot-synchronous simulation of a batch of points.
+
+    Parameters
+    ----------
+    scenarios:
+        One :class:`~repro.core.config.ScenarioConfig` per point.
+        Points may differ in station count, schedules, timing and
+        simulated duration; shorter points simply finish earlier and
+        their lanes go inert.
+    streams:
+        Optional parallel sequence of
+        :class:`~repro.engine.randomness.RandomStreams`, one per
+        point.  Defaults to ``RandomStreams(scenario.seed)``, exactly
+        like ``SlotSimulator``.  Pass the trees from
+        :func:`repro.runner.seeding.streams_for` to reproduce runner
+        points.  Each tree must be exclusive to this kernel —
+        substream generators are stateful (see
+        ``RandomStreams.clone``).
+    on_round:
+        Optional callback invoked once per lockstep iteration, after
+        the contention phase and outcome classification but before
+        the feedback phase — the exact instant ``SlotSimulator``
+        snapshots its per-slot trace records.  Receives the kernel;
+        read (do not mutate) the array attributes.  Used by the
+        differential trace adapter.
+    """
+
+    def __init__(
+        self,
+        scenarios: Sequence[ScenarioConfig],
+        streams: Optional[Sequence[RandomStreams]] = None,
+        on_round: Optional[Callable[["BatchSlotKernel"], None]] = None,
+    ) -> None:
+        if not scenarios:
+            raise ValueError("batch needs at least one scenario")
+        for scenario in scenarios:
+            check_supported(scenario)
+        if streams is not None and len(streams) != len(scenarios):
+            raise ValueError(
+                f"got {len(streams)} stream trees for "
+                f"{len(scenarios)} scenarios"
+            )
+        self.scenarios = list(scenarios)
+        self.on_round = on_round
+
+        B = len(self.scenarios)
+        N = max(s.num_stations for s in self.scenarios)
+        S = max(
+            cfg.csma.num_stages
+            for s in self.scenarios
+            for cfg in s.stations
+        )
+        self.batch_size = B
+        self.max_stations = N
+
+        # -- static per-point / per-lane configuration ------------------
+        #: Lanes that hold a real station (points with fewer stations
+        #: than the widest one leave their trailing lanes inert).
+        self.lane = np.zeros((B, N), dtype=bool)
+        self.cw_sched = np.ones((B, N, S), dtype=np.int64)
+        self.dc_sched = np.zeros((B, N, S), dtype=np.int64)
+        #: Per-lane ``num_stages - 1`` (the stage clamp).
+        self.last_stage = np.zeros((B, N), dtype=np.int64)
+        self.slot_us = np.empty(B, dtype=np.float64)
+        self.ts_us = np.empty(B, dtype=np.float64)
+        self.tc_us = np.empty(B, dtype=np.float64)
+        self.sim_time_us = np.empty(B, dtype=np.float64)
+
+        for b, scenario in enumerate(self.scenarios):
+            timing = scenario.timing
+            self.slot_us[b] = timing.slot
+            self.ts_us[b] = timing.ts
+            self.tc_us[b] = timing.tc
+            self.sim_time_us[b] = scenario.sim_time_us
+            for i, cfg in enumerate(scenario.stations):
+                csma = cfg.csma
+                m = csma.num_stages
+                self.lane[b, i] = True
+                self.last_stage[b, i] = m - 1
+                # Pad short schedules with the last stage's values; the
+                # stage index is clamped to last_stage anyway, so the
+                # padding is never selected — it only keeps the gather
+                # in one rectangular array.
+                self.cw_sched[b, i, :m] = csma.cw
+                self.cw_sched[b, i, m:] = csma.cw[-1]
+                self.dc_sched[b, i, :m] = csma.dc
+                self.dc_sched[b, i, m:] = csma.dc[-1]
+
+        # -- per-lane RNG streams (the bit-exactness anchor) -------------
+        if streams is None:
+            streams = [RandomStreams(s.seed) for s in self.scenarios]
+        self.streams = list(streams)
+        #: Flat (b * N + i) list of per-lane generators; inert lanes
+        #: keep ``None`` and never draw.  Exactly the substreams the
+        #: scalar simulator's stations would own.
+        self._generators: List[Optional[np.random.Generator]] = [None] * (
+            B * N
+        )
+        for b, scenario in enumerate(self.scenarios):
+            for i in range(scenario.num_stations):
+                self._generators[b * N + i] = self.streams[b].stream(
+                    "station", i
+                )
+        self.rngs = LaneRngs(self._generators)
+
+        # Flat views used by the redraw gather (C-contiguous, so
+        # ``ravel`` aliases the 2-D arrays).
+        self._num_sched_stages = S
+        self._cw_sched_flat = self.cw_sched.reshape(-1)
+        self._dc_sched_flat = self.dc_sched.reshape(-1)
+        self._last_stage_flat = self.last_stage.ravel()
+
+        # -- dynamic state (mirrors Station + SlotSimulator loop) --------
+        self.bc = np.zeros((B, N), dtype=np.int64)
+        self.dc = np.zeros((B, N), dtype=np.int64)
+        self.bpc = np.zeros((B, N), dtype=np.int64)
+        self.cw = self.cw_sched[:, :, 0].copy()
+        #: Whether the point's previous slot event was busy (stations
+        #: in the INIT state) — per *point*: the synchronous medium
+        #: puts every station of a point in the same macro-state.
+        self.in_init = np.ones(B, dtype=bool)
+        self.t = np.zeros(B, dtype=np.float64)
+        self.rounds = 0
+
+        self.successes = np.zeros(B, dtype=np.int64)
+        self.collisions = np.zeros(B, dtype=np.int64)
+        self.collision_events = np.zeros(B, dtype=np.int64)
+        self.idle_slots = np.zeros(B, dtype=np.int64)
+        self.st_successes = np.zeros((B, N), dtype=np.int64)
+        self.st_collisions = np.zeros((B, N), dtype=np.int64)
+        self.st_jumps = np.zeros((B, N), dtype=np.int64)
+
+        #: Per-round scratch published for ``on_round`` consumers:
+        #: which lanes attempt, and each point's outcome code
+        #: (0 idle / 1 success / 2 collision; -1 for finished points).
+        self.attempting = np.zeros((B, N), dtype=bool)
+        self.outcome = np.full(B, -1, dtype=np.int64)
+        self.winner = np.full(B, -1, dtype=np.int64)
+
+    # -- lifecycle --------------------------------------------------------
+    @property
+    def active(self) -> np.ndarray:
+        """Boolean (batch,) mask of points still inside their horizon."""
+        return self.t <= self.sim_time_us
+
+    @property
+    def finished(self) -> bool:
+        """Whether every point has consumed its configured sim time."""
+        return not bool(self.active.any())
+
+    def run(self) -> List[SimulationResult]:
+        """Advance every point to completion and return the results."""
+        self.advance(None)
+        return self.results()
+
+    def advance(self, max_rounds: Optional[int] = None) -> bool:
+        """Run lockstep iterations until done (or ``max_rounds`` more).
+
+        Returns ``True`` once every point has finished.  Pausing
+        happens only between rounds, so interleaving ``advance`` calls
+        with checkpoint snapshots executes the exact same iterations
+        as an uninterrupted run (see :mod:`repro.checkpoint.batch`).
+        """
+        remaining = max_rounds
+        while True:
+            active = self.t <= self.sim_time_us
+            if not active.any():
+                return True
+            if remaining is not None:
+                if remaining <= 0:
+                    return False
+                remaining -= 1
+            self._round(active)
+
+    def _round(self, active: np.ndarray) -> None:
+        """One slot event for every active point (vectorized)."""
+        bc, dc, bpc = self.bc, self.dc, self.bpc
+        act_lane = active[:, None] & self.lane
+
+        # -- contention phase (Station.step) -----------------------------
+        init_lane = act_lane & self.in_init[:, None]
+        redraw = init_lane & ((bpc == 0) | (bc == 0) | (dc == 0))
+        jump = redraw & (dc == 0) & (bpc > 0) & (bc != 0)
+        np.add(self.st_jumps, 1, out=self.st_jumps, where=jump)
+        # Busy-slot decrement for INIT lanes that neither redraw nor
+        # jump; idle-slot decrement for IDLE lanes.
+        decrement = init_lane & ~redraw
+        np.subtract(dc, 1, out=dc, where=decrement)
+        idle_lane = act_lane & ~self.in_init[:, None]
+        np.subtract(bc, 1, out=bc, where=decrement | idle_lane)
+
+        rows = np.flatnonzero(redraw.ravel())
+        if rows.size:
+            # Reload CW/DC for stage min(BPC, m-1), then draw a fresh
+            # BC from each lane's own substream — batched through
+            # LaneRngs, bit-identical to per-lane integers() calls.
+            bpc_flat = bpc.ravel()
+            stage = np.minimum(bpc_flat[rows], self._last_stage_flat[rows])
+            sched = rows * self._num_sched_stages + stage
+            new_cw = self._cw_sched_flat[sched]
+            self.cw.ravel()[rows] = new_cw
+            dc.ravel()[rows] = self._dc_sched_flat[sched]
+            bpc_flat[rows] += 1
+            bc.ravel()[rows] = self.rngs.draw(rows, new_cw)
+
+        # -- medium outcome ----------------------------------------------
+        attempting = act_lane & (bc == 0)
+        count = attempting.sum(axis=1)
+        idle_pt = active & (count == 0)
+        succ_pt = active & (count == 1)
+        coll_pt = active & (count >= 2)
+
+        self.attempting = attempting
+        outcome = self.outcome
+        outcome.fill(-1)
+        outcome[idle_pt] = 0
+        outcome[succ_pt] = 1
+        outcome[coll_pt] = 2
+        winner = self.winner
+        winner.fill(-1)
+        succ_rows = np.flatnonzero(succ_pt)
+        if succ_rows.size:
+            winner[succ_rows] = attempting[succ_rows].argmax(axis=1)
+
+        if self.on_round is not None:
+            # Same instant SlotSimulator records its trace rows: after
+            # the contention phase, before the feedback phase.
+            self.on_round(self)
+
+        # -- clock + aggregate counters ----------------------------------
+        np.add(self.idle_slots, 1, out=self.idle_slots, where=idle_pt)
+        np.add(self.successes, 1, out=self.successes, where=succ_pt)
+        np.add(
+            self.collision_events,
+            1,
+            out=self.collision_events,
+            where=coll_pt,
+        )
+        np.add(self.collisions, count, out=self.collisions, where=coll_pt)
+        dt = np.where(
+            idle_pt,
+            self.slot_us,
+            np.where(succ_pt, self.ts_us, self.tc_us),
+        )
+        np.add(self.t, dt, out=self.t, where=active)
+
+        # -- feedback phase (Station.resolve) ----------------------------
+        if succ_rows.size:
+            cols = winner[succ_rows]
+            self.st_successes[succ_rows, cols] += 1
+            # Winner: BPC := 0, then reset_for_new_frame (saturated:
+            # the next frame contends immediately from stage 0).
+            bpc[succ_rows, cols] = 0
+            bc[succ_rows, cols] = 0
+            dc[succ_rows, cols] = 0
+        collided = attempting & coll_pt[:, None]
+        np.add(self.st_collisions, 1, out=self.st_collisions, where=collided)
+        # Busy outcome puts every station of the point in INIT; an
+        # idle slot puts them all in the BC-countdown state.
+        np.copyto(self.in_init, count > 0, where=active)
+        self.rounds += 1
+
+    # -- results ----------------------------------------------------------
+    def results(self) -> List[SimulationResult]:
+        """Per-point results, identical to ``SlotSimulator.run()``'s."""
+        if not self.finished:
+            raise RuntimeError("batch has not run to completion")
+        out = []
+        for b, scenario in enumerate(self.scenarios):
+            n = scenario.num_stations
+            stats = [
+                StationStats(
+                    index=i,
+                    successes=int(self.st_successes[b, i]),
+                    collisions=int(self.st_collisions[b, i]),
+                    drops=0,
+                    jumps=int(self.st_jumps[b, i]),
+                    arrivals=0,
+                    queue_losses=0,
+                )
+                for i in range(n)
+            ]
+            out.append(
+                SimulationResult(
+                    scenario=scenario,
+                    duration_us=float(self.t[b]),
+                    successes=int(self.successes[b]),
+                    collisions=int(self.collisions[b]),
+                    collision_events=int(self.collision_events[b]),
+                    idle_slots=int(self.idle_slots[b]),
+                    stations=stats,
+                )
+            )
+        return out
+
+
+def batch_simulate(
+    scenarios: Sequence[ScenarioConfig],
+    streams: Optional[Sequence[RandomStreams]] = None,
+) -> List[SimulationResult]:
+    """Run a batch of scenarios through the kernel in one call.
+
+    >>> from repro.core.config import ScenarioConfig
+    >>> points = [
+    ...     ScenarioConfig.homogeneous(2, sim_time_us=1e5, seed=s)
+    ...     for s in (1, 2)
+    ... ]
+    >>> [r.successes > 0 for r in batch_simulate(points)]
+    [True, True]
+    """
+    return BatchSlotKernel(scenarios, streams=streams).run()

@@ -78,6 +78,33 @@ class RandomStreams:
         streams.seed = seed
         return streams
 
+    def clone(self) -> "RandomStreams":
+        """A same-derivation tree with *fresh* generators.
+
+        ``stream(...)`` generators are stateful and cached, so handing
+        one tree to two simulators makes them consume each other's
+        draws — a silently-shared-RNG hazard that would let a
+        differential comparison "pass" by comparing a simulator
+        against its own perturbation.  A clone derives the exact same
+        substreams from the same root (each starting at the beginning
+        of its stream, regardless of what the original has already
+        consumed), with no state shared with the original:
+
+        >>> a = RandomStreams(3)
+        >>> _ = a.stream("station", 0).integers(0, 8, size=5)
+        >>> b = a.clone()  # unaffected by a's consumed draws
+        >>> c = RandomStreams(3)
+        >>> list(b.stream("station", 0).integers(0, 8, size=2)) == list(
+        ...     c.stream("station", 0).integers(0, 8, size=2)
+        ... )
+        True
+        """
+        clone = RandomStreams.__new__(RandomStreams)
+        clone._root = self._root
+        clone._streams = {}
+        clone.seed = self.seed
+        return clone
+
     def spawn(self, *key: object) -> "RandomStreams":
         """Create an independent child tree (e.g. per repetition)."""
         child = RandomStreams.__new__(RandomStreams)

@@ -33,6 +33,7 @@ the per-task lifecycle trace (``runner.trace``, exportable as JSONL
 via ``trace_path``).
 """
 
+from .batch import BatchRunner
 from .cache import CacheEntryError, ResultCache, cache_key
 from .faults import FaultPlan, InjectedFault
 from .runner import (
@@ -47,6 +48,7 @@ from .tasks import Task, TaskKind
 from .telemetry import TaskEvent, TaskFailure, TraceRecorder
 
 __all__ = [
+    "BatchRunner",
     "ExperimentRunner",
     "RunnerConfig",
     "RunnerTaskError",

@@ -1,0 +1,187 @@
+"""Batch-kernel execution with per-point caching and scalar fallback.
+
+:class:`BatchRunner` is the sweep-facing entry to
+:class:`~repro.batch.kernel.BatchSlotKernel`: it takes the same
+``(scenarios, root_seed, repetitions)`` inputs as
+:meth:`~repro.runner.runner.ExperimentRunner.run_scenarios` and returns
+the same repetition-major :class:`~repro.runner.runner.SimPointResult`
+lists — bit-identical numbers, computed hundreds of points at a time.
+
+The cache contract is the load-bearing part.  Every point is keyed by
+the sha256 of the **scalar** ``simulate`` task description it is
+equivalent to (same scenario payload, same
+:class:`~repro.runner.seeding.SeedSpec`), and the batch kernel's
+bit-exactness guarantee makes the stored dict identical to what the
+scalar task would have written.  Consequences:
+
+- a sweep half-computed by :class:`ExperimentRunner` finishes on the
+  batch path without recomputing (and vice versa);
+- cache semantics (sha256 keys, corrupt-entry recovery, the
+  partial-results discipline) are exactly those of the scalar runner —
+  nothing batch-specific is persisted.
+
+Points outside the kernel's support matrix (unsaturated stations,
+finite retry limits — :func:`~repro.batch.kernel.check_supported`)
+fall back, per point, to the scalar ``simulate`` executor in-process.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..batch.kernel import supports_scenario
+from ..core.config import ScenarioConfig
+from ..core.metrics import RunnerCounters
+from .cache import ResultCache, cache_key
+from .runner import SimPointResult, rehydrate_simulation
+from .seeding import SeedSpec
+from .serialize import scenario_to_jsonable
+from .tasks import Task, TaskKind, execute_task
+
+__all__ = ["BatchRunner", "DEFAULT_CHUNK_SIZE"]
+
+#: Points per kernel dispatch.  Large enough to amortize the
+#: per-round Python overhead (the measured kernel/FSM ratio keeps
+#: climbing up to ~1k points), small enough to bound peak array memory.
+DEFAULT_CHUNK_SIZE = 1024
+
+
+class BatchRunner:
+    """Run simulation sweeps through the vectorized batch kernel.
+
+    Parameters
+    ----------
+    cache_dir:
+        Optional on-disk result cache, shared bit-for-bit with
+        :class:`~repro.runner.runner.ExperimentRunner` (see module
+        docstring).
+    chunk_size:
+        Maximum points per kernel dispatch.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.chunk_size = chunk_size
+        self.counters = RunnerCounters()
+
+    # -- core --------------------------------------------------------------
+    def run_scenarios(
+        self,
+        scenarios: Sequence[ScenarioConfig],
+        root_seed: int = 1,
+        repetitions: int = 1,
+    ) -> List[List[SimPointResult]]:
+        """Simulate every ``(scenario, repetition)`` pair.
+
+        Seeding follows the runner's determinism contract exactly:
+        point ``i`` at repetition ``r`` draws from ``(root_seed, i,
+        r)``.  Returns one repetition-major list per scenario, equal
+        bit-for-bit to ``ExperimentRunner.run_scenarios`` on the same
+        inputs.
+        """
+        points: List[Dict[str, Any]] = []
+        expanded: List[ScenarioConfig] = []
+        for i, scenario in enumerate(scenarios):
+            payload = scenario_to_jsonable(scenario)
+            for rep in range(repetitions):
+                seed = SeedSpec(
+                    root_seed=root_seed, point_index=i, repetition=rep
+                )
+                points.append({"scenario": payload, "seed": seed})
+                expanded.append(scenario)
+
+        raw = self._run_points(points, expanded)
+        grouped: List[List[SimPointResult]] = []
+        for i, scenario in enumerate(scenarios):
+            chunk = raw[i * repetitions : (i + 1) * repetitions]
+            grouped.append(
+                [rehydrate_simulation(scenario, entry) for entry in chunk]
+            )
+        return grouped
+
+    def _run_points(
+        self,
+        points: List[Dict[str, Any]],
+        scenarios: List[ScenarioConfig],
+    ) -> List[Dict[str, Any]]:
+        """Resolve every point: cache, batch kernel, or scalar fallback."""
+        self.counters.points_total += len(points)
+        self.counters.workers = 1
+        results: List[Optional[Dict[str, Any]]] = [None] * len(points)
+        keys: List[str] = []
+        batched: List[int] = []
+        for idx, point in enumerate(points):
+            # The *scalar* task this point is equivalent to — its key
+            # is the cache identity on both execution paths.
+            task = self._scalar_task(point)
+            key = cache_key(task.describe())
+            keys.append(key)
+            if self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[idx] = cached
+                    continue
+            if supports_scenario(scenarios[idx]):
+                batched.append(idx)
+            else:
+                results[idx] = self._finish(idx, task, keys[idx])
+
+        for start in range(0, len(batched), self.chunk_size):
+            chunk = batched[start : start + self.chunk_size]
+            out = execute_task(
+                Task(
+                    kind=TaskKind.SIMULATE_BATCH,
+                    payload={
+                        "points": [
+                            {
+                                "scenario": points[idx]["scenario"],
+                                "seed": points[idx]["seed"].as_jsonable(),
+                            }
+                            for idx in chunk
+                        ]
+                    },
+                )
+            )
+            for idx, result in zip(chunk, out["points"]):
+                self.counters.executed += 1
+                if self.cache is not None:
+                    self.cache.put(
+                        keys[idx],
+                        result,
+                        self._scalar_task(points[idx]).describe(),
+                    )
+                results[idx] = result
+
+        if self.cache is not None:
+            self.counters.cache_hits += self.cache.hits
+            self.counters.cache_misses += self.cache.misses
+            self.counters.cache_corrupt += self.cache.corrupt
+            self.cache.hits = self.cache.misses = self.cache.corrupt = 0
+        return results  # type: ignore[return-value]
+
+    # -- helpers -----------------------------------------------------------
+    @staticmethod
+    def _scalar_task(point: Dict[str, Any]) -> Task:
+        return Task(
+            kind=TaskKind.SIMULATE,
+            payload={
+                "scenario": point["scenario"],
+                "record_winners": False,
+            },
+            seed=point["seed"],
+        )
+
+    def _finish(self, idx: int, task: Task, key: str) -> Dict[str, Any]:
+        """Scalar in-process fallback for an unsupported point."""
+        result = execute_task(task)
+        self.counters.executed += 1
+        if self.cache is not None:
+            self.cache.put(key, result, task.describe())
+        return result

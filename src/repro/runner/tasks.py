@@ -25,6 +25,16 @@ Task kinds
     ``"80211"`` family) for one configuration over a list of station
     counts.  Deterministic — carries no seed, so identical curves are
     shared between sweeps with different root seeds.
+``simulate_batch``
+    An *array* of scenario points advanced in lockstep by the
+    vectorized :class:`~repro.batch.kernel.BatchSlotKernel` (one
+    worker dispatch for the whole array).  Each point carries its own
+    scenario and :class:`SeedSpec` in the payload and produces exactly
+    the dict a ``simulate`` task for the same point would — the batch
+    kernel is bit-exact against :class:`~repro.core.simulator
+    .SlotSimulator` — so :class:`~repro.runner.batch.BatchRunner` can
+    cache each point under its *scalar* task key and batch/scalar
+    executions interoperate through the same cache entries.
 ``collision_test``
     One §3.2 emulated-testbed test
     (:func:`repro.experiments.procedures.run_collision_test`), seeded
@@ -60,6 +70,7 @@ __all__ = [
     "checkpoint_status",
     "execute_task",
     "run_task",
+    "simulation_result_dict",
 ]
 
 
@@ -67,6 +78,7 @@ class TaskKind:
     """Names of the registered task kinds."""
 
     SIMULATE = "simulate"
+    SIMULATE_BATCH = "simulate_batch"
     MODEL_CURVE = "model_curve"
     COLLISION_TEST = "collision_test"
 
@@ -100,6 +112,34 @@ class Task:
             "payload": self.payload,
             "seed": self.seed.as_jsonable() if self.seed else None,
         }
+
+
+def simulation_result_dict(result) -> Dict[str, Any]:
+    """The JSON-able counters dict of a ``simulate``-family result.
+
+    Shared by the scalar and batch executors so their outputs are
+    field-for-field identical — the property that lets batch-computed
+    points live in the cache under scalar ``simulate`` task keys.
+    """
+    return {
+        "duration_us": result.duration_us,
+        "successes": result.successes,
+        "collisions": result.collisions,
+        "collision_events": result.collision_events,
+        "idle_slots": result.idle_slots,
+        "stations": [
+            {
+                "index": s.index,
+                "successes": s.successes,
+                "collisions": s.collisions,
+                "drops": s.drops,
+                "jumps": s.jumps,
+                "arrivals": s.arrivals,
+                "queue_losses": s.queue_losses,
+            }
+            for s in result.stations
+        ],
+    }
 
 
 def _run_simulate(
@@ -150,28 +190,49 @@ def _run_simulate(
             streams=streams_for(seed),
         )
         result = sim.run()
-    out: Dict[str, Any] = {
-        "duration_us": result.duration_us,
-        "successes": result.successes,
-        "collisions": result.collisions,
-        "collision_events": result.collision_events,
-        "idle_slots": result.idle_slots,
-        "stations": [
-            {
-                "index": s.index,
-                "successes": s.successes,
-                "collisions": s.collisions,
-                "drops": s.drops,
-                "jumps": s.jumps,
-                "arrivals": s.arrivals,
-                "queue_losses": s.queue_losses,
-            }
-            for s in result.stations
-        ],
-    }
+    out = simulation_result_dict(result)
     if record_winners:
         out["winners"] = [int(w) for w in result.trace.winners()]
     return out
+
+
+def _run_simulate_batch(
+    payload: Dict[str, Any],
+    seed: Optional[SeedSpec],
+    runtime: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Advance an array of points in lockstep through the batch kernel.
+
+    ``payload["points"]`` is a list of ``{"scenario": ..., "seed":
+    ...}`` dicts (scenario as JSON-able, seed a :class:`SeedSpec`
+    as-jsonable).  Every point gets the same per-(point, station)
+    streams a scalar ``simulate`` task would, so the returned
+    ``points`` list holds dicts bit-identical to what ``simulate``
+    would produce for each.  Raises :class:`~repro.batch.kernel
+    .UnsupportedScenario` if any point falls outside the kernel's
+    support matrix — routing/fallback is the caller's job
+    (:class:`~repro.runner.batch.BatchRunner`).
+    """
+    from ..batch.kernel import BatchSlotKernel
+
+    scenarios = []
+    streams = []
+    for point in payload["points"]:
+        if point.get("record_winners"):
+            raise ValueError(
+                "record_winners is not supported on the batch path; "
+                "use a scalar simulate task"
+            )
+        scenarios.append(scenario_from_jsonable(point["scenario"]))
+        streams.append(
+            streams_for(SeedSpec.from_jsonable(point["seed"]))
+        )
+    kernel = BatchSlotKernel(scenarios, streams=streams)
+    return {
+        "points": [
+            simulation_result_dict(result) for result in kernel.run()
+        ]
+    }
 
 
 def _run_model_curve(
@@ -332,6 +393,7 @@ def _run_collision_test(
 
 _EXECUTORS = {
     TaskKind.SIMULATE: _run_simulate,
+    TaskKind.SIMULATE_BATCH: _run_simulate_batch,
     TaskKind.MODEL_CURVE: _run_model_curve,
     TaskKind.COLLISION_TEST: _run_collision_test,
 }

@@ -10,6 +10,10 @@ Subcommands map to the paper's artifacts:
 - ``overhead`` — the §3.3 MME-overhead measurement;
 - ``sweep`` — throughput/collision vs. N for the standard protocols;
 - ``boost`` — search for and report a boosted configuration;
+- ``batch`` — the same saturated sweep through the vectorized batch
+  kernel (``repro.batch``): bit-identical numbers, one lockstep numpy
+  pass over all (N, repetition) points, sharing the scalar runner's
+  result cache;
 - ``load`` / ``errors`` / ``delay`` / ``coexist`` — the extension
   experiments (unsaturated load, channel errors + ARQ, access-delay
   model, boosted/legacy coexistence);
@@ -237,6 +241,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--counts", type=int, nargs="+", default=[2, 5, 10, 20]
     )
     _add_runner_args(boost)
+
+    batch = sub.add_parser(
+        "batch",
+        help="throughput/collision vs N through the vectorized batch "
+        "kernel (bit-exact vs the scalar simulator, one process)",
+    )
+    batch.add_argument(
+        "--counts", type=int, nargs="+", default=[2, 5, 10, 20, 50]
+    )
+    batch.add_argument("--sim-time", type=float, default=2e7)
+    batch.add_argument("--seed", type=int, default=1)
+    batch.add_argument("--reps", type=int, default=3)
+    batch.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="on-disk result cache, shared bit-for-bit with the "
+        "scalar runner (default: off)",
+    )
+    batch.add_argument(
+        "--chunk-size", type=int, default=1024,
+        help="points per kernel dispatch (default: 1024)",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the experiment result cache"
@@ -570,6 +595,55 @@ def _cmd_boost(args: argparse.Namespace) -> int:
         )
     )
     _print_runner_counters(runner)
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from ..core import ScenarioConfig
+    from ..core.results import aggregate
+    from ..report.tables import format_table
+    from ..runner import BatchRunner
+
+    scenarios = [
+        ScenarioConfig.homogeneous(
+            num_stations=n, sim_time_us=args.sim_time, seed=args.seed
+        )
+        for n in args.counts
+    ]
+    runner = BatchRunner(
+        cache_dir=args.cache_dir, chunk_size=args.chunk_size
+    )
+    grouped = runner.run_scenarios(
+        scenarios, root_seed=args.seed, repetitions=args.reps
+    )
+    rows = []
+    for n, reps in zip(args.counts, grouped):
+        runs = [point.result for point in reps]
+        agg = aggregate(runs)
+        jain = sum(run.jain_fairness() for run in runs) / len(runs)
+        rows.append(
+            (
+                n,
+                f"{agg.normalized_throughput:.4f}",
+                f"{agg.collision_probability:.4f}",
+                f"{jain:.4f}",
+            )
+        )
+    print(
+        format_table(
+            ["N", "throughput S", "collision p", "Jain fairness"],
+            rows,
+            title=(
+                f"Batch kernel sweep ({args.reps} rep(s), "
+                f"{args.sim_time / 1e6:g} s simulated per point)"
+            ),
+        )
+    )
+    c = runner.counters
+    print(
+        f"[batch] points={c.points_total} executed={c.executed} "
+        f"cache_hits={c.cache_hits}"
+    )
     return 0
 
 
@@ -1009,6 +1083,7 @@ _COMMANDS = {
     "overhead": _cmd_overhead,
     "sweep": _cmd_sweep,
     "boost": _cmd_boost,
+    "batch": _cmd_batch,
     "cache": _cmd_cache,
     "checkpoint": _cmd_checkpoint,
     "trace": _cmd_trace,

@@ -1,0 +1,126 @@
+"""Batch-kernel checkpointing: bit-identical resumption at round edges."""
+
+import pytest
+
+from repro.batch import BatchSlotKernel
+from repro.checkpoint import (
+    CheckpointStore,
+    restore_batch_kernel,
+    run_batch_with_checkpoints,
+    snapshot_batch_kernel,
+)
+from repro.core import ScenarioConfig
+from repro.core.config import CsmaConfig
+
+
+def _scenarios():
+    return [
+        ScenarioConfig.homogeneous(2, sim_time_us=1e5, seed=51),
+        ScenarioConfig.homogeneous(4, sim_time_us=1e5, seed=52),
+        ScenarioConfig.homogeneous(
+            3,
+            csma=CsmaConfig(cw=(8, 16, 16, 32), dc=(0, 1, 3, 15)),
+            sim_time_us=8e4,
+            seed=53,
+        ),
+    ]
+
+
+def test_checkpointed_run_equals_plain_run(tmp_path):
+    scenarios = _scenarios()
+    store = CheckpointStore(str(tmp_path))
+    checkpointed = run_batch_with_checkpoints(
+        BatchSlotKernel(scenarios), store, every_rounds=40
+    )
+    plain = BatchSlotKernel(scenarios).run()
+    assert checkpointed == plain
+    assert store.sequence_numbers(), "expected snapshots on disk"
+
+
+def test_resume_from_snapshot_is_bit_identical(tmp_path):
+    scenarios = _scenarios()
+
+    # Interrupted run: advance partway, snapshot through the store.
+    kernel = BatchSlotKernel(scenarios)
+    assert kernel.advance(60) is False
+    store = CheckpointStore(str(tmp_path))
+    from repro.checkpoint import Checkpoint
+
+    store.write(
+        Checkpoint(
+            kind="batch",
+            seq=store.next_seq(),
+            sim_time_us=0.0,
+            meta={"points": len(scenarios)},
+            state=snapshot_batch_kernel(kernel),
+        )
+    )
+
+    # "Crash", then restore from the newest valid checkpoint.
+    newest = store.latest_valid()
+    assert newest is not None and newest.kind == "batch"
+    resumed = restore_batch_kernel(scenarios, newest.state)
+    assert resumed.rounds == 60
+    resumed.advance(None)
+
+    uninterrupted = BatchSlotKernel(scenarios)
+    uninterrupted.advance(None)
+    assert resumed.results() == uninterrupted.results()
+    assert resumed.rounds == uninterrupted.rounds
+
+
+def test_snapshot_midway_does_not_perturb_the_run():
+    """Snapshotting writes back RNG state without changing the draws."""
+    scenarios = _scenarios()
+    kernel = BatchSlotKernel(scenarios)
+    while not kernel.advance(25):
+        snapshot_batch_kernel(kernel)
+    plain = BatchSlotKernel(scenarios).run()
+    assert kernel.results() == plain
+
+
+def test_restore_rejects_mismatched_scenarios():
+    scenarios = _scenarios()
+    kernel = BatchSlotKernel(scenarios)
+    kernel.advance(10)
+    payload = snapshot_batch_kernel(kernel)
+    # Same batch size, but a narrower widest point: the dynamic
+    # arrays no longer line up.
+    narrower = [
+        scenarios[0],
+        ScenarioConfig.homogeneous(2, sim_time_us=1e5, seed=52),
+        scenarios[2],
+    ]
+    with pytest.raises(ValueError, match="shape"):
+        restore_batch_kernel(narrower, payload)
+
+
+def test_every_rounds_validated(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    kernel = BatchSlotKernel(_scenarios()[:1])
+    with pytest.raises(ValueError, match="every_rounds"):
+        run_batch_with_checkpoints(kernel, store, every_rounds=0)
+
+
+def test_snapshot_pickles_through_store_format(tmp_path):
+    """The payload survives the store's serialize/checksum round trip."""
+    from repro.checkpoint import Checkpoint, read_file
+
+    scenarios = _scenarios()[:2]
+    kernel = BatchSlotKernel(scenarios)
+    kernel.advance(30)
+    store = CheckpointStore(str(tmp_path))
+    path = store.write(
+        Checkpoint(
+            kind="batch",
+            seq=1,
+            sim_time_us=1.0,
+            meta={},
+            state=snapshot_batch_kernel(kernel),
+        )
+    )
+    loaded = read_file(path)
+    resumed = restore_batch_kernel(scenarios, loaded.state)
+    resumed.advance(None)
+    kernel.advance(None)
+    assert resumed.results() == kernel.results()

@@ -1,0 +1,69 @@
+"""Cross-check: batch kernel vs the paper's analytical 1901 model.
+
+Reuses the accuracy tolerances of ``benchmarks/bench_analysis_accuracy``
+(collision-probability absolute error < 0.055, throughput relative
+error < 0.06): if the kernel satisfies them wherever the FSM simulator
+does, the two engines agree not just bit-wise on shared seeds but also
+distributionally against an independent reference.
+"""
+
+import pytest
+
+from repro.analysis import Model1901
+from repro.batch import batch_simulate
+from repro.core import ScenarioConfig
+from repro.core.config import CsmaConfig, TimingConfig
+from repro.core.results import aggregate
+from repro.engine import RandomStreams
+
+#: Same tolerances bench_analysis_accuracy enforces for the FSM.
+COLLISION_ABS_TOL = 0.055
+THROUGHPUT_REL_TOL = 0.06
+
+SIM_TIME_US = 1e7
+REPETITIONS = 2
+SEED = 1
+
+
+def _kernel_aggregate(n, config, timing):
+    """Aggregate kernel reps seeded exactly like ``simulate()``."""
+    scenario = ScenarioConfig.homogeneous(
+        num_stations=n,
+        csma=config,
+        timing=timing,
+        sim_time_us=SIM_TIME_US,
+        seed=SEED,
+    )
+    root = RandomStreams(scenario.seed)
+    streams = [root.spawn("rep", rep) for rep in range(REPETITIONS)]
+    runs = batch_simulate([scenario] * REPETITIONS, streams=streams)
+    return aggregate(runs)
+
+
+@pytest.mark.parametrize("n", [2, 5, 10])
+def test_kernel_matches_1901_model(n):
+    config = CsmaConfig.default_1901()
+    timing = TimingConfig()
+    prediction = Model1901(config, timing).solve(n)
+    agg = _kernel_aggregate(n, config, timing)
+    assert agg.collision_probability == pytest.approx(
+        prediction.collision_probability, abs=COLLISION_ABS_TOL
+    )
+    assert agg.normalized_throughput == pytest.approx(
+        prediction.normalized_throughput, rel=THROUGHPUT_REL_TOL
+    )
+
+
+@pytest.mark.parametrize("n", [2, 5])
+def test_kernel_matches_model_on_boosted_schedule(n):
+    """The CA2/CA3-shaped boosted schedule from the paper's Table 1."""
+    config = CsmaConfig(cw=(8, 16, 16, 32), dc=(0, 1, 3, 15))
+    timing = TimingConfig()
+    prediction = Model1901(config, timing).solve(n)
+    agg = _kernel_aggregate(n, config, timing)
+    assert agg.collision_probability == pytest.approx(
+        prediction.collision_probability, abs=COLLISION_ABS_TOL
+    )
+    assert agg.normalized_throughput == pytest.approx(
+        prediction.normalized_throughput, rel=THROUGHPUT_REL_TOL
+    )

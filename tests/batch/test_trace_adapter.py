@@ -1,0 +1,96 @@
+"""Per-round trace adapter: kernel and FSM speak the same language."""
+
+import dataclasses
+
+from repro.batch import (
+    RoundRecord,
+    compare_round_records,
+    kernel_round_records,
+    slotsim_round_records,
+)
+from repro.core import ScenarioConfig
+from repro.core.config import CsmaConfig
+
+SCENARIOS = [
+    ScenarioConfig.homogeneous(2, sim_time_us=1e5, seed=41),
+    ScenarioConfig.homogeneous(4, sim_time_us=1e5, seed=42),
+    ScenarioConfig.homogeneous(
+        3,
+        csma=CsmaConfig(cw=(8, 16, 16, 32), dc=(0, 1, 3, 15)),
+        sim_time_us=1e5,
+        seed=43,
+    ),
+]
+
+
+def test_round_records_bit_exact_per_point():
+    batch_records, batch_results = kernel_round_records(SCENARIOS)
+    for b, scenario in enumerate(SCENARIOS):
+        scalar_records, scalar_result = slotsim_round_records(scenario)
+        problems = compare_round_records(scalar_records, batch_records[b])
+        assert problems == [], "\n".join(problems)
+        assert batch_results[b].successes == scalar_result.successes
+        assert batch_results[b].collisions == scalar_result.collisions
+
+
+def test_record_fields_are_consistent():
+    records, _ = slotsim_round_records(SCENARIOS[1])
+    assert records, "expected at least one round"
+    outcomes = {r.outcome for r in records}
+    assert outcomes <= {"idle", "success", "collision"}
+    for r in records:
+        if r.outcome == "idle":
+            assert r.stations == () and r.winner is None
+        elif r.outcome == "success":
+            assert len(r.stations) == 1 and r.winner == r.stations[0]
+        else:
+            assert len(r.stations) >= 2 and r.winner is None
+        assert len(r.per_station) == SCENARIOS[1].num_stations
+        assert r.stages == tuple(
+            r.per_station[i][0] for i in r.stations
+        )
+    # Every outcome class actually occurs on this horizon.
+    assert outcomes == {"idle", "success", "collision"}
+
+
+def test_compare_reports_first_differing_field():
+    records, _ = slotsim_round_records(SCENARIOS[0])
+    mutated = list(records)
+    mutated[3] = dataclasses.replace(mutated[3], outcome="collision")
+    problems = compare_round_records(records, mutated)
+    assert len(problems) == 1
+    assert problems[0].startswith("round 3: outcome")
+
+
+def test_compare_reports_length_mismatch():
+    records, _ = slotsim_round_records(SCENARIOS[0])
+    problems = compare_round_records(records, records[:-2])
+    assert any("round count" in p for p in problems)
+
+
+def test_compare_truncates_at_limit():
+    records, _ = slotsim_round_records(SCENARIOS[0])
+    mutated = [
+        dataclasses.replace(r, time_us=r.time_us + 1.0) for r in records
+    ]
+    problems = compare_round_records(records, mutated, limit=3)
+    assert problems[-1] == "..."
+    assert len(problems) == 4
+
+
+def test_identical_sequences_compare_clean():
+    records, _ = slotsim_round_records(SCENARIOS[2])
+    assert compare_round_records(records, list(records)) == []
+
+
+def test_round_record_is_hashable_value_object():
+    r = RoundRecord(
+        time_us=0.0,
+        outcome="idle",
+        stations=(),
+        winner=None,
+        stages=(),
+        per_station=((0, 8, 0, 3),),
+    )
+    assert r == dataclasses.replace(r)
+    assert hash(r) == hash(dataclasses.replace(r))

@@ -7,6 +7,10 @@ import pytest
 MODULES = [
     "repro",
     "repro.analysis",
+    "repro.batch",
+    "repro.batch.kernel",
+    "repro.batch.lanes",
+    "repro.batch.adapter",
     "repro.boost",
     "repro.chaos",
     "repro.chaos.experiment",
