@@ -1,0 +1,71 @@
+"""Experiment X12 (extension) — the large-N validity map.
+
+Sweeps the analytical 1901 model against batch-kernel simulations
+across load regimes (saturated, fractional-load, heterogeneous,
+retry-limited) and station counts beyond the paper's N ≤ 7, charting
+where the decoupling analysis stays valid (Cano & Malone's question).
+
+Shape expectations: the saturated and retry-limited regimes track the
+model at every N; the fractional-load collision error *grows* with N
+(the saturated model over-predicts contention ever more as idle time
+appears); the heterogeneous mix sits in between and drifts with N.
+"""
+
+import pytest
+
+from conftest import CACHE_DIR, FULL, emit
+from repro.validity import (
+    build_validity_map,
+    default_pins,
+    format_validity_map,
+    validity_figure,
+)
+
+COUNTS = (5, 10, 25, 50, 100, 150) if FULL else (5, 10, 25, 50)
+SIM_TIME_US = 1e7 if FULL else 2e6
+
+
+def _generate():
+    return build_validity_map(
+        counts=COUNTS,
+        sim_time_us=SIM_TIME_US,
+        repetitions=2,
+        seed=1,
+        cache_dir=CACHE_DIR,
+    )
+
+
+@pytest.mark.benchmark(group="validity")
+def bench_validity(benchmark):
+    vmap = benchmark.pedantic(_generate, rounds=1, iterations=1)
+
+    emit("")
+    emit(format_validity_map(vmap))
+    emit(validity_figure(vmap))
+
+    # --- shape assertions -------------------------------------------------
+    by_regime = {}
+    for row in vmap.rows:
+        by_regime.setdefault(row.regime, []).append(row)
+
+    # Model-valid regimes stay tight at every N (the committed pins'
+    # saturated/retry_limited ceilings, regardless of bench scale).
+    for name in ("saturated", "retry_limited"):
+        pin = default_pins()["regimes"][name]
+        for row in by_regime[name]:
+            assert (
+                row.collision_probability_error
+                < pin["collision_probability_error"]
+            )
+
+    # The saturated model over-predicts contention under fractional
+    # load, and the gap widens with N.
+    frac = by_regime["fractional_load"]
+    errors = [r.collision_probability_error for r in frac]
+    assert all(a < b for a, b in zip(errors, errors[1:]))
+    assert errors[-1] > 0.4
+
+    # The heterogeneous mix sits between the two extremes.
+    het = by_regime["heterogeneous"]
+    for h, f in zip(het, frac):
+        assert h.collision_probability_error < f.collision_probability_error

@@ -5,17 +5,23 @@ analytical model, the MAC simulator and testbed measurements.  This
 module automates the first two (the third comes from
 :mod:`repro.experiments`), producing per-N comparison rows with
 relative errors.
+
+Simulation runs route through :class:`~repro.runner.batch.BatchRunner`
+(the vectorized kernel, with per-point caching and the scalar
+fallback), seeded in the *legacy* ``simulate()`` derivation so the
+numbers are bit-identical to the historical direct-``simulate()``
+implementation — pass ``cache_dir`` to make repeated comparisons (and
+the validity harness built on top) incremental.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import List, Optional, Sequence
 
 from ..core.config import CsmaConfig, ScenarioConfig, TimingConfig
 from ..core.results import aggregate
-from ..core.simulator import simulate
-from .model import Model1901
 
 __all__ = ["ComparisonRow", "compare_model_to_simulation"]
 
@@ -39,11 +45,31 @@ class ComparisonRow:
 
     @property
     def throughput_relative_error(self) -> float:
+        """|model − sim| / sim — ``NaN`` when the sim delivered nothing.
+
+        A zero simulated throughput makes the relative error undefined;
+        returning ``inf`` (the historical behaviour) poisons any mean
+        or percentile downstream.  ``NaN`` plus the :attr:`flagged`
+        marker lets aggregation skip the row explicitly instead.
+        """
         if self.sim_throughput == 0:
-            return float("inf")
+            return float("nan")
         return (
             abs(self.model_throughput - self.sim_throughput)
             / self.sim_throughput
+        )
+
+    @property
+    def flagged(self) -> bool:
+        """Whether any error metric of this row is undefined.
+
+        ``True`` means the relative throughput error is ``NaN`` (the
+        simulation delivered zero frames — e.g. a degenerate horizon or
+        a starved unsaturated regime) and the row must be excluded from
+        error aggregation rather than averaged in.
+        """
+        return math.isnan(self.throughput_relative_error) or math.isnan(
+            self.collision_probability_error
         )
 
 
@@ -55,22 +81,56 @@ def compare_model_to_simulation(
     repetitions: int = 3,
     seed: int = 1,
     method: str = "markov",
+    runner=None,
+    cache_dir=None,
 ) -> List[ComparisonRow]:
-    """Run model and simulator over ``station_counts`` and tabulate."""
+    """Run model and simulator over ``station_counts`` and tabulate.
+
+    ``runner`` is an optional :class:`~repro.runner.batch.BatchRunner`
+    to execute (and cache) the simulation points on; by default a
+    cache-less one is created (pass ``cache_dir`` as a shorthand).
+    Results are bit-identical to the historical implementation that
+    called :func:`~repro.core.simulator.simulate` directly: each
+    repetition is seeded via the legacy ``spawn("rep", rep)``
+    derivation (:class:`~repro.runner.seeding.SeedSpec.legacy_rep`).
+    """
+    from ..runner.batch import BatchRunner
+    from ..runner.seeding import SeedSpec
+
+    from .model import Model1901
+
     config = config if config is not None else CsmaConfig.default_1901()
     timing = timing if timing is not None else TimingConfig()
     model = Model1901(config, timing, method=method)
-    rows: List[ComparisonRow] = []
-    for n in station_counts:
-        prediction = model.solve(n)
-        scenario = ScenarioConfig.homogeneous(
+    if runner is None:
+        runner = BatchRunner(cache_dir=cache_dir)
+
+    scenarios = [
+        ScenarioConfig.homogeneous(
             num_stations=n,
             csma=config,
             timing=timing,
             sim_time_us=sim_time_us,
             seed=seed,
         )
-        agg = aggregate(simulate(scenario, repetitions=repetitions))
+        for n in station_counts
+    ]
+    pairs = [
+        (scenario, SeedSpec(root_seed=seed, explicit_seed=seed, legacy_rep=rep))
+        for scenario in scenarios
+        for rep in range(repetitions)
+    ]
+    points = runner.run_points(pairs)
+
+    rows: List[ComparisonRow] = []
+    for k, (n, scenario) in enumerate(zip(station_counts, scenarios)):
+        prediction = model.solve(n)
+        agg = aggregate(
+            [
+                p.result
+                for p in points[k * repetitions : (k + 1) * repetitions]
+            ]
+        )
         rows.append(
             ComparisonRow(
                 num_stations=n,

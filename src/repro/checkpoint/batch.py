@@ -49,7 +49,12 @@ _DYNAMIC_ARRAYS = (
     "dc",
     "bpc",
     "cw",
-    "in_init",
+    "state",
+    "attempts",
+    "queue",
+    "next_arrival_us",
+    "arrivals",
+    "losses",
     "t",
     "successes",
     "collisions",
@@ -58,6 +63,7 @@ _DYNAMIC_ARRAYS = (
     "st_successes",
     "st_collisions",
     "st_jumps",
+    "st_drops",
 )
 
 
@@ -92,8 +98,16 @@ def restore_batch_kernel(
     under (the checkpoint's ``meta`` carries their JSON forms so
     callers can verify).
     """
+    # ``skip_arrival_draws``: the snapshot's stream trees carry the
+    # arrival generators mid-stream; re-running the construction-time
+    # initial interarrival draws would advance them past the snapshot
+    # state.  The dynamic ``next_arrival_us`` array is overwritten
+    # below anyway.
     kernel = BatchSlotKernel(
-        scenarios, streams=payload["streams"], on_round=on_round
+        scenarios,
+        streams=payload["streams"],
+        on_round=on_round,
+        skip_arrival_draws=True,
     )
     for name in _DYNAMIC_ARRAYS:
         target = getattr(kernel, name)

@@ -3,6 +3,14 @@
 The paper analyzes saturated stations; this extension sweeps Poisson
 offered load through the slot simulator's arrival support to locate
 the saturation knee and the delay blow-up around it.
+
+Each ``(load fraction, repetition)`` point draws from its own
+independently derived substream tree
+(:func:`repro.runner.seeding.streams_for` with ``(seed, fraction
+index, repetition)``), and the reported metrics aggregate over the
+repetitions — the historical implementation reused the identical seed
+for every load fraction and ran a single repetition, which correlated
+the points of the curve and made the estimates needlessly noisy.
 """
 
 from __future__ import annotations
@@ -14,13 +22,21 @@ import numpy as np
 
 from ..core.config import CsmaConfig, ScenarioConfig, TimingConfig
 from ..core.simulator import SlotSimulator
+from ..runner.seeding import SeedSpec, streams_for
 
 __all__ = ["LoadPoint", "offered_load_sweep", "saturation_rate_pps"]
 
 
 @dataclasses.dataclass(frozen=True)
 class LoadPoint:
-    """Measurements at one per-station offered load."""
+    """Measurements at one per-station offered load.
+
+    Counter-based metrics pool over all repetitions; delay statistics
+    pool the recorded per-frame delays.  ``delay_samples == 0`` (no
+    frame was delivered in any repetition) makes the delay statistics
+    ``NaN`` and sets :attr:`flagged` — consumers must skip such rows
+    rather than average the ``NaN`` in.
+    """
 
     arrival_rate_pps: float
     num_stations: int
@@ -32,6 +48,15 @@ class LoadPoint:
     mean_delay_us: float
     p95_delay_us: float
     queue_loss_fraction: float
+    #: Repetitions pooled into this point.
+    repetitions: int = 1
+    #: Recorded per-frame delays across all repetitions.
+    delay_samples: int = 0
+
+    @property
+    def flagged(self) -> bool:
+        """Whether the delay statistics are undefined (no samples)."""
+        return self.delay_samples == 0
 
 
 def saturation_rate_pps(
@@ -63,12 +88,21 @@ def offered_load_sweep(
     seed: int = 1,
     config: Optional[CsmaConfig] = None,
     timing: Optional[TimingConfig] = None,
+    repetitions: int = 3,
 ) -> List[LoadPoint]:
-    """Sweep per-station Poisson arrivals as fractions of saturation."""
+    """Sweep per-station Poisson arrivals as fractions of saturation.
+
+    Every ``(fraction, repetition)`` pair gets its own derived seed
+    (fraction index as the point index), so neighbouring points of the
+    curve are statistically independent, and each point's metrics pool
+    ``repetitions`` independent runs.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
     timing = timing if timing is not None else TimingConfig()
     knee = saturation_rate_pps(num_stations, timing)
     points = []
-    for fraction in load_fractions:
+    for index, fraction in enumerate(load_fractions):
         rate = max(fraction * knee, 1e-3)
         scenario = ScenarioConfig.homogeneous(
             num_stations=num_stations,
@@ -78,25 +112,52 @@ def offered_load_sweep(
             seed=seed,
             arrival_rate_pps=rate,
         )
-        result = SlotSimulator(scenario, record_delays=True).run()
-        seconds = result.duration_us / 1e6
-        arrivals = sum(s.arrivals for s in result.stations)
-        losses = sum(s.queue_losses for s in result.stations)
+        seconds = 0.0
+        arrivals = 0
+        losses = 0
+        successes = 0
+        collisions = 0
+        delay_chunks = []
+        for rep in range(repetitions):
+            spec = SeedSpec(
+                root_seed=seed, point_index=index, repetition=rep
+            )
+            result = SlotSimulator(
+                scenario, record_delays=True, streams=streams_for(spec)
+            ).run()
+            seconds += result.duration_us / 1e6
+            arrivals += sum(s.arrivals for s in result.stations)
+            losses += sum(s.queue_losses for s in result.stations)
+            successes += result.successes
+            collisions += result.collisions
+            if result.delays_us is not None and result.delays_us.size:
+                delay_chunks.append(result.delays_us)
         delays = (
-            result.delays_us
-            if result.delays_us is not None and result.delays_us.size
-            else np.array([np.nan])
+            np.concatenate(delay_chunks) if delay_chunks else None
         )
+        attempts = collisions + successes
         points.append(
             LoadPoint(
                 arrival_rate_pps=rate,
                 num_stations=num_stations,
                 offered_fps=arrivals / seconds,
-                delivered_fps=result.successes / seconds,
-                collision_probability=result.collision_probability,
-                mean_delay_us=float(np.nanmean(delays)),
-                p95_delay_us=float(np.nanpercentile(delays, 95)),
+                delivered_fps=successes / seconds,
+                collision_probability=(
+                    collisions / attempts if attempts else 0.0
+                ),
+                mean_delay_us=(
+                    float(delays.mean())
+                    if delays is not None
+                    else float("nan")
+                ),
+                p95_delay_us=(
+                    float(np.percentile(delays, 95))
+                    if delays is not None
+                    else float("nan")
+                ),
                 queue_loss_fraction=losses / arrivals if arrivals else 0.0,
+                repetitions=repetitions,
+                delay_samples=int(delays.size) if delays is not None else 0,
             )
         )
     return points

@@ -20,9 +20,10 @@ scalar task would have written.  Consequences:
   partial-results discipline) are exactly those of the scalar runner —
   nothing batch-specific is persisted.
 
-Points outside the kernel's support matrix (unsaturated stations,
-finite retry limits — :func:`~repro.batch.kernel.check_supported`)
-fall back, per point, to the scalar ``simulate`` executor in-process.
+The kernel covers the full ``ScenarioConfig`` space (saturated and
+unsaturated stations, finite retry limits — see
+:func:`~repro.batch.kernel.check_supported`); the per-point scalar
+fallback remains as a safety valve should the gate ever narrow again.
 """
 
 from __future__ import annotations
@@ -105,6 +106,30 @@ class BatchRunner:
                 [rehydrate_simulation(scenario, entry) for entry in chunk]
             )
         return grouped
+
+    def run_points(
+        self,
+        pairs: Sequence[tuple],
+    ) -> List[SimPointResult]:
+        """Simulate explicit ``(scenario, SeedSpec)`` points.
+
+        The general-purpose entry behind :meth:`run_scenarios`:
+        callers that need a seeding mode other than the grid contract
+        — e.g. the validity harness's legacy-``simulate`` seeds, which
+        reproduce :func:`repro.core.simulator.simulate` bit-for-bit —
+        pass their own :class:`~repro.runner.seeding.SeedSpec` per
+        point.  Caching, chunked kernel dispatch and the scalar
+        fallback behave exactly as in :meth:`run_scenarios`.
+        """
+        points: List[Dict[str, Any]] = [
+            {"scenario": scenario_to_jsonable(scenario), "seed": spec}
+            for scenario, spec in pairs
+        ]
+        raw = self._run_points(points, [scenario for scenario, _ in pairs])
+        return [
+            rehydrate_simulation(scenario, entry)
+            for (scenario, _), entry in zip(pairs, raw)
+        ]
 
     def _run_points(
         self,

@@ -32,7 +32,7 @@ __all__ = ["SeedSpec", "derive_seed_sequence", "streams_for"]
 class SeedSpec:
     """How to seed one experiment point.
 
-    Two modes:
+    Three modes:
 
     - *derived* (the default): the point's root
       :class:`~numpy.random.SeedSequence` is spawned from
@@ -42,19 +42,41 @@ class SeedSpec:
       integer as its root seed, bypassing derivation.  This preserves
       the historical seeding of retrofitted procedures (e.g. the §3.2
       testbed tests' ``seed + repetition * 1000``) bit-for-bit.
+    - *legacy repetition* (``legacy_rep`` also set): the point's tree
+      is ``RandomStreams(explicit_seed).spawn("rep", legacy_rep)`` —
+      exactly how :func:`repro.core.simulator.simulate` seeds its
+      repetitions.  This lets procedures that historically called
+      ``simulate(scenario, repetitions=r)`` directly (e.g.
+      ``compare_model_to_simulation``) route through the runner/batch
+      paths while reproducing their golden numbers bit-for-bit.
+
+    ``as_jsonable`` omits ``legacy_rep`` when unset, so every
+    pre-existing task description — and therefore every existing cache
+    key — stays byte-identical.
     """
 
     root_seed: int = 1
     point_index: int = 0
     repetition: int = 0
     explicit_seed: Optional[int] = None
+    legacy_rep: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.point_index < 0 or self.repetition < 0:
             raise ValueError("point_index and repetition must be >= 0")
+        if self.legacy_rep is not None and self.explicit_seed is None:
+            raise ValueError(
+                "legacy_rep requires explicit_seed (the scenario seed "
+                "the historical simulate() call would have used)"
+            )
 
     def as_jsonable(self) -> dict:
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        if data["legacy_rep"] is None:
+            # Keep pre-legacy_rep task descriptions (and cache keys)
+            # byte-identical.
+            del data["legacy_rep"]
+        return data
 
     @classmethod
     def from_jsonable(cls, data: dict) -> "SeedSpec":
@@ -63,6 +85,10 @@ class SeedSpec:
 
 def derive_seed_sequence(spec: SeedSpec) -> np.random.SeedSequence:
     """The point's root ``SeedSequence`` under the determinism contract."""
+    if spec.legacy_rep is not None:
+        # simulate()'s historical per-repetition derivation.
+        root = RandomStreams(spec.explicit_seed)
+        return root.spawn("rep", spec.legacy_rep)._root
     if spec.explicit_seed is not None:
         return np.random.SeedSequence(spec.explicit_seed)
     return np.random.SeedSequence(

@@ -21,6 +21,11 @@ Subcommands map to the paper's artifacts:
 - ``checkpoint`` — inspect/verify a checkpoint store, or resume an
   interrupted simulation from its newest valid snapshot (bit-identical
   to the uninterrupted run);
+- ``validity`` — the large-N model-vs-simulation validity map
+  (``repro.validity``): sweep every (regime, N) cell on the batch
+  kernel, flag model errors against committed pins, export the JSON
+  artifact (``run``) or re-check a saved artifact's flags against a
+  pins file (``check``, non-zero exit on violation);
 - ``trace`` — capture JSONL MAC + sniffer-style SoF traces of an
   experiment and cross-check the trace-derived metrics against the
   direct computation (exits non-zero on disagreement > 1e-9);
@@ -370,6 +375,69 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--json", type=str, default=None, metavar="FILE",
         help="also write the profile report to FILE as JSON",
+    )
+
+    validity = sub.add_parser(
+        "validity",
+        help="large-N model-vs-simulation validity map on the batch "
+        "kernel, flagged against committed error pins",
+    )
+    validity.add_argument(
+        "action",
+        choices=["run", "check"],
+        help="run: sweep the (regime, N) grid and report/export the "
+        "map; check: re-derive a saved map's flags against a pins "
+        "file and exit non-zero on any violation",
+    )
+    validity.add_argument(
+        "--counts", type=int, nargs="+", default=[5, 10, 25, 50, 100, 150],
+        help="station counts to sweep (default: 5..150)",
+    )
+    # Keep in sync with repro.validity.regimes.REGIMES (hardcoded so
+    # parser construction stays import-light).
+    validity.add_argument(
+        "--regimes", type=str, nargs="+", default=None,
+        metavar="NAME",
+        choices=[
+            "saturated", "fractional_load", "heterogeneous",
+            "retry_limited",
+        ],
+        help="regime subset (default: all registered regimes)",
+    )
+    validity.add_argument("--sim-time", type=float, default=1e7)
+    validity.add_argument("--reps", type=int, default=2)
+    validity.add_argument("--seed", type=int, default=1)
+    validity.add_argument(
+        "--method", choices=["markov", "recursive"], default="markov"
+    )
+    validity.add_argument(
+        "--out", type=str, default=None, metavar="FILE",
+        help="write the validity-map artifact to FILE as JSON",
+    )
+    validity.add_argument(
+        "--map", type=str, default=None, metavar="FILE",
+        help="(check) saved validity-map artifact to verify",
+    )
+    validity.add_argument(
+        "--pins", type=str, default=None, metavar="FILE",
+        help="pins JSON file (default: the built-in pins)",
+    )
+    validity.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="on-disk result cache, shared bit-for-bit with the "
+        "scalar runner (default: off)",
+    )
+    validity.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="points per kernel dispatch (default: 1024)",
+    )
+    validity.add_argument(
+        "--strict", action="store_true",
+        help="(run) exit non-zero if any cell is flagged",
+    )
+    validity.add_argument(
+        "--no-figure", action="store_true",
+        help="(run) skip the ASCII error figure",
     )
 
     chaos = sub.add_parser(
@@ -987,6 +1055,91 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_pins(path: Optional[str]):
+    from ..validity import default_pins
+
+    if path is None:
+        return default_pins()
+    import json
+
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _cmd_validity(args: argparse.Namespace) -> int:
+    from ..validity import check_pins
+
+    pins = _load_pins(args.pins)
+
+    if args.action == "check":
+        import json
+
+        if args.map is None:
+            print("validity check requires --map FILE")
+            return 2
+        with open(args.map, encoding="utf-8") as handle:
+            map_data = json.load(handle)
+        problems = check_pins(map_data, pins)
+        cells = len(map_data.get("rows", []))
+        if problems:
+            print(f"pin check FAILED ({len(problems)} problem(s), "
+                  f"{cells} cell(s)):")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"pin check OK: {cells} cell(s) within pins")
+        return 0
+
+    from ..runner import BatchRunner
+    from ..validity import (
+        build_validity_map,
+        format_validity_map,
+        validity_figure,
+    )
+
+    runner = BatchRunner(
+        cache_dir=args.cache_dir,
+        **({"chunk_size": args.chunk_size} if args.chunk_size else {}),
+    )
+    vmap = build_validity_map(
+        counts=args.counts,
+        regimes=args.regimes,
+        sim_time_us=args.sim_time,
+        repetitions=args.reps,
+        seed=args.seed,
+        method=args.method,
+        pins=pins,
+        runner=runner,
+    )
+    print(format_validity_map(vmap))
+    if not args.no_figure:
+        print(validity_figure(vmap))
+    flagged = vmap.flagged_rows
+    if flagged:
+        print(f"{len(flagged)} flagged cell(s):")
+        for row in flagged:
+            print(
+                f"  {row.regime}/N={row.num_stations}: "
+                f"p err {row.collision_probability_error:.4f}, "
+                f"S rel err {row.throughput_relative_error:.4f}"
+            )
+    else:
+        print("all cells within pins")
+    c = runner.counters
+    print(
+        f"[batch] points={c.points_total} executed={c.executed} "
+        f"cache_hits={c.cache_hits}"
+    )
+    if args.out:
+        from ..report.export import write_json
+
+        write_json(args.out, vmap.as_dict())
+        print(f"validity map written to {args.out}")
+    if args.strict and flagged:
+        return 1
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
@@ -1089,6 +1242,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "profile": _cmd_profile,
     "chaos": _cmd_chaos,
+    "validity": _cmd_validity,
 }
 
 

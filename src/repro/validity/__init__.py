@@ -1,0 +1,36 @@
+"""Large-N model-vs-simulation validity map.
+
+Cano & Malone show that decoupling-style 1901 models drift in exactly
+the regimes the classic Figure-2 validation never visits: large N and
+unsaturated or heterogeneous load.  This package charts that drift.
+It sweeps the analytical model against batch-kernel simulations over
+station counts into the hundreds and a set of load *regimes*, producing
+a "validity map": per-``(regime, N)`` model-error rows, auto-flagged
+against committed pins, exported as a JSON artifact plus report
+table/figure (``repro-plc validity``).
+"""
+
+from .harness import (
+    DEFAULT_COUNTS,
+    ValidityMap,
+    ValidityRow,
+    build_validity_map,
+    check_pins,
+    default_pins,
+)
+from .regimes import REGIMES, Regime, regimes_by_name
+from .report import format_validity_map, validity_figure
+
+__all__ = [
+    "DEFAULT_COUNTS",
+    "REGIMES",
+    "Regime",
+    "ValidityMap",
+    "ValidityRow",
+    "build_validity_map",
+    "check_pins",
+    "default_pins",
+    "format_validity_map",
+    "regimes_by_name",
+    "validity_figure",
+]

@@ -1,0 +1,174 @@
+"""The load regimes of the validity map.
+
+Each :class:`Regime` builds, for a station count ``N``, one scenario
+probing a distinct corner of the model's assumption space:
+
+- ``saturated`` — the paper's operating assumption (every station
+  always backlogged).  The decoupling model is derived here; errors
+  should stay small at every N.
+- ``fractional_load`` — homogeneous Poisson arrivals at 70 % of the
+  per-station saturation rate.  Stations idle between frames, so the
+  saturated model *over*-predicts contention; the gap is the point.
+- ``heterogeneous`` — half the stations saturated, half at 50 % load.
+  Neither the saturated nor any homogeneous-unsaturated analysis
+  describes this mix.
+- ``retry_limited`` — saturated stations that drop a frame after 7
+  failed attempts (a typical 1901 retry limit).  Drops relieve
+  contention at large N, which the infinite-retry model cannot see.
+
+Every regime runs on the batch kernel — since PR 7 the kernel's
+support matrix covers unsaturated arrivals and finite retry limits
+bit-exactly (:mod:`repro.batch.kernel`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Sequence
+
+from ..core.config import (
+    CsmaConfig,
+    ScenarioConfig,
+    StationConfig,
+    TimingConfig,
+)
+from ..experiments.unsaturated import saturation_rate_pps
+
+__all__ = ["REGIMES", "Regime", "regimes_by_name"]
+
+#: Offered load of the fractional regime, as a fraction of saturation.
+FRACTIONAL_LOAD = 0.7
+
+#: Offered load of the unsaturated half of the heterogeneous regime.
+HETEROGENEOUS_LOAD = 0.5
+
+#: Frame-retry budget of the retry-limited regime.
+RETRY_LIMIT = 7
+
+
+@dataclasses.dataclass(frozen=True)
+class Regime:
+    """One load regime: a name plus a per-N scenario builder."""
+
+    name: str
+    description: str
+    #: Whether the saturated decoupling model is expected to stay
+    #: accurate here (documentation for map readers; the enforced
+    #: thresholds live in the pins file).
+    model_expected_valid: bool
+    build: Callable[..., ScenarioConfig]
+
+    def scenario(
+        self,
+        num_stations: int,
+        csma: Optional[CsmaConfig] = None,
+        timing: Optional[TimingConfig] = None,
+        sim_time_us: float = 1e7,
+        seed: int = 1,
+    ) -> ScenarioConfig:
+        csma = csma if csma is not None else CsmaConfig.default_1901()
+        timing = timing if timing is not None else TimingConfig()
+        return self.build(num_stations, csma, timing, sim_time_us, seed)
+
+
+def _per_station_rate(
+    fraction: float, num_stations: int, timing: TimingConfig
+) -> float:
+    """``fraction`` of the analytical saturation knee, floored > 0."""
+    return max(fraction * saturation_rate_pps(num_stations, timing), 1e-3)
+
+
+def _saturated(n, csma, timing, sim_time_us, seed):
+    return ScenarioConfig.homogeneous(
+        num_stations=n,
+        csma=csma,
+        timing=timing,
+        sim_time_us=sim_time_us,
+        seed=seed,
+    )
+
+
+def _fractional_load(n, csma, timing, sim_time_us, seed):
+    return ScenarioConfig.homogeneous(
+        num_stations=n,
+        csma=csma,
+        timing=timing,
+        sim_time_us=sim_time_us,
+        seed=seed,
+        arrival_rate_pps=_per_station_rate(FRACTIONAL_LOAD, n, timing),
+    )
+
+
+def _heterogeneous(n, csma, timing, sim_time_us, seed):
+    rate = _per_station_rate(HETEROGENEOUS_LOAD, n, timing)
+    stations = tuple(
+        StationConfig(
+            csma=csma,
+            arrival_rate_pps=None if i % 2 == 0 else rate,
+            name=f"sta{i}",
+        )
+        for i in range(n)
+    )
+    return ScenarioConfig(
+        stations=stations,
+        timing=timing,
+        sim_time_us=sim_time_us,
+        seed=seed,
+    )
+
+
+def _retry_limited(n, csma, timing, sim_time_us, seed):
+    return ScenarioConfig.homogeneous(
+        num_stations=n,
+        csma=dataclasses.replace(csma, retry_limit=RETRY_LIMIT),
+        timing=timing,
+        sim_time_us=sim_time_us,
+        seed=seed,
+    )
+
+
+#: Registry order is the artifact/report order AND the seed-derivation
+#: index (see harness._point_index) — append new regimes at the end.
+REGIMES: Sequence[Regime] = (
+    Regime(
+        name="saturated",
+        description="all stations permanently backlogged "
+        "(the paper's operating assumption)",
+        model_expected_valid=True,
+        build=_saturated,
+    ),
+    Regime(
+        name="fractional_load",
+        description=f"homogeneous Poisson arrivals at "
+        f"{FRACTIONAL_LOAD:.0%} of the saturation knee",
+        model_expected_valid=False,
+        build=_fractional_load,
+    ),
+    Regime(
+        name="heterogeneous",
+        description=f"half saturated, half at "
+        f"{HETEROGENEOUS_LOAD:.0%} load",
+        model_expected_valid=False,
+        build=_heterogeneous,
+    ),
+    Regime(
+        name="retry_limited",
+        description=f"saturated with frames dropped after "
+        f"{RETRY_LIMIT} attempts",
+        model_expected_valid=True,
+        build=_retry_limited,
+    ),
+)
+
+
+def regimes_by_name(names: Optional[Sequence[str]] = None) -> Sequence[Regime]:
+    """Resolve regime names (default: every registered regime)."""
+    if names is None:
+        return tuple(REGIMES)
+    registry: Dict[str, Regime] = {r.name: r for r in REGIMES}
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        raise ValueError(
+            f"unknown regime(s) {unknown}; known: {sorted(registry)}"
+        )
+    return tuple(registry[name] for name in names)

@@ -1,0 +1,75 @@
+"""Human-readable views of a validity map: table and ASCII figure."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ..report.figures import ascii_plot
+from ..report.tables import format_table
+from .harness import ValidityMap
+
+__all__ = ["format_validity_map", "validity_figure"]
+
+
+def _fmt(value: float) -> str:
+    return "nan" if math.isnan(value) else f"{value:.4f}"
+
+
+def _fmt_pin(value) -> str:
+    return "-" if value is None else f"{value:.2f}"
+
+
+def format_validity_map(vmap: ValidityMap) -> str:
+    """The per-cell error table, registry order, flags last."""
+    rows = [
+        (
+            row.regime,
+            row.num_stations,
+            _fmt(row.model_collision_probability),
+            _fmt(row.sim_collision_probability),
+            _fmt(row.collision_probability_error),
+            _fmt(row.throughput_relative_error),
+            f"{_fmt_pin(row.pin_collision)}/{_fmt_pin(row.pin_throughput)}",
+            "FLAG" if row.flagged else "ok",
+        )
+        for row in vmap.rows
+    ]
+    cfg = vmap.config
+    return format_table(
+        [
+            "regime",
+            "N",
+            "model p",
+            "sim p",
+            "p err",
+            "S rel err",
+            "pins p/S",
+            "status",
+        ],
+        rows,
+        title=(
+            f"Validity map ({cfg['repetitions']} rep(s), "
+            f"{cfg['sim_time_us'] / 1e6:g} s simulated per point, "
+            f"seed {cfg['seed']})"
+        ),
+    )
+
+
+def validity_figure(vmap: ValidityMap) -> str:
+    """Collision-probability model error vs N, one curve per regime."""
+    series: Dict[str, Tuple[List[int], List[float]]] = {}
+    for row in vmap.rows:
+        error = row.collision_probability_error
+        if math.isnan(error):
+            continue
+        xs, ys = series.setdefault(row.regime, ([], []))
+        xs.append(row.num_stations)
+        ys.append(error)
+    return ascii_plot(
+        series,
+        title="Model collision-probability error by regime",
+        xlabel="number of stations",
+        ylabel="|model p - sim p|",
+        y_min=0.0,
+    )

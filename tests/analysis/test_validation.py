@@ -1,8 +1,13 @@
 """Tests for the model-vs-simulation comparison helper."""
 
+import math
+
 import pytest
 
-from repro.analysis.validation import compare_model_to_simulation
+from repro.analysis.validation import (
+    ComparisonRow,
+    compare_model_to_simulation,
+)
 
 
 def test_comparison_rows_structure():
@@ -37,3 +42,67 @@ def test_recursive_method_usable():
         [2], sim_time_us=2e6, method="recursive"
     )
     assert rows[0].model_collision_probability > 0
+
+
+def test_zero_sim_throughput_is_nan_and_flagged():
+    """Regression: zero sim throughput used to return ``inf``."""
+    row = ComparisonRow(
+        num_stations=2,
+        model_collision_probability=0.1,
+        sim_collision_probability=0.1,
+        model_throughput=0.5,
+        sim_throughput=0.0,
+    )
+    assert math.isnan(row.throughput_relative_error)
+    assert row.flagged
+
+
+def test_healthy_row_is_not_flagged():
+    row = ComparisonRow(
+        num_stations=2,
+        model_collision_probability=0.1,
+        sim_collision_probability=0.12,
+        model_throughput=0.5,
+        sim_throughput=0.48,
+    )
+    assert not row.flagged
+    assert row.throughput_relative_error == pytest.approx(0.02 / 0.48)
+
+
+def test_matches_direct_simulate_bit_for_bit():
+    """Regression: routing through the runner must not change goldens."""
+    from repro.core.config import CsmaConfig, ScenarioConfig, TimingConfig
+    from repro.core.results import aggregate
+    from repro.core.simulator import simulate
+
+    counts, sim_time_us, repetitions, seed = [2, 4], 3e5, 2, 7
+    rows = compare_model_to_simulation(
+        counts, sim_time_us=sim_time_us, repetitions=repetitions, seed=seed
+    )
+    for n, row in zip(counts, rows):
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=n,
+            csma=CsmaConfig.default_1901(),
+            timing=TimingConfig(),
+            sim_time_us=sim_time_us,
+            seed=seed,
+        )
+        agg = aggregate(simulate(scenario, repetitions=repetitions))
+        assert row.sim_collision_probability == agg.collision_probability
+        assert row.sim_throughput == agg.normalized_throughput
+
+
+def test_routes_through_supplied_runner_and_caches(tmp_path):
+    """Regression: the helper used to bypass the runner entirely."""
+    from repro.runner.batch import BatchRunner
+
+    runner = BatchRunner(cache_dir=tmp_path)
+    kwargs = dict(sim_time_us=2e5, repetitions=2, seed=3, runner=runner)
+    cold = compare_model_to_simulation([2, 3], **kwargs)
+    assert runner.counters.executed == 4
+    assert runner.counters.cache_hits == 0
+
+    warm = compare_model_to_simulation([2, 3], **kwargs)
+    assert runner.counters.executed == 4  # nothing recomputed
+    assert runner.counters.cache_hits == 4
+    assert warm == cold

@@ -1,11 +1,12 @@
 """Property-based differential harness: kernel == FSM, round by round.
 
 Hypothesis generates random (N, CW schedule, DC schedule, horizon,
-seed) scenarios, runs each through both the scalar ``SlotSimulator``
-and the vectorized ``BatchSlotKernel``, and asserts the per-round
-traces and end-of-run results are bit-identical.  A divergence is
-shrunk by hypothesis to a minimal scenario and reported as a
-ready-to-paste regression test.
+seed, retry limit, per-station Poisson arrival rates, queue capacity)
+scenarios, runs each through both the scalar ``SlotSimulator`` and
+the vectorized ``BatchSlotKernel``, and asserts the per-round traces
+and end-of-run results are bit-identical.  A divergence is shrunk by
+hypothesis to a minimal scenario and reported as a ready-to-paste
+regression test.
 """
 
 import dataclasses
@@ -21,7 +22,7 @@ from repro.batch import (
     slotsim_round_records,
 )
 from repro.core import ScenarioConfig, SlotSimulator
-from repro.core.config import CsmaConfig
+from repro.core.config import CsmaConfig, StationConfig
 
 
 @st.composite
@@ -38,28 +39,61 @@ def scenario_params(draw):
     )
     sim_time_us = float(draw(st.integers(min_value=2_000, max_value=40_000)))
     seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
-    return n, cw, dc, sim_time_us, seed
+    # PR 7's opened support matrix: finite retry limits and
+    # unsaturated Poisson arrivals, per station.
+    retry_limit = draw(
+        st.one_of(st.none(), st.integers(min_value=1, max_value=4))
+    )
+    arrivals = draw(
+        st.lists(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=10.0, max_value=2_000.0),
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    queue_capacity = draw(st.integers(min_value=1, max_value=4))
+    return (
+        n, cw, dc, sim_time_us, seed, retry_limit, arrivals,
+        queue_capacity,
+    )
 
 
-def _build(n, cw, dc, sim_time_us, seed):
-    return ScenarioConfig.homogeneous(
-        num_stations=n,
-        csma=CsmaConfig(cw=cw, dc=dc),
+def _build(
+    n, cw, dc, sim_time_us, seed,
+    retry_limit=None, arrivals=None, queue_capacity=64,
+):
+    csma = CsmaConfig(cw=cw, dc=dc, retry_limit=retry_limit)
+    stations = tuple(
+        StationConfig(
+            csma=csma,
+            arrival_rate_pps=(
+                arrivals[i] if arrivals is not None else None
+            ),
+            queue_capacity=queue_capacity,
+        )
+        for i in range(n)
+    )
+    return ScenarioConfig(
+        stations=stations,
         sim_time_us=sim_time_us,
         seed=seed,
     )
 
 
-def _regression_snippet(n, cw, dc, sim_time_us, seed, problems):
+def _regression_snippet(params, problems):
     """A paste-ready regression test pinning the shrunk divergence."""
+    n, cw, dc, sim_time_us, seed, retry_limit, arrivals, cap = params
     body = textwrap.dedent(
         f"""\
         def test_regression_kernel_divergence():
-            scenario = ScenarioConfig.homogeneous(
-                num_stations={n},
-                csma=CsmaConfig(cw={cw!r}, dc={dc!r}),
-                sim_time_us={sim_time_us!r},
-                seed={seed},
+            scenario = _build(
+                {n}, {cw!r}, {dc!r}, {sim_time_us!r}, {seed},
+                retry_limit={retry_limit!r},
+                arrivals={arrivals!r},
+                queue_capacity={cap!r},
             )
             scalar, _ = slotsim_round_records(scenario)
             batch, _ = kernel_round_records([scenario])
@@ -76,14 +110,11 @@ def _regression_snippet(n, cw, dc, sim_time_us, seed, problems):
 @settings(deadline=None, max_examples=40)
 @given(scenario_params())
 def test_kernel_round_trace_matches_fsm(params):
-    n, cw, dc, sim_time_us, seed = params
-    scenario = _build(n, cw, dc, sim_time_us, seed)
+    scenario = _build(*params)
     scalar_records, scalar_result = slotsim_round_records(scenario)
     batch_records, batch_results = kernel_round_records([scenario])
     problems = compare_round_records(scalar_records, batch_records[0])
-    assert not problems, _regression_snippet(
-        n, cw, dc, sim_time_us, seed, problems
-    )
+    assert not problems, _regression_snippet(params, problems)
     # The scalar run carried a trace for the adapter; strip it before
     # comparing the counters result.
     assert batch_results[0] == dataclasses.replace(

@@ -49,11 +49,38 @@ def _grid():
             sim_time_us=SIM_TIME_US / 2,
             seed=8,
         ),
+        # Unsaturated Poisson arrivals (PR 7's opened support matrix).
+        ScenarioConfig.homogeneous(
+            3,
+            sim_time_us=SIM_TIME_US,
+            seed=9,
+            arrival_rate_pps=150.0,
+        ),
+        # Finite retry limit, and a mixed saturated/unsaturated point.
+        ScenarioConfig.homogeneous(
+            2,
+            csma=CsmaConfig(retry_limit=1),
+            sim_time_us=SIM_TIME_US,
+            seed=10,
+        ),
+        ScenarioConfig(
+            stations=(
+                StationConfig(),
+                StationConfig(
+                    csma=CsmaConfig(retry_limit=2),
+                    arrival_rate_pps=400.0,
+                    queue_capacity=2,
+                ),
+            ),
+            sim_time_us=SIM_TIME_US,
+            seed=11,
+        ),
     ]
 
 
 # -- support matrix ---------------------------------------------------------
-def test_unsaturated_station_is_unsupported():
+def test_unsaturated_station_is_supported():
+    """PR 7 opened the gate: arrivals run on the kernel, bit-exactly."""
     scenario = ScenarioConfig(
         stations=(
             StationConfig(),
@@ -61,20 +88,23 @@ def test_unsaturated_station_is_unsupported():
         ),
         sim_time_us=1e5,
     )
-    assert not supports_scenario(scenario)
-    with pytest.raises(UnsupportedScenario, match="unsaturated"):
-        check_supported(scenario)
-    with pytest.raises(UnsupportedScenario):
-        BatchSlotKernel([scenario])
+    assert supports_scenario(scenario)
+    check_supported(scenario)  # must not raise
+    assert batch_simulate([scenario])[0] == SlotSimulator(scenario).run()
 
 
-def test_retry_limit_is_unsupported():
+def test_retry_limit_is_supported():
     scenario = ScenarioConfig.homogeneous(
         2, csma=CsmaConfig(retry_limit=5), sim_time_us=1e5
     )
-    assert not supports_scenario(scenario)
-    with pytest.raises(UnsupportedScenario, match="retry limit"):
-        check_supported(scenario)
+    assert supports_scenario(scenario)
+    check_supported(scenario)  # must not raise
+    assert batch_simulate([scenario])[0] == SlotSimulator(scenario).run()
+
+
+def test_unsupported_scenario_stays_in_api():
+    """The gate type remains importable/raisable for future features."""
+    assert issubclass(UnsupportedScenario, ValueError)
 
 
 def test_saturated_default_is_supported():

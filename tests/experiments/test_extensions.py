@@ -82,3 +82,58 @@ class TestUnsaturated:
         assert overload.delivered_fps == pytest.approx(
             at_knee.delivered_fps, rel=0.15
         )
+
+
+class TestSweepSeeding:
+    """Regressions for the seed-reuse / single-shot-estimate fixes."""
+
+    def test_repeated_fractions_draw_independent_seeds(self):
+        """Regression: every fraction used to share the scenario seed."""
+        a, b = offered_load_sweep(
+            2, load_fractions=(0.5, 0.5), sim_time_us=2e6, repetitions=1
+        )
+        # Identical configuration at two sweep indices must not produce
+        # identical samples — the point index feeds the derivation.
+        assert (a.delivered_fps, a.mean_delay_us) != (
+            b.delivered_fps,
+            b.mean_delay_us,
+        )
+
+    def test_sweep_is_deterministic(self):
+        first = offered_load_sweep(
+            2, load_fractions=(0.4, 0.9), sim_time_us=2e6, repetitions=2
+        )
+        second = offered_load_sweep(
+            2, load_fractions=(0.4, 0.9), sim_time_us=2e6, repetitions=2
+        )
+        assert first == second
+
+    def test_points_pool_repetitions(self):
+        (point,) = offered_load_sweep(
+            2, load_fractions=(0.5,), sim_time_us=2e6, repetitions=3
+        )
+        assert point.repetitions == 3
+        assert point.delay_samples > 0
+        assert not point.flagged
+
+    def test_starved_point_flagged_without_warning(self):
+        """Regression: all-NaN delay stats used to raise RuntimeWarning."""
+        import math
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            (point,) = offered_load_sweep(
+                2,
+                load_fractions=(1e-9,),
+                sim_time_us=1e4,
+                repetitions=2,
+            )
+        assert point.delay_samples == 0
+        assert point.flagged
+        assert math.isnan(point.mean_delay_us)
+        assert math.isnan(point.p95_delay_us)
+
+    def test_repetitions_must_be_positive(self):
+        with pytest.raises(ValueError, match="repetitions"):
+            offered_load_sweep(2, repetitions=0)

@@ -1,0 +1,70 @@
+"""Regression tests for SeedSpec modes, especially ``legacy_rep``.
+
+The ``legacy_rep`` mode lets procedures that historically called
+``simulate(scenario, repetitions=r)`` route through the runner/batch
+paths while reproducing the exact per-repetition seed derivation
+(``RandomStreams(seed).spawn("rep", rep)``).  These tests lock that
+bit-identity and the cache-key stability of ``as_jsonable``.
+"""
+
+import pytest
+
+from repro.core import ScenarioConfig, SlotSimulator
+from repro.core.simulator import simulate
+from repro.runner.batch import BatchRunner
+from repro.runner.seeding import SeedSpec, derive_seed_sequence, streams_for
+
+
+class TestSeedSpecJsonable:
+    def test_legacy_rep_omitted_when_unset(self):
+        """Pre-legacy_rep task descriptions (cache keys) stay stable."""
+        data = SeedSpec(root_seed=7, point_index=2, repetition=1).as_jsonable()
+        assert "legacy_rep" not in data
+        assert data == {
+            "root_seed": 7,
+            "point_index": 2,
+            "repetition": 1,
+            "explicit_seed": None,
+        }
+
+    def test_legacy_rep_roundtrips(self):
+        spec = SeedSpec(root_seed=3, explicit_seed=3, legacy_rep=2)
+        assert SeedSpec.from_jsonable(spec.as_jsonable()) == spec
+
+    def test_legacy_rep_requires_explicit_seed(self):
+        with pytest.raises(ValueError, match="legacy_rep"):
+            SeedSpec(root_seed=1, legacy_rep=0)
+
+
+class TestLegacyRepBitIdentity:
+    def test_matches_simulate_per_repetition(self):
+        """streams_for(legacy_rep=r) == simulate()'s rep-r seeding."""
+        scenario = ScenarioConfig.homogeneous(3, sim_time_us=2e5, seed=11)
+        golden = simulate(scenario, repetitions=3)
+        for rep in range(3):
+            spec = SeedSpec(root_seed=11, explicit_seed=11, legacy_rep=rep)
+            got = SlotSimulator(scenario, streams=streams_for(spec)).run()
+            assert got == golden[rep]
+
+    def test_matches_simulate_through_batch_runner(self):
+        """The batch path reproduces simulate() bit-for-bit."""
+        scenario = ScenarioConfig.homogeneous(
+            2, sim_time_us=2e5, seed=5, arrival_rate_pps=300.0
+        )
+        golden = simulate(scenario, repetitions=2)
+        pairs = [
+            (scenario, SeedSpec(root_seed=5, explicit_seed=5, legacy_rep=rep))
+            for rep in range(2)
+        ]
+        points = BatchRunner().run_points(pairs)
+        assert [p.result for p in points] == golden
+
+    def test_distinct_from_plain_explicit_seed(self):
+        """legacy_rep=0 is spawn("rep", 0), not the raw explicit seed."""
+        plain = derive_seed_sequence(SeedSpec(root_seed=9, explicit_seed=9))
+        legacy = derive_seed_sequence(
+            SeedSpec(root_seed=9, explicit_seed=9, legacy_rep=0)
+        )
+        assert plain.generate_state(4).tolist() != legacy.generate_state(
+            4
+        ).tolist()

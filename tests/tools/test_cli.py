@@ -234,3 +234,78 @@ class TestCheckpointCommand:
         ) == 0
         assert "Table 2" in capsys.readouterr().out
         assert list((tmp_path / "ckpt").glob("*/ckpt-*.ckpt"))
+
+
+class TestValidityCommand:
+    def test_run_reports_and_exports(self, capsys, tmp_path):
+        out_file = tmp_path / "map.json"
+        assert main(
+            ["validity", "run", "--counts", "2", "3",
+             "--sim-time", "3e5", "--reps", "1",
+             "--out", str(out_file), "--no-figure"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Validity map" in out
+        assert "saturated" in out
+        assert out_file.exists()
+        import json
+
+        data = json.loads(out_file.read_text())
+        assert data["schema"] == "repro-plc/validity-map/v1"
+        assert data["summary"]["cells"] == 8
+
+    def test_run_warm_cache_hits(self, capsys, tmp_path):
+        argv = ["validity", "run", "--counts", "2",
+                "--regimes", "saturated", "--sim-time", "3e5",
+                "--reps", "2", "--no-figure",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert "executed=2" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "cache_hits=2" in capsys.readouterr().out
+
+    def test_check_passes_on_consistent_artifact(self, capsys, tmp_path):
+        import json
+
+        from repro.validity import build_validity_map, default_pins
+
+        pins = default_pins()
+        for regime in pins["regimes"].values():
+            regime["collision_probability_error"] = 1.0
+            regime["throughput_relative_error"] = 10.0
+        vmap = build_validity_map(
+            counts=(2,), sim_time_us=3e5, repetitions=1, pins=pins
+        )
+        map_file = tmp_path / "map.json"
+        map_file.write_text(json.dumps(vmap.as_dict()))
+        pins_file = tmp_path / "pins.json"
+        pins_file.write_text(json.dumps(pins))
+        assert main(
+            ["validity", "check", "--map", str(map_file),
+             "--pins", str(pins_file)]
+        ) == 0
+        assert "pin check OK" in capsys.readouterr().out
+
+    def test_check_fails_on_violation(self, capsys, tmp_path):
+        import json
+
+        from repro.validity import build_validity_map, default_pins
+
+        vmap = build_validity_map(
+            counts=(2,), sim_time_us=3e5, repetitions=1
+        )
+        map_file = tmp_path / "map.json"
+        map_file.write_text(json.dumps(vmap.as_dict()))
+        pins = default_pins()
+        for regime in pins["regimes"].values():
+            regime["collision_probability_error"] = 0.0
+        pins_file = tmp_path / "pins.json"
+        pins_file.write_text(json.dumps(pins))
+        assert main(
+            ["validity", "check", "--map", str(map_file),
+             "--pins", str(pins_file)]
+        ) == 1
+        assert "pin check FAILED" in capsys.readouterr().out
+
+    def test_check_requires_map(self, capsys):
+        assert main(["validity", "check"]) == 2
