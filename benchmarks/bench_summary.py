@@ -1,0 +1,138 @@
+"""Aggregate the committed ``BENCH_*.json`` artifacts into one summary.
+
+Each benchmark that pins numbers in CI commits a ``BENCH_<name>.json``
+next to this script.  This tool folds them into ``BENCH_summary.json``:
+one row per artifact with a *headline* metric (picked from a priority
+list, falling back to the first numeric scalar in the file) plus every
+top-level numeric scalar — the single file to read for "how fast/good
+is everything right now".
+
+The summary is deterministic (pure function of the committed
+artifacts, no timestamps), so CI can assert it is in sync::
+
+    python benchmarks/bench_summary.py --check
+
+exits non-zero if ``BENCH_summary.json`` does not match a fresh
+aggregation — i.e. someone updated a ``BENCH_*.json`` without
+regenerating the summary.  Regenerate with::
+
+    python benchmarks/bench_summary.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+BENCH_DIR = Path(__file__).resolve().parent
+SUMMARY_FILENAME = "BENCH_summary.json"
+
+#: Headline-metric priority: the first of these present (as a numeric
+#: scalar) in an artifact becomes its headline.  Ratios and rates
+#: before raw timings: they stay meaningful across machines.
+HEADLINE_PRIORITY: Tuple[str, ...] = (
+    "speedup_ratio",
+    "saved_ratio",
+    "checker_overhead_ratio",
+    "measured_dense_overhead_ratio",
+    "overhead_ratio",
+    "deviation",
+    "collision_probability",
+    "chaos_collision_probability",
+    "events_per_second",
+    "baseline_s",
+)
+
+
+def _numeric_scalars(data: Dict[str, Any]) -> Dict[str, float]:
+    """Top-level numeric scalars of one artifact (bool excluded)."""
+    out: Dict[str, float] = {}
+    for key, value in data.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[key] = float(value)
+    return out
+
+
+def _headline(scalars: Dict[str, float]) -> Optional[Tuple[str, float]]:
+    for key in HEADLINE_PRIORITY:
+        if key in scalars:
+            return key, scalars[key]
+    for key, value in scalars.items():  # first numeric scalar fallback
+        return key, value
+    return None
+
+
+def summarize(bench_dir: Path = BENCH_DIR) -> Dict[str, Any]:
+    """Fold every ``BENCH_*.json`` into one JSON-able summary dict."""
+    rows: List[Dict[str, Any]] = []
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        if path.name == SUMMARY_FILENAME:
+            continue
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            rows.append({"name": path.stem, "error": str(exc)})
+            continue
+        if not isinstance(data, dict):
+            rows.append(
+                {"name": path.stem, "error": "artifact is not an object"}
+            )
+            continue
+        scalars = _numeric_scalars(data)
+        row: Dict[str, Any] = {"name": path.stem, "metrics": scalars}
+        headline = _headline(scalars)
+        if headline is not None:
+            row["headline_metric"], row["headline_value"] = headline
+        rows.append(row)
+    return {"artifacts": rows, "artifact_count": len(rows)}
+
+
+def _render(summary: Dict[str, Any]) -> str:
+    return json.dumps(summary, indent=2, sort_keys=True) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir", type=Path, default=BENCH_DIR,
+        help="directory holding the BENCH_*.json artifacts",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help=f"output file (default: <dir>/{SUMMARY_FILENAME})",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify the committed summary matches a fresh aggregation "
+        "instead of writing; exit non-zero when stale",
+    )
+    args = parser.parse_args(argv)
+    out = args.out if args.out is not None else args.dir / SUMMARY_FILENAME
+    text = _render(summarize(args.dir))
+    if args.check:
+        try:
+            committed = out.read_text(encoding="utf-8")
+        except OSError:
+            print(f"{out} is missing — run python benchmarks/"
+                  f"bench_summary.py to generate it")
+            return 1
+        if committed != text:
+            print(f"{out} is stale — run python benchmarks/"
+                  f"bench_summary.py to regenerate it")
+            return 1
+        count = summarize(args.dir)["artifact_count"]
+        print(f"{out.name} in sync ({count} artifact(s))")
+        return 0
+    out.write_text(text, encoding="utf-8")
+    print(f"wrote {out} ({summarize(args.dir)['artifact_count']} artifact(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ capture).
 
 from __future__ import annotations
 
+import contextlib
+import sys
 from typing import Any, Dict, Optional, Tuple, Union
 
 from ..obs.probe import MacProbe, deinstrument, instrument_testbed
@@ -19,6 +21,19 @@ from .invariants import InvariantChecker
 from .plan import ChaosPlan
 
 __all__ = ["chaos_collision_test", "attach_chaos"]
+
+
+def _chaos_span(**attrs):
+    """A ``chaos_test`` telemetry span — or a no-op scope.
+
+    Gated through ``sys.modules`` like every other telemetry touch
+    point: a process that never loaded :mod:`repro.telemetry.context`,
+    or has no active run, pays one dict lookup and nothing else.
+    """
+    module = sys.modules.get("repro.telemetry.context")
+    if module is None or module.current() is None:
+        return contextlib.nullcontext()
+    return module.span("chaos_test", **attrs)
 
 
 def attach_chaos(
@@ -82,36 +97,43 @@ def chaos_collision_test(
         warmup_us = DEFAULT_WARMUP_US
 
     plan = ChaosPlan.from_jsonable(plan)
-    testbed = build_testbed(num_stations, seed=seed, **testbed_kwargs)
-    session = None
-    probe = None
-    if obs is not None:
-        from ..obs.capture import ObsSession
+    with _chaos_span(stations=num_stations, plan_seed=plan.seed):
+        testbed = build_testbed(num_stations, seed=seed, **testbed_kwargs)
+        session = None
+        probe = None
+        if obs is not None:
+            from ..obs.capture import ObsSession
 
-        session = ObsSession(testbed, obs)
-        probe = session.probe
-    injector, checker, probe = attach_chaos(
-        testbed, plan, probe=probe, deep_every=deep_every
-    )
-    test = run_collision_test(
-        num_stations,
-        duration_us=duration_us,
-        warmup_us=warmup_us,
-        seed=seed,
-        testbed=testbed,
-    )
-    injector.flush()
-    report: Dict[str, Any] = {
-        "plan": plan.as_jsonable(),
-        "injection": injector.report(),
-        "invariants": checker.finalize(),
-    }
-    if session is not None:
-        report["capture"] = session.finalize()
-    else:
-        deinstrument(
-            coordinator=testbed.avln.coordinator,
-            strip=testbed.avln.strip,
-            nodes=[device.node for device in testbed.avln.devices],
+            session = ObsSession(testbed, obs)
+            probe = session.probe
+        injector, checker, probe = attach_chaos(
+            testbed, plan, probe=probe, deep_every=deep_every
         )
+        test = run_collision_test(
+            num_stations,
+            duration_us=duration_us,
+            warmup_us=warmup_us,
+            seed=seed,
+            testbed=testbed,
+        )
+        injector.flush()
+        report: Dict[str, Any] = {
+            "plan": plan.as_jsonable(),
+            "injection": injector.report(),
+            "invariants": checker.finalize(),
+        }
+        if session is not None:
+            # Persist the injection event log next to the capture
+            # artifacts, one line per fault fired (run_id-stamped when
+            # a telemetry run is active).
+            ledger_path = session.config.chaos_ledger_path
+            if injector.flush_ledger_jsonl(ledger_path):
+                report["injection"]["ledger_path"] = str(ledger_path)
+            report["capture"] = session.finalize()
+        else:
+            deinstrument(
+                coordinator=testbed.avln.coordinator,
+                strip=testbed.avln.strip,
+                nodes=[device.node for device in testbed.avln.devices],
+            )
     return test, report

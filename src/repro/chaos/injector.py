@@ -29,6 +29,7 @@ import dataclasses
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..engine.marks import ProcMark
+from ..obs.recording import JsonlEventLog
 from ..phy.channel import IdealChannel
 from ..tools.ampstat import Ampstat
 from ..traffic.generators import SaturatedSource
@@ -116,6 +117,17 @@ class ChaosInjector:
         self.glitches_applied: List[Dict[str, Any]] = []
         self.indications_dropped = 0
         self.indications_reordered = 0
+        #: Per-injection event log: one timestamped record per fault
+        #: actually fired, flushable to JSONL
+        #: (:meth:`flush_ledger_jsonl`) with the same conventions as
+        #: every other trace — so when a telemetry run is active, each
+        #: injection line carries the run's ``run_id``/``span_id``.
+        self.ledger = JsonlEventLog()
+
+    def _ledger(self, event: str, **fields: Any) -> None:
+        self.ledger.append(
+            {"event": event, "t_us": self.testbed.env.now, **fields}
+        )
 
     def _mark(self, *key) -> ProcMark:
         mark = self._proc_marks.get(key)
@@ -234,6 +246,7 @@ class ChaosInjector:
                     # The SACK is lost on the air: the firmware never
                     # hears it, retransmission logic never fires.
                     self.sacks_dropped += 1
+                    self._ledger("sack_dropped")
                     return
                 _original(sack, burst, outcome)
 
@@ -254,6 +267,7 @@ class ChaosInjector:
                     and rng.random() < probability
                 ):
                     self.sacks_corrupted += 1
+                    self._ledger("sack_corrupted")
                     flipped = tuple(
                         (not flag) if rng.random() < 0.5 else flag
                         for flag in sack.pb_errors
@@ -349,6 +363,7 @@ class ChaosInjector:
             yield env.timeout(_DRAIN_POLL_US)
         self._detach(device)
         self.leaves += 1
+        self._ledger("leave", mac=device.mac_addr)
         self.membership_log.append(
             {"action": "leave", "mac": device.mac_addr}
         )
@@ -374,6 +389,7 @@ class ChaosInjector:
         if self.checker is not None:
             self.checker.watch_node(device.node)
         self.joins += 1
+        self._ledger("join", mac=device.mac_addr)
         self.membership_log.append({"action": "join", "mac": device.mac_addr})
         return device
 
@@ -412,6 +428,7 @@ class ChaosInjector:
         self._stop_sources_of(device)
         self._detach(device)
         self.crash_leaves += 1
+        self._ledger("crash_leave", mac=device.mac_addr)
         self.membership_log.append(
             {"action": "leave", "mac": device.mac_addr}
         )
@@ -459,6 +476,7 @@ class ChaosInjector:
                     **summary,
                 }
             )
+            self._ledger("glitch", mac=device.mac_addr, kind=kind)
         mark.finish()
 
     # -- sniffer faults -------------------------------------------------------
@@ -476,6 +494,7 @@ class ChaosInjector:
         def faulty(frame_bytes: bytes) -> None:
             if drop and rng.random() < drop:
                 self.indications_dropped += 1
+                self._ledger("indication_dropped")
                 return
             if self._held_indication is not None:
                 # Deliver the newer frame first, then the held one:
@@ -484,6 +503,7 @@ class ChaosInjector:
                 original(frame_bytes)
                 original(held)
                 self.indications_reordered += 1
+                self._ledger("indication_reordered")
                 return
             if reorder and rng.random() < reorder:
                 self._held_indication = frame_bytes
@@ -560,6 +580,7 @@ class ChaosInjector:
                 "indications_dropped": self.indications_dropped,
                 "indications_reordered": self.indications_reordered,
             },
+            "ledger_events": [dict(e) for e in self.ledger.events],
         }
         if self.gilbert_elliott is not None:
             state["gilbert_elliott"] = {
@@ -598,6 +619,13 @@ class ChaosInjector:
         self.glitches_applied = [dict(g) for g in ledger["glitches_applied"]]
         self.indications_dropped = ledger["indications_dropped"]
         self.indications_reordered = ledger["indications_reordered"]
+        # Pre-telemetry snapshots carry no event list; start empty so
+        # old checkpoints stay restorable.  The rebuilt log is fully
+        # unflushed: a resumed run re-emits the whole ledger into its
+        # own file.
+        self.ledger = JsonlEventLog()
+        for event in state.get("ledger_events", []):
+            self.ledger.append(dict(event))
         if "gilbert_elliott" in state:
             ge = state["gilbert_elliott"]
             self.gilbert_elliott.in_bad_state = ge["in_bad_state"]
@@ -617,6 +645,10 @@ class ChaosInjector:
         if self._held_indication is not None:
             held, self._held_indication = self._held_indication, None
             self._sniffer_downstream(held)
+
+    def flush_ledger_jsonl(self, path) -> int:
+        """Append the injection event log to ``path`` (JSONL)."""
+        return self.ledger.flush_jsonl(path)
 
     # -- reporting -------------------------------------------------------------
     def report(self) -> Dict[str, Any]:

@@ -45,9 +45,11 @@ __all__ = [
     "MAGIC",
     "KILL_ENV",
     "KILL_EXIT_CODE",
+    "JOURNAL_FILENAME",
     "Checkpoint",
     "CheckpointError",
     "CheckpointStore",
+    "journal_event",
     "write_file",
     "read_file",
     "inspect_file",
@@ -63,6 +65,37 @@ KILL_ENV = "REPRO_CHECKPOINT_KILL"
 KILL_EXIT_CODE = 96
 
 _FILE_RE = re.compile(r"^ckpt-(\d{8})\.ckpt$")
+
+#: Telemetry journal inside a store directory.  Not matched by
+#: ``_FILE_RE``, so store scans ignore it.
+JOURNAL_FILENAME = "journal.jsonl"
+
+
+def journal_event(directory: str, event: str, **fields: Any) -> None:
+    """Append one save/resume event to the store's telemetry journal.
+
+    Written only while a telemetry context is active (checked through
+    ``sys.modules``, same as :func:`repro.obs.recording.append_jsonl`,
+    so telemetry-free checkpointing pays nothing and imports nothing).
+    The line flows through ``append_jsonl`` and therefore carries the
+    run's ``run_id``/``span_id`` — the join key between checkpoint
+    activity and the rest of the run's streams.  Journal failures are
+    swallowed: telemetry must never break a checkpoint write.
+    """
+    import sys
+
+    module = sys.modules.get("repro.telemetry.context")
+    if module is None or module.current_ids() is None:
+        return
+    from ..obs.recording import append_jsonl
+
+    try:
+        append_jsonl(
+            os.path.join(directory, JOURNAL_FILENAME),
+            [{"event": event, **fields}],
+        )
+    except OSError:
+        pass
 
 
 class CheckpointError(RuntimeError):
@@ -199,6 +232,13 @@ class CheckpointStore:
         """
         path = self.path_for(checkpoint.seq)
         write_file(path, checkpoint)
+        journal_event(
+            self.directory,
+            "checkpoint_save",
+            kind=checkpoint.kind,
+            seq=checkpoint.seq,
+            sim_time_us=checkpoint.sim_time_us,
+        )
         kill_after = os.environ.get(KILL_ENV)
         if kill_after is not None:
             try:

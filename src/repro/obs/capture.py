@@ -70,6 +70,10 @@ class ObsConfig:
     def metrics_path(self) -> Path:
         return self._path("metrics", ".json")
 
+    @property
+    def chaos_ledger_path(self) -> Path:
+        return self._path("chaos_ledger", ".jsonl")
+
     def as_jsonable(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
 

@@ -20,10 +20,26 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import sys
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Union
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 __all__ = ["as_jsonable", "append_jsonl", "read_jsonl", "JsonlEventLog"]
+
+
+def _telemetry_ids() -> Optional[Dict[str, str]]:
+    """The active telemetry ``run_id``/``span_id`` stamp, if any.
+
+    Looked up through ``sys.modules`` rather than imported: when
+    :mod:`repro.telemetry.context` was never loaded there is no active
+    run by definition, and this costs one dict lookup — no import, no
+    cycle (telemetry imports this module), no overhead for
+    telemetry-free runs.
+    """
+    module = sys.modules.get("repro.telemetry.context")
+    if module is None:
+        return None
+    return module.current_ids()
 
 
 def as_jsonable(record: Any) -> Dict[str, Any]:
@@ -55,14 +71,26 @@ def append_jsonl(path: Union[str, Path], records: Iterable[Any]) -> int:
 
     Parent directories are created on demand.  Returns the number of
     lines written.
+
+    This is the single choke point every JSONL family flushes through
+    (runner traces, MAC/SoF traces, chaos ledgers, checkpoint
+    journals): when a telemetry run is active, each line gains the
+    run's ``run_id``/``span_id`` so all streams of one run can be
+    joined post hoc.  Records that already carry a ``run_id`` (span
+    records, worker-annotated events) keep their own.
     """
     path = Path(path)
     if path.parent != Path(""):
         path.parent.mkdir(parents=True, exist_ok=True)
+    ids = _telemetry_ids()
     written = 0
     with path.open("a", encoding="utf-8") as handle:
         for record in records:
-            handle.write(json.dumps(as_jsonable(record)) + "\n")
+            payload = as_jsonable(record)
+            if ids is not None and "run_id" not in payload:
+                payload = dict(payload)
+                payload.update(ids)
+            handle.write(json.dumps(payload) + "\n")
             written += 1
     return written
 

@@ -170,8 +170,59 @@ class Histogram(_Metric):
         series.minimum = min(series.minimum, value)
         series.maximum = max(series.maximum, value)
 
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Estimate the ``q``-quantile (0..1) of one label series.
+
+        Linear interpolation inside the bucket holding the target rank,
+        with bucket edges tightened by the observed min/max — so p50 of
+        a single observation is that observation, not a bucket midpoint.
+        Empty series yield NaN.
+
+        >>> h = Histogram("d_us", buckets=(10.0, 100.0))
+        >>> for v in (2.0, 4.0, 6.0, 8.0): h.observe(v)
+        >>> h.quantile(0.5)
+        5.0
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile q must be in [0, 1]")
+        return self._quantile_of(self._series.get(self._key(labels)), q)
+
+    def _quantile_of(
+        self, series: Optional[_HistogramSeries], q: float
+    ) -> float:
+        if series is None or series.count == 0:
+            return float("nan")
+        if q <= 0.0:
+            return series.minimum
+        if q >= 1.0:
+            return series.maximum
+        target = q * series.count
+        cumulative = 0
+        for index, bucket_count in enumerate(series.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = series.minimum if index == 0 else self.buckets[index - 1]
+                upper = (
+                    series.maximum
+                    if index == len(self.buckets)
+                    else self.buckets[index]
+                )
+                lower = max(lower, series.minimum)
+                upper = min(upper, series.maximum)
+                if upper <= lower:
+                    return lower
+                fraction = (target - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+        return series.maximum
+
+    def quantiles(self, qs: Sequence[float] = (0.5, 0.95, 0.99), **labels):
+        """``{"p50": ..., "p95": ...}`` for the requested quantiles."""
+        return {f"p{q * 100:g}": self.quantile(q, **labels) for q in qs}
+
     def snapshot(self, **labels: Any) -> Dict[str, Any]:
-        """Counts/sum/mean for one label series (zeros when empty)."""
+        """Counts/sum/mean/quantiles for one label series (zeros when empty)."""
         series = self._series.get(self._key(labels))
         if series is None:
             return {
@@ -189,6 +240,9 @@ class Histogram(_Metric):
             "mean": series.total / series.count,
             "min": series.minimum,
             "max": series.maximum,
+            "p50": self.quantile(0.5, **labels),
+            "p95": self.quantile(0.95, **labels),
+            "p99": self.quantile(0.99, **labels),
         }
 
     def reset(self) -> None:
@@ -204,6 +258,9 @@ class Histogram(_Metric):
                     "counts": list(series.counts),
                     "count": series.count,
                     "sum": series.total,
+                    "p50": self._quantile_of(series, 0.5),
+                    "p95": self._quantile_of(series, 0.95),
+                    "p99": self._quantile_of(series, 0.99),
                 }
                 for key, series in sorted(self._series.items())
             },

@@ -28,17 +28,24 @@ fallback remains as a safety valve should the gate ever narrow again.
 
 from __future__ import annotations
 
+import contextlib
+import sys
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..batch.kernel import supports_scenario
 from ..core.config import ScenarioConfig
 from ..core.metrics import RunnerCounters
+from ..telemetry.context import TelemetryContext, activate
+from ..telemetry.openmetrics import write_openmetrics
+from ..telemetry.spans import SpanRecorder
 from .cache import ResultCache, cache_key
 from .runner import SimPointResult, rehydrate_simulation
 from .seeding import SeedSpec
 from .serialize import scenario_to_jsonable
 from .tasks import Task, TaskKind, execute_task
+from .telemetry import TraceRecorder
 
 __all__ = ["BatchRunner", "DEFAULT_CHUNK_SIZE"]
 
@@ -59,18 +66,56 @@ class BatchRunner:
         docstring).
     chunk_size:
         Maximum points per kernel dispatch.
+    trace_path / span_path / metrics_path:
+        Telemetry outputs, same semantics as
+        :class:`~repro.runner.runner.RunnerConfig`: the task-lifecycle
+        trace JSONL, the span JSONL, and the OpenMetrics textfile.
+        All ``None`` (the default) keeps the batch path telemetry-free.
+    telemetry_dir:
+        Convenience: derives all three paths (``trace.jsonl``,
+        ``spans.jsonl``, ``metrics.prom``) inside one directory.
     """
 
     def __init__(
         self,
         cache_dir: Optional[Union[str, Path]] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        trace_path: Optional[Union[str, Path]] = None,
+        span_path: Optional[Union[str, Path]] = None,
+        metrics_path: Optional[Union[str, Path]] = None,
+        telemetry_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.chunk_size = chunk_size
         self.counters = RunnerCounters()
+        if telemetry_dir is not None:
+            base = Path(telemetry_dir)
+            if trace_path is None:
+                trace_path = base / "trace.jsonl"
+            if span_path is None:
+                span_path = base / "spans.jsonl"
+            if metrics_path is None:
+                metrics_path = base / "metrics.prom"
+        self.trace_path = Path(trace_path) if trace_path is not None else None
+        self.span_path = Path(span_path) if span_path is not None else None
+        self.metrics_path = (
+            Path(metrics_path) if metrics_path is not None else None
+        )
+        telemetry_on = (
+            self.trace_path is not None
+            or self.span_path is not None
+            or self.metrics_path is not None
+        )
+        #: Shared run id of trace + spans (``None`` without telemetry).
+        self.run_id: Optional[str] = None
+        self.trace: Optional[TraceRecorder] = None
+        self.spans: Optional[SpanRecorder] = None
+        if telemetry_on:
+            self.trace = TraceRecorder()
+            self.run_id = self.trace.run_id
+            self.spans = SpanRecorder(run_id=self.run_id)
 
     # -- core --------------------------------------------------------------
     def run_scenarios(
@@ -142,24 +187,101 @@ class BatchRunner:
         results: List[Optional[Dict[str, Any]]] = [None] * len(points)
         keys: List[str] = []
         batched: List[int] = []
-        for idx, point in enumerate(points):
-            # The *scalar* task this point is equivalent to — its key
-            # is the cache identity on both execution paths.
-            task = self._scalar_task(point)
-            key = cache_key(task.describe())
-            keys.append(key)
-            if self.cache is not None:
-                cached = self.cache.get(key)
-                if cached is not None:
-                    results[idx] = cached
-                    continue
-            if supports_scenario(scenarios[idx]):
-                batched.append(idx)
-            else:
-                results[idx] = self._finish(idx, task, keys[idx])
+        with contextlib.ExitStack() as scope:
+            sweep_id = None
+            if self.spans is not None:
+                sweep_id = self.spans.start(
+                    "batch_sweep", points=len(points)
+                )
+                scope.enter_context(
+                    activate(
+                        TelemetryContext(
+                            self.run_id, sweep_id, recorder=self.spans
+                        )
+                    )
+                )
+            if self.trace is not None:
+                self.trace.record_run_start(
+                    detail=f"batch points={len(points)}", span_id=sweep_id
+                )
+            try:
+                for idx, point in enumerate(points):
+                    # The *scalar* task this point is equivalent to —
+                    # its key is the cache identity on both paths.
+                    task = self._scalar_task(point)
+                    key = cache_key(task.describe())
+                    keys.append(key)
+                    if self.cache is not None:
+                        cached = self.cache.get(key)
+                        if cached is not None:
+                            results[idx] = cached
+                            if self.trace is not None:
+                                self.trace.record(
+                                    "cache_hit",
+                                    task_index=idx,
+                                    kind=task.kind,
+                                    span_id=sweep_id,
+                                )
+                            continue
+                    if self.trace is not None:
+                        self.trace.record(
+                            "queued",
+                            task_index=idx,
+                            kind=task.kind,
+                            span_id=sweep_id,
+                        )
+                    if supports_scenario(scenarios[idx]):
+                        batched.append(idx)
+                    else:
+                        results[idx] = self._finish(
+                            idx, task, keys[idx], sweep_id
+                        )
 
-        for start in range(0, len(batched), self.chunk_size):
-            chunk = batched[start : start + self.chunk_size]
+                for start in range(0, len(batched), self.chunk_size):
+                    chunk = batched[start : start + self.chunk_size]
+                    results_chunk = self._run_chunk(points, chunk, sweep_id)
+                    for idx, result in zip(chunk, results_chunk):
+                        self.counters.executed += 1
+                        if self.cache is not None:
+                            self.cache.put(
+                                keys[idx],
+                                result,
+                                self._scalar_task(points[idx]).describe(),
+                            )
+                        results[idx] = result
+            finally:
+                if self.cache is not None:
+                    self.counters.cache_hits += self.cache.hits
+                    self.counters.cache_misses += self.cache.misses
+                    self.counters.cache_corrupt += self.cache.corrupt
+                    self.cache.hits = 0
+                    self.cache.misses = 0
+                    self.cache.corrupt = 0
+                self._flush_telemetry(sweep_id)
+        return results  # type: ignore[return-value]
+
+    def _run_chunk(
+        self,
+        points: List[Dict[str, Any]],
+        chunk: List[int],
+        sweep_id: Optional[str],
+    ) -> List[Dict[str, Any]]:
+        """One kernel dispatch, wrapped in a ``batch_chunk`` span."""
+        chunk_id = None
+        if self.spans is not None:
+            chunk_id = self.spans.start(
+                "batch_chunk", parent_id=sweep_id, points=len(chunk)
+            )
+        if self.trace is not None:
+            for idx in chunk:
+                self.trace.record(
+                    "started",
+                    task_index=idx,
+                    kind=TaskKind.SIMULATE,
+                    span_id=chunk_id or sweep_id,
+                )
+        t0 = time.perf_counter()
+        try:
             out = execute_task(
                 Task(
                     kind=TaskKind.SIMULATE_BATCH,
@@ -174,22 +296,47 @@ class BatchRunner:
                     },
                 )
             )
-            for idx, result in zip(chunk, out["points"]):
-                self.counters.executed += 1
-                if self.cache is not None:
-                    self.cache.put(
-                        keys[idx],
-                        result,
-                        self._scalar_task(points[idx]).describe(),
-                    )
-                results[idx] = result
+        except BaseException:
+            if self.spans is not None and chunk_id is not None:
+                self.spans.end(chunk_id, status="error")
+            raise
+        elapsed = time.perf_counter() - t0
+        if self.trace is not None:
+            # The kernel resolves the chunk as one dispatch; attribute
+            # the wall-clock evenly so per-kind throughput stays usable.
+            per_point = elapsed / len(chunk) if chunk else 0.0
+            for idx in chunk:
+                self.trace.record(
+                    "finished",
+                    task_index=idx,
+                    kind=TaskKind.SIMULATE,
+                    duration_s=per_point,
+                    span_id=chunk_id or sweep_id,
+                )
+        if self.spans is not None and chunk_id is not None:
+            self.spans.end(chunk_id)
+        return out["points"]
 
-        if self.cache is not None:
-            self.counters.cache_hits += self.cache.hits
-            self.counters.cache_misses += self.cache.misses
-            self.counters.cache_corrupt += self.cache.corrupt
-            self.cache.hits = self.cache.misses = self.cache.corrupt = 0
-        return results  # type: ignore[return-value]
+    def _flush_telemetry(self, sweep_id: Optional[str]) -> None:
+        """Close the sweep span and persist every telemetry output."""
+        if self.trace is not None:
+            self.trace.record("run_end", span_id=sweep_id)
+        if self.spans is not None and sweep_id is not None:
+            status = "error" if sys.exc_info()[0] is not None else "ok"
+            self.spans.end(sweep_id, status=status)
+        try:
+            if self.trace is not None and self.trace_path is not None:
+                self.trace.flush_jsonl(self.trace_path)
+            if self.spans is not None and self.span_path is not None:
+                self.spans.flush_jsonl(self.span_path)
+            if self.metrics_path is not None:
+                write_openmetrics(
+                    self.metrics_path,
+                    runner_counters=self.counters,
+                    run_id=self.run_id,
+                )
+        except OSError:
+            pass
 
     # -- helpers -----------------------------------------------------------
     @staticmethod
@@ -203,10 +350,44 @@ class BatchRunner:
             seed=point["seed"],
         )
 
-    def _finish(self, idx: int, task: Task, key: str) -> Dict[str, Any]:
+    def _finish(
+        self,
+        idx: int,
+        task: Task,
+        key: str,
+        sweep_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
         """Scalar in-process fallback for an unsupported point."""
-        result = execute_task(task)
+        span_id = None
+        if self.spans is not None:
+            span_id = self.spans.start(
+                "scalar_fallback", parent_id=sweep_id, task_index=idx
+            )
+        if self.trace is not None:
+            self.trace.record(
+                "started",
+                task_index=idx,
+                kind=task.kind,
+                span_id=span_id or sweep_id,
+            )
+        t0 = time.perf_counter()
+        try:
+            result = execute_task(task)
+        except BaseException:
+            if self.spans is not None and span_id is not None:
+                self.spans.end(span_id, status="error")
+            raise
         self.counters.executed += 1
+        if self.trace is not None:
+            self.trace.record(
+                "finished",
+                task_index=idx,
+                kind=task.kind,
+                duration_s=time.perf_counter() - t0,
+                span_id=span_id or sweep_id,
+            )
+        if self.spans is not None and span_id is not None:
+            self.spans.end(span_id)
         if self.cache is not None:
             self.cache.put(key, result, task.describe())
         return result

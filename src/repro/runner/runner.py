@@ -39,8 +39,10 @@ exported as JSONL via ``trace_path``.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import os
+import sys
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -67,6 +69,9 @@ from ..core.results import SimulationResult, StationStats
 from .cache import ResultCache, cache_key
 from .seeding import SeedSpec
 from .serialize import scenario_to_jsonable
+from ..telemetry.context import TelemetryContext, activate
+from ..telemetry.openmetrics import write_openmetrics
+from ..telemetry.spans import SpanRecorder
 from .tasks import Task, TaskKind, checkpoint_status, run_task
 from .telemetry import TaskFailure, TraceRecorder
 
@@ -127,6 +132,27 @@ class RunnerConfig:
     trace_path:
         When set, task lifecycle events are appended to this JSONL
         file at the end of every ``run()``.
+    span_path:
+        When set, hierarchical telemetry spans (sweep → point →
+        attempt, plus chaos/checkpoint scopes) are recorded and
+        appended to this JSONL file, an ambient
+        :class:`~repro.telemetry.context.TelemetryContext` is active
+        for the duration of each ``run()``, and every JSONL line any
+        layer writes during the run (obs traces, chaos ledgers,
+        checkpoint journals) is stamped with the run's ``run_id``.
+        ``None`` (default) disables spans entirely — the zero-cost
+        path.
+    metrics_path:
+        When set, the runner's counters are rendered to this file in
+        OpenMetrics text format at run start, periodically as points
+        complete (throttled), and finally when the run ends — the
+        Prometheus textfile-collector pattern.
+    telemetry_dir:
+        Convenience switch: setting it defaults ``trace_path``,
+        ``span_path`` and ``metrics_path`` to ``trace.jsonl``,
+        ``spans.jsonl`` and ``metrics.prom`` inside the directory (the
+        layout ``repro-plc top`` and ``repro-plc report`` expect).
+        Explicitly-set paths win over the derived ones.
     max_pool_rebuilds:
         Broken-pool rebuilds tolerated per ``run()`` before degrading
         the remaining points to serial in-process execution.
@@ -171,8 +197,21 @@ class RunnerConfig:
     checkpoint_dir: Optional[Union[str, Path]] = None
     checkpoint_every_us: Optional[float] = None
     resume: bool = True
+    span_path: Optional[Union[str, Path]] = None
+    metrics_path: Optional[Union[str, Path]] = None
+    telemetry_dir: Optional[Union[str, Path]] = None
 
     def __post_init__(self) -> None:
+        if self.telemetry_dir is not None:
+            base = Path(self.telemetry_dir)
+            if self.trace_path is None:
+                object.__setattr__(self, "trace_path", base / "trace.jsonl")
+            if self.span_path is None:
+                object.__setattr__(self, "span_path", base / "spans.jsonl")
+            if self.metrics_path is None:
+                object.__setattr__(
+                    self, "metrics_path", base / "metrics.prom"
+                )
         if (
             self.checkpoint_every_us is not None
             and self.checkpoint_every_us <= 0
@@ -239,6 +278,9 @@ class _Pending:
     attempt: int = 0
     #: Monotonic time before which the entry must not be (re)submitted.
     not_before: float = 0.0
+    #: Telemetry "point" span covering the task's whole lifecycle
+    #: (``None`` when spans are disabled).
+    span_id: Optional[str] = None
 
 
 @dataclasses.dataclass
@@ -271,6 +313,9 @@ class ExperimentRunner:
         checkpoint_dir: Optional[Union[str, Path]] = None,
         checkpoint_every_us: Optional[float] = None,
         resume: bool = True,
+        span_path: Optional[Union[str, Path]] = None,
+        metrics_path: Optional[Union[str, Path]] = None,
+        telemetry_dir: Optional[Union[str, Path]] = None,
         config: Optional[RunnerConfig] = None,
     ) -> None:
         self.config = (
@@ -290,6 +335,9 @@ class ExperimentRunner:
                 checkpoint_dir=checkpoint_dir,
                 checkpoint_every_us=checkpoint_every_us,
                 resume=resume,
+                span_path=span_path,
+                metrics_path=metrics_path,
+                telemetry_dir=telemetry_dir,
             )
         )
         self.cache = (
@@ -302,6 +350,17 @@ class ExperimentRunner:
         self.failures: List[TaskFailure] = []
         #: Lifecycle event trace, across runs.
         self.trace = TraceRecorder()
+        #: Telemetry correlation id shared by the trace, the spans, and
+        #: every JSONL line written while a telemetry run is active.
+        self.run_id = self.trace.run_id
+        #: Hierarchical span recorder; ``None`` when spans are disabled
+        #: (``span_path`` unset) — the zero-cost path.
+        self.spans: Optional[SpanRecorder] = (
+            SpanRecorder(run_id=self.run_id)
+            if self.config.span_path is not None
+            else None
+        )
+        self._last_metrics_write = 0.0
 
     # -- core execution ----------------------------------------------------
     def run(self, tasks: Sequence[Task]) -> List[Optional[Dict[str, Any]]]:
@@ -316,58 +375,107 @@ class ExperimentRunner:
         workers = self.config.resolved_workers()
         self.counters.points_total += len(tasks)
         self.counters.workers = workers
-        self.trace.record("run_start", detail=f"points={len(tasks)}")
 
         results: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
         state = _RunState(total=len(tasks))
-        try:
-            pending: List[_Pending] = []
-            for i, task in enumerate(tasks):
-                key = cache_key(task.describe())
-                if self.cache is not None:
-                    cached = self.cache.get(key)
-                    if cached is not None:
-                        results[i] = cached
-                        state.done += 1
-                        self.trace.record(
-                            "cache_hit", task_index=i, kind=task.kind
+        with contextlib.ExitStack() as scope:
+            sweep_id: Optional[str] = None
+            if self.spans is not None:
+                sweep_id = self.spans.start(
+                    "sweep", points=len(tasks), workers=workers
+                )
+                # While the sweep span is open, every JSONL line any
+                # layer writes in this process carries our run_id (see
+                # repro.obs.recording.append_jsonl); workers get the
+                # same ids via the task runtime.
+                scope.enter_context(
+                    activate(
+                        TelemetryContext(
+                            self.run_id, sweep_id, recorder=self.spans
                         )
-                        continue
-                pending.append(
-                    _Pending(
+                    )
+                )
+            self.trace.record_run_start(
+                detail=f"points={len(tasks)}", span_id=sweep_id
+            )
+            self._write_metrics(force=True)
+            try:
+                pending: List[_Pending] = []
+                for i, task in enumerate(tasks):
+                    key = cache_key(task.describe())
+                    if self.cache is not None:
+                        cached = self.cache.get(key)
+                        if cached is not None:
+                            results[i] = cached
+                            state.done += 1
+                            self.trace.record(
+                                "cache_hit",
+                                task_index=i,
+                                kind=task.kind,
+                                span_id=sweep_id,
+                            )
+                            continue
+                    entry = _Pending(
                         index=i,
                         task=self._with_checkpointing(task, key),
                         key=key,
                     )
-                )
-                self.trace.record("queued", task_index=i, kind=task.kind)
-            self._progress(state.done, state.total)
+                    if self.spans is not None:
+                        entry.span_id = self.spans.start(
+                            "point",
+                            parent_id=sweep_id,
+                            task_index=i,
+                            kind=task.kind,
+                        )
+                        entry.task = self._with_telemetry(
+                            entry.task, entry.span_id
+                        )
+                    pending.append(entry)
+                    self.trace.record(
+                        "queued",
+                        task_index=i,
+                        kind=task.kind,
+                        span_id=entry.span_id,
+                        parent_id=sweep_id,
+                    )
+                self._progress(state.done, state.total)
 
-            if workers == 1 or len(pending) <= 1:
-                self._run_serial(pending, results, state)
-            else:
-                self._run_pool(pending, results, state, workers)
-        finally:
-            # Counter finalization must not depend on a clean sweep:
-            # a mid-run failure still leaves truthful telemetry.
-            self.failures.extend(state.failures)
-            self.counters.executed += state.executed
-            self.counters.failed += len(state.failures)
-            if self.cache is not None:
-                self.counters.cache_hits += self.cache.hits
-                self.counters.cache_misses += self.cache.misses
-                self.counters.cache_corrupt += self.cache.corrupt
-                self.cache.hits = self.cache.misses = self.cache.corrupt = 0
-            self.counters.wall_time_s += time.perf_counter() - start
-            self.trace.record(
-                "run_end",
-                detail=(
-                    f"done={state.done}/{state.total} "
-                    f"failed={len(state.failures)}"
-                ),
-            )
-            if self.config.trace_path is not None:
-                self.trace.flush_jsonl(self.config.trace_path)
+                if workers == 1 or len(pending) <= 1:
+                    self._run_serial(pending, results, state)
+                else:
+                    self._run_pool(pending, results, state, workers)
+            finally:
+                # Counter finalization must not depend on a clean sweep:
+                # a mid-run failure still leaves truthful telemetry.
+                self.failures.extend(state.failures)
+                self.counters.executed += state.executed
+                self.counters.failed += len(state.failures)
+                if self.cache is not None:
+                    self.counters.cache_hits += self.cache.hits
+                    self.counters.cache_misses += self.cache.misses
+                    self.counters.cache_corrupt += self.cache.corrupt
+                    self.cache.hits = self.cache.misses = self.cache.corrupt = 0
+                self.counters.wall_time_s += time.perf_counter() - start
+                self.trace.record(
+                    "run_end",
+                    span_id=sweep_id,
+                    detail=(
+                        f"done={state.done}/{state.total} "
+                        f"failed={len(state.failures)}"
+                    ),
+                )
+                if self.spans is not None:
+                    aborted = sys.exc_info()[0] is not None
+                    for open_id in self.spans.open_spans():
+                        if open_id != sweep_id:
+                            self.spans.end(open_id, status="aborted")
+                    self.spans.end(
+                        sweep_id, status="error" if aborted else "ok"
+                    )
+                    self.spans.flush_jsonl(self.config.span_path)
+                if self.config.trace_path is not None:
+                    self.trace.flush_jsonl(self.config.trace_path)
+                self._write_metrics(force=True)
         return results
 
     #: Task kinds whose executors understand the checkpoint runtime.
@@ -396,6 +504,42 @@ class ExperimentRunner:
             runtime["checkpoint_every_us"] = self.config.checkpoint_every_us
         return dataclasses.replace(task, runtime=runtime)
 
+    def _with_telemetry(self, task: Task, parent_span_id: str) -> Task:
+        """Ship the correlation ids to the (possibly remote) worker.
+
+        The ids ride in the execution-time ``runtime`` dict — excluded
+        from ``describe()`` and the cache key, like the checkpoint
+        knobs — and :func:`~repro.runner.tasks.run_task` re-activates
+        them around the execution, so JSONL written *inside worker
+        processes* carries the same ``run_id`` as ours.
+        """
+        runtime = dict(task.runtime or {})
+        runtime["telemetry"] = {
+            "run_id": self.run_id,
+            "parent_span_id": parent_span_id,
+        }
+        return dataclasses.replace(task, runtime=runtime)
+
+    def _write_metrics(self, force: bool = False) -> None:
+        """Render counters to the OpenMetrics textfile (throttled).
+
+        Failure to write the textfile must never kill a sweep — the
+        metrics file is advisory output, not part of the results.
+        """
+        path = self.config.metrics_path
+        if path is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_metrics_write < 0.5:
+            return
+        self._last_metrics_write = now
+        try:
+            write_openmetrics(
+                path, runner_counters=self.counters, run_id=self.run_id
+            )
+        except OSError:
+            pass
+
     # -- serial path -------------------------------------------------------
     def _run_serial(
         self,
@@ -413,6 +557,7 @@ class ExperimentRunner:
                     task_index=entry.index,
                     kind=entry.task.kind,
                     attempt=entry.attempt,
+                    span_id=entry.span_id,
                 )
                 try:
                     envelope = run_task(entry.task)
@@ -465,6 +610,7 @@ class ExperimentRunner:
                         task_index=entry.index,
                         kind=entry.task.kind,
                         attempt=entry.attempt,
+                        span_id=entry.span_id,
                     )
                 if broken:
                     pool, rebuilds = self._recover_pool(
@@ -525,6 +671,7 @@ class ExperimentRunner:
                                 task_index=entry.index,
                                 kind=entry.task.kind,
                                 attempt=entry.attempt,
+                                span_id=entry.span_id,
                             )
                             self._retry_or_fail(
                                 entry,
@@ -608,7 +755,7 @@ class ExperimentRunner:
                 queue.append(entry)
                 self.trace.record(
                     "requeued", task_index=entry.index, kind=entry.task.kind,
-                    attempt=entry.attempt,
+                    attempt=entry.attempt, span_id=entry.span_id,
                 )
         if rebuilds >= self.config.max_pool_rebuilds:
             self.counters.degraded_serial += 1
@@ -655,11 +802,18 @@ class ExperimentRunner:
                 task_index=entry.index,
                 kind=entry.task.kind,
                 attempt=entry.attempt,
+                span_id=entry.span_id,
                 detail=(
                     f"seq={checkpoint['resume_seq']} "
                     f"sim_time_us={checkpoint['resume_sim_time_us']}"
                 ),
             )
+        if self.spans is not None:
+            worker_spans = envelope.get("spans")
+            if worker_spans:
+                self.spans.adopt(worker_spans)
+            if entry.span_id is not None:
+                self.spans.end(entry.span_id)
         self.trace.record(
             "finished",
             task_index=entry.index,
@@ -667,6 +821,7 @@ class ExperimentRunner:
             attempt=entry.attempt,
             duration_s=envelope.get("elapsed_s"),
             worker_pid=envelope.get("worker_pid"),
+            span_id=entry.span_id,
         )
         self._progress(state.done, state.total)
 
@@ -696,6 +851,7 @@ class ExperimentRunner:
                 kind=entry.task.kind,
                 attempt=entry.attempt,
                 error=repr(exc),
+                span_id=entry.span_id,
             )
             if queue is not None:
                 queue.append(entry)
@@ -713,12 +869,15 @@ class ExperimentRunner:
         )
         state.failures.append(failure)
         state.done += 1
+        if self.spans is not None and entry.span_id is not None:
+            self.spans.end(entry.span_id, status="error")
         self.trace.record(
             "failed",
             task_index=entry.index,
             kind=entry.task.kind,
             attempt=entry.attempt,
             error=repr(exc),
+            span_id=entry.span_id,
         )
         self._progress(state.done, state.total)
         if self.config.on_failure == "raise":
@@ -731,6 +890,7 @@ class ExperimentRunner:
         return False
 
     def _progress(self, done: int, total: int) -> None:
+        self._write_metrics()
         if self.config.progress is not None:
             self.config.progress(done, total)
 

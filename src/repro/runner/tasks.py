@@ -158,6 +158,7 @@ def _run_simulate(
             restore_slot_simulator,
             run_simulate_with_checkpoints,
         )
+        from ..checkpoint.format import journal_event
 
         store = CheckpointStore(checkpoint_dir)
         newest = (
@@ -166,6 +167,13 @@ def _run_simulate(
             else None
         )
         if newest is not None and newest.kind == "slotsim":
+            journal_event(
+                checkpoint_dir,
+                "checkpoint_resume",
+                kind=newest.kind,
+                seq=newest.seq,
+                sim_time_us=newest.sim_time_us,
+            )
             sim = restore_slot_simulator(scenario, newest.state)
         else:
             sim = SlotSimulator(
@@ -286,6 +294,7 @@ def _run_collision_test(
             checkpointed_collision_test,
             resume_collision_test,
         )
+        from ..checkpoint.format import journal_event
 
         store = CheckpointStore(checkpoint_dir)
         newest = (
@@ -294,6 +303,13 @@ def _run_collision_test(
             else None
         )
         if newest is not None:
+            journal_event(
+                checkpoint_dir,
+                "checkpoint_resume",
+                kind=newest.kind,
+                seq=newest.seq,
+                sim_time_us=newest.sim_time_us,
+            )
             outcome = resume_collision_test(store, checkpoint=newest)
         else:
             outcome = checkpointed_collision_test(
@@ -450,17 +466,64 @@ def run_task(task: Task) -> Dict[str, Any]:
     :func:`checkpoint_status`, so the runner can trace whether this
     attempt started fresh or resumed mid-simulation.  The runner caches
     and returns only ``envelope["result"]``.
+
+    When the task runtime carries a ``telemetry`` dict (attached by a
+    span-enabled :class:`~repro.runner.runner.ExperimentRunner`), the
+    execution happens inside an activated
+    :class:`~repro.telemetry.context.TelemetryContext` under an
+    ``attempt`` span — so every JSONL line written *in this process*
+    carries the sweep's ``run_id``, and the attempt's span records
+    return to the runner via ``envelope["spans"]``.  Without it, this
+    function touches no telemetry code at all.
     """
     from .faults import inject_for_task
 
-    inject_for_task(task)
-    checkpoints = checkpoint_status(task)
-    started = time.perf_counter()
-    result = execute_task(task)
+    telemetry = (task.runtime or {}).get("telemetry")
+    if telemetry is None:
+        inject_for_task(task)
+        checkpoints = checkpoint_status(task)
+        started = time.perf_counter()
+        result = execute_task(task)
+        envelope = {
+            "result": result,
+            "worker_pid": os.getpid(),
+            "elapsed_s": time.perf_counter() - started,
+        }
+        if checkpoints is not None:
+            envelope["checkpoint"] = checkpoints
+        return envelope
+
+    from ..obs.recording import as_jsonable
+    from ..telemetry.context import TelemetryContext, activate
+    from ..telemetry.spans import SpanRecorder
+
+    recorder = SpanRecorder(run_id=telemetry.get("run_id"))
+    parent_id = telemetry.get("parent_span_id")
+    context = TelemetryContext(
+        recorder.run_id, parent_id, recorder=recorder
+    )
+    with activate(context):
+        attempt_id = recorder.start(
+            "attempt",
+            parent_id=parent_id,
+            kind=task.kind,
+            worker_pid=os.getpid(),
+        )
+        context.span_id = attempt_id
+        try:
+            inject_for_task(task)
+            checkpoints = checkpoint_status(task)
+            started = time.perf_counter()
+            result = execute_task(task)
+        except BaseException:
+            recorder.end(attempt_id, status="error")
+            raise
+        recorder.end(attempt_id)
     envelope = {
         "result": result,
         "worker_pid": os.getpid(),
         "elapsed_s": time.perf_counter() - started,
+        "spans": [as_jsonable(event) for event in recorder.events],
     }
     if checkpoints is not None:
         envelope["checkpoint"] = checkpoints

@@ -31,7 +31,10 @@ class TaskEvent:
 
     ``t_s`` is seconds since the recorder was created — a single
     monotonic origin for the whole trace, so event ordering and
-    durations are meaningful across workers.
+    durations are meaningful across workers.  ``epoch_s`` (set on
+    ``run_start``) anchors that origin to the wall clock, and
+    ``run_id`` stamps every event, so traces from different
+    processes/runs can be merged and correlated.
     """
 
     event: str
@@ -48,6 +51,14 @@ class TaskEvent:
     worker_pid: Optional[int] = None
     error: Optional[str] = None
     detail: Optional[str] = None
+    #: Telemetry correlation: the run this event belongs to (every
+    #: event) and the span that produced it (when spans are enabled).
+    run_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
+    #: Wall-clock epoch seconds of the recorder's ``t_s = 0`` origin;
+    #: emitted on ``run_start`` so cross-process merges share an axis.
+    epoch_s: Optional[float] = None
 
     def as_jsonable(self) -> Dict[str, Any]:
         return {
@@ -95,18 +106,35 @@ class TraceRecorder(JsonlEventLog):
     This recorder adds the ``t_s`` stamping relative to its creation:
     a single monotonic origin for the whole trace, so event ordering
     and durations are meaningful across workers.
+
+    Every event is stamped with the recorder's ``run_id``; the
+    ``epoch_s`` wall-clock anchor of the ``t_s = 0`` origin goes out on
+    ``run_start`` events (see :meth:`record_run_start`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, run_id: Optional[str] = None) -> None:
         super().__init__()
         self._t0 = time.perf_counter()
+        #: Wall-clock anchor of ``t_s = 0``.
+        self.epoch_s = time.time() - (time.perf_counter() - self._t0)
+        if run_id is None:
+            from ..telemetry.context import new_run_id
+
+            run_id = new_run_id()
+        self.run_id = run_id
 
     def record(self, event: str, **fields: Any) -> TaskEvent:
+        fields.setdefault("run_id", self.run_id)
         return self.append(
             TaskEvent(
                 event=event, t_s=time.perf_counter() - self._t0, **fields
             )
         )
+
+    def record_run_start(self, **fields: Any) -> TaskEvent:
+        """A ``run_start`` event carrying the wall-clock epoch anchor."""
+        fields.setdefault("epoch_s", self.epoch_s)
+        return self.record("run_start", **fields)
 
     def of_kind(self, event: str) -> List[TaskEvent]:
         """Events with the given ``event`` name, in record order."""

@@ -1,0 +1,65 @@
+"""Unified run telemetry: spans, metric export, live console.
+
+The correlation layer over every JSONL stream the repo writes:
+
+- :mod:`repro.telemetry.context` — the ambient ``run_id``/``span_id``
+  context that JSONL writers stamp on their lines (zero-cost when no
+  run is active; propagated to worker processes by the runner);
+- :mod:`repro.telemetry.spans` — :class:`SpanRecorder`, persisting the
+  sweep → point → attempt → episode hierarchy as paired
+  ``span_start``/``span_end`` JSONL records;
+- :mod:`repro.telemetry.openmetrics` — the Prometheus/OpenMetrics text
+  renderer for :class:`~repro.obs.registry.MetricsRegistry` and
+  :class:`~repro.core.metrics.RunnerCounters` (``repro-plc metrics``);
+- :mod:`repro.telemetry.tail` — rotation/truncation-safe follow-mode
+  JSONL reading;
+- :mod:`repro.telemetry.console` — the live sweep view
+  (``repro-plc top``);
+- :mod:`repro.telemetry.report` — post-hoc span tree / critical path /
+  failure summaries (``repro-plc report``).
+"""
+
+from .context import (
+    TelemetryContext,
+    activate,
+    active_context,
+    current,
+    current_ids,
+    new_run_id,
+    new_span_id,
+    span,
+)
+from .spans import SpanRecorder, load_spans
+from .openmetrics import (
+    render_openmetrics,
+    render_runner_counters,
+    validate_openmetrics,
+    write_openmetrics,
+)
+from .tail import JsonlTailer
+from .console import KindStats, SweepStatus, follow, render_status
+from .report import build_report, format_report
+
+__all__ = [
+    "TelemetryContext",
+    "activate",
+    "active_context",
+    "current",
+    "current_ids",
+    "new_run_id",
+    "new_span_id",
+    "span",
+    "SpanRecorder",
+    "load_spans",
+    "render_openmetrics",
+    "render_runner_counters",
+    "validate_openmetrics",
+    "write_openmetrics",
+    "JsonlTailer",
+    "KindStats",
+    "SweepStatus",
+    "follow",
+    "render_status",
+    "build_report",
+    "format_report",
+]

@@ -1,0 +1,147 @@
+"""Hierarchical run spans, persisted with the repo's JSONL conventions.
+
+A *span* is one timed scope of a run — the sweep, one point, one
+execution attempt, a chaos episode, a checkpoint save/resume — with a
+``run_id``/``span_id``/``parent_id`` triple that every other JSONL
+family stamps on its lines (via :mod:`repro.telemetry.context`), so a
+sniffer trace row can be joined back to the exact (point, rep, attempt)
+that produced it.
+
+:class:`SpanRecorder` extends
+:class:`~repro.obs.recording.JsonlEventLog` — same ordered ``events``
+list, same incremental ``flush_jsonl`` — and writes **two** records per
+span, ``span_start`` and ``span_end``.  Paired records (rather than one
+record at close) are what make the file *tail-able*: a live console can
+show in-flight spans, and a crashed run leaves its open spans visible
+in the artifact instead of losing them.
+
+Timestamps follow the :class:`~repro.runner.telemetry.TaskEvent`
+convention: ``t_s`` is seconds on a per-recorder monotonic origin
+(durations are exact), and ``epoch_s`` on ``span_start`` anchors that
+origin to the wall clock so traces from different processes can be
+merged on a common axis.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..obs.recording import JsonlEventLog, read_jsonl
+from .context import new_run_id, new_span_id
+
+__all__ = ["SpanRecorder", "load_spans"]
+
+
+class SpanRecorder(JsonlEventLog):
+    """Collect ``span_start``/``span_end`` records; flush them to JSONL.
+
+    >>> recorder = SpanRecorder(run_id="r" * 16)
+    >>> with recorder.span("sweep", points=3) as sweep_id:
+    ...     with recorder.span("point", parent_id=sweep_id):
+    ...         pass
+    >>> [e["event"] for e in recorder.events]
+    ['span_start', 'span_start', 'span_end', 'span_end']
+    """
+
+    def __init__(self, run_id: Optional[str] = None) -> None:
+        super().__init__()
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self._t0 = time.perf_counter()
+        #: Wall-clock anchor of the ``t_s = 0`` origin.
+        self.epoch_s = time.time() - (time.perf_counter() - self._t0)
+        #: Open spans: span_id -> (name, start t_s).
+        self._open: Dict[str, Any] = {}
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def start(
+        self, name: str, parent_id: Optional[str] = None, **attrs: Any
+    ) -> str:
+        """Open a span; returns its id."""
+        span_id = new_span_id()
+        t_s = self._now()
+        record: Dict[str, Any] = {
+            "event": "span_start",
+            "run_id": self.run_id,
+            "span_id": span_id,
+            "name": name,
+            "t_s": t_s,
+            "epoch_s": self.epoch_s + t_s,
+        }
+        if parent_id is not None:
+            record["parent_id"] = parent_id
+        if attrs:
+            record["attrs"] = dict(attrs)
+        self.append(record)
+        self._open[span_id] = (name, t_s)
+        return span_id
+
+    def end(self, span_id: str, status: str = "ok", **attrs: Any) -> None:
+        """Close a span; unknown/already-closed ids are ignored."""
+        opened = self._open.pop(span_id, None)
+        if opened is None:
+            return
+        name, started = opened
+        t_s = self._now()
+        record: Dict[str, Any] = {
+            "event": "span_end",
+            "run_id": self.run_id,
+            "span_id": span_id,
+            "name": name,
+            "t_s": t_s,
+            "duration_s": t_s - started,
+            "status": status,
+        }
+        if attrs:
+            record["attrs"] = dict(attrs)
+        self.append(record)
+
+    def span(self, name: str, parent_id: Optional[str] = None, **attrs: Any):
+        """Context manager recording one span around its body."""
+        return _SpanScope(self, name, parent_id, attrs)
+
+    def open_spans(self) -> List[str]:
+        """Ids of spans started but not yet ended, in start order."""
+        return list(self._open)
+
+    def adopt(self, records: List[Dict[str, Any]]) -> int:
+        """Append span records produced elsewhere (a worker process).
+
+        The records already carry their own ids and timestamps —
+        adoption is a plain append so ``flush_jsonl`` persists them
+        with everything else.  Returns how many were adopted.
+        """
+        for record in records:
+            self.append(dict(record))
+        return len(records)
+
+
+class _SpanScope:
+    """The reusable with-block behind :meth:`SpanRecorder.span`."""
+
+    __slots__ = ("_recorder", "_name", "_parent_id", "_attrs", "span_id")
+
+    def __init__(self, recorder, name, parent_id, attrs) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._parent_id = parent_id
+        self._attrs = attrs
+        self.span_id: Optional[str] = None
+
+    def __enter__(self) -> str:
+        self.span_id = self._recorder.start(
+            self._name, parent_id=self._parent_id, **self._attrs
+        )
+        return self.span_id
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        status = "ok" if exc_type is None else "error"
+        self._recorder.end(self.span_id, status=status)
+
+
+def load_spans(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load a span JSONL file back into record dicts."""
+    return read_jsonl(path)

@@ -1,0 +1,130 @@
+"""Follow-mode JSONL reading that survives rotation and truncation.
+
+The live console (`repro-plc top`) tails a trace file that a runner is
+appending to *right now*, possibly from another process, possibly being
+rotated by the operator.  :class:`JsonlTailer` handles the failure
+modes a naive ``readline`` loop gets wrong:
+
+- **partial last line** — an append caught mid-write is buffered until
+  its newline arrives, never parsed early and never lost;
+- **truncation** — if the file shrinks below our read position the
+  tailer rewinds to the start (the writer restarted the file);
+- **rotation** — if the path now names a different inode (the old file
+  was renamed away and a new one created) the tailer reopens and
+  continues from the start of the new file;
+- **not-yet-created** — polling a path that does not exist yet simply
+  yields nothing until the writer's first flush creates it.
+
+Each :meth:`JsonlTailer.poll` returns the *new complete records* since
+the previous poll; lines that fail to parse are counted on
+``bad_lines`` rather than raising, because a torn write mid-rotation
+must not kill the console.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["JsonlTailer"]
+
+
+class JsonlTailer:
+    """Incremental reader of an append-mostly JSONL file.
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "trace.jsonl")
+    >>> tailer = JsonlTailer(path)
+    >>> tailer.poll()
+    []
+    >>> with open(path, "w") as fh: _ = fh.write('{"event": "a"}\\n{"ev')
+    >>> [r["event"] for r in tailer.poll()]
+    ['a']
+    >>> with open(path, "a") as fh: _ = fh.write('ent": "b"}\\n')
+    >>> [r["event"] for r in tailer.poll()]
+    ['b']
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle: Optional[Any] = None
+        self._inode: Optional[int] = None
+        self._position = 0
+        self._buffer = ""
+        #: Lines that were complete but not valid JSON (torn writes).
+        self.bad_lines = 0
+        #: Total records returned across every poll.
+        self.records_read = 0
+
+    def _reopen(self) -> bool:
+        self.close()
+        try:
+            handle = self.path.open("r", encoding="utf-8", errors="replace")
+        except OSError:
+            return False
+        self._handle = handle
+        self._inode = os.fstat(handle.fileno()).st_ino
+        self._position = 0
+        self._buffer = ""
+        return True
+
+    def _ensure_open(self) -> bool:
+        try:
+            stat = self.path.stat()
+        except OSError:
+            # Path gone: keep draining the already-open (rotated-away)
+            # handle if we have one; otherwise nothing to read yet.
+            return self._handle is not None
+        if self._handle is None:
+            return self._reopen()
+        if stat.st_ino != self._inode:
+            # Rotated: drain what remains of the old file first, then
+            # switch to the new inode on the next poll.
+            remainder = self._handle.read()
+            if remainder:
+                self._buffer += remainder
+                self._position += len(remainder)
+                return True
+            return self._reopen()
+        if stat.st_size < self._position:
+            # Truncated in place: start over.
+            self._handle.seek(0)
+            self._position = 0
+            self._buffer = ""
+        return True
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """New complete records appended since the last poll."""
+        if not self._ensure_open():
+            return []
+        chunk = self._handle.read()
+        if chunk:
+            self._position += len(chunk)
+            self._buffer += chunk
+        if "\n" not in self._buffer:
+            return []
+        complete, self._buffer = self._buffer.rsplit("\n", 1)
+        records: List[Dict[str, Any]] = []
+        for line in complete.split("\n"):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                self.bad_lines += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                self.bad_lines += 1
+        self.records_read += len(records)
+        return records
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._inode = None

@@ -36,7 +36,18 @@ Subcommands map to the paper's artifacts:
   glitches) with the runtime MAC invariant checker; exits non-zero if
   any invariant is violated.  ``--recovery`` instead measures
   baseline → fault → recovery collision probabilities and exits
-  non-zero unless the MAC re-converges.
+  non-zero unless the MAC re-converges;
+- ``top`` — the live sweep console: tail a run's trace/span JSONL
+  (``--telemetry-dir`` of a running sweep) and render per-kind
+  progress, retry/timeout/cache-hit rates, ETA and active chaos
+  episodes; ``--once`` renders a single frame (also correct for
+  finished runs);
+- ``report`` — post-hoc run summary from a telemetry directory: span
+  tree, critical path, slowest points, failure table (text or
+  ``--json``);
+- ``metrics`` — render a metrics snapshot as OpenMetrics text, or
+  validate an existing ``metrics.prom`` (``--check`` exits non-zero
+  on any format problem).
 
 Experiment subcommands backed by :mod:`repro.runner` (``sweep``,
 ``figure2``, ``boost``) accept ``--workers N`` to simulate points on
@@ -56,6 +67,7 @@ results; ``--no-resume`` ignores existing snapshots.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -153,6 +165,15 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         help="ignore existing snapshots and recompute from scratch "
         "(fresh snapshots are still written)",
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="write full run telemetry (trace.jsonl, spans.jsonl, "
+        "metrics.prom) under DIR — the input of 'repro-plc top' and "
+        "'repro-plc report' (default: off)",
+    )
 
 
 def _runner_from_args(args: argparse.Namespace):
@@ -167,6 +188,7 @@ def _runner_from_args(args: argparse.Namespace):
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every_us=args.checkpoint_every_us,
         resume=not args.no_resume,
+        telemetry_dir=args.telemetry_dir,
     )
 
 
@@ -266,6 +288,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--chunk-size", type=int, default=1024,
         help="points per kernel dispatch (default: 1024)",
+    )
+    batch.add_argument(
+        "--telemetry-dir", type=str, default=None, metavar="DIR",
+        help="write run telemetry (trace.jsonl, spans.jsonl, "
+        "metrics.prom) under DIR (default: off)",
     )
 
     cache = sub.add_parser(
@@ -482,6 +509,81 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=str, default=None, metavar="FILE",
         help="also write the chaos report to FILE as JSON",
     )
+
+    top = sub.add_parser(
+        "top",
+        help="live sweep console: tail a run's trace/span JSONL and "
+        "render progress, rates, ETA and active chaos episodes",
+    )
+    top.add_argument(
+        "path",
+        help="telemetry directory of the run (a --telemetry-dir), or "
+        "a trace JSONL file directly (a --trace FILE)",
+    )
+    top.add_argument(
+        "--spans", type=str, default=None, metavar="FILE",
+        help="span JSONL to fold in (default: spans.jsonl next to a "
+        "directory path; none for a bare trace file)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="poll/render interval (default: 1.0)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame from the current file contents "
+        "and exit (CI mode; also correct for finished runs)",
+    )
+    top.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="stop after N rendered frames (default: until run_end)",
+    )
+    top.add_argument(
+        "--json", action="store_true",
+        help="print the final status snapshot as JSON instead of the "
+        "text frame history",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="post-hoc run summary from a telemetry directory: span "
+        "tree, critical path, slowest points, failures",
+    )
+    report.add_argument(
+        "run_dir",
+        help="telemetry directory holding trace.jsonl / spans.jsonl",
+    )
+    report.add_argument(
+        "--slowest", type=int, default=10, metavar="N",
+        help="how many slowest points to list (default: 10)",
+    )
+    report.add_argument(
+        "--json", type=str, default=None, metavar="FILE",
+        help="also write the full report to FILE as JSON "
+        "('-' prints JSON to stdout instead of the text view)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render a metrics snapshot as OpenMetrics text, or "
+        "validate an existing exposition file",
+    )
+    metrics.add_argument(
+        "path",
+        help="a metrics-registry JSON snapshot (e.g. the obs "
+        "metrics_*.json artifact), an OpenMetrics .prom file, or a "
+        "telemetry directory holding metrics.prom",
+    )
+    metrics.add_argument(
+        "--check", action="store_true",
+        help="validate only: exit non-zero on any OpenMetrics format "
+        "problem, printing each problem",
+    )
+    metrics.add_argument(
+        "--out", type=str, default=None, metavar="FILE",
+        help="also write the rendered exposition to FILE (atomic, "
+        "textfile-collector friendly)",
+    )
     return parser
 
 
@@ -679,7 +781,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for n in args.counts
     ]
     runner = BatchRunner(
-        cache_dir=args.cache_dir, chunk_size=args.chunk_size
+        cache_dir=args.cache_dir,
+        chunk_size=args.chunk_size,
+        telemetry_dir=args.telemetry_dir,
     )
     grouped = runner.run_scenarios(
         scenarios, root_seed=args.seed, repetitions=args.reps
@@ -1224,6 +1328,119 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_paths(path_arg: str, spans_arg: Optional[str]):
+    """Resolve a ``top`` path argument to ``(trace, spans)`` paths."""
+    from pathlib import Path
+
+    from ..telemetry.report import SPANS_FILENAME, TRACE_FILENAME
+
+    path = Path(path_arg)
+    if path.is_dir():
+        trace = path / TRACE_FILENAME
+        # Tailers tolerate a not-yet-created spans file, so always
+        # fold it in for directory inputs.
+        spans = Path(spans_arg) if spans_arg else path / SPANS_FILENAME
+        return trace, spans
+    return path, (Path(spans_arg) if spans_arg else None)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json
+
+    from ..telemetry.console import follow
+
+    trace, spans = _telemetry_paths(args.path, args.spans)
+    if not trace.exists() and not args.once and args.frames is None:
+        print(f"no trace at {trace} (is the sweep running with "
+              f"--telemetry-dir or --trace?)")
+        return 1
+    emit = (lambda frame: None) if args.json else print
+    status = follow(
+        trace,
+        spans_path=spans,
+        interval_s=args.interval,
+        once=args.once,
+        max_frames=args.frames,
+        emit=emit,
+    )
+    if args.json:
+        print(json.dumps(status.as_dict(), indent=2))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from ..telemetry.report import build_report, format_report
+
+    report = build_report(args.run_dir, slowest=args.slowest)
+    if not report["summary"]["run_id"] and not report["span_tree"]:
+        print(f"no telemetry found under {args.run_dir} "
+              f"(expected trace.jsonl and/or spans.jsonl)")
+        return 1
+    if args.json == "-":
+        print(json.dumps(report, indent=2))
+        return 0
+    print(format_report(report))
+    if args.json:
+        from ..report.export import write_json
+
+        write_json(args.json, report)
+        print(f"report written to {args.json}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from ..telemetry.openmetrics import (
+        render_openmetrics,
+        validate_openmetrics,
+    )
+
+    path = Path(args.path)
+    if path.is_dir():
+        path = path / "metrics.prom"
+    if not path.exists():
+        print(f"no metrics source at {path}")
+        return 1
+    if path.suffix == ".prom" or path.suffix == ".txt":
+        text = path.read_text(encoding="utf-8")
+    else:
+        with open(path, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        text = render_openmetrics(metrics=snapshot)
+    problems = validate_openmetrics(text)
+    if args.check:
+        if problems:
+            print(f"OpenMetrics check FAILED ({len(problems)} problem(s)):")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        families = sum(
+            1 for line in text.splitlines() if line.startswith("# TYPE ")
+        )
+        print(f"OpenMetrics check OK: {families} metric familie(s)")
+        return 0
+    if args.out:
+        import os
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        tmp = out.with_suffix(out.suffix + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, out)
+        print(f"exposition written to {out}", file=sys.stderr)
+    print(text, end="")
+    if problems:
+        print(f"WARNING: {len(problems)} format problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "sim": _cmd_sim,
     "load": _cmd_load,
@@ -1243,6 +1460,9 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "chaos": _cmd_chaos,
     "validity": _cmd_validity,
+    "top": _cmd_top,
+    "report": _cmd_report,
+    "metrics": _cmd_metrics,
 }
 
 
@@ -1250,7 +1470,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro-plc`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pipe closed early (e.g. ``repro-plc top | head``):
+        # exit quietly like any well-behaved filter.  Re-point stdout
+        # at devnull so the interpreter's shutdown flush cannot raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -92,6 +92,46 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("t", buckets=())
 
+    def test_quantile_interpolates_within_bucket(self):
+        # Docstring case: min/max tighten the first bucket to [2, 8],
+        # so the median interpolates to the true middle.
+        h = Histogram("d_us", buckets=(10.0, 100.0))
+        for value in (2.0, 4.0, 6.0, 8.0):
+            h.observe(value)
+        assert h.quantile(0.5) == pytest.approx(5.0)
+
+    def test_quantile_extremes_and_single_observation(self):
+        h = Histogram("t", buckets=(10.0,))
+        h.observe(7.0)
+        # A single observation pins every quantile to itself.
+        assert h.quantile(0.0) == 7.0
+        assert h.quantile(0.5) == 7.0
+        assert h.quantile(1.0) == 7.0
+
+    def test_quantile_empty_is_nan_and_range_checked(self):
+        h = Histogram("t", buckets=(1.0,))
+        assert math.isnan(h.quantile(0.5))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantiles_helper_and_snapshot_keys(self):
+        h = Histogram("t", buckets=(10.0, 100.0))
+        for value in (1.0, 2.0, 3.0, 4.0):
+            h.observe(value)
+        qs = h.quantiles()
+        assert set(qs) == {"p50", "p95", "p99"}
+        snap = h.snapshot()
+        assert snap["p50"] == h.quantile(0.5)
+        assert snap["p95"] <= snap["p99"] <= snap["max"]
+
+    def test_as_jsonable_series_carry_quantiles(self):
+        h = Histogram("t", buckets=(10.0,), labelnames=("k",))
+        h.observe(5.0, k="a")
+        series = h.as_jsonable()["series"]["a"]
+        assert series["p50"] == 5.0
+        assert series["p95"] == 5.0
+        assert series["p99"] == 5.0
+
 
 class TestMetricsRegistry:
     def test_get_or_create_returns_same_instance(self):

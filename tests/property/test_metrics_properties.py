@@ -24,7 +24,20 @@ def test_jain_bounds(shares):
     assert 1.0 / n - 1e-12 <= value <= 1.0 + 1e-12
 
 
-@given(shares=shares, scale=st.floats(min_value=1e-3, max_value=1e3))
+# Scale invariance cannot survive subnormal underflow (a share like
+# 5e-324 times a scale < 1 rounds to exactly 0.0, changing the index),
+# so nonzero shares stay in the comfortably-normal float range here.
+scalable_shares = st.lists(
+    st.one_of(
+        st.just(0.0),
+        st.floats(min_value=1e-30, max_value=1e6, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@given(shares=scalable_shares, scale=st.floats(min_value=1e-3, max_value=1e3))
 def test_jain_scale_invariance(shares, scale):
     scaled = [x * scale for x in shares]
     assert abs(jain_index(shares) - jain_index(scaled)) < 1e-9

@@ -1,0 +1,35 @@
+"""The committed BENCH_summary.json stays in sync with its inputs."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+BENCH_DIR = REPO / "benchmarks"
+
+
+def test_committed_summary_is_current():
+    result = subprocess.run(
+        [sys.executable, str(BENCH_DIR / "bench_summary.py"), "--check"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_summary_covers_every_artifact():
+    summary = json.loads(
+        (BENCH_DIR / "BENCH_summary.json").read_text(encoding="utf-8")
+    )
+    committed = {
+        path.name
+        for path in BENCH_DIR.glob("BENCH_*.json")
+        if path.name != "BENCH_summary.json"
+    }
+    listed = {entry["name"] + ".json" for entry in summary["artifacts"]}
+    assert listed == committed
+    assert summary["artifact_count"] == len(committed)
+    for entry in summary["artifacts"]:
+        assert "error" in entry or entry["metrics"], entry["name"]

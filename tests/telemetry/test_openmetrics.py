@@ -1,0 +1,123 @@
+"""OpenMetrics rendering + the dependency-free format validator."""
+
+from repro.core.metrics import RunnerCounters
+from repro.obs.registry import MetricsRegistry
+from repro.telemetry.openmetrics import (
+    render_openmetrics,
+    render_runner_counters,
+    validate_openmetrics,
+    write_openmetrics,
+)
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter(
+        "mac_slots_total", "slots", labelnames=("outcome",)
+    )
+    counter.inc(3, outcome="success")
+    counter.inc(1, outcome="collision")
+    gauge = registry.gauge("queue_depth", "depth", labelnames=("station",))
+    gauge.set(4, station="sta1")
+    histogram = registry.histogram(
+        "burst_airtime_us", "airtime", buckets=(100.0, 1000.0)
+    )
+    for value in (50.0, 150.0, 2500.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestRender:
+    def test_counter_family_and_samples(self):
+        text = render_openmetrics(metrics=_registry())
+        assert "# TYPE mac_slots counter" in text
+        assert 'mac_slots_total{outcome="success"} 3' in text
+        assert 'mac_slots_total{outcome="collision"} 1' in text
+
+    def test_gauge(self):
+        text = render_openmetrics(metrics=_registry())
+        assert "# TYPE queue_depth gauge" in text
+        assert 'queue_depth{station="sta1"} 4' in text
+
+    def test_histogram_cumulative_buckets(self):
+        text = render_openmetrics(metrics=_registry())
+        assert "# TYPE burst_airtime_us histogram" in text
+        assert 'burst_airtime_us_bucket{le="100"} 1' in text
+        assert 'burst_airtime_us_bucket{le="1000"} 2' in text
+        assert 'burst_airtime_us_bucket{le="+Inf"} 3' in text
+        assert "burst_airtime_us_count 3" in text
+
+    def test_histogram_summary_quantiles(self):
+        text = render_openmetrics(metrics=_registry())
+        assert "# TYPE burst_airtime_us_summary summary" in text
+        assert 'burst_airtime_us_summary{quantile="0.5"}' in text
+        assert 'burst_airtime_us_summary{quantile="0.99"}' in text
+        assert "burst_airtime_us_summary_count 3" in text
+
+    def test_registry_and_snapshot_render_identically(self):
+        registry = _registry()
+        assert render_openmetrics(metrics=registry) == render_openmetrics(
+            metrics=registry.as_dict()
+        )
+
+    def test_run_info_and_eof(self):
+        text = render_openmetrics(run_id="abcd" * 4)
+        assert 'run_info{run_id="abcdabcdabcdabcd"} 1' in text
+        assert text.endswith("# EOF\n")
+
+    def test_runner_counters(self):
+        counters = RunnerCounters()
+        counters.points_total = 9
+        counters.executed = 7
+        counters.workers = 2
+        lines = render_runner_counters(counters)
+        assert "# TYPE runner_points counter" in lines
+        assert "runner_points_total 9" in lines
+        assert "# TYPE runner_executed counter" in lines
+        assert "runner_executed_total 7" in lines
+        assert "# TYPE runner_workers gauge" in lines
+        assert "runner_workers 2" in lines
+
+
+class TestValidate:
+    def test_full_exposition_passes(self):
+        counters = RunnerCounters()
+        counters.points_total = 3
+        text = render_openmetrics(
+            metrics=_registry(), runner_counters=counters, run_id="e" * 16
+        )
+        assert validate_openmetrics(text) == []
+
+    def test_missing_eof(self):
+        problems = validate_openmetrics("# TYPE x gauge\nx 1\n")
+        assert any("EOF" in p for p in problems)
+
+    def test_undeclared_family(self):
+        problems = validate_openmetrics("mystery_metric 1\n# EOF\n")
+        assert any("no # TYPE family" in p for p in problems)
+
+    def test_duplicate_family(self):
+        text = "# TYPE x gauge\nx 1\n# TYPE x gauge\nx 2\n# EOF\n"
+        problems = validate_openmetrics(text)
+        assert any("declared twice" in p for p in problems)
+
+    def test_non_numeric_value(self):
+        text = "# TYPE x gauge\nx banana\n# EOF\n"
+        problems = validate_openmetrics(text)
+        assert any("non-numeric" in p for p in problems)
+
+    def test_special_values_allowed(self):
+        text = "# TYPE x gauge\nx +Inf\nx NaN\n# EOF\n"
+        assert validate_openmetrics(text) == []
+
+
+class TestWrite:
+    def test_atomic_write(self, tmp_path):
+        path = tmp_path / "nested" / "metrics.prom"
+        counters = RunnerCounters()
+        counters.points_total = 1
+        out = write_openmetrics(path, runner_counters=counters)
+        assert out == path
+        text = path.read_text(encoding="utf-8")
+        assert validate_openmetrics(text) == []
+        assert not list(tmp_path.glob("**/*.tmp"))

@@ -1,0 +1,89 @@
+"""JsonlTailer: the rotation/truncation-safe follow-mode reader."""
+
+import json
+import os
+
+from repro.telemetry.tail import JsonlTailer
+
+
+def _write(path, records, mode="a"):
+    with open(path, mode, encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+class TestBasics:
+    def test_reads_appended_records(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write(path, [{"event": "a"}, {"event": "b"}])
+        tailer = JsonlTailer(path)
+        assert [r["event"] for r in tailer.poll()] == ["a", "b"]
+        assert tailer.poll() == []
+        _write(path, [{"event": "c"}])
+        assert [r["event"] for r in tailer.poll()] == ["c"]
+        assert tailer.records_read == 3
+        tailer.close()
+
+    def test_missing_file_is_not_an_error(self, tmp_path):
+        tailer = JsonlTailer(tmp_path / "absent.jsonl")
+        assert tailer.poll() == []
+        _write(tmp_path / "absent.jsonl", [{"event": "late"}])
+        assert [r["event"] for r in tailer.poll()] == ["late"]
+        tailer.close()
+
+
+class TestPartialLines:
+    def test_partial_last_line_buffered(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        full = json.dumps({"event": "done"})
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(full[: len(full) // 2])
+        tailer = JsonlTailer(path)
+        assert tailer.poll() == []  # incomplete line: not parsed
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(full[len(full) // 2 :] + "\n")
+        assert [r["event"] for r in tailer.poll()] == ["done"]
+        assert tailer.bad_lines == 0
+        tailer.close()
+
+    def test_bad_lines_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"event": "ok"}\n')
+            handle.write("not json at all\n")
+            handle.write('[1, 2, 3]\n')  # parseable but not an object
+            handle.write('{"event": "ok2"}\n')
+        tailer = JsonlTailer(path)
+        assert [r["event"] for r in tailer.poll()] == ["ok", "ok2"]
+        assert tailer.bad_lines == 2
+        tailer.close()
+
+
+class TestTruncation:
+    def test_truncated_file_rewinds(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write(path, [{"event": "old1"}, {"event": "old2"}])
+        tailer = JsonlTailer(path)
+        assert len(tailer.poll()) == 2
+        # Truncate in place (same inode, smaller size).
+        _write(path, [{"event": "fresh"}], mode="w")
+        assert [r["event"] for r in tailer.poll()] == ["fresh"]
+        tailer.close()
+
+
+class TestRotation:
+    def test_rotation_drains_old_then_follows_new(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write(path, [{"event": "old1"}])
+        tailer = JsonlTailer(path)
+        assert [r["event"] for r in tailer.poll()] == ["old1"]
+        # Writer appends one more line, then the file is rotated away
+        # and a new file appears under the same name.
+        _write(path, [{"event": "old2"}])
+        os.rename(path, tmp_path / "trace.jsonl.1")
+        _write(path, [{"event": "new1"}], mode="w")
+        collected = []
+        for _ in range(3):  # old remainder drains, then the new file
+            collected.extend(r["event"] for r in tailer.poll())
+        assert collected == ["old2", "new1"]
+        tailer.close()
