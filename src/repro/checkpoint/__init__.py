@@ -35,7 +35,7 @@ from .batch import (
     run_batch_with_checkpoints,
     snapshot_batch_kernel,
 )
-from .integrity import atomic_write_bytes, sha256_hex
+from .integrity import FileLock, atomic_write_bytes, sha256_hex
 from .slotsim import (
     restore_slot_simulator,
     run_simulate_with_checkpoints,
@@ -54,6 +54,7 @@ __all__ = [
     "CheckpointStore",
     "DEFAULT_BATCH_EVERY_ROUNDS",
     "DEFAULT_CHECKPOINT_EVERY_US",
+    "FileLock",
     "atomic_write_bytes",
     "checkpointed_collision_test",
     "inspect_file",

@@ -14,8 +14,19 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import threading
 
-__all__ = ["sha256_hex", "atomic_write_bytes", "atomic_write_text"]
+try:  # POSIX advisory locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = [
+    "FileLock",
+    "sha256_hex",
+    "atomic_write_bytes",
+    "atomic_write_text",
+]
 
 
 def sha256_hex(data: bytes) -> str:
@@ -63,3 +74,87 @@ def atomic_write_text(
 ) -> None:
     """Atomic, durable UTF-8 text write (see :func:`atomic_write_bytes`)."""
     atomic_write_bytes(path, text.encode("utf-8"), temp_prefix=temp_prefix)
+
+
+class FileLock:
+    """Advisory cross-process mutex on a lock file (``flock``).
+
+    Reentrant *within* a process, exclusive *across* processes via
+    ``fcntl.flock`` — the coordination the result cache needs when
+    workers of separate orchestrator processes write the same cache
+    directory.  Reentrancy is process-wide, not per-instance: all
+    ``FileLock`` objects for the same path share one hold through a
+    class-level registry.  ``flock`` blocks between two open file
+    descriptions *even in the same process*, so two ``ResultCache``
+    instances on one directory (e.g. a ``clear`` fired from inside a
+    ``put``'s critical section) would otherwise self-deadlock.
+    Advisory by design: readers never take it (atomic rename already
+    guarantees they see whole entries), so lock-free readers and
+    locked writers coexist.
+
+    Degrades to a process-local no-op where ``fcntl`` is unavailable —
+    same-process reentrancy still works, cross-process exclusion is
+    simply not provided (matching the pre-lock behavior there).
+    """
+
+    #: path -> {"fd": int | None, "depth": int}, shared process-wide.
+    _holds: "dict[str, dict]" = {}
+    _holds_guard = threading.Lock()
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = os.fspath(path)
+        self._key = os.path.abspath(self.path)
+        self._local_depth = 0
+
+    def acquire(self) -> None:
+        with FileLock._holds_guard:
+            hold = FileLock._holds.get(self._key)
+            if hold is not None:
+                hold["depth"] += 1
+                self._local_depth += 1
+                return
+        os.makedirs(os.path.dirname(self._key), exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            except OSError:
+                # Filesystems without flock (some network mounts):
+                # advisory means optional, never fatal.
+                pass
+        with FileLock._holds_guard:
+            FileLock._holds[self._key] = {"fd": fd, "depth": 1}
+        self._local_depth += 1
+
+    def release(self) -> None:
+        if self._local_depth == 0:
+            return
+        self._local_depth -= 1
+        with FileLock._holds_guard:
+            hold = FileLock._holds.get(self._key)
+            if hold is None:
+                return
+            hold["depth"] -= 1
+            if hold["depth"] > 0:
+                return
+            del FileLock._holds[self._key]
+        fd = hold["fd"]
+        if fd is None:
+            return
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:
+                pass
+        os.close(fd)
+
+    @property
+    def held(self) -> bool:
+        return self._local_depth > 0
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()

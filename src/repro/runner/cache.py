@@ -25,13 +25,18 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterable, Optional, Set, Union
 
-from ..checkpoint.integrity import atomic_write_text, sha256_hex
+from ..checkpoint.integrity import FileLock, atomic_write_text, sha256_hex
 from .serialize import canonical_json
 
 __all__ = ["cache_key", "ResultCache", "CacheEntryError", "result_checksum"]
+
+#: Advisory write-lock file inside the cache directory.  Not an entry
+#: (no ``.json`` suffix), so entry iteration never sees it.
+LOCK_FILENAME = ".lock"
 
 #: Schema version folded into every key: bump to invalidate all entries
 #: when the stored result format changes.  v2 added the sha256 result
@@ -86,6 +91,12 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        #: Advisory cross-process lock serializing mutations
+        #: (``put``/``clear``/``prune``) against writers in *other*
+        #: processes — e.g. workers of two orchestrators sharing one
+        #: cache directory.  Reads stay lock-free: atomic rename means
+        #: a reader sees whole entries regardless.
+        self.lock = FileLock(self.cache_dir / LOCK_FILENAME)
 
     def path_for(self, key: str) -> Path:
         return self.cache_dir / f"{key}.json"
@@ -149,13 +160,14 @@ class ResultCache:
             "sha256": result_checksum(result),
         }
         payload = json.dumps(entry)
-        for final_attempt in (False, True):
-            try:
-                self._write_entry(key, payload)
-                return
-            except FileNotFoundError:
-                if final_attempt:
+        with self.lock:
+            for final_attempt in (False, True):
+                try:
+                    self._write_entry(key, payload)
                     return
+                except FileNotFoundError:
+                    if final_attempt:
+                        return
 
     def _write_entry(self, key: str, payload: str) -> None:
         self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -184,19 +196,110 @@ class ResultCache:
         are swept as well but do not count toward the return value —
         they were never entries.
         """
+        if not self.cache_dir.is_dir():
+            return 0
         removed = 0
-        for path in list(self.entry_paths()):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        for path in list(self.temp_paths()):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        with self.lock:
+            for path in list(self.entry_paths()):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for path in list(self.temp_paths()):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        # Sweep the lock file as well: ``clear`` means an empty
+        # directory.  We still hold the open fd, so the advisory
+        # exclusion stands until release; a rival writer simply
+        # recreates the file.
+        try:
+            (self.cache_dir / LOCK_FILENAME).unlink()
+        except OSError:
+            pass
         return removed
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        protect: Optional[Iterable[str]] = None,
+    ) -> Dict[str, int]:
+        """Evict entries to bound disk growth; returns what happened.
+
+        Two independent policies, either or both:
+
+        - ``max_age_s`` — drop entries older than this (mtime);
+        - ``max_bytes`` — then, if the directory still exceeds this
+          size, drop oldest-first (LRU by mtime — ``get`` never touches
+          entries, so mtime is write time: oldest = least recently
+          *computed*, the entries a long-lived service is least likely
+          to be re-asked for).
+
+        ``protect`` is a set of cache keys that must survive regardless
+        — the journal-aware guard: the service CLI passes the keys of
+        every task with an active lease, so a prune racing a running
+        sweep can't evict a result the orchestrator is about to commit
+        or a duplicate submission is about to dedupe against.  Orphaned
+        temp files older than ``max_age_s`` are swept too.
+        """
+        report = {"removed": 0, "kept": 0, "protected": 0, "bytes": 0}
+        if not self.cache_dir.is_dir():
+            return report
+        protected: Set[str] = set(protect or ())
+        now = time.time()
+        with self.lock:
+            entries = []
+            for path in self.entry_paths():
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((path, stat.st_mtime, stat.st_size))
+            entries.sort(key=lambda item: item[1])  # oldest first
+            total = sum(size for _, _, size in entries)
+
+            def _evict(path: Path, size: int) -> int:
+                try:
+                    path.unlink()
+                except OSError:
+                    return 0
+                report["removed"] += 1
+                return size
+
+            survivors = []
+            for path, mtime, size in entries:
+                if path.stem in protected:
+                    report["protected"] += 1
+                    survivors.append((path, mtime, size))
+                    continue
+                if max_age_s is not None and now - mtime > max_age_s:
+                    total -= _evict(path, size)
+                    continue
+                survivors.append((path, mtime, size))
+            if max_bytes is not None:
+                for path, _mtime, size in survivors:
+                    if total <= max_bytes:
+                        break
+                    if path.stem in protected:
+                        continue
+                    total -= _evict(path, size)
+            if max_age_s is not None:
+                for path in list(self.temp_paths()):
+                    try:
+                        if now - path.stat().st_mtime > max_age_s:
+                            path.unlink()
+                    except OSError:
+                        pass
+        report["kept"] = sum(1 for _ in self.entry_paths())
+        report["bytes"] = sum(
+            path.stat().st_size
+            for path in self.entry_paths()
+            if path.is_file()
+        )
+        return report
 
     def __len__(self) -> int:
         return sum(1 for _ in self.entry_paths())

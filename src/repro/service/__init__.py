@@ -1,0 +1,83 @@
+"""Durable sweep orchestration: the long-lived service layer.
+
+ROADMAP item 2's chassis: a supervised orchestrator that accepts sweep
+submissions, executes them through the existing runner/cache/
+checkpoint/telemetry substrates, and — the point of the package —
+survives its own death.  Every task lifecycle transition is journaled
+to an append-only, checksummed WAL before it takes effect
+(:mod:`~repro.service.journal`), work is claimed through heartbeated
+leases a watchdog can reclaim (:mod:`~repro.service.leases`), poison
+tasks land in a forensics quarantine instead of wedging the sweep
+(:mod:`~repro.service.quarantine`), and SIGTERM drains cleanly
+(:mod:`~repro.service.signals`).  ``kill -9`` at any instant — proven
+at the armed kill points of :mod:`~repro.service.faults` — followed by
+a restart yields results bit-identical to an uninterrupted run.
+
+Entry points: :class:`Orchestrator` / :class:`ServiceConfig` (the
+``repro-plc serve`` loop), :func:`~repro.service.submit
+.build_submission` + :func:`~repro.service.submit.write_submission`
+(``submit``), :func:`~repro.service.status.service_status`
+(``status``), :func:`~repro.service.orchestrator.request_drain`
+(``drain``).
+"""
+
+from .journal import (
+    JOURNAL_FILENAME,
+    JournalError,
+    JournalWriter,
+    read_journal,
+    seal_record,
+    verify_record,
+)
+from .leases import HeartbeatWriter, classify_lease, pid_alive
+from .orchestrator import (
+    Orchestrator,
+    ServiceConfig,
+    ServicePaths,
+    request_drain,
+)
+from .quarantine import read_quarantine_records, write_quarantine_record
+from .signals import ShutdownRequested, handle_signals
+from .state import ServiceState, TaskRecord, TaskState, fold_journal
+from .status import render_service_status, service_status
+from .submit import (
+    build_submission,
+    read_submission,
+    standard_sweep_tasks,
+    submission_id,
+    write_submission,
+)
+from .worker import task_from_description, worker_main
+
+__all__ = [
+    "JOURNAL_FILENAME",
+    "JournalError",
+    "JournalWriter",
+    "read_journal",
+    "seal_record",
+    "verify_record",
+    "HeartbeatWriter",
+    "classify_lease",
+    "pid_alive",
+    "Orchestrator",
+    "ServiceConfig",
+    "ServicePaths",
+    "request_drain",
+    "read_quarantine_records",
+    "write_quarantine_record",
+    "ShutdownRequested",
+    "handle_signals",
+    "ServiceState",
+    "TaskRecord",
+    "TaskState",
+    "fold_journal",
+    "render_service_status",
+    "service_status",
+    "build_submission",
+    "read_submission",
+    "standard_sweep_tasks",
+    "submission_id",
+    "write_submission",
+    "task_from_description",
+    "worker_main",
+]

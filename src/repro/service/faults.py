@@ -1,0 +1,119 @@
+"""Deterministic orchestrator kill points for the crash-recovery suite.
+
+The durable-orchestrator guarantee — ``kill -9`` at any instant loses
+nothing — is only worth claiming if the test suite can place the kill
+*at* the instants that matter: right after a journal append becomes
+durable, between granting a lease and spawning its worker, between
+committing a result to the cache and journaling the completion.  This
+module provides those kill points, mirroring the conventions of
+:mod:`repro.runner.faults` (environment-controlled, one-shot via an
+``O_EXCL`` claim directory, zero cost when disabled):
+
+``REPRO_SERVICE_KILL``
+    ``point[:times=N]`` — which kill point fires, and how many times
+    (default 1).  Registered points:
+
+    - ``journal_append`` — after a journal record is written and
+      fsynced (the record must survive; the transition it describes
+      has not been acted on yet);
+    - ``lease_grant`` — after the ``lease_granted`` record is durable
+      but before the worker process is spawned (a lease with no
+      living worker, the watchdog-reclaim case);
+    - ``result_commit`` — after the result is written to the content-
+      addressed cache but before ``task_completed`` is journaled (the
+      re-run must dedupe against the cache, not recompute).
+
+``REPRO_SERVICE_KILL_DIR``
+    Claim-marker directory shared across orchestrator incarnations;
+    required for injection to be active (same fail-safe as the runner
+    hook: without one-shot coordination, a restart would die at the
+    same point forever and the sweep could never finish).
+
+The kill is ``os._exit`` — no ``atexit``, no ``finally`` blocks, no
+flushes — the closest a test can get to ``kill -9`` from inside.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Mapping, Optional
+
+__all__ = [
+    "ENV_SERVICE_KILL",
+    "ENV_SERVICE_KILL_DIR",
+    "KILL_EXIT_CODE",
+    "KILL_POINTS",
+    "maybe_kill",
+]
+
+ENV_SERVICE_KILL = "REPRO_SERVICE_KILL"
+ENV_SERVICE_KILL_DIR = "REPRO_SERVICE_KILL_DIR"
+
+#: Exit status of an injected orchestrator kill — distinct from the
+#: worker fault code (117) so postmortems can tell who died.
+KILL_EXIT_CODE = 113
+
+#: The registered kill points; ``maybe_kill`` rejects unknown names so
+#: a typo in a test fails loudly instead of never firing.
+KILL_POINTS = ("journal_append", "lease_grant", "result_commit")
+
+
+def _parse(spec: str) -> Optional[tuple]:
+    point, _, rest = spec.strip().partition(":")
+    times = 1
+    if rest:
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            if not sep or key.strip() != "times":
+                raise ValueError(
+                    f"malformed kill option {item!r} in {spec!r}"
+                )
+            times = int(value)
+    if point not in KILL_POINTS:
+        raise ValueError(
+            f"unknown kill point {point!r}; registered: {KILL_POINTS}"
+        )
+    if times < 1:
+        raise ValueError("times must be >= 1")
+    return point, times
+
+
+def maybe_kill(
+    point: str, environ: Optional[Mapping[str, str]] = None
+) -> None:
+    """Die via ``os._exit`` if ``point`` is armed and unclaimed.
+
+    No-op (one dict lookup) unless ``REPRO_SERVICE_KILL`` is set.
+    Each armed kill fires at most ``times`` times across all
+    orchestrator incarnations sharing the claim directory, so the
+    restarted orchestrator runs the same code path clean.
+    """
+    assert point in KILL_POINTS, f"unregistered kill point {point!r}"
+    environ = os.environ if environ is None else environ
+    spec = environ.get(ENV_SERVICE_KILL)
+    if not spec:
+        return
+    claim_dir = environ.get(ENV_SERVICE_KILL_DIR)
+    if not claim_dir:
+        return
+    armed_point, times = _parse(spec)
+    if armed_point != point:
+        return
+    if not _claim(Path(claim_dir), point, times):
+        return
+    os._exit(KILL_EXIT_CODE)
+
+
+def _claim(marker_dir: Path, point: str, times: int) -> bool:
+    """Take one of ``times`` one-shot slots for ``point``, atomically."""
+    marker_dir.mkdir(parents=True, exist_ok=True)
+    for k in range(times):
+        slot = marker_dir / f"kill-{point}-{k}"
+        try:
+            with open(slot, "x", encoding="utf-8") as handle:
+                handle.write(str(os.getpid()))
+            return True
+        except FileExistsError:
+            continue
+    return False

@@ -1,0 +1,845 @@
+"""The durable sweep orchestrator: the service's supervising process.
+
+One :class:`Orchestrator` owns one *service directory* — journal,
+inbox, leases, outcomes, quarantine, checkpoints, result cache,
+telemetry — and runs the scheduling loop: admit submissions from the
+inbox, dedupe against the content-addressed result cache, lease pending
+tasks to crash-isolated worker processes, watch their heartbeats,
+collect their outcome envelopes, retry deterministically, quarantine
+poison, and drain cleanly on request.
+
+Crash-safety discipline (the tentpole invariant):
+
+1. **Journal first.**  Every state transition is a durable journal
+   record *before* it takes effect.  ``kill -9`` between the record and
+   the effect is recovered by replaying the journal: the restarted
+   orchestrator re-derives the effect from the record.
+2. **Effects are idempotent.**  Re-granting a lease whose worker never
+   spawned re-runs the task bit-identically (same
+   :class:`~repro.runner.seeding.SeedSpec`); re-committing a result the
+   cache already holds dedupes on the cache key; re-writing an outcome
+   is an atomic replace of identical bytes.
+3. **One commit point.**  A task is *done* when ``task_completed`` is
+   journaled.  The result is written to the cache immediately before
+   (the ``result_commit`` kill window): dying between the two leaves a
+   cached result and a pending task, and the next dispatch completes it
+   from the cache without recomputation — converging on the same bits.
+
+Recovery of leases is adopt-or-reclaim: a lease whose worker is alive
+with a fresh heartbeat is *adopted* (the new orchestrator watches its
+outcome file — workers can outlive the orchestrator that spawned
+them); anything else is reclaimed without consuming an attempt (a dead
+orchestrator is not evidence against the task).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import shutil
+import signal as _signal
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..runner.cache import ResultCache, cache_key, result_checksum
+from ..runner.telemetry import TraceRecorder
+from ..telemetry.openmetrics import write_openmetrics
+from ..telemetry.spans import SpanRecorder
+from .faults import maybe_kill
+from .journal import JOURNAL_FILENAME, JournalWriter
+from .leases import (
+    LEASES_DIRNAME,
+    classify_lease,
+    heartbeat_path,
+    pid_alive,
+    read_heartbeat_pid,
+)
+from .quarantine import QUARANTINE_DIRNAME, write_quarantine_record
+from .signals import handle_signals
+from .state import ServiceState, SubmitRecord, TaskState, fold_journal
+from .submit import (
+    INBOX_DIRNAME,
+    REJECTED_DIRNAME,
+    read_submission,
+)
+from .worker import (
+    OUTCOMES_DIRNAME,
+    outcome_path,
+    read_outcome,
+    task_from_description,
+    worker_main,
+)
+
+__all__ = [
+    "DRAIN_MARKER",
+    "Orchestrator",
+    "ServiceConfig",
+    "ServicePaths",
+    "request_drain",
+]
+
+#: Cross-process drain request: ``repro-plc drain`` touches this file,
+#: the serve loop sees it and shuts down cleanly.
+DRAIN_MARKER = "DRAIN"
+
+#: Pid file of the running orchestrator (presence + live pid = serving).
+PID_FILENAME = "serve.pid"
+
+
+@dataclasses.dataclass(frozen=True)
+class ServicePaths:
+    """The on-disk layout of one service directory."""
+
+    root: Path
+
+    def __post_init__(self) -> None:
+        # Accept plain strings everywhere a service dir is named.
+        object.__setattr__(self, "root", Path(self.root))
+
+    @property
+    def journal(self) -> Path:
+        return self.root / JOURNAL_FILENAME
+
+    @property
+    def inbox(self) -> Path:
+        return self.root / INBOX_DIRNAME
+
+    @property
+    def rejected(self) -> Path:
+        return self.root / REJECTED_DIRNAME
+
+    @property
+    def leases(self) -> Path:
+        return self.root / LEASES_DIRNAME
+
+    @property
+    def outcomes(self) -> Path:
+        return self.root / OUTCOMES_DIRNAME
+
+    @property
+    def quarantine(self) -> Path:
+        return self.root / QUARANTINE_DIRNAME
+
+    @property
+    def checkpoints(self) -> Path:
+        return self.root / "checkpoints"
+
+    @property
+    def cache(self) -> Path:
+        return self.root / "cache"
+
+    @property
+    def telemetry(self) -> Path:
+        return self.root / "telemetry"
+
+    @property
+    def drain_marker(self) -> Path:
+        return self.root / DRAIN_MARKER
+
+    @property
+    def pid_file(self) -> Path:
+        return self.root / PID_FILENAME
+
+
+def request_drain(service_dir: Union[str, Path]) -> Path:
+    """Ask the orchestrator owning ``service_dir`` to drain and stop."""
+    marker = ServicePaths(Path(service_dir)).drain_marker
+    marker.parent.mkdir(parents=True, exist_ok=True)
+    marker.write_text(str(time.time()), encoding="utf-8")
+    return marker
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one orchestrator incarnation.
+
+    Nothing here may change task *results* — only scheduling, safety
+    margins, and disk layout.  The determinism contract (task identity
+    = cache key of the description, retries replay the same seed) is
+    what makes every knob safe to tune between incarnations.
+    """
+
+    service_dir: Union[str, Path]
+    #: Concurrently leased worker processes.
+    max_workers: int = 2
+    #: Deterministic retries before quarantine: a task failing
+    #: ``max_retries + 1`` attempts is poison, not unlucky.
+    max_retries: int = 2
+    #: Heartbeat silence tolerated before a lease is stale.
+    lease_ttl_s: float = 10.0
+    #: How often workers touch their heartbeat file.
+    heartbeat_interval_s: float = 1.0
+    #: Hard per-attempt wall-clock limit (``None`` = unlimited).
+    task_timeout_s: Optional[float] = None
+    #: Admission control: a submission that would push pending+leased
+    #: past this depth is rejected (backpressure, not silent loss).
+    max_queue_depth: int = 10000
+    #: Scheduling-loop poll period.
+    poll_interval_s: float = 0.05
+    #: Checkpoint cadence for long simulate/collision points
+    #: (``None`` = only the runner defaults).
+    checkpoint_every_us: Optional[float] = None
+    #: fsync every journal append (only tests may turn this off).
+    sync_journal: bool = True
+    #: Seconds a drain waits for in-flight workers before terminating
+    #: them (their leases are released; no attempt is consumed).
+    drain_timeout_s: float = 10.0
+
+
+@dataclasses.dataclass
+class _Inflight:
+    """One leased task this incarnation is watching."""
+
+    task_id: str
+    task: Any  # the rebuilt Task
+    attempt: int
+    granted_monotonic: float
+    span_id: Optional[str] = None
+    task_index: Optional[int] = None
+    #: The worker process we spawned, or ``None`` for a lease adopted
+    #: from a previous incarnation (pid known only via heartbeat).
+    proc: Optional[multiprocessing.Process] = None
+
+
+class Orchestrator:
+    """Supervise one service directory.  See the module docstring."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.paths = ServicePaths(Path(config.service_dir))
+        self.paths.root.mkdir(parents=True, exist_ok=True)
+        self.cache = ResultCache(self.paths.cache)
+        self.journal = JournalWriter(
+            self.paths.journal, sync=config.sync_journal
+        )
+        #: Folded journal state — kept current by this incarnation.
+        self.state: ServiceState = fold_journal(self.paths.journal)
+        self.trace = TraceRecorder()
+        self.spans = SpanRecorder(run_id=self.trace.run_id)
+        self._inflight: Dict[str, _Inflight] = {}
+        #: Per-task failure history for quarantine forensics, rebuilt
+        #: from the journal so a restart doesn't forget attempts.
+        self._failures: Dict[str, List[Dict[str, Any]]] = {}
+        self._next_task_index = 0
+        self._task_indices: Dict[str, int] = {}
+        self._sweep_span: Optional[str] = None
+        self._seed_failure_history()
+
+    # -- recovery ----------------------------------------------------------
+
+    def _seed_failure_history(self) -> None:
+        from .journal import read_journal
+
+        records, _ = read_journal(self.paths.journal)
+        for record in records:
+            if record.get("event") == "task_failed":
+                self._failures.setdefault(record["task_id"], []).append(
+                    {
+                        "attempt": record.get("attempt"),
+                        "error": record.get("error"),
+                        "error_type": record.get("error_type"),
+                        "epoch_s": record.get("epoch_s"),
+                        "worker_pid": record.get("worker_pid"),
+                    }
+                )
+        self._next_task_index = len(self.state.tasks)
+
+    def _recover_leases(self) -> None:
+        """Adopt-or-reclaim every lease the previous incarnation held."""
+        for record in self.state.by_state(TaskState.LEASED):
+            hb = heartbeat_path(self.paths.leases, record.task_id)
+            pid = read_heartbeat_pid(hb)
+            attempt = record.attempts
+            if (
+                pid_alive(pid)
+                and classify_lease(
+                    hb,
+                    self.config.lease_ttl_s,
+                    elapsed_s=0.0,
+                    task_timeout_s=None,
+                )
+                == "live"
+            ):
+                # The worker survived its orchestrator.  Adopt: watch
+                # its outcome file like any other in-flight task.
+                self._inflight[record.task_id] = _Inflight(
+                    task_id=record.task_id,
+                    task=self._build_task(record.task_id, record.description),
+                    attempt=attempt,
+                    granted_monotonic=time.monotonic(),
+                )
+                continue
+            self.journal.append(
+                "lease_reclaimed",
+                task_id=record.task_id,
+                reason="orchestrator restart",
+                worker_pid=pid,
+            )
+            self._remove_lease_files(record.task_id)
+            record.state = TaskState.PENDING
+            record.lease = None
+
+    # -- serve loop --------------------------------------------------------
+
+    def serve(self, exit_when_idle: bool = False) -> ServiceState:
+        """Run the scheduling loop until drained (or idle, if asked).
+
+        ``exit_when_idle=True`` returns once the inbox is empty and no
+        task is pending or leased — the mode tests, CI smoke, and
+        one-shot batch deployments use.  Without it the loop runs until
+        a drain request (SIGTERM/SIGINT or the ``DRAIN`` marker).
+        """
+        cfg = self.config
+        self.paths.pid_file.parent.mkdir(parents=True, exist_ok=True)
+        self.paths.pid_file.write_text(str(os.getpid()), encoding="utf-8")
+        resumed = self.state.records > 0
+        self.state.incarnations.append(
+            self.journal.append(
+                "service_resume" if resumed else "service_start",
+                pid=os.getpid(),
+                run_id=self.trace.run_id,
+                tasks=len(self.state.tasks),
+                corrupt_records=self.state.corrupt_records,
+            )
+        )
+        self._sweep_span = self.spans.start(
+            "service", workers=cfg.max_workers, resumed=resumed
+        )
+        self.trace.record_run_start(
+            detail=f"service tasks={len(self.state.tasks)}",
+            span_id=self._sweep_span,
+        )
+        self._recover_leases()
+        drained = False
+        try:
+            with handle_signals(mode="flag") as shutdown:
+                while True:
+                    if shutdown.is_set() or self.paths.drain_marker.exists():
+                        drained = True
+                        self._drain()
+                        break
+                    self._scan_inbox()
+                    self._watchdog()
+                    self._collect_finished()
+                    self._dispatch_pending()
+                    if (
+                        exit_when_idle
+                        and not self._inflight
+                        and not self.state.by_state(TaskState.PENDING)
+                        and not list(self.paths.inbox.glob("*.json"))
+                    ):
+                        break
+                    time.sleep(cfg.poll_interval_s)
+        finally:
+            # Truthful shutdown telemetry even on an unexpected error:
+            # spans close, the trace flushes, the journal records the
+            # stop — the restart path depends on none of this, but the
+            # operator's status view does.
+            if not drained:
+                self._release_inflight(terminate=False)
+            self.state.incarnations.append(
+                self.journal.append(
+                    "service_stop",
+                    pid=os.getpid(),
+                    drained=drained,
+                    counts=self.state.counts(),
+                )
+            )
+            self.trace.record(
+                "run_end",
+                span_id=self._sweep_span,
+                detail=f"counts={self.state.counts()}",
+            )
+            for open_id in self.spans.open_spans():
+                if open_id != self._sweep_span:
+                    self.spans.end(open_id, status="aborted")
+            self.spans.end(self._sweep_span)
+            self._flush_telemetry()
+            self.journal.close()
+            try:
+                self.paths.pid_file.unlink()
+            except OSError:
+                pass
+            try:
+                self.paths.drain_marker.unlink()
+            except OSError:
+                pass
+        return self.state
+
+    # -- inbox / admission -------------------------------------------------
+
+    def _scan_inbox(self) -> None:
+        inbox = self.paths.inbox
+        if not inbox.is_dir():
+            return
+        for path in sorted(inbox.glob("*.json")):
+            submission = read_submission(path)
+            if submission is None:
+                self._reject(path, None, "malformed submission")
+                continue
+            submit_id = submission.get("submit_id") or path.stem
+            descriptions = submission["tasks"]
+            new: List[Dict[str, Any]] = []
+            deduped = 0
+            for description in descriptions:
+                task_id = cache_key(description)
+                known = self.state.tasks.get(task_id)
+                if known is not None and known.state != TaskState.QUARANTINED:
+                    deduped += 1
+                    continue
+                new.append((task_id, description))
+            depth = self.state.queue_depth
+            if depth + len(new) > self.config.max_queue_depth:
+                self._reject(
+                    path,
+                    submit_id,
+                    f"queue depth {depth} + {len(new)} new tasks "
+                    f"exceeds limit {self.config.max_queue_depth}",
+                )
+                continue
+            self.journal.append(
+                "sweep_accepted",
+                submit_id=submit_id,
+                label=submission.get("label"),
+                task_count=len(descriptions),
+                deduped=deduped,
+            )
+            self.state.submits[submit_id] = SubmitRecord(
+                submit_id=submit_id,
+                accepted=True,
+                label=submission.get("label"),
+                task_count=len(descriptions),
+                deduped=deduped,
+            )
+            for task_id, description in new:
+                self.journal.append(
+                    "task_enqueued",
+                    task_id=task_id,
+                    submit_id=submit_id,
+                    task=description,
+                )
+                record = self.state.tasks.get(task_id)
+                if record is None:
+                    from .state import TaskRecord
+
+                    record = self.state.tasks[task_id] = TaskRecord(
+                        task_id=task_id
+                    )
+                record.state = TaskState.PENDING
+                record.description = description
+                record.submit_id = submit_id
+                self.trace.record(
+                    "queued",
+                    task_index=self._task_index(task_id),
+                    kind=description.get("kind"),
+                    span_id=self._sweep_span,
+                )
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _reject(
+        self, path: Path, submit_id: Optional[str], reason: str
+    ) -> None:
+        self.journal.append(
+            "sweep_rejected", submit_id=submit_id, reason=reason
+        )
+        self.state.submits[submit_id or path.stem] = SubmitRecord(
+            submit_id=submit_id or path.stem,
+            accepted=False,
+            reason=reason,
+        )
+        self.paths.rejected.mkdir(parents=True, exist_ok=True)
+        target = self.paths.rejected / path.name
+        try:
+            shutil.move(str(path), str(target))
+            target.with_suffix(".reason.txt").write_text(
+                reason + "\n", encoding="utf-8"
+            )
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _task_index(self, task_id: str) -> int:
+        """Stable per-task slot number for trace events (top view)."""
+        index = self._task_indices.get(task_id)
+        if index is None:
+            index = self._task_indices[task_id] = self._next_task_index
+            self._next_task_index += 1
+        return index
+
+    def _build_task(
+        self, task_id: str, description: Optional[Dict[str, Any]]
+    ):
+        runtime: Dict[str, Any] = {
+            "checkpoint_dir": str(self.paths.checkpoints / task_id),
+            "resume": True,
+            "telemetry": {
+                "run_id": self.trace.run_id,
+                "parent_span_id": self._sweep_span,
+            },
+        }
+        if self.config.checkpoint_every_us is not None:
+            runtime["checkpoint_every_us"] = self.config.checkpoint_every_us
+        return task_from_description(description, runtime=runtime)
+
+    def _dispatch_pending(self) -> None:
+        for record in self.state.by_state(TaskState.PENDING):
+            if len(self._inflight) >= self.config.max_workers:
+                return
+            if record.description is None:
+                continue  # cannot rebuild; journal damage, leave visible
+            task_id = record.task_id
+            cached = self.cache.get(task_id)
+            if cached is not None:
+                # Completed by a previous incarnation (or a prior
+                # sweep) — the result_commit crash window closes here.
+                self.journal.append(
+                    "task_completed",
+                    task_id=task_id,
+                    source="cache",
+                    result_sha256=result_checksum(cached),
+                )
+                record.state = TaskState.COMPLETED
+                record.completed_from = "cache"
+                self.trace.record(
+                    "cache_hit",
+                    task_index=self._task_index(task_id),
+                    kind=record.kind,
+                    span_id=self._sweep_span,
+                )
+                continue
+            attempt = record.attempts
+            span_id = self.spans.start(
+                "point",
+                parent_id=self._sweep_span,
+                task_id=task_id,
+                kind=record.kind,
+                attempt=attempt,
+            )
+            self.journal.append(
+                "lease_granted",
+                task_id=task_id,
+                lease_id=f"{os.getpid()}-{self.journal.seq}",
+                ttl_s=self.config.lease_ttl_s,
+                attempt=attempt,
+            )
+            record.state = TaskState.LEASED
+            maybe_kill("lease_grant")
+            task = self._build_task(task_id, record.description)
+            hb = heartbeat_path(self.paths.leases, task_id)
+            try:
+                hb.unlink()
+            except OSError:
+                pass
+            out = outcome_path(self.paths.outcomes, task_id)
+            try:
+                out.unlink()
+            except OSError:
+                pass
+            proc = multiprocessing.Process(
+                target=worker_main,
+                args=(
+                    task,
+                    str(hb),
+                    str(out),
+                    self.config.heartbeat_interval_s,
+                ),
+                name=f"service-worker-{task_id[:12]}",
+            )
+            proc.start()
+            self._inflight[task_id] = _Inflight(
+                task_id=task_id,
+                task=task,
+                attempt=attempt,
+                granted_monotonic=time.monotonic(),
+                span_id=span_id,
+                task_index=self._task_index(task_id),
+                proc=proc,
+            )
+            self.trace.record(
+                "started",
+                task_index=self._inflight[task_id].task_index,
+                kind=record.kind,
+                attempt=attempt,
+                span_id=span_id,
+                parent_id=self._sweep_span,
+            )
+
+    # -- collection / watchdog ---------------------------------------------
+
+    def _collect_finished(self) -> None:
+        for task_id in list(self._inflight):
+            entry = self._inflight[task_id]
+            outcome = read_outcome(
+                outcome_path(self.paths.outcomes, task_id)
+            )
+            if outcome is not None:
+                self._settle(entry, outcome)
+                continue
+            if entry.proc is not None and not entry.proc.is_alive():
+                # Spawned worker exited without publishing an outcome:
+                # crashed, OOM-killed, or kill -9'd.
+                self._fail(
+                    entry,
+                    error=(
+                        "worker exited without outcome "
+                        f"(exitcode={entry.proc.exitcode})"
+                    ),
+                    error_type="WorkerDied",
+                    worker_pid=entry.proc.pid,
+                )
+
+    def _watchdog(self) -> None:
+        cfg = self.config
+        for task_id in list(self._inflight):
+            entry = self._inflight[task_id]
+            if entry.proc is not None and entry.proc.is_alive() is False:
+                continue  # _collect_finished handles exited procs
+            hb = heartbeat_path(self.paths.leases, task_id)
+            verdict = classify_lease(
+                hb,
+                cfg.lease_ttl_s,
+                elapsed_s=time.monotonic() - entry.granted_monotonic,
+                task_timeout_s=cfg.task_timeout_s,
+            )
+            if verdict == "live":
+                continue
+            # Don't race a worker that published its outcome and is
+            # merely slow to exit.
+            if read_outcome(outcome_path(self.paths.outcomes, task_id)):
+                continue
+            pid = (
+                entry.proc.pid
+                if entry.proc is not None
+                else read_heartbeat_pid(hb)
+            )
+            if verdict in ("stale", "overrun") and pid_alive(pid):
+                try:
+                    os.kill(pid, _signal.SIGKILL)
+                except OSError:
+                    pass
+                if entry.proc is not None:
+                    entry.proc.join(timeout=5.0)
+            if entry.proc is None:
+                # Adopted orphan went dead/stale: reclaim without
+                # consuming an attempt — we never saw it fail, we only
+                # lost contact.
+                self.journal.append(
+                    "lease_reclaimed",
+                    task_id=task_id,
+                    reason=f"watchdog: {verdict}",
+                    worker_pid=pid,
+                )
+                record = self.state.tasks[task_id]
+                record.state = TaskState.PENDING
+                record.lease = None
+                self._remove_lease_files(task_id)
+                del self._inflight[task_id]
+                if entry.span_id:
+                    self.spans.end(entry.span_id, status="aborted")
+            else:
+                self._fail(
+                    entry,
+                    error=f"watchdog reclaim: {verdict} lease",
+                    error_type="Watchdog",
+                    worker_pid=pid,
+                )
+
+    def _settle(
+        self, entry: _Inflight, outcome: Dict[str, Any]
+    ) -> None:
+        task_id = entry.task_id
+        record = self.state.tasks[task_id]
+        if entry.proc is not None:
+            entry.proc.join(timeout=5.0)
+        if outcome.get("ok"):
+            envelope = outcome.get("envelope") or {}
+            result = envelope.get("result")
+            if isinstance(result, dict):
+                self.cache.put(
+                    task_id, result, record.description or {}
+                )
+                maybe_kill("result_commit")
+                self.journal.append(
+                    "task_completed",
+                    task_id=task_id,
+                    source="worker",
+                    result_sha256=result_checksum(result),
+                    worker_pid=envelope.get("worker_pid"),
+                    elapsed_s=envelope.get("elapsed_s"),
+                )
+                record.state = TaskState.COMPLETED
+                record.completed_from = "worker"
+                record.lease = None
+                spans = envelope.get("spans")
+                if spans:
+                    self.spans.adopt(spans)
+                self.trace.record(
+                    "finished",
+                    task_index=entry.task_index,
+                    kind=record.kind,
+                    attempt=entry.attempt,
+                    duration_s=envelope.get("elapsed_s"),
+                    worker_pid=envelope.get("worker_pid"),
+                    span_id=entry.span_id,
+                )
+                if entry.span_id:
+                    self.spans.end(entry.span_id, status="ok")
+                self._remove_lease_files(task_id)
+                del self._inflight[task_id]
+                return
+            outcome = {
+                "ok": False,
+                "error": "worker outcome carried no result dict",
+                "error_type": "BadOutcome",
+            }
+        self._fail(
+            entry,
+            error=str(outcome.get("error", "unknown")),
+            error_type=str(outcome.get("error_type", "Unknown")),
+            traceback_text=outcome.get("traceback"),
+            worker_pid=(
+                entry.proc.pid if entry.proc is not None else None
+            ),
+        )
+
+    def _fail(
+        self,
+        entry: _Inflight,
+        error: str,
+        error_type: str,
+        traceback_text: Optional[str] = None,
+        worker_pid: Optional[int] = None,
+    ) -> None:
+        task_id = entry.task_id
+        record = self.state.tasks[task_id]
+        attempt = record.attempts + 1
+        self.journal.append(
+            "task_failed",
+            task_id=task_id,
+            attempt=attempt,
+            error=error,
+            error_type=error_type,
+            worker_pid=worker_pid,
+        )
+        record.attempts = attempt
+        record.last_error = error
+        record.last_error_type = error_type
+        record.lease = None
+        self._failures.setdefault(task_id, []).append(
+            {
+                "attempt": attempt,
+                "error": error,
+                "error_type": error_type,
+                "traceback": traceback_text,
+                "epoch_s": time.time(),
+                "worker_pid": worker_pid,
+            }
+        )
+        self._remove_lease_files(task_id)
+        del self._inflight[task_id]
+        if entry.span_id:
+            self.spans.end(entry.span_id, status="error")
+        if attempt > self.config.max_retries:
+            record_path = write_quarantine_record(
+                self.paths.quarantine,
+                task_id,
+                record.description or {},
+                self._failures[task_id],
+            )
+            self.journal.append(
+                "task_quarantined",
+                task_id=task_id,
+                attempts=attempt,
+                record_path=str(record_path),
+            )
+            record.state = TaskState.QUARANTINED
+            record.quarantine_record = str(record_path)
+            self.trace.record(
+                "failed",
+                task_index=entry.task_index,
+                kind=record.kind,
+                attempt=attempt,
+                error=f"{error_type}: {error}",
+                span_id=entry.span_id,
+            )
+        else:
+            record.state = TaskState.PENDING
+            self.trace.record(
+                "retried",
+                task_index=entry.task_index,
+                kind=record.kind,
+                attempt=attempt,
+                error=f"{error_type}: {error}",
+                span_id=entry.span_id,
+            )
+
+    # -- drain / shutdown --------------------------------------------------
+
+    def _drain(self) -> None:
+        """Stop dispatching; settle or release what's in flight."""
+        self.journal.append(
+            "drain_start", pid=os.getpid(), inflight=len(self._inflight)
+        )
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while self._inflight and time.monotonic() < deadline:
+            self._collect_finished()
+            if not self._inflight:
+                break
+            time.sleep(self.config.poll_interval_s)
+        self._release_inflight(terminate=True)
+
+    def _release_inflight(self, terminate: bool) -> None:
+        for task_id in list(self._inflight):
+            entry = self._inflight.pop(task_id)
+            if entry.proc is not None and entry.proc.is_alive():
+                if terminate:
+                    entry.proc.terminate()
+                    entry.proc.join(timeout=2.0)
+                    if entry.proc.is_alive():
+                        entry.proc.kill()
+                        entry.proc.join(timeout=2.0)
+            self.journal.append(
+                "lease_released",
+                task_id=task_id,
+                reason="drain" if terminate else "shutdown",
+            )
+            record = self.state.tasks.get(task_id)
+            if record is not None and record.state == TaskState.LEASED:
+                record.state = TaskState.PENDING
+                record.lease = None
+            self._remove_lease_files(task_id)
+            if entry.span_id:
+                self.spans.end(entry.span_id, status="aborted")
+
+    # -- helpers -----------------------------------------------------------
+
+    def _remove_lease_files(self, task_id: str) -> None:
+        for path in (
+            heartbeat_path(self.paths.leases, task_id),
+            outcome_path(self.paths.outcomes, task_id),
+        ):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _flush_telemetry(self) -> None:
+        telemetry = self.paths.telemetry
+        try:
+            telemetry.mkdir(parents=True, exist_ok=True)
+            self.trace.flush_jsonl(telemetry / "trace.jsonl")
+            self.spans.flush_jsonl(telemetry / "spans.jsonl")
+            write_openmetrics(
+                telemetry / "metrics.prom", run_id=self.trace.run_id
+            )
+        except OSError:
+            pass

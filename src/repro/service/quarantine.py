@@ -1,0 +1,106 @@
+"""Poison-task quarantine: park what keeps failing, with forensics.
+
+A task that fails ``max_retries + 1`` *deterministic* attempts — same
+payload, same :class:`~repro.runner.seeding.SeedSpec`, bit-identical
+replay each time — is not going to succeed on attempt N+1.  Leaving it
+in the queue wedges the sweep forever; silently dropping it corrupts
+the sweep's meaning.  Quarantine is the third option: the task is
+journaled ``task_quarantined``, removed from scheduling, and a
+structured forensics record is written to
+``quarantine/<task_id>.json`` holding everything a human (or a later
+tool) needs to reproduce the failure offline::
+
+    {
+      "task_id": "...",          # == cache key of the description
+      "task": {...},             # full Task.describe() — rerunnable as-is
+      "attempts": 3,
+      "failures": [              # one entry per attempt, in order
+        {"attempt": 1, "error": "...", "error_type": "KeyError",
+         "traceback": "...", "epoch_s": ..., "worker_pid": ...},
+        ...
+      ],
+      "quarantined_epoch_s": ...,
+      "orchestrator_pid": ...
+    }
+
+The sweep then *completes partial-clean*: every healthy point finishes
+and is cached, the status view shows exactly which points are parked
+and why, and re-submitting after a fix re-enqueues only the quarantined
+points (completed ones dedupe against the cache).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..checkpoint.integrity import atomic_write_text
+
+__all__ = [
+    "QUARANTINE_DIRNAME",
+    "quarantine_record_path",
+    "read_quarantine_record",
+    "read_quarantine_records",
+    "write_quarantine_record",
+]
+
+#: Forensics directory inside a service directory.
+QUARANTINE_DIRNAME = "quarantine"
+
+
+def quarantine_record_path(
+    quarantine_dir: Union[str, Path], task_id: str
+) -> Path:
+    return Path(quarantine_dir) / f"{task_id}.json"
+
+
+def write_quarantine_record(
+    quarantine_dir: Union[str, Path],
+    task_id: str,
+    description: Dict[str, Any],
+    failures: List[Dict[str, Any]],
+) -> Path:
+    """Atomically write the forensics record; returns its path."""
+    record = {
+        "task_id": task_id,
+        "task": description,
+        "attempts": len(failures),
+        "failures": failures,
+        "quarantined_epoch_s": time.time(),
+        "orchestrator_pid": os.getpid(),
+    }
+    path = quarantine_record_path(quarantine_dir, task_id)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(str(path), json.dumps(record, indent=2))
+    return path
+
+
+def read_quarantine_record(
+    path: Union[str, Path],
+) -> Optional[Dict[str, Any]]:
+    try:
+        record = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(record, dict) or "task_id" not in record:
+        return None
+    return record
+
+
+def read_quarantine_records(
+    quarantine_dir: Union[str, Path],
+) -> List[Dict[str, Any]]:
+    """All readable forensics records, sorted by quarantine time."""
+    directory = Path(quarantine_dir)
+    if not directory.is_dir():
+        return []
+    records = []
+    for path in sorted(directory.glob("*.json")):
+        record = read_quarantine_record(path)
+        if record is not None:
+            records.append(record)
+    records.sort(key=lambda r: r.get("quarantined_epoch_s", 0.0))
+    return records

@@ -17,7 +17,17 @@ Subcommands map to the paper's artifacts:
 - ``load`` / ``errors`` / ``delay`` / ``coexist`` — the extension
   experiments (unsaturated load, channel errors + ARQ, access-delay
   model, boosted/legacy coexistence);
-- ``cache`` — inspect or clear the experiment result cache;
+- ``cache`` — inspect, clear, or prune the experiment result cache
+  (``prune --max-bytes/--max-age`` bounds disk growth; with
+  ``--service-dir`` it is journal-aware and never evicts a key held
+  by an active lease);
+- ``serve`` / ``submit`` / ``status`` / ``drain`` — the durable sweep
+  service (:mod:`repro.service`): ``serve`` runs the journaled,
+  lease-based orchestrator on a service directory (``kill -9`` safe;
+  restart resumes bit-identically), ``submit`` drops a sweep into its
+  inbox deduped against the sha256 result cache, ``status`` folds the
+  journal + telemetry streams into one frame, ``drain`` requests a
+  graceful stop;
 - ``checkpoint`` — inspect/verify a checkpoint store, or resume an
   interrupted simulation from its newest valid snapshot (bit-identical
   to the uninterrupted run);
@@ -296,12 +306,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear the experiment result cache"
+        "cache",
+        help="inspect, clear, or prune the experiment result cache",
     )
-    cache.add_argument("action", choices=["info", "clear"])
+    cache.add_argument("action", choices=["info", "clear", "prune"])
     cache.add_argument(
-        "--cache-dir", type=str, required=True,
-        help="cache directory to operate on",
+        "--cache-dir", type=str, default=None,
+        help="cache directory to operate on (default with "
+        "--service-dir: its cache/ subdirectory)",
+    )
+    cache.add_argument(
+        "--max-bytes", type=int, default=None, metavar="BYTES",
+        help="prune: evict oldest entries until the cache fits in "
+        "BYTES (default: no size bound)",
+    )
+    cache.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="prune: evict entries older than SECONDS "
+        "(default: no age bound)",
+    )
+    cache.add_argument(
+        "--service-dir", type=str, default=None, metavar="DIR",
+        help="service directory whose journal guards the prune: keys "
+        "held by an active lease are never evicted",
     )
 
     checkpoint = sub.add_parser(
@@ -324,6 +351,99 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=str, default=None, metavar="FILE",
         help="also write the inspection rows (inspect/verify) or the "
         "result summary (resume) to FILE as JSON",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the durable sweep orchestrator on a service "
+        "directory (journaled queue, leased workers, quarantine; "
+        "kill -9 safe — restart resumes bit-identically)",
+    )
+    serve.add_argument(
+        "--service-dir", type=str, required=True, metavar="DIR",
+        help="service state root (journal, inbox, cache, telemetry)",
+    )
+    serve.add_argument(
+        "--workers", type=_worker_count, default=2,
+        help="concurrent worker processes (default: 2)",
+    )
+    serve.add_argument(
+        "--max-retries", type=_retry_count, default=2,
+        help="deterministic retries before a task is quarantined "
+        "(default: 2)",
+    )
+    serve.add_argument(
+        "--lease-ttl", type=_timeout_seconds, default=10.0,
+        metavar="SECONDS",
+        help="heartbeat silence before the watchdog reclaims a lease "
+        "(default: 10)",
+    )
+    serve.add_argument(
+        "--task-timeout", type=_timeout_seconds, default=None,
+        metavar="SECONDS",
+        help="hard per-attempt wall-clock limit (default: none)",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=10000,
+        help="admission control: reject submissions that would push "
+        "pending+leased past this depth (default: 10000)",
+    )
+    serve.add_argument(
+        "--checkpoint-every-us", type=_interval_us, default=None,
+        metavar="US",
+        help="checkpoint cadence for long points (default: per-kind "
+        "defaults)",
+    )
+    serve.add_argument(
+        "--exit-when-idle", action="store_true",
+        help="return once the inbox is empty and no task is pending "
+        "or leased (instead of serving until drained)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="drop a standard protocol sweep into a service inbox "
+        "(deduped against the sha256 result cache)",
+    )
+    submit.add_argument(
+        "--service-dir", type=str, required=True, metavar="DIR",
+    )
+    submit.add_argument(
+        "--counts", type=int, nargs="+", default=[1, 2, 5, 10, 20]
+    )
+    submit.add_argument("--sim-time", type=float, default=2e7)
+    submit.add_argument("--reps", type=int, default=3)
+    submit.add_argument("--seed", type=int, default=1)
+    submit.add_argument(
+        "--label", type=str, default=None,
+        help="human-readable tag carried through journal and status",
+    )
+
+    status = sub.add_parser(
+        "status",
+        help="one status frame of a service directory: queue counts, "
+        "submissions, quarantine, folded telemetry",
+    )
+    status.add_argument(
+        "--service-dir", type=str, required=True, metavar="DIR",
+    )
+    status.add_argument(
+        "--json", action="store_true",
+        help="emit the status document as JSON instead of text",
+    )
+
+    drain = sub.add_parser(
+        "drain",
+        help="ask the orchestrator owning a service directory to "
+        "finish in-flight work, flush, and stop",
+    )
+    drain.add_argument(
+        "--service-dir", type=str, required=True, metavar="DIR",
+    )
+    drain.add_argument(
+        "--wait", type=float, default=0.0, metavar="SECONDS",
+        help="block up to SECONDS for the orchestrator to exit "
+        "(default: return immediately)",
     )
 
     load = sub.add_parser("load", help="unsaturated offered-load sweep")
@@ -822,17 +942,166 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     from ..runner import ResultCache
 
-    cache = ResultCache(args.cache_dir)
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        if args.service_dir is None:
+            print(
+                "cache: --cache-dir is required (or --service-dir to "
+                "use its cache/)",
+                file=sys.stderr,
+            )
+            return 2
+        from pathlib import Path
+
+        from ..service.orchestrator import ServicePaths
+
+        cache_dir = str(ServicePaths(Path(args.service_dir)).cache)
+    cache = ResultCache(cache_dir)
     if args.action == "clear":
         removed = cache.clear()
-        print(f"removed {removed} cached result(s) from {args.cache_dir}")
+        print(f"removed {removed} cached result(s) from {cache_dir}")
+    elif args.action == "prune":
+        if args.max_bytes is None and args.max_age is None:
+            print(
+                "cache prune: at least one of --max-bytes/--max-age "
+                "is required",
+                file=sys.stderr,
+            )
+            return 2
+        protect = set()
+        if args.service_dir is not None:
+            # Journal-aware guard: a key under an active lease is a
+            # result the orchestrator is about to commit (or a
+            # resubmission is about to dedupe against) — never evict.
+            from ..service.state import TaskState, fold_journal
+
+            state = fold_journal(args.service_dir)
+            protect = {
+                record.task_id
+                for record in state.by_state(TaskState.LEASED)
+            }
+        report = cache.prune(
+            max_bytes=args.max_bytes,
+            max_age_s=args.max_age,
+            protect=protect,
+        )
+        print(
+            f"pruned {report['removed']} entr(ies) from {cache_dir}: "
+            f"{report['kept']} kept ({report['bytes']} bytes)"
+            + (
+                f", {report['protected']} lease-protected"
+                if report["protected"]
+                else ""
+            )
+        )
     else:
         orphans = sum(1 for _ in cache.temp_paths())
-        print(f"cache dir : {args.cache_dir}")
+        print(f"cache dir : {cache_dir}")
         print(f"entries   : {len(cache)}")
         if orphans:
             print(f"orphaned  : {orphans} temp file(s) (swept by 'clear')")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..service import Orchestrator, ServiceConfig
+
+    orchestrator = Orchestrator(
+        ServiceConfig(
+            service_dir=args.service_dir,
+            max_workers=args.workers or 2,
+            max_retries=args.max_retries,
+            lease_ttl_s=args.lease_ttl,
+            task_timeout_s=args.task_timeout,
+            max_queue_depth=args.max_queue_depth,
+            checkpoint_every_us=args.checkpoint_every_us,
+        )
+    )
+    print(
+        f"serving {args.service_dir} "
+        f"(pid {os.getpid()}, workers={orchestrator.config.max_workers})"
+    )
+    state = orchestrator.serve(exit_when_idle=args.exit_when_idle)
+    counts = state.counts()
+    print(
+        f"[serve] completed={counts['completed']} "
+        f"pending={counts['pending']} leased={counts['leased']} "
+        f"quarantined={counts['quarantined']}"
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from ..runner import ResultCache
+    from ..service.orchestrator import ServicePaths
+    from ..service.submit import (
+        build_submission,
+        dedupe_report,
+        standard_sweep_tasks,
+        write_submission,
+    )
+
+    tasks = standard_sweep_tasks(
+        args.counts,
+        sim_time_us=args.sim_time,
+        repetitions=args.reps,
+        seed=args.seed,
+    )
+    submission = build_submission(tasks, label=args.label)
+    paths = ServicePaths(Path(args.service_dir))
+    report = dedupe_report(
+        submission["tasks"],
+        ResultCache(paths.cache) if paths.cache.is_dir() else None,
+    )
+    path = write_submission(paths.inbox, submission)
+    print(f"submitted {submission['submit_id'][:12]} -> {path}")
+    print(
+        f"[submit] tasks={report['tasks']} "
+        f"cached={report['cached']} to_run={report['to_run']}"
+    )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from ..service.status import render_service_status, service_status
+
+    status = service_status(args.service_dir)
+    if args.json:
+        print(json.dumps(status, indent=2))
+    else:
+        print(render_service_status(status))
+    return 0
+
+
+def _cmd_drain(args: argparse.Namespace) -> int:
+    import time
+    from pathlib import Path
+
+    from ..service.leases import pid_alive
+    from ..service.orchestrator import ServicePaths, request_drain
+
+    paths = ServicePaths(Path(args.service_dir))
+    request_drain(paths.root)
+    print(f"drain requested for {paths.root}")
+    if args.wait <= 0:
+        return 0
+    deadline = time.monotonic() + args.wait
+    while time.monotonic() < deadline:
+        try:
+            pid = int(paths.pid_file.read_text(encoding="utf-8").strip())
+        except (OSError, ValueError):
+            print("orchestrator stopped")
+            return 0
+        if not pid_alive(pid):
+            print("orchestrator stopped")
+            return 0
+        time.sleep(0.2)
+    print(f"orchestrator still running after {args.wait:.0f}s")
+    return 1
 
 
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
@@ -1456,6 +1725,10 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "cache": _cmd_cache,
     "checkpoint": _cmd_checkpoint,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "drain": _cmd_drain,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
     "chaos": _cmd_chaos,
@@ -1466,12 +1739,31 @@ _COMMANDS = {
 }
 
 
+#: Commands that install their own SIGTERM/SIGINT disposition (the
+#: serve loop drains on its first signal; a raise here would kill the
+#: drain instead).
+_OWN_SIGNALS = {"serve"}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro-plc`` console script."""
+    from ..service.signals import ShutdownRequested, handle_signals
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        if args.command in _OWN_SIGNALS:
+            return _COMMANDS[args.command](args)
+        # SIGTERM/SIGINT raise at the interrupted frame, so
+        # runner-backed commands (sweep, batch, figure2, ...) unwind
+        # through their finally blocks: open telemetry spans close,
+        # trace JSONL flushes, checkpoints stay valid — instead of the
+        # default handler's truncated artifacts.
+        with handle_signals(mode="raise"):
+            return _COMMANDS[args.command](args)
+    except ShutdownRequested as exc:
+        print(f"\ninterrupted: {exc}", file=sys.stderr)
+        return exc.exit_status
     except BrokenPipeError:
         # Downstream pipe closed early (e.g. ``repro-plc top | head``):
         # exit quietly like any well-behaved filter.  Re-point stdout

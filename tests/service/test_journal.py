@@ -1,0 +1,194 @@
+"""The write-ahead journal's durability and integrity contract."""
+
+import json
+
+import pytest
+
+from repro.service.journal import (
+    JournalWriter,
+    journal_path,
+    read_journal,
+    seal_record,
+    verify_record,
+)
+from repro.service.state import TaskState, fold_journal, fold_records
+
+
+class TestSealing:
+    def test_sealed_record_verifies(self):
+        sealed = seal_record({"event": "task_enqueued", "task_id": "t1"})
+        assert verify_record(sealed)
+
+    def test_any_field_tamper_is_detected(self):
+        sealed = seal_record({"event": "task_enqueued", "task_id": "t1"})
+        tampered = dict(sealed)
+        tampered["task_id"] = "t2"
+        assert not verify_record(tampered)
+
+    def test_missing_checksum_fails(self):
+        assert not verify_record({"event": "task_enqueued"})
+
+    def test_seal_is_field_order_independent(self):
+        a = seal_record({"a": 1, "b": 2})
+        b = seal_record({"b": 2, "a": 1})
+        assert a["check"] == b["check"]
+
+
+class TestWriterRoundtrip:
+    def test_append_and_replay(self, tmp_path):
+        path = journal_path(tmp_path)
+        with JournalWriter(path) as journal:
+            journal.append("service_start", pid=1)
+            journal.append("task_enqueued", task_id="t1", task={"kind": "x"})
+        records, corrupt = read_journal(path)
+        assert corrupt == 0
+        assert [r["event"] for r in records] == [
+            "service_start",
+            "task_enqueued",
+        ]
+        assert records[0]["seq"] == 0 and records[1]["seq"] == 1
+
+    def test_none_fields_are_dropped(self, tmp_path):
+        with JournalWriter(journal_path(tmp_path)) as journal:
+            record = journal.append("task_failed", task_id="t", error=None)
+        assert "error" not in record
+
+    def test_seq_continues_across_writers(self, tmp_path):
+        path = journal_path(tmp_path)
+        with JournalWriter(path) as journal:
+            journal.append("service_start")
+        with JournalWriter(path) as journal:
+            assert journal.seq == 1
+            record = journal.append("service_resume")
+        assert record["seq"] == 1
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert read_journal(tmp_path / "nope.jsonl") == ([], 0)
+
+
+class TestCorruptionTolerance:
+    def _write_valid(self, path, n=3):
+        with JournalWriter(path) as journal:
+            for i in range(n):
+                journal.append("task_enqueued", task_id=f"t{i}")
+
+    def test_torn_tail_skipped_and_counted(self, tmp_path):
+        path = journal_path(tmp_path)
+        self._write_valid(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "event": "task_co')  # torn write
+        records, corrupt = read_journal(path)
+        assert len(records) == 3
+        assert corrupt == 1
+
+    def test_bitflip_mid_file_skipped(self, tmp_path):
+        path = journal_path(tmp_path)
+        self._write_valid(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        middle = json.loads(lines[1])
+        middle["task_id"] = "tampered"
+        lines[1] = json.dumps(middle)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        records, corrupt = read_journal(path)
+        assert [r["task_id"] for r in records] == ["t0", "t2"]
+        assert corrupt == 1
+
+    def test_new_writer_survives_torn_tail(self, tmp_path):
+        path = journal_path(tmp_path)
+        self._write_valid(path, n=2)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("garbage not json\n")
+        with JournalWriter(path) as journal:
+            assert journal.seq == 2
+            journal.append("service_resume")
+        records, corrupt = read_journal(path)
+        assert corrupt == 1
+        assert records[-1]["event"] == "service_resume"
+
+
+class TestFold:
+    def test_full_lifecycle(self, tmp_path):
+        path = journal_path(tmp_path)
+        with JournalWriter(path) as journal:
+            journal.append("service_start", pid=1)
+            journal.append(
+                "task_enqueued", task_id="t1", task={"kind": "simulate"}
+            )
+            journal.append("lease_granted", task_id="t1", attempt=0)
+            journal.append(
+                "task_completed", task_id="t1", source="worker"
+            )
+            journal.append("service_stop", pid=1, drained=True)
+        state = fold_journal(tmp_path)
+        assert state.tasks["t1"].state == TaskState.COMPLETED
+        assert state.tasks["t1"].kind == "simulate"
+        assert state.stopped_clean
+
+    def test_failure_returns_to_pending_with_attempt(self):
+        state = fold_records(
+            [
+                {"event": "task_enqueued", "task_id": "t"},
+                {"event": "lease_granted", "task_id": "t"},
+                {
+                    "event": "task_failed",
+                    "task_id": "t",
+                    "attempt": 1,
+                    "error": "boom",
+                    "error_type": "RuntimeError",
+                },
+            ]
+        )
+        task = state.tasks["t"]
+        assert task.state == TaskState.PENDING
+        assert task.attempts == 1
+        assert task.last_error_type == "RuntimeError"
+
+    def test_reclaim_does_not_consume_attempt(self):
+        state = fold_records(
+            [
+                {"event": "task_enqueued", "task_id": "t"},
+                {"event": "lease_granted", "task_id": "t"},
+                {"event": "lease_reclaimed", "task_id": "t"},
+            ]
+        )
+        assert state.tasks["t"].state == TaskState.PENDING
+        assert state.tasks["t"].attempts == 0
+
+    def test_quarantine_is_terminal_in_counts(self):
+        state = fold_records(
+            [
+                {"event": "task_enqueued", "task_id": "t"},
+                {"event": "lease_granted", "task_id": "t"},
+                {"event": "task_failed", "task_id": "t", "attempt": 1},
+                {
+                    "event": "task_quarantined",
+                    "task_id": "t",
+                    "attempts": 1,
+                    "record_path": "/q/t.json",
+                },
+            ]
+        )
+        assert state.counts()[TaskState.QUARANTINED] == 1
+        assert state.queue_depth == 0
+
+    def test_submission_records_folded(self):
+        state = fold_records(
+            [
+                {
+                    "event": "sweep_accepted",
+                    "submit_id": "s1",
+                    "label": "demo",
+                    "task_count": 5,
+                    "deduped": 2,
+                },
+                {
+                    "event": "sweep_rejected",
+                    "submit_id": "s2",
+                    "reason": "queue full",
+                },
+            ]
+        )
+        assert state.submits["s1"].accepted
+        assert state.submits["s1"].deduped == 2
+        assert not state.submits["s2"].accepted
+        assert "queue" in state.submits["s2"].reason

@@ -1,0 +1,130 @@
+"""Heartbeat files, liveness probes, and the watchdog verdicts."""
+
+import os
+import time
+
+from repro.service.leases import (
+    HeartbeatWriter,
+    classify_lease,
+    heartbeat_age_s,
+    heartbeat_path,
+    pid_alive,
+    read_heartbeat_pid,
+    write_heartbeat,
+)
+
+
+class TestHeartbeatFile:
+    def test_write_and_read_pid(self, tmp_path):
+        hb = heartbeat_path(tmp_path, "task1")
+        write_heartbeat(hb, 4242)
+        assert read_heartbeat_pid(hb) == 4242
+
+    def test_touch_refreshes_mtime_not_content(self, tmp_path):
+        hb = heartbeat_path(tmp_path, "task1")
+        write_heartbeat(hb, 4242)
+        os.utime(hb, (time.time() - 100, time.time() - 100))
+        assert heartbeat_age_s(hb) > 50
+        write_heartbeat(hb, 9999)  # refresh touches, content stays
+        assert heartbeat_age_s(hb) < 5
+        assert read_heartbeat_pid(hb) == 4242
+
+    def test_missing_file(self, tmp_path):
+        hb = heartbeat_path(tmp_path, "none")
+        assert read_heartbeat_pid(hb) is None
+        assert heartbeat_age_s(hb) is None
+
+
+class TestPidAlive:
+    def test_own_pid_alive(self):
+        assert pid_alive(os.getpid())
+
+    def test_dead_pid(self):
+        # Fork a child that exits immediately; after wait, it's gone.
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        assert not pid_alive(pid)
+
+    def test_nonsense_pids(self):
+        assert not pid_alive(None)
+        assert not pid_alive(0)
+        assert not pid_alive(-1)
+
+
+class TestClassify:
+    def test_live_fresh_heartbeat(self, tmp_path):
+        hb = heartbeat_path(tmp_path, "t")
+        write_heartbeat(hb, os.getpid())
+        assert (
+            classify_lease(hb, lease_ttl_s=5.0, elapsed_s=1.0) == "live"
+        )
+
+    def test_missing_heartbeat_within_ttl_is_live(self, tmp_path):
+        hb = heartbeat_path(tmp_path, "t")
+        assert (
+            classify_lease(hb, lease_ttl_s=5.0, elapsed_s=1.0) == "live"
+        )
+
+    def test_missing_heartbeat_after_ttl_is_dead(self, tmp_path):
+        hb = heartbeat_path(tmp_path, "t")
+        assert (
+            classify_lease(hb, lease_ttl_s=5.0, elapsed_s=9.0) == "dead"
+        )
+
+    def test_dead_pid_is_dead(self, tmp_path):
+        hb = heartbeat_path(tmp_path, "t")
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        write_heartbeat(hb, pid)
+        # Rewrite content with the dead pid (write_heartbeat would
+        # only touch an existing file).
+        hb.write_text(str(pid), encoding="utf-8")
+        assert (
+            classify_lease(hb, lease_ttl_s=5.0, elapsed_s=1.0) == "dead"
+        )
+
+    def test_stale_heartbeat_with_live_pid(self, tmp_path):
+        hb = heartbeat_path(tmp_path, "t")
+        write_heartbeat(hb, os.getpid())
+        old = time.time() - 60
+        os.utime(hb, (old, old))
+        assert (
+            classify_lease(hb, lease_ttl_s=5.0, elapsed_s=60.0)
+            == "stale"
+        )
+
+    def test_overrun_wins_over_live(self, tmp_path):
+        hb = heartbeat_path(tmp_path, "t")
+        write_heartbeat(hb, os.getpid())
+        verdict = classify_lease(
+            hb, lease_ttl_s=5.0, elapsed_s=100.0, task_timeout_s=50.0
+        )
+        assert verdict == "overrun"
+
+
+class TestHeartbeatWriter:
+    def test_thread_keeps_beat_alive(self, tmp_path):
+        hb = heartbeat_path(tmp_path, "t")
+        with HeartbeatWriter(hb, interval_s=0.05):
+            time.sleep(0.2)
+            assert read_heartbeat_pid(hb) == os.getpid()
+            old = time.time() - 30
+            os.utime(hb, (old, old))
+            deadline = time.time() + 2.0
+            while heartbeat_age_s(hb) > 5 and time.time() < deadline:
+                time.sleep(0.05)
+            assert heartbeat_age_s(hb) < 5
+
+    def test_stop_stops_touching(self, tmp_path):
+        hb = heartbeat_path(tmp_path, "t")
+        writer = HeartbeatWriter(hb, interval_s=0.05)
+        writer.start()
+        writer.stop()
+        old = time.time() - 30
+        os.utime(hb, (old, old))
+        time.sleep(0.2)
+        assert heartbeat_age_s(hb) > 5

@@ -37,6 +37,17 @@ MODULES = [
     "repro.phy",
     "repro.report",
     "repro.runner",
+    "repro.service",
+    "repro.service.faults",
+    "repro.service.journal",
+    "repro.service.leases",
+    "repro.service.orchestrator",
+    "repro.service.quarantine",
+    "repro.service.signals",
+    "repro.service.state",
+    "repro.service.status",
+    "repro.service.submit",
+    "repro.service.worker",
     "repro.tools",
     "repro.traffic",
 ]

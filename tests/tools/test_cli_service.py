@@ -1,0 +1,191 @@
+"""The service CLI verbs: serve / submit / status / drain / cache prune."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.runner.cache import ResultCache, cache_key
+from repro.service import fold_journal, standard_sweep_tasks
+from repro.service.orchestrator import ServicePaths
+from repro.service.state import TaskState
+from repro.tools.cli import main
+
+SUBMIT_ARGS = ["--counts", "2", "--sim-time", "1e5", "--reps", "1"]
+
+
+def _submit(sdir, extra=()):
+    return main(
+        ["submit", "--service-dir", str(sdir)] + SUBMIT_ARGS + list(extra)
+    )
+
+
+def _serve(sdir, extra=()):
+    return main(
+        ["serve", "--service-dir", str(sdir), "--exit-when-idle"]
+        + list(extra)
+    )
+
+
+class TestSubmitServe:
+    def test_submit_then_serve_completes(self, tmp_path, capsys):
+        sdir = tmp_path / "svc"
+        assert _submit(sdir) == 0
+        out = capsys.readouterr().out
+        assert "submitted" in out
+        assert _serve(sdir) == 0
+        state = fold_journal(sdir)
+        counts = state.counts()
+        # 3 configs x (1 model curve + 1 simulate point) = 6 tasks
+        assert counts[TaskState.COMPLETED] == 6
+        assert counts[TaskState.PENDING] == 0
+
+    def test_submit_dedupes_against_result_cache(self, tmp_path, capsys):
+        sdir = tmp_path / "svc"
+        _submit(sdir)
+        _serve(sdir)
+        capsys.readouterr()
+        assert _submit(sdir) == 0
+        out = capsys.readouterr().out
+        # All six tasks hit the sha256 result cache on resubmission.
+        assert "cached=6" in out
+        assert "to_run=0" in out
+
+    def test_status_json_and_text(self, tmp_path, capsys):
+        sdir = tmp_path / "svc"
+        _submit(sdir)
+        _serve(sdir)
+        capsys.readouterr()
+        assert main(["status", "--service-dir", str(sdir), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts"]["completed"] == 6
+        assert doc["stopped_clean"] is True
+        assert doc["serving"] is False
+        assert main(["status", "--service-dir", str(sdir)]) == 0
+        text = capsys.readouterr().out
+        assert "completed" in text
+
+    def test_status_on_fresh_directory(self, tmp_path, capsys):
+        assert (
+            main(["status", "--service-dir", str(tmp_path / "empty")]) == 0
+        )
+        doc_text = capsys.readouterr().out
+        assert "0" in doc_text
+
+
+class TestDrain:
+    def test_drain_leaves_marker_for_next_serve(self, tmp_path):
+        sdir = tmp_path / "svc"
+        _submit(sdir)
+        assert main(["drain", "--service-dir", str(sdir)]) == 0
+        assert ServicePaths(sdir).drain_marker.exists()
+        # The next serve honours the marker: it stops without
+        # dispatching, consuming the marker.
+        assert _serve(sdir) == 0
+        assert not ServicePaths(sdir).drain_marker.exists()
+        state = fold_journal(sdir)
+        assert state.counts()[TaskState.COMPLETED] == 0
+
+
+class TestCachePrune:
+    def test_prune_requires_a_bound(self, tmp_path, capsys):
+        rc = main(["cache", "prune", "--cache-dir", str(tmp_path)])
+        assert rc == 2
+        assert "max-bytes" in capsys.readouterr().err
+
+    def test_prune_against_service_cache(self, tmp_path, capsys):
+        sdir = tmp_path / "svc"
+        _submit(sdir)
+        _serve(sdir)
+        cache = ResultCache(ServicePaths(sdir).cache)
+        assert len(cache) == 6
+        capsys.readouterr()
+        rc = main(
+            [
+                "cache",
+                "prune",
+                "--service-dir",
+                str(sdir),
+                "--max-bytes",
+                "0",
+            ]
+        )
+        assert rc == 0
+        assert "pruned 6" in capsys.readouterr().out
+        assert len(cache) == 0
+
+    def test_prune_protects_actively_leased_keys(self, tmp_path, capsys):
+        """journal-aware prune: a LEASED task's key survives."""
+        from repro.service.journal import JournalWriter
+
+        sdir = tmp_path / "svc"
+        _submit(sdir)
+        _serve(sdir)
+        state = fold_journal(sdir)
+        victim = next(iter(state.tasks))
+        # Manufacture an active lease in the journal, as if a worker
+        # were recomputing this key right now.
+        with JournalWriter(ServicePaths(sdir).journal) as journal:
+            journal.append("task_enqueued", task_id=victim)
+            journal.append("lease_granted", task_id=victim, attempt=0)
+        rc = main(
+            [
+                "cache",
+                "prune",
+                "--service-dir",
+                str(sdir),
+                "--max-bytes",
+                "0",
+            ]
+        )
+        assert rc == 0
+        cache = ResultCache(ServicePaths(sdir).cache)
+        assert cache.get(victim) is not None
+        assert len(cache) == 1
+
+    def test_cache_info_on_service_dir(self, tmp_path, capsys):
+        sdir = tmp_path / "svc"
+        _submit(sdir)
+        _serve(sdir)
+        capsys.readouterr()
+        assert main(["cache", "info", "--service-dir", str(sdir)]) == 0
+        assert "entries" in capsys.readouterr().out
+
+
+class TestArgValidation:
+    def test_serve_rejects_negative_workers(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "serve",
+                    "--service-dir",
+                    str(tmp_path),
+                    "--workers",
+                    "-1",
+                ]
+            )
+
+    def test_serve_rejects_negative_retries(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "serve",
+                    "--service-dir",
+                    str(tmp_path),
+                    "--max-retries",
+                    "-1",
+                ]
+            )
+
+    def test_serve_rejects_zero_task_timeout(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "serve",
+                    "--service-dir",
+                    str(tmp_path),
+                    "--task-timeout",
+                    "0",
+                ]
+            )
