@@ -70,6 +70,9 @@ class RunnerCounters:
     #: Times a run degraded to serial in-process execution after
     #: exhausting its pool-rebuild budget.
     degraded_serial: int = 0
+    #: Times a remote sweep fell back to local execution because every
+    #: service host was unreachable (the HTTP client's graceful path).
+    degraded_local: int = 0
     #: Wall-clock seconds spent inside ``run()`` calls.
     wall_time_s: float = 0.0
     #: Worker processes used by the most recent ``run()`` call.

@@ -33,6 +33,7 @@ the per-task lifecycle trace (``runner.trace``, exportable as JSONL
 via ``trace_path``).
 """
 
+from .backoff import FullJitterBackoff
 from .batch import BatchRunner
 from .cache import CacheEntryError, ResultCache, cache_key
 from .faults import FaultPlan, InjectedFault
@@ -49,6 +50,7 @@ from .telemetry import TaskEvent, TaskFailure, TraceRecorder
 
 __all__ = [
     "BatchRunner",
+    "FullJitterBackoff",
     "ExperimentRunner",
     "RunnerConfig",
     "RunnerTaskError",

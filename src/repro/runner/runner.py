@@ -66,6 +66,7 @@ from typing import (
 from ..core.config import ScenarioConfig
 from ..core.metrics import RunnerCounters
 from ..core.results import SimulationResult, StationStats
+from .backoff import FullJitterBackoff
 from .cache import ResultCache, cache_key
 from .seeding import SeedSpec
 from .serialize import scenario_to_jsonable
@@ -124,6 +125,15 @@ class RunnerConfig:
     backoff_base_s / backoff_max_s:
         Capped exponential backoff before retry ``k`` (1-based):
         ``min(backoff_max_s, backoff_base_s * 2**(k-1))``.
+    backoff_jitter / backoff_seed:
+        Full-jitter decorrelation of the retry delays: the actual sleep
+        before retry ``k`` is ``uniform(0, backoff_s(k))`` drawn from a
+        private RNG (:class:`~repro.runner.backoff.FullJitterBackoff`),
+        so many clients retrying against one service don't synchronize
+        into retry storms.  ``backoff_seed`` makes the delay sequence
+        reproducible for tests; ``backoff_jitter=False`` restores the
+        deterministic schedule.  Jitter can never change results —
+        only retry timing.
     on_failure:
         ``"raise"`` (default) aborts the sweep with
         :class:`RunnerTaskError` on the first permanent failure;
@@ -191,6 +201,8 @@ class RunnerConfig:
     task_timeout_s: Optional[float] = None
     backoff_base_s: float = 0.05
     backoff_max_s: float = 2.0
+    backoff_jitter: bool = True
+    backoff_seed: Optional[int] = None
     on_failure: str = "raise"
     trace_path: Optional[Union[str, Path]] = None
     max_pool_rebuilds: int = 2
@@ -252,10 +264,23 @@ class RunnerConfig:
         return self.max_workers
 
     def backoff_s(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (1-based)."""
+        """Deterministic backoff *cap* before retry ``attempt`` (1-based).
+
+        The actual sleep is sampled by :meth:`backoff_sampler` — full
+        jitter in ``[0, backoff_s(attempt)]`` unless jitter is off.
+        """
         return min(
             self.backoff_max_s,
             self.backoff_base_s * (2 ** max(0, attempt - 1)),
+        )
+
+    def backoff_sampler(self) -> FullJitterBackoff:
+        """A fresh delay sampler honouring this config's jitter knobs."""
+        return FullJitterBackoff(
+            base_s=self.backoff_base_s,
+            max_s=self.backoff_max_s,
+            jitter=self.backoff_jitter,
+            seed=self.backoff_seed,
         )
 
 
@@ -309,6 +334,8 @@ class ExperimentRunner:
         trace_path: Optional[Union[str, Path]] = None,
         backoff_base_s: float = 0.05,
         backoff_max_s: float = 2.0,
+        backoff_jitter: bool = True,
+        backoff_seed: Optional[int] = None,
         max_pool_rebuilds: int = 2,
         checkpoint_dir: Optional[Union[str, Path]] = None,
         checkpoint_every_us: Optional[float] = None,
@@ -331,6 +358,8 @@ class ExperimentRunner:
                 trace_path=trace_path,
                 backoff_base_s=backoff_base_s,
                 backoff_max_s=backoff_max_s,
+                backoff_jitter=backoff_jitter,
+                backoff_seed=backoff_seed,
                 max_pool_rebuilds=max_pool_rebuilds,
                 checkpoint_dir=checkpoint_dir,
                 checkpoint_every_us=checkpoint_every_us,
@@ -346,6 +375,9 @@ class ExperimentRunner:
             else None
         )
         self.counters = RunnerCounters()
+        #: Full-jitter retry-delay sampler (satellite of the HTTP front
+        #: end: the same helper the service client uses).
+        self._backoff = self.config.backoff_sampler()
         #: Structured records of permanently failed tasks, across runs.
         self.failures: List[TaskFailure] = []
         #: Lifecycle event trace, across runs.
@@ -519,6 +551,26 @@ class ExperimentRunner:
             "parent_span_id": parent_span_id,
         }
         return dataclasses.replace(task, runtime=runtime)
+
+    def run_degraded_local(
+        self, tasks: Sequence[Task], reason: str = "all hosts unreachable"
+    ) -> List[Optional[Dict[str, Any]]]:
+        """Execute ``tasks`` locally as the *degraded* path of a remote
+        sweep.
+
+        The graceful-degradation hook of the HTTP sweep client
+        (:class:`repro.service.net.client.SweepClient`): when every
+        remote host is unreachable the client falls back here instead
+        of raising.  Identical to :meth:`run` except that the fallback
+        is recorded truthfully — a structured ``degraded_local`` trace
+        event and the ``degraded_local`` counter — so operators can see
+        a sweep silently stopped being distributed.  Results are
+        bit-identical to the remote path by the determinism contract
+        (same tasks, same ``SeedSpec``s, same cache keys).
+        """
+        self.counters.degraded_local += 1
+        self.trace.record("degraded_local", detail=reason)
+        return self.run(tasks)
 
     def _write_metrics(self, force: bool = False) -> None:
         """Render counters to the OpenMetrics textfile (throttled).
@@ -841,7 +893,7 @@ class ExperimentRunner:
         """
         if entry.attempt < self.config.retries:
             entry.attempt += 1
-            entry.not_before = time.monotonic() + self.config.backoff_s(
+            entry.not_before = time.monotonic() + self._backoff.sample(
                 entry.attempt
             )
             self.counters.retried += 1

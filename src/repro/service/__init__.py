@@ -19,12 +19,18 @@ Entry points: :class:`Orchestrator` / :class:`ServiceConfig` (the
 (``submit``), :func:`~repro.service.status.service_status`
 (``status``), :func:`~repro.service.orchestrator.request_drain`
 (``drain``).
+
+The HTTP layer lives in :mod:`repro.service.net`: ``serve --http``
+front end, the fault-tolerant :class:`~repro.service.net.SweepClient`,
+and the ``work --connect`` remote sharding worker — imported lazily by
+its users, not re-exported here.
 """
 
 from .journal import (
     JOURNAL_FILENAME,
     JournalError,
     JournalWriter,
+    journal_tail_state,
     read_journal,
     seal_record,
     verify_record,
@@ -45,6 +51,7 @@ from .submit import (
     read_submission,
     standard_sweep_tasks,
     submission_id,
+    validate_submission,
     write_submission,
 )
 from .worker import task_from_description, worker_main
@@ -53,6 +60,7 @@ __all__ = [
     "JOURNAL_FILENAME",
     "JournalError",
     "JournalWriter",
+    "journal_tail_state",
     "read_journal",
     "seal_record",
     "verify_record",
@@ -77,6 +85,7 @@ __all__ = [
     "read_submission",
     "standard_sweep_tasks",
     "submission_id",
+    "validate_submission",
     "write_submission",
     "task_from_description",
     "worker_main",

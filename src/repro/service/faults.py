@@ -42,13 +42,37 @@ from typing import Mapping, Optional
 __all__ = [
     "ENV_SERVICE_KILL",
     "ENV_SERVICE_KILL_DIR",
+    "ENV_NET_FAULT",
+    "ENV_NET_FAULT_DIR",
     "KILL_EXIT_CODE",
     "KILL_POINTS",
+    "NET_FAULT_MODES",
     "maybe_kill",
+    "maybe_net_fault",
+    "parse_net_fault",
 ]
 
 ENV_SERVICE_KILL = "REPRO_SERVICE_KILL"
 ENV_SERVICE_KILL_DIR = "REPRO_SERVICE_KILL_DIR"
+
+#: Deterministic network fault plan for the HTTP layer
+#: (:mod:`repro.service.net`): ``mode[:times=N][,role=R][,delay_s=S]``.
+ENV_NET_FAULT = "REPRO_NET_FAULT"
+ENV_NET_FAULT_DIR = "REPRO_NET_FAULT_DIR"
+
+#: Registered network fault modes, injected at the HTTP boundary:
+#:
+#: - ``drop`` — the request is *processed* but its response is lost
+#:   (client raises before reading the reply; server processes then
+#:   closes without answering) — the lost-ack case that proves
+#:   idempotent redelivery converges;
+#: - ``delay`` — the exchange is stalled ``delay_s`` seconds (default
+#:   0.5) before proceeding normally — exercises timeouts and retries;
+#: - ``duplicate`` — the same request is delivered twice — proves
+#:   content-hash dedupe and duplicate-commit tolerance;
+#: - ``partition`` — the request never reaches the other side (client
+#:   raises before sending; server closes the connection unread).
+NET_FAULT_MODES = ("drop", "delay", "duplicate", "partition")
 
 #: Exit status of an injected orchestrator kill — distinct from the
 #: worker fault code (117) so postmortems can tell who died.
@@ -103,6 +127,75 @@ def maybe_kill(
     if not _claim(Path(claim_dir), point, times):
         return
     os._exit(KILL_EXIT_CODE)
+
+
+def parse_net_fault(spec: str) -> tuple:
+    """Parse ``mode[:times=N][,role=R][,delay_s=S]`` → (mode, times,
+    role, delay_s).
+
+    ``role`` restricts the fault to one injection side (``server``,
+    ``client``, or ``worker``); ``None`` (default) fires on whichever
+    side claims a slot first.  Unknown modes and malformed options
+    raise — a typo in a test must fail loudly, not silently never fire.
+    """
+    mode, _, rest = spec.strip().partition(":")
+    times = 1
+    role: Optional[str] = None
+    delay_s = 0.5
+    if rest:
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            if not sep:
+                raise ValueError(
+                    f"malformed net-fault option {item!r} in {spec!r}"
+                )
+            if key == "times":
+                times = int(value)
+            elif key == "role":
+                role = value.strip()
+            elif key == "delay_s":
+                delay_s = float(value)
+            else:
+                raise ValueError(
+                    f"unknown net-fault option {key!r} in {spec!r}"
+                )
+    if mode not in NET_FAULT_MODES:
+        raise ValueError(
+            f"unknown net fault mode {mode!r}; registered: {NET_FAULT_MODES}"
+        )
+    if times < 1:
+        raise ValueError("times must be >= 1")
+    return mode, times, role, delay_s
+
+
+def maybe_net_fault(
+    role: str, environ: Optional[Mapping[str, str]] = None
+) -> Optional[tuple]:
+    """Claim one armed network fault for ``role``; ``(mode, delay_s)``
+    or ``None``.
+
+    The caller — the HTTP request path of :mod:`repro.service.net`, on
+    either side of the wire — decides what the claimed mode *means* at
+    its boundary; this function only does the deterministic arming:
+    environment-controlled, at most ``times`` firings across every
+    process sharing the ``REPRO_NET_FAULT_DIR`` claim directory (the
+    same ``O_EXCL`` slot discipline as the kill points, so a retried
+    request after a claimed fault goes through clean).
+    """
+    environ = os.environ if environ is None else environ
+    spec = environ.get(ENV_NET_FAULT)
+    if not spec:
+        return None
+    claim_dir = environ.get(ENV_NET_FAULT_DIR)
+    if not claim_dir:
+        return None
+    mode, times, armed_role, delay_s = parse_net_fault(spec)
+    if armed_role is not None and armed_role != role:
+        return None
+    if not _claim(Path(claim_dir), f"net-{mode}", times):
+        return None
+    return mode, delay_s
 
 
 def _claim(marker_dir: Path, point: str, times: int) -> bool:

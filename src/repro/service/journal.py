@@ -43,6 +43,7 @@ __all__ = [
     "JOURNAL_FILENAME",
     "JournalError",
     "JournalWriter",
+    "journal_tail_state",
     "read_journal",
     "seal_record",
     "verify_record",
@@ -187,6 +188,38 @@ def read_journal(
     except FileNotFoundError:
         return [], 0
     return records, corrupt
+
+
+def journal_tail_state(path: Union[str, Path]) -> str:
+    """Integrity verdict on the journal's final physical line.
+
+    ``"clean"`` — the last line parses and verifies (or the file is
+    empty); ``"torn"`` — it doesn't, which while an orchestrator is
+    alive just means the status reader raced a mid-append ``write``
+    (the verifying replay skips it; the record is not yet acknowledged
+    so nothing is lost); ``"missing"`` — no journal file yet.  Status
+    views report this instead of crashing on the racing line.
+    """
+    path = Path(path)
+    last = b""
+    try:
+        with path.open("rb") as handle:
+            for raw in handle:
+                if raw.strip():
+                    last = raw
+    except FileNotFoundError:
+        return "missing"
+    except OSError:
+        return "torn"
+    if not last.strip():
+        return "clean"
+    try:
+        record = json.loads(last.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return "torn"
+    if not isinstance(record, dict) or not verify_record(record):
+        return "torn"
+    return "clean"
 
 
 def journal_path(service_dir: Union[str, Path]) -> Path:

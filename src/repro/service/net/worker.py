@@ -1,0 +1,220 @@
+"""The remote sweep worker: ``repro-plc work --connect URL``.
+
+A remote worker is a peer process (possibly on another machine) that
+claims (point, repetition) shards from the HTTP front end, executes
+them through the *same* :func:`repro.runner.tasks.run_task` entry as
+every other execution path — so seeds, cache keys and checkpoint
+behaviour are identical — and commits results back over HTTP.
+
+Partition-safety contract, mirroring the local lease discipline:
+
+- **Liveness is heartbeat recency only.**  A daemon thread PUTs
+  ``/v1/leases/<task_id>`` every ``heartbeat_interval_s`` (the server
+  names the cadence in the claim response).  Cross-host pids mean
+  nothing; silence past the TTL is what gets a worker declared dead
+  and its shard reclaimed — without consuming a retry attempt.
+- **A lost lease does not abort the attempt.**  If a heartbeat comes
+  back 409 (the watchdog reclaimed us during a partition), the worker
+  *keeps computing* and still posts its result: commits are idempotent
+  on the task's cache key, so the orchestrator accepts the bits
+  whichever attempt lands first and answers ``duplicate`` to the rest.
+- **A lost ack converges.**  The result POST rides the
+  :class:`~repro.service.net.client.SweepClient` retry loop; a
+  response lost to a partition between commit and ack is retried and
+  answered ``duplicate`` — same bits, no recomputation.
+
+The worker never touches the service directory: its entire interface
+is the wire protocol, which is what makes multi-host sharding safe.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from typing import Any, Dict, Optional, Sequence, Union
+
+from ...runner.tasks import run_task
+from ..worker import task_from_description
+from .client import AllHostsUnreachable, SweepClient
+
+__all__ = ["work_loop"]
+
+
+def _default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class _HeartbeatLoop:
+    """Daemon thread PUTting lease heartbeats for one claimed shard."""
+
+    def __init__(
+        self,
+        client: SweepClient,
+        task_id: str,
+        worker_id: str,
+        interval_s: float,
+    ) -> None:
+        self._client = client
+        self._task_id = task_id
+        self._worker_id = worker_id
+        self._interval_s = max(0.05, interval_s)
+        self._stop = threading.Event()
+        #: Set when the server answered 409: the lease was reclaimed.
+        self.lost = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{task_id[:12]}", daemon=True
+        )
+
+    def start(self) -> "_HeartbeatLoop":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                status, _doc, _headers = self._client._request(
+                    "PUT",
+                    f"/v1/leases/{self._task_id}",
+                    body={"worker_id": self._worker_id},
+                )
+            except AllHostsUnreachable:
+                # Partitioned from the server: keep computing.  The
+                # watchdog may reclaim us; the commit still converges.
+                continue
+            if status == 409:
+                self.lost.set()
+
+
+def work_loop(
+    urls: Union[str, Sequence[str]],
+    worker_id: Optional[str] = None,
+    poll_s: float = 0.5,
+    exit_when_idle: bool = False,
+    idle_grace_s: float = 0.0,
+    give_up_after_s: Optional[float] = None,
+    client: Optional[SweepClient] = None,
+    max_tasks: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Claim and execute shards until idle/unreachable bounds are hit.
+
+    Returns a stats dict (``completed`` / ``duplicate`` / ``failed`` /
+    ``lost_leases`` / ``claims`` / ``unreachable_s``).  With
+    ``exit_when_idle`` the loop ends once the server has reported
+    nothing claimable anywhere for ``idle_grace_s`` continuously — a
+    worker started *before* the first submission needs the grace to
+    survive until work arrives.  ``give_up_after_s`` bounds how long
+    the worker keeps polling through an unreachable or draining
+    service (``None`` = forever, the production default — workers
+    outlive restarts).
+    """
+    worker_id = worker_id or _default_worker_id()
+    client = client or SweepClient(urls, role="worker", retries=1)
+    stats: Dict[str, Any] = {
+        "worker_id": worker_id,
+        "claims": 0,
+        "completed": 0,
+        "duplicate": 0,
+        "failed": 0,
+        "lost_leases": 0,
+        "unreachable_s": 0.0,
+    }
+    unreachable_since: Optional[float] = None
+    idle_since: Optional[float] = None
+    while True:
+        if max_tasks is not None and stats["claims"] >= max_tasks:
+            return stats
+        try:
+            status, shard, _headers = client._request(
+                "POST", "/v1/claims", body={"worker_id": worker_id}
+            )
+        except AllHostsUnreachable:
+            now = time.monotonic()
+            if unreachable_since is None:
+                unreachable_since = now
+            stats["unreachable_s"] = now - unreachable_since
+            if (
+                give_up_after_s is not None
+                and stats["unreachable_s"] >= give_up_after_s
+            ):
+                return stats
+            time.sleep(poll_s)
+            continue
+        unreachable_since = None
+        if status != 200 or not shard.get("task_id"):
+            # Draining (503 surfaces as a retried pass above) or idle.
+            if shard.get("idle") and exit_when_idle:
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                if now - idle_since >= idle_grace_s:
+                    return stats
+            else:
+                idle_since = None
+            time.sleep(poll_s)
+            continue
+
+        idle_since = None
+        stats["claims"] += 1
+        task_id = shard["task_id"]
+        task = task_from_description(shard["task"])
+        beat = _HeartbeatLoop(
+            client,
+            task_id,
+            worker_id,
+            interval_s=float(shard.get("heartbeat_interval_s", 1.0)),
+        ).start()
+        started = time.perf_counter()
+        try:
+            envelope = run_task(task)
+        except BaseException as exc:
+            beat.stop()
+            if beat.lost.is_set():
+                stats["lost_leases"] += 1
+            try:
+                client._request(
+                    "POST",
+                    f"/v1/tasks/{task_id}/fail",
+                    body={
+                        "worker_id": worker_id,
+                        "error": str(exc),
+                        "error_type": type(exc).__name__,
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+            except AllHostsUnreachable:
+                pass  # the watchdog will reclaim the silent lease
+            stats["failed"] += 1
+            continue
+        beat.stop()
+        if beat.lost.is_set():
+            stats["lost_leases"] += 1
+        body = {
+            "worker_id": worker_id,
+            "result": envelope.get("result"),
+            "elapsed_s": envelope.get(
+                "elapsed_s", time.perf_counter() - started
+            ),
+            "worker_pid": envelope.get("worker_pid", os.getpid()),
+            "spans": envelope.get("spans"),
+        }
+        try:
+            _status, doc, _h = client._request(
+                "POST", f"/v1/tasks/{task_id}/result", body=body
+            )
+        except AllHostsUnreachable:
+            # Commit lost to a partition: the reclaim + redelivery path
+            # recomputes bit-identically; nothing more we can do here.
+            continue
+        outcome = doc.get("status", "unknown")
+        if outcome == "committed":
+            stats["completed"] += 1
+        elif outcome == "duplicate":
+            stats["duplicate"] += 1
+    return stats

@@ -39,6 +39,7 @@ import multiprocessing
 import os
 import shutil
 import signal as _signal
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
@@ -186,6 +187,31 @@ class ServiceConfig:
     #: Seconds a drain waits for in-flight workers before terminating
     #: them (their leases are released; no attempt is consumed).
     drain_timeout_s: float = 10.0
+    #: With ``exit_when_idle``: seconds the service must stay idle
+    #: before exiting.  ``0`` exits on the first idle poll (the PR 9
+    #: behaviour); the HTTP front end uses a grace so a freshly started
+    #: server doesn't exit before its first remote submission arrives.
+    idle_grace_s: float = 0.0
+
+
+@dataclasses.dataclass
+class _RemoteLease:
+    """One task leased to a remote worker host over HTTP.
+
+    Liveness is heartbeat recency only — a remote pid means nothing on
+    this host, so the watchdog's verdict for remote leases is purely
+    "how long since the last heartbeat PUT".  A silent host is
+    classified dead and its lease reclaimed *without* consuming a retry
+    attempt (losing contact is not evidence against the task).
+    """
+
+    task_id: str
+    worker_id: str
+    attempt: int
+    granted_monotonic: float
+    last_beat_monotonic: float
+    span_id: Optional[str] = None
+    task_index: Optional[int] = None
 
 
 @dataclasses.dataclass
@@ -219,6 +245,24 @@ class Orchestrator:
         self.trace = TraceRecorder()
         self.spans = SpanRecorder(run_id=self.trace.run_id)
         self._inflight: Dict[str, _Inflight] = {}
+        #: Tasks leased to remote worker hosts over HTTP.
+        self._remote: Dict[str, _RemoteLease] = {}
+        #: Serializes every state mutation between the scheduling loop
+        #: and the HTTP handler threads.  The journal keeps exactly one
+        #: *process* writer; within that process, this lock keeps one
+        #: *writer at a time* — an RLock so handler paths can call the
+        #: same helpers the loop uses.
+        self.lock = threading.RLock()
+        #: Set while a drain is in progress — the HTTP layer answers
+        #: 503 + Retry-After to new submissions and claims.
+        self.draining = False
+        #: Set once the journal is closed; every mutating HTTP route
+        #: refuses after this point.
+        self.closed = False
+        #: The signal that triggered the drain, if any (``repro-plc
+        #: serve`` exits ``128 + signum`` so supervisors see SIGTERM
+        #: drains as 143, per convention).
+        self.shutdown_signum: Optional[int] = None
         #: Per-task failure history for quarantine forensics, rebuilt
         #: from the journal so a restart doesn't forget attempts.
         self._failures: Dict[str, List[Dict[str, Any]]] = {}
@@ -311,42 +355,57 @@ class Orchestrator:
             detail=f"service tasks={len(self.state.tasks)}",
             span_id=self._sweep_span,
         )
-        self._recover_leases()
+        with self.lock:
+            self._recover_leases()
         drained = False
+        idle_since: Optional[float] = None
         try:
             with handle_signals(mode="flag") as shutdown:
                 while True:
                     if shutdown.is_set() or self.paths.drain_marker.exists():
                         drained = True
+                        self.shutdown_signum = shutdown.signum
                         self._drain()
                         break
-                    self._scan_inbox()
-                    self._watchdog()
-                    self._collect_finished()
-                    self._dispatch_pending()
-                    if (
-                        exit_when_idle
-                        and not self._inflight
-                        and not self.state.by_state(TaskState.PENDING)
-                        and not list(self.paths.inbox.glob("*.json"))
-                    ):
-                        break
+                    with self.lock:
+                        self._scan_inbox()
+                        self._watchdog()
+                        self._collect_finished()
+                        self._dispatch_pending()
+                        idle = (
+                            not self._inflight
+                            and not self._remote
+                            and not self.state.by_state(TaskState.PENDING)
+                            and not self.state.by_state(TaskState.LEASED)
+                            and not list(self.paths.inbox.glob("*.json"))
+                        )
+                    if exit_when_idle and idle:
+                        now = time.monotonic()
+                        if idle_since is None:
+                            idle_since = now
+                        if now - idle_since >= cfg.idle_grace_s:
+                            break
+                    elif not idle:
+                        idle_since = None
                     time.sleep(cfg.poll_interval_s)
         finally:
             # Truthful shutdown telemetry even on an unexpected error:
             # spans close, the trace flushes, the journal records the
             # stop — the restart path depends on none of this, but the
             # operator's status view does.
-            if not drained:
-                self._release_inflight(terminate=False)
-            self.state.incarnations.append(
-                self.journal.append(
-                    "service_stop",
-                    pid=os.getpid(),
-                    drained=drained,
-                    counts=self.state.counts(),
+            with self.lock:
+                self.draining = True
+                if not drained:
+                    self._release_inflight(terminate=False)
+                    self._release_remote()
+                self.state.incarnations.append(
+                    self.journal.append(
+                        "service_stop",
+                        pid=os.getpid(),
+                        drained=drained,
+                        counts=self.state.counts(),
+                    )
                 )
-            )
             self.trace.record(
                 "run_end",
                 span_id=self._sweep_span,
@@ -357,7 +416,9 @@ class Orchestrator:
                     self.spans.end(open_id, status="aborted")
             self.spans.end(self._sweep_span)
             self._flush_telemetry()
-            self.journal.close()
+            with self.lock:
+                self.closed = True
+                self.journal.close()
             try:
                 self.paths.pid_file.unlink()
             except OSError:
@@ -380,8 +441,40 @@ class Orchestrator:
                 self._reject(path, None, "malformed submission")
                 continue
             submit_id = submission.get("submit_id") or path.stem
+            verdict = self.admit_submission(submission, submit_id=submit_id)
+            if not verdict["accepted"]:
+                self._reject(path, submit_id, verdict["reason"])
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def admit_submission(
+        self, submission: Dict[str, Any], submit_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Admission control + enqueue for one validated submission.
+
+        The single accept/reject decision both input channels share:
+        the inbox scan calls it for dropped files, the HTTP front end
+        (``POST /v1/sweeps``) calls it directly — so a sweep is
+        admitted by exactly the same rules, journal records, and dedupe
+        regardless of how it arrived.  Idempotent by construction: task
+        identity is :func:`~repro.runner.cache.cache_key` of each
+        description, so a duplicated or retried submission dedupes
+        instead of double-enqueueing.  Returns a verdict dict
+        (``accepted``, ``submit_id``, and either ``task_count`` /
+        ``deduped`` / ``new`` or ``reason``).
+        """
+        with self.lock:
             descriptions = submission["tasks"]
-            new: List[Dict[str, Any]] = []
+            if submit_id is None:
+                from .submit import submission_id
+
+                submit_id = submission.get("submit_id") or submission_id(
+                    descriptions
+                )
+            new: List[Any] = []
             deduped = 0
             for description in descriptions:
                 task_id = cache_key(description)
@@ -392,13 +485,23 @@ class Orchestrator:
                 new.append((task_id, description))
             depth = self.state.queue_depth
             if depth + len(new) > self.config.max_queue_depth:
-                self._reject(
-                    path,
-                    submit_id,
+                reason = (
                     f"queue depth {depth} + {len(new)} new tasks "
-                    f"exceeds limit {self.config.max_queue_depth}",
+                    f"exceeds limit {self.config.max_queue_depth}"
                 )
-                continue
+                self.journal.append(
+                    "sweep_rejected", submit_id=submit_id, reason=reason
+                )
+                self.state.submits[submit_id] = SubmitRecord(
+                    submit_id=submit_id,
+                    accepted=False,
+                    reason=reason,
+                )
+                return {
+                    "accepted": False,
+                    "submit_id": submit_id,
+                    "reason": reason,
+                }
             self.journal.append(
                 "sweep_accepted",
                 submit_id=submit_id,
@@ -436,28 +539,40 @@ class Orchestrator:
                     kind=description.get("kind"),
                     span_id=self._sweep_span,
                 )
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            return {
+                "accepted": True,
+                "submit_id": submit_id,
+                "task_count": len(descriptions),
+                "deduped": deduped,
+                "new": len(new),
+            }
 
     def _reject(
         self, path: Path, submit_id: Optional[str], reason: str
     ) -> None:
-        self.journal.append(
-            "sweep_rejected", submit_id=submit_id, reason=reason
-        )
-        self.state.submits[submit_id or path.stem] = SubmitRecord(
-            submit_id=submit_id or path.stem,
-            accepted=False,
-            reason=reason,
-        )
+        if submit_id is None or submit_id not in self.state.submits:
+            # admit_submission journals depth rejections itself; only
+            # pre-admission failures (malformed file) land here.
+            self.journal.append(
+                "sweep_rejected", submit_id=submit_id, reason=reason
+            )
+            self.state.submits[submit_id or path.stem] = SubmitRecord(
+                submit_id=submit_id or path.stem,
+                accepted=False,
+                reason=reason,
+            )
         self.paths.rejected.mkdir(parents=True, exist_ok=True)
         target = self.paths.rejected / path.name
         try:
             shutil.move(str(path), str(target))
+            # Correlation ids alongside the reason so `repro-plc
+            # report` can tie the rejection to this incarnation's span
+            # tree (first line stays the bare reason for humans).
             target.with_suffix(".reason.txt").write_text(
-                reason + "\n", encoding="utf-8"
+                f"{reason}\n"
+                f"run_id: {self.trace.run_id}\n"
+                f"span_id: {self._sweep_span}\n",
+                encoding="utf-8",
             )
         except OSError:
             try:
@@ -492,8 +607,6 @@ class Orchestrator:
 
     def _dispatch_pending(self) -> None:
         for record in self.state.by_state(TaskState.PENDING):
-            if len(self._inflight) >= self.config.max_workers:
-                return
             if record.description is None:
                 continue  # cannot rebuild; journal damage, leave visible
             task_id = record.task_id
@@ -515,6 +628,12 @@ class Orchestrator:
                     kind=record.kind,
                     span_id=self._sweep_span,
                 )
+                continue
+            # Capacity check after the cache fast-path: a full (or
+            # zero-local-worker) service still completes cached points
+            # immediately — and ``max_workers=0`` is the pure-remote
+            # mode where only HTTP worker hosts execute.
+            if len(self._inflight) >= self.config.max_workers:
                 continue
             attempt = record.attempts
             span_id = self.spans.start(
@@ -599,6 +718,38 @@ class Orchestrator:
 
     def _watchdog(self) -> None:
         cfg = self.config
+        now = time.monotonic()
+        for task_id in list(self._remote):
+            lease = self._remote[task_id]
+            silent_s = now - lease.last_beat_monotonic
+            overrun = (
+                cfg.task_timeout_s is not None
+                and now - lease.granted_monotonic > cfg.task_timeout_s
+            )
+            if silent_s <= cfg.lease_ttl_s and not overrun:
+                continue
+            # A silent remote host is classified dead — there is no pid
+            # to probe across the wire, heartbeat recency is the only
+            # truth.  Reclaim WITHOUT consuming a retry attempt: losing
+            # contact (partition, host crash) is not evidence against
+            # the task.  If the host was merely partitioned and later
+            # commits its result, remote_complete converges on the
+            # cache key (duplicate commits are idempotent).
+            verdict = "overrun" if overrun else "dead"
+            self.journal.append(
+                "lease_reclaimed",
+                task_id=task_id,
+                reason=f"watchdog: remote {verdict} "
+                f"(silent {silent_s:.1f}s)",
+                worker=lease.worker_id,
+            )
+            record = self.state.tasks.get(task_id)
+            if record is not None and record.state == TaskState.LEASED:
+                record.state = TaskState.PENDING
+                record.lease = None
+            del self._remote[task_id]
+            if lease.span_id:
+                self.spans.end(lease.span_id, status="aborted")
         for task_id in list(self._inflight):
             entry = self._inflight[task_id]
             if entry.proc is not None and entry.proc.is_alive() is False:
@@ -719,7 +870,32 @@ class Orchestrator:
         traceback_text: Optional[str] = None,
         worker_pid: Optional[int] = None,
     ) -> None:
-        task_id = entry.task_id
+        del self._inflight[entry.task_id]
+        self._record_failure(
+            entry.task_id,
+            error=error,
+            error_type=error_type,
+            traceback_text=traceback_text,
+            worker_pid=worker_pid,
+            span_id=entry.span_id,
+            task_index=entry.task_index,
+        )
+
+    def _record_failure(
+        self,
+        task_id: str,
+        *,
+        error: str,
+        error_type: str,
+        traceback_text: Optional[str] = None,
+        worker_pid: Optional[int] = None,
+        worker_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+        task_index: Optional[int] = None,
+    ) -> None:
+        """One failed attempt: journal, retry-or-quarantine.  Shared by
+        the local worker paths and the remote ``/v1/tasks/<id>/fail``
+        route."""
         record = self.state.tasks[task_id]
         attempt = record.attempts + 1
         self.journal.append(
@@ -729,6 +905,7 @@ class Orchestrator:
             error=error,
             error_type=error_type,
             worker_pid=worker_pid,
+            worker=worker_id,
         )
         record.attempts = attempt
         record.last_error = error
@@ -742,18 +919,20 @@ class Orchestrator:
                 "traceback": traceback_text,
                 "epoch_s": time.time(),
                 "worker_pid": worker_pid,
+                "worker": worker_id,
             }
         )
         self._remove_lease_files(task_id)
-        del self._inflight[task_id]
-        if entry.span_id:
-            self.spans.end(entry.span_id, status="error")
+        if span_id:
+            self.spans.end(span_id, status="error")
         if attempt > self.config.max_retries:
             record_path = write_quarantine_record(
                 self.paths.quarantine,
                 task_id,
                 record.description or {},
                 self._failures[task_id],
+                run_id=self.trace.run_id,
+                span_id=span_id,
             )
             self.journal.append(
                 "task_quarantined",
@@ -765,37 +944,261 @@ class Orchestrator:
             record.quarantine_record = str(record_path)
             self.trace.record(
                 "failed",
-                task_index=entry.task_index,
+                task_index=task_index,
                 kind=record.kind,
                 attempt=attempt,
                 error=f"{error_type}: {error}",
-                span_id=entry.span_id,
+                span_id=span_id,
             )
         else:
             record.state = TaskState.PENDING
             self.trace.record(
                 "retried",
-                task_index=entry.task_index,
+                task_index=task_index,
                 kind=record.kind,
                 attempt=attempt,
                 error=f"{error_type}: {error}",
-                span_id=entry.span_id,
+                span_id=span_id,
             )
+
+    # -- remote sharding (the HTTP worker protocol) ------------------------
+
+    def remote_claim(self, worker_id: str) -> Optional[Dict[str, Any]]:
+        """Lease one pending task to a remote worker host; ``None`` when
+        nothing is claimable.
+
+        The remote twin of ``_dispatch_pending``'s spawn branch: same
+        journal record (``lease_granted``, plus the worker id), same
+        cache fast-path (an already-cached pending task is completed
+        here, never shipped), same attempt accounting.  The returned
+        shard carries the full task description — the remote host
+        rebuilds the :class:`~repro.runner.tasks.Task` with its exact
+        :class:`~repro.runner.seeding.SeedSpec`, so where a task runs
+        can never change its bits.
+        """
+        with self.lock:
+            if self.draining or self.closed:
+                return None
+            for record in self.state.by_state(TaskState.PENDING):
+                if record.description is None:
+                    continue
+                task_id = record.task_id
+                cached = self.cache.get(task_id)
+                if cached is not None:
+                    self.journal.append(
+                        "task_completed",
+                        task_id=task_id,
+                        source="cache",
+                        result_sha256=result_checksum(cached),
+                    )
+                    record.state = TaskState.COMPLETED
+                    record.completed_from = "cache"
+                    self.trace.record(
+                        "cache_hit",
+                        task_index=self._task_index(task_id),
+                        kind=record.kind,
+                        span_id=self._sweep_span,
+                    )
+                    continue
+                attempt = record.attempts
+                span_id = self.spans.start(
+                    "point",
+                    parent_id=self._sweep_span,
+                    task_id=task_id,
+                    kind=record.kind,
+                    attempt=attempt,
+                    worker=worker_id,
+                )
+                self.journal.append(
+                    "lease_granted",
+                    task_id=task_id,
+                    lease_id=f"{worker_id}-{self.journal.seq}",
+                    ttl_s=self.config.lease_ttl_s,
+                    attempt=attempt,
+                    worker=worker_id,
+                )
+                record.state = TaskState.LEASED
+                maybe_kill("lease_grant")
+                now = time.monotonic()
+                self._remote[task_id] = _RemoteLease(
+                    task_id=task_id,
+                    worker_id=worker_id,
+                    attempt=attempt,
+                    granted_monotonic=now,
+                    last_beat_monotonic=now,
+                    span_id=span_id,
+                    task_index=self._task_index(task_id),
+                )
+                self.trace.record(
+                    "started",
+                    task_index=self._task_index(task_id),
+                    kind=record.kind,
+                    attempt=attempt,
+                    span_id=span_id,
+                    parent_id=self._sweep_span,
+                )
+                return {
+                    "task_id": task_id,
+                    "task": record.description,
+                    "attempt": attempt,
+                    "lease_ttl_s": self.config.lease_ttl_s,
+                    "heartbeat_interval_s": self.config.heartbeat_interval_s,
+                }
+            return None
+
+    def remote_heartbeat(self, task_id: str, worker_id: str) -> bool:
+        """Refresh a remote lease; ``False`` when the lease is gone.
+
+        ``False`` tells the worker its lease was reclaimed (it was
+        silent past the TTL, or the server restarted).  The worker may
+        still finish and commit — the commit converges idempotently —
+        but it must not rely on exclusivity.
+        """
+        with self.lock:
+            lease = self._remote.get(task_id)
+            if lease is None or lease.worker_id != worker_id:
+                return False
+            lease.last_beat_monotonic = time.monotonic()
+            return True
+
+    def remote_complete(
+        self,
+        task_id: str,
+        worker_id: str,
+        result: Dict[str, Any],
+        elapsed_s: Optional[float] = None,
+        worker_pid: Optional[int] = None,
+        spans: Optional[List[Dict[str, Any]]] = None,
+    ) -> str:
+        """Commit a remote result: ``committed`` / ``duplicate`` /
+        ``unknown``.
+
+        Commit order is exactly PR 9's crash window: ``cache.put`` →
+        (``result_commit`` kill point) → journal ``task_completed``.  A
+        partition between the commit and the worker seeing the ack
+        converges on redelivery: the retried request finds the task
+        COMPLETED and is answered ``duplicate`` — same bits, no
+        recomputation.  Commits are accepted even when the lease was
+        reclaimed meanwhile (task identity is the cache key; a correct
+        result is a correct result regardless of who held the lease).
+        """
+        with self.lock:
+            if self.closed:
+                return "unknown"
+            record = self.state.tasks.get(task_id)
+            if record is None:
+                return "unknown"
+            if record.state == TaskState.COMPLETED:
+                return "duplicate"
+            self.cache.put(task_id, result, record.description or {})
+            maybe_kill("result_commit")
+            self.journal.append(
+                "task_completed",
+                task_id=task_id,
+                source="worker",
+                result_sha256=result_checksum(result),
+                worker=worker_id,
+                worker_pid=worker_pid,
+                elapsed_s=elapsed_s,
+            )
+            record.state = TaskState.COMPLETED
+            record.completed_from = "worker"
+            record.lease = None
+            lease = self._remote.pop(task_id, None)
+            if spans:
+                self.spans.adopt(spans)
+            self.trace.record(
+                "finished",
+                task_index=self._task_index(task_id),
+                kind=record.kind,
+                attempt=lease.attempt if lease else record.attempts,
+                duration_s=elapsed_s,
+                worker_pid=worker_pid,
+                span_id=lease.span_id if lease else None,
+            )
+            if lease and lease.span_id:
+                self.spans.end(lease.span_id, status="ok")
+            self._remove_lease_files(task_id)
+            return "committed"
+
+    def remote_fail(
+        self,
+        task_id: str,
+        worker_id: str,
+        error: str,
+        error_type: str = "RemoteWorkerError",
+        traceback_text: Optional[str] = None,
+    ) -> str:
+        """Record a remote attempt failure: ``failed`` / ``ignored``.
+
+        Only the current lease holder's report consumes an attempt — a
+        stale worker whose lease was already reclaimed (its failure may
+        have *been* the partition) is ignored, preserving the
+        reclaim-does-not-consume-an-attempt invariant.
+        """
+        with self.lock:
+            if self.closed:
+                return "ignored"
+            lease = self._remote.get(task_id)
+            if lease is None or lease.worker_id != worker_id:
+                return "ignored"
+            del self._remote[task_id]
+            self._record_failure(
+                task_id,
+                error=error,
+                error_type=error_type,
+                traceback_text=traceback_text,
+                worker_id=worker_id,
+                span_id=lease.span_id,
+                task_index=lease.task_index,
+            )
+            return "failed"
 
     # -- drain / shutdown --------------------------------------------------
 
     def _drain(self) -> None:
-        """Stop dispatching; settle or release what's in flight."""
-        self.journal.append(
-            "drain_start", pid=os.getpid(), inflight=len(self._inflight)
-        )
+        """Stop dispatching; settle or release what's in flight.
+
+        Remote leases get the same courtesy as local workers: the drain
+        window lets in-flight hosts commit their results (the HTTP
+        result route stays open while ``draining`` — only *new*
+        submissions and claims are refused with 503); leases still held
+        at the deadline are released without consuming an attempt.
+        """
+        with self.lock:
+            self.draining = True
+            self.journal.append(
+                "drain_start",
+                pid=os.getpid(),
+                inflight=len(self._inflight),
+                remote=len(self._remote),
+            )
         deadline = time.monotonic() + self.config.drain_timeout_s
-        while self._inflight and time.monotonic() < deadline:
-            self._collect_finished()
-            if not self._inflight:
-                break
+        while time.monotonic() < deadline:
+            with self.lock:
+                self._collect_finished()
+                if not self._inflight and not self._remote:
+                    break
             time.sleep(self.config.poll_interval_s)
-        self._release_inflight(terminate=True)
+        with self.lock:
+            self._release_inflight(terminate=True)
+            self._release_remote()
+
+    def _release_remote(self) -> None:
+        for task_id in list(self._remote):
+            lease = self._remote.pop(task_id)
+            self.journal.append(
+                "lease_released",
+                task_id=task_id,
+                reason="drain",
+                worker=lease.worker_id,
+            )
+            record = self.state.tasks.get(task_id)
+            if record is not None and record.state == TaskState.LEASED:
+                record.state = TaskState.PENDING
+                record.lease = None
+            if lease.span_id:
+                self.spans.end(lease.span_id, status="aborted")
 
     def _release_inflight(self, terminate: bool) -> None:
         for task_id in list(self._inflight):

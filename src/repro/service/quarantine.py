@@ -62,8 +62,15 @@ def write_quarantine_record(
     task_id: str,
     description: Dict[str, Any],
     failures: List[Dict[str, Any]],
+    run_id: Optional[str] = None,
+    span_id: Optional[str] = None,
 ) -> Path:
-    """Atomically write the forensics record; returns its path."""
+    """Atomically write the forensics record; returns its path.
+
+    ``run_id``/``span_id`` correlate the record with the orchestrator's
+    telemetry: ``repro-plc report`` can link a parked task straight to
+    the span tree of the attempt that condemned it.
+    """
     record = {
         "task_id": task_id,
         "task": description,
@@ -72,6 +79,10 @@ def write_quarantine_record(
         "quarantined_epoch_s": time.time(),
         "orchestrator_pid": os.getpid(),
     }
+    if run_id is not None:
+        record["run_id"] = run_id
+    if span_id is not None:
+        record["span_id"] = span_id
     path = quarantine_record_path(quarantine_dir, task_id)
     path.parent.mkdir(parents=True, exist_ok=True)
     atomic_write_text(str(path), json.dumps(record, indent=2))

@@ -21,17 +21,43 @@ by its pid file + a liveness probe, never contacted.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
-from ..obs.recording import read_jsonl
 from ..telemetry.console import SweepStatus
+from .journal import journal_tail_state
 from .leases import pid_alive
 from .orchestrator import ServicePaths
 from .quarantine import read_quarantine_records
 from .state import TaskState, fold_journal
 
 __all__ = ["service_status", "render_service_status"]
+
+
+def _read_jsonl_tolerant(path: Path) -> List[Dict[str, Any]]:
+    """Per-line JSONL read that *skips* torn/corrupt lines.
+
+    A status probe races live writers by design (``kill -9`` mid-write
+    leaves a torn trailing line in trace/span files); the read-only
+    view must report around that, never crash on it.
+    """
+    rows: List[Dict[str, Any]] = []
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(row, dict):
+                    rows.append(row)
+    except OSError:
+        pass
+    return rows
 
 
 def service_status(
@@ -51,11 +77,7 @@ def service_status(
 
     sweep = SweepStatus()
     for name in ("trace.jsonl", "spans.jsonl"):
-        try:
-            records = read_jsonl(paths.telemetry / name)
-        except OSError:
-            continue
-        for record in records:
+        for record in _read_jsonl_tolerant(paths.telemetry / name):
             sweep.update(record)
 
     quarantined = [
@@ -84,6 +106,7 @@ def service_status(
         "drain_requested": paths.drain_marker.exists(),
         "journal_records": state.records,
         "corrupt_records": state.corrupt_records,
+        "journal_tail": journal_tail_state(paths.journal),
         "stopped_clean": state.stopped_clean,
         "counts": state.counts(),
         "queue_depth": state.queue_depth,
@@ -139,6 +162,11 @@ def render_service_status(status: Dict[str, Any]) -> str:
         + (
             f" ({status['corrupt_records']} corrupt skipped)"
             if status["corrupt_records"]
+            else ""
+        )
+        + (
+            f" [tail {status['journal_tail']}]"
+            if status.get("journal_tail") not in (None, "clean")
             else ""
         )
     )

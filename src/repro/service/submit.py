@@ -40,6 +40,7 @@ __all__ = [
     "read_submission",
     "standard_sweep_tasks",
     "submission_id",
+    "validate_submission",
     "write_submission",
 ]
 
@@ -84,14 +85,13 @@ def write_submission(
     return path
 
 
-def read_submission(
-    path: Union[str, Path],
-) -> Optional[Dict[str, Any]]:
-    """Parse and validate one inbox file; ``None`` when malformed."""
-    try:
-        submission = json.loads(Path(path).read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError):
-        return None
+def validate_submission(submission: Any) -> Optional[Dict[str, Any]]:
+    """Validate a parsed submission document; ``None`` when malformed.
+
+    Shared by the inbox scan (:func:`read_submission`) and the HTTP
+    front end (``POST /v1/sweeps``) so both input channels accept
+    exactly the same shape.
+    """
     if not isinstance(submission, dict):
         return None
     tasks = submission.get("tasks")
@@ -105,6 +105,17 @@ def read_submission(
         ):
             return None
     return submission
+
+
+def read_submission(
+    path: Union[str, Path],
+) -> Optional[Dict[str, Any]]:
+    """Parse and validate one inbox file; ``None`` when malformed."""
+    try:
+        submission = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    return validate_submission(submission)
 
 
 def dedupe_report(

@@ -49,6 +49,7 @@ _RUNNER_COUNTER_FIELDS = (
     "timeouts",
     "pool_rebuilds",
     "degraded_serial",
+    "degraded_local",
 )
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")

@@ -399,14 +399,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="return once the inbox is empty and no task is pending "
         "or leased (instead of serving until drained)",
     )
+    serve.add_argument(
+        "--http", type=str, default=None, metavar="HOST:PORT",
+        help="also expose the HTTP front end (sweep submission, "
+        "status, metrics, remote worker sharding) on HOST:PORT "
+        "(':0' binds an ephemeral port); --workers 0 serves "
+        "remote workers only",
+    )
+    serve.add_argument(
+        "--idle-grace", type=_timeout_seconds, default=None,
+        metavar="SECONDS",
+        help="with --exit-when-idle: stay up until the service has "
+        "been continuously idle this long (default: 0, or 2s when "
+        "--http is set, so a fresh server survives until its first "
+        "remote submission)",
+    )
+
+    work = sub.add_parser(
+        "work",
+        help="run a remote sweep worker: claim (point, rep) shards "
+        "from one or more 'serve --http' front ends, execute them "
+        "with the standard task runner, commit results back over HTTP",
+    )
+    work.add_argument(
+        "--connect", type=str, action="append", required=True,
+        metavar="URL",
+        help="front end base URL (http://HOST:PORT); repeat for "
+        "failover across hosts",
+    )
+    work.add_argument(
+        "--worker-id", type=str, default=None,
+        help="stable identity for leases/telemetry "
+        "(default: <hostname>-<pid>)",
+    )
+    work.add_argument(
+        "--poll", type=_timeout_seconds, default=0.5, metavar="SECONDS",
+        help="idle poll period between claim attempts (default: 0.5)",
+    )
+    work.add_argument(
+        "--exit-when-idle", action="store_true",
+        help="return once the service reports nothing left to claim",
+    )
+    work.add_argument(
+        "--idle-grace", type=_timeout_seconds, default=0.0,
+        metavar="SECONDS",
+        help="with --exit-when-idle: only exit after the service has "
+        "been idle this long continuously (lets a worker start "
+        "before the first submission arrives; default: 0)",
+    )
+    work.add_argument(
+        "--give-up-after", type=_timeout_seconds, default=None,
+        metavar="SECONDS",
+        help="exit after the service has been unreachable this long "
+        "(default: keep polling forever — workers outlive restarts)",
+    )
+    work.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="exit after claiming N shards (testing/smoke)",
+    )
 
     submit = sub.add_parser(
         "submit",
-        help="drop a standard protocol sweep into a service inbox "
-        "(deduped against the sha256 result cache)",
+        help="submit a standard protocol sweep to a service — into "
+        "its inbox directory, or over HTTP with --connect "
+        "(deduped against the sha256 result cache either way)",
     )
     submit.add_argument(
-        "--service-dir", type=str, required=True, metavar="DIR",
+        "--service-dir", type=str, default=None, metavar="DIR",
+        help="service directory whose inbox receives the submission "
+        "(local mode; exactly one of --service-dir/--connect)",
+    )
+    submit.add_argument(
+        "--connect", type=str, action="append", default=None,
+        metavar="URL",
+        help="POST the submission to a 'serve --http' front end "
+        "instead of an inbox; repeat for failover",
     )
     submit.add_argument(
         "--counts", type=int, nargs="+", default=[1, 2, 5, 10, 20]
@@ -1004,29 +1071,82 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import contextlib
+
     from ..service import Orchestrator, ServiceConfig
 
+    http_spec = getattr(args, "http", None)
+    idle_grace = getattr(args, "idle_grace", None)
+    if idle_grace is None:
+        # An HTTP server that exits on its first idle poll dies before
+        # any client can reach it; give it a grace window by default.
+        idle_grace = 2.0 if http_spec else 0.0
     orchestrator = Orchestrator(
         ServiceConfig(
             service_dir=args.service_dir,
-            max_workers=args.workers or 2,
+            max_workers=args.workers if http_spec else (args.workers or 2),
             max_retries=args.max_retries,
             lease_ttl_s=args.lease_ttl,
             task_timeout_s=args.task_timeout,
             max_queue_depth=args.max_queue_depth,
             checkpoint_every_us=args.checkpoint_every_us,
+            idle_grace_s=idle_grace,
         )
     )
-    print(
-        f"serving {args.service_dir} "
-        f"(pid {os.getpid()}, workers={orchestrator.config.max_workers})"
-    )
-    state = orchestrator.serve(exit_when_idle=args.exit_when_idle)
+    with contextlib.ExitStack() as stack:
+        if http_spec:
+            from ..service.net import serve_http
+
+            front = stack.enter_context(serve_http(orchestrator, http_spec))
+            print(
+                f"serving {args.service_dir} on {front.url} "
+                f"(pid {os.getpid()}, "
+                f"workers={orchestrator.config.max_workers})",
+                flush=True,
+            )
+        else:
+            print(
+                f"serving {args.service_dir} "
+                f"(pid {os.getpid()}, "
+                f"workers={orchestrator.config.max_workers})",
+                flush=True,
+            )
+        state = orchestrator.serve(exit_when_idle=args.exit_when_idle)
     counts = state.counts()
     print(
         f"[serve] completed={counts['completed']} "
         f"pending={counts['pending']} leased={counts['leased']} "
         f"quarantined={counts['quarantined']}"
+    )
+    if orchestrator.shutdown_signum is not None:
+        # Supervisor convention: a signal-triggered (clean) drain exits
+        # 128 + signum, so SIGTERM reports 143 like any well-behaved
+        # service — distinguishable from both success and crashes.
+        return 128 + orchestrator.shutdown_signum
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from ..service.net import work_loop
+
+    print(
+        f"worker connecting to {', '.join(args.connect)} "
+        f"(pid {os.getpid()})",
+        flush=True,
+    )
+    stats = work_loop(
+        args.connect,
+        worker_id=args.worker_id,
+        poll_s=args.poll,
+        exit_when_idle=args.exit_when_idle,
+        idle_grace_s=args.idle_grace,
+        give_up_after_s=args.give_up_after,
+        max_tasks=args.max_tasks,
+    )
+    print(
+        f"[work] {stats['worker_id']}: claims={stats['claims']} "
+        f"completed={stats['completed']} duplicate={stats['duplicate']} "
+        f"failed={stats['failed']} lost_leases={stats['lost_leases']}"
     )
     return 0
 
@@ -1043,6 +1163,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         write_submission,
     )
 
+    if bool(args.service_dir) == bool(args.connect):
+        print(
+            "submit needs exactly one of --service-dir (inbox) or "
+            "--connect URL (HTTP)",
+            file=sys.stderr,
+        )
+        return 2
     tasks = standard_sweep_tasks(
         args.counts,
         sim_time_us=args.sim_time,
@@ -1050,6 +1177,31 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     submission = build_submission(tasks, label=args.label)
+    if args.connect:
+        from ..service.net import AllHostsUnreachable, SweepClient
+
+        client = SweepClient(args.connect)
+        try:
+            verdict = client.submit(submission)
+        except AllHostsUnreachable as exc:
+            print(f"submit failed: {exc}", file=sys.stderr)
+            return 1
+        if not verdict.get("accepted"):
+            print(
+                f"submission {verdict.get('submit_id', '?')[:12]} "
+                f"REJECTED: {verdict.get('reason')}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"submitted {verdict['submit_id'][:12]} -> "
+            f"{', '.join(args.connect)}"
+        )
+        print(
+            f"[submit] tasks={verdict['task_count']} "
+            f"deduped={verdict['deduped']} new={verdict['new']}"
+        )
+        return 0
     paths = ServicePaths(Path(args.service_dir))
     report = dedupe_report(
         submission["tasks"],
@@ -1726,6 +1878,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "checkpoint": _cmd_checkpoint,
     "serve": _cmd_serve,
+    "work": _cmd_work,
     "submit": _cmd_submit,
     "status": _cmd_status,
     "drain": _cmd_drain,

@@ -1,0 +1,183 @@
+"""Sweep-client fault tolerance: breakers, retries, graceful degradation.
+
+The headline robustness property (ISSUE acceptance): with every host
+unreachable, :meth:`SweepClient.run_sweep` must not raise — it degrades
+to a local runner with a structured ``degraded_local`` trace event and
+bit-identical results.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.config import ScenarioConfig
+from repro.runner import ExperimentRunner, FullJitterBackoff, SeedSpec, Task, TaskKind
+from repro.runner.serialize import scenario_to_jsonable
+from repro.service import Orchestrator, ServiceConfig
+from repro.service.net import (
+    AllHostsUnreachable,
+    CircuitBreaker,
+    SweepClient,
+    serve_http,
+)
+from repro.service.net.worker import work_loop
+
+SIM_TIME_US = 1e5
+
+
+def _tasks(count=2):
+    out = []
+    for i in range(count):
+        scenario = ScenarioConfig.homogeneous(
+            num_stations=i + 2, sim_time_us=SIM_TIME_US, seed=1
+        )
+        out.append(
+            Task(
+                kind=TaskKind.SIMULATE,
+                payload={"scenario": scenario_to_jsonable(scenario)},
+                seed=SeedSpec(root_seed=1, point_index=i, repetition=0),
+            )
+        )
+    return out
+
+
+def _fast_client(hosts, **kwargs):
+    kwargs.setdefault("timeout_s", 2.0)
+    kwargs.setdefault("retries", 1)
+    kwargs.setdefault(
+        "backoff", FullJitterBackoff(base_s=0.01, max_s=0.02, seed=1)
+    )
+    return SweepClient(hosts, **kwargs)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = [0.0]
+        b = CircuitBreaker(threshold=3, cooldown_s=5.0, clock=lambda: clock[0])
+        for _ in range(2):
+            b.record_failure()
+        assert b.state == "closed" and b.allow()
+        b.record_failure()
+        assert b.state == "open"
+        assert not b.allow()
+
+    def test_half_open_probe_after_cooldown(self):
+        clock = [0.0]
+        b = CircuitBreaker(threshold=1, cooldown_s=5.0, clock=lambda: clock[0])
+        b.record_failure()
+        assert not b.allow()
+        clock[0] = 5.1
+        assert b.allow()  # the single half-open probe
+        assert b.state == "half-open"
+        assert not b.allow()  # only one probe at a time
+        b.record_success()
+        assert b.state == "closed" and b.allow()
+
+    def test_failed_probe_reopens(self):
+        clock = [0.0]
+        b = CircuitBreaker(threshold=1, cooldown_s=5.0, clock=lambda: clock[0])
+        b.record_failure()
+        clock[0] = 6.0
+        assert b.allow()
+        b.record_failure()
+        assert b.state == "open"
+        assert not b.allow()
+        clock[0] = 10.0
+        assert not b.allow()  # cooldown restarts from the reopen
+        clock[0] = 11.1
+        assert b.allow()
+
+    def test_success_resets_failure_streak(self):
+        b = CircuitBreaker(threshold=3)
+        b.record_failure()
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        b.record_failure()
+        assert b.state == "closed"
+
+
+class TestRequestLoop:
+    def test_unreachable_hosts_raise_all_hosts_unreachable(self):
+        client = _fast_client(
+            ["http://127.0.0.1:9", "http://127.0.0.1:10"]
+        )
+        with pytest.raises(AllHostsUnreachable):
+            client._request("GET", "/v1/status")
+        assert client.breakers["http://127.0.0.1:9"]._failures >= 1
+
+    def test_failover_to_healthy_host(self, tmp_path):
+        orch = Orchestrator(
+            ServiceConfig(service_dir=tmp_path / "svc", max_workers=0)
+        )
+        with serve_http(orch, ":0") as server:
+            client = _fast_client(["http://127.0.0.1:9", server.url])
+            doc = client.service_status()
+            assert doc["serving"] is True
+            # The answering host becomes sticky-preferred.
+            assert client._preferred == server.url
+        orch.journal.close()
+
+    def test_open_breaker_skips_dead_host(self, tmp_path):
+        orch = Orchestrator(
+            ServiceConfig(service_dir=tmp_path / "svc", max_workers=0)
+        )
+        with serve_http(orch, ":0") as server:
+            client = _fast_client(
+                ["http://127.0.0.1:9", server.url], breaker_threshold=1
+            )
+            client.service_status()
+            assert not client.breakers["http://127.0.0.1:9"].allow()
+            # Subsequent requests never touch the dead host again
+            # (inside the cooldown) and still succeed.
+            assert client.service_status()["serving"] is True
+        orch.journal.close()
+
+
+class TestGracefulDegradation:
+    def test_run_sweep_degrades_local_without_raising(self, tmp_path):
+        tasks = _tasks()
+        want = ExperimentRunner().run(tasks)
+        runner = ExperimentRunner(cache_dir=tmp_path / "cache")
+        client = _fast_client(["http://127.0.0.1:9"], retries=0)
+        out = client.run_sweep(tasks, local_runner=runner)
+        assert out["source"] == "degraded_local"
+        assert "unreachable" in out["reason"]
+        assert out["results"] == want
+        # Truthful accounting: the counter and a structured trace event.
+        assert runner.counters.degraded_local == 1
+        events = runner.trace.of_kind("degraded_local")
+        assert len(events) == 1
+        assert "unreachable" in events[0].detail
+
+    def test_run_sweep_remote_when_service_up(self, tmp_path):
+        tasks = _tasks()
+        want = ExperimentRunner().run(tasks)
+        orch = Orchestrator(
+            ServiceConfig(
+                service_dir=tmp_path / "svc",
+                max_workers=0,
+                poll_interval_s=0.01,
+                idle_grace_s=1.0,
+            )
+        )
+        with serve_http(orch, ":0") as server:
+            serve_thread = threading.Thread(
+                target=orch.serve,
+                kwargs={"exit_when_idle": True},
+                daemon=True,
+            )
+            serve_thread.start()
+            worker = threading.Thread(
+                target=work_loop,
+                args=(server.url,),
+                kwargs={"poll_s": 0.02, "max_tasks": len(tasks)},
+                daemon=True,
+            )
+            worker.start()
+            client = _fast_client([server.url])
+            out = client.run_sweep(tasks, timeout_s=120)
+            worker.join(timeout=60)
+            serve_thread.join(timeout=60)
+        assert out["source"] == "remote"
+        assert out["results"] == want
